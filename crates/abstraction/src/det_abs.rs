@@ -1,0 +1,247 @@
+//! Abstract transition system for deterministic services (Theorem 4.3).
+//!
+//! The concrete system is infinitely branching: at each step the new
+//! service calls may return any constants. The abstraction keeps, per
+//! reachable state and legal `ασ`, *one successor per equality commitment*
+//! of the new calls against the state's known values, and then quotients
+//! states by isomorphism of the full `⟨I, M⟩` structure (database + call
+//! map) fixing the rigid constants. Theorem 4.3: for run-bounded systems
+//! the result is finite and history-preserving bisimilar to the concrete
+//! transition system; our tests machine-check instances of that statement
+//! with the `dcds-bisim` checkers against bounded concrete prefixes.
+
+use dcds_core::det::{det_successors_by_commitment, DetState};
+use dcds_core::{Dcds, StateId, Ts};
+use dcds_reldata::{CanonKey, ConstantPool};
+use std::collections::{HashMap, VecDeque};
+
+/// Whether an abstraction construction saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsOutcome {
+    /// The iso-quotient BFS saturated: the abstraction is exact.
+    Complete,
+    /// The state limit was hit — consistent with (though not proof of)
+    /// run-unboundedness.
+    Truncated,
+}
+
+/// The result of the deterministic abstraction.
+#[derive(Debug, Clone)]
+pub struct DetAbstraction {
+    /// The abstract transition system (states labeled by instances).
+    pub ts: Ts,
+    /// The full `⟨I, M⟩` state behind each abstract state.
+    pub states: Vec<DetState>,
+    /// Saturated or truncated.
+    pub outcome: AbsOutcome,
+    /// The constant pool extended with the representative fresh values the
+    /// construction minted (needed to display the states).
+    pub pool: ConstantPool,
+}
+
+/// State-deduplication strategy for the abstraction BFS — exposed so the
+/// benchmark suite can ablate the design choice DESIGN.md makes (canonical
+/// keys give O(1) lookup at the cost of canonicalisation per state;
+/// pairwise matching avoids canonicalisation but scans the class list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupStrategy {
+    /// Canonical-form keys in a hash map (the default).
+    CanonicalKey,
+    /// Linear scan with the backtracking isomorphism matcher.
+    PairwiseIso,
+}
+
+/// Build the deterministic abstract transition system, up to `max_states`
+/// isomorphism classes.
+pub fn det_abstraction(dcds: &Dcds, max_states: usize) -> DetAbstraction {
+    det_abstraction_with(dcds, max_states, DedupStrategy::CanonicalKey)
+}
+
+/// [`det_abstraction`] with an explicit deduplication strategy.
+pub fn det_abstraction_with(
+    dcds: &Dcds,
+    max_states: usize,
+    strategy: DedupStrategy,
+) -> DetAbstraction {
+    let rigid = dcds.rigid_constants();
+    let num_rels = dcds.data.schema.len();
+    let mut pool = dcds.data.pool.clone();
+
+    let s0 = DetState::initial(dcds);
+    let mut ts = Ts::new(s0.instance.clone());
+    let mut states = vec![s0.clone()];
+    let mut index: HashMap<CanonKey, StateId> = HashMap::new();
+    let mut class_facts: Vec<dcds_reldata::Facts> = vec![s0.to_facts(num_rels)];
+    if strategy == DedupStrategy::CanonicalKey {
+        index.insert(class_facts[0].canonical_key(&rigid), ts.initial());
+    }
+    let mut queue: VecDeque<StateId> = VecDeque::new();
+    queue.push_back(ts.initial());
+    let mut outcome = AbsOutcome::Complete;
+
+    while let Some(sid) = queue.pop_front() {
+        let state = states[sid.index()].clone();
+        for (_action, _sigma, _commitment, next) in
+            det_successors_by_commitment(dcds, &state, &mut pool)
+        {
+            let facts = next.to_facts(num_rels);
+            let existing = match strategy {
+                DedupStrategy::CanonicalKey => {
+                    index.get(&facts.canonical_key(&rigid)).copied()
+                }
+                DedupStrategy::PairwiseIso => (0..class_facts.len())
+                    .find(|&ix| class_facts[ix].isomorphic(&facts, &rigid))
+                    .map(StateId::from_index),
+            };
+            let next_id = match existing {
+                Some(id) => id,
+                None => {
+                    if ts.num_states() >= max_states {
+                        outcome = AbsOutcome::Truncated;
+                        continue;
+                    }
+                    let id = ts.add_state(next.instance.clone());
+                    states.push(next.clone());
+                    if strategy == DedupStrategy::CanonicalKey {
+                        index.insert(facts.canonical_key(&rigid), id);
+                    }
+                    class_facts.push(facts);
+                    queue.push_back(id);
+                    id
+                }
+            };
+            ts.add_edge(sid, next_id);
+        }
+    }
+    DetAbstraction {
+        ts,
+        states,
+        outcome,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    fn example_4_1() -> Dcds {
+        DcdsBuilder::new()
+            .relation("Q", 2)
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .service("g", 1, ServiceKind::Deterministic)
+            .init_fact("P", &["a"])
+            .init_fact("Q", &["a", "a"])
+            .action("alpha", &[], |a| {
+                a.effect("Q(a,a) & P(X)", "R(X)");
+                a.effect("P(X)", "P(X), Q(f(X), g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    fn example_4_2() -> Dcds {
+        DcdsBuilder::new()
+            .relation("Q", 2)
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .service("g", 1, ServiceKind::Deterministic)
+            .init_fact("P", &["a"])
+            .init_fact("Q", &["a", "a"])
+            .constraint("P(X) & Q(Y, Z) -> X = Y")
+            .action("alpha", &[], |a| {
+                a.effect("Q(a,a) & P(X)", "R(X)");
+                a.effect("P(X)", "P(X), Q(f(X), g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    fn example_4_3() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dedup_strategies_agree() {
+        for dcds in [example_4_1(), example_4_2()] {
+            let a = det_abstraction_with(&dcds, 200, DedupStrategy::CanonicalKey);
+            let b = det_abstraction_with(&dcds, 200, DedupStrategy::PairwiseIso);
+            assert_eq!(a.ts.num_states(), b.ts.num_states());
+            assert_eq!(a.ts.num_edges(), b.ts.num_edges());
+            assert_eq!(a.outcome, b.outcome);
+        }
+    }
+
+    #[test]
+    fn example_4_1_saturates_finite() {
+        // Figure 3b: the abstraction of the weakly acyclic Example 4.1 is
+        // finite. Initial state + 5 commitment successors (some of which
+        // merge deeper), each looping once calls are recorded.
+        let abs = det_abstraction(&example_4_1(), 200);
+        assert_eq!(abs.outcome, AbsOutcome::Complete);
+        // 1 initial + 5 first-level iso classes + their (deterministic)
+        // successors which fold back into finitely many classes.
+        assert!(abs.ts.num_states() >= 6);
+        assert!(abs.ts.num_states() <= 20, "got {}", abs.ts.num_states());
+    }
+
+    #[test]
+    fn example_4_2_constraint_prunes() {
+        // Figure 2b: the equality constraint forces f(a) = a; only g(a)
+        // branches (known or fresh): strictly fewer states than Example 4.1.
+        let abs1 = det_abstraction(&example_4_1(), 200);
+        let abs2 = det_abstraction(&example_4_2(), 200);
+        assert_eq!(abs2.outcome, AbsOutcome::Complete);
+        assert!(abs2.ts.num_states() < abs1.ts.num_states());
+        // Initial state has exactly 2 successors in Figure 2b.
+        assert_eq!(abs2.ts.successors(abs2.ts.initial()).len(), 2);
+    }
+
+    #[test]
+    fn example_4_3_truncates() {
+        // Figure 4: run-unbounded — the call map keeps growing, no finite
+        // quotient exists (Theorem 4.5's discussion); construction truncates.
+        let abs = det_abstraction(&example_4_3(), 60);
+        assert_eq!(abs.outcome, AbsOutcome::Truncated);
+        assert_eq!(abs.ts.num_states(), 60);
+    }
+
+    #[test]
+    fn abstraction_states_satisfy_constraints() {
+        let dcds = example_4_2();
+        let abs = det_abstraction(&dcds, 200);
+        for s in abs.ts.state_ids() {
+            assert!(dcds.data.satisfies_constraints(abs.ts.db(s)));
+        }
+    }
+
+    #[test]
+    fn deterministic_closure_no_new_calls_loop() {
+        // Once every issued call is recorded, states self-loop (Figure 3b's
+        // bottom row): every non-initial state has at least one successor.
+        let abs = det_abstraction(&example_4_1(), 200);
+        for s in abs.ts.state_ids() {
+            assert!(
+                !abs.ts.successors(s).is_empty(),
+                "state {s:?} has no successors"
+            );
+        }
+    }
+}

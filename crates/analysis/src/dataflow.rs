@@ -1,0 +1,202 @@
+//! The dataflow graph over *relations* (Section 5.4).
+//!
+//! Nodes are relation names. For each effect of the positive approximate,
+//! each atom `R(...)` in its body, each fact `Q(...)` in its head, and each
+//! head position `i`:
+//!
+//! * head term a constant or free variable → ordinary edge `R → Q`;
+//! * head term a service call → **special** edge `R → Q`.
+//!
+//! Each edge is a distinct identified 4-tuple `(R₁, id, R₂, special)` — the
+//! graph is a multigraph — and carries the set of actions it corresponds to
+//! (needed by the GR⁺ relaxation's `actions(e)` disjointness test).
+
+use crate::graph::DiGraph;
+use dcds_core::{ActionId, Dcds, ETerm};
+use dcds_reldata::RelId;
+use std::collections::BTreeSet;
+
+/// One identified dataflow edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfEdge {
+    /// Source relation.
+    pub from: RelId,
+    /// Target relation.
+    pub to: RelId,
+    /// Whether the edge is special (service-call mediated).
+    pub special: bool,
+    /// Actions whose effects induce this edge.
+    pub actions: BTreeSet<ActionId>,
+}
+
+/// The dataflow graph.
+#[derive(Debug, Clone)]
+pub struct DataflowGraph {
+    /// Relation per node index.
+    pub rels: Vec<RelId>,
+    /// Underlying digraph; edge ids index into `edges`.
+    pub graph: DiGraph,
+    /// Edge metadata, parallel to the digraph's edge ids.
+    pub edges: Vec<DfEdge>,
+}
+
+impl DataflowGraph {
+    /// Node index of a relation.
+    pub fn node_of(&self, rel: RelId) -> Option<usize> {
+        self.rels.iter().position(|&r| r == rel)
+    }
+
+    /// Number of special edges.
+    pub fn num_special(&self) -> usize {
+        self.edges.iter().filter(|e| e.special).count()
+    }
+}
+
+/// Build the dataflow graph of a DCDS (read off the positive approximate's
+/// data, i.e. `q⁺` bodies and heads of the original actions). Every
+/// syntactic occurrence gets its own identified edge, exactly as in the
+/// paper — parallel edges matter (cf. Example 5.3).
+pub fn dataflow_graph(dcds: &Dcds) -> DataflowGraph {
+    let schema = &dcds.data.schema;
+    let rels: Vec<RelId> = schema.rel_ids().collect();
+    let mut graph = DiGraph::new(rels.len());
+    let mut edges: Vec<DfEdge> = Vec::new();
+    for (aix, action) in dcds.process.actions.iter().enumerate() {
+        let action_id = ActionId::from_index(aix);
+        for effect in &action.effects {
+            let mut body_rels: BTreeSet<RelId> = BTreeSet::new();
+            for cq in &effect.qplus.disjuncts {
+                body_rels.extend(cq.atoms.iter().map(|(r, _)| *r));
+            }
+            for (head_rel, terms) in &effect.head {
+                if terms.is_empty() {
+                    // A nullary head fact (e.g. the paper's built-in `true`)
+                    // carries no values but is *sustained* by the body: model
+                    // it as an ordinary presence-copy edge, which is what
+                    // Figure 9 draws for the `true` self-loop.
+                    for &body_rel in &body_rels {
+                        push_edge(
+                            &mut graph,
+                            &mut edges,
+                            &rels,
+                            body_rel,
+                            *head_rel,
+                            false,
+                            action_id,
+                        );
+                    }
+                    continue;
+                }
+                for t in terms {
+                    let special = match t {
+                        ETerm::Base(_) => false,
+                        ETerm::Call(_, _) => true,
+                    };
+                    for &body_rel in &body_rels {
+                        push_edge(
+                            &mut graph,
+                            &mut edges,
+                            &rels,
+                            body_rel,
+                            *head_rel,
+                            special,
+                            action_id,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    DataflowGraph { rels, graph, edges }
+}
+
+fn push_edge(
+    graph: &mut DiGraph,
+    edges: &mut Vec<DfEdge>,
+    rels: &[RelId],
+    from: RelId,
+    to: RelId,
+    special: bool,
+    action: ActionId,
+) {
+    // One edge per syntactic occurrence, each with a fresh id — parallel
+    // edges are meaningful: Example 5.3's two special self-loops on R are
+    // exactly what makes it non-GR-acyclic (π1 via f, π3 via g).
+    let from_ix = rels.iter().position(|&r| r == from).expect("known rel");
+    let to_ix = rels.iter().position(|&r| r == to).expect("known rel");
+    let id = graph.add_edge(from_ix, to_ix);
+    debug_assert_eq!(id, edges.len());
+    edges.push(DfEdge {
+        from,
+        to,
+        special,
+        actions: [action].into_iter().collect(),
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    /// Example 5.2 (Figure 8b): R→R, R→*Q, Q→Q.
+    pub(crate) fn example_5_2() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "R(X)");
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "Q(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    /// Example 5.3 (Figure 8c): two special self-loops on R.
+    pub(crate) fn example_5_3() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .service("g", 1, ServiceKind::Nondeterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "R(f(X)), R(g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_8b_shape() {
+        let dcds = example_5_2();
+        let df = dataflow_graph(&dcds);
+        assert_eq!(df.rels.len(), 2);
+        assert_eq!(df.edges.len(), 3);
+        assert_eq!(df.num_special(), 1);
+    }
+
+    #[test]
+    fn figure_8c_shape() {
+        let dcds = example_5_3();
+        let df = dataflow_graph(&dcds);
+        assert_eq!(df.rels.len(), 1);
+        // The two head terms R(f(X)) and R(g(X)) each contribute their own
+        // special self-loop (π1 via f, π3 via g — the multiplicity is what
+        // makes the system non-GR-acyclic).
+        assert_eq!(df.num_special(), 2);
+    }
+
+    #[test]
+    fn actions_recorded_on_edges() {
+        let dcds = example_5_2();
+        let df = dataflow_graph(&dcds);
+        for e in &df.edges {
+            assert_eq!(e.actions.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The dependency graph over schema *positions* (Section 4.3).
+//!
+//! Nodes are pairs `⟨R, i⟩` (relation, component). For every effect
+//! `q⁺ ⇝ E` of the positive approximate and every variable `x`:
+//!
+//! * `x` at position `⟨R₁, j⟩` of a `q⁺` atom and directly at position
+//!   `⟨R₂, k⟩` of a head fact → **ordinary** edge `⟨R₁,j⟩ → ⟨R₂,k⟩`
+//!   (a value may be copied);
+//! * `x` at `⟨R₁, j⟩` of `q⁺` and inside a service call whose result lands
+//!   at `⟨R₂, k⟩` → **special** edge (a value feeds the generation of a
+//!   possibly-new value).
+//!
+//! Weak acyclicity = no cycle through a special edge (checked over this
+//! graph in [`crate::weak_acyclicity`]).
+
+use crate::graph::DiGraph;
+use dcds_core::{Dcds, ETerm};
+use dcds_folang::QTerm;
+use dcds_reldata::RelId;
+use std::collections::BTreeMap;
+
+/// A position `⟨R, i⟩` (0-based component index).
+pub type Position = (RelId, usize);
+
+/// The dependency graph.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// All positions of the schema, in node order.
+    pub positions: Vec<Position>,
+    /// Underlying digraph (node indices follow `positions`).
+    pub graph: DiGraph,
+    /// Which edge ids are special.
+    pub special: Vec<bool>,
+}
+
+impl DepGraph {
+    /// Node index of a position.
+    pub fn node_of(&self, pos: Position) -> Option<usize> {
+        self.positions.iter().position(|&p| p == pos)
+    }
+
+    /// Number of special edges.
+    pub fn num_special(&self) -> usize {
+        self.special.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Build the dependency graph of (the positive approximate of) a DCDS.
+///
+/// Following the paper's remark that the definition "can be stated directly
+/// over the original DCDS", we read `q⁺` and `E` straight from the original
+/// actions — exactly the data the positive approximate retains.
+pub fn dependency_graph(dcds: &Dcds) -> DepGraph {
+    let schema = &dcds.data.schema;
+    let mut positions = Vec::new();
+    let mut node_ix: BTreeMap<Position, usize> = BTreeMap::new();
+    for (rel, rs) in schema.iter() {
+        for i in 0..rs.arity() {
+            node_ix.insert((rel, i), positions.len());
+            positions.push((rel, i));
+        }
+    }
+    let mut graph = DiGraph::new(positions.len());
+    let mut special = Vec::new();
+    for action in &dcds.process.actions {
+        for effect in &action.effects {
+            // Occurrences of each variable in the q+ atoms.
+            let mut var_positions: BTreeMap<&dcds_folang::Var, Vec<Position>> = BTreeMap::new();
+            for cq in &effect.qplus.disjuncts {
+                for (rel, terms) in &cq.atoms {
+                    for (j, t) in terms.iter().enumerate() {
+                        if let QTerm::Var(v) = t {
+                            var_positions.entry(v).or_default().push((*rel, j));
+                        }
+                    }
+                }
+            }
+            for (rel2, terms) in &effect.head {
+                for (k, t) in terms.iter().enumerate() {
+                    match t {
+                        ETerm::Base(dcds_core::BaseTerm::Var(v)) => {
+                            for &src in var_positions.get(v).into_iter().flatten() {
+                                graph.add_edge(node_ix[&src], node_ix[&(*rel2, k)]);
+                                special.push(false);
+                            }
+                        }
+                        ETerm::Base(dcds_core::BaseTerm::Const(_)) => {}
+                        ETerm::Call(_, args) => {
+                            for arg in args {
+                                if let dcds_core::BaseTerm::Var(v) = arg {
+                                    for &src in var_positions.get(v).into_iter().flatten() {
+                                        graph.add_edge(node_ix[&src], node_ix[&(*rel2, k)]);
+                                        special.push(true);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    DepGraph {
+        positions,
+        graph,
+        special,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    /// Example 4.1 / 4.2's shared graph (Figure 5a).
+    pub(crate) fn example_4_1() -> Dcds {
+        DcdsBuilder::new()
+            .relation("Q", 2)
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .service("g", 1, ServiceKind::Deterministic)
+            .init_fact("P", &["a"])
+            .init_fact("Q", &["a", "a"])
+            .action("alpha", &[], |a| {
+                a.effect("Q(a,a) & P(X)", "R(X)");
+                a.effect("P(X)", "P(X), Q(f(X), g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    /// Example 4.3's graph (Figure 5b).
+    pub(crate) fn example_4_3() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_5a_shape() {
+        let dcds = example_4_1();
+        let dg = dependency_graph(&dcds);
+        // Positions: Q1, Q2, P1, R1 → 4 nodes.
+        assert_eq!(dg.positions.len(), 4);
+        // Edges: P1→R1 ordinary, P1→P1 ordinary, P1→*Q1 special,
+        // P1→*Q2 special.
+        assert_eq!(dg.graph.num_edges(), 4);
+        assert_eq!(dg.num_special(), 2);
+    }
+
+    #[test]
+    fn figure_5b_shape() {
+        let dcds = example_4_3();
+        let dg = dependency_graph(&dcds);
+        // Positions: R1, Q1. Edges: R1→*Q1 special, Q1→R1 ordinary.
+        assert_eq!(dg.positions.len(), 2);
+        assert_eq!(dg.graph.num_edges(), 2);
+        assert_eq!(dg.num_special(), 1);
+    }
+
+    #[test]
+    fn constants_produce_no_edges() {
+        let dcds = DcdsBuilder::new()
+            .relation("P", 1)
+            .relation("R", 1)
+            .init_fact("P", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("P(X)", "R(a)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap();
+        let dg = dependency_graph(&dcds);
+        assert_eq!(dg.graph.num_edges(), 0);
+    }
+}

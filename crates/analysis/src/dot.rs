@@ -1,0 +1,105 @@
+//! Graphviz export of the analysis graphs (Figures 5, 8, 9, 10).
+
+use crate::dataflow::DataflowGraph;
+use crate::depgraph::DepGraph;
+use dcds_core::Dcds;
+
+/// Render a dependency graph as DOT: positions `R,i` as nodes, special
+/// edges starred/dashed (Figure 5 / Figure 10 style).
+pub fn depgraph_dot(dg: &DepGraph, dcds: &Dcds) -> String {
+    let schema = &dcds.data.schema;
+    let mut out = String::from("digraph depgraph {\n  rankdir=LR;\n");
+    for (ix, (rel, pos)) in dg.positions.iter().enumerate() {
+        out.push_str(&format!(
+            "  n{ix} [shape=ellipse, label=\"{},{}\"];\n",
+            schema.name(*rel),
+            pos + 1
+        ));
+    }
+    for eid in 0..dg.graph.num_edges() {
+        let (u, v) = dg.graph.edge(eid);
+        if dg.special[eid] {
+            out.push_str(&format!(
+                "  n{u} -> n{v} [label=\"*\", style=dashed];\n"
+            ));
+        } else {
+            out.push_str(&format!("  n{u} -> n{v};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a dataflow graph as DOT: relations as nodes, special edges
+/// starred/dashed, edges annotated with their actions (Figure 8 / Figure 9
+/// style).
+pub fn dataflow_dot(df: &DataflowGraph, dcds: &Dcds) -> String {
+    let schema = &dcds.data.schema;
+    let mut out = String::from("digraph dataflow {\n  rankdir=LR;\n");
+    for (ix, rel) in df.rels.iter().enumerate() {
+        out.push_str(&format!(
+            "  n{ix} [shape=ellipse, label=\"{}\"];\n",
+            schema.name(*rel)
+        ));
+    }
+    for (eid, edge) in df.edges.iter().enumerate() {
+        let (u, v) = df.graph.edge(eid);
+        let actions: Vec<&str> = edge
+            .actions
+            .iter()
+            .map(|a| dcds.process.actions[a.index()].name.as_str())
+            .collect();
+        let label = if edge.special {
+            format!("* {}", actions.join(","))
+        } else {
+            actions.join(",")
+        };
+        let style = if edge.special { ", style=dashed" } else { "" };
+        out.push_str(&format!(
+            "  n{u} -> n{v} [label=\"{label}\"{style}];\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::dataflow_graph;
+    use crate::depgraph::dependency_graph;
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    fn example() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn depgraph_dot_contains_positions_and_star() {
+        let dcds = example();
+        let dot = depgraph_dot(&dependency_graph(&dcds), &dcds);
+        assert!(dot.contains("R,1"));
+        assert!(dot.contains("Q,1"));
+        assert!(dot.contains('*'));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn dataflow_dot_contains_action_names() {
+        let dcds = example();
+        let dot = dataflow_dot(&dataflow_graph(&dcds), &dcds);
+        assert!(dot.contains("alpha"));
+        assert!(dot.contains("style=dashed"));
+    }
+}

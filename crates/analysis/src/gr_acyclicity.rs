@@ -1,0 +1,269 @@
+//! GR-acyclicity and the GR⁺ relaxation (Section 5.4).
+//!
+//! A process layer is **GR-acyclic** when its dataflow graph contains no
+//! path `π = π₁ π₂ π₃` where `π₁`, `π₃` are simple cycles and `π₂` is a
+//! path containing a special edge disjoint from the edges of `π₁`: a
+//! *generate cycle* (`π₁π₂`) feeding a *recall cycle* (`π₃`). Theorem 5.6:
+//! GR-acyclic ⇒ state-bounded.
+//!
+//! **GR⁺** additionally allows such a path when some edge `e` of `π₂`
+//! cannot be active simultaneously with any edge after it in `π₂π₃` —
+//! firing `e` then flushes the recall cycle before the next wave of fresh
+//! values arrives. The syntactic sufficient condition for
+//! "not simultaneously active" is disjointness of the `actions(·)` sets.
+
+use crate::dataflow::DataflowGraph;
+use std::collections::BTreeSet;
+
+/// A witness that a system is NOT GR(⁺)-acyclic: the offending
+/// `π₁ π₂ π₃` decomposition, as edge-id sequences into
+/// [`DataflowGraph::edges`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrWitness {
+    /// The generate cycle `π₁`.
+    pub pi1: Vec<usize>,
+    /// The connecting path `π₂` (contains the special edge).
+    pub pi2: Vec<usize>,
+    /// The recall cycle `π₃`.
+    pub pi3: Vec<usize>,
+}
+
+/// Check GR-acyclicity; on failure, return a witness path.
+pub fn gr_witness(df: &DataflowGraph) -> Option<GrWitness> {
+    find_witness(df, false)
+}
+
+/// Is the dataflow graph GR-acyclic?
+pub fn is_gr_acyclic(df: &DataflowGraph) -> bool {
+    gr_witness(df).is_none()
+}
+
+/// Check GR⁺-acyclicity; on failure, return an *unexcused* witness.
+pub fn gr_plus_witness(df: &DataflowGraph) -> Option<GrWitness> {
+    find_witness(df, true)
+}
+
+/// Is the dataflow graph GR⁺-acyclic (every GR witness is excused by a
+/// flushing edge)?
+pub fn is_gr_plus_acyclic(df: &DataflowGraph) -> bool {
+    gr_plus_witness(df).is_none()
+}
+
+/// Enumerate `π₁ π₂ π₃` patterns. When `with_excuse` is set, a pattern is
+/// skipped if some edge `e ∈ π₂` has an `actions` set disjoint from those
+/// of every subsequent edge of `π₂` and every edge of `π₃` (the GR⁺
+/// flushing condition); the first unexcused pattern is returned.
+fn find_witness(df: &DataflowGraph, with_excuse: bool) -> Option<GrWitness> {
+    let cycles = df.graph.simple_cycles();
+    if cycles.is_empty() {
+        return None;
+    }
+    // Node sets of each cycle, and the start node of each cycle walk: a
+    // cycle edge list c = [e1..ek] visits nodes from = edge(e1).0.
+    for c1 in &cycles {
+        let c1_edges: BTreeSet<usize> = c1.iter().copied().collect();
+        let c1_nodes: BTreeSet<usize> = c1
+            .iter()
+            .flat_map(|&e| {
+                let (u, v) = df.graph.edge(e);
+                [u, v]
+            })
+            .collect();
+        for c3 in &cycles {
+            let c3_nodes: BTreeSet<usize> = c3
+                .iter()
+                .flat_map(|&e| {
+                    let (u, v) = df.graph.edge(e);
+                    [u, v]
+                })
+                .collect();
+            for &u in &c1_nodes {
+                for &v in &c3_nodes {
+                    // π₂ candidates: simple paths u → v; when u = v, also
+                    // closed walks — i.e. simple cycles through u (needed
+                    // e.g. for Example 5.3's parallel special self-loops).
+                    let mut candidates = df.graph.simple_paths(u, v);
+                    if u == v {
+                        for c in &cycles {
+                            let touches_u = c.iter().any(|&e| {
+                                let (a, b) = df.graph.edge(e);
+                                a == u || b == u
+                            });
+                            if touches_u {
+                                candidates.push(c.clone());
+                            }
+                        }
+                    }
+                    for path in candidates {
+                        // π₂ must contain a special edge not in π₁.
+                        let has_special = path
+                            .iter()
+                            .any(|&e| df.edges[e].special && !c1_edges.contains(&e));
+                        if !has_special {
+                            continue;
+                        }
+                        if with_excuse && excused(df, &path, c3) {
+                            continue;
+                        }
+                        return Some(GrWitness {
+                            pi1: c1.clone(),
+                            pi2: path,
+                            pi3: c3.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Render a witness with relation and action names, e.g.
+/// `pi1: R -[alpha]-> R ; pi2: R =[alpha]=> Q ; pi3: Q -[alpha]-> Q`
+/// (special edges drawn with `=…=>`).
+pub fn render_witness(
+    w: &GrWitness,
+    df: &DataflowGraph,
+    dcds: &dcds_core::Dcds,
+) -> String {
+    let edge = |e: usize| {
+        let meta = &df.edges[e];
+        let actions: Vec<&str> = meta
+            .actions
+            .iter()
+            .map(|a| dcds.process.actions[a.index()].name.as_str())
+            .collect();
+        let (arrow_l, arrow_r) = if meta.special { ("=[", "]=>") } else { ("-[", "]->") };
+        format!(
+            "{} {}{}{} {}",
+            dcds.data.schema.name(meta.from),
+            arrow_l,
+            actions.join(","),
+            arrow_r,
+            dcds.data.schema.name(meta.to)
+        )
+    };
+    let seg = |edges: &[usize]| {
+        edges.iter().map(|&e| edge(e)).collect::<Vec<_>>().join(" ; ")
+    };
+    format!(
+        "generate cycle pi1: {}\nconnecting path pi2: {}\nrecall cycle pi3: {}",
+        seg(&w.pi1),
+        seg(&w.pi2),
+        seg(&w.pi3)
+    )
+}
+
+/// GR⁺ excuse: some edge of `pi2` is never simultaneously active with any
+/// subsequent edge of `pi2` nor any edge of `pi3` (approximated
+/// syntactically by disjoint `actions` sets).
+fn excused(df: &DataflowGraph, pi2: &[usize], pi3: &[usize]) -> bool {
+    for (ix, &e) in pi2.iter().enumerate() {
+        let acts = &df.edges[e].actions;
+        let later_disjoint = pi2[ix + 1..]
+            .iter()
+            .chain(pi3.iter())
+            .all(|&f| acts.is_disjoint(&df.edges[f].actions));
+        if later_disjoint {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::{dataflow_graph, tests as df_tests};
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    /// Example 4.3 with nondeterministic f (Figure 8a): GR-acyclic.
+    fn example_5_1() -> dcds_core::Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn example_5_1_is_gr_acyclic() {
+        let df = dataflow_graph(&example_5_1());
+        assert!(is_gr_acyclic(&df));
+        assert!(is_gr_plus_acyclic(&df));
+    }
+
+    #[test]
+    fn example_5_2_is_not_gr_acyclic() {
+        let dcds = df_tests::example_5_2();
+        let df = dataflow_graph(&dcds);
+        let w = gr_witness(&df).expect("witness exists");
+        // The connecting path contains the special R→Q edge.
+        assert!(w.pi2.iter().any(|&e| df.edges[e].special));
+        // Single action: not excusable → not GR+ either.
+        assert!(!is_gr_plus_acyclic(&df));
+        // And the rendering names the relations and the action.
+        let rendered = render_witness(&w, &df, &dcds);
+        assert!(rendered.contains("alpha"));
+        assert!(rendered.contains("=["), "special edge drawn specially");
+    }
+
+    #[test]
+    fn example_5_3_is_not_gr_acyclic() {
+        let df = dataflow_graph(&df_tests::example_5_3());
+        assert!(!is_gr_acyclic(&df));
+        assert!(!is_gr_plus_acyclic(&df));
+    }
+
+    #[test]
+    fn gr_plus_excuses_disjoint_actions() {
+        // A two-action system imitating the travel-request pattern:
+        // `init` generates into Travel from True (special), while `work`
+        // copies Travel; True loops via both. π₁ = True-loop, π₂ = special
+        // True→Travel (action init), π₃ = Travel-loop (action work):
+        // excused because actions(init) ∩ actions(work) = ∅.
+        let dcds = DcdsBuilder::new()
+            .relation("Tru", 0)
+            .relation("Travel", 1)
+            .service("inp", 0, ServiceKind::Nondeterministic)
+            .init_fact("Tru", &[])
+            .action("init", &[], |a| {
+                a.effect("Tru()", "Tru(), Travel(inp())");
+            })
+            .action("work", &[], |a| {
+                a.effect("Tru()", "Tru()");
+                a.effect("Travel(X)", "Travel(X)");
+            })
+            .rule("true", "init")
+            .rule("true", "work")
+            .build()
+            .unwrap();
+        let df = dataflow_graph(&dcds);
+        assert!(!is_gr_acyclic(&df), "GR finds the pattern");
+        assert!(is_gr_plus_acyclic(&df), "GR+ excuses it");
+    }
+
+    #[test]
+    fn acyclic_graph_trivially_gr_acyclic() {
+        let dcds = DcdsBuilder::new()
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .init_fact("P", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("P(X)", "R(f(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap();
+        let df = dataflow_graph(&dcds);
+        assert!(is_gr_acyclic(&df));
+    }
+}

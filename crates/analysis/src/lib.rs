@@ -1,0 +1,38 @@
+//! # dcds-analysis
+//!
+//! Static analysis of DCDS process layers — the effectively-checkable
+//! sufficient conditions of the paper:
+//!
+//! * the **positive approximate** `S⁺` (Section 4.3), an over-approximating
+//!   transformation that drops equality constraints, parameters, and
+//!   negative filters ([`approximate`]);
+//! * the **dependency graph** over relation *positions* with ordinary and
+//!   special edges, and **weak acyclicity** — sufficient for
+//!   run-boundedness with deterministic services (Theorem 4.7), checked in
+//!   PTIME ([`depgraph`], [`weak_acyclicity`]);
+//! * the **dataflow graph** over relations, and **GR-acyclicity** —
+//!   sufficient for state-boundedness with nondeterministic services
+//!   (Theorem 5.6) — plus the **GR⁺** relaxation based on
+//!   never-simultaneously-active edges (Section 5.4) ([`dataflow`],
+//!   [`gr_acyclicity`]);
+//! * Graphviz export of both graphs, regenerating the shapes of Figures 5,
+//!   8, 9 and 10 ([`dot`]);
+//! * small digraph utilities (SCCs, reachability, cycle and path
+//!   enumeration) shared by the checks ([`graph`]).
+
+pub mod approximate;
+pub mod dataflow;
+pub mod depgraph;
+pub mod dot;
+pub mod gr_acyclicity;
+pub mod graph;
+pub mod state_bound;
+pub mod weak_acyclicity;
+
+pub use approximate::positive_approximate;
+pub use dataflow::{dataflow_graph, DfEdge, DataflowGraph};
+pub use depgraph::{dependency_graph, DepGraph, Position};
+pub use dot::{dataflow_dot, depgraph_dot};
+pub use gr_acyclicity::{is_gr_acyclic, is_gr_plus_acyclic, GrWitness};
+pub use state_bound::state_bound_estimate;
+pub use weak_acyclicity::{is_weakly_acyclic, position_ranks, run_bound_estimate};

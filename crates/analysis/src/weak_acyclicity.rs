@@ -1,0 +1,170 @@
+//! Weak acyclicity (Section 4.3) and the run bound of Theorem 4.7.
+
+use crate::depgraph::DepGraph;
+use dcds_core::Dcds;
+use std::collections::BTreeSet;
+
+/// Is the dependency graph weakly acyclic — i.e. no cycle goes through a
+/// special edge? Equivalently: no special edge has both endpoints in the
+/// same strongly connected component. PTIME in the size of the process
+/// layer (Theorem 4.8's premise).
+pub fn is_weakly_acyclic(dg: &DepGraph) -> bool {
+    let mut comp_of = vec![usize::MAX; dg.graph.num_nodes()];
+    for (cix, comp) in dg.graph.sccs().into_iter().enumerate() {
+        for node in comp {
+            comp_of[node] = cix;
+        }
+    }
+    for eid in 0..dg.graph.num_edges() {
+        if dg.special[eid] {
+            let (u, v) = dg.graph.edge(eid);
+            // A special self-loop is itself a cycle; otherwise u,v in the
+            // same SCC means a v→u path exists, closing a cycle through the
+            // special edge.
+            if u == v || comp_of[u] == comp_of[v] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The *rank* of each position: the maximum number of special edges on any
+/// incoming path (proof of Theorem 4.7). Defined (finite) iff the graph is
+/// weakly acyclic; returns `None` otherwise.
+pub fn position_ranks(dg: &DepGraph) -> Option<Vec<usize>> {
+    if !is_weakly_acyclic(dg) {
+        return None;
+    }
+    // Longest-path DP where special edges weigh 1 and ordinary edges 0.
+    // Weak acyclicity ⇒ every cycle has total weight 0, so Bellman-Ford
+    // relaxation converges within |V| · |V| rounds.
+    let n = dg.graph.num_nodes();
+    let mut rank = vec![0usize; n];
+    for _ in 0..=n {
+        let mut changed = false;
+        for eid in 0..dg.graph.num_edges() {
+            let (u, v) = dg.graph.edge(eid);
+            let w = usize::from(dg.special[eid]);
+            if rank[u] + w > rank[v] {
+                rank[v] = rank[u] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(rank);
+        }
+    }
+    // Still changing after n rounds would mean a positive cycle — excluded
+    // by weak acyclicity.
+    Some(rank)
+}
+
+/// A conservative bound on the number of distinct values occurring along
+/// any run of a weakly acyclic DCDS, following the polynomial `P_r` built
+/// in the proof of Theorem 4.7. Returns `None` when not weakly acyclic.
+///
+/// The bound is astronomically loose (it is a proof artifact, not an
+/// estimate), but it is finite, computable, and monotone in the inputs the
+/// proof identifies: `|ADOM(I₀)|`, the maximum special in-degree `ba`, and
+/// the total head size `tf`.
+pub fn run_bound_estimate(dcds: &Dcds, dg: &DepGraph) -> Option<f64> {
+    let ranks = position_ranks(dg)?;
+    let r = ranks.iter().copied().max().unwrap_or(0);
+    let n0 = dcds.data.initial.active_domain().len() as f64;
+    // ba: max number of special edges entering a position (≥ service arity
+    // bound used in the proof), at least 1 to keep powers sane.
+    let mut special_in = vec![0usize; dg.graph.num_nodes()];
+    for eid in 0..dg.graph.num_edges() {
+        if dg.special[eid] {
+            special_in[dg.graph.edge(eid).1] += 1;
+        }
+    }
+    let ba = special_in.iter().copied().max().unwrap_or(0).max(1) as f64;
+    // tf: total number of facts mentioned in effect heads.
+    let tf = dcds
+        .process
+        .actions
+        .iter()
+        .flat_map(|a| a.effects.iter())
+        .map(|e| e.head.len())
+        .sum::<usize>()
+        .max(1) as f64;
+    let num_positions = dg.positions.len().max(1) as f64;
+    // P_0 = n0; P_{i} = n0 + G + H with H = Σ_{j<i} P_j and
+    // G = |N_i| · tf · H^{ba} ≤ positions · tf · H^{ba}.
+    let mut p: Vec<f64> = vec![n0];
+    for _ in 1..=r {
+        let h: f64 = p.iter().sum();
+        let g = num_positions * tf * h.powf(ba);
+        p.push(n0 + g + h);
+    }
+    Some(p.iter().sum())
+}
+
+/// Positions whose rank is 0 — they can only ever hold initial-instance
+/// values (base case of the Theorem 4.7 induction).
+pub fn rank_zero_positions(dg: &DepGraph) -> Option<BTreeSet<usize>> {
+    let ranks = position_ranks(dg)?;
+    Some(
+        ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| i)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::{dependency_graph, tests as dep_tests};
+
+    #[test]
+    fn example_4_1_is_weakly_acyclic() {
+        let dcds = dep_tests::example_4_1();
+        let dg = dependency_graph(&dcds);
+        assert!(is_weakly_acyclic(&dg));
+        let ranks = position_ranks(&dg).unwrap();
+        // P1 has rank 0 (only fed by itself via ordinary loop), Q1/Q2 rank 1
+        // (special edges from P1), R1 rank 0.
+        let p1 = dg
+            .node_of((dcds.data.schema.rel_id("P").unwrap(), 0))
+            .unwrap();
+        let q1 = dg
+            .node_of((dcds.data.schema.rel_id("Q").unwrap(), 0))
+            .unwrap();
+        assert_eq!(ranks[p1], 0);
+        assert_eq!(ranks[q1], 1);
+    }
+
+    #[test]
+    fn example_4_3_is_not_weakly_acyclic() {
+        let dcds = dep_tests::example_4_3();
+        let dg = dependency_graph(&dcds);
+        assert!(!is_weakly_acyclic(&dg));
+        assert!(position_ranks(&dg).is_none());
+        assert!(run_bound_estimate(&dcds, &dg).is_none());
+    }
+
+    #[test]
+    fn run_bound_is_finite_for_weakly_acyclic() {
+        let dcds = dep_tests::example_4_1();
+        let dg = dependency_graph(&dcds);
+        let bound = run_bound_estimate(&dcds, &dg).unwrap();
+        assert!(bound.is_finite());
+        assert!(bound >= 1.0);
+    }
+
+    #[test]
+    fn rank_zero_positions_hold_initial_values() {
+        let dcds = dep_tests::example_4_1();
+        let dg = dependency_graph(&dcds);
+        let zero = rank_zero_positions(&dg).unwrap();
+        let p1 = dg
+            .node_of((dcds.data.schema.rel_id("P").unwrap(), 0))
+            .unwrap();
+        assert!(zero.contains(&p1));
+    }
+}

@@ -1,0 +1,65 @@
+//! Scaling of the finite-abstraction constructions.
+//!
+//! * deterministic abstraction (Theorem 4.3) over weakly acyclic service
+//!   chains of growing depth;
+//! * Algorithm RCYCL (Theorem 5.4) over the paper examples and the travel
+//!   request system;
+//! * the contrast rows of Figures 4/6: budgeted truncation on the
+//!   run-/state-unbounded examples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcds_abstraction::{det_abstraction, rcycl};
+use dcds_bench::{examples, synthetic, travel};
+use dcds_core::ServiceKind;
+use std::hint::black_box;
+
+fn bench_det_abstraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("det_abstraction");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let dcds = synthetic::service_chain(n);
+        group.bench_with_input(BenchmarkId::new("service_chain", n), &dcds, |b, d| {
+            b.iter(|| black_box(det_abstraction(d, 2_000)).ts.num_states())
+        });
+    }
+    let ex41 = examples::example_4_1();
+    group.bench_function("example_4_1", |b| {
+        b.iter(|| black_box(det_abstraction(&ex41, 200)).ts.num_states())
+    });
+    let ex42 = examples::example_4_2();
+    group.bench_function("example_4_2", |b| {
+        b.iter(|| black_box(det_abstraction(&ex42, 200)).ts.num_states())
+    });
+    // Figure 4 row: budgeted truncation on the run-unbounded Example 4.3.
+    let ex43 = examples::example_4_3(ServiceKind::Deterministic);
+    group.bench_function("example_4_3_truncated_60", |b| {
+        b.iter(|| black_box(det_abstraction(&ex43, 60)).ts.num_states())
+    });
+    group.finish();
+}
+
+fn bench_rcycl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rcycl");
+    group.sample_size(10);
+    let ex51 = examples::example_5_1();
+    group.bench_function("example_5_1", |b| {
+        b.iter(|| black_box(rcycl(&ex51, 100)).ts.num_states())
+    });
+    // Figure 6 row: budgeted truncation on the state-unbounded Example 5.2.
+    let ex52 = examples::example_5_2();
+    group.bench_function("example_5_2_truncated_60", |b| {
+        b.iter(|| black_box(rcycl(&ex52, 60)).ts.num_states())
+    });
+    let req = travel::request_system_small();
+    group.bench_function("travel_request_small", |b| {
+        b.iter(|| black_box(rcycl(&req, 5_000)).ts.num_states())
+    });
+    let ladder = synthetic::flush_ladder();
+    group.bench_function("flush_ladder", |b| {
+        b.iter(|| black_box(rcycl(&ladder, 2_000)).ts.num_states())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_det_abstraction, bench_rcycl);
+criterion_main!(benches);

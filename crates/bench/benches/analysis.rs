@@ -1,0 +1,84 @@
+//! PTIME static analyses: weak acyclicity and GR(⁺)-acyclicity scaling
+//! with the size of the process layer (Theorems 4.8 / Section 5.4's PTIME
+//! claims made measurable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcds_analysis::{
+    dataflow_graph, dependency_graph, gr_acyclicity, is_weakly_acyclic, position_ranks,
+};
+use dcds_bench::synthetic::{self, RandomParams};
+use dcds_core::ServiceKind;
+use std::hint::black_box;
+
+fn bench_weak_acyclicity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_acyclicity");
+    for n in [4usize, 16, 64, 256] {
+        let dcds = synthetic::service_chain(n);
+        group.bench_with_input(BenchmarkId::new("service_chain", n), &dcds, |b, d| {
+            b.iter(|| {
+                let dg = dependency_graph(d);
+                black_box(is_weakly_acyclic(&dg))
+            })
+        });
+    }
+    for n in [4usize, 16, 64, 256] {
+        let dcds = synthetic::service_cycle(n);
+        group.bench_with_input(BenchmarkId::new("service_cycle", n), &dcds, |b, d| {
+            b.iter(|| {
+                let dg = dependency_graph(d);
+                black_box(is_weakly_acyclic(&dg))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("position_ranks");
+    for n in [8usize, 32, 128] {
+        let dcds = synthetic::service_chain(n);
+        let dg = dependency_graph(&dcds);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dg, |b, g| {
+            b.iter(|| black_box(position_ranks(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gr_acyclicity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gr_acyclicity");
+    for width in [1usize, 2, 4, 8] {
+        let dcds = synthetic::accumulator(width);
+        group.bench_with_input(BenchmarkId::new("accumulator", width), &dcds, |b, d| {
+            b.iter(|| {
+                let df = dataflow_graph(d);
+                black_box((
+                    gr_acyclicity::is_gr_acyclic(&df),
+                    gr_acyclicity::is_gr_plus_acyclic(&df),
+                ))
+            })
+        });
+    }
+    for seed in [1u64, 2, 3] {
+        let dcds = synthetic::random_dcds(
+            seed,
+            RandomParams {
+                relations: 8,
+                services: 3,
+                effects: 16,
+                call_probability: 0.35,
+                kind: ServiceKind::Nondeterministic,
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("random", seed), &dcds, |b, d| {
+            b.iter(|| {
+                let df = dataflow_graph(d);
+                black_box(gr_acyclicity::is_gr_acyclic(&df))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak_acyclicity, bench_ranks, bench_gr_acyclicity);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Model-checking cost: the direct FO µ-calculus evaluator vs the
+//! `PROP(Φ)` propositionalisation followed by propositional µ-calculus
+//! model checking (Theorem 4.4's pipeline), over abstractions of growing
+//! size and formulas of growing quantifier and fixpoint depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcds_abstraction::rcycl;
+use dcds_bench::{examples, travel};
+use dcds_core::Ts;
+use dcds_folang::{Formula, QTerm};
+use dcds_mucalc::{check, check_prop, propositionalize, sugar, Mu};
+use std::hint::black_box;
+
+/// AG (∃x. LIVE(x) ∧ R(x) ∨ Q(x)) over Example 5.1's pruning.
+fn sample_formula(dcds: &dcds_core::Dcds) -> Mu {
+    let r = dcds.data.schema.rel_id("R").unwrap();
+    let q = dcds.data.schema.rel_id("Q").unwrap();
+    sugar::ag(Mu::exists(
+        "X",
+        Mu::live("X").and(
+            Mu::Query(Formula::Atom(r, vec![QTerm::var("X")]))
+                .or(Mu::Query(Formula::Atom(q, vec![QTerm::var("X")]))),
+        ),
+    ))
+}
+
+/// A formula with `depth` nested alternating quantifiers.
+fn deep_quantifiers(dcds: &dcds_core::Dcds, depth: usize) -> Mu {
+    let r = dcds.data.schema.rel_id("R").unwrap();
+    let mut f = Mu::Query(Formula::Atom(r, vec![QTerm::var("X0")]));
+    for i in (0..depth).rev() {
+        let v = format!("X{i}");
+        f = if i % 2 == 0 {
+            Mu::exists(v.as_str(), Mu::live(&v).and(f))
+        } else {
+            Mu::forall(v.as_str(), Mu::live(&v).implies(f))
+        };
+    }
+    // Close over X0 when depth is 0.
+    if depth == 0 {
+        f = Mu::exists("X0", Mu::live("X0").and(f));
+    }
+    sugar::ef(f)
+}
+
+fn bench_direct_vs_prop(c: &mut Criterion) {
+    let dcds = examples::example_5_1();
+    let res = rcycl(&dcds, 100);
+    let phi = sample_formula(&dcds);
+    let mut group = c.benchmark_group("mc_direct_vs_prop");
+    group.bench_function("direct", |b| b.iter(|| black_box(check(&phi, &res.ts))));
+    group.bench_function("prop_pipeline", |b| {
+        b.iter(|| {
+            let p = propositionalize(&phi, &res.ts.adom_union()).unwrap();
+            black_box(check_prop(&p, &res.ts))
+        })
+    });
+    // Pre-translated (amortised) propositional checking.
+    let p = propositionalize(&phi, &res.ts.adom_union()).unwrap();
+    group.bench_function("prop_only", |b| b.iter(|| black_box(check_prop(&p, &res.ts))));
+    group.finish();
+}
+
+fn bench_quantifier_depth(c: &mut Criterion) {
+    let dcds = examples::example_5_1();
+    let res = rcycl(&dcds, 100);
+    let mut group = c.benchmark_group("mc_quantifier_depth");
+    for depth in [1usize, 2, 3, 4] {
+        let phi = deep_quantifiers(&dcds, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &phi, |b, f| {
+            b.iter(|| black_box(check(f, &res.ts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixpoint_iteration(c: &mut Criterion) {
+    // Fixpoint iteration cost over a larger system: the travel request
+    // pruning.
+    let req = travel::request_system_small();
+    let res = rcycl(&req, 5_000);
+    let status = req.data.schema.rel_id("Status").unwrap();
+    let conf = req.data.pool.get("requestConfirmed").unwrap();
+    let goal = Mu::Query(Formula::Atom(status, vec![QTerm::Const(conf)]));
+    let formulas: Vec<(&str, Mu)> = vec![
+        ("EF_confirmed", sugar::ef(goal.clone())),
+        ("AG_EF_confirmed", sugar::ag(sugar::ef(goal.clone()))),
+        (
+            "nested_AG_EF_AG",
+            sugar::ag(sugar::ef(sugar::ag(goal.clone().not().or(goal)))),
+        ),
+    ];
+    let mut group = c.benchmark_group("mc_fixpoints_travel");
+    group.sample_size(10);
+    let _ = &res.ts as &Ts;
+    for (name, phi) in &formulas {
+        group.bench_function(*name, |b| b.iter(|| black_box(check(phi, &res.ts))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_vs_prop,
+    bench_quantifier_depth,
+    bench_fixpoint_iteration
+);
+criterion_main!(benches);

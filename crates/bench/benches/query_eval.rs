@@ -1,0 +1,81 @@
+//! Query-evaluation cost: the naive active-domain FO evaluator (reference
+//! semantics) vs the join-based UCQ engine used inside `DO(I, ασ)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcds_folang::ast::{QTerm, Var};
+use dcds_folang::ucq::{ConjunctiveQuery, Ucq};
+use dcds_folang::{answers, eval_ucq};
+use dcds_reldata::{ConstantPool, Instance, RelId, Schema, Tuple};
+use std::hint::black_box;
+
+/// A chain instance: E(c_i, c_{i+1}) for i < n, plus unary P on even nodes.
+fn chain_instance(n: usize) -> (Schema, ConstantPool, Instance, RelId, RelId) {
+    let mut schema = Schema::new();
+    let e = schema.add_relation("E", 2).unwrap();
+    let p = schema.add_relation("P", 1).unwrap();
+    let mut pool = ConstantPool::new();
+    let cs: Vec<_> = (0..n).map(|i| pool.intern(&format!("c{i}"))).collect();
+    let mut inst = Instance::new();
+    for i in 0..n - 1 {
+        inst.insert(e, Tuple::from([cs[i], cs[i + 1]]));
+    }
+    for i in (0..n).step_by(2) {
+        inst.insert(p, Tuple::from([cs[i]]));
+    }
+    (schema, pool, inst, e, p)
+}
+
+/// The 3-hop path CQ: ans(X, W) :- E(X,Y), E(Y,Z), E(Z,W), P(X).
+fn path_cq(e: RelId, p: RelId) -> Ucq {
+    Ucq::single(ConjunctiveQuery {
+        head: vec![Var::new("X"), Var::new("W")],
+        atoms: vec![
+            (e, vec![QTerm::var("X"), QTerm::var("Y")]),
+            (e, vec![QTerm::var("Y"), QTerm::var("Z")]),
+            (e, vec![QTerm::var("Z"), QTerm::var("W")]),
+            (p, vec![QTerm::var("X")]),
+        ],
+        equalities: vec![],
+    })
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_eval_3hop_path");
+    for n in [8usize, 16, 32] {
+        let (_, _, inst, e, p) = chain_instance(n);
+        let ucq = path_cq(e, p);
+        let formula = ucq.to_formula();
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |b, _| {
+            b.iter(|| black_box(eval_ucq(&ucq, &inst)).len())
+        });
+        // The reference evaluator enumerates |adom|^5 assignments — keep n
+        // small enough to terminate in sane time.
+        if n <= 16 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| black_box(answers(&formula, &inst)).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_do_shape_queries(c: &mut Criterion) {
+    // The effect-body shape used everywhere in the DCDS semantics: small
+    // CQs with one or two atoms over small instances, executed thousands of
+    // times per abstraction step.
+    let (_, _, inst, e, p) = chain_instance(16);
+    let small = Ucq::single(ConjunctiveQuery {
+        head: vec![Var::new("X"), Var::new("Y")],
+        atoms: vec![
+            (e, vec![QTerm::var("X"), QTerm::var("Y")]),
+            (p, vec![QTerm::var("X")]),
+        ],
+        equalities: vec![],
+    });
+    c.bench_function("query_eval_effect_shape", |b| {
+        b.iter(|| black_box(eval_ucq(&small, &inst)).len())
+    });
+}
+
+criterion_group!(benches, bench_evaluators, bench_do_shape_queries);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 2 report. See DESIGN.md §5.
+fn main() {
+    println!("{}", dcds_bench::figures::fig2());
+}

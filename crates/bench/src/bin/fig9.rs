@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 9 report. See DESIGN.md §5.
+fn main() {
+    println!("{}", dcds_bench::figures::fig9());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (the decidability matrix) with per-cell evidence.
+fn main() {
+    println!("{}", dcds_bench::figures::table1());
+}

@@ -1,0 +1,4 @@
+//! End-to-end verification of the Appendix E travel-reimbursement systems.
+fn main() {
+    println!("{}", dcds_bench::figures::travel_verify());
+}

@@ -1,0 +1,21 @@
+//! # dcds-bench
+//!
+//! Experiment harness for the DCDS verification stack:
+//!
+//! * [`examples`] — the paper's running examples (4.1, 4.2, 4.3, 5.2, 5.3,
+//!   and the nondeterministic variant 5.1) as reusable constructors;
+//! * [`travel`] — the Appendix E travel-reimbursement systems: the
+//!   faithful request/audit models used for static analysis and figure
+//!   regeneration, plus a reduced request model small enough for RCYCL and
+//!   µLP model checking end-to-end;
+//! * [`synthetic`] — parametric workload families (copy chains, service
+//!   chains/cycles, accumulators, flush ladders, random systems) used by
+//!   the Criterion benchmarks to measure scaling;
+//! * [`figures`] — regeneration of every figure and table of the paper's
+//!   narrative (Figures 2–10, Table 1), each returning a plain-text report
+//!   printed by the corresponding `fig*`/`table1` binary.
+
+pub mod examples;
+pub mod figures;
+pub mod synthetic;
+pub mod travel;

@@ -1,0 +1,34 @@
+//! # dcds-bisim
+//!
+//! History-preserving and persistence-preserving bisimulations between
+//! database-labeled transition systems (Sections 3.1 and 3.2 of the paper).
+//!
+//! Both notions relate triples `⟨s₁, h, s₂⟩` where `h` is a partial
+//! bijection between the data domains inducing an isomorphism between
+//! `db(s₁)` and `db(s₂)`:
+//!
+//! * **history-preserving** (≈): matching successors must extend `h`
+//!   *entirely* — once two values are identified, the identification is
+//!   remembered forever (this is what lets µLA quantify over values that
+//!   have left the active domain);
+//! * **persistence-preserving** (∼): matching successors need only extend
+//!   `h` restricted to the values that *persist*
+//!   (`h|ADOM(db(s₁)) ∩ ADOM(db(s₁'))`) — identifications are forgotten
+//!   with the values, matching µLP's LIVE-guarded modalities.
+//!
+//! The checkers ([`history::history_bisimilar`],
+//! [`persistence::persistence_bisimilar`]) implement the coinductive
+//! definition directly: a cyclic proof obligation is discharged by the
+//! coinduction hypothesis, failures are memoized. They are exponential in
+//! the worst case — bisimilarity over data domains subsumes graph
+//! isomorphism — but the systems we check (paper examples, abstractions of
+//! small DCDSs) are small; the checkers exist to *machine-verify* instances
+//! of Theorems 4.3 and 5.4, not to be a production equivalence engine.
+
+pub mod bijection;
+pub mod history;
+pub mod persistence;
+
+pub use bijection::{constrained_isomorphisms, PartialBijection};
+pub use history::{history_bisimilar, history_bisimilar_from};
+pub use persistence::{persistence_bisimilar, persistence_bisimilar_from};

@@ -1,0 +1,228 @@
+//! Actions and effect specifications.
+//!
+//! An action (Section 2.2) is
+//!
+//! ```text
+//!     α(p₁, ..., pₙ) : { e₁, ..., eₘ }       eᵢ = qᵢ⁺ ∧ Qᵢ⁻ ⇝ Eᵢ
+//! ```
+//!
+//! where `qᵢ⁺` is a UCQ over the schema (terms: variables, action
+//! parameters, constants of `ADOM(I₀)`), `Qᵢ⁻` is an arbitrary FO filter
+//! whose free variables are among those of `qᵢ⁺` (and the parameters), and
+//! `Eᵢ` is a set of facts whose terms may additionally be service calls.
+//! All effects take place simultaneously (their results are unioned).
+
+use crate::term::ETerm;
+use dcds_folang::{Formula, Ucq, Var};
+use dcds_reldata::RelId;
+use std::collections::BTreeSet;
+
+/// Identifier of an action inside a process layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(u32);
+
+impl ActionId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        ActionId(u32::try_from(ix).expect("action table overflow"))
+    }
+}
+
+/// One effect specification `q⁺ ∧ Q⁻ ⇝ E`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effect {
+    /// The positive UCQ selecting instantiations. Its head variables are the
+    /// effect's free variables.
+    pub qplus: Ucq,
+    /// The FO filter; free variables must be included in the head of
+    /// `qplus` plus the action parameters. `Formula::True` when absent.
+    pub qminus: Formula,
+    /// The facts to produce, one per `(relation, head terms)` pair.
+    pub head: Vec<(RelId, Vec<ETerm>)>,
+}
+
+impl Effect {
+    /// An unconditional effect `true ⇝ E`.
+    pub fn unconditional(head: Vec<(RelId, Vec<ETerm>)>) -> Self {
+        Effect {
+            qplus: Ucq::truth(),
+            qminus: Formula::True,
+            head,
+        }
+    }
+
+    /// Free variables of the effect body (head variables of `q+`).
+    pub fn body_vars(&self) -> BTreeSet<Var> {
+        self.qplus.head().iter().cloned().collect()
+    }
+
+    /// Variables used in the head facts.
+    pub fn head_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for (_, terms) in &self.head {
+            for t in terms {
+                out.extend(t.vars().into_iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Service functions called by the head.
+    pub fn called_functions(&self) -> BTreeSet<crate::service::FuncId> {
+        let mut out = BTreeSet::new();
+        for (_, terms) in &self.head {
+            for t in terms {
+                if let ETerm::Call(f, _) = t {
+                    out.insert(*f);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An action `α(p₁...pₙ) : {e₁...eₘ}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// Action name.
+    pub name: String,
+    /// Input parameters (substituted by the legal parameter assignment σ).
+    pub params: Vec<Var>,
+    /// Effect specifications, applied simultaneously.
+    pub effects: Vec<Effect>,
+}
+
+impl Action {
+    /// Build an action.
+    pub fn new(name: &str, params: Vec<Var>, effects: Vec<Effect>) -> Self {
+        Action {
+            name: name.to_owned(),
+            params,
+            effects,
+        }
+    }
+
+    /// All service functions this action may call.
+    pub fn called_functions(&self) -> BTreeSet<crate::service::FuncId> {
+        self.effects
+            .iter()
+            .flat_map(|e| e.called_functions())
+            .collect()
+    }
+
+    /// Relations written by this action (appearing in some effect head).
+    pub fn written_relations(&self) -> BTreeSet<RelId> {
+        self.effects
+            .iter()
+            .flat_map(|e| e.head.iter().map(|(r, _)| *r))
+            .collect()
+    }
+
+    /// Relations read by this action (appearing in some effect body).
+    pub fn read_relations(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        for e in &self.effects {
+            for cq in &e.qplus.disjuncts {
+                out.extend(cq.atoms.iter().map(|(r, _)| *r));
+            }
+            out.extend(e.qminus.relations());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{ServiceCatalog, ServiceKind};
+    use crate::term::BaseTerm;
+    use dcds_folang::{ConjunctiveQuery, QTerm};
+    use dcds_reldata::Schema;
+
+    fn example_action() -> (Schema, ServiceCatalog, Action) {
+        // Example 4.1: α : { Q(a,a) ∧ P(x) ⇝ R(x),  P(x) ⇝ P(x), Q(f(x), g(x)) }
+        let mut schema = Schema::new();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let p = schema.add_relation("P", 1).unwrap();
+        let r = schema.add_relation("R", 1).unwrap();
+        let mut cat = ServiceCatalog::new();
+        let f = cat.add("f", 1, ServiceKind::Deterministic).unwrap();
+        let g = cat.add("g", 1, ServiceKind::Deterministic).unwrap();
+        let mut pool = dcds_reldata::ConstantPool::new();
+        let a = pool.intern("a");
+        let e1 = Effect {
+            qplus: Ucq::single(ConjunctiveQuery {
+                head: vec![Var::new("X")],
+                atoms: vec![
+                    (q, vec![QTerm::Const(a), QTerm::Const(a)]),
+                    (p, vec![QTerm::var("X")]),
+                ],
+                equalities: vec![],
+            }),
+            qminus: Formula::True,
+            head: vec![(r, vec![ETerm::var("X")])],
+        };
+        let e2 = Effect {
+            qplus: Ucq::single(ConjunctiveQuery {
+                head: vec![Var::new("X")],
+                atoms: vec![(p, vec![QTerm::var("X")])],
+                equalities: vec![],
+            }),
+            qminus: Formula::True,
+            head: vec![
+                (p, vec![ETerm::var("X")]),
+                (
+                    q,
+                    vec![
+                        ETerm::call(f, vec![BaseTerm::var("X")]),
+                        ETerm::call(g, vec![BaseTerm::var("X")]),
+                    ],
+                ),
+            ],
+        };
+        let action = Action::new("alpha", vec![], vec![e1, e2]);
+        (schema, cat, action)
+    }
+
+    #[test]
+    fn called_functions_collected() {
+        let (_, cat, action) = example_action();
+        let fs = action.called_functions();
+        assert_eq!(fs.len(), 2);
+        for f in fs {
+            assert!(cat.arity(f) == 1);
+        }
+    }
+
+    #[test]
+    fn read_write_relations() {
+        let (schema, _, action) = example_action();
+        let p = schema.rel_id("P").unwrap();
+        let q = schema.rel_id("Q").unwrap();
+        let r = schema.rel_id("R").unwrap();
+        assert_eq!(action.read_relations(), [p, q].into_iter().collect());
+        assert_eq!(action.written_relations(), [p, q, r].into_iter().collect());
+    }
+
+    #[test]
+    fn effect_var_sets() {
+        let (_, _, action) = example_action();
+        let e2 = &action.effects[1];
+        assert_eq!(e2.body_vars(), [Var::new("X")].into_iter().collect());
+        assert_eq!(e2.head_vars(), [Var::new("X")].into_iter().collect());
+    }
+
+    #[test]
+    fn unconditional_effect_is_truth_guarded() {
+        let e = Effect::unconditional(vec![]);
+        assert!(e.body_vars().is_empty());
+        assert_eq!(e.qminus, Formula::True);
+    }
+}

@@ -1,0 +1,318 @@
+//! The `DO` operator and legal parameter assignments.
+//!
+//! `DO(I, ασ)` (Section 4.1) unions, over every effect `q⁺ ∧ Q⁻ ⇝ E` of α
+//! and every answer θ of `(q⁺ ∧ Q⁻)σ` over `I`, the grounded head facts
+//! `Eσθ`. The result is a *pre-instance*: a set of facts whose terms are
+//! values or ground service calls awaiting resolution (deterministic
+//! resolution in [`crate::det`], nondeterministic in [`crate::nondet`]).
+
+use crate::action::ActionId;
+use crate::dcds::Dcds;
+use crate::term::{GTerm, ServiceCall};
+use dcds_folang::ast::QTerm;
+use dcds_folang::{eval_ucq, holds, Assignment, ConjunctiveQuery, Ucq, Var};
+use dcds_reldata::{Instance, RelId, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of facts over ground terms (values and unresolved service calls).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PreInstance {
+    facts: BTreeSet<(RelId, Vec<GTerm>)>,
+}
+
+impl PreInstance {
+    /// Empty pre-instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a fact.
+    pub fn insert(&mut self, rel: RelId, terms: Vec<GTerm>) -> bool {
+        self.facts.insert((rel, terms))
+    }
+
+    /// Iterate over facts.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &[GTerm])> {
+        self.facts.iter().map(|(r, ts)| (*r, ts.as_slice()))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts are present.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// `CALLS(·)`: the set of ground service calls occurring in the facts.
+    pub fn calls(&self) -> BTreeSet<ServiceCall> {
+        let mut out = BTreeSet::new();
+        for (_, terms) in self.facts() {
+            for t in terms {
+                if let GTerm::Call(c) = t {
+                    out.insert(c.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolve every call through `lookup`, producing a relational instance.
+    /// Returns `None` if some call is not covered.
+    pub fn resolve(
+        &self,
+        lookup: &dyn Fn(&ServiceCall) -> Option<dcds_reldata::Value>,
+    ) -> Option<Instance> {
+        let mut out = Instance::new();
+        for (rel, terms) in self.facts() {
+            let mut vals = Vec::with_capacity(terms.len());
+            for t in terms {
+                match t {
+                    GTerm::Val(v) => vals.push(*v),
+                    GTerm::Call(c) => vals.push(lookup(c)?),
+                }
+            }
+            out.insert(rel, Tuple::from(vals));
+        }
+        Some(out)
+    }
+}
+
+/// Substitute an assignment into a UCQ: parameters bound by σ become
+/// constants (and are dropped from the head, their values being supplied by
+/// σ at grounding time).
+fn substitute_ucq(ucq: &Ucq, sigma: &Assignment) -> Ucq {
+    let disjuncts = ucq
+        .disjuncts
+        .iter()
+        .map(|cq| ConjunctiveQuery {
+            head: cq
+                .head
+                .iter()
+                .filter(|v| !sigma.contains_key(*v))
+                .cloned()
+                .collect(),
+            atoms: cq
+                .atoms
+                .iter()
+                .map(|(rel, terms)| {
+                    (
+                        *rel,
+                        terms.iter().map(|t| subst_qterm(t, sigma)).collect(),
+                    )
+                })
+                .collect(),
+            equalities: cq
+                .equalities
+                .iter()
+                .map(|(t1, t2)| (subst_qterm(t1, sigma), subst_qterm(t2, sigma)))
+                .collect(),
+        })
+        .collect();
+    Ucq { disjuncts }
+}
+
+fn subst_qterm(t: &QTerm, sigma: &Assignment) -> QTerm {
+    match t {
+        QTerm::Var(v) => sigma
+            .get(v)
+            .map(|&c| QTerm::Const(c))
+            .unwrap_or_else(|| t.clone()),
+        QTerm::Const(_) => t.clone(),
+    }
+}
+
+/// `DO(I, ασ)`: apply the action under the parameter assignment, producing
+/// the pre-instance of grounded effect heads.
+pub fn do_action(
+    dcds: &Dcds,
+    inst: &Instance,
+    action: ActionId,
+    sigma: &Assignment,
+) -> PreInstance {
+    let action = dcds.process.action(action);
+    let mut out = PreInstance::new();
+    for effect in &action.effects {
+        let qplus = substitute_ucq(&effect.qplus, sigma);
+        let qminus = effect.qminus.apply(sigma);
+        for theta in eval_ucq(&qplus, inst) {
+            // θ covers the (remaining) head variables of q+; the filter Q-
+            // may mention them and the parameters (already substituted).
+            let mut full: Assignment = theta.clone();
+            for (p, v) in sigma {
+                full.insert(p.clone(), *v);
+            }
+            let pass = if qminus == dcds_folang::Formula::True {
+                true
+            } else {
+                // Restrict to the filter's free variables (all bound).
+                holds(&qminus, inst, &full).unwrap_or(false)
+            };
+            if !pass {
+                continue;
+            }
+            for (rel, terms) in &effect.head {
+                let grounded: Option<Vec<GTerm>> =
+                    terms.iter().map(|t| t.ground(&full)).collect();
+                if let Some(g) = grounded {
+                    out.insert(*rel, g);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Legal parameter assignments: for each rule `Q ↦ α`, every answer of `Q`
+/// over the instance provides a legal σ for α (Section 4.1). Returns
+/// deterministic, deduplicated `(action, σ)` pairs.
+pub fn legal_assignments(dcds: &Dcds, inst: &Instance) -> Vec<(ActionId, Assignment)> {
+    let mut seen: BTreeSet<(ActionId, Vec<(Var, dcds_reldata::Value)>)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for rule in &dcds.process.rules {
+        for sigma in dcds_folang::answers(&rule.condition, inst) {
+            let key: Vec<_> = sigma.iter().map(|(v, c)| (v.clone(), *c)).collect();
+            if seen.insert((rule.action, key)) {
+                out.push((rule.action, sigma));
+            }
+        }
+    }
+    out
+}
+
+/// Overwrite semantics helper used by both service semantics: the successor
+/// instance is *exactly* the resolved `DO` result — facts not re-asserted by
+/// some effect are forgotten (the paper's transition semantics).
+pub fn resolve_with_map(
+    pre: &PreInstance,
+    map: &BTreeMap<ServiceCall, dcds_reldata::Value>,
+) -> Option<Instance> {
+    pre.resolve(&|c| map.get(c).copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DcdsBuilder;
+    use crate::service::ServiceKind;
+
+    /// Example 4.1 from the paper.
+    fn example_4_1() -> Dcds {
+        DcdsBuilder::new()
+            .relation("Q", 2)
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .service("g", 1, ServiceKind::Deterministic)
+            .init_fact("P", &["a"])
+            .init_fact("Q", &["a", "a"])
+            .action("alpha", &[], |a| {
+                a.effect("Q(a,a) & P(X)", "R(X)");
+                a.effect("P(X)", "P(X), Q(f(X), g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .expect("example 4.1 is well-formed")
+    }
+
+    #[test]
+    fn do_produces_calls_and_values() {
+        let dcds = example_4_1();
+        let alpha = dcds.action_id("alpha").unwrap();
+        let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
+        // Facts: R(a), P(a), Q(f(a), g(a)).
+        assert_eq!(pre.len(), 3);
+        let calls = pre.calls();
+        assert_eq!(calls.len(), 2);
+        let names: BTreeSet<String> = calls
+            .iter()
+            .map(|c| c.display(&dcds.process.services, &dcds.data.pool))
+            .collect();
+        assert_eq!(
+            names,
+            ["f(a)".to_owned(), "g(a)".to_owned()].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn resolve_builds_instance() {
+        let dcds = example_4_1();
+        let alpha = dcds.action_id("alpha").unwrap();
+        let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
+        let a = dcds.data.pool.get("a").unwrap();
+        let map: BTreeMap<ServiceCall, _> =
+            pre.calls().into_iter().map(|c| (c, a)).collect();
+        let inst = resolve_with_map(&pre, &map).unwrap();
+        // R(a), P(a), Q(a,a).
+        assert_eq!(inst.len(), 3);
+        let q = dcds.data.schema.rel_id("Q").unwrap();
+        assert!(inst.contains(q, &Tuple::from([a, a])));
+    }
+
+    #[test]
+    fn legal_assignments_from_true_rule() {
+        let dcds = example_4_1();
+        let legal = legal_assignments(&dcds, &dcds.data.initial);
+        assert_eq!(legal.len(), 1);
+        assert!(legal[0].1.is_empty());
+    }
+
+    #[test]
+    fn unresolved_calls_fail_resolution() {
+        let dcds = example_4_1();
+        let alpha = dcds.action_id("alpha").unwrap();
+        let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
+        assert!(resolve_with_map(&pre, &BTreeMap::new()).is_none());
+    }
+
+    #[test]
+    fn parameterised_action_and_guard() {
+        // ρ = { P(X) ↦ alpha(X) }, alpha(p): true ⇝ R(p).
+        let dcds = DcdsBuilder::new()
+            .relation("P", 1)
+            .relation("R", 1)
+            .init_fact("P", &["a"])
+            .init_fact("P", &["b"])
+            .action("alpha", &["X"], |a| {
+                a.effect("true", "R(X)");
+            })
+            .rule("P(X)", "alpha")
+            .build()
+            .unwrap();
+        let legal = legal_assignments(&dcds, &dcds.data.initial);
+        assert_eq!(legal.len(), 2);
+        let alpha = dcds.action_id("alpha").unwrap();
+        for (act, sigma) in legal {
+            assert_eq!(act, alpha);
+            let pre = do_action(&dcds, &dcds.data.initial, act, &sigma);
+            assert_eq!(pre.len(), 1);
+        }
+    }
+
+    #[test]
+    fn negative_filter_blocks_instantiations() {
+        // e: P(X) ∧ ¬R(X) ⇝ R(X) — only copies P-values not yet in R.
+        let dcds = DcdsBuilder::new()
+            .relation("P", 1)
+            .relation("R", 1)
+            .init_fact("P", &["a"])
+            .init_fact("P", &["b"])
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("P(X) & !R(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap();
+        let alpha = dcds.action_id("alpha").unwrap();
+        let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
+        // Only R(b).
+        assert_eq!(pre.len(), 1);
+        let b = dcds.data.pool.get("b").unwrap();
+        let r = dcds.data.schema.rel_id("R").unwrap();
+        let inst = pre.resolve(&|_| None).unwrap();
+        assert!(inst.contains(r, &Tuple::from([b])));
+    }
+}

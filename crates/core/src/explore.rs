@@ -1,0 +1,378 @@
+//! Bounded exploration of the concrete transition systems.
+//!
+//! The concrete transition system of a DCDS is infinite in general — both
+//! infinitely branching (a fresh call may return any constant) and
+//! infinitely deep. This module materialises finite *prefixes* of it, used
+//! to validate the finite abstractions empirically (bisimulation tests) and
+//! to visualise the systems of the paper's figures.
+//!
+//! Branching is tamed by a [`ValueOracle`], which picks finitely many
+//! evaluations for the calls of each step; depth and size are tamed by
+//! [`Limits`]. The default [`CommitmentOracle`] picks one representative
+//! evaluation per equality commitment — the same representatives the
+//! abstraction keeps, so prefixes explored with it are isomorphic-faithful.
+
+use crate::commitment::{enumerate_commitments, CommitTarget};
+use crate::dcds::Dcds;
+use crate::det::{det_step, DetState};
+use crate::do_op::{do_action, legal_assignments};
+use crate::nondet::nondet_step;
+use crate::term::ServiceCall;
+use crate::ts::{StateId, Ts};
+use dcds_reldata::{ConstantPool, Instance, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Bounds on exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of states to materialise.
+    pub max_states: usize,
+    /// Maximum BFS depth from the initial state.
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_states: 10_000,
+            max_depth: 8,
+        }
+    }
+}
+
+/// Whether exploration exhausted the reachable space within the limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreOutcome {
+    /// Every reachable state within the oracle's branching was visited.
+    Complete,
+    /// Limits were hit; the result is a strict prefix.
+    Truncated,
+}
+
+/// Chooses finitely many evaluations for the service calls of one step.
+pub trait ValueOracle {
+    /// Produce the evaluations to explore for `calls` issued in `inst`.
+    /// `known` is `ADOM(inst) ∪ rigid`; fresh values may be minted from the
+    /// pool.
+    fn evaluations(
+        &mut self,
+        calls: &BTreeSet<ServiceCall>,
+        known: &BTreeSet<Value>,
+        pool: &mut ConstantPool,
+    ) -> Vec<BTreeMap<ServiceCall, Value>>;
+}
+
+/// One representative evaluation per equality commitment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CommitmentOracle;
+
+impl ValueOracle for CommitmentOracle {
+    fn evaluations(
+        &mut self,
+        calls: &BTreeSet<ServiceCall>,
+        known: &BTreeSet<Value>,
+        pool: &mut ConstantPool,
+    ) -> Vec<BTreeMap<ServiceCall, Value>> {
+        let calls: Vec<ServiceCall> = calls.iter().cloned().collect();
+        let known: Vec<Value> = known.iter().copied().collect();
+        enumerate_commitments(&calls, &known)
+            .into_iter()
+            .map(|commitment| {
+                let cells = crate::commitment::fresh_cell_count(&commitment);
+                let fresh: Vec<Value> = (0..cells).map(|_| pool.mint("v")).collect();
+                commitment
+                    .into_iter()
+                    .map(|(c, t)| {
+                        let v = match t {
+                            CommitTarget::Known(v) => v,
+                            CommitTarget::Fresh(cell) => fresh[cell],
+                        };
+                        (c, v)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Samples up to `samples` evaluations over `known ∪ {fresh_pool_size fresh
+/// values}` pseudo-randomly (deterministic from `seed`). Models an
+/// adversarial-ish environment cheaply for fuzz-style tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SampledOracle {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of evaluations to keep per step.
+    pub samples: usize,
+    /// Fresh values to mint as sampling targets per step.
+    pub fresh_per_step: usize,
+}
+
+impl ValueOracle for SampledOracle {
+    fn evaluations(
+        &mut self,
+        calls: &BTreeSet<ServiceCall>,
+        known: &BTreeSet<Value>,
+        pool: &mut ConstantPool,
+    ) -> Vec<BTreeMap<ServiceCall, Value>> {
+        let mut universe: Vec<Value> = known.iter().copied().collect();
+        for _ in 0..self.fresh_per_step {
+            universe.push(pool.mint("v"));
+        }
+        if universe.is_empty() {
+            return if calls.is_empty() {
+                vec![BTreeMap::new()]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut out = Vec::with_capacity(self.samples);
+        let mut state = self.seed | 1;
+        for _ in 0..self.samples {
+            let mut theta = BTreeMap::new();
+            for c in calls {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let v = universe[(state % universe.len() as u64) as usize];
+                theta.insert(c.clone(), v);
+            }
+            out.push(theta);
+        }
+        self.seed = state;
+        out
+    }
+}
+
+/// Result of a deterministic exploration: the transition system, the
+/// service-call map of each state, and whether the prefix is complete.
+#[derive(Debug, Clone)]
+pub struct DetExploration {
+    /// States labeled by instances.
+    pub ts: Ts,
+    /// Per-state service-call maps (parallel to `ts` state ids).
+    pub call_maps: Vec<BTreeMap<ServiceCall, Value>>,
+    /// Completeness within the oracle's branching.
+    pub outcome: ExploreOutcome,
+    /// The constant pool extended with minted fresh values.
+    pub pool: ConstantPool,
+}
+
+/// Result of a nondeterministic exploration.
+#[derive(Debug, Clone)]
+pub struct NondetExploration {
+    /// States labeled by instances.
+    pub ts: Ts,
+    /// Completeness within the oracle's branching.
+    pub outcome: ExploreOutcome,
+    /// The constant pool extended with minted fresh values.
+    pub pool: ConstantPool,
+}
+
+/// BFS over the deterministic concrete transition system, branching as the
+/// oracle dictates, deduplicating identical `⟨I, M⟩` states.
+pub fn explore_det(
+    dcds: &Dcds,
+    limits: Limits,
+    oracle: &mut dyn ValueOracle,
+) -> DetExploration {
+    let mut pool = dcds.data.pool.clone();
+    let rigid = dcds.rigid_constants();
+    let s0 = DetState::initial(dcds);
+    let mut ts = Ts::new(s0.instance.clone());
+    let mut call_maps = vec![s0.call_map.clone()];
+    let mut index: HashMap<DetState, StateId> = HashMap::new();
+    index.insert(s0.clone(), ts.initial());
+    let mut queue: VecDeque<(StateId, DetState, usize)> = VecDeque::new();
+    queue.push_back((ts.initial(), s0, 0));
+    let mut outcome = ExploreOutcome::Complete;
+
+    while let Some((sid, state, depth)) = queue.pop_front() {
+        if depth >= limits.max_depth {
+            outcome = ExploreOutcome::Truncated;
+            continue;
+        }
+        for (action, sigma) in legal_assignments(dcds, &state.instance) {
+            let pre = do_action(dcds, &state.instance, action, &sigma);
+            let new_calls: BTreeSet<ServiceCall> = pre
+                .calls()
+                .into_iter()
+                .filter(|c| !state.call_map.contains_key(c))
+                .collect();
+            let mut known = state.known_values();
+            known.extend(rigid.iter().copied());
+            for theta in oracle.evaluations(&new_calls, &known, &mut pool) {
+                let Some(next) = det_step(dcds, &state, action, &sigma, &theta) else {
+                    continue;
+                };
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if ts.num_states() >= limits.max_states {
+                            outcome = ExploreOutcome::Truncated;
+                            continue;
+                        }
+                        let id = ts.add_state(next.instance.clone());
+                        call_maps.push(next.call_map.clone());
+                        index.insert(next.clone(), id);
+                        queue.push_back((id, next.clone(), depth + 1));
+                        id
+                    }
+                };
+                ts.add_edge(sid, next_id);
+            }
+        }
+    }
+    DetExploration {
+        ts,
+        call_maps,
+        outcome,
+        pool,
+    }
+}
+
+/// BFS over the nondeterministic concrete transition system, deduplicating
+/// identical instances.
+pub fn explore_nondet(
+    dcds: &Dcds,
+    limits: Limits,
+    oracle: &mut dyn ValueOracle,
+) -> NondetExploration {
+    let mut pool = dcds.data.pool.clone();
+    let rigid = dcds.rigid_constants();
+    let mut ts = Ts::new(dcds.data.initial.clone());
+    let mut index: HashMap<Instance, StateId> = HashMap::new();
+    index.insert(dcds.data.initial.clone(), ts.initial());
+    let mut queue: VecDeque<(StateId, Instance, usize)> = VecDeque::new();
+    queue.push_back((ts.initial(), dcds.data.initial.clone(), 0));
+    let mut outcome = ExploreOutcome::Complete;
+
+    while let Some((sid, inst, depth)) = queue.pop_front() {
+        if depth >= limits.max_depth {
+            outcome = ExploreOutcome::Truncated;
+            continue;
+        }
+        for (action, sigma) in legal_assignments(dcds, &inst) {
+            let pre = do_action(dcds, &inst, action, &sigma);
+            let calls = pre.calls();
+            let mut known = inst.active_domain();
+            known.extend(rigid.iter().copied());
+            for theta in oracle.evaluations(&calls, &known, &mut pool) {
+                let Some(next) = nondet_step(dcds, &inst, action, &sigma, &theta) else {
+                    continue;
+                };
+                let next_id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        if ts.num_states() >= limits.max_states {
+                            outcome = ExploreOutcome::Truncated;
+                            continue;
+                        }
+                        let id = ts.add_state(next.clone());
+                        index.insert(next.clone(), id);
+                        queue.push_back((id, next.clone(), depth + 1));
+                        id
+                    }
+                };
+                ts.add_edge(sid, next_id);
+            }
+        }
+    }
+    NondetExploration { ts, outcome, pool }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DcdsBuilder;
+    use crate::service::ServiceKind;
+
+    fn example_4_3(kind: ServiceKind) -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, kind)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nondet_exploration_of_example_5_1_is_growing_but_state_bounded() {
+        let dcds = example_4_3(ServiceKind::Nondeterministic);
+        let mut oracle = CommitmentOracle;
+        let res = explore_nondet(
+            &dcds,
+            Limits {
+                max_states: 200,
+                max_depth: 4,
+            },
+            &mut oracle,
+        );
+        // Every state holds exactly one fact: state-bounded with bound 1.
+        assert_eq!(res.ts.max_state_adom(), 1);
+        assert!(res.ts.num_states() > 2);
+    }
+
+    #[test]
+    fn det_exploration_tracks_call_maps() {
+        let dcds = example_4_3(ServiceKind::Deterministic);
+        let mut oracle = CommitmentOracle;
+        let res = explore_det(
+            &dcds,
+            Limits {
+                max_states: 100,
+                max_depth: 3,
+            },
+            &mut oracle,
+        );
+        assert_eq!(res.ts.num_states(), res.call_maps.len());
+        // Depth-1 successors of ⟨{R(a)}, ∅⟩ commit f(a) to a or fresh: the
+        // initial state has exactly 2 successors.
+        assert_eq!(res.ts.successors(res.ts.initial()).len(), 2);
+        // The run-unbounded system keeps minting fresh values: truncated.
+        assert_eq!(res.outcome, ExploreOutcome::Truncated);
+    }
+
+    #[test]
+    fn depth_zero_is_initial_only() {
+        let dcds = example_4_3(ServiceKind::Deterministic);
+        let mut oracle = CommitmentOracle;
+        let res = explore_det(
+            &dcds,
+            Limits {
+                max_states: 10,
+                max_depth: 0,
+            },
+            &mut oracle,
+        );
+        assert_eq!(res.ts.num_states(), 1);
+    }
+
+    #[test]
+    fn sampled_oracle_is_deterministic_per_seed() {
+        let dcds = example_4_3(ServiceKind::Nondeterministic);
+        let run = |seed| {
+            let mut oracle = SampledOracle {
+                seed,
+                samples: 3,
+                fresh_per_step: 1,
+            };
+            let res = explore_nondet(
+                &dcds,
+                Limits {
+                    max_states: 50,
+                    max_depth: 3,
+                },
+                &mut oracle,
+            );
+            res.ts.num_states()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

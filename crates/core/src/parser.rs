@@ -1,0 +1,590 @@
+//! Textual DCDS specification format.
+//!
+//! ```text
+//! schema   { P 1; Q 2; }
+//! services { f 1 det; in_name 0 nondet; }
+//! init     { P(a); Q(a, a); }
+//! constraint P(X) & Q(Y, Z) -> X = Y;          // equality constraint
+//! assert forall X . P(X) -> P(X);              // FO integrity constraint
+//! action alpha(X) {
+//!     Q(a, a) & P(X) ~> R(X);
+//!     P(Y) & !R(Y)   ~> P(Y), Q(f(Y), g(Y));   // heads may call services
+//! }
+//! rule P(X) => alpha;                          // free vars of the guard
+//! ```                                          // are alpha's parameters
+//!
+//! Effect bodies are formulas whose top-level positive atoms form `q⁺` and
+//! whose remaining conjuncts form the filter `Q⁻` (disjunction at the top
+//! level is rejected — write one effect per disjunct, which is the UCQ
+//! reading the paper gives).
+
+use crate::action::{Action, ActionId, Effect};
+use crate::data_layer::DataLayer;
+use crate::dcds::Dcds;
+use crate::process::{CaRule, ProcessLayer};
+use crate::service::{ServiceCatalog, ServiceKind};
+use crate::term::{BaseTerm, ETerm};
+use dcds_folang::lexer::TokenKind;
+use dcds_folang::parser::{is_variable_name, ParseError, Parser, Resolver};
+use dcds_folang::{ConjunctiveQuery, EqualityConstraint, FoConstraint, Formula, QTerm, Ucq, Var};
+use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
+use std::collections::BTreeSet;
+
+/// Parse a complete DCDS specification.
+pub fn parse_dcds(src: &str) -> Result<Dcds, String> {
+    let mut p = Parser::new(src).map_err(|e| e.to_string())?;
+    let mut pool = ConstantPool::new();
+    let mut schema = Schema::new();
+    let mut services = ServiceCatalog::new();
+    let mut initial = Instance::new();
+    let mut constraints = Vec::new();
+    let mut fo_constraints = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let mut rules_raw: Vec<(Formula, String)> = Vec::new();
+
+    while !p.at_eof() {
+        if p.eat_keyword("schema") {
+            parse_schema_block(&mut p, &mut schema).map_err(|e| e.to_string())?;
+        } else if p.eat_keyword("services") {
+            parse_services_block(&mut p, &mut services).map_err(|e| e.to_string())?;
+        } else if p.eat_keyword("init") {
+            parse_init_block(&mut p, &mut schema, &mut pool, &mut initial)
+                .map_err(|e| e.to_string())?;
+        } else if p.eat_keyword("constraint") {
+            let mut r = Resolver {
+                schema: &mut schema,
+                pool: &mut pool,
+                extend_schema: false,
+            };
+            let f = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
+            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
+            constraints.push(decompose_equality_constraint(f)?);
+        } else if p.eat_keyword("assert") {
+            let mut r = Resolver {
+                schema: &mut schema,
+                pool: &mut pool,
+                extend_schema: false,
+            };
+            let f = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
+            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
+            fo_constraints.push(FoConstraint::new(f).map_err(|e| e.to_string())?);
+        } else if p.eat_keyword("action") {
+            let action =
+                parse_action(&mut p, &mut schema, &mut pool, &services).map_err(|e| e.to_string())?;
+            actions.push(action);
+        } else if p.eat_keyword("rule") {
+            let mut r = Resolver {
+                schema: &mut schema,
+                pool: &mut pool,
+                extend_schema: false,
+            };
+            let cond = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
+            p.expect(&TokenKind::FatArrow).map_err(|e| e.to_string())?;
+            let name = p.expect_ident().map_err(|e| e.to_string())?;
+            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
+            rules_raw.push((cond, name));
+        } else {
+            return Err(p
+                .error(&format!("expected a top-level item, found {}", p.peek_kind()))
+                .to_string());
+        }
+    }
+
+    let mut rules = Vec::new();
+    for (cond, name) in rules_raw {
+        let id = actions
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActionId::from_index)
+            .ok_or_else(|| format!("rule references unknown action {name}"))?;
+        rules.push(CaRule {
+            condition: cond,
+            action: id,
+        });
+    }
+
+    let mut data = DataLayer::new(pool, schema, initial);
+    data.constraints = constraints;
+    data.fo_constraints = fo_constraints;
+    let process = ProcessLayer {
+        services,
+        actions,
+        rules,
+    };
+    Dcds::new(data, process).map_err(|e| e.to_string())
+}
+
+fn parse_schema_block(p: &mut Parser, schema: &mut Schema) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let name = p.expect_ident()?;
+        let arity = parse_arity(p)?;
+        schema
+            .add_relation(&name, arity)
+            .map_err(|e| p.error(&e.to_string()))?;
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_services_block(p: &mut Parser, services: &mut ServiceCatalog) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let name = p.expect_ident()?;
+        let arity = parse_arity(p)?;
+        let kind = if p.eat_keyword("det") {
+            ServiceKind::Deterministic
+        } else if p.eat_keyword("nondet") {
+            ServiceKind::Nondeterministic
+        } else {
+            return Err(p.error("expected `det` or `nondet`"));
+        };
+        services
+            .add(&name, arity, kind)
+            .map_err(|e| p.error(&e))?;
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_arity(p: &mut Parser) -> Result<usize, ParseError> {
+    // Arity is written `P 2` (digits lex as identifiers).
+    let tok = p.expect_ident()?;
+    tok.parse::<usize>()
+        .map_err(|_| p.error(&format!("expected arity (a number), found `{tok}`")))
+}
+
+fn parse_init_block(
+    p: &mut Parser,
+    schema: &mut Schema,
+    pool: &mut ConstantPool,
+    initial: &mut Instance,
+) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let name = p.expect_ident()?;
+        let rel = schema
+            .rel_id(&name)
+            .ok_or_else(|| p.error(&format!("unknown relation {name}")))?;
+        let mut vals = Vec::new();
+        if p.eat(&TokenKind::LParen)
+            && !p.eat(&TokenKind::RParen) {
+                loop {
+                    match p.peek_kind().clone() {
+                        TokenKind::Ident(s) if !is_variable_name(&s) => {
+                            p.advance();
+                            vals.push(pool.intern(&s));
+                        }
+                        TokenKind::Quoted(s) => {
+                            p.advance();
+                            vals.push(pool.intern(&s));
+                        }
+                        other => {
+                            return Err(
+                                p.error(&format!("expected constant in init fact, found {other}"))
+                            )
+                        }
+                    }
+                    if !p.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                p.expect(&TokenKind::RParen)?;
+            }
+        if vals.len() != schema.arity(rel) {
+            return Err(p.error(&format!(
+                "init fact over {name} has {} constants, arity is {}",
+                vals.len(),
+                schema.arity(rel)
+            )));
+        }
+        initial.insert(rel, Tuple::from(vals));
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_action(
+    p: &mut Parser,
+    schema: &mut Schema,
+    pool: &mut ConstantPool,
+    services: &ServiceCatalog,
+) -> Result<Action, ParseError> {
+    let name = p.expect_ident()?;
+    let mut params = Vec::new();
+    p.expect(&TokenKind::LParen)?;
+    if !p.eat(&TokenKind::RParen) {
+        params = p.parse_var_list()?;
+        p.expect(&TokenKind::RParen)?;
+    }
+    p.expect(&TokenKind::LBrace)?;
+    let mut effects = Vec::new();
+    while !p.eat(&TokenKind::RBrace) {
+        let mut r = Resolver {
+            schema,
+            pool,
+            extend_schema: false,
+        };
+        let body = p.parse_formula(&mut r)?;
+        p.expect(&TokenKind::Squiggle)?;
+        let mut head = Vec::new();
+        loop {
+            head.push(parse_head_fact(p, schema, pool, services)?);
+            if !p.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        p.expect(&TokenKind::Semicolon)?;
+        let effect =
+            effect_from_body(body, head, &params).map_err(|m| p.error(&m))?;
+        effects.push(effect);
+    }
+    Ok(Action::new(&name, params, effects))
+}
+
+/// Parse one head fact `R(term, ...)` where terms may be service calls.
+fn parse_head_fact(
+    p: &mut Parser,
+    schema: &Schema,
+    pool: &mut ConstantPool,
+    services: &ServiceCatalog,
+) -> Result<(dcds_reldata::RelId, Vec<ETerm>), ParseError> {
+    let name = p.expect_ident()?;
+    let rel = schema
+        .rel_id(&name)
+        .ok_or_else(|| p.error(&format!("unknown relation {name} in effect head")))?;
+    let mut terms = Vec::new();
+    if p.eat(&TokenKind::LParen)
+        && !p.eat(&TokenKind::RParen) {
+            loop {
+                terms.push(parse_eterm(p, pool, services)?);
+                if !p.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            p.expect(&TokenKind::RParen)?;
+        }
+    if terms.len() != schema.arity(rel) {
+        return Err(p.error(&format!(
+            "head fact over {name} has {} terms, arity is {}",
+            terms.len(),
+            schema.arity(rel)
+        )));
+    }
+    Ok((rel, terms))
+}
+
+fn parse_eterm(
+    p: &mut Parser,
+    pool: &mut ConstantPool,
+    services: &ServiceCatalog,
+) -> Result<ETerm, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::Ident(name) => {
+            if matches!(p.peek_ahead(1), TokenKind::LParen) {
+                // Service call.
+                p.advance();
+                let fid = services
+                    .func_id(&name)
+                    .ok_or_else(|| p.error(&format!("unknown service {name}")))?;
+                p.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !p.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(parse_base_term(p, pool)?);
+                        if !p.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    p.expect(&TokenKind::RParen)?;
+                }
+                if args.len() != services.arity(fid) {
+                    return Err(p.error(&format!(
+                        "service {name} has arity {}, call has {} arguments",
+                        services.arity(fid),
+                        args.len()
+                    )));
+                }
+                Ok(ETerm::Call(fid, args))
+            } else {
+                p.advance();
+                if is_variable_name(&name) {
+                    Ok(ETerm::var(&name))
+                } else {
+                    Ok(ETerm::constant(pool.intern(&name)))
+                }
+            }
+        }
+        TokenKind::Quoted(name) => {
+            p.advance();
+            Ok(ETerm::constant(pool.intern(&name)))
+        }
+        other => Err(p.error(&format!("expected head term, found {other}"))),
+    }
+}
+
+fn parse_base_term(p: &mut Parser, pool: &mut ConstantPool) -> Result<BaseTerm, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::Ident(name) => {
+            p.advance();
+            if is_variable_name(&name) {
+                Ok(BaseTerm::var(&name))
+            } else {
+                Ok(BaseTerm::Const(pool.intern(&name)))
+            }
+        }
+        TokenKind::Quoted(name) => {
+            p.advance();
+            Ok(BaseTerm::Const(pool.intern(&name)))
+        }
+        other => Err(p.error(&format!("expected variable or constant, found {other}"))),
+    }
+}
+
+/// Decompose `premise -> eq & ... & eq` into an [`EqualityConstraint`].
+pub fn decompose_equality_constraint(f: Formula) -> Result<EqualityConstraint, String> {
+    let Formula::Implies(premise, rhs) = f else {
+        return Err(
+            "equality constraints must have the form `premise -> z1 = y1 & ...`".to_owned(),
+        );
+    };
+    let mut eqs = Vec::new();
+    collect_equalities(*rhs, &mut eqs)?;
+    EqualityConstraint::new(*premise, eqs).map_err(|e| e.to_string())
+}
+
+fn collect_equalities(f: Formula, out: &mut Vec<(QTerm, QTerm)>) -> Result<(), String> {
+    match f {
+        Formula::And(g, h) => {
+            collect_equalities(*g, out)?;
+            collect_equalities(*h, out)
+        }
+        Formula::Eq(t1, t2) => {
+            out.push((t1, t2));
+            Ok(())
+        }
+        _ => Err("the conclusion of an equality constraint must be a conjunction of equalities"
+            .to_owned()),
+    }
+}
+
+/// Split an effect body into `q⁺` (positive conjunct atoms and equalities)
+/// and `Q⁻` (everything else), per the module-level convention.
+pub fn effect_from_body(
+    body: Formula,
+    head: Vec<(dcds_reldata::RelId, Vec<ETerm>)>,
+    params: &[Var],
+) -> Result<Effect, String> {
+    let mut atoms = Vec::new();
+    let mut equalities = Vec::new();
+    let mut filters = Vec::new();
+    split_conjuncts(body, &mut atoms, &mut equalities, &mut filters)?;
+    let mut head_vars: BTreeSet<Var> = BTreeSet::new();
+    for (_, terms) in &atoms {
+        for t in terms {
+            if let QTerm::Var(v) = t {
+                head_vars.insert(v.clone());
+            }
+        }
+    }
+    // Equalities whose vars are covered stay in q+; others are filters.
+    let mut cq_equalities = Vec::new();
+    for (t1, t2) in equalities {
+        let covered = [&t1, &t2].iter().all(|t| match t {
+            QTerm::Var(v) => head_vars.contains(v) || params.contains(v),
+            QTerm::Const(_) => true,
+        });
+        if covered {
+            cq_equalities.push((t1, t2));
+        } else {
+            filters.push(Formula::Eq(t1, t2));
+        }
+    }
+    let qminus = Formula::conj(filters);
+    // Q-'s free variables must be covered by q+ vars and parameters.
+    for v in qminus.free_vars() {
+        if !head_vars.contains(&v) && !params.contains(&v) {
+            return Err(format!(
+                "effect filter uses variable {} which no positive atom binds",
+                v.name()
+            ));
+        }
+    }
+    let head_list: Vec<Var> = head_vars.into_iter().collect();
+    let qplus = if atoms.is_empty() && cq_equalities.is_empty() {
+        Ucq::truth()
+    } else {
+        Ucq::single(ConjunctiveQuery {
+            head: head_list,
+            atoms,
+            equalities: cq_equalities,
+        })
+    };
+    Ok(Effect {
+        qplus,
+        qminus,
+        head,
+    })
+}
+
+fn split_conjuncts(
+    f: Formula,
+    atoms: &mut Vec<(dcds_reldata::RelId, Vec<QTerm>)>,
+    equalities: &mut Vec<(QTerm, QTerm)>,
+    filters: &mut Vec<Formula>,
+) -> Result<(), String> {
+    match f {
+        Formula::And(g, h) => {
+            split_conjuncts(*g, atoms, equalities, filters)?;
+            split_conjuncts(*h, atoms, equalities, filters)?;
+            Ok(())
+        }
+        Formula::Atom(rel, terms) => {
+            atoms.push((rel, terms));
+            Ok(())
+        }
+        Formula::Eq(t1, t2) => {
+            equalities.push((t1, t2));
+            Ok(())
+        }
+        Formula::True => Ok(()),
+        Formula::Or(_, _) => Err(
+            "effect bodies must be conjunctive at the top level; write one effect per disjunct"
+                .to_owned(),
+        ),
+        other => {
+            filters.push(other);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE_4_1: &str = r"
+        schema   { Q 2; P 1; R 1; }
+        services { f 1 det; g 1 det; }
+        init     { P(a); Q(a, a); }
+        action alpha() {
+            Q(a, a) & P(X) ~> R(X);
+            P(X)           ~> P(X), Q(f(X), g(X));
+        }
+        rule true => alpha;
+    ";
+
+    #[test]
+    fn parses_example_4_1() {
+        let dcds = parse_dcds(EXAMPLE_4_1).unwrap();
+        assert_eq!(dcds.data.schema.len(), 3);
+        assert_eq!(dcds.process.services.len(), 2);
+        assert_eq!(dcds.process.actions.len(), 1);
+        assert_eq!(dcds.process.rules.len(), 1);
+        assert_eq!(dcds.data.initial.len(), 2);
+        assert!(dcds.is_deterministic());
+        let alpha = &dcds.process.actions[0];
+        assert_eq!(alpha.effects.len(), 2);
+        assert_eq!(alpha.effects[1].called_functions().len(), 2);
+    }
+
+    #[test]
+    fn parses_constraints() {
+        let src = r"
+            schema { P 1; Q 2; }
+            init   { P(a); Q(a, a); }
+            constraint P(X) & Q(Y, Z) -> X = Y;
+            action alpha() { P(X) ~> P(X); }
+            rule true => alpha;
+        ";
+        let dcds = parse_dcds(src).unwrap();
+        assert_eq!(dcds.data.constraints.len(), 1);
+    }
+
+    #[test]
+    fn initial_violation_is_rejected() {
+        let src = r"
+            schema { P 1; Q 2; }
+            init   { P(a); Q(b, a); }
+            constraint P(X) & Q(Y, Z) -> X = Y;
+            action alpha() { P(X) ~> P(X); }
+            rule true => alpha;
+        ";
+        assert!(parse_dcds(src).is_err());
+    }
+
+    #[test]
+    fn filter_conjuncts_become_qminus() {
+        let src = r"
+            schema { P 1; R 1; }
+            init   { P(a); }
+            action alpha() { P(X) & !R(X) ~> R(X); }
+            rule true => alpha;
+        ";
+        let dcds = parse_dcds(src).unwrap();
+        let e = &dcds.process.actions[0].effects[0];
+        assert_eq!(e.qplus.disjuncts[0].atoms.len(), 1);
+        assert_ne!(e.qminus, Formula::True);
+    }
+
+    #[test]
+    fn top_level_disjunction_rejected() {
+        let src = r"
+            schema { P 1; R 1; }
+            init   { P(a); }
+            action alpha() { P(X) | R(X) ~> R(X); }
+            rule true => alpha;
+        ";
+        assert!(parse_dcds(src).is_err());
+    }
+
+    #[test]
+    fn unknown_action_in_rule_rejected() {
+        let src = r"
+            schema { P 1; }
+            init   { P(a); }
+            action alpha() { P(X) ~> P(X); }
+            rule true => beta;
+        ";
+        assert!(parse_dcds(src).is_err());
+    }
+
+    #[test]
+    fn rule_with_parameters() {
+        let src = r"
+            schema { P 1; R 1; }
+            init   { P(a); }
+            action alpha(X) { true ~> R(X); }
+            rule P(X) => alpha;
+        ";
+        let dcds = parse_dcds(src).unwrap();
+        assert_eq!(dcds.process.actions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn rule_param_mismatch_rejected() {
+        let src = r"
+            schema { P 1; R 1; }
+            init   { P(a); }
+            action alpha(X, Y) { true ~> R(X); }
+            rule P(X) => alpha;
+        ";
+        assert!(parse_dcds(src).is_err());
+    }
+
+    #[test]
+    fn quoted_constants_in_init_and_heads() {
+        // 'ready To Verify' occurs only in an effect head. The paper assumes
+        // w.l.o.g. that such constants appear in I0; we apply the w.l.o.g.
+        // automatically by making them rigid (see `Dcds::rigid_constants`).
+        let src = r"
+            schema { Status 1; }
+            init   { Status('ready For Request'); }
+            action go() { Status(X) ~> Status('ready To Verify'); }
+            rule true => go;
+        ";
+        let dcds = parse_dcds(src).unwrap();
+        let v = dcds.data.pool.get("ready To Verify").unwrap();
+        assert!(dcds.rigid_constants().contains(&v));
+    }
+}

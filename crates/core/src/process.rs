@@ -1,0 +1,229 @@
+//! The process: condition–action rules and the finite-state extension.
+//!
+//! The paper adopts a rule-based process: a finite set of condition–action
+//! rules `Q ↦ α`, where the free variables of `Q` are exactly the parameters
+//! of `α` (Section 2.2). It also notes that the results generalise to *any*
+//! process formalism with finite-state control flow; [`FsProcess`] realises
+//! that remark as a finite automaton whose edges carry rules, compiled down
+//! to plain rules over an extended schema by [`FsProcess::compile`].
+
+use crate::action::{Action, ActionId, Effect};
+use crate::service::ServiceCatalog;
+use dcds_folang::{Formula, QTerm};
+use dcds_reldata::{ConstantPool, RelId, Schema};
+
+/// A condition–action rule `Q ↦ α`. The free variables of `condition` must
+/// be exactly the parameters of the action (validated by
+/// [`crate::Dcds::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaRule {
+    /// The guard query; answers provide legal parameter assignments.
+    pub condition: Formula,
+    /// The action to execute.
+    pub action: ActionId,
+}
+
+/// The process layer `P = ⟨F, A, ρ⟩`.
+#[derive(Debug, Clone)]
+pub struct ProcessLayer {
+    /// External service interfaces `F`.
+    pub services: ServiceCatalog,
+    /// Atomic actions `A`.
+    pub actions: Vec<Action>,
+    /// Condition–action rules `ρ`.
+    pub rules: Vec<CaRule>,
+}
+
+impl ProcessLayer {
+    /// Look up an action by name.
+    pub fn action_id(&self, name: &str) -> Option<ActionId> {
+        self.actions
+            .iter()
+            .position(|a| a.name == name)
+            .map(ActionId::from_index)
+    }
+
+    /// The action behind an id.
+    pub fn action(&self, id: ActionId) -> &Action {
+        &self.actions[id.index()]
+    }
+
+    /// Rules guarding a given action.
+    pub fn rules_for(&self, id: ActionId) -> impl Iterator<Item = &CaRule> {
+        self.rules.iter().filter(move |r| r.action == id)
+    }
+}
+
+/// A finite-state process: control states with rule-labeled transitions.
+///
+/// This is the "process formalism whose control flow is finite-state" the
+/// paper says its results immediately generalise to. We realise the claim
+/// constructively: [`FsProcess::compile`] rewrites the automaton into plain
+/// condition–action rules over a schema extended with a program-counter
+/// relation `__pc/1`, so every downstream construction (semantics, static
+/// analysis, abstraction) applies unchanged.
+#[derive(Debug, Clone)]
+pub struct FsProcess {
+    /// Number of control states (named `q0..q{n-1}` after compilation).
+    pub num_states: usize,
+    /// Initial control state.
+    pub initial: usize,
+    /// Transitions `(from, condition, action, to)`.
+    pub transitions: Vec<(usize, Formula, ActionId, usize)>,
+}
+
+impl FsProcess {
+    /// Compile into condition–action rules over an extended schema.
+    ///
+    /// Adds `__pc/1` to the schema, adds the fact `__pc(q_initial)` to the
+    /// caller's initial instance (returned as a fact to insert), strengthens
+    /// each transition's condition with `__pc(q_from)`, and extends the
+    /// corresponding action with an effect writing `__pc(q_to)`. Because an
+    /// action may be shared by transitions with different targets, each
+    /// transition gets a *copy* of its action named
+    /// `{action}@{from}->{to}`.
+    pub fn compile(
+        &self,
+        schema: &mut Schema,
+        pool: &mut ConstantPool,
+        actions: &[Action],
+    ) -> Result<CompiledFs, String> {
+        let pc = schema
+            .add_or_get("__pc", 1)
+            .map_err(|e| e.to_string())?;
+        let state_consts: Vec<_> = (0..self.num_states)
+            .map(|i| pool.intern(&format!("q{i}")))
+            .collect();
+        if self.initial >= self.num_states {
+            return Err("initial control state out of range".to_owned());
+        }
+        let mut out_actions: Vec<Action> = Vec::new();
+        let mut out_rules: Vec<CaRule> = Vec::new();
+        for (from, cond, action_id, to) in &self.transitions {
+            if *from >= self.num_states || *to >= self.num_states {
+                return Err("transition endpoint out of range".to_owned());
+            }
+            let base = actions
+                .get(action_id.index())
+                .ok_or_else(|| "transition references unknown action".to_owned())?;
+            let mut action = base.clone();
+            action.name = format!("{}@q{from}->q{to}", base.name);
+            // Writing __pc(q_to) unconditionally; __pc is flushed like any
+            // other relation, so exactly one pc fact survives per step.
+            action.effects.push(Effect::unconditional(vec![(
+                pc,
+                vec![crate::term::ETerm::constant(state_consts[*to])],
+            )]));
+            let new_id = ActionId::from_index(out_actions.len());
+            out_actions.push(action);
+            let guard = Formula::Atom(pc, vec![QTerm::Const(state_consts[*from])])
+                .and(cond.clone());
+            out_rules.push(CaRule {
+                condition: guard,
+                action: new_id,
+            });
+        }
+        Ok(CompiledFs {
+            pc_relation: pc,
+            initial_pc_fact: (pc, vec![state_consts[self.initial]]),
+            actions: out_actions,
+            rules: out_rules,
+        })
+    }
+}
+
+/// Result of compiling an [`FsProcess`].
+#[derive(Debug, Clone)]
+pub struct CompiledFs {
+    /// The program-counter relation added to the schema.
+    pub pc_relation: RelId,
+    /// The fact to add to the initial instance.
+    pub initial_pc_fact: (RelId, Vec<dcds_reldata::Value>),
+    /// The rewritten actions (one per transition).
+    pub actions: Vec<Action>,
+    /// The rewritten rules.
+    pub rules: Vec<CaRule>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    #[test]
+    fn compile_produces_guarded_rules() {
+        let mut schema = Schema::new();
+        schema.add_relation("P", 1).unwrap();
+        let mut pool = ConstantPool::new();
+        let actions = vec![
+            Action::new("a0", vec![], vec![]),
+            Action::new("a1", vec![], vec![]),
+        ];
+        let fsp = FsProcess {
+            num_states: 2,
+            initial: 0,
+            transitions: vec![
+                (0, Formula::True, ActionId::from_index(0), 1),
+                (1, Formula::True, ActionId::from_index(1), 0),
+            ],
+        };
+        let compiled = fsp.compile(&mut schema, &mut pool, &actions).unwrap();
+        assert_eq!(compiled.actions.len(), 2);
+        assert_eq!(compiled.rules.len(), 2);
+        // Each compiled action ends with a __pc effect.
+        for a in &compiled.actions {
+            let last = a.effects.last().unwrap();
+            assert_eq!(last.head.len(), 1);
+            assert_eq!(last.head[0].0, compiled.pc_relation);
+        }
+        // Guards mention __pc.
+        for r in &compiled.rules {
+            assert!(r.condition.relations().contains(&compiled.pc_relation));
+        }
+        assert_eq!(pool.get("q0"), Some(compiled.initial_pc_fact.1[0]));
+    }
+
+    #[test]
+    fn compile_rejects_bad_indices() {
+        let mut schema = Schema::new();
+        let mut pool = ConstantPool::new();
+        let actions = vec![Action::new("a0", vec![], vec![])];
+        let fsp = FsProcess {
+            num_states: 1,
+            initial: 3,
+            transitions: vec![],
+        };
+        assert!(fsp.compile(&mut schema, &mut pool, &actions).is_err());
+    }
+
+    #[test]
+    fn rules_for_filters_by_action() {
+        let mut cat = ServiceCatalog::new();
+        cat.add("f", 1, crate::service::ServiceKind::Deterministic)
+            .unwrap();
+        let layer = ProcessLayer {
+            services: cat,
+            actions: vec![
+                Action::new("a", vec![], vec![]),
+                Action::new("b", vec![], vec![]),
+            ],
+            rules: vec![
+                CaRule {
+                    condition: Formula::True,
+                    action: ActionId::from_index(0),
+                },
+                CaRule {
+                    condition: Formula::False,
+                    action: ActionId::from_index(0),
+                },
+                CaRule {
+                    condition: Formula::True,
+                    action: ActionId::from_index(1),
+                },
+            ],
+        };
+        assert_eq!(layer.rules_for(ActionId::from_index(0)).count(), 2);
+        assert_eq!(layer.action_id("b"), Some(ActionId::from_index(1)));
+        assert_eq!(layer.action_id("zzz"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! External service interfaces.
+//!
+//! The process layer carries a finite set `F` of functions, "each
+//! representing the interface to an external service" (Section 2.2). The
+//! DCDS never knows how a service computes its results; the semantics only
+//! distinguishes
+//!
+//! * [`ServiceKind::Deterministic`] — same arguments ⇒ same result for the
+//!   whole run (Section 4), and
+//! * [`ServiceKind::Nondeterministic`] — same-argument calls may return
+//!   different values at different moments (Section 5).
+//!
+//! Mixed catalogs are permitted (Section 6, "Mixed semantics"); the
+//! reduction of Theorem 6.1 in `dcds-reductions` rewrites them to purely
+//! nondeterministic ones.
+
+use std::collections::HashMap;
+
+/// Identifier of a service function inside a [`ServiceCatalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        FuncId(u32::try_from(ix).expect("service catalog overflow"))
+    }
+}
+
+/// How a service behaves across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServiceKind {
+    /// Same-argument calls return the same value across the whole run
+    /// (models stateless services; Section 4).
+    Deterministic,
+    /// Same-argument calls may return distinct values at distinct moments
+    /// (models human operators, random processes, stateful servers;
+    /// Section 5).
+    Nondeterministic,
+}
+
+/// A single service interface `f/n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDecl {
+    name: String,
+    arity: usize,
+    kind: ServiceKind,
+}
+
+impl ServiceDecl {
+    /// Function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Deterministic or nondeterministic.
+    pub fn kind(&self) -> ServiceKind {
+        self.kind
+    }
+}
+
+/// The finite set `F` of service interfaces.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceCatalog {
+    funcs: Vec<ServiceDecl>,
+    index: HashMap<String, FuncId>,
+}
+
+impl ServiceCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a service `name/arity` with the given kind. Errors (as a
+    /// string message) on duplicates.
+    pub fn add(&mut self, name: &str, arity: usize, kind: ServiceKind) -> Result<FuncId, String> {
+        if self.index.contains_key(name) {
+            return Err(format!("duplicate service {name}"));
+        }
+        let id = FuncId::from_index(self.funcs.len());
+        self.funcs.push(ServiceDecl {
+            name: name.to_owned(),
+            arity,
+            kind,
+        });
+        self.index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Look up by name.
+    pub fn func_id(&self, name: &str) -> Option<FuncId> {
+        self.index.get(name).copied()
+    }
+
+    /// Declaration of a function.
+    pub fn decl(&self, id: FuncId) -> &ServiceDecl {
+        &self.funcs[id.index()]
+    }
+
+    /// Name of a function.
+    pub fn name(&self, id: FuncId) -> &str {
+        &self.funcs[id.index()].name
+    }
+
+    /// Arity of a function.
+    pub fn arity(&self, id: FuncId) -> usize {
+        self.funcs[id.index()].arity
+    }
+
+    /// Kind of a function.
+    pub fn kind(&self, id: FuncId) -> ServiceKind {
+        self.funcs[id.index()].kind
+    }
+
+    /// Number of declared services.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True if no services are declared.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterate over `(id, decl)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &ServiceDecl)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(ix, d)| (FuncId::from_index(ix), d))
+    }
+
+    /// True when every service is deterministic.
+    pub fn all_deterministic(&self) -> bool {
+        self.funcs
+            .iter()
+            .all(|d| d.kind == ServiceKind::Deterministic)
+    }
+
+    /// True when every service is nondeterministic.
+    pub fn all_nondeterministic(&self) -> bool {
+        self.funcs
+            .iter()
+            .all(|d| d.kind == ServiceKind::Nondeterministic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut cat = ServiceCatalog::new();
+        let f = cat.add("f", 1, ServiceKind::Deterministic).unwrap();
+        assert_eq!(cat.func_id("f"), Some(f));
+        assert_eq!(cat.arity(f), 1);
+        assert_eq!(cat.kind(f), ServiceKind::Deterministic);
+        assert_eq!(cat.name(f), "f");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut cat = ServiceCatalog::new();
+        cat.add("f", 1, ServiceKind::Deterministic).unwrap();
+        assert!(cat.add("f", 2, ServiceKind::Nondeterministic).is_err());
+    }
+
+    #[test]
+    fn kind_queries() {
+        let mut cat = ServiceCatalog::new();
+        cat.add("f", 1, ServiceKind::Deterministic).unwrap();
+        assert!(cat.all_deterministic());
+        cat.add("g", 0, ServiceKind::Nondeterministic).unwrap();
+        assert!(!cat.all_deterministic());
+        assert!(!cat.all_nondeterministic());
+    }
+
+    #[test]
+    fn nullary_services_allowed() {
+        // The Theorem 5.2 reduction uses a nullary nondeterministic `f/0`.
+        let mut cat = ServiceCatalog::new();
+        let f = cat.add("f", 0, ServiceKind::Nondeterministic).unwrap();
+        assert_eq!(cat.arity(f), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Explicit finite transition systems with database-labeled states.
+//!
+//! A transition system (Section 2.3) is `Υ = ⟨Δ, R, Σ, s₀, db, ⇒⟩`. We
+//! materialise the finite ones: concrete prefixes produced by bounded
+//! exploration, and the abstract systems produced by `dcds-abstraction`.
+//! `Δ` is the constant pool, `R` the schema; both live alongside the
+//! transition system rather than inside it so systems over the same
+//! vocabulary can share them.
+
+use dcds_reldata::{ConstantPool, Instance, InstanceDisplay, Schema, Value};
+use std::collections::BTreeSet;
+
+/// Identifier of a state inside a [`Ts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a raw index.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        StateId(u32::try_from(ix).expect("transition system overflow"))
+    }
+}
+
+/// An explicit transition system whose states are labeled by database
+/// instances (`db` in the paper's notation).
+#[derive(Debug, Clone)]
+pub struct Ts {
+    states: Vec<Instance>,
+    succ: Vec<Vec<StateId>>,
+    initial: StateId,
+}
+
+impl Ts {
+    /// Create a transition system with the given initial state.
+    pub fn new(initial: Instance) -> Self {
+        Ts {
+            states: vec![initial],
+            succ: vec![Vec::new()],
+            initial: StateId::from_index(0),
+        }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Add a state, returning its id. (No deduplication — callers decide
+    /// their own notion of state identity.)
+    pub fn add_state(&mut self, db: Instance) -> StateId {
+        let id = StateId::from_index(self.states.len());
+        self.states.push(db);
+        self.succ.push(Vec::new());
+        id
+    }
+
+    /// Add an edge (idempotent).
+    pub fn add_edge(&mut self, from: StateId, to: StateId) {
+        let v = &mut self.succ[from.index()];
+        if !v.contains(&to) {
+            v.push(to);
+        }
+    }
+
+    /// The database labeling a state.
+    pub fn db(&self, s: StateId) -> &Instance {
+        &self.states[s.index()]
+    }
+
+    /// Successors of a state.
+    pub fn successors(&self, s: StateId) -> &[StateId] {
+        &self.succ[s.index()]
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len()).map(StateId::from_index)
+    }
+
+    /// `ADOM(Θ)`: the union of the active domains of all states.
+    pub fn adom_union(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        for s in &self.states {
+            out.extend(s.active_domain());
+        }
+        out
+    }
+
+    /// Maximum `|ADOM(db(s))|` over all states (the observable witness of
+    /// state-boundedness).
+    pub fn max_state_adom(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| s.active_domain().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Predecessor lists (computed on demand).
+    pub fn predecessors(&self) -> Vec<Vec<StateId>> {
+        let mut pred = vec![Vec::new(); self.states.len()];
+        for (from_ix, outs) in self.succ.iter().enumerate() {
+            for to in outs {
+                pred[to.index()].push(StateId::from_index(from_ix));
+            }
+        }
+        pred
+    }
+
+    /// States reachable from the initial state.
+    pub fn reachable(&self) -> BTreeSet<StateId> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![self.initial];
+        while let Some(s) = stack.pop() {
+            if seen.insert(s) {
+                stack.extend(self.successors(s).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// States with no outgoing edges.
+    pub fn deadlocks(&self) -> Vec<StateId> {
+        self.state_ids()
+            .filter(|s| self.successors(*s).is_empty())
+            .collect()
+    }
+
+    /// Render the system as Graphviz DOT (states labeled by their
+    /// databases).
+    pub fn to_dot(&self, schema: &Schema, pool: &ConstantPool) -> String {
+        let mut out = String::from("digraph ts {\n  rankdir=LR;\n");
+        for s in self.state_ids() {
+            let label = InstanceDisplay::new(self.db(s), schema, pool).to_string();
+            let shape = if s == self.initial {
+                "doublecircle"
+            } else {
+                "box"
+            };
+            out.push_str(&format!(
+                "  s{} [shape={shape}, label=\"{}\"];\n",
+                s.index(),
+                label.replace('"', "\\\"")
+            ));
+        }
+        for s in self.state_ids() {
+            for t in self.successors(s) {
+                out.push_str(&format!("  s{} -> s{};\n", s.index(), t.index()));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_reldata::Tuple;
+
+    fn mk() -> (Schema, ConstantPool, Ts) {
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let s0 = Instance::from_facts([(p, Tuple::from([a]))]);
+        let s1 = Instance::from_facts([(p, Tuple::from([b]))]);
+        let mut ts = Ts::new(s0);
+        let one = ts.add_state(s1);
+        ts.add_edge(ts.initial(), one);
+        ts.add_edge(one, one);
+        (schema, pool, ts)
+    }
+
+    #[test]
+    fn basic_structure() {
+        let (_, _, ts) = mk();
+        assert_eq!(ts.num_states(), 2);
+        assert_eq!(ts.num_edges(), 2);
+        assert_eq!(ts.successors(ts.initial()).len(), 1);
+    }
+
+    #[test]
+    fn edges_are_deduplicated() {
+        let (_, _, mut ts) = mk();
+        let s1 = StateId::from_index(1);
+        ts.add_edge(ts.initial(), s1);
+        assert_eq!(ts.num_edges(), 2);
+    }
+
+    #[test]
+    fn adom_union_and_max() {
+        let (_, pool, ts) = mk();
+        assert_eq!(ts.adom_union().len(), 2);
+        assert_eq!(ts.max_state_adom(), 1);
+        let _ = pool;
+    }
+
+    #[test]
+    fn reachability_and_deadlocks() {
+        let (_, _, mut ts) = mk();
+        // An unreachable deadlocked state.
+        let dead = ts.add_state(Instance::new());
+        assert_eq!(ts.reachable().len(), 2);
+        assert_eq!(ts.deadlocks(), vec![dead]);
+    }
+
+    #[test]
+    fn predecessors_invert_edges() {
+        let (_, _, ts) = mk();
+        let pred = ts.predecessors();
+        let s1 = StateId::from_index(1);
+        assert_eq!(pred[s1.index()].len(), 2); // from s0 and the self-loop
+    }
+
+    #[test]
+    fn dot_output_mentions_all_states() {
+        let (schema, pool, ts) = mk();
+        let dot = ts.to_dot(&schema, &pool);
+        assert!(dot.contains("s0"));
+        assert!(dot.contains("s1"));
+        assert!(dot.contains("P(a)"));
+    }
+}

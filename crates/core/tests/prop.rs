@@ -1,0 +1,95 @@
+//! Property tests on the DCDS semantics machinery.
+
+use dcds_core::commitment::{enumerate_commitments, fresh_cell_count, CommitTarget};
+use dcds_core::nondet::evals_over;
+use dcds_core::{FuncId, ServiceCall};
+use dcds_reldata::Value;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn mk_calls(n: usize) -> Vec<ServiceCall> {
+    (0..n)
+        .map(|i| ServiceCall {
+            func: FuncId::from_index(i % 2),
+            args: vec![Value::from_index(100 + i)],
+        })
+        .collect()
+}
+
+fn mk_values(n: usize) -> Vec<Value> {
+    (0..n).map(Value::from_index).collect()
+}
+
+/// The Bell-polynomial count of commitments: each call picks a known value
+/// or joins a fresh cell (restricted growth). Computed by recurrence:
+/// `C(0) = 1; C(i+1, cells) = k·C(i, cells) + (cells+1 terms...)` — easier
+/// to validate structurally, so we check: (a) the count matches a direct
+/// reference recurrence, (b) all commitments are distinct, (c) restricted
+/// growth holds.
+fn reference_count(calls: usize, known: usize) -> usize {
+    // f(i, used_cells): number of ways to commit calls i..n.
+    fn f(remaining: usize, used_cells: usize, known: usize) -> usize {
+        if remaining == 0 {
+            return 1;
+        }
+        let mut total = known * f(remaining - 1, used_cells, known);
+        for cell in 0..=used_cells {
+            let next_used = used_cells.max(cell + 1);
+            total += f(remaining - 1, next_used, known);
+        }
+        total
+    }
+    f(calls, 0, known)
+}
+
+proptest! {
+    #[test]
+    fn commitment_enumeration_is_canonical(calls in 0usize..4, known in 0usize..4) {
+        let call_list = mk_calls(calls);
+        let cs = enumerate_commitments(&call_list, &mk_values(known));
+        // (a) count matches the reference recurrence;
+        prop_assert_eq!(cs.len(), reference_count(calls, known));
+        // (b) all commitments distinct;
+        let set: BTreeSet<_> = cs.iter().cloned().collect();
+        prop_assert_eq!(set.len(), cs.len());
+        // (c) restricted growth in *enumeration order* (the order the calls
+        // were passed in — the map's key order may differ).
+        for c in &cs {
+            let mut next_expected = 0usize;
+            for call in &call_list {
+                if let CommitTarget::Fresh(cell) = c[call] {
+                    if cell == next_expected {
+                        next_expected += 1;
+                    } else {
+                        prop_assert!(cell < next_expected, "growth violated");
+                    }
+                }
+            }
+            prop_assert!(fresh_cell_count(c) <= calls);
+        }
+    }
+
+    #[test]
+    fn evals_enumerate_exactly_the_total_functions(calls in 0usize..3, values in 0usize..4) {
+        let cs: BTreeSet<ServiceCall> = mk_calls(calls).into_iter().collect();
+        let vs: BTreeSet<Value> = mk_values(values).into_iter().collect();
+        let evals = evals_over(&cs, &vs);
+        let expected = if calls == 0 {
+            1
+        } else if values == 0 {
+            0
+        } else {
+            values.pow(calls as u32)
+        };
+        prop_assert_eq!(evals.len(), expected);
+        // All distinct, all total.
+        let distinct: BTreeSet<BTreeMap<ServiceCall, Value>> = evals.iter().cloned().collect();
+        prop_assert_eq!(distinct.len(), evals.len());
+        for theta in &evals {
+            prop_assert_eq!(theta.len(), cs.len());
+            for v in theta.values() {
+                prop_assert!(vs.contains(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Abstract syntax of first-order queries.
+
+use dcds_reldata::{RelId, Schema, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A first-order variable. Variables are interned strings with cheap clones.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Make a variable with the given name.
+    pub fn new(name: &str) -> Self {
+        Var(Arc::from(name))
+    }
+
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term inside a query: a variable or a constant.
+///
+/// (Skolem terms representing service calls never occur in *queries* — they
+/// only occur in effect heads, which live in `dcds-core`.)
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QTerm {
+    /// A variable.
+    Var(Var),
+    /// A constant from the domain.
+    Const(Value),
+}
+
+impl QTerm {
+    /// Variable constructor from a name.
+    pub fn var(name: &str) -> Self {
+        QTerm::Var(Var::new(name))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            QTerm::Var(v) => Some(v),
+            QTerm::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Value> {
+        match self {
+            QTerm::Var(_) => None,
+            QTerm::Const(c) => Some(*c),
+        }
+    }
+}
+
+/// An assignment of variables to constants (a substitution θ).
+pub type Assignment = BTreeMap<Var, Value>;
+
+/// A first-order formula over a relational schema.
+///
+/// Connectives beyond the core (∨, ∀, →) are represented directly rather
+/// than as abbreviations, which keeps parsing and pretty-printing faithful;
+/// the evaluators treat them natively.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// The always-true formula.
+    True,
+    /// The always-false formula.
+    False,
+    /// A relational atom `R(t_1, ..., t_n)`.
+    Atom(RelId, Vec<QTerm>),
+    /// Equality `t_1 = t_2`.
+    Eq(QTerm, QTerm),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication (kept explicit for readability of constraints).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// `t1 = t2`.
+    pub fn eq(t1: QTerm, t2: QTerm) -> Formula {
+        Formula::Eq(t1, t2)
+    }
+
+    /// `t1 != t2`.
+    pub fn neq(t1: QTerm, t2: QTerm) -> Formula {
+        Formula::Not(Box::new(Formula::Eq(t1, t2)))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Binary conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Binary disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Existential closure over one variable.
+    pub fn exists(v: impl Into<Var>, body: Formula) -> Formula {
+        Formula::Exists(v.into(), Box::new(body))
+    }
+
+    /// Universal closure over one variable.
+    pub fn forall(v: impl Into<Var>, body: Formula) -> Formula {
+        Formula::Forall(v.into(), Box::new(body))
+    }
+
+    /// Conjunction of a list (True if empty).
+    pub fn conj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::True,
+            Some(first) => it.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of a list (False if empty).
+    pub fn disj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        match it.next() {
+            None => Formula::False,
+            Some(first) => it.fold(first, Formula::or),
+        }
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let QTerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(t1, t2) => {
+                for t in [t1, t2] {
+                    if let QTerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_free(bound, out);
+                g.collect_free(bound, out);
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let fresh = bound.insert(v.clone());
+                f.collect_free(bound, out);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// The set of constants mentioned in the formula.
+    pub fn constants(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_constants(&mut out);
+        out
+    }
+
+    fn collect_constants(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let QTerm::Const(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Formula::Eq(t1, t2) => {
+                for t in [t1, t2] {
+                    if let QTerm::Const(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_constants(out),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_constants(out);
+                g.collect_constants(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_constants(out),
+        }
+    }
+
+    /// Relations mentioned in the formula.
+    pub fn relations(&self) -> BTreeSet<RelId> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<RelId>) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom(rel, _) => {
+                out.insert(*rel);
+            }
+            Formula::Not(f) => f.collect_relations(out),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_relations(out);
+                g.collect_relations(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_relations(out),
+        }
+    }
+
+    /// Substitute free occurrences of variables by terms (capture is not
+    /// handled: the replacement terms must not contain variables bound in
+    /// the formula — which holds for the ground substitutions the DCDS
+    /// semantics performs).
+    pub fn substitute(&self, subst: &BTreeMap<Var, QTerm>) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(rel, terms) => Formula::Atom(
+                *rel,
+                terms.iter().map(|t| subst_term(t, subst)).collect(),
+            ),
+            Formula::Eq(t1, t2) => Formula::Eq(subst_term(t1, subst), subst_term(t2, subst)),
+            Formula::Not(f) => Formula::Not(Box::new(f.substitute(subst))),
+            Formula::And(f, g) => {
+                Formula::And(Box::new(f.substitute(subst)), Box::new(g.substitute(subst)))
+            }
+            Formula::Or(f, g) => {
+                Formula::Or(Box::new(f.substitute(subst)), Box::new(g.substitute(subst)))
+            }
+            Formula::Implies(f, g) => Formula::Implies(
+                Box::new(f.substitute(subst)),
+                Box::new(g.substitute(subst)),
+            ),
+            Formula::Exists(v, f) => {
+                let mut inner = subst.clone();
+                inner.remove(v);
+                Formula::Exists(v.clone(), Box::new(f.substitute(&inner)))
+            }
+            Formula::Forall(v, f) => {
+                let mut inner = subst.clone();
+                inner.remove(v);
+                Formula::Forall(v.clone(), Box::new(f.substitute(&inner)))
+            }
+        }
+    }
+
+    /// Ground the formula by an assignment of (some of) its free variables
+    /// to constants.
+    pub fn apply(&self, asg: &Assignment) -> Formula {
+        let subst: BTreeMap<Var, QTerm> = asg
+            .iter()
+            .map(|(v, c)| (v.clone(), QTerm::Const(*c)))
+            .collect();
+        self.substitute(&subst)
+    }
+
+    /// Validate arities of all atoms against a schema.
+    pub fn check_arities(&self, schema: &Schema) -> Result<(), crate::QueryError> {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => Ok(()),
+            Formula::Atom(rel, terms) => {
+                let expected = schema.arity(*rel);
+                if terms.len() != expected {
+                    Err(crate::QueryError::ArityMismatch {
+                        relation: schema.name(*rel).to_owned(),
+                        expected,
+                        got: terms.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Formula::Not(f) => f.check_arities(schema),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.check_arities(schema)?;
+                g.check_arities(schema)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.check_arities(schema),
+        }
+    }
+
+    /// Size of the formula (number of AST nodes).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => 1,
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                1 + f.size() + g.size()
+            }
+        }
+    }
+}
+
+fn subst_term(t: &QTerm, subst: &BTreeMap<Var, QTerm>) -> QTerm {
+    match t {
+        QTerm::Var(v) => subst.get(v).cloned().unwrap_or_else(|| t.clone()),
+        QTerm::Const(_) => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_reldata::{ConstantPool, Schema};
+
+    fn schema2() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let p = s.add_relation("P", 1).unwrap();
+        let q = s.add_relation("Q", 2).unwrap();
+        (s, p, q)
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let (_, p, q) = schema2();
+        let x = Var::new("X");
+        let y = Var::new("Y");
+        // exists X. Q(X, Y) & P(X)
+        let f = Formula::exists(
+            x.clone(),
+            Formula::Atom(q, vec![QTerm::Var(x.clone()), QTerm::Var(y.clone())])
+                .and(Formula::Atom(p, vec![QTerm::Var(x.clone())])),
+        );
+        assert_eq!(f.free_vars(), [y].into_iter().collect());
+    }
+
+    #[test]
+    fn shadowing_quantifier_keeps_outer_free() {
+        let (_, p, _) = schema2();
+        let x = Var::new("X");
+        // P(X) & exists X. P(X) — the first X is free.
+        let f = Formula::Atom(p, vec![QTerm::Var(x.clone())]).and(Formula::exists(
+            x.clone(),
+            Formula::Atom(p, vec![QTerm::Var(x.clone())]),
+        ));
+        assert_eq!(f.free_vars(), [x].into_iter().collect());
+    }
+
+    #[test]
+    fn substitute_avoids_bound_occurrences() {
+        let (_, p, _) = schema2();
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let x = Var::new("X");
+        let f = Formula::Atom(p, vec![QTerm::Var(x.clone())]).and(Formula::exists(
+            x.clone(),
+            Formula::Atom(p, vec![QTerm::Var(x.clone())]),
+        ));
+        let mut asg = Assignment::new();
+        asg.insert(x.clone(), a);
+        let g = f.apply(&asg);
+        // The free occurrence is replaced, the bound one is not.
+        let expected = Formula::Atom(p, vec![QTerm::Const(a)]).and(Formula::exists(
+            x.clone(),
+            Formula::Atom(p, vec![QTerm::Var(x)]),
+        ));
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn constants_collected() {
+        let (_, _, q) = schema2();
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let f = Formula::Atom(q, vec![QTerm::Const(a), QTerm::var("X")])
+            .and(Formula::eq(QTerm::Const(b), QTerm::var("X")));
+        assert_eq!(f.constants(), [a, b].into_iter().collect());
+    }
+
+    #[test]
+    fn arity_check() {
+        let (s, p, _) = schema2();
+        let good = Formula::Atom(p, vec![QTerm::var("X")]);
+        assert!(good.check_arities(&s).is_ok());
+        let bad = Formula::Atom(p, vec![QTerm::var("X"), QTerm::var("Y")]);
+        assert!(bad.check_arities(&s).is_err());
+    }
+
+    #[test]
+    fn conj_disj_of_lists() {
+        assert_eq!(Formula::conj([]), Formula::True);
+        assert_eq!(Formula::disj([]), Formula::False);
+        let (_, p, _) = schema2();
+        let f = Formula::Atom(p, vec![QTerm::var("X")]);
+        assert_eq!(Formula::conj([f.clone()]), f);
+    }
+}

@@ -1,0 +1,211 @@
+//! Equality constraints and FO integrity constraints.
+//!
+//! The data layer of a DCDS carries a finite set of *equality constraints*
+//! (Section 2.1): each has the form
+//!
+//! ```text
+//!     Q_i  ->  /\_{j} z_ij = y_ij
+//! ```
+//!
+//! where `Q_i` is a domain-independent FO query with free variables `~x`, and
+//! each `z_ij`, `y_ij` is a variable of `~x` or a constant of `ADOM(I_0)`.
+//! An instance satisfies the constraint when every answer θ of `Q_i`
+//! satisfies all the equalities. Keys (the `right`/`succ` tricks of Theorems
+//! 4.1 and 6.2) and the Section-6 encoding of arbitrary FO integrity
+//! constraints are expressed this way.
+
+use crate::ast::{Formula, QTerm};
+use crate::eval::{answers, holds_closed};
+use crate::QueryError;
+use dcds_reldata::{Instance, RelId, Schema, Value};
+
+/// An equality constraint `Q -> /\ z_j = y_j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqualityConstraint {
+    /// The premise query; its free variables scope the equalities.
+    pub query: Formula,
+    /// Conjunction of required equalities over the query's free variables
+    /// and constants.
+    pub equalities: Vec<(QTerm, QTerm)>,
+}
+
+impl EqualityConstraint {
+    /// Build a constraint, checking the equality terms only use free
+    /// variables of the premise (or constants).
+    pub fn new(
+        query: Formula,
+        equalities: Vec<(QTerm, QTerm)>,
+    ) -> Result<Self, QueryError> {
+        let free = query.free_vars();
+        for (t1, t2) in &equalities {
+            for t in [t1, t2] {
+                if let QTerm::Var(v) = t {
+                    if !free.contains(v) {
+                        return Err(QueryError::UnboundVariable(v.name().to_owned()));
+                    }
+                }
+            }
+        }
+        Ok(EqualityConstraint { query, equalities })
+    }
+
+    /// A *key constraint* on relation `rel`: the positions in `key` determine
+    /// the rest. E.g. the paper's "second component of `right` is a key"
+    /// (proof of Theorem 4.1) is `key = [1]` over `right/2`.
+    pub fn key(schema: &Schema, rel: RelId, key: &[usize]) -> Self {
+        let arity = schema.arity(rel);
+        let xs: Vec<QTerm> = (0..arity).map(|i| QTerm::var(&format!("X{i}"))).collect();
+        let ys: Vec<QTerm> = (0..arity)
+            .map(|i| {
+                if key.contains(&i) {
+                    xs[i].clone()
+                } else {
+                    QTerm::var(&format!("Y{i}"))
+                }
+            })
+            .collect();
+        let query = Formula::Atom(rel, xs.clone()).and(Formula::Atom(rel, ys.clone()));
+        let equalities = (0..arity)
+            .filter(|i| !key.contains(i))
+            .map(|i| (xs[i].clone(), ys[i].clone()))
+            .collect();
+        EqualityConstraint { query, equalities }
+    }
+
+    /// Does the instance satisfy the constraint? For each answer θ of the
+    /// premise, every equality must hold under θ.
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        for theta in answers(&self.query, inst) {
+            for (t1, t2) in &self.equalities {
+                let v1 = resolve(t1, &theta);
+                let v2 = resolve(t2, &theta);
+                if v1 != v2 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn resolve(t: &QTerm, theta: &crate::ast::Assignment) -> Option<Value> {
+    match t {
+        QTerm::Const(c) => Some(*c),
+        QTerm::Var(v) => theta.get(v).copied(),
+    }
+}
+
+/// An arbitrary FO sentence used as an integrity constraint under the
+/// active-domain semantics (Section 6, "Support for arbitrary integrity
+/// constraints"). The paper shows these reduce to equality constraints; we
+/// also support them natively, and `dcds-reductions::fo_constraints`
+/// implements the paper's reduction for cross-validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoConstraint {
+    /// The closed formula that must hold in every state.
+    pub sentence: Formula,
+}
+
+impl FoConstraint {
+    /// Build from a closed formula.
+    pub fn new(sentence: Formula) -> Result<Self, QueryError> {
+        if let Some(v) = sentence.free_vars().into_iter().next() {
+            return Err(QueryError::UnboundVariable(v.name().to_owned()));
+        }
+        Ok(FoConstraint { sentence })
+    }
+
+    /// Does the instance satisfy the sentence?
+    pub fn satisfied(&self, inst: &Instance) -> bool {
+        holds_closed(&self.sentence, inst).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use dcds_reldata::{ConstantPool, Schema, Tuple};
+
+    #[test]
+    fn example_4_2_constraint() {
+        // E = { P(x) ∧ Q(y,z) → x = y } from Example 4.2.
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let premise = parse_formula("P(X) & Q(Y, Z)", &mut schema, &mut pool).unwrap();
+        let ec = EqualityConstraint::new(
+            premise,
+            vec![(QTerm::var("X"), QTerm::var("Y"))],
+        )
+        .unwrap();
+        // {P(a), Q(a,a)} satisfies; {P(a), Q(b,a)} does not.
+        let ok = Instance::from_facts([(p, Tuple::from([a])), (q, Tuple::from([a, a]))]);
+        assert!(ec.satisfied(&ok));
+        let bad = Instance::from_facts([(p, Tuple::from([a])), (q, Tuple::from([b, a]))]);
+        assert!(!ec.satisfied(&bad));
+    }
+
+    #[test]
+    fn vacuous_premise_is_satisfied() {
+        let mut schema = Schema::new();
+        let _p = schema.add_relation("P", 1).unwrap();
+        schema.add_relation("Q", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        let premise = parse_formula("P(X) & Q(X, Y)", &mut schema, &mut pool).unwrap();
+        let ec =
+            EqualityConstraint::new(premise, vec![(QTerm::var("X"), QTerm::var("Y"))]).unwrap();
+        assert!(ec.satisfied(&Instance::new()));
+    }
+
+    #[test]
+    fn equality_terms_must_use_premise_vars() {
+        let mut schema = Schema::new();
+        schema.add_relation("P", 1).unwrap();
+        let mut pool = ConstantPool::new();
+        let premise = parse_formula("P(X)", &mut schema, &mut pool).unwrap();
+        assert!(
+            EqualityConstraint::new(premise, vec![(QTerm::var("Z"), QTerm::var("X"))]).is_err()
+        );
+    }
+
+    #[test]
+    fn key_constraint_detects_violations() {
+        let mut schema = Schema::new();
+        let right = schema.add_relation("right", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        let c0 = pool.intern("0");
+        let c1 = pool.intern("1");
+        let c2 = pool.intern("2");
+        // Second component is a key (as in the Theorem 4.1 reduction).
+        let ec = EqualityConstraint::key(&schema, right, &[1]);
+        let ok = Instance::from_facts([
+            (right, Tuple::from([c0, c1])),
+            (right, Tuple::from([c1, c2])),
+        ]);
+        assert!(ec.satisfied(&ok));
+        // Two predecessors for c2: violation.
+        let bad = Instance::from_facts([
+            (right, Tuple::from([c0, c2])),
+            (right, Tuple::from([c1, c2])),
+        ]);
+        assert!(!ec.satisfied(&bad));
+    }
+
+    #[test]
+    fn fo_constraint_closed_only() {
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let mut pool = ConstantPool::new();
+        let open = parse_formula("P(X)", &mut schema, &mut pool).unwrap();
+        assert!(FoConstraint::new(open).is_err());
+        let closed = parse_formula("forall X . P(X) -> P(X)", &mut schema, &mut pool).unwrap();
+        let ic = FoConstraint::new(closed).unwrap();
+        let a = pool.intern("a");
+        let inst = Instance::from_facts([(p, Tuple::from([a]))]);
+        assert!(ic.satisfied(&inst));
+    }
+}

@@ -1,0 +1,440 @@
+//! Lexer for the surface syntax shared by the query, µ-calculus, and DCDS
+//! specification parsers.
+//!
+//! The token set is deliberately generous: downstream crates (`dcds-mucalc`,
+//! `dcds-core`) reuse this lexer for their own grammars.
+
+use std::fmt;
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (relation name, variable, constant, or keyword).
+    Ident(String),
+    /// A single-quoted identifier, always a constant (e.g. `'readyToVerify'`).
+    Quoted(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `!`
+    Bang,
+    /// `->`
+    Arrow,
+    /// `<->`
+    Equiv,
+    /// `=>`
+    FatArrow,
+    /// `~>`
+    Squiggle,
+    /// `<>` (µ-calculus diamond)
+    Diamond,
+    /// `[]` (µ-calculus box)
+    Box,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Quoted(s) => write!(f, "constant `'{s}'`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Neq => write!(f, "`!=`"),
+            TokenKind::Amp => write!(f, "`&`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Equiv => write!(f, "`<->`"),
+            TokenKind::FatArrow => write!(f, "`=>`"),
+            TokenKind::Squiggle => write!(f, "`~>`"),
+            TokenKind::Diamond => write!(f, "`<>`"),
+            TokenKind::Box => write!(f, "`[]`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The lexer. Comments run from `//` or `%` to end of line.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over a source string.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenize the entire input (the final token is always [`TokenKind::Eof`]).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' => self.simple(TokenKind::LParen),
+                b')' => self.simple(TokenKind::RParen),
+                b'{' => self.simple(TokenKind::LBrace),
+                b'}' => self.simple(TokenKind::RBrace),
+                b'[' => {
+                    self.bump();
+                    if self.peek() == Some(b']') {
+                        self.bump();
+                        TokenKind::Box
+                    } else {
+                        TokenKind::LBracket
+                    }
+                }
+                b']' => self.simple(TokenKind::RBracket),
+                b',' => self.simple(TokenKind::Comma),
+                b'.' => self.simple(TokenKind::Dot),
+                b':' => self.simple(TokenKind::Colon),
+                b';' => self.simple(TokenKind::Semicolon),
+                b'&' => self.simple(TokenKind::Amp),
+                b'|' => self.simple(TokenKind::Pipe),
+                b'*' => self.simple(TokenKind::Star),
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::FatArrow
+                    } else {
+                        TokenKind::Eq
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::Neq
+                    } else {
+                        TokenKind::Bang
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                b'~' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Squiggle
+                    } else {
+                        return Err(self.error("expected `>` after `~`"));
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Diamond
+                        }
+                        Some(b'-') => {
+                            // `<->` or `<-` (the latter is an error).
+                            self.bump();
+                            if self.peek() == Some(b'>') {
+                                self.bump();
+                                TokenKind::Equiv
+                            } else {
+                                return Err(self.error("expected `>` after `<-`"));
+                            }
+                        }
+                        _ => TokenKind::Lt,
+                    }
+                }
+                b'>' => self.simple(TokenKind::Gt),
+                b'\'' => {
+                    self.bump();
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'\'' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if self.peek() != Some(b'\'') {
+                        return Err(self.error("unterminated quoted constant"));
+                    }
+                    let text =
+                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.bump();
+                    TokenKind::Quoted(text)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' || c.is_ascii_digit() => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text =
+                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    TokenKind::Ident(text)
+                }
+                other => {
+                    return Err(self.error(&format!("unexpected character `{}`", other as char)))
+                }
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn simple(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError {
+            message: message.to_owned(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek() {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.bump(),
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+/// Convenience: tokenize a string.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_symbols() {
+        assert_eq!(
+            kinds("( ) { } [ ] , . : ; = != & | ! -> => ~> <-> <> [] < > - *"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Colon,
+                TokenKind::Semicolon,
+                TokenKind::Eq,
+                TokenKind::Neq,
+                TokenKind::Amp,
+                TokenKind::Pipe,
+                TokenKind::Bang,
+                TokenKind::Arrow,
+                TokenKind::FatArrow,
+                TokenKind::Squiggle,
+                TokenKind::Equiv,
+                TokenKind::Diamond,
+                TokenKind::Box,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_and_quoted() {
+        assert_eq!(
+            kinds("Stud x 'readyToVerify' _tmp1"),
+            vec![
+                TokenKind::Ident("Stud".to_owned()),
+                TokenKind::Ident("x".to_owned()),
+                TokenKind::Quoted("readyToVerify".to_owned()),
+                TokenKind::Ident("_tmp1".to_owned()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb % also comment\nc"),
+            vec![
+                TokenKind::Ident("a".to_owned()),
+                TokenKind::Ident("b".to_owned()),
+                TokenKind::Ident("c".to_owned()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn angle_disambiguation() {
+        assert_eq!(
+            kinds("<> <-> < -"),
+            vec![
+                TokenKind::Diamond,
+                TokenKind::Equiv,
+                TokenKind::Lt,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,582 @@
+//! Recursive-descent parser for first-order formulas.
+//!
+//! Surface syntax (datalog-flavoured):
+//!
+//! ```text
+//! formula := iff
+//! iff     := impl ( "<->" impl )*
+//! impl    := or ( "->" impl )?              // right associative
+//! or      := and ( ("|" | "or") and )*
+//! and     := unary ( ("&" | "and") unary )*
+//! unary   := ("!" | "not") unary
+//!          | ("exists" | "forall") Var ("," Var)* "." unary
+//!          | primary
+//! primary := "(" formula ")" | "true" | "false"
+//!          | Rel "(" term ("," term)* ")" | Rel      // nullary atom
+//!          | term ("=" | "!=") term
+//! term    := UppercaseIdent        // variable
+//!          | lowercaseIdent        // constant
+//!          | 'quoted ident'        // constant
+//! ```
+//!
+//! Identifiers starting with an uppercase letter or `_` denote variables;
+//! all other identifiers and quoted strings denote constants. Relation names
+//! are recognised positionally (an identifier immediately followed by `(`,
+//! or a bare identifier naming a known relation is a nullary atom).
+
+use crate::ast::{Formula, QTerm, Var};
+use crate::lexer::{tokenize, Token, TokenKind};
+use dcds_reldata::{ConstantPool, RelId, Schema};
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Line (1-based).
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Resolves relation and constant names during parsing.
+pub struct Resolver<'a> {
+    /// Schema to resolve relation names against.
+    pub schema: &'a mut Schema,
+    /// Pool interning constants.
+    pub pool: &'a mut ConstantPool,
+    /// If true, unknown relations are added to the schema with the observed
+    /// arity; if false, unknown relations are a parse error.
+    pub extend_schema: bool,
+}
+
+impl Resolver<'_> {
+    fn relation(&mut self, name: &str, arity: usize) -> Result<RelId, String> {
+        if self.extend_schema {
+            self.schema
+                .add_or_get(name, arity)
+                .map_err(|e| e.to_string())
+        } else {
+            let id = self
+                .schema
+                .rel_id(name)
+                .ok_or_else(|| format!("unknown relation {name}"))?;
+            if self.schema.arity(id) != arity {
+                return Err(format!(
+                    "relation {name} has arity {}, atom has {arity} arguments",
+                    self.schema.arity(id)
+                ));
+            }
+            Ok(id)
+        }
+    }
+}
+
+/// Is this identifier a variable (uppercase or `_` start)?
+pub fn is_variable_name(name: &str) -> bool {
+    name.chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
+}
+
+/// Token-stream cursor shared by the formula parser and the downstream
+/// µ-calculus / DCDS-spec parsers.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Build a parser over a source string.
+    pub fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// The current token.
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// The current token kind.
+    pub fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    /// Look ahead `n` tokens (0 = current).
+    pub fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    /// Advance and return the consumed token.
+    pub fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a specific token kind or error.
+    pub fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.peek_kind() == kind {
+            Ok(self.advance())
+        } else {
+            Err(self.error(&format!("expected {kind}, found {}", self.peek_kind())))
+        }
+    }
+
+    /// Consume the token if it matches; report whether it did.
+    pub fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume an identifier equal to `kw` (case-sensitive keyword).
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek_kind() {
+            if s == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Is the current token the identifier `kw`?
+    pub fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Consume any identifier.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(&format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek_kind(), TokenKind::Eof)
+    }
+
+    /// Build a parse error at the current position.
+    pub fn error(&self, message: &str) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: message.to_owned(),
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    // ----- formula grammar -----
+
+    /// Parse a full formula (must consume all input unless `partial`).
+    pub fn parse_formula_all(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        let f = self.parse_formula(r)?;
+        if !self.at_eof() {
+            return Err(self.error(&format!("unexpected {}", self.peek_kind())));
+        }
+        Ok(f)
+    }
+
+    /// Parse a formula, stopping at the first token that cannot continue it.
+    pub fn parse_formula(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        self.parse_iff(r)
+    }
+
+    fn parse_iff(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_impl(r)?;
+        while self.eat(&TokenKind::Equiv) {
+            let rhs = self.parse_impl(r)?;
+            lhs = lhs
+                .clone()
+                .implies(rhs.clone())
+                .and(rhs.implies(lhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_impl(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or(r)?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.parse_impl(r)?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_and(r)?;
+        while self.eat(&TokenKind::Pipe) || self.eat_keyword("or") {
+            let rhs = self.parse_and(r)?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_unary(r)?;
+        while self.eat(&TokenKind::Amp) || self.eat_keyword("and") {
+            let rhs = self.parse_unary(r)?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        if self.eat(&TokenKind::Bang) || self.eat_keyword("not") {
+            return Ok(self.parse_unary(r)?.not());
+        }
+        if self.at_keyword("exists") || self.at_keyword("forall") {
+            let is_exists = self.at_keyword("exists");
+            self.advance();
+            let vars = self.parse_var_list()?;
+            self.expect(&TokenKind::Dot)?;
+            // Quantifier bodies extend as far to the right as possible.
+            let mut body = self.parse_formula(r)?;
+            for v in vars.into_iter().rev() {
+                body = if is_exists {
+                    Formula::Exists(v, Box::new(body))
+                } else {
+                    Formula::Forall(v, Box::new(body))
+                };
+            }
+            return Ok(body);
+        }
+        self.parse_primary(r)
+    }
+
+    /// Parse a comma-separated list of variable names (uppercase idents).
+    pub fn parse_var_list(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            if !is_variable_name(&name) {
+                return Err(self.error(&format!(
+                    "quantified name `{name}` must start with an uppercase letter or `_`"
+                )));
+            }
+            vars.push(Var::new(&name));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(vars)
+    }
+
+    fn parse_primary(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let f = self.parse_formula(r)?;
+            self.expect(&TokenKind::RParen)?;
+            return Ok(f);
+        }
+        if self.eat_keyword("true") {
+            return Ok(Formula::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(Formula::False);
+        }
+        // Atom `R(...)`, nullary atom `R`, or comparison `term (=|!=) term`.
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                if matches!(self.peek_ahead(1), TokenKind::LParen) {
+                    self.advance();
+                    return self.parse_atom_tail(&name, r);
+                }
+                // A bare identifier is a nullary atom when it names a known
+                // nullary relation and is not the lhs of a comparison;
+                // otherwise it is a term. (New nullary relations must be
+                // introduced as `R()`.)
+                let followed_by_cmp =
+                    matches!(self.peek_ahead(1), TokenKind::Eq | TokenKind::Neq);
+                let known_nullary = r
+                    .schema
+                    .rel_id(&name)
+                    .is_some_and(|id| r.schema.arity(id) == 0);
+                if known_nullary && !followed_by_cmp {
+                    self.advance();
+                    let rel = r.relation(&name, 0).map_err(|m| self.error(&m))?;
+                    return Ok(Formula::Atom(rel, Vec::new()));
+                }
+                let t1 = self.parse_term(r)?;
+                self.finish_comparison(t1, r)
+            }
+            TokenKind::Quoted(_) => {
+                let t1 = self.parse_term(r)?;
+                self.finish_comparison(t1, r)
+            }
+            other => Err(self.error(&format!("expected formula, found {other}"))),
+        }
+    }
+
+    fn finish_comparison(
+        &mut self,
+        t1: QTerm,
+        r: &mut Resolver<'_>,
+    ) -> Result<Formula, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Eq => {
+                self.advance();
+                let t2 = self.parse_term(r)?;
+                Ok(Formula::Eq(t1, t2))
+            }
+            TokenKind::Neq => {
+                self.advance();
+                let t2 = self.parse_term(r)?;
+                Ok(Formula::neq(t1, t2))
+            }
+            other => Err(self.error(&format!("expected `=` or `!=`, found {other}"))),
+        }
+    }
+
+    /// Parse an atom given that `name` was consumed and `(` is next.
+    pub fn parse_atom_tail(
+        &mut self,
+        name: &str,
+        r: &mut Resolver<'_>,
+    ) -> Result<Formula, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut terms = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                terms.push(self.parse_term(r)?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let rel = r
+            .relation(name, terms.len())
+            .map_err(|m| self.error(&m))?;
+        Ok(Formula::Atom(rel, terms))
+    }
+
+    /// Parse a term: variable (uppercase ident) or constant (other ident /
+    /// quoted string).
+    pub fn parse_term(&mut self, r: &mut Resolver<'_>) -> Result<QTerm, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                if is_variable_name(&name) {
+                    Ok(QTerm::Var(Var::new(&name)))
+                } else {
+                    Ok(QTerm::Const(r.pool.intern(&name)))
+                }
+            }
+            TokenKind::Quoted(name) => {
+                self.advance();
+                Ok(QTerm::Const(r.pool.intern(&name)))
+            }
+            other => Err(self.error(&format!("expected term, found {other}"))),
+        }
+    }
+}
+
+/// Parse a formula from source text against a schema and constant pool.
+///
+/// ```
+/// use dcds_folang::{parse_formula};
+/// use dcds_reldata::{ConstantPool, Schema};
+/// let mut schema = Schema::new();
+/// schema.add_relation("Stud", 1).unwrap();
+/// schema.add_relation("Grad", 2).unwrap();
+/// let mut pool = ConstantPool::new();
+/// let f = parse_formula(
+///     "forall X . Stud(X) -> exists Y . Grad(X, Y) & Y != failed",
+///     &mut schema,
+///     &mut pool,
+/// ).unwrap();
+/// assert_eq!(f.free_vars().len(), 0);
+/// ```
+pub fn parse_formula(
+    src: &str,
+    schema: &mut Schema,
+    pool: &mut ConstantPool,
+) -> Result<Formula, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut resolver = Resolver {
+        schema,
+        pool,
+        extend_schema: false,
+    };
+    parser.parse_formula_all(&mut resolver)
+}
+
+/// Like [`parse_formula`] but unknown relations are added to the schema.
+pub fn parse_formula_extending(
+    src: &str,
+    schema: &mut Schema,
+    pool: &mut ConstantPool,
+) -> Result<Formula, ParseError> {
+    let mut parser = Parser::new(src)?;
+    let mut resolver = Resolver {
+        schema,
+        pool,
+        extend_schema: true,
+    };
+    parser.parse_formula_all(&mut resolver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula;
+    use dcds_reldata::{ConstantPool, Schema};
+
+    fn setup() -> (Schema, ConstantPool) {
+        let mut schema = Schema::new();
+        schema.add_relation("P", 1).unwrap();
+        schema.add_relation("Q", 2).unwrap();
+        schema.add_relation("halted", 0).unwrap();
+        (schema, ConstantPool::new())
+    }
+
+    #[test]
+    fn parses_atoms_and_constants() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("Q(a, X)", &mut s, &mut pool).unwrap();
+        let a = pool.get("a").unwrap();
+        assert_eq!(
+            f,
+            Formula::Atom(s.rel_id("Q").unwrap(), vec![QTerm::Const(a), QTerm::var("X")])
+        );
+    }
+
+    #[test]
+    fn quoted_constants() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("P('ready To Go')", &mut s, &mut pool).unwrap();
+        assert!(pool.get("ready To Go").is_some());
+        assert!(matches!(f, Formula::Atom(_, _)));
+    }
+
+    #[test]
+    fn nullary_atom_bare_and_with_parens() {
+        let (mut s, mut pool) = setup();
+        let f1 = parse_formula("halted", &mut s, &mut pool).unwrap();
+        let f2 = parse_formula("halted()", &mut s, &mut pool).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn precedence_not_and_or_implies() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("!P(X) & P(Y) | P(Z) -> P(W)", &mut s, &mut pool).unwrap();
+        // Expect: ((!P(X) & P(Y)) | P(Z)) -> P(W)
+        let p = s.rel_id("P").unwrap();
+        let px = Formula::Atom(p, vec![QTerm::var("X")]);
+        let py = Formula::Atom(p, vec![QTerm::var("Y")]);
+        let pz = Formula::Atom(p, vec![QTerm::var("Z")]);
+        let pw = Formula::Atom(p, vec![QTerm::var("W")]);
+        let expected = px.not().and(py).or(pz).implies(pw);
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("P(X) -> P(Y) -> P(Z)", &mut s, &mut pool).unwrap();
+        let p = s.rel_id("P").unwrap();
+        let px = Formula::Atom(p, vec![QTerm::var("X")]);
+        let py = Formula::Atom(p, vec![QTerm::var("Y")]);
+        let pz = Formula::Atom(p, vec![QTerm::var("Z")]);
+        assert_eq!(f, px.implies(py.implies(pz)));
+    }
+
+    #[test]
+    fn quantifiers_with_lists() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("exists X, Y . Q(X, Y)", &mut s, &mut pool).unwrap();
+        assert!(f.free_vars().is_empty());
+        let g = parse_formula("forall X . exists Y . Q(X, Y)", &mut s, &mut pool).unwrap();
+        assert!(g.free_vars().is_empty());
+    }
+
+    #[test]
+    fn equality_and_inequality() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("X = a & Y != b", &mut s, &mut pool).unwrap();
+        assert_eq!(f.free_vars().len(), 2);
+    }
+
+    #[test]
+    fn unknown_relation_is_error_in_strict_mode() {
+        let (mut s, mut pool) = setup();
+        assert!(parse_formula("Nope(X)", &mut s, &mut pool).is_err());
+        let f = parse_formula_extending("Nope(X)", &mut s, &mut pool);
+        assert!(f.is_ok());
+        assert!(s.rel_id("Nope").is_some());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let (mut s, mut pool) = setup();
+        assert!(parse_formula("P(X, Y)", &mut s, &mut pool).is_err());
+    }
+
+    #[test]
+    fn lowercase_quantified_var_rejected() {
+        let (mut s, mut pool) = setup();
+        assert!(parse_formula("exists x . P(x)", &mut s, &mut pool).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (mut s, mut pool) = setup();
+        assert!(parse_formula("P(X) P(Y)", &mut s, &mut pool).is_err());
+    }
+
+    #[test]
+    fn keyword_connectives() {
+        let (mut s, mut pool) = setup();
+        let f1 = parse_formula("P(X) and not P(Y) or P(Z)", &mut s, &mut pool).unwrap();
+        let f2 = parse_formula("P(X) & !P(Y) | P(Z)", &mut s, &mut pool).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn biconditional_desugars() {
+        let (mut s, mut pool) = setup();
+        let f = parse_formula("P(X) <-> P(Y)", &mut s, &mut pool).unwrap();
+        let p = s.rel_id("P").unwrap();
+        let px = Formula::Atom(p, vec![QTerm::var("X")]);
+        let py = Formula::Atom(p, vec![QTerm::var("Y")]);
+        assert_eq!(
+            f,
+            px.clone().implies(py.clone()).and(py.implies(px))
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Pretty-printing of formulas back to the surface syntax.
+
+use crate::ast::{Formula, QTerm};
+use dcds_reldata::{ConstantPool, Schema};
+use std::fmt;
+
+/// Wraps a formula for display. The output re-parses to an equivalent
+/// formula (tested in `tests/parse_roundtrip.rs`).
+pub struct FormulaDisplay<'a> {
+    formula: &'a Formula,
+    schema: &'a Schema,
+    pool: &'a ConstantPool,
+}
+
+impl<'a> FormulaDisplay<'a> {
+    /// Wrap a formula for display.
+    pub fn new(formula: &'a Formula, schema: &'a Schema, pool: &'a ConstantPool) -> Self {
+        Self {
+            formula,
+            schema,
+            pool,
+        }
+    }
+
+    fn term(&self, t: &QTerm, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match t {
+            QTerm::Var(v) => write!(f, "{}", v.name()),
+            QTerm::Const(c) => {
+                let name = self.pool.name(*c);
+                if name
+                    .chars()
+                    .all(|ch| ch.is_ascii_alphanumeric() || ch == '_')
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit())
+                {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "'{name}'")
+                }
+            }
+        }
+    }
+
+    /// Precedence levels: higher binds tighter.
+    fn prec(formula: &Formula) -> u8 {
+        match formula {
+            Formula::True
+            | Formula::False
+            | Formula::Atom(_, _)
+            | Formula::Eq(_, _) => 5,
+            Formula::Not(inner) => {
+                // `!(t1 = t2)` prints as `t1 != t2`, which is atomic.
+                if matches!(**inner, Formula::Eq(_, _)) {
+                    5
+                } else {
+                    4
+                }
+            }
+            Formula::And(_, _) => 3,
+            Formula::Or(_, _) => 2,
+            Formula::Implies(_, _) => 1,
+            Formula::Exists(_, _) | Formula::Forall(_, _) => 0,
+        }
+    }
+
+    fn rec(&self, formula: &Formula, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let my_prec = Self::prec(formula);
+        let need_parens = my_prec < parent_prec;
+        if need_parens {
+            write!(f, "(")?;
+        }
+        match formula {
+            Formula::True => write!(f, "true")?,
+            Formula::False => write!(f, "false")?,
+            Formula::Atom(rel, terms) => {
+                write!(f, "{}", self.schema.name(*rel))?;
+                write!(f, "(")?;
+                for (i, t) in terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    self.term(t, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Formula::Eq(t1, t2) => {
+                self.term(t1, f)?;
+                write!(f, " = ")?;
+                self.term(t2, f)?;
+            }
+            Formula::Not(inner) => {
+                if let Formula::Eq(t1, t2) = &**inner {
+                    self.term(t1, f)?;
+                    write!(f, " != ")?;
+                    self.term(t2, f)?;
+                } else {
+                    write!(f, "!")?;
+                    self.rec(inner, 5, f)?;
+                }
+            }
+            Formula::And(g, h) => {
+                self.rec(g, 3, f)?;
+                write!(f, " & ")?;
+                self.rec(h, 4, f)?;
+            }
+            Formula::Or(g, h) => {
+                self.rec(g, 2, f)?;
+                write!(f, " | ")?;
+                self.rec(h, 3, f)?;
+            }
+            Formula::Implies(g, h) => {
+                self.rec(g, 2, f)?;
+                write!(f, " -> ")?;
+                self.rec(h, 1, f)?;
+            }
+            Formula::Exists(v, body) => {
+                write!(f, "exists {} . ", v.name())?;
+                self.rec(body, 0, f)?;
+            }
+            Formula::Forall(v, body) => {
+                write!(f, "forall {} . ", v.name())?;
+                self.rec(body, 0, f)?;
+            }
+        }
+        if need_parens {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.rec(self.formula, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use dcds_reldata::{ConstantPool, Schema};
+
+    fn roundtrip(src: &str) {
+        let mut schema = Schema::new();
+        schema.add_relation("P", 1).unwrap();
+        schema.add_relation("Q", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        let f = parse_formula(src, &mut schema, &mut pool).unwrap();
+        let printed = FormulaDisplay::new(&f, &schema, &pool).to_string();
+        let f2 = parse_formula(&printed, &mut schema, &mut pool)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(f, f2, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("P(X)");
+        roundtrip("Q(a, X) & P(X)");
+        roundtrip("!P(X) | P(Y) -> P(Z)");
+        roundtrip("exists X . forall Y . Q(X, Y) & X != Y");
+        roundtrip("P(X) -> (P(Y) -> P(Z))");
+        roundtrip("(P(X) | P(Y)) & P(Z)");
+        roundtrip("X = a & !(P(X) & P(Y))");
+    }
+}

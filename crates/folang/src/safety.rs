@@ -1,0 +1,201 @@
+//! Safe-range (range-restriction) analysis.
+//!
+//! The paper requires equality-constraint queries to be *domain independent*
+//! (Section 2.1). Domain independence is undecidable for full FO, so — as is
+//! classical — we implement the *safe-range* syntactic criterion (Abiteboul,
+//! Hull, Vianu, "Foundations of Databases", ch. 5): a formula is safe-range
+//! when every free and quantified variable is *range restricted*, i.e.
+//! grounded by a positive relational atom (or an equality chain to one or to
+//! a constant).
+//!
+//! Our evaluators use the active-domain semantics and are total regardless;
+//! this module is a lint used when *constructing* DCDS data layers so that
+//! specifications stay within the paper's assumptions.
+
+use crate::ast::{Formula, QTerm, Var};
+use std::collections::BTreeSet;
+
+/// Why a formula failed the safe-range check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyError {
+    /// The variable that is not range restricted.
+    pub variable: String,
+}
+
+impl std::fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variable {} is not range restricted", self.variable)
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Check whether the formula is safe-range. Returns the first offending
+/// variable on failure.
+pub fn is_safe_range(f: &Formula) -> Result<(), SafetyError> {
+    check(f).map(|_| ())
+}
+
+/// Compute the range-restricted variables of `f`, erroring when a quantified
+/// variable is not restricted in its scope.
+///
+/// This is the standard `rr` computation on (a light form of) safe-range
+/// normal form. `rr(f)` is the set of free variables guaranteed to be bound
+/// to the active domain by the structure of `f`.
+fn check(f: &Formula) -> Result<BTreeSet<Var>, SafetyError> {
+    match f {
+        Formula::True | Formula::False => Ok(BTreeSet::new()),
+        Formula::Atom(_, terms) => Ok(terms
+            .iter()
+            .filter_map(|t| t.as_var().cloned())
+            .collect()),
+        Formula::Eq(t1, t2) => {
+            // x = c restricts x; x = y restricts neither on its own.
+            match (t1, t2) {
+                (QTerm::Var(v), QTerm::Const(_)) | (QTerm::Const(_), QTerm::Var(v)) => {
+                    Ok([v.clone()].into_iter().collect())
+                }
+                _ => Ok(BTreeSet::new()),
+            }
+        }
+        Formula::Not(inner) => {
+            // Negation restricts nothing, but its body must still be checked
+            // for quantifier safety.
+            check(inner)?;
+            Ok(BTreeSet::new())
+        }
+        Formula::And(g, h) => {
+            let rg = check(g)?;
+            let rh = check(h)?;
+            let mut out: BTreeSet<Var> = rg.union(&rh).cloned().collect();
+            // Equality propagation: x = y with one side restricted restricts
+            // the other. One propagation round per conjunction level.
+            propagate_equalities(f, &mut out);
+            Ok(out)
+        }
+        Formula::Or(g, h) => {
+            let rg = check(g)?;
+            let rh = check(h)?;
+            Ok(rg.intersection(&rh).cloned().collect())
+        }
+        Formula::Implies(g, h) => {
+            // g -> h ≡ !g | h: restricts nothing (but check subformulas).
+            check(g)?;
+            check(h)?;
+            Ok(BTreeSet::new())
+        }
+        Formula::Exists(v, body) | Formula::Forall(v, body) => {
+            let rb = check(body)?;
+            // For exists, the bound variable must be restricted in the body.
+            // For forall x. φ ≡ !exists x. !φ — the classical criterion
+            // requires x restricted in ¬φ's context; we accept the common
+            // idiom `forall x. ψ -> χ` where ψ restricts x.
+            let restricted_in_body = rb.contains(v) || restricted_by_guard(body, v);
+            if !restricted_in_body {
+                return Err(SafetyError {
+                    variable: v.name().to_owned(),
+                });
+            }
+            let mut out = rb;
+            out.remove(v);
+            Ok(out)
+        }
+    }
+}
+
+/// `forall X . guard -> body` (or `exists X. guard & ...` handled by `check`)
+/// counts as restricting X when the guard restricts it positively.
+fn restricted_by_guard(body: &Formula, v: &Var) -> bool {
+    match body {
+        Formula::Implies(g, _) => check(g).map(|r| r.contains(v)).unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Collect top-level conjunct equalities and propagate restriction across
+/// them to a fixpoint.
+fn propagate_equalities(f: &Formula, restricted: &mut BTreeSet<Var>) {
+    let mut eqs: Vec<(&Var, &Var)> = Vec::new();
+    collect_conjunct_eqs(f, &mut eqs);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (a, b) in &eqs {
+            if restricted.contains(*a) && !restricted.contains(*b) {
+                restricted.insert((*b).clone());
+                changed = true;
+            }
+            if restricted.contains(*b) && !restricted.contains(*a) {
+                restricted.insert((*a).clone());
+                changed = true;
+            }
+        }
+    }
+}
+
+fn collect_conjunct_eqs<'a>(f: &'a Formula, out: &mut Vec<(&'a Var, &'a Var)>) {
+    match f {
+        Formula::And(g, h) => {
+            collect_conjunct_eqs(g, out);
+            collect_conjunct_eqs(h, out);
+        }
+        Formula::Eq(QTerm::Var(a), QTerm::Var(b)) => out.push((a, b)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use dcds_reldata::{ConstantPool, Schema};
+
+    fn f(src: &str) -> Formula {
+        let mut schema = Schema::new();
+        schema.add_relation("P", 1).unwrap();
+        schema.add_relation("Q", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        parse_formula(src, &mut schema, &mut pool).unwrap()
+    }
+
+    #[test]
+    fn atoms_are_safe() {
+        assert!(is_safe_range(&f("P(X)")).is_ok());
+        assert!(is_safe_range(&f("Q(X, Y) & P(X)")).is_ok());
+    }
+
+    #[test]
+    fn pure_negation_of_free_var_is_unsafe_when_quantified() {
+        // exists X. !P(X) — X ranges over the complement: not safe-range.
+        assert!(is_safe_range(&f("exists X . !P(X)")).is_err());
+    }
+
+    #[test]
+    fn guarded_negation_is_safe() {
+        assert!(is_safe_range(&f("exists X . P(X) & !Q(X, X)")).is_ok());
+    }
+
+    #[test]
+    fn equality_to_constant_restricts() {
+        assert!(is_safe_range(&f("exists X . X = a")).is_ok());
+        assert!(is_safe_range(&f("exists X . X = Y")).is_err());
+    }
+
+    #[test]
+    fn equality_propagation_within_conjunction() {
+        assert!(is_safe_range(&f("exists X, Y . P(X) & X = Y")).is_ok());
+    }
+
+    #[test]
+    fn disjunction_requires_both_branches() {
+        assert!(is_safe_range(&f("exists X . P(X) | Q(X, X)")).is_ok());
+        assert!(is_safe_range(&f("exists X . P(X) | X = X")).is_err());
+    }
+
+    #[test]
+    fn guarded_forall_is_safe() {
+        assert!(is_safe_range(&f("forall X . P(X) -> Q(X, X)")).is_ok());
+        assert!(is_safe_range(&f("forall X . Q(X, X)")).is_ok());
+        assert!(is_safe_range(&f("forall X . X = X")).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Conjunctive queries and unions of conjunctive queries.
+//!
+//! Effect specifications in a DCDS are of the form `q+ ∧ Q- ⇝ E` where `q+`
+//! is a UCQ (Section 2.2). This module provides first-class (U)CQs with a
+//! conversion to general [`Formula`]s and validation.
+
+use crate::ast::{Formula, QTerm, Var};
+use crate::QueryError;
+use dcds_reldata::{RelId, Schema};
+use std::collections::BTreeSet;
+
+/// A conjunctive query: `head(~x) :- atoms, equalities` where the head
+/// variables are the free (distinguished) variables and every other variable
+/// is existentially quantified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Distinguished (free) variables.
+    pub head: Vec<Var>,
+    /// Relational atoms.
+    pub atoms: Vec<(RelId, Vec<QTerm>)>,
+    /// Equality side-conditions, evaluated after the join.
+    pub equalities: Vec<(QTerm, QTerm)>,
+}
+
+impl ConjunctiveQuery {
+    /// The boolean query `true` (no head, no atoms).
+    pub fn truth() -> Self {
+        ConjunctiveQuery {
+            head: Vec::new(),
+            atoms: Vec::new(),
+            equalities: Vec::new(),
+        }
+    }
+
+    /// All variables appearing in the atoms.
+    pub fn atom_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for (_, terms) in &self.atoms {
+            for t in terms {
+                if let QTerm::Var(v) = t {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate the query: arities match the schema, and every head and
+    /// equality variable occurs in some atom (the *range restriction* that
+    /// makes CQ evaluation domain-independent).
+    pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        for (rel, terms) in &self.atoms {
+            let expected = schema.arity(*rel);
+            if terms.len() != expected {
+                return Err(QueryError::ArityMismatch {
+                    relation: schema.name(*rel).to_owned(),
+                    expected,
+                    got: terms.len(),
+                });
+            }
+        }
+        let avars = self.atom_vars();
+        for v in &self.head {
+            if !avars.contains(v) {
+                return Err(QueryError::UnboundVariable(v.name().to_owned()));
+            }
+        }
+        for (t1, t2) in &self.equalities {
+            for t in [t1, t2] {
+                if let QTerm::Var(v) = t {
+                    if !avars.contains(v) {
+                        return Err(QueryError::UnboundVariable(v.name().to_owned()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to a general formula: `∃ (atom_vars \ head). /\atoms /\ eqs`.
+    pub fn to_formula(&self) -> Formula {
+        let mut body = Formula::conj(
+            self.atoms
+                .iter()
+                .map(|(rel, terms)| Formula::Atom(*rel, terms.clone()))
+                .chain(
+                    self.equalities
+                        .iter()
+                        .map(|(t1, t2)| Formula::Eq(t1.clone(), t2.clone())),
+                ),
+        );
+        let head: BTreeSet<&Var> = self.head.iter().collect();
+        // Quantify the non-distinguished variables (in reverse deterministic
+        // order so the outermost quantifier binds the least variable).
+        let existential: Vec<Var> = self
+            .atom_vars()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect();
+        for v in existential.into_iter().rev() {
+            body = Formula::Exists(v, Box::new(body));
+        }
+        body
+    }
+}
+
+/// A union of conjunctive queries. All disjuncts must share the same head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ucq {
+    /// Disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl Ucq {
+    /// A UCQ with a single disjunct.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        Ucq {
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// The boolean query `true`.
+    pub fn truth() -> Self {
+        Ucq::single(ConjunctiveQuery::truth())
+    }
+
+    /// The shared head (empty for a boolean query).
+    pub fn head(&self) -> &[Var] {
+        self.disjuncts.first().map_or(&[], |cq| &cq.head)
+    }
+
+    /// Validate each disjunct and the head agreement.
+    pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
+        let head: Option<BTreeSet<&Var>> = self.disjuncts.first().map(|cq| cq.head.iter().collect());
+        for cq in &self.disjuncts {
+            cq.validate(schema)?;
+            let this: BTreeSet<&Var> = cq.head.iter().collect();
+            if Some(&this) != head.as_ref() {
+                return Err(QueryError::UnboundVariable(
+                    "UCQ disjuncts disagree on head variables".to_owned(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to a general formula (disjunction of the disjunct formulas).
+    pub fn to_formula(&self) -> Formula {
+        Formula::disj(self.disjuncts.iter().map(ConjunctiveQuery::to_formula))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_reldata::Schema;
+
+    fn schema() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let p = s.add_relation("P", 1).unwrap();
+        let q = s.add_relation("Q", 2).unwrap();
+        (s, p, q)
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        let (s, p, q) = schema();
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![
+                (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+                (p, vec![QTerm::var("Y")]),
+            ],
+            equalities: vec![],
+        };
+        assert!(cq.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unbound_head() {
+        let (s, p, _) = schema();
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("Z")],
+            atoms: vec![(p, vec![QTerm::var("X")])],
+            equalities: vec![],
+        };
+        assert!(cq.validate(&s).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let (s, p, _) = schema();
+        let cq = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![(p, vec![QTerm::var("X"), QTerm::var("Y")])],
+            equalities: vec![],
+        };
+        assert!(cq.validate(&s).is_err());
+    }
+
+    #[test]
+    fn to_formula_quantifies_nondistinguished() {
+        let (_, p, q) = schema();
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![
+                (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+                (p, vec![QTerm::var("Y")]),
+            ],
+            equalities: vec![],
+        };
+        let f = cq.to_formula();
+        assert_eq!(f.free_vars(), [Var::new("X")].into_iter().collect());
+    }
+
+    #[test]
+    fn ucq_head_agreement() {
+        let (s, p, q) = schema();
+        let cq1 = ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![(p, vec![QTerm::var("X")])],
+            equalities: vec![],
+        };
+        let cq2 = ConjunctiveQuery {
+            head: vec![Var::new("Y")],
+            atoms: vec![(q, vec![QTerm::var("Y"), QTerm::var("Y")])],
+            equalities: vec![],
+        };
+        let bad = Ucq {
+            disjuncts: vec![cq1.clone(), cq2],
+        };
+        assert!(bad.validate(&s).is_err());
+        let good = Ucq {
+            disjuncts: vec![cq1.clone(), cq1],
+        };
+        assert!(good.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn truth_is_closed_and_valid() {
+        let (s, _, _) = schema();
+        let t = Ucq::truth();
+        assert!(t.validate(&s).is_ok());
+        assert_eq!(t.to_formula().free_vars().len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property test: the join-based UCQ evaluator agrees with the reference
+//! active-domain evaluator on random conjunctive queries and instances.
+
+use dcds_folang::ast::{QTerm, Var};
+use dcds_folang::ucq::{ConjunctiveQuery, Ucq};
+use dcds_folang::{answers, eval_ucq};
+use dcds_reldata::{ConstantPool, Instance, RelId, Schema, Tuple};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const NUM_CONSTS: usize = 4;
+const NUM_VARS: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Setup {
+    schema: Schema,
+    instance: Instance,
+    ucq: Ucq,
+}
+
+fn arb_setup() -> impl Strategy<Value = Setup> {
+    // Relations: R0/1, R1/2, R2/2.
+    let arities = [1usize, 2, 2];
+    let fact = (0usize..3, prop::collection::vec(0usize..NUM_CONSTS, 2));
+    let atom_term = prop_oneof![
+        (0usize..NUM_VARS).prop_map(Ok::<usize, usize>),
+        (0usize..NUM_CONSTS).prop_map(Err::<usize, usize>),
+    ];
+    let atom = (0usize..3, prop::collection::vec(atom_term, 2));
+    let cq = (
+        prop::collection::vec(atom, 1..4),
+        prop::collection::vec(0usize..NUM_VARS, 0..3),
+    );
+    (
+        prop::collection::vec(fact, 0..10),
+        prop::collection::vec(cq, 1..3),
+    )
+        .prop_map(move |(facts, cqs)| {
+            let mut schema = Schema::new();
+            let rels: Vec<RelId> = arities
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| schema.add_relation(&format!("R{i}"), a).unwrap())
+                .collect();
+            let mut pool = ConstantPool::new();
+            let consts: Vec<_> = (0..NUM_CONSTS)
+                .map(|i| pool.intern(&format!("c{i}")))
+                .collect();
+            let vars: Vec<Var> = (0..NUM_VARS).map(|i| Var::new(&format!("V{i}"))).collect();
+            let mut instance = Instance::new();
+            for (rel_ix, comps) in facts {
+                let arity = arities[rel_ix];
+                let t: Vec<_> = comps[..arity].iter().map(|&c| consts[c]).collect();
+                instance.insert(rels[rel_ix], Tuple::from(t));
+            }
+            let disjuncts: Vec<ConjunctiveQuery> = cqs
+                .into_iter()
+                .map(|(atoms, head_ixs)| {
+                    let atoms: Vec<(RelId, Vec<QTerm>)> = atoms
+                        .into_iter()
+                        .map(|(rel_ix, terms)| {
+                            let arity = arities[rel_ix];
+                            let terms: Vec<QTerm> = terms[..arity]
+                                .iter()
+                                .map(|t| match t {
+                                    Ok(v) => QTerm::Var(vars[*v].clone()),
+                                    Err(c) => QTerm::Const(consts[*c]),
+                                })
+                                .collect();
+                            (rels[rel_ix], terms)
+                        })
+                        .collect();
+                    // Head: requested vars that actually occur in the atoms.
+                    let avars: BTreeSet<Var> = atoms
+                        .iter()
+                        .flat_map(|(_, ts)| ts.iter().filter_map(|t| t.as_var().cloned()))
+                        .collect();
+                    let mut head: Vec<Var> = head_ixs
+                        .into_iter()
+                        .map(|i| vars[i].clone())
+                        .filter(|v| avars.contains(v))
+                        .collect();
+                    head.sort();
+                    head.dedup();
+                    ConjunctiveQuery {
+                        head,
+                        atoms,
+                        equalities: vec![],
+                    }
+                })
+                .collect();
+            // Force all disjuncts to share the head of the first one by
+            // intersecting heads.
+            let shared: Vec<Var> = disjuncts
+                .iter()
+                .map(|cq| cq.head.iter().cloned().collect::<BTreeSet<_>>())
+                .reduce(|a, b| a.intersection(&b).cloned().collect())
+                .unwrap_or_default()
+                .into_iter()
+                .collect();
+            let disjuncts = disjuncts
+                .into_iter()
+                .map(|mut cq| {
+                    cq.head = shared.clone();
+                    cq
+                })
+                .collect();
+            Setup {
+                schema,
+                instance,
+                ucq: Ucq { disjuncts },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn join_evaluator_agrees_with_reference(setup in arb_setup()) {
+        prop_assume!(setup.ucq.validate(&setup.schema).is_ok());
+        let via_join = eval_ucq(&setup.ucq, &setup.instance);
+        let formula = setup.ucq.to_formula();
+        let via_reference = answers(&formula, &setup.instance);
+        prop_assert_eq!(via_join, via_reference);
+    }
+
+    #[test]
+    fn guided_and_unguided_evaluation_agree(setup in arb_setup()) {
+        // The UCQ formulas are existential blocks over atoms — exactly the
+        // shape the guided path optimises; closed via boolean check on the
+        // existential closure.
+        let formula = setup.ucq.to_formula();
+        let mut closed = formula.clone();
+        for v in formula.free_vars() {
+            closed = dcds_folang::Formula::Exists(v, Box::new(closed));
+        }
+        let guided = dcds_folang::holds_closed(&closed, &setup.instance).unwrap();
+        let unguided = dcds_folang::holds_unguided(
+            &closed,
+            &setup.instance,
+            &dcds_folang::Assignment::new(),
+        )
+        .unwrap();
+        prop_assert_eq!(guided, unguided);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dcds-mucalc
+//!
+//! First-order µ-calculus verification logics over data-centric dynamic
+//! systems (Section 3 of the paper):
+//!
+//! * **µL** — first-order µ-calculus with unrestricted quantification
+//!   across states ([`ast`]);
+//! * **µLA** — the *history-preserving* fragment: quantification guarded by
+//!   `LIVE(x)` (Section 3.1);
+//! * **µLP** — the *persistence-preserving* fragment: modal operators
+//!   additionally guard the free variables with `LIVE(~x)` (Section 3.2).
+//!
+//! Fragment membership and the syntactic monotonicity of fixpoints are
+//! checked by [`fragments`]. Model checking over explicit finite transition
+//! systems (concrete prefixes or the finite abstractions of Theorems 4.3 /
+//! 5.4) is provided twice:
+//!
+//! * [`mc`] — a direct evaluator of the extension function of Figure 1;
+//! * [`prop`] + [`prop_mc`] — the `PROP(Φ)` propositionalisation of Theorem
+//!   4.4 followed by conventional propositional µ-calculus model checking.
+//!
+//! The two are cross-validated by property tests. [`sugar`] offers CTL-style
+//! combinators (`AG`, `EF`, `AF`, `EU`, ...) compiled into µ-calculus, and
+//! [`parser`] a surface syntax (`mu Z . ...`, `<> phi`, `[] phi`,
+//! `live(X)`).
+
+pub mod ast;
+pub mod diagnostics;
+pub mod fragments;
+pub mod mc;
+pub mod parser;
+pub mod pretty;
+pub mod prop;
+pub mod prop_mc;
+pub mod sugar;
+
+pub use ast::{Mu, PredVar};
+pub use diagnostics::{counterexample_ag, witness_ef};
+pub use fragments::{classify, Fragment, FragmentError};
+pub use mc::{check, eval, Valuation};
+pub use parser::parse_mu;
+pub use pretty::MuDisplay;
+pub use prop::{propositionalize, PropMu};
+pub use prop_mc::check_prop;

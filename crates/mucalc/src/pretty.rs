@@ -1,0 +1,164 @@
+//! Pretty-printing of µ-calculus formulas back to the surface syntax of
+//! [`crate::parser`]. The output re-parses to an equivalent formula.
+
+use crate::ast::Mu;
+use dcds_folang::pretty::FormulaDisplay;
+use dcds_folang::QTerm;
+use dcds_reldata::{ConstantPool, Schema};
+use std::fmt;
+
+/// Wraps a µ-calculus formula for display.
+pub struct MuDisplay<'a> {
+    formula: &'a Mu,
+    schema: &'a Schema,
+    pool: &'a ConstantPool,
+}
+
+impl<'a> MuDisplay<'a> {
+    /// Wrap a formula for display.
+    pub fn new(formula: &'a Mu, schema: &'a Schema, pool: &'a ConstantPool) -> Self {
+        Self {
+            formula,
+            schema,
+            pool,
+        }
+    }
+
+    /// Precedence: higher binds tighter. Mirrors the parser's grammar.
+    fn prec(f: &Mu) -> u8 {
+        match f {
+            Mu::Query(_) | Mu::Live(_) | Mu::Pvar(_) => 5,
+            Mu::Not(_) | Mu::Diamond(_) | Mu::Box_(_) => 4,
+            Mu::And(_, _) => 3,
+            Mu::Or(_, _) => 2,
+            Mu::Implies(_, _) => 1,
+            Mu::Exists(_, _) | Mu::Forall(_, _) | Mu::Lfp(_, _) | Mu::Gfp(_, _) => 0,
+        }
+    }
+
+    fn rec(&self, f: &Mu, parent: u8, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let me = Self::prec(f);
+        let parens = me < parent;
+        if parens {
+            write!(out, "(")?;
+        }
+        match f {
+            Mu::Query(q) => {
+                // Queries at the leaves may need their own parentheses when
+                // they are non-atomic (the µ parser reads single atoms and
+                // comparisons; compound queries round-trip through the
+                // boolean structure of Mu instead, so parenthesise).
+                let is_atomic = matches!(
+                    q,
+                    dcds_folang::Formula::Atom(_, _)
+                        | dcds_folang::Formula::Eq(_, _)
+                        | dcds_folang::Formula::True
+                        | dcds_folang::Formula::False
+                );
+                if is_atomic {
+                    write!(out, "{}", FormulaDisplay::new(q, self.schema, self.pool))?;
+                } else {
+                    write!(out, "({})", FormulaDisplay::new(q, self.schema, self.pool))?;
+                }
+            }
+            Mu::Live(QTerm::Var(v)) => write!(out, "live({})", v.name())?,
+            Mu::Live(QTerm::Const(c)) => {
+                // Ground LIVE has no surface syntax (it only arises from
+                // PROP); render as a comment-safe pseudo-atom.
+                write!(out, "live('{}')", self.pool.name(*c))?
+            }
+            Mu::Not(g) => {
+                write!(out, "!")?;
+                self.rec(g, 5, out)?;
+            }
+            Mu::Diamond(g) => {
+                write!(out, "<> ")?;
+                self.rec(g, 5, out)?;
+            }
+            Mu::Box_(g) => {
+                write!(out, "[] ")?;
+                self.rec(g, 5, out)?;
+            }
+            Mu::And(g, h) => {
+                self.rec(g, 3, out)?;
+                write!(out, " & ")?;
+                self.rec(h, 4, out)?;
+            }
+            Mu::Or(g, h) => {
+                self.rec(g, 2, out)?;
+                write!(out, " | ")?;
+                self.rec(h, 3, out)?;
+            }
+            Mu::Implies(g, h) => {
+                self.rec(g, 2, out)?;
+                write!(out, " -> ")?;
+                self.rec(h, 1, out)?;
+            }
+            Mu::Exists(v, g) => {
+                write!(out, "exists {} . ", v.name())?;
+                self.rec(g, 0, out)?;
+            }
+            Mu::Forall(v, g) => {
+                write!(out, "forall {} . ", v.name())?;
+                self.rec(g, 0, out)?;
+            }
+            Mu::Pvar(z) => write!(out, "{}", z.name())?,
+            Mu::Lfp(z, g) => {
+                write!(out, "mu {} . ", z.name())?;
+                self.rec(g, 0, out)?;
+            }
+            Mu::Gfp(z, g) => {
+                write!(out, "nu {} . ", z.name())?;
+                self.rec(g, 0, out)?;
+            }
+        }
+        if parens {
+            write!(out, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MuDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.rec(self.formula, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_mu;
+
+    fn roundtrip(src: &str) {
+        let mut schema = Schema::new();
+        schema.add_relation("Stud", 1).unwrap();
+        schema.add_relation("Grad", 2).unwrap();
+        schema.add_relation("halted", 0).unwrap();
+        let mut pool = ConstantPool::new();
+        let f = parse_mu(src, &mut schema, &mut pool).unwrap();
+        let printed = MuDisplay::new(&f, &schema, &pool).to_string();
+        let f2 = parse_mu(&printed, &mut schema, &mut pool)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(f, f2, "printed as `{printed}`");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("mu Z . Stud(a) | <> Z");
+        roundtrip("nu X . (forall S . live(S) -> (Stud(S) -> mu Y . ((exists G . live(G) & Grad(S, G)) | <> Y))) & [] X");
+        roundtrip("nu Z . !halted() & [] Z");
+        roundtrip("exists X . live(X) & Stud(X) & <> (live(X) & Stud(X))");
+        roundtrip("[] (live(X) -> mu Y . Stud(X) | <> Y)");
+        roundtrip("X = a | X != b");
+    }
+
+    #[test]
+    fn prop_live_const_renders() {
+        let mut pool = ConstantPool::new();
+        let c = pool.intern("a");
+        let schema = Schema::new();
+        let f = Mu::live_const(c);
+        assert_eq!(MuDisplay::new(&f, &schema, &pool).to_string(), "live('a')");
+    }
+}

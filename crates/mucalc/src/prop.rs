@@ -1,0 +1,185 @@
+//! `PROP(Φ)`: propositionalisation of first-order µ-calculus formulas over
+//! a finite transition system (Theorem 4.4).
+//!
+//! Given the finite abstraction `Θ` with `ADOM(Θ) = ⋃ᵢ ADOM(db(sᵢ))`,
+//! first-order quantification is expanded into finite boolean combinations:
+//!
+//! ```text
+//!   PROP(∃x. LIVE(x) ∧ Ψ(x)) = ⋁_{t ∈ ADOM(Θ)} LIVE(t) ∧ PROP(Ψ(t))
+//! ```
+//!
+//! and every other constructor is mapped homomorphically. Query leaves
+//! become *closed* FO queries — propositions evaluated per state — so the
+//! result is a plain propositional µ-calculus formula, checkable by
+//! conventional means ([`crate::prop_mc`]).
+
+use crate::ast::{Mu, PredVar};
+use dcds_folang::{Formula, QTerm};
+use dcds_reldata::Value;
+use std::collections::BTreeSet;
+
+/// A propositional µ-calculus formula over database-labeled states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropMu {
+    /// A closed FO query — a proposition evaluated in each state's database.
+    Atom(Formula),
+    /// `LIVE(t)` for a ground constant.
+    LiveConst(Value),
+    /// Negation.
+    Not(Box<PropMu>),
+    /// Conjunction.
+    And(Box<PropMu>, Box<PropMu>),
+    /// Disjunction.
+    Or(Box<PropMu>, Box<PropMu>),
+    /// Diamond.
+    Diamond(Box<PropMu>),
+    /// Box.
+    Box_(Box<PropMu>),
+    /// Predicate variable.
+    Pvar(PredVar),
+    /// Least fixpoint.
+    Lfp(PredVar, Box<PropMu>),
+    /// Greatest fixpoint.
+    Gfp(PredVar, Box<PropMu>),
+}
+
+impl PropMu {
+    /// Size in AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            PropMu::Atom(f) => f.size(),
+            PropMu::LiveConst(_) | PropMu::Pvar(_) => 1,
+            PropMu::Not(f) | PropMu::Diamond(f) | PropMu::Box_(f) | PropMu::Lfp(_, f)
+            | PropMu::Gfp(_, f) => 1 + f.size(),
+            PropMu::And(f, g) | PropMu::Or(f, g) => 1 + f.size() + g.size(),
+        }
+    }
+}
+
+/// Errors during propositionalisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropError {
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for PropError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PropError {}
+
+/// Translate a closed µL formula into propositional µ-calculus over the
+/// finite value domain `adom` (typically `ADOM(Θ)`).
+///
+/// Quantifiers are expanded over `adom`; for µLA/µLP formulas this yields a
+/// formula equivalent to the original (Theorem 4.4), since their LIVE
+/// guards restrict witnesses to the active domain anyway.
+pub fn propositionalize(f: &Mu, adom: &BTreeSet<Value>) -> Result<PropMu, PropError> {
+    match f {
+        Mu::Query(q) => {
+            if let Some(v) = q.free_vars().into_iter().next() {
+                return Err(PropError {
+                    message: format!("query leaf has free variable {}", v.name()),
+                });
+            }
+            Ok(PropMu::Atom(q.clone()))
+        }
+        Mu::Live(QTerm::Const(c)) => Ok(PropMu::LiveConst(*c)),
+        Mu::Live(QTerm::Var(v)) => Err(PropError {
+            message: format!("LIVE({}) with unsubstituted variable", v.name()),
+        }),
+        Mu::Not(g) => Ok(PropMu::Not(Box::new(propositionalize(g, adom)?))),
+        Mu::And(g, h) => Ok(PropMu::And(
+            Box::new(propositionalize(g, adom)?),
+            Box::new(propositionalize(h, adom)?),
+        )),
+        Mu::Or(g, h) => Ok(PropMu::Or(
+            Box::new(propositionalize(g, adom)?),
+            Box::new(propositionalize(h, adom)?),
+        )),
+        Mu::Implies(g, h) => Ok(PropMu::Or(
+            Box::new(PropMu::Not(Box::new(propositionalize(g, adom)?))),
+            Box::new(propositionalize(h, adom)?),
+        )),
+        Mu::Exists(v, g) => {
+            let mut out: Option<PropMu> = None;
+            for &t in adom {
+                let inst = propositionalize(&g.substitute_var(v, t), adom)?;
+                out = Some(match out {
+                    None => inst,
+                    Some(acc) => PropMu::Or(Box::new(acc), Box::new(inst)),
+                });
+            }
+            Ok(out.unwrap_or(PropMu::Atom(Formula::False)))
+        }
+        Mu::Forall(v, g) => {
+            let mut out: Option<PropMu> = None;
+            for &t in adom {
+                let inst = propositionalize(&g.substitute_var(v, t), adom)?;
+                out = Some(match out {
+                    None => inst,
+                    Some(acc) => PropMu::And(Box::new(acc), Box::new(inst)),
+                });
+            }
+            Ok(out.unwrap_or(PropMu::Atom(Formula::True)))
+        }
+        Mu::Diamond(g) => Ok(PropMu::Diamond(Box::new(propositionalize(g, adom)?))),
+        Mu::Box_(g) => Ok(PropMu::Box_(Box::new(propositionalize(g, adom)?))),
+        Mu::Pvar(z) => Ok(PropMu::Pvar(z.clone())),
+        Mu::Lfp(z, g) => Ok(PropMu::Lfp(z.clone(), Box::new(propositionalize(g, adom)?))),
+        Mu::Gfp(z, g) => Ok(PropMu::Gfp(z.clone(), Box::new(propositionalize(g, adom)?))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_reldata::{ConstantPool, Schema};
+
+    #[test]
+    fn quantifier_expansion_size() {
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let mut pool = ConstantPool::new();
+        let adom: BTreeSet<Value> = ["a", "b", "c"].iter().map(|n| pool.intern(n)).collect();
+        let f = Mu::exists(
+            "X",
+            Mu::live("X").and(Mu::Query(Formula::Atom(p, vec![QTerm::var("X")]))),
+        );
+        let prop = propositionalize(&f, &adom).unwrap();
+        // Three disjuncts of LIVE(t) ∧ P(t).
+        let count_live = count_live_consts(&prop);
+        assert_eq!(count_live, 3);
+    }
+
+    fn count_live_consts(f: &PropMu) -> usize {
+        match f {
+            PropMu::LiveConst(_) => 1,
+            PropMu::Atom(_) | PropMu::Pvar(_) => 0,
+            PropMu::Not(g) | PropMu::Diamond(g) | PropMu::Box_(g) | PropMu::Lfp(_, g)
+            | PropMu::Gfp(_, g) => count_live_consts(g),
+            PropMu::And(g, h) | PropMu::Or(g, h) => count_live_consts(g) + count_live_consts(h),
+        }
+    }
+
+    #[test]
+    fn empty_domain_quantifiers() {
+        let f = Mu::exists("X", Mu::live("X"));
+        let prop = propositionalize(&f, &BTreeSet::new()).unwrap();
+        assert_eq!(prop, PropMu::Atom(Formula::False));
+        let g = Mu::forall("X", Mu::live("X"));
+        let propg = propositionalize(&g, &BTreeSet::new()).unwrap();
+        assert_eq!(propg, PropMu::Atom(Formula::True));
+    }
+
+    #[test]
+    fn open_query_rejected() {
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let f = Mu::Query(Formula::Atom(p, vec![QTerm::var("X")]));
+        assert!(propositionalize(&f, &BTreeSet::new()).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! The artifact-system model and its DCDS translation (Section 6,
+//! "Connection with the artifact model").
+//!
+//! An artifact system has typed artifact relations (first column an id),
+//! an underlying database, and actions with FO *pre-conditions* and
+//! existential *post-conditions*. We realise the model in the shape the
+//! paper sketches the reduction for: each action's post-condition is a set
+//! of conditional insertions whose terms may draw *external inputs* —
+//! existentially quantified values of the ∃FO post — which become
+//! nondeterministic service calls in the DCDS. Id uniqueness is enforced
+//! with a key (equality) constraint, exactly as the paper suggests
+//! ("using an integrity constraint to enforce the uniqueness of the id
+//! attribute").
+
+use dcds_core::{Dcds, DcdsBuilder, ServiceKind};
+
+/// An artifact type `T(id, v₁, ..., vₖ)`.
+#[derive(Debug, Clone)]
+pub struct ArtifactType {
+    /// Type name (becomes a relation).
+    pub name: String,
+    /// Artifact variables beyond the id (the relation arity is
+    /// `1 + variables.len()`).
+    pub variables: Vec<String>,
+    /// Whether the id column is a key (true for genuine artifact types).
+    pub id_is_key: bool,
+}
+
+/// An artifact action: a pre-condition guard and a post-condition given as
+/// conditional insertions. Surface syntax is shared with
+/// [`dcds_core::parser`]; external inputs are written as calls to the
+/// system's declared input services (`in_x()`).
+#[derive(Debug, Clone)]
+pub struct ArtifactAction {
+    /// Action name.
+    pub name: String,
+    /// Parameters (bound by the pre-condition's free variables).
+    pub params: Vec<String>,
+    /// Pre-condition (FO over the schema; free variables = params).
+    pub pre: String,
+    /// Post-condition: pairs `(guard over current instance, inserted
+    /// facts)`.
+    pub post: Vec<(String, String)>,
+}
+
+/// An artifact system.
+#[derive(Debug, Clone)]
+pub struct ArtifactSystem {
+    /// Artifact types.
+    pub types: Vec<ArtifactType>,
+    /// Plain database relations `(name, arity)`.
+    pub relations: Vec<(String, usize)>,
+    /// External input channels (each becomes a nullary nondeterministic
+    /// service `name/0`).
+    pub inputs: Vec<String>,
+    /// Initial facts `(relation, constants)`.
+    pub init: Vec<(String, Vec<String>)>,
+    /// Actions.
+    pub actions: Vec<ArtifactAction>,
+}
+
+impl ArtifactSystem {
+    /// Translate into a DCDS (Section 6's sketch, executable).
+    pub fn to_dcds(&self) -> Result<Dcds, String> {
+        let mut b = DcdsBuilder::new();
+        for t in &self.types {
+            b = b.relation(&t.name, 1 + t.variables.len());
+        }
+        for (name, arity) in &self.relations {
+            b = b.relation(name, *arity);
+        }
+        for input in &self.inputs {
+            b = b.service(input, 0, ServiceKind::Nondeterministic);
+        }
+        for (rel, args) in &self.init {
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            b = b.init_fact(rel, &refs);
+        }
+        // Id uniqueness per artifact type: for T/(1+k) with key id, any two
+        // facts sharing the id agree on every other column.
+        for t in &self.types {
+            if !t.id_is_key || t.variables.is_empty() {
+                continue;
+            }
+            let k = t.variables.len();
+            let xs: Vec<String> = (0..k).map(|i| format!("X{i}")).collect();
+            let ys: Vec<String> = (0..k).map(|i| format!("Y{i}")).collect();
+            let premise = format!(
+                "{}(Id, {}) & {}(Id, {})",
+                t.name,
+                xs.join(", "),
+                t.name,
+                ys.join(", ")
+            );
+            let eqs: Vec<String> = (0..k).map(|i| format!("X{i} = Y{i}")).collect();
+            b = b.constraint(&format!("{premise} -> {}", eqs.join(" & ")));
+        }
+        for action in &self.actions {
+            let params: Vec<&str> = action.params.iter().map(String::as_str).collect();
+            let post = action.post.clone();
+            b = b.action(&action.name, &params, |a| {
+                for (guard, facts) in &post {
+                    a.effect(guard, facts);
+                }
+            });
+            b = b.rule(&action.pre, &action.name);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_abstraction::rcycl;
+    use dcds_analysis::{dataflow_graph, gr_acyclicity};
+
+    /// A small order-processing artifact system: Order artifacts carry a
+    /// status; a `create` action mints orders with external ids, `approve`
+    /// flips status.
+    fn orders() -> ArtifactSystem {
+        ArtifactSystem {
+            types: vec![ArtifactType {
+                name: "Order".to_owned(),
+                variables: vec!["status".to_owned()],
+                id_is_key: true,
+            }],
+            relations: vec![("Seed".to_owned(), 0)],
+            inputs: vec!["in_id".to_owned()],
+            init: vec![("Seed".to_owned(), vec![])],
+            actions: vec![
+                ArtifactAction {
+                    name: "create".to_owned(),
+                    params: vec![],
+                    pre: "Seed()".to_owned(),
+                    post: vec![
+                        ("Seed()".to_owned(), "Seed()".to_owned()),
+                        ("Seed()".to_owned(), "Order(in_id(), fresh)".to_owned()),
+                        ("Order(O, S)".to_owned(), "Order(O, S)".to_owned()),
+                    ],
+                },
+                ArtifactAction {
+                    name: "approve".to_owned(),
+                    params: vec!["Id".to_owned()],
+                    pre: "Order(Id, fresh)".to_owned(),
+                    post: vec![
+                        ("Seed()".to_owned(), "Seed()".to_owned()),
+                        ("true".to_owned(), "Order(Id, approved)".to_owned()),
+                        (
+                            "Order(O, S) & O != Id".to_owned(),
+                            "Order(O, S)".to_owned(),
+                        ),
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn translation_builds_a_valid_dcds() {
+        let dcds = orders().to_dcds().unwrap();
+        assert_eq!(dcds.process.actions.len(), 2);
+        assert_eq!(dcds.data.constraints.len(), 1);
+        assert!(dcds.is_nondeterministic());
+    }
+
+    #[test]
+    fn id_uniqueness_is_enforced() {
+        let dcds = orders().to_dcds().unwrap();
+        // A state with two statuses for one order id violates the key.
+        let order = dcds.data.schema.rel_id("Order").unwrap();
+        let mut pool = dcds.data.pool.clone();
+        let id = pool.mint("id");
+        let fresh = dcds.data.pool.get("fresh").unwrap();
+        let approved = dcds.data.pool.get("approved").unwrap();
+        let mut bad = dcds.data.initial.clone();
+        bad.insert(order, dcds_reldata::Tuple::from([id, fresh]));
+        bad.insert(order, dcds_reldata::Tuple::from([id, approved]));
+        assert!(!dcds.data.satisfies_constraints(&bad));
+    }
+
+    #[test]
+    fn order_system_is_not_gr_acyclic_but_analyzable() {
+        // Orders accumulate (created with fresh ids and copied): the system
+        // is genuinely state-unbounded, and the dataflow analysis says so.
+        let dcds = orders().to_dcds().unwrap();
+        let df = dataflow_graph(&dcds);
+        assert!(!gr_acyclicity::is_gr_acyclic(&df));
+        // RCYCL consequently fails to saturate within a small budget.
+        let res = rcycl(&dcds, 60);
+        assert!(!res.complete);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dcds-reductions
+//!
+//! The reductions and encodings the paper uses for its undecidability and
+//! expressivity results, made executable:
+//!
+//! * a deterministic single-tape **Turing machine** substrate ([`tm`]) and
+//!   the **TM → DCDS** compiler of Theorem 4.1 ([`mod@tm_to_dcds`]): the
+//!   resulting DCDS simulates the machine step-for-step and the safety
+//!   property `G ¬halted` tracks halting — the executable content of the
+//!   undecidability proofs (Theorems 4.1, 4.6, 5.1, 5.5);
+//! * **deterministic → nondeterministic** services (Theorem 6.1): history
+//!   relations `R_f` with functional-dependency constraints force
+//!   nondeterministic calls to behave deterministically
+//!   ([`mod@det_to_nondet`]);
+//! * **nondeterministic → deterministic** services (Theorem 6.2):
+//!   a timestamp chain `succ`/`now` (kept linear by the same key trick as
+//!   Theorem 4.1) disambiguates same-argument calls across steps
+//!   ([`mod@nondet_to_det`]);
+//! * **arbitrary FO integrity constraints → equality constraints**
+//!   (Section 6): the `aux(a,b)` trick ([`fo_constraints`]);
+//! * the **artifact-system model** and its translation into DCDSs
+//!   (Section 6, "Connection with the artifact model") ([`artifact`]).
+
+pub mod artifact;
+pub mod det_to_nondet;
+pub mod fo_constraints;
+pub mod nondet_to_det;
+pub mod tm;
+pub mod tm_to_dcds;
+
+pub use artifact::{ArtifactAction, ArtifactSystem, ArtifactType};
+pub use det_to_nondet::det_to_nondet;
+pub use fo_constraints::encode_fo_constraint;
+pub use nondet_to_det::nondet_to_det;
+pub use tm::{Move, Tm, TmBuilder, TmOutcome};
+pub use tm_to_dcds::tm_to_dcds;

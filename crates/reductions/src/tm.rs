@@ -1,0 +1,303 @@
+//! Deterministic single-tape Turing machines.
+//!
+//! The substrate for the paper's undecidability reductions. Machines have a
+//! two-way-infinite-to-the-right tape (left end marked), a finite state set
+//! with a designated halting sink, and a deterministic transition function.
+
+use std::collections::BTreeMap;
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// One cell left.
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay in place.
+    Stay,
+}
+
+/// Outcome of a bounded simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// Reached the halting state after the given number of steps.
+    Halted {
+        /// Steps taken.
+        steps: usize,
+        /// Final tape contents (trimmed of trailing blanks).
+        tape: Vec<char>,
+    },
+    /// Still running when the step budget ran out.
+    Running,
+}
+
+/// A deterministic Turing machine.
+#[derive(Debug, Clone)]
+pub struct Tm {
+    /// State names; index 0 is the initial state.
+    pub states: Vec<String>,
+    /// Index of the halting sink state.
+    pub halt: usize,
+    /// Tape alphabet (chars); `blank` is the blank symbol.
+    pub blank: char,
+    /// Transition function `(state, symbol) → (state, symbol, move)`.
+    pub delta: BTreeMap<(usize, char), (usize, char, Move)>,
+}
+
+impl Tm {
+    /// Simulate on the given input for at most `max_steps` steps.
+    pub fn run(&self, input: &[char], max_steps: usize) -> TmOutcome {
+        let mut tape: Vec<char> = if input.is_empty() {
+            vec![self.blank]
+        } else {
+            input.to_vec()
+        };
+        let mut head = 0usize;
+        let mut state = 0usize;
+        for step in 0..=max_steps {
+            if state == self.halt {
+                let mut t = tape.clone();
+                while t.len() > 1 && *t.last().unwrap() == self.blank {
+                    t.pop();
+                }
+                return TmOutcome::Halted { steps: step, tape: t };
+            }
+            if step == max_steps {
+                break;
+            }
+            let sym = tape[head];
+            let Some(&(next_state, write, mv)) = self.delta.get(&(state, sym)) else {
+                // No transition: treat as halting (normalised machines route
+                // everything to the sink explicitly, but be forgiving).
+                return TmOutcome::Halted {
+                    steps: step,
+                    tape: tape.clone(),
+                };
+            };
+            tape[head] = write;
+            state = next_state;
+            match mv {
+                Move::Left => {
+                    head = head.saturating_sub(1);
+                }
+                Move::Right => {
+                    head += 1;
+                    if head == tape.len() {
+                        tape.push(self.blank);
+                    }
+                }
+                Move::Stay => {}
+            }
+        }
+        TmOutcome::Running
+    }
+
+    /// Number of tape cells visited within `max_steps` (tape-boundedness
+    /// witness; cf. the Theorem 5.5 reduction).
+    pub fn visited_cells(&self, input: &[char], max_steps: usize) -> usize {
+        let mut tape: Vec<char> = if input.is_empty() {
+            vec![self.blank]
+        } else {
+            input.to_vec()
+        };
+        let mut head = 0usize;
+        let mut state = 0usize;
+        let mut max_head = 0usize;
+        for _ in 0..max_steps {
+            if state == self.halt {
+                break;
+            }
+            let sym = tape[head];
+            let Some(&(next_state, write, mv)) = self.delta.get(&(state, sym)) else {
+                break;
+            };
+            tape[head] = write;
+            state = next_state;
+            match mv {
+                Move::Left => head = head.saturating_sub(1),
+                Move::Right => {
+                    head += 1;
+                    if head == tape.len() {
+                        tape.push(self.blank);
+                    }
+                }
+                Move::Stay => {}
+            }
+            max_head = max_head.max(head);
+        }
+        max_head + 1
+    }
+}
+
+/// Fluent construction of machines.
+#[derive(Debug, Default)]
+pub struct TmBuilder {
+    states: Vec<String>,
+    halt: Option<usize>,
+    blank: char,
+    delta: BTreeMap<(usize, char), (usize, char, Move)>,
+}
+
+impl TmBuilder {
+    /// Start building; `blank` is the blank symbol.
+    pub fn new(blank: char) -> Self {
+        TmBuilder {
+            states: Vec::new(),
+            halt: None,
+            blank,
+            delta: BTreeMap::new(),
+        }
+    }
+
+    /// Add a state, returning its index. The first added state is initial.
+    pub fn state(&mut self, name: &str) -> usize {
+        self.states.push(name.to_owned());
+        self.states.len() - 1
+    }
+
+    /// Designate the halting sink.
+    pub fn halting(&mut self, state: usize) -> &mut Self {
+        self.halt = Some(state);
+        self
+    }
+
+    /// Add a transition.
+    pub fn rule(
+        &mut self,
+        from: usize,
+        read: char,
+        to: usize,
+        write: char,
+        mv: Move,
+    ) -> &mut Self {
+        self.delta.insert((from, read), (to, write, mv));
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Result<Tm, String> {
+        let halt = self.halt.ok_or("no halting state designated")?;
+        if self.states.is_empty() {
+            return Err("no states".to_owned());
+        }
+        if halt >= self.states.len() {
+            return Err("halting state out of range".to_owned());
+        }
+        Ok(Tm {
+            states: self.states,
+            halt,
+            blank: self.blank,
+            delta: self.delta,
+        })
+    }
+}
+
+/// A machine that writes `1` and halts immediately (halts in 1 step).
+pub fn halting_machine() -> Tm {
+    let mut b = TmBuilder::new('_');
+    let s0 = b.state("s0");
+    let h = b.state("halt");
+    b.halting(h);
+    b.rule(s0, '_', h, '1', Move::Stay);
+    b.build().unwrap()
+}
+
+/// A machine that flips in place forever (loops on bounded tape).
+pub fn looping_machine() -> Tm {
+    let mut b = TmBuilder::new('_');
+    let s0 = b.state("s0");
+    let s1 = b.state("s1");
+    let h = b.state("halt");
+    b.halting(h);
+    b.rule(s0, '_', s1, 'x', Move::Stay);
+    b.rule(s1, 'x', s0, '_', Move::Stay);
+    b.build().unwrap()
+}
+
+/// A machine that marches right forever (unbounded tape).
+pub fn runaway_machine() -> Tm {
+    let mut b = TmBuilder::new('_');
+    let s0 = b.state("s0");
+    let h = b.state("halt");
+    b.halting(h);
+    b.rule(s0, '_', s0, 'x', Move::Right);
+    b.build().unwrap()
+}
+
+/// A 2-state busy-beaver-style machine (halts after a handful of steps,
+/// moving both directions). With our saturating left end it halts in 4
+/// steps leaving two 1s (the classical two-way-infinite BB(2) would take 6
+/// steps and leave four).
+pub fn busy_beaver_2() -> Tm {
+    // BB(2) rules: A_ -> 1RB, A1 -> 1LB, B_ -> 1LA, B1 -> 1RH.
+    let mut b = TmBuilder::new('_');
+    let a = b.state("A");
+    let bb = b.state("B");
+    let h = b.state("halt");
+    b.halting(h);
+    b.rule(a, '_', bb, '1', Move::Right);
+    b.rule(a, '1', bb, '1', Move::Left);
+    b.rule(bb, '_', a, '1', Move::Left);
+    b.rule(bb, '1', h, '1', Move::Right);
+    b.build().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halting_machine_halts() {
+        let tm = halting_machine();
+        match tm.run(&[], 10) {
+            TmOutcome::Halted { steps, tape } => {
+                assert_eq!(steps, 1);
+                assert_eq!(tape, vec!['1']);
+            }
+            TmOutcome::Running => panic!("should halt"),
+        }
+    }
+
+    #[test]
+    fn looping_machine_runs_forever() {
+        let tm = looping_machine();
+        assert_eq!(tm.run(&[], 1000), TmOutcome::Running);
+        // And stays tape-bounded.
+        assert_eq!(tm.visited_cells(&[], 1000), 1);
+    }
+
+    #[test]
+    fn runaway_machine_is_tape_unbounded() {
+        let tm = runaway_machine();
+        assert_eq!(tm.run(&[], 50), TmOutcome::Running);
+        assert_eq!(tm.visited_cells(&[], 50), 51);
+    }
+
+    #[test]
+    fn busy_beaver_2_halts() {
+        let tm = busy_beaver_2();
+        match tm.run(&[], 100) {
+            TmOutcome::Halted { steps, tape } => {
+                assert_eq!(steps, 4);
+                assert_eq!(tape.iter().filter(|&&c| c == '1').count(), 2);
+            }
+            TmOutcome::Running => panic!("BB(2) halts"),
+        }
+    }
+
+    #[test]
+    fn missing_transition_halts_gracefully() {
+        let mut b = TmBuilder::new('_');
+        let _s0 = b.state("s0");
+        let h = b.state("h");
+        b.halting(h);
+        let tm = b.build().unwrap();
+        assert!(matches!(tm.run(&[], 5), TmOutcome::Halted { steps: 0, .. }));
+    }
+
+    #[test]
+    fn builder_validates() {
+        let b = TmBuilder::new('_');
+        assert!(b.build().is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable rendering of instances and fact sets.
+//!
+//! Rendering needs both the [`crate::ConstantPool`] (for value names) and the
+//! [`crate::Schema`] (for relation names), so it is exposed through wrapper
+//! types implementing [`std::fmt::Display`] rather than on the data types
+//! themselves.
+
+use crate::{ConstantPool, Facts, Instance, Schema, Tuple};
+use std::fmt;
+
+/// Displays an [`Instance`] as `R(a,b) S(c) ...` in deterministic order.
+pub struct InstanceDisplay<'a> {
+    instance: &'a Instance,
+    schema: &'a Schema,
+    pool: &'a ConstantPool,
+}
+
+impl<'a> InstanceDisplay<'a> {
+    /// Wrap an instance for display.
+    pub fn new(instance: &'a Instance, schema: &'a Schema, pool: &'a ConstantPool) -> Self {
+        Self {
+            instance,
+            schema,
+            pool,
+        }
+    }
+}
+
+fn write_tuple(f: &mut fmt::Formatter<'_>, t: &Tuple, pool: &ConstantPool) -> fmt::Result {
+    if t.arity() == 0 {
+        return Ok(());
+    }
+    write!(f, "(")?;
+    for (i, v) in t.iter().enumerate() {
+        if i > 0 {
+            write!(f, ",")?;
+        }
+        write!(f, "{}", pool.name(v))?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for InstanceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.instance.is_empty() {
+            return write!(f, "{{}}");
+        }
+        let mut first = true;
+        for (rel, t) in self.instance.facts() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{}", self.schema.name(rel))?;
+            write_tuple(f, t, self.pool)?;
+        }
+        Ok(())
+    }
+}
+
+/// Displays a [`Facts`] structure as `#c(a,b) ...`, naming colors by id.
+pub struct FactsDisplay<'a> {
+    facts: &'a Facts,
+    pool: &'a ConstantPool,
+}
+
+impl<'a> FactsDisplay<'a> {
+    /// Wrap a fact set for display.
+    pub fn new(facts: &'a Facts, pool: &'a ConstantPool) -> Self {
+        Self { facts, pool }
+    }
+}
+
+impl fmt::Display for FactsDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.facts.is_empty() {
+            return write!(f, "{{}}");
+        }
+        let mut first = true;
+        for (c, t) in self.facts.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "#{c}")?;
+            write_tuple(f, t, self.pool)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_display_is_deterministic() {
+        let mut pool = ConstantPool::new();
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let inst = Instance::from_facts([(q, Tuple::from([a, b])), (p, Tuple::from([a]))]);
+        let s = InstanceDisplay::new(&inst, &schema, &pool).to_string();
+        assert_eq!(s, "P(a) Q(a,b)");
+    }
+
+    #[test]
+    fn empty_instance_displays_braces() {
+        let pool = ConstantPool::new();
+        let schema = Schema::new();
+        let inst = Instance::new();
+        assert_eq!(InstanceDisplay::new(&inst, &schema, &pool).to_string(), "{}");
+    }
+
+    #[test]
+    fn nullary_fact_renders_bare_name() {
+        let pool = ConstantPool::new();
+        let mut schema = Schema::new();
+        let h = schema.add_relation("halted", 0).unwrap();
+        let inst = Instance::from_facts([(h, Tuple::unit())]);
+        assert_eq!(
+            InstanceDisplay::new(&inst, &schema, &pool).to_string(),
+            "halted"
+        );
+    }
+}

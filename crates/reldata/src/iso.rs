@@ -1,0 +1,552 @@
+//! Isomorphism and canonical forms of fact sets.
+//!
+//! The abstraction results of the paper (Theorems 4.3 and 5.4) quotient
+//! transition-system states by *isomorphism type*: two states are
+//! interchangeable when a bijection over constants — fixing the "rigid"
+//! constants of `ADOM(I_0)` pointwise — maps one database onto the other.
+//! For the deterministic semantics the state also carries a service-call map,
+//! so isomorphism must be computed over a mixed structure of relational facts
+//! and call-map entries. We therefore work over a generic [`Facts`] structure:
+//! a set of *colored tuples*, where the color is a relation id, a synthetic
+//! service-call-map id, or anything else the caller needs.
+//!
+//! Two entry points:
+//! * [`Facts::isomorphism`] — a backtracking matcher (with color-refinement
+//!   pruning) that produces a witnessing bijection;
+//! * [`Facts::canonical_key`] — a canonical form such that two fact sets have
+//!   equal keys iff they are isomorphic. Used to deduplicate states in
+//!   `O(1)` during abstract-transition-system construction.
+
+use crate::{Instance, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of colored tuples ("facts") over values.
+///
+/// Colors play the role of relation symbols but are plain `u32`s so that
+/// callers can mix relational facts with synthetic facts (e.g. service-call
+/// map entries `f(v...) -> r` encoded as a fact of a per-function color).
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Facts {
+    facts: BTreeSet<(u32, Tuple)>,
+}
+
+/// A value inside a canonical form: rigid values survive as themselves,
+/// non-rigid values are replaced by canonical indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CanonVal {
+    /// A rigid constant (kept as-is).
+    Rigid(Value),
+    /// The `n`-th non-rigid value in canonical order.
+    Var(u32),
+}
+
+/// Canonical form of a [`Facts`] structure modulo renaming of non-rigid
+/// values. Equal keys ⇔ isomorphic fact sets (w.r.t. the same rigid set).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonKey {
+    facts: Vec<(u32, Vec<CanonVal>)>,
+}
+
+impl CanonKey {
+    /// The canonical facts (sorted).
+    pub fn facts(&self) -> &[(u32, Vec<CanonVal>)] {
+        &self.facts
+    }
+
+    /// Number of distinct non-rigid values in the original fact set.
+    pub fn var_count(&self) -> usize {
+        let mut seen = BTreeSet::new();
+        for (_, t) in &self.facts {
+            for v in t {
+                if let CanonVal::Var(i) = v {
+                    seen.insert(*i);
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+impl Facts {
+    /// Empty fact set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a colored fact.
+    pub fn insert(&mut self, color: u32, tuple: Tuple) -> bool {
+        self.facts.insert((color, tuple))
+    }
+
+    /// Membership.
+    pub fn contains(&self, color: u32, tuple: &Tuple) -> bool {
+        self.facts.contains(&(color, tuple.clone()))
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterate over facts.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Tuple)> {
+        self.facts.iter().map(|(c, t)| (*c, t))
+    }
+
+    /// Build from a relational instance: the color of each fact is the
+    /// relation's index.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut out = Facts::new();
+        for (rel, t) in inst.facts() {
+            out.insert(rel.index() as u32, t.clone());
+        }
+        out
+    }
+
+    /// Add all facts of an instance under an offset applied to relation
+    /// colors (so callers can reserve low colors for something else).
+    pub fn extend_from_instance(&mut self, inst: &Instance, color_offset: u32) {
+        for (rel, t) in inst.facts() {
+            self.insert(rel.index() as u32 + color_offset, t.clone());
+        }
+    }
+
+    /// All values occurring in the fact set.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut adom = BTreeSet::new();
+        for (_, t) in self.iter() {
+            adom.extend(t.iter());
+        }
+        adom
+    }
+
+    /// Apply a renaming to every fact.
+    pub fn rename(&self, map: &BTreeMap<Value, Value>) -> Facts {
+        let mut out = Facts::new();
+        for (c, t) in self.iter() {
+            out.insert(c, t.rename(map));
+        }
+        out
+    }
+
+    /// Find an isomorphism from `self` to `other`: a bijection `h` between
+    /// their active domains that is the identity on `rigid` values and maps
+    /// `self`'s facts exactly onto `other`'s. Returns the witnessing map on
+    /// success.
+    pub fn isomorphism(
+        &self,
+        other: &Facts,
+        rigid: &BTreeSet<Value>,
+    ) -> Option<BTreeMap<Value, Value>> {
+        if self.facts.len() != other.facts.len() {
+            return None;
+        }
+        let adom_a = self.active_domain();
+        let adom_b = other.active_domain();
+        if adom_a.len() != adom_b.len() {
+            return None;
+        }
+        // Rigid values must coincide on both sides.
+        let rigid_a: BTreeSet<Value> = adom_a.intersection(rigid).copied().collect();
+        let rigid_b: BTreeSet<Value> = adom_b.intersection(rigid).copied().collect();
+        if rigid_a != rigid_b {
+            return None;
+        }
+        // Color refinement to prune candidates.
+        let colors_a = refine_colors(self, rigid);
+        let colors_b = refine_colors(other, rigid);
+        // Class histograms must agree.
+        if class_histogram(&colors_a) != class_histogram(&colors_b) {
+            return None;
+        }
+        let free_a: Vec<Value> = adom_a.iter().copied().filter(|v| !rigid.contains(v)).collect();
+        let mut map: BTreeMap<Value, Value> = rigid_a.iter().map(|&v| (v, v)).collect();
+        let mut used: BTreeSet<Value> = rigid_b.clone();
+        if backtrack(self, other, &colors_a, &colors_b, &free_a, 0, &mut map, &mut used) {
+            Some(map)
+        } else {
+            None
+        }
+    }
+
+    /// True iff `self` and `other` are isomorphic (see [`Facts::isomorphism`]).
+    pub fn isomorphic(&self, other: &Facts, rigid: &BTreeSet<Value>) -> bool {
+        self.isomorphism(other, rigid).is_some()
+    }
+
+    /// Canonical key modulo renaming of non-rigid values.
+    ///
+    /// Two fact sets yield the same key (w.r.t. the same rigid set) iff they
+    /// are isomorphic. The computation refines value colors and then searches
+    /// for the lexicographically-least encoding over all class-respecting
+    /// orders of the non-rigid values; the search is exponential only in the
+    /// sizes of the refinement classes, which are tiny for the databases a
+    /// DCDS state holds.
+    pub fn canonical_key(&self, rigid: &BTreeSet<Value>) -> CanonKey {
+        let adom = self.active_domain();
+        let free: Vec<Value> = adom.iter().copied().filter(|v| !rigid.contains(v)).collect();
+        if free.is_empty() {
+            return CanonKey {
+                facts: encode(self, rigid, &BTreeMap::new()),
+            };
+        }
+        let colors = refine_colors(self, rigid);
+        // Group the free values by refined color; class *order* is canonical
+        // because refined colors are computed from iso-invariant signatures.
+        let mut classes: BTreeMap<u64, Vec<Value>> = BTreeMap::new();
+        for &v in &free {
+            classes.entry(colors[&v]).or_default().push(v);
+        }
+        let class_list: Vec<Vec<Value>> = classes.into_values().collect();
+        let mut best: Option<Vec<(u32, Vec<CanonVal>)>> = None;
+        let mut assignment: Vec<Value> = Vec::with_capacity(free.len());
+        permute_classes(&class_list, 0, &mut assignment, &mut |order| {
+            let map: BTreeMap<Value, Value> = BTreeMap::new();
+            let _ = map; // order carries the assignment; build index map below
+            let mut canon_ix: BTreeMap<Value, u32> = BTreeMap::new();
+            for (i, &v) in order.iter().enumerate() {
+                canon_ix.insert(v, i as u32);
+            }
+            let enc = encode_with(self, rigid, &canon_ix);
+            match &best {
+                Some(b) if *b <= enc => {}
+                _ => best = Some(enc),
+            }
+        });
+        CanonKey {
+            facts: best.expect("at least one ordering exists"),
+        }
+    }
+}
+
+/// Enumerate all orderings of the free values that respect the class
+/// partition (classes in canonical order; arbitrary permutations within each
+/// class), invoking `f` on each complete ordering.
+fn permute_classes(
+    classes: &[Vec<Value>],
+    class_ix: usize,
+    acc: &mut Vec<Value>,
+    f: &mut impl FnMut(&[Value]),
+) {
+    if class_ix == classes.len() {
+        f(acc);
+        return;
+    }
+    let class = &classes[class_ix];
+    let mut perm: Vec<Value> = class.clone();
+    permute_within(&mut perm, 0, classes, class_ix, acc, f);
+}
+
+fn permute_within(
+    perm: &mut Vec<Value>,
+    k: usize,
+    classes: &[Vec<Value>],
+    class_ix: usize,
+    acc: &mut Vec<Value>,
+    f: &mut impl FnMut(&[Value]),
+) {
+    if k == perm.len() {
+        let start = acc.len();
+        acc.extend(perm.iter().copied());
+        permute_classes(classes, class_ix + 1, acc, f);
+        acc.truncate(start);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute_within(perm, k + 1, classes, class_ix, acc, f);
+        perm.swap(k, i);
+    }
+}
+
+fn encode(facts: &Facts, rigid: &BTreeSet<Value>, _unused: &BTreeMap<Value, Value>) -> Vec<(u32, Vec<CanonVal>)> {
+    encode_with(facts, rigid, &BTreeMap::new())
+}
+
+fn encode_with(
+    facts: &Facts,
+    rigid: &BTreeSet<Value>,
+    canon_ix: &BTreeMap<Value, u32>,
+) -> Vec<(u32, Vec<CanonVal>)> {
+    let mut out: Vec<(u32, Vec<CanonVal>)> = facts
+        .iter()
+        .map(|(c, t)| {
+            let vals = t
+                .iter()
+                .map(|v| {
+                    if rigid.contains(&v) {
+                        CanonVal::Rigid(v)
+                    } else {
+                        CanonVal::Var(canon_ix[&v])
+                    }
+                })
+                .collect();
+            (c, vals)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Iterated color refinement: assigns each value of the active domain a hash
+/// color that is invariant under isomorphisms fixing `rigid`. Rigid values
+/// get a color derived from their identity.
+fn refine_colors(facts: &Facts, rigid: &BTreeSet<Value>) -> BTreeMap<Value, u64> {
+    let adom = facts.active_domain();
+    let mut colors: BTreeMap<Value, u64> = adom
+        .iter()
+        .map(|&v| {
+            let init = if rigid.contains(&v) {
+                // Rigid values are distinguishable by identity.
+                hash2(1, v.index() as u64)
+            } else {
+                hash2(2, 0)
+            };
+            (v, init)
+        })
+        .collect();
+    // Refine until stable (bounded by |adom| rounds).
+    for _ in 0..adom.len().max(1) {
+        let mut next: BTreeMap<Value, u64> = BTreeMap::new();
+        for &v in &adom {
+            // Signature: multiset of (color, position, colors of co-occurring
+            // values) over the facts containing v.
+            let mut sig: Vec<u64> = Vec::new();
+            for (c, t) in facts.iter() {
+                for (pos, w) in t.iter().enumerate() {
+                    if w == v {
+                        let mut h = hash2(c as u64, pos as u64);
+                        for x in t.iter() {
+                            h = hash2(h, colors[&x]);
+                        }
+                        sig.push(h);
+                    }
+                }
+            }
+            sig.sort_unstable();
+            let mut h = colors[&v];
+            for s in sig {
+                h = hash2(h, s);
+            }
+            next.insert(v, h);
+        }
+        if partition_of(&next) == partition_of(&colors) {
+            colors = next;
+            break;
+        }
+        colors = next;
+    }
+    colors
+}
+
+/// The partition induced by a coloring (used to detect refinement stability).
+fn partition_of(colors: &BTreeMap<Value, u64>) -> Vec<Vec<Value>> {
+    let mut groups: BTreeMap<u64, Vec<Value>> = BTreeMap::new();
+    for (&v, &c) in colors {
+        groups.entry(c).or_default().push(v);
+    }
+    groups.into_values().collect()
+}
+
+/// Multiset of (color, class size); must agree for isomorphic fact sets.
+fn class_histogram(colors: &BTreeMap<Value, u64>) -> BTreeMap<u64, usize> {
+    let mut hist = BTreeMap::new();
+    for &c in colors.values() {
+        *hist.entry(c).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[inline]
+fn hash2(a: u64, b: u64) -> u64 {
+    // Simple 64-bit mix (splitmix-style); quality is plenty for refinement.
+    let mut x = a
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(b)
+        .wrapping_add(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    a: &Facts,
+    b: &Facts,
+    colors_a: &BTreeMap<Value, u64>,
+    colors_b: &BTreeMap<Value, u64>,
+    free_a: &[Value],
+    k: usize,
+    map: &mut BTreeMap<Value, Value>,
+    used: &mut BTreeSet<Value>,
+) -> bool {
+    if k == free_a.len() {
+        // All values mapped; verify facts map exactly.
+        return a.rename(map) == *b;
+    }
+    let v = free_a[k];
+    let target_color = colors_a[&v];
+    let candidates: Vec<Value> = colors_b
+        .iter()
+        .filter(|(w, &c)| c == target_color && !used.contains(w))
+        .map(|(&w, _)| w)
+        .collect();
+    for w in candidates {
+        map.insert(v, w);
+        used.insert(w);
+        if partial_consistent(a, b, map) && backtrack(a, b, colors_a, colors_b, free_a, k + 1, map, used) {
+            return true;
+        }
+        map.remove(&v);
+        used.remove(&w);
+    }
+    false
+}
+
+/// Check that every fact of `a` whose values are all mapped already has an
+/// image in `b`.
+fn partial_consistent(a: &Facts, b: &Facts, map: &BTreeMap<Value, Value>) -> bool {
+    for (c, t) in a.iter() {
+        if t.iter().all(|v| map.contains_key(&v)) {
+            let img = t.rename(map);
+            if !b.contains(c, &img) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstantPool;
+
+    fn vals(pool: &mut ConstantPool, names: &[&str]) -> Vec<Value> {
+        names.iter().map(|n| pool.intern(n)).collect()
+    }
+
+    #[test]
+    fn identical_facts_are_isomorphic() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b"]);
+        let mut f = Facts::new();
+        f.insert(0, Tuple::from([v[0], v[1]]));
+        let rigid = BTreeSet::new();
+        assert!(f.isomorphic(&f.clone(), &rigid));
+    }
+
+    #[test]
+    fn renamed_facts_are_isomorphic_when_not_rigid() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "c"]);
+        let mut f1 = Facts::new();
+        f1.insert(0, Tuple::from([v[0], v[1]]));
+        let mut f2 = Facts::new();
+        f2.insert(0, Tuple::from([v[2], v[1]]));
+        let empty = BTreeSet::new();
+        assert!(f1.isomorphic(&f2, &empty));
+        // But if `a` is rigid, renaming it is not allowed.
+        let rigid: BTreeSet<Value> = [v[0]].into_iter().collect();
+        assert!(!f1.isomorphic(&f2, &rigid));
+    }
+
+    #[test]
+    fn isomorphism_respects_structure() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "c", "d"]);
+        // f1: edge a->b plus loop c->c. f2: edge a->b plus edge c->d.
+        let mut f1 = Facts::new();
+        f1.insert(0, Tuple::from([v[0], v[1]]));
+        f1.insert(0, Tuple::from([v[2], v[2]]));
+        let mut f2 = Facts::new();
+        f2.insert(0, Tuple::from([v[0], v[1]]));
+        f2.insert(0, Tuple::from([v[2], v[3]]));
+        let empty = BTreeSet::new();
+        assert!(!f1.isomorphic(&f2, &empty));
+    }
+
+    #[test]
+    fn witness_maps_facts_exactly() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "x", "y"]);
+        let mut f1 = Facts::new();
+        f1.insert(0, Tuple::from([v[0], v[1]]));
+        f1.insert(1, Tuple::from([v[1]]));
+        let mut f2 = Facts::new();
+        f2.insert(0, Tuple::from([v[2], v[3]]));
+        f2.insert(1, Tuple::from([v[3]]));
+        let empty = BTreeSet::new();
+        let h = f1.isomorphism(&f2, &empty).expect("isomorphic");
+        assert_eq!(f1.rename(&h), f2);
+    }
+
+    #[test]
+    fn canonical_key_agrees_with_isomorphism() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "c", "d"]);
+        let rigid: BTreeSet<Value> = [v[0]].into_iter().collect();
+        // Q(a,b), P(b)  vs  Q(a,c), P(c): isomorphic fixing a.
+        let mut f1 = Facts::new();
+        f1.insert(0, Tuple::from([v[0], v[1]]));
+        f1.insert(1, Tuple::from([v[1]]));
+        let mut f2 = Facts::new();
+        f2.insert(0, Tuple::from([v[0], v[2]]));
+        f2.insert(1, Tuple::from([v[2]]));
+        assert_eq!(f1.canonical_key(&rigid), f2.canonical_key(&rigid));
+        // Q(a,b), P(d): not isomorphic to f1.
+        let mut f3 = Facts::new();
+        f3.insert(0, Tuple::from([v[0], v[1]]));
+        f3.insert(1, Tuple::from([v[3]]));
+        assert_ne!(f1.canonical_key(&rigid), f3.canonical_key(&rigid));
+    }
+
+    #[test]
+    fn canonical_key_with_symmetric_values() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "c"]);
+        let empty = BTreeSet::new();
+        // P(a), P(b), P(c): all three interchangeable.
+        let mut f1 = Facts::new();
+        for &x in &v {
+            f1.insert(0, Tuple::from([x]));
+        }
+        let mut pool2 = ConstantPool::new();
+        let w = vals(&mut pool2, &["x", "y", "z"]);
+        let mut f2 = Facts::new();
+        for &x in &w {
+            f2.insert(0, Tuple::from([x]));
+        }
+        assert_eq!(f1.canonical_key(&empty), f2.canonical_key(&empty));
+        assert_eq!(f1.canonical_key(&empty).var_count(), 3);
+    }
+
+    #[test]
+    fn nullary_facts_participate() {
+        let mut f1 = Facts::new();
+        f1.insert(7, Tuple::unit());
+        let f2 = Facts::new();
+        let empty = BTreeSet::new();
+        assert!(!f1.isomorphic(&f2, &empty));
+        assert_ne!(f1.canonical_key(&empty), f2.canonical_key(&empty));
+    }
+
+    #[test]
+    fn from_instance_round_trip() {
+        let mut pool = ConstantPool::new();
+        let mut schema = crate::Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let a = pool.intern("a");
+        let inst = Instance::from_facts([(p, Tuple::from([a]))]);
+        let f = Facts::from_instance(&inst);
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(p.index() as u32, &Tuple::from([a])));
+    }
+}

@@ -1,0 +1,204 @@
+//! Database schemas: finite sets of relation symbols with fixed arities.
+
+use crate::RelError;
+use std::collections::HashMap;
+
+/// Identifier of a relation symbol inside a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// Raw index of this relation in its schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild from a raw index (serialization/testing only).
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        RelId(u32::try_from(ix).expect("schema overflow"))
+    }
+}
+
+/// A single relation symbol `R/n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    name: String,
+    arity: usize,
+}
+
+impl RelSchema {
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Relation arity (number of components). May be zero: the paper uses
+    /// nullary relations (e.g. `halted/0`, the built-in `true/0`).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// A database schema `R = {R_1/n_1, ..., R_k/n_k}`.
+///
+/// ```
+/// use dcds_reldata::Schema;
+/// let mut schema = Schema::new();
+/// let stud = schema.add_relation("Stud", 1).unwrap();
+/// let grad = schema.add_relation("Grad", 2).unwrap();
+/// assert_eq!(schema.arity(stud), 1);
+/// assert_eq!(schema.rel_id("Grad"), Some(grad));
+/// assert!(schema.add_relation("Stud", 3).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    rels: Vec<RelSchema>,
+    index: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a relation `name/arity`. Errors on duplicate names.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId, RelError> {
+        if self.index.contains_key(name) {
+            return Err(RelError::DuplicateRelation(name.to_owned()));
+        }
+        let id = RelId::from_index(self.rels.len());
+        self.rels.push(RelSchema {
+            name: name.to_owned(),
+            arity,
+        });
+        self.index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declare a relation, or return the existing id if one with the same
+    /// name *and arity* already exists.
+    pub fn add_or_get(&mut self, name: &str, arity: usize) -> Result<RelId, RelError> {
+        if let Some(&id) = self.index.get(name) {
+            if self.rels[id.index()].arity == arity {
+                return Ok(id);
+            }
+            return Err(RelError::ArityMismatch {
+                relation: name.to_owned(),
+                expected: self.rels[id.index()].arity,
+                got: arity,
+            });
+        }
+        self.add_relation(name, arity)
+    }
+
+    /// Look up a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.index.get(name).copied()
+    }
+
+    /// Like [`Schema::rel_id`] but with a typed error.
+    pub fn require(&self, name: &str) -> Result<RelId, RelError> {
+        self.rel_id(name)
+            .ok_or_else(|| RelError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Arity of a relation.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.rels[id.index()].arity
+    }
+
+    /// Name of a relation.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.rels[id.index()].name
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True when the schema declares no relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Iterate over `(id, schema)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelSchema)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .map(|(ix, rs)| (RelId::from_index(ix), rs))
+    }
+
+    /// All relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.rels.len()).map(RelId::from_index)
+    }
+
+    /// Sum of the arities of all relations (the number of *positions*, i.e.
+    /// nodes of the dependency graph of Section 4.3).
+    pub fn total_positions(&self) -> usize {
+        self.rels.iter().map(|r| r.arity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2).unwrap();
+        assert_eq!(s.rel_id("R"), Some(r));
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.name(r), "R");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        assert_eq!(
+            s.add_relation("R", 3),
+            Err(RelError::DuplicateRelation("R".to_owned()))
+        );
+    }
+
+    #[test]
+    fn add_or_get_matches_arity() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2).unwrap();
+        assert_eq!(s.add_or_get("R", 2).unwrap(), r);
+        assert!(s.add_or_get("R", 1).is_err());
+    }
+
+    #[test]
+    fn nullary_relations_supported() {
+        let mut s = Schema::new();
+        let h = s.add_relation("halted", 0).unwrap();
+        assert_eq!(s.arity(h), 0);
+    }
+
+    #[test]
+    fn total_positions_sums_arities() {
+        let mut s = Schema::new();
+        s.add_relation("R", 2).unwrap();
+        s.add_relation("Q", 3).unwrap();
+        s.add_relation("halted", 0).unwrap();
+        assert_eq!(s.total_positions(), 5);
+    }
+
+    #[test]
+    fn require_unknown_errors() {
+        let s = Schema::new();
+        assert_eq!(
+            s.require("Nope"),
+            Err(RelError::UnknownRelation("Nope".to_owned()))
+        );
+    }
+}

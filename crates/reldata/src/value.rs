@@ -1,0 +1,200 @@
+//! Constants and the constant pool.
+//!
+//! The paper assumes a countably infinite domain `C` of constants, interpreted
+//! as themselves. We realise `C` with an interning pool: *named* constants are
+//! the ones written down in specifications (initial instances, formulas,
+//! effect heads), while *minted* constants are generated on demand when a
+//! construction needs a value that is guaranteed fresh (e.g. representative
+//! results of service calls in the abstract transition systems of Sections
+//! 4.2 and 5.3). Only finitely many constants are ever materialised, but fresh
+//! ones can always be minted, which is all that the semantics requires.
+
+use std::collections::HashMap;
+
+/// A constant/value from the domain `C`.
+///
+/// Values are small copyable ids into a [`ConstantPool`]. Equality of values
+/// is equality of constants (the paper blurs constants and values, and so do
+/// we). The ordering is the interning order, which is deterministic for a
+/// fixed construction sequence and is used pervasively to keep instances and
+/// canonical forms stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(u32);
+
+impl Value {
+    /// Raw index of this value inside its pool.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a value from a raw index. Intended for serialization and
+    /// testing; the caller must guarantee the index is valid for the pool the
+    /// value will be used with.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        Value(u32::try_from(ix).expect("constant pool overflow"))
+    }
+}
+
+/// How a constant entered the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Written down in a specification (initial instance, formula, effect).
+    Named,
+    /// Minted by the library as a guaranteed-fresh value.
+    Minted,
+}
+
+/// An interning pool over the countably infinite constant domain `C`.
+///
+/// ```
+/// use dcds_reldata::ConstantPool;
+/// let mut pool = ConstantPool::new();
+/// let a = pool.intern("a");
+/// let b = pool.intern("b");
+/// assert_ne!(a, b);
+/// assert_eq!(pool.intern("a"), a);
+/// let fresh = pool.mint("v");
+/// assert!(pool.is_minted(fresh));
+/// assert_ne!(fresh, a);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConstantPool {
+    names: Vec<String>,
+    provenance: Vec<Provenance>,
+    index: HashMap<String, Value>,
+    mint_counter: u64,
+}
+
+impl ConstantPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named constant, returning its value. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.index.get(name) {
+            return v;
+        }
+        let v = Value::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.provenance.push(Provenance::Named);
+        self.index.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Look up a named constant without interning it.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.index.get(name).copied()
+    }
+
+    /// Mint a constant guaranteed to be distinct from every constant already
+    /// in the pool. `hint` is used for display (`hint#k`).
+    pub fn mint(&mut self, hint: &str) -> Value {
+        loop {
+            let name = format!("{hint}#{}", self.mint_counter);
+            self.mint_counter += 1;
+            if !self.index.contains_key(&name) {
+                let v = Value::from_index(self.names.len());
+                self.names.push(name.clone());
+                self.provenance.push(Provenance::Minted);
+                self.index.insert(name, v);
+                return v;
+            }
+        }
+    }
+
+    /// Display name of a value.
+    pub fn name(&self, v: Value) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Was this value minted (as opposed to named in a specification)?
+    pub fn is_minted(&self, v: Value) -> bool {
+        matches!(self.provenance[v.index()], Provenance::Minted)
+    }
+
+    /// Number of constants materialised so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no constants have been materialised.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate over all materialised values in interning order.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.names.len()).map(Value::from_index)
+    }
+
+    /// True if the value belongs to this pool.
+    pub fn contains(&self, v: Value) -> bool {
+        v.index() < self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = ConstantPool::new();
+        let a1 = pool.intern("a");
+        let a2 = pool.intern("a");
+        assert_eq!(a1, a2);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_values() {
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(pool.name(a), "a");
+        assert_eq!(pool.name(b), "b");
+    }
+
+    #[test]
+    fn minted_values_are_fresh() {
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let m1 = pool.mint("v");
+        let m2 = pool.mint("v");
+        assert_ne!(m1, m2);
+        assert_ne!(m1, a);
+        assert!(pool.is_minted(m1));
+        assert!(!pool.is_minted(a));
+    }
+
+    #[test]
+    fn mint_avoids_collisions_with_named() {
+        let mut pool = ConstantPool::new();
+        // Pre-intern a name colliding with the first mint candidate.
+        pool.intern("v#0");
+        let m = pool.mint("v");
+        assert_ne!(pool.name(m), "v#0");
+    }
+
+    #[test]
+    fn values_iterates_in_order() {
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let got: Vec<Value> = pool.values().collect();
+        assert_eq!(got, vec![a, b]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut pool = ConstantPool::new();
+        assert_eq!(pool.get("a"), None);
+        let a = pool.intern("a");
+        assert_eq!(pool.get("a"), Some(a));
+    }
+}

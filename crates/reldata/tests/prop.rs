@@ -1,0 +1,122 @@
+//! Property-based tests for the relational substrate.
+//!
+//! Core invariants:
+//! * isomorphism (with a fixed rigid set) is reflexive, symmetric, and
+//!   invariant under random renamings of non-rigid values;
+//! * canonical keys agree exactly with the backtracking isomorphism matcher;
+//! * renaming by a bijection preserves fact counts.
+
+use dcds_reldata::{ConstantPool, Facts, Tuple, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+const NUM_VALUES: usize = 6;
+
+/// A random fact set over `NUM_VALUES` values and up to 3 colors of arity
+/// 1..=2, plus which of the values are rigid.
+fn arb_facts() -> impl Strategy<Value = (Facts, BTreeSet<Value>)> {
+    let fact = (0u32..3, prop::collection::vec(0usize..NUM_VALUES, 1..=2));
+    (
+        prop::collection::vec(fact, 0..8),
+        prop::collection::vec(any::<bool>(), NUM_VALUES),
+    )
+        .prop_map(|(raw, rigid_flags)| {
+            let mut pool = ConstantPool::new();
+            let vals: Vec<Value> = (0..NUM_VALUES)
+                .map(|i| pool.intern(&format!("v{i}")))
+                .collect();
+            let mut facts = Facts::new();
+            for (color, ixs) in raw {
+                let t: Vec<Value> = ixs.into_iter().map(|i| vals[i]).collect();
+                facts.insert(color, Tuple::from(t));
+            }
+            let rigid: BTreeSet<Value> = vals
+                .iter()
+                .zip(rigid_flags)
+                .filter(|(_, f)| *f)
+                .map(|(v, _)| *v)
+                .collect();
+            (facts, rigid)
+        })
+}
+
+/// A random permutation of the non-rigid values (extended with identity on
+/// rigid ones).
+fn permute_free(
+    facts: &Facts,
+    rigid: &BTreeSet<Value>,
+    seed: u64,
+) -> BTreeMap<Value, Value> {
+    let adom = facts.active_domain();
+    let free: Vec<Value> = adom.iter().copied().filter(|v| !rigid.contains(v)).collect();
+    let mut perm = free.clone();
+    // Deterministic Fisher-Yates from the seed.
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    for i in (1..perm.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    let mut map: BTreeMap<Value, Value> = free.iter().copied().zip(perm).collect();
+    for &r in rigid {
+        map.insert(r, r);
+    }
+    map
+}
+
+proptest! {
+    #[test]
+    fn isomorphism_is_reflexive((facts, rigid) in arb_facts()) {
+        prop_assert!(facts.isomorphic(&facts.clone(), &rigid));
+    }
+
+    #[test]
+    fn renaming_free_values_preserves_isomorphism(
+        (facts, rigid) in arb_facts(),
+        seed in any::<u64>(),
+    ) {
+        let map = permute_free(&facts, &rigid, seed);
+        let renamed = facts.rename(&map);
+        prop_assert!(facts.isomorphic(&renamed, &rigid));
+        // Symmetry.
+        prop_assert!(renamed.isomorphic(&facts, &rigid));
+        // Canonical keys agree.
+        prop_assert_eq!(facts.canonical_key(&rigid), renamed.canonical_key(&rigid));
+    }
+
+    #[test]
+    fn canonical_key_agrees_with_matcher(
+        (f1, rigid) in arb_facts(),
+        (f2, _) in arb_facts(),
+    ) {
+        // Compare two independent fact sets over the same value universe.
+        let same_key = f1.canonical_key(&rigid) == f2.canonical_key(&rigid);
+        let iso = f1.isomorphic(&f2, &rigid);
+        prop_assert_eq!(same_key, iso);
+    }
+
+    #[test]
+    fn isomorphism_witness_is_exact((facts, rigid) in arb_facts(), seed in any::<u64>()) {
+        let map = permute_free(&facts, &rigid, seed);
+        let renamed = facts.rename(&map);
+        if let Some(h) = facts.isomorphism(&renamed, &rigid) {
+            prop_assert_eq!(facts.rename(&h), renamed);
+            // h is the identity on rigid values of the active domain.
+            for (&x, &y) in &h {
+                if rigid.contains(&x) {
+                    prop_assert_eq!(x, y);
+                }
+            }
+        } else {
+            prop_assert!(false, "renamed copy must be isomorphic");
+        }
+    }
+
+    #[test]
+    fn bijective_renaming_preserves_cardinality((facts, rigid) in arb_facts(), seed in any::<u64>()) {
+        let map = permute_free(&facts, &rigid, seed);
+        prop_assert_eq!(facts.rename(&map).len(), facts.len());
+    }
+}

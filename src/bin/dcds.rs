@@ -1,0 +1,267 @@
+//! `dcds` — command-line front end for the DCDS verification stack.
+//!
+//! ```text
+//! dcds analyze  <spec.dcds>                     static analysis verdicts
+//! dcds abstract <spec.dcds> [--max-states N] [--dot]
+//!                                               build the finite abstraction
+//! dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
+//!                                               model-check a µ-calculus property
+//! dcds run      <spec.dcds> [--steps N] [--seed S]
+//!                                               simulate the system
+//! dcds dot      <spec.dcds> [--graph dataflow|depgraph]
+//!                                               emit Graphviz
+//! dcds fmt      <spec.dcds>                     parse and pretty-print back
+//! ```
+//!
+//! Specs are in the textual format of `dcds_core::parser`; formulas in the
+//! µ-calculus surface syntax of `dcds_mucalc::parser`.
+
+use dcds_verify::abstraction::{det_abstraction, rcycl, AbsOutcome};
+use dcds_verify::analysis::{
+    dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity,
+    is_weakly_acyclic, position_ranks, run_bound_estimate, state_bound_estimate,
+};
+use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
+use dcds_verify::mucalc::{check, classify, diagnostics, parse_mu};
+use dcds_verify::reldata::{ConstantPool, InstanceDisplay};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dcds analyze  <spec.dcds>
+  dcds abstract <spec.dcds> [--max-states N] [--dot]
+  dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
+  dcds run      <spec.dcds> [--steps N] [--seed S]
+  dcds dot      <spec.dcds> [--graph dataflow|depgraph]
+  dcds fmt      <spec.dcds>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "analyze" => analyze(args.get(1).ok_or("missing spec path")?),
+        "abstract" => do_abstract(
+            args.get(1).ok_or("missing spec path")?,
+            flag_value(args, "--max-states")?.unwrap_or(10_000),
+            args.iter().any(|a| a == "--dot"),
+        ),
+        "check" => do_check(
+            args.get(1).ok_or("missing spec path")?,
+            args.get(2).ok_or("missing formula")?,
+            flag_value(args, "--max-states")?.unwrap_or(10_000),
+            args.iter().any(|a| a == "--trace"),
+        ),
+        "run" => do_run(
+            args.get(1).ok_or("missing spec path")?,
+            flag_value(args, "--steps")?.unwrap_or(10),
+            flag_value(args, "--seed")?.unwrap_or(42) as u64,
+        ),
+        "dot" => do_dot(
+            args.get(1).ok_or("missing spec path")?,
+            args.iter()
+                .position(|a| a == "--graph")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("dataflow"),
+        ),
+        "fmt" => do_fmt(args.get(1).ok_or("missing spec path")?),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a number")),
+    }
+}
+
+fn load(path: &str) -> Result<Dcds, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_dcds(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(path: &str) -> Result<(), String> {
+    let dcds = load(path)?;
+    println!(
+        "{}: {} relations, {} services ({}), {} actions, {} rules, |I0| = {}",
+        path,
+        dcds.data.schema.len(),
+        dcds.process.services.len(),
+        if dcds.is_deterministic() {
+            "all deterministic"
+        } else if dcds.is_nondeterministic() {
+            "all nondeterministic"
+        } else {
+            "mixed"
+        },
+        dcds.process.actions.len(),
+        dcds.process.rules.len(),
+        dcds.data.initial.len(),
+    );
+    let dg = dependency_graph(&dcds);
+    let wa = is_weakly_acyclic(&dg);
+    println!("weakly acyclic: {wa}");
+    if wa {
+        if let Some(ranks) = position_ranks(&dg) {
+            println!(
+                "  max position rank: {}",
+                ranks.iter().copied().max().unwrap_or(0)
+            );
+        }
+        if dcds.is_deterministic() {
+            println!("  ⇒ run-bounded (Thm 4.7); µLA decidable (Thm 4.8)");
+            if let Some(bound) = run_bound_estimate(&dcds, &dg) {
+                println!("  Thm 4.7 run bound (proof artifact): {bound:.3e}");
+            }
+        } else {
+            println!(
+                "  (weak acyclicity implies run-boundedness only for deterministic \
+                 services — this system has nondeterministic ones; see the GR verdicts)"
+            );
+        }
+    }
+    let df = dataflow_graph(&dcds);
+    let gr = gr_acyclicity::is_gr_acyclic(&df);
+    let grp = gr_acyclicity::is_gr_plus_acyclic(&df);
+    println!("GR-acyclic: {gr}");
+    println!("GR+-acyclic: {grp}");
+    if gr {
+        if let Some(bound) = state_bound_estimate(&dcds, &df) {
+            println!("  Thm 5.6 state bound (proof artifact): {bound:.3e}");
+        }
+    }
+    if grp {
+        println!("  ⇒ state-bounded (Thm 5.6); µLP decidable via RCYCL (Thm 5.7)");
+    } else if let Some(w) = gr_acyclicity::gr_plus_witness(&df) {
+        println!("  unexcused generate→recall pattern:");
+        for line in gr_acyclicity::render_witness(&w, &df, &dcds).lines() {
+            println!("    {line}");
+        }
+    }
+    Ok(())
+}
+
+fn build_abstraction(dcds: &Dcds, max_states: usize) -> (Ts, ConstantPool, bool, &'static str) {
+    if dcds.is_deterministic() {
+        let abs = det_abstraction(dcds, max_states);
+        let complete = abs.outcome == AbsOutcome::Complete;
+        (abs.ts, abs.pool, complete, "deterministic abstraction (Thm 4.3)")
+    } else {
+        let res = rcycl(dcds, max_states);
+        (res.ts, res.pool, res.complete, "RCYCL pruning (Thm 5.4)")
+    }
+}
+
+fn do_abstract(path: &str, max_states: usize, dot: bool) -> Result<(), String> {
+    let dcds = load(path)?;
+    let (ts, pool, complete, how) = build_abstraction(&dcds, max_states);
+    println!(
+        "{how}: {} states, {} edges, max |adom(state)| = {}, complete = {complete}",
+        ts.num_states(),
+        ts.num_edges(),
+        ts.max_state_adom()
+    );
+    if !complete {
+        println!(
+            "note: budget of {max_states} states hit — the system may be run-/state-unbounded; \
+             see `dcds analyze` for the static verdicts"
+        );
+    }
+    if dot {
+        println!("{}", ts.to_dot(&dcds.data.schema, &pool));
+    }
+    Ok(())
+}
+
+fn do_check(path: &str, formula: &str, max_states: usize, trace: bool) -> Result<(), String> {
+    let dcds = load(path)?;
+    let mut schema = dcds.data.schema.clone();
+    let mut pool_for_parse = dcds.data.pool.clone();
+    let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
+    let fragment = classify(&phi).map_err(|e| e.to_string())?;
+    let (ts, pool, complete, how) = build_abstraction(&dcds, max_states);
+    let verdict = check(&phi, &ts);
+    println!("fragment: {fragment:?}");
+    println!("abstraction: {how}, {} states, complete = {complete}", ts.num_states());
+    if !complete {
+        println!("WARNING: the abstraction is truncated; the verdict is only valid up to the budget");
+    }
+    println!("verdict: {verdict}");
+    if trace && !verdict {
+        if let Some(path_states) = diagnostics::counterexample_ag(&phi, &ts) {
+            println!(
+                "shortest path to a violating state:\n  {}",
+                diagnostics::render_path(&path_states, &ts, &dcds.data.schema, &pool)
+            );
+        }
+    }
+    if trace && verdict {
+        if let Some(w) = diagnostics::witness_ef(&phi, &ts) {
+            println!(
+                "a satisfying state (shortest path):\n  {}",
+                diagnostics::render_path(&w, &ts, &dcds.data.schema, &pool)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn do_run(path: &str, steps: usize, seed: u64) -> Result<(), String> {
+    let dcds = load(path)?;
+    let schema = dcds.data.schema.clone();
+    let mut runner = Runner::new(dcds, AnswerPolicy::Random { seed });
+    println!(
+        "s0: {}",
+        InstanceDisplay::new(runner.current(), &schema, runner.pool())
+    );
+    for i in 1..=steps {
+        let stepped = runner.step_any().map(|r| r.action).map_err(|e| e.clone());
+        match stepped {
+            Ok(action) => {
+                let name = runner.dcds().process.actions[action.index()].name.clone();
+                println!(
+                    "s{i}: --{name}--> {}",
+                    InstanceDisplay::new(runner.current(), &schema, runner.pool())
+                );
+            }
+            Err(e) => {
+                println!("s{i}: {e}");
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn do_dot(path: &str, which: &str) -> Result<(), String> {
+    let dcds = load(path)?;
+    match which {
+        "dataflow" => println!("{}", dataflow_dot(&dataflow_graph(&dcds), &dcds)),
+        "depgraph" => println!("{}", depgraph_dot(&dependency_graph(&dcds), &dcds)),
+        other => return Err(format!("unknown graph `{other}` (dataflow|depgraph)")),
+    }
+    Ok(())
+}
+
+fn do_fmt(path: &str) -> Result<(), String> {
+    let dcds = load(path)?;
+    print!("{}", to_spec(&dcds));
+    Ok(())
+}

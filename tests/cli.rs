@@ -1,0 +1,109 @@
+//! Smoke tests for the `dcds` command-line interface, driving the real
+//! binary over the spec files in `specs/`.
+
+use std::process::Command;
+
+fn dcds(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dcds"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+fn spec(name: &str) -> String {
+    format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_ping_pong() {
+    let (ok, text) = dcds(&["analyze", &spec("ping_pong.dcds")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("weakly acyclic: false"));
+    assert!(text.contains("GR-acyclic: true"));
+    assert!(text.contains("state-bounded"));
+}
+
+#[test]
+fn analyze_accumulator_renders_witness() {
+    let (ok, text) = dcds(&["analyze", &spec("accumulator.dcds")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("GR+-acyclic: false"));
+    assert!(text.contains("recall cycle pi3"));
+}
+
+#[test]
+fn analyze_travel_request() {
+    let (ok, text) = dcds(&["analyze", &spec("travel_request.dcds")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("GR-acyclic: false"));
+    assert!(text.contains("GR+-acyclic: true"));
+}
+
+#[test]
+fn check_verdicts_and_traces() {
+    let (ok, text) = dcds(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
+        "--trace",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("fragment: MuLP"));
+    assert!(text.contains("verdict: true"));
+    // A failing property gets a counterexample path.
+    let (ok2, text2) = dcds(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (exists X . live(X) & R(X)) & [] Z",
+        "--trace",
+    ]);
+    assert!(ok2, "{text2}");
+    assert!(text2.contains("verdict: false"));
+    assert!(text2.contains("violating state"));
+}
+
+#[test]
+fn abstract_and_run_and_dot_and_fmt() {
+    let (ok, text) = dcds(&["abstract", &spec("travel_request.dcds"), "--max-states", "5000"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("complete = true"));
+
+    let (ok2, text2) = dcds(&["run", &spec("ping_pong.dcds"), "--steps", "4", "--seed", "7"]);
+    assert!(ok2, "{text2}");
+    assert!(text2.contains("s4:"));
+
+    let (ok3, text3) = dcds(&["dot", &spec("ping_pong.dcds"), "--graph", "dataflow"]);
+    assert!(ok3, "{text3}");
+    assert!(text3.contains("digraph dataflow"));
+
+    // fmt output re-parses (write it to a temp file and analyze it).
+    let (ok4, text4) = dcds(&["fmt", &spec("travel_request.dcds")]);
+    assert!(ok4, "{text4}");
+    let tmp = std::env::temp_dir().join("dcds_fmt_roundtrip.dcds");
+    std::fs::write(&tmp, &text4).unwrap();
+    let (ok5, text5) = dcds(&["analyze", tmp.to_str().unwrap()]);
+    assert!(ok5, "fmt output must reparse: {text5}\n---\n{text4}");
+}
+
+#[test]
+fn errors_are_reported() {
+    let (ok, text) = dcds(&["analyze", "/nonexistent.dcds"]);
+    assert!(!ok);
+    assert!(text.contains("cannot read"));
+    let (ok2, text2) = dcds(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(text2.contains("unknown command"));
+    let (ok3, text3) = dcds(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . Nope(X) & [] Z",
+    ]);
+    assert!(!ok3);
+    assert!(text3.contains("unknown relation"), "{text3}");
+}
