@@ -9,11 +9,49 @@
 //! the result is finite and history-preserving bisimilar to the concrete
 //! transition system; our tests machine-check instances of that statement
 //! with the `dcds-bisim` checkers against bounded concrete prefixes.
+//!
+//! # Construction
+//!
+//! The BFS is **level-synchronised** and built from four phases per level,
+//! so the expensive work parallelises over the whole frontier while every
+//! order-sensitive effect stays serial:
+//!
+//! 1. *enumerate* (parallel): per frontier state, legal assignments,
+//!    `DO(I, ασ)` pre-instances, and the equality commitments of the new
+//!    calls — none of which touch the constant pool;
+//! 2. *mint* (serial, frontier order): instantiate each commitment's fresh
+//!    cells from the shared [`ConstantPool`] — the exact mint sequence a
+//!    serial loop would produce;
+//! 3. *step* (parallel, over all `(state, ασ, commitment)` tasks):
+//!    [`det_step_with_pre`], the successor's [`Facts`] encoding, its
+//!    invariant signature, and — when the level-start index already has a
+//!    matching signature bucket — its canonical key;
+//! 4. *merge* (serial, task order): deduplicate against the class index,
+//!    allocate state ids, record edges, apply the state budget.
+//!
+//! Because phases 2 and 4 replay the serial engine's effect order exactly,
+//! the output (`Ts`, states, outcome, pool) is **bit-identical for every
+//! thread count** — `dcds_core::par::par_map` returns results in input
+//! order regardless of scheduling. The determinism tests assert this.
+//!
+//! # Deduplication
+//!
+//! The class index buckets isomorphism classes by their cheap
+//! [`Facts::signature`]. A successor whose signature bucket is empty is
+//! provably a new class — no canonicalisation happens at all (the common
+//! case; see the `sig_filter_skips` counter). Only on a bucket hit is the
+//! expensive canonical key computed (lazily, both for the probe and for
+//! the resident classes), and symmetric instances whose key search would
+//! exceed [`dcds_reldata::PERM_BUDGET`] fall back to the backtracking
+//! isomorphism matcher within the bucket.
 
-use dcds_core::det::{det_successors_by_commitment, DetState};
-use dcds_core::{Dcds, StateId, Ts};
-use dcds_reldata::{CanonKey, ConstantPool};
-use std::collections::{HashMap, VecDeque};
+use dcds_core::det::{det_step_with_pre, DetState};
+use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
+use dcds_core::par::{configured_threads, par_map, EngineCounters};
+use dcds_core::{enumerate_commitments, ActionId, CommitTarget, Commitment, Dcds, StateId, Ts};
+use dcds_folang::Assignment;
+use dcds_reldata::{CanonKey, ConstantPool, Facts, Value, PERM_BUDGET};
+use std::collections::{BTreeSet, HashMap};
 
 /// Whether an abstraction construction saturated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,24 +75,52 @@ pub struct DetAbstraction {
     /// The constant pool extended with the representative fresh values the
     /// construction minted (needed to display the states).
     pub pool: ConstantPool,
+    /// Observability counters (exact and thread-count independent).
+    pub counters: EngineCounters,
 }
 
 /// State-deduplication strategy for the abstraction BFS — exposed so the
 /// benchmark suite can ablate the design choice DESIGN.md makes (canonical
-/// keys give O(1) lookup at the cost of canonicalisation per state;
-/// pairwise matching avoids canonicalisation but scans the class list).
+/// keys give O(1) lookup at the cost of canonicalisation per colliding
+/// state; pairwise matching avoids canonicalisation but scans the class
+/// list). Both strategies are pre-filtered by the invariant signature.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DedupStrategy {
-    /// Canonical-form keys in a hash map (the default).
+    /// Canonical-form keys, computed lazily per signature bucket (the
+    /// default).
     CanonicalKey,
-    /// Linear scan with the backtracking isomorphism matcher.
+    /// Signature-bucketed scan with the backtracking isomorphism matcher.
     PairwiseIso,
+}
+
+/// Options for [`det_abstraction_opts`].
+#[derive(Debug, Clone, Copy)]
+pub struct AbsOptions {
+    /// Deduplication strategy.
+    pub strategy: DedupStrategy,
+    /// Worker threads for the parallel phases. `1` is the serial engine
+    /// (same output, no worker pool) — the ablation baseline.
+    pub threads: usize,
+    /// Canonicalise *every* successor instead of only on signature-bucket
+    /// hits — the pre-fast-path cost model, kept as an ablation baseline
+    /// for the benchmark harness. Output is identical either way.
+    pub eager_keys: bool,
+}
+
+impl Default for AbsOptions {
+    fn default() -> Self {
+        AbsOptions {
+            strategy: DedupStrategy::CanonicalKey,
+            threads: configured_threads(),
+            eager_keys: false,
+        }
+    }
 }
 
 /// Build the deterministic abstract transition system, up to `max_states`
 /// isomorphism classes.
 pub fn det_abstraction(dcds: &Dcds, max_states: usize) -> DetAbstraction {
-    det_abstraction_with(dcds, max_states, DedupStrategy::CanonicalKey)
+    det_abstraction_opts(dcds, max_states, AbsOptions::default())
 }
 
 /// [`det_abstraction`] with an explicit deduplication strategy.
@@ -63,61 +129,300 @@ pub fn det_abstraction_with(
     max_states: usize,
     strategy: DedupStrategy,
 ) -> DetAbstraction {
+    det_abstraction_opts(
+        dcds,
+        max_states,
+        AbsOptions {
+            strategy,
+            ..AbsOptions::default()
+        },
+    )
+}
+
+/// Signature-bucketed index of the isomorphism classes seen so far.
+///
+/// Canonical keys are computed lazily: a class admitted through an empty
+/// bucket never pays for canonicalisation unless a later probe collides
+/// with its signature. Classes whose key search exceeds [`PERM_BUDGET`]
+/// stay keyless forever and are compared by the backtracking matcher.
+struct ClassIndex {
+    strategy: DedupStrategy,
+    rigid: BTreeSet<Value>,
+    /// Per class: the fact encoding (probe target for the matchers).
+    class_facts: Vec<Facts>,
+    /// Per class: invariant signature.
+    sigs: Vec<u64>,
+    /// Per class: canonical key, if computed and within budget.
+    keys: Vec<Option<CanonKey>>,
+    /// Signature → classes with that signature, in insertion order.
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl ClassIndex {
+    fn new(strategy: DedupStrategy, rigid: BTreeSet<Value>) -> Self {
+        ClassIndex {
+            strategy,
+            rigid,
+            class_facts: Vec::new(),
+            sigs: Vec::new(),
+            keys: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// Is this signature's bucket non-empty? (Workers consult the
+    /// level-start snapshot to decide whether to canonicalise eagerly.)
+    fn bucket_occupied(&self, sig: u64) -> bool {
+        self.buckets.get(&sig).is_some_and(|b| !b.is_empty())
+    }
+
+    /// Find the class of `facts`, if already present. `probe_key` carries a
+    /// key a worker may have computed speculatively (`None` = not
+    /// attempted); the slot is filled in if the merge has to compute one,
+    /// so a subsequent [`ClassIndex::insert`] can reuse it.
+    fn find(
+        &mut self,
+        facts: &Facts,
+        sig: u64,
+        probe_key: &mut Option<Option<CanonKey>>,
+        counters: &mut EngineCounters,
+    ) -> Option<usize> {
+        let Some(bucket) = self.buckets.get(&sig).filter(|b| !b.is_empty()) else {
+            counters.sig_filter_skips += 1;
+            if self.strategy == DedupStrategy::PairwiseIso {
+                counters.iso_checks_avoided += self.class_facts.len() as u64;
+            }
+            return None;
+        };
+        let bucket = bucket.clone();
+        if self.strategy == DedupStrategy::PairwiseIso {
+            counters.iso_checks_avoided += (self.class_facts.len() - bucket.len()) as u64;
+            for ix in bucket {
+                counters.iso_checks_performed += 1;
+                if self.class_facts[ix].isomorphic(facts, &self.rigid) {
+                    return Some(ix);
+                }
+            }
+            return None;
+        }
+        // CanonicalKey strategy: materialise the probe's key on first need.
+        if probe_key.is_none() {
+            *probe_key = Some(facts.try_canonical_key(&self.rigid, PERM_BUDGET));
+            if probe_key.as_ref().unwrap().is_some() {
+                counters.canon_keys_computed += 1;
+            }
+        }
+        let probe = probe_key.as_ref().unwrap();
+        for ix in bucket {
+            match (probe, &self.keys[ix]) {
+                (Some(pk), Some(ck)) => {
+                    counters.iso_checks_avoided += 1;
+                    if pk == ck {
+                        return Some(ix);
+                    }
+                }
+                _ => {
+                    // Either side over the permutation budget (or the
+                    // resident class was admitted keyless and is now being
+                    // keyed lazily): try to key the resident, else fall
+                    // back to the backtracking matcher.
+                    if probe.is_some() && self.keys[ix].is_none() {
+                        self.keys[ix] =
+                            self.class_facts[ix].try_canonical_key(&self.rigid, PERM_BUDGET);
+                        if let Some(ck) = &self.keys[ix] {
+                            counters.canon_keys_computed += 1;
+                            counters.iso_checks_avoided += 1;
+                            if probe.as_ref().unwrap() == ck {
+                                return Some(ix);
+                            }
+                            continue;
+                        }
+                    }
+                    counters.iso_checks_performed += 1;
+                    if self.class_facts[ix].isomorphic(facts, &self.rigid) {
+                        return Some(ix);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Admit a new class. `probe_key` is whatever [`ClassIndex::find`] (or
+    /// a worker) computed — possibly nothing, which is the signature fast
+    /// path's whole point.
+    fn insert(&mut self, facts: Facts, sig: u64, probe_key: Option<Option<CanonKey>>) {
+        let ix = self.class_facts.len();
+        self.class_facts.push(facts);
+        self.sigs.push(sig);
+        self.keys.push(probe_key.flatten());
+        self.buckets.entry(sig).or_default().push(ix);
+    }
+}
+
+/// One phase-3 task: a `(frontier state, ασ, commitment)` triple with its
+/// minted evaluation choice.
+struct StepTask<'a> {
+    frontier_ix: usize,
+    source: StateId,
+    pre: &'a PreInstance,
+    choice: std::collections::BTreeMap<dcds_core::ServiceCall, Value>,
+}
+
+/// The outcome of one phase-3 task.
+struct StepResult {
+    source: StateId,
+    /// `None` when the commitment representative violates the constraints.
+    next: Option<(DetState, Facts, u64, Option<Option<CanonKey>>)>,
+}
+
+/// [`det_abstraction`] with explicit options. Output is identical for
+/// every `opts.threads` value (including 1); see the module docs.
+pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) -> DetAbstraction {
     let rigid = dcds.rigid_constants();
     let num_rels = dcds.data.schema.len();
+    let threads = opts.threads.max(1);
     let mut pool = dcds.data.pool.clone();
+    let mut counters = EngineCounters::default();
 
     let s0 = DetState::initial(dcds);
     let mut ts = Ts::new(s0.instance.clone());
     let mut states = vec![s0.clone()];
-    let mut index: HashMap<CanonKey, StateId> = HashMap::new();
-    let mut class_facts: Vec<dcds_reldata::Facts> = vec![s0.to_facts(num_rels)];
-    if strategy == DedupStrategy::CanonicalKey {
-        index.insert(class_facts[0].canonical_key(&rigid), ts.initial());
-    }
-    let mut queue: VecDeque<StateId> = VecDeque::new();
-    queue.push_back(ts.initial());
+    let mut index = ClassIndex::new(opts.strategy, rigid.clone());
+    let f0 = s0.to_facts(num_rels);
+    let sig0 = f0.signature(&rigid);
+    let key0 = if opts.strategy == DedupStrategy::CanonicalKey {
+        let k = f0.try_canonical_key(&rigid, PERM_BUDGET);
+        if k.is_some() {
+            counters.canon_keys_computed += 1;
+        }
+        Some(k)
+    } else {
+        None
+    };
+    index.insert(f0, sig0, key0);
+
+    let mut frontier: Vec<StateId> = vec![ts.initial()];
     let mut outcome = AbsOutcome::Complete;
 
-    while let Some(sid) = queue.pop_front() {
-        let state = states[sid.index()].clone();
-        for (_action, _sigma, _commitment, next) in
-            det_successors_by_commitment(dcds, &state, &mut pool)
-        {
-            let facts = next.to_facts(num_rels);
-            let existing = match strategy {
-                DedupStrategy::CanonicalKey => {
-                    index.get(&facts.canonical_key(&rigid)).copied()
+    while !frontier.is_empty() {
+        counters.states_expanded += frontier.len() as u64;
+
+        // Phase 1 (parallel): legal assignments, pre-instances, and
+        // commitments per frontier state. Nothing here touches the pool.
+        let enumerated: Vec<Vec<(ActionId, Assignment, PreInstance, Vec<Commitment>)>> =
+            par_map(&frontier, threads, |&sid| {
+                let state = &states[sid.index()];
+                legal_assignments(dcds, &state.instance)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let new_calls: Vec<dcds_core::ServiceCall> = pre
+                            .calls()
+                            .into_iter()
+                            .filter(|c| !state.call_map.contains_key(c))
+                            .collect();
+                        let mut known: BTreeSet<Value> = state.known_values();
+                        known.extend(rigid.iter().copied());
+                        let known: Vec<Value> = known.into_iter().collect();
+                        let commitments = enumerate_commitments(&new_calls, &known);
+                        (action, sigma, pre, commitments)
+                    })
+                    .collect()
+            });
+
+        // Phase 2 (serial, frontier order): mint the fresh cells of every
+        // commitment — the exact mint sequence of the serial engine.
+        let mut tasks: Vec<StepTask> = Vec::new();
+        for (frontier_ix, (sid, per_state)) in frontier.iter().zip(&enumerated).enumerate() {
+            for (_action, _sigma, pre, commitments) in per_state {
+                for commitment in commitments {
+                    let cells = dcds_core::commitment::fresh_cell_count(commitment);
+                    let fresh: Vec<Value> = (0..cells).map(|_| pool.mint("v")).collect();
+                    let choice = commitment
+                        .iter()
+                        .map(|(c, t)| {
+                            let v = match t {
+                                CommitTarget::Known(v) => *v,
+                                CommitTarget::Fresh(cell) => fresh[*cell],
+                            };
+                            (c.clone(), v)
+                        })
+                        .collect();
+                    tasks.push(StepTask {
+                        frontier_ix,
+                        source: *sid,
+                        pre,
+                        choice,
+                    });
                 }
-                DedupStrategy::PairwiseIso => (0..class_facts.len())
-                    .find(|&ix| class_facts[ix].isomorphic(&facts, &rigid))
-                    .map(StateId::from_index),
+            }
+        }
+
+        // Phase 3 (parallel): evaluate every commitment representative,
+        // encode it, and — on a signature hit against the level-start
+        // index — canonicalise it eagerly so the serial merge rarely has
+        // to.
+        let stepped: Vec<StepResult> = par_map(&tasks, threads, |task| {
+            let state = &states[frontier[task.frontier_ix].index()];
+            let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
+                let facts = next.to_facts(num_rels);
+                let sig = facts.signature(&rigid);
+                let key = if opts.strategy == DedupStrategy::CanonicalKey
+                    && (opts.eager_keys || index.bucket_occupied(sig))
+                {
+                    Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
+                } else {
+                    None
+                };
+                (next, facts, sig, key)
+            });
+            StepResult {
+                source: task.source,
+                next,
+            }
+        });
+        drop(tasks);
+
+        // Phase 4 (serial, task order): deduplicate, allocate ids, record
+        // edges — byte-for-byte the serial engine's merge order.
+        let mut next_frontier: Vec<StateId> = Vec::new();
+        for result in stepped {
+            let Some((next, facts, sig, mut key)) = result.next else {
+                continue;
             };
-            let next_id = match existing {
-                Some(id) => id,
+            counters.successors_generated += 1;
+            if key.is_some() {
+                // Worker canonicalised eagerly; account for it exactly once.
+                if key.as_ref().unwrap().is_some() {
+                    counters.canon_keys_computed += 1;
+                }
+            }
+            let next_id = match index.find(&facts, sig, &mut key, &mut counters) {
+                Some(class_ix) => StateId::from_index(class_ix),
                 None => {
                     if ts.num_states() >= max_states {
                         outcome = AbsOutcome::Truncated;
                         continue;
                     }
                     let id = ts.add_state(next.instance.clone());
-                    states.push(next.clone());
-                    if strategy == DedupStrategy::CanonicalKey {
-                        index.insert(facts.canonical_key(&rigid), id);
-                    }
-                    class_facts.push(facts);
-                    queue.push_back(id);
+                    states.push(next);
+                    index.insert(facts, sig, key);
+                    next_frontier.push(id);
                     id
                 }
             };
-            ts.add_edge(sid, next_id);
+            ts.add_edge(result.source, next_id);
         }
+        frontier = next_frontier;
     }
+
     DetAbstraction {
         ts,
         states,
         outcome,
         pool,
+        counters,
     }
 }
 
@@ -243,5 +548,70 @@ mod tests {
                 "state {s:?} has no successors"
             );
         }
+    }
+
+    #[test]
+    fn thread_counts_agree_exactly() {
+        // The determinism contract at unit-test scale (the integration
+        // suite covers more systems): states, edges, outcome, and the pool
+        // are identical for 1, 2, and 8 workers.
+        for dcds in [example_4_1(), example_4_2(), example_4_3()] {
+            let runs: Vec<DetAbstraction> = [1usize, 2, 8]
+                .into_iter()
+                .map(|threads| {
+                    det_abstraction_opts(
+                        &dcds,
+                        60,
+                        AbsOptions {
+                            strategy: DedupStrategy::CanonicalKey,
+                            threads,
+                            eager_keys: false,
+                        },
+                    )
+                })
+                .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0].ts, other.ts);
+                assert_eq!(runs[0].states, other.states);
+                assert_eq!(runs[0].outcome, other.outcome);
+                assert_eq!(runs[0].pool.len(), other.pool.len());
+                assert_eq!(runs[0].counters, other.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn eager_keys_ablation_gives_identical_output() {
+        // The fast path only skips work, never changes the quotient.
+        for dcds in [example_4_1(), example_4_2(), example_4_3()] {
+            let lazy = det_abstraction(&dcds, 60);
+            let eager = det_abstraction_opts(
+                &dcds,
+                60,
+                AbsOptions {
+                    eager_keys: true,
+                    ..AbsOptions::default()
+                },
+            );
+            assert_eq!(lazy.ts, eager.ts);
+            assert_eq!(lazy.outcome, eager.outcome);
+            // Eager canonicalises at least as often.
+            assert!(eager.counters.canon_keys_computed >= lazy.counters.canon_keys_computed);
+        }
+    }
+
+    #[test]
+    fn signature_fast_path_skips_canonicalisation() {
+        // Most dedup probes in a saturating construction are fresh classes:
+        // the signature bucket is empty and no canonical key is computed.
+        let abs = det_abstraction(&example_4_1(), 200);
+        assert!(abs.counters.sig_filter_skips > 0);
+        assert!(
+            abs.counters.canon_keys_computed
+                < abs.counters.successors_generated + 1,
+            "fast path never fired: {:?}",
+            abs.counters
+        );
+        assert!(abs.counters.states_expanded >= abs.ts.num_states() as u64);
     }
 }

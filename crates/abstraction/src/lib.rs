@@ -29,6 +29,9 @@ pub mod pruning;
 pub mod rcycl;
 
 pub use bounds::{observe_run_bound, observe_state_bound, BoundObservation};
-pub use det_abs::{det_abstraction, det_abstraction_with, AbsOutcome, DedupStrategy, DetAbstraction};
+pub use det_abs::{
+    det_abstraction, det_abstraction_opts, det_abstraction_with, AbsOptions, AbsOutcome,
+    DedupStrategy, DetAbstraction,
+};
 pub use pruning::commitment_coverage_holds;
-pub use rcycl::{rcycl, RcyclResult};
+pub use rcycl::{rcycl, rcycl_opts, RcyclResult};

@@ -26,8 +26,9 @@
 //! recycling pruning `Θ_S ∼ Υ_S`; for state-unbounded inputs we stop at
 //! `max_states` and report truncation.
 
-use dcds_core::do_op::{do_action, legal_assignments};
-use dcds_core::nondet::{evals_over, nondet_step};
+use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
+use dcds_core::nondet::{evals_over, nondet_step_with_pre};
+use dcds_core::par::{configured_threads, par_map, EngineCounters};
 use dcds_core::{Dcds, StateId, Ts};
 use dcds_reldata::{ConstantPool, Instance, Value};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -45,9 +46,15 @@ pub struct RcyclResult {
     pub triples_processed: usize,
     /// The constant pool extended with minted fresh values.
     pub pool: ConstantPool,
+    /// Observability counters. RCYCL deduplicates by *exact* instance
+    /// equality (the pruning recycles values, so isomorphic states really
+    /// are equal), hence the canonicalisation counters stay zero here;
+    /// `states_expanded` / `successors_generated` are the load metrics.
+    pub counters: EngineCounters,
 }
 
-/// Run Algorithm RCYCL with a state budget.
+/// Run Algorithm RCYCL with a state budget and the configured thread count
+/// (see [`configured_threads`]).
 ///
 /// The `EVALS_F` enumeration is `|F|^n` for `n` calls per step; steps whose
 /// enumeration would exceed an internal budget (2·10^4 evaluations) are
@@ -57,9 +64,27 @@ pub struct RcyclResult {
 /// budget: their per-step call count is fixed by the specification and
 /// their `F` recycles a bounded value pool.)
 pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
+    rcycl_opts(dcds, max_states, configured_threads())
+}
+
+/// [`rcycl`] with an explicit worker-thread count. Output is identical for
+/// every `threads` value (including 1, the serial ablation baseline).
+///
+/// Unlike the deterministic abstraction, RCYCL's outer loop cannot be
+/// level-parallelised without changing the answer: `UsedValues` evolves
+/// per `(I, α, σ)` triple and feeds the very next triple's
+/// `RecyclableValues` pick. What *is* embarrassingly parallel is the inside
+/// of a triple — the up-to-`|F|^n` evaluations θ are independent
+/// constraint-checked query evaluations against one shared `DO(I, ασ)`
+/// pre-instance — and the per-state `DO` precomputation. Both are farmed
+/// out with [`par_map`] and merged serially in enumeration order, so the
+/// pruning, `UsedValues`, and the pool match the serial run exactly.
+pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult {
     const MAX_EVALS_PER_STEP: f64 = 20_000.0;
     let rigid = dcds.rigid_constants();
+    let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
+    let mut counters = EngineCounters::default();
 
     let mut ts = Ts::new(dcds.data.initial.clone());
     let mut index: HashMap<Instance, StateId> = HashMap::new();
@@ -81,10 +106,16 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
         if !visited_states.insert(sid) {
             continue;
         }
+        counters.states_expanded += 1;
         let inst = ts.db(sid).clone();
-        for (action, sigma) in legal_assignments(dcds, &inst) {
+        // `DO(I, ασ)` depends only on the state, not on `UsedValues`:
+        // precompute every triple's pre-instance in parallel.
+        let triples_for_state = legal_assignments(dcds, &inst);
+        let pres: Vec<PreInstance> = par_map(&triples_for_state, threads, |(action, sigma)| {
+            do_action(dcds, &inst, *action, sigma)
+        });
+        for pre in &pres {
             triples += 1;
-            let pre = do_action(dcds, &inst, action, &sigma);
             let calls = pre.calls();
             let n = calls.len();
             // RecyclableValues := UsedValues − (ADOM(I₀) ∪ ADOM(I)).
@@ -108,10 +139,14 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
                 complete = false;
                 continue;
             }
-            for theta in evals_over(&calls, &f_set) {
-                let Some(next) = nondet_step(dcds, &inst, action, &sigma, &theta) else {
-                    continue;
-                };
+            // The θ fan-out: independent evaluations of one pre-instance,
+            // merged below in enumeration order.
+            let thetas = evals_over(&calls, &f_set);
+            let nexts: Vec<Option<Instance>> = par_map(&thetas, threads, |theta| {
+                nondet_step_with_pre(dcds, pre, theta)
+            });
+            for next in nexts.into_iter().flatten() {
+                counters.successors_generated += 1;
                 let next_id = match index.get(&next) {
                     Some(&id) => id,
                     None => {
@@ -120,7 +155,7 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
                             continue;
                         }
                         let id = ts.add_state(next.clone());
-                        index.insert(next.clone(), id);
+                        index.insert(next, id);
                         queue.push_back(id);
                         id
                     }
@@ -137,6 +172,7 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
         used_values,
         triples_processed: triples,
         pool,
+        counters,
     }
 }
 
@@ -214,6 +250,26 @@ mod tests {
         let res = rcycl(&example_5_1(), 100);
         for s in res.ts.state_ids() {
             assert!(res.ts.successors(s).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_exactly() {
+        // The θ fan-out parallelism must not change the pruning: same
+        // states in the same order, same edges, same UsedValues, same pool.
+        for (dcds, budget) in [(example_5_1(), 100usize), (example_5_2(), 80)] {
+            let runs: Vec<RcyclResult> = [1usize, 2, 8]
+                .into_iter()
+                .map(|t| rcycl_opts(&dcds, budget, t))
+                .collect();
+            for other in &runs[1..] {
+                assert_eq!(runs[0].ts, other.ts);
+                assert_eq!(runs[0].complete, other.complete);
+                assert_eq!(runs[0].used_values, other.used_values);
+                assert_eq!(runs[0].triples_processed, other.triples_processed);
+                assert_eq!(runs[0].pool.len(), other.pool.len());
+                assert_eq!(runs[0].counters, other.counters);
+            }
         }
     }
 

@@ -1,0 +1,253 @@
+//! Std-only timing harness for the abstraction engines (no criterion).
+//!
+//! Times `det_abstraction` and RCYCL on the synthetic workload families
+//! along two axes:
+//!
+//! * **thread scaling** — the phase-split parallel BFS at 1, 2, 4, 8
+//!   workers (wall-clock; speedups only materialise on multicore
+//!   hardware, so the report records `hardware_threads` next to them);
+//! * **canonical-key fast path** — the signature-bucketed lazy index
+//!   against the eager ablation that canonicalises every successor (the
+//!   pre-fast-path cost model), at a fixed thread count.
+//!
+//! Writes `BENCH_abstraction.json` into the current directory so the perf
+//! trajectory is tracked across commits without a benchmarking framework,
+//! and prints the same numbers as a table.
+//!
+//! Usage: `cargo run --release --bin perf_report [-- --reps N]`
+
+use dcds_abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, DedupStrategy};
+use dcds_bench::synthetic;
+use dcds_core::Dcds;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Best-of-`reps` wall-clock seconds for `f` (best-of suppresses
+/// scheduler noise better than means on shared machines).
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (best, result.unwrap())
+}
+
+struct ThreadRun {
+    threads: usize,
+    secs: f64,
+    states: usize,
+    edges: usize,
+}
+
+struct Workload {
+    name: &'static str,
+    engine: &'static str,
+    runs: Vec<ThreadRun>,
+    /// Fraction of dedup probes resolved by the signature fast path alone.
+    sig_hit_rate: Option<f64>,
+    /// eager-ablation seconds at 1 thread (det workloads only).
+    eager_secs: Option<f64>,
+    /// lazy seconds at 1 thread (denominator partner of `eager_secs`).
+    lazy_secs: Option<f64>,
+}
+
+fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
+    let mut runs = Vec::new();
+    let mut sig_hit_rate = None;
+    for threads in THREAD_COUNTS {
+        let (secs, abs) = time_best(reps, || {
+            det_abstraction_opts(
+                dcds,
+                max_states,
+                AbsOptions {
+                    strategy: DedupStrategy::CanonicalKey,
+                    threads,
+                    eager_keys: false,
+                },
+            )
+        });
+        sig_hit_rate = abs.counters.sig_hit_rate();
+        runs.push(ThreadRun {
+            threads,
+            secs,
+            states: abs.ts.num_states(),
+            edges: abs.ts.num_edges(),
+        });
+    }
+    let (eager_secs, _) = time_best(reps, || {
+        det_abstraction_opts(
+            dcds,
+            max_states,
+            AbsOptions {
+                strategy: DedupStrategy::CanonicalKey,
+                threads: 1,
+                eager_keys: true,
+            },
+        )
+    });
+    Workload {
+        name,
+        engine: "det_abstraction",
+        lazy_secs: Some(runs[0].secs),
+        runs,
+        sig_hit_rate,
+        eager_secs: Some(eager_secs),
+    }
+}
+
+fn bench_rcycl(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let (secs, res) = time_best(reps, || rcycl_opts(dcds, max_states, threads));
+        runs.push(ThreadRun {
+            threads,
+            secs,
+            states: res.ts.num_states(),
+            edges: res.ts.num_edges(),
+        });
+    }
+    Workload {
+        name,
+        engine: "rcycl",
+        runs,
+        sig_hit_rate: None,
+        eager_secs: None,
+        lazy_secs: None,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let reps = std::env::args()
+        .skip_while(|a| a != "--reps")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let workloads = vec![
+        bench_det(
+            "parallel_rings(3), max_states=600",
+            &synthetic::parallel_rings(3),
+            600,
+            reps,
+        ),
+        bench_det(
+            "service_chain(8), max_states=300",
+            &synthetic::service_chain(8),
+            300,
+            reps,
+        ),
+        bench_det(
+            "service_cycle(6), max_states=1500",
+            &synthetic::service_cycle(6),
+            1500,
+            reps,
+        ),
+        bench_rcycl("flush_ladder, max_states=2000", &synthetic::flush_ladder(), 2000, reps),
+        bench_rcycl(
+            "accumulator(2), max_states=250",
+            &synthetic::accumulator(2),
+            250,
+            reps,
+        ),
+    ];
+
+    // Human-readable table.
+    println!("abstraction perf report  (hardware_threads = {hardware_threads}, best of {reps})");
+    for w in &workloads {
+        let base = w.runs[0].secs;
+        println!("\n{} — {}", w.engine, w.name);
+        println!("  {:>7}  {:>10}  {:>8}  {:>7}  {:>7}", "threads", "secs", "speedup", "states", "edges");
+        for r in &w.runs {
+            println!(
+                "  {:>7}  {:>10.4}  {:>7.2}x  {:>7}  {:>7}",
+                r.threads,
+                r.secs,
+                base / r.secs,
+                r.states,
+                r.edges
+            );
+        }
+        if let Some(rate) = w.sig_hit_rate {
+            println!(
+                "  signature fast path: {:.1}% of dedup probes resolved without canonicalisation",
+                rate * 100.0
+            );
+        }
+        if let (Some(eager), Some(lazy)) = (w.eager_secs, w.lazy_secs) {
+            println!(
+                "  canonical-key fast path: lazy {lazy:.4}s vs eager {eager:.4}s ({:.2}x) at 1 thread",
+                eager / lazy
+            );
+        }
+    }
+
+    // JSON artifact.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"abstraction-parallel\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (wi, w) in workloads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"engine\": \"{}\",", w.engine);
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, r) in w.runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {}, \"secs\": {}, \"speedup_vs_1\": {}, \"states\": {}, \"edges\": {}}}{}",
+                r.threads,
+                json_f64(r.secs),
+                json_f64(w.runs[0].secs / r.secs),
+                r.states,
+                r.edges,
+                if ri + 1 < w.runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(
+            json,
+            "      \"sig_fast_path_hit_rate\": {},",
+            w.sig_hit_rate.map(json_f64).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            json,
+            "      \"eager_keys_secs_1_thread\": {},",
+            w.eager_secs.map(json_f64).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            json,
+            "      \"fast_path_speedup_1_thread\": {}",
+            match (w.eager_secs, w.lazy_secs) {
+                (Some(e), Some(l)) => json_f64(e / l),
+                _ => "null".into(),
+            }
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < workloads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_abstraction.json", &json).expect("write BENCH_abstraction.json");
+    println!("\nwrote BENCH_abstraction.json");
+}

@@ -17,5 +17,6 @@
 
 pub mod examples;
 pub mod figures;
+pub mod rng;
 pub mod synthetic;
 pub mod travel;

@@ -1,8 +1,7 @@
 //! Parametric synthetic DCDS families for scaling benchmarks.
 
+use crate::rng::SplitMix64;
 use dcds_core::{Dcds, DcdsBuilder, ServiceKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A weakly acyclic copy chain: `R0 → R1 → ... → Rn` (one copy effect per
 /// link, no services). Run-bounded trivially.
@@ -114,6 +113,32 @@ pub fn flush_ladder() -> Dcds {
         .expect("flush ladder")
 }
 
+/// `width` independent Example-4.3 rings with deterministic services:
+/// every step applies each `fᵢ` to that ring's freshest value, so the
+/// service-call maps grow without bound and (almost) every commitment
+/// successor is a brand-new isomorphism class, while the commitments over
+/// the `width` simultaneous calls give wide branching. The stress profile
+/// for the abstraction dedup index — big fact encodings, expensive
+/// canonical keys, empty signature buckets.
+pub fn parallel_rings(width: usize) -> Dcds {
+    let width = width.max(1);
+    let mut b = DcdsBuilder::new();
+    for i in 0..width {
+        b = b
+            .relation(&format!("R{i}"), 1)
+            .relation(&format!("Q{i}"), 1)
+            .service(&format!("f{i}"), 1, ServiceKind::Deterministic)
+            .init_fact(&format!("R{i}"), &["a"]);
+    }
+    b = b.action("step", &[], |a| {
+        for i in 0..width {
+            a.effect(&format!("R{i}(X)"), &format!("Q{i}(f{i}(X))"));
+            a.effect(&format!("Q{i}(X)"), &format!("R{i}(X)"));
+        }
+    });
+    b.rule("true", "step").build().expect("parallel rings")
+}
+
 /// Parameters for random DCDS generation.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomParams {
@@ -145,7 +170,7 @@ impl Default for RandomParams {
 /// relations, effects copying or service-mapping between random pairs.
 /// Used to benchmark the static analyses on varied graph shapes.
 pub fn random_dcds(seed: u64, params: RandomParams) -> Dcds {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut b = DcdsBuilder::new();
     for i in 0..params.relations {
         b = b.relation(&format!("R{i}"), 1);
@@ -160,11 +185,11 @@ pub fn random_dcds(seed: u64, params: RandomParams) -> Dcds {
     let call_probability = params.call_probability;
     let mut specs: Vec<(String, String)> = Vec::new();
     for _ in 0..effects {
-        let src = rng.gen_range(0..relations);
-        let dst = rng.gen_range(0..relations);
+        let src = rng.gen_range(relations);
+        let dst = rng.gen_range(relations);
         let body = format!("R{src}(X)");
         let head = if services > 0 && rng.gen_bool(call_probability) {
-            let f = rng.gen_range(0..services);
+            let f = rng.gen_range(services);
             format!("R{dst}(f{f}(X))")
         } else {
             format!("R{dst}(X)")

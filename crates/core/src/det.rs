@@ -81,6 +81,21 @@ pub fn det_step(
     choice: &BTreeMap<ServiceCall, Value>,
 ) -> Option<DetState> {
     let pre = do_action(dcds, &state.instance, action, sigma);
+    det_step_with_pre(dcds, state, &pre, choice)
+}
+
+/// [`det_step`] for a caller that has already computed `DO(I, ασ)`.
+///
+/// The parallel frontier expansion computes each `PreInstance` once per
+/// legal `ασ` and then evaluates every commitment of that `ασ` against it,
+/// instead of re-running `DO` (a full query-evaluation pass) per
+/// commitment as the pointwise API does.
+pub fn det_step_with_pre(
+    dcds: &Dcds,
+    state: &DetState,
+    pre: &crate::do_op::PreInstance,
+    choice: &BTreeMap<ServiceCall, Value>,
+) -> Option<DetState> {
     let mut new_map = state.call_map.clone();
     for call in pre.calls() {
         if let Some(&v) = state.call_map.get(&call) {
@@ -97,7 +112,7 @@ pub fn det_step(
             new_map.insert(call, v);
         }
     }
-    let inst = resolve_with_map(&pre, &new_map)?;
+    let inst = resolve_with_map(pre, &new_map)?;
     if !dcds.data.satisfies_constraints(&inst) {
         return None;
     }
@@ -144,7 +159,7 @@ pub fn det_successors_by_commitment(
                     (c.clone(), v)
                 })
                 .collect();
-            if let Some(next) = det_step(dcds, state, action, &sigma, &choice) {
+            if let Some(next) = det_step_with_pre(dcds, state, &pre, &choice) {
                 out.push((action, sigma.clone(), commitment, next));
             }
         }

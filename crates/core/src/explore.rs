@@ -14,13 +14,14 @@
 
 use crate::commitment::{enumerate_commitments, CommitTarget};
 use crate::dcds::Dcds;
-use crate::det::{det_step, DetState};
-use crate::do_op::{do_action, legal_assignments};
-use crate::nondet::nondet_step;
+use crate::det::{det_step_with_pre, DetState};
+use crate::do_op::{do_action, legal_assignments, PreInstance};
+use crate::nondet::nondet_step_with_pre;
+use crate::par::{configured_threads, par_map};
 use crate::term::ServiceCall;
 use crate::ts::{StateId, Ts};
 use dcds_reldata::{ConstantPool, Instance, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Bounds on exploration.
 #[derive(Debug, Clone, Copy)]
@@ -171,11 +172,24 @@ pub struct NondetExploration {
 
 /// BFS over the deterministic concrete transition system, branching as the
 /// oracle dictates, deduplicating identical `⟨I, M⟩` states.
-pub fn explore_det(
+pub fn explore_det(dcds: &Dcds, limits: Limits, oracle: &mut dyn ValueOracle) -> DetExploration {
+    explore_det_opts(dcds, limits, oracle, configured_threads())
+}
+
+/// [`explore_det`] with an explicit worker-thread count.
+///
+/// The BFS is level-synchronised and phase-split like the abstraction
+/// engine: query evaluation (`DO`, the step per θ) runs in parallel over
+/// the frontier, while the oracle — which is stateful and mints from the
+/// pool — is invoked serially in exactly the order the serial engine would
+/// use. Output is identical for every `threads` value, including 1.
+pub fn explore_det_opts(
     dcds: &Dcds,
     limits: Limits,
     oracle: &mut dyn ValueOracle,
+    threads: usize,
 ) -> DetExploration {
+    let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
     let s0 = DetState::initial(dcds);
@@ -183,45 +197,75 @@ pub fn explore_det(
     let mut call_maps = vec![s0.call_map.clone()];
     let mut index: HashMap<DetState, StateId> = HashMap::new();
     index.insert(s0.clone(), ts.initial());
-    let mut queue: VecDeque<(StateId, DetState, usize)> = VecDeque::new();
-    queue.push_back((ts.initial(), s0, 0));
+    let mut level: Vec<(StateId, DetState)> = vec![(ts.initial(), s0)];
+    let mut depth = 0usize;
     let mut outcome = ExploreOutcome::Complete;
 
-    while let Some((sid, state, depth)) = queue.pop_front() {
+    while !level.is_empty() {
+        // A non-empty level at the depth limit is exactly the serial
+        // engine's "popped a state with depth ≥ max_depth" truncation.
         if depth >= limits.max_depth {
             outcome = ExploreOutcome::Truncated;
-            continue;
+            break;
         }
-        for (action, sigma) in legal_assignments(dcds, &state.instance) {
-            let pre = do_action(dcds, &state.instance, action, &sigma);
-            let new_calls: BTreeSet<ServiceCall> = pre
-                .calls()
-                .into_iter()
-                .filter(|c| !state.call_map.contains_key(c))
-                .collect();
-            let mut known = state.known_values();
-            known.extend(rigid.iter().copied());
-            for theta in oracle.evaluations(&new_calls, &known, &mut pool) {
-                let Some(next) = det_step(dcds, &state, action, &sigma, &theta) else {
-                    continue;
-                };
-                let next_id = match index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if ts.num_states() >= limits.max_states {
-                            outcome = ExploreOutcome::Truncated;
-                            continue;
-                        }
-                        let id = ts.add_state(next.instance.clone());
-                        call_maps.push(next.call_map.clone());
-                        index.insert(next.clone(), id);
-                        queue.push_back((id, next.clone(), depth + 1));
-                        id
-                    }
-                };
-                ts.add_edge(sid, next_id);
+        // Phase 1 (parallel): `DO` and the not-yet-mapped calls per
+        // `(state, ασ)` — pure queries, no pool access.
+        let enumerated: Vec<Vec<(PreInstance, BTreeSet<ServiceCall>, BTreeSet<Value>)>> =
+            par_map(&level, threads, |(_, state)| {
+                legal_assignments(dcds, &state.instance)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let new_calls: BTreeSet<ServiceCall> = pre
+                            .calls()
+                            .into_iter()
+                            .filter(|c| !state.call_map.contains_key(c))
+                            .collect();
+                        let mut known = state.known_values();
+                        known.extend(rigid.iter().copied());
+                        (pre, new_calls, known)
+                    })
+                    .collect()
+            });
+        // Phase 2 (serial): the oracle, in the serial invocation order.
+        let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
+        for (state_ix, per_state) in enumerated.iter().enumerate() {
+            for (pre_ix, (_, new_calls, known)) in per_state.iter().enumerate() {
+                for theta in oracle.evaluations(new_calls, known, &mut pool) {
+                    tasks.push((state_ix, pre_ix, theta));
+                }
             }
         }
+        // Phase 3 (parallel): one step per θ.
+        let stepped: Vec<Option<DetState>> =
+            par_map(&tasks, threads, |(state_ix, pre_ix, theta)| {
+                let (_, state) = &level[*state_ix];
+                let (pre, _, _) = &enumerated[*state_ix][*pre_ix];
+                det_step_with_pre(dcds, state, pre, theta)
+            });
+        // Phase 4 (serial, task order): dedup, edges, next level.
+        let mut next_level: Vec<(StateId, DetState)> = Vec::new();
+        for ((state_ix, _, _), next) in tasks.iter().zip(stepped) {
+            let Some(next) = next else { continue };
+            let sid = level[*state_ix].0;
+            let next_id = match index.get(&next) {
+                Some(&id) => id,
+                None => {
+                    if ts.num_states() >= limits.max_states {
+                        outcome = ExploreOutcome::Truncated;
+                        continue;
+                    }
+                    let id = ts.add_state(next.instance.clone());
+                    call_maps.push(next.call_map.clone());
+                    index.insert(next.clone(), id);
+                    next_level.push((id, next));
+                    id
+                }
+            };
+            ts.add_edge(sid, next_id);
+        }
+        level = next_level;
+        depth += 1;
     }
     DetExploration {
         ts,
@@ -238,45 +282,79 @@ pub fn explore_nondet(
     limits: Limits,
     oracle: &mut dyn ValueOracle,
 ) -> NondetExploration {
+    explore_nondet_opts(dcds, limits, oracle, configured_threads())
+}
+
+/// [`explore_nondet`] with an explicit worker-thread count; same phase
+/// split and determinism contract as [`explore_det_opts`].
+pub fn explore_nondet_opts(
+    dcds: &Dcds,
+    limits: Limits,
+    oracle: &mut dyn ValueOracle,
+    threads: usize,
+) -> NondetExploration {
+    let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
     let mut ts = Ts::new(dcds.data.initial.clone());
     let mut index: HashMap<Instance, StateId> = HashMap::new();
     index.insert(dcds.data.initial.clone(), ts.initial());
-    let mut queue: VecDeque<(StateId, Instance, usize)> = VecDeque::new();
-    queue.push_back((ts.initial(), dcds.data.initial.clone(), 0));
+    let mut level: Vec<(StateId, Instance)> = vec![(ts.initial(), dcds.data.initial.clone())];
+    let mut depth = 0usize;
     let mut outcome = ExploreOutcome::Complete;
 
-    while let Some((sid, inst, depth)) = queue.pop_front() {
+    while !level.is_empty() {
         if depth >= limits.max_depth {
             outcome = ExploreOutcome::Truncated;
-            continue;
+            break;
         }
-        for (action, sigma) in legal_assignments(dcds, &inst) {
-            let pre = do_action(dcds, &inst, action, &sigma);
-            let calls = pre.calls();
-            let mut known = inst.active_domain();
-            known.extend(rigid.iter().copied());
-            for theta in oracle.evaluations(&calls, &known, &mut pool) {
-                let Some(next) = nondet_step(dcds, &inst, action, &sigma, &theta) else {
-                    continue;
-                };
-                let next_id = match index.get(&next) {
-                    Some(&id) => id,
-                    None => {
-                        if ts.num_states() >= limits.max_states {
-                            outcome = ExploreOutcome::Truncated;
-                            continue;
-                        }
-                        let id = ts.add_state(next.clone());
-                        index.insert(next.clone(), id);
-                        queue.push_back((id, next.clone(), depth + 1));
-                        id
-                    }
-                };
-                ts.add_edge(sid, next_id);
+        let enumerated: Vec<Vec<(PreInstance, BTreeSet<ServiceCall>, BTreeSet<Value>)>> =
+            par_map(&level, threads, |(_, inst)| {
+                legal_assignments(dcds, inst)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, inst, action, &sigma);
+                        let calls = pre.calls();
+                        let mut known = inst.active_domain();
+                        known.extend(rigid.iter().copied());
+                        (pre, calls, known)
+                    })
+                    .collect()
+            });
+        let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
+        for (state_ix, per_state) in enumerated.iter().enumerate() {
+            for (pre_ix, (_, calls, known)) in per_state.iter().enumerate() {
+                for theta in oracle.evaluations(calls, known, &mut pool) {
+                    tasks.push((state_ix, pre_ix, theta));
+                }
             }
         }
+        let stepped: Vec<Option<Instance>> =
+            par_map(&tasks, threads, |(state_ix, pre_ix, theta)| {
+                let (pre, _, _) = &enumerated[*state_ix][*pre_ix];
+                nondet_step_with_pre(dcds, pre, theta)
+            });
+        let mut next_level: Vec<(StateId, Instance)> = Vec::new();
+        for ((state_ix, _, _), next) in tasks.iter().zip(stepped) {
+            let Some(next) = next else { continue };
+            let sid = level[*state_ix].0;
+            let next_id = match index.get(&next) {
+                Some(&id) => id,
+                None => {
+                    if ts.num_states() >= limits.max_states {
+                        outcome = ExploreOutcome::Truncated;
+                        continue;
+                    }
+                    let id = ts.add_state(next.clone());
+                    index.insert(next.clone(), id);
+                    next_level.push((id, next));
+                    id
+                }
+            };
+            ts.add_edge(sid, next_id);
+        }
+        level = next_level;
+        depth += 1;
     }
     NondetExploration { ts, outcome, pool }
 }
@@ -352,6 +430,49 @@ mod tests {
             &mut oracle,
         );
         assert_eq!(res.ts.num_states(), 1);
+    }
+
+    #[test]
+    fn thread_counts_agree_exactly() {
+        // Phase-split parallelism must not change the explored prefix —
+        // the oracle runs serially in the same order, so states, edges,
+        // call maps, and the pool are identical at every thread count.
+        let dcds = example_4_3(ServiceKind::Deterministic);
+        let limits = Limits {
+            max_states: 100,
+            max_depth: 3,
+        };
+        let runs: Vec<DetExploration> = [1usize, 2, 8]
+            .into_iter()
+            .map(|t| {
+                let mut oracle = CommitmentOracle;
+                explore_det_opts(&dcds, limits, &mut oracle, t)
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].ts, other.ts);
+            assert_eq!(runs[0].call_maps, other.call_maps);
+            assert_eq!(runs[0].outcome, other.outcome);
+            assert_eq!(runs[0].pool.len(), other.pool.len());
+        }
+
+        let nd = example_4_3(ServiceKind::Nondeterministic);
+        let nd_runs: Vec<NondetExploration> = [1usize, 2, 8]
+            .into_iter()
+            .map(|t| {
+                let mut oracle = SampledOracle {
+                    seed: 11,
+                    samples: 4,
+                    fresh_per_step: 1,
+                };
+                explore_nondet_opts(&nd, limits, &mut oracle, t)
+            })
+            .collect();
+        for other in &nd_runs[1..] {
+            assert_eq!(nd_runs[0].ts, other.ts);
+            assert_eq!(nd_runs[0].outcome, other.outcome);
+            assert_eq!(nd_runs[0].pool.len(), other.pool.len());
+        }
     }
 
     #[test]

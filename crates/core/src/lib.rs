@@ -39,6 +39,7 @@ pub mod display;
 pub mod do_op;
 pub mod explore;
 pub mod nondet;
+pub mod par;
 pub mod parser;
 pub mod process;
 pub mod runner;
@@ -54,7 +55,10 @@ pub use dcds::{Dcds, ValidationError};
 pub use display::{to_spec, DcdsDisplay};
 pub use det::DetState;
 pub use do_op::{do_action, legal_assignments, PreInstance};
-pub use explore::{ExploreOutcome, Limits};
+pub use explore::{
+    explore_det, explore_det_opts, explore_nondet, explore_nondet_opts, ExploreOutcome, Limits,
+};
+pub use par::{configured_threads, par_map, par_map_with, EngineCounters};
 pub use parser::parse_dcds;
 pub use process::{CaRule, FsProcess, ProcessLayer};
 pub use runner::{AnswerPolicy, Runner, StepRecord};

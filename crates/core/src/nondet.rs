@@ -32,7 +32,20 @@ pub fn nondet_step(
     theta: &BTreeMap<ServiceCall, Value>,
 ) -> Option<Instance> {
     let pre = do_action(dcds, inst, action, sigma);
-    let next = resolve_with_map(&pre, theta)?;
+    nondet_step_with_pre(dcds, &pre, theta)
+}
+
+/// [`nondet_step`] for a caller that has already computed `DO(I, ασ)`.
+///
+/// RCYCL evaluates up to `|F|^n` evaluations θ against the *same*
+/// pre-instance; computing `DO` once per `ασ` instead of once per θ
+/// removes a full query-evaluation pass from the innermost loop.
+pub fn nondet_step_with_pre(
+    dcds: &Dcds,
+    pre: &crate::do_op::PreInstance,
+    theta: &BTreeMap<ServiceCall, Value>,
+) -> Option<Instance> {
+    let next = resolve_with_map(pre, theta)?;
     if !dcds.data.satisfies_constraints(&next) {
         return None;
     }

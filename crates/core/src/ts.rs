@@ -30,7 +30,11 @@ impl StateId {
 
 /// An explicit transition system whose states are labeled by database
 /// instances (`db` in the paper's notation).
-#[derive(Debug, Clone)]
+///
+/// Equality is structural — same states in the same order with the same
+/// edges — which is exactly the "bit-identical output" contract the
+/// parallel engine determinism tests check.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ts {
     states: Vec<Instance>,
     succ: Vec<Vec<StateId>>,

@@ -1,5 +1,9 @@
 //! Property tests on the DCDS semantics machinery.
 
+// Property tests require the external `proptest` crate, which the offline
+// build environment cannot fetch; see the crate manifest for how to enable.
+#![cfg(feature = "proptest")]
+
 use dcds_core::commitment::{enumerate_commitments, fresh_cell_count, CommitTarget};
 use dcds_core::nondet::evals_over;
 use dcds_core::{FuncId, ServiceCall};

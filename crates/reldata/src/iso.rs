@@ -157,6 +157,12 @@ impl Facts {
         if rigid_a != rigid_b {
             return None;
         }
+        // Invariant-signature prefilter (see `sig`): isomorphic fact sets
+        // must have equal signatures, and the signature is much cheaper than
+        // color refinement plus backtracking.
+        if self.signature(rigid) != other.signature(rigid) {
+            return None;
+        }
         // Color refinement to prune candidates.
         let colors_a = refine_colors(self, rigid);
         let colors_b = refine_colors(other, rigid);
@@ -188,13 +194,33 @@ impl Facts {
     /// sizes of the refinement classes, which are tiny for the databases a
     /// DCDS state holds.
     pub fn canonical_key(&self, rigid: &BTreeSet<Value>) -> CanonKey {
+        self.try_canonical_key(rigid, u64::MAX)
+            .expect("unbounded canonicalisation cannot exceed the budget")
+    }
+
+    /// [`Facts::canonical_key`] with an explicit budget on the number of
+    /// class-respecting orders the search may enumerate.
+    ///
+    /// The search is factorial in the refinement class sizes: a fact set
+    /// with a `k`-element symmetric class costs `k!` encodings, which for
+    /// `k ⪆ 10` is prohibitive (and for the fully symmetric instances some
+    /// workloads produce, astronomically so). When the product of class
+    /// factorials exceeds `max_orders` this returns `None` *before* doing
+    /// any exponential work; callers (the abstraction dedup indices) then
+    /// fall back to the backtracking matcher of [`Facts::isomorphism`],
+    /// which handles symmetric classes in near-linear time because every
+    /// candidate extension succeeds. [`PERM_BUDGET`] is the documented
+    /// default budget.
+    pub fn try_canonical_key(&self, rigid: &BTreeSet<Value>, max_orders: u64) -> Option<CanonKey> {
         let adom = self.active_domain();
         let free: Vec<Value> = adom.iter().copied().filter(|v| !rigid.contains(v)).collect();
         if free.is_empty() {
-            return CanonKey {
+            return Some(CanonKey {
                 facts: encode(self, rigid, &BTreeMap::new()),
-            };
+            });
         }
+        // Iterative color refinement first: it usually shatters the domain
+        // into singleton classes, making the order search trivial.
         let colors = refine_colors(self, rigid);
         // Group the free values by refined color; class *order* is canonical
         // because refined colors are computed from iso-invariant signatures.
@@ -203,11 +229,18 @@ impl Facts {
             classes.entry(colors[&v]).or_default().push(v);
         }
         let class_list: Vec<Vec<Value>> = classes.into_values().collect();
+        let mut orders: u64 = 1;
+        for class in &class_list {
+            for k in 1..=class.len() as u64 {
+                orders = orders.saturating_mul(k);
+            }
+            if orders > max_orders {
+                return None;
+            }
+        }
         let mut best: Option<Vec<(u32, Vec<CanonVal>)>> = None;
         let mut assignment: Vec<Value> = Vec::with_capacity(free.len());
         permute_classes(&class_list, 0, &mut assignment, &mut |order| {
-            let map: BTreeMap<Value, Value> = BTreeMap::new();
-            let _ = map; // order carries the assignment; build index map below
             let mut canon_ix: BTreeMap<Value, u32> = BTreeMap::new();
             for (i, &v) in order.iter().enumerate() {
                 canon_ix.insert(v, i as u32);
@@ -218,11 +251,19 @@ impl Facts {
                 _ => best = Some(enc),
             }
         });
-        CanonKey {
+        Some(CanonKey {
             facts: best.expect("at least one ordering exists"),
-        }
+        })
     }
 }
+
+/// Default budget for [`Facts::try_canonical_key`]: `8! = 40320` encodings.
+///
+/// DCDS states canonicalise with singleton or tiny refinement classes (the
+/// call map and constraints break symmetries), so real workloads sit orders
+/// of magnitude below this; only adversarially symmetric instances hit it,
+/// and those are exactly the ones the backtracking matcher handles cheaply.
+pub const PERM_BUDGET: u64 = 40_320;
 
 /// Enumerate all orderings of the free values that respect the class
 /// partition (classes in canonical order; arbitrary permutations within each
@@ -363,7 +404,7 @@ fn class_histogram(colors: &BTreeMap<Value, u64>) -> BTreeMap<u64, usize> {
 }
 
 #[inline]
-fn hash2(a: u64, b: u64) -> u64 {
+pub(crate) fn hash2(a: u64, b: u64) -> u64 {
     // Simple 64-bit mix (splitmix-style); quality is plenty for refinement.
     let mut x = a
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -536,6 +577,43 @@ mod tests {
         let empty = BTreeSet::new();
         assert!(!f1.isomorphic(&f2, &empty));
         assert_ne!(f1.canonical_key(&empty), f2.canonical_key(&empty));
+    }
+
+    #[test]
+    fn permutation_budget_guards_symmetric_classes() {
+        // 12 fully interchangeable values form a single refinement class:
+        // 12! ≈ 4.8·10^8 orders. The budgeted canonicalisation must refuse
+        // instantly instead of enumerating them...
+        let mut pool = ConstantPool::new();
+        let mut f1 = Facts::new();
+        let mut f2 = Facts::new();
+        for i in 0..12 {
+            f1.insert(0, Tuple::from([pool.intern(&format!("x{i}"))]));
+            f2.insert(0, Tuple::from([pool.intern(&format!("y{i}"))]));
+        }
+        let empty = BTreeSet::new();
+        assert_eq!(f1.try_canonical_key(&empty, crate::PERM_BUDGET), None);
+        // ... while the backtracking matcher (the documented fallback)
+        // handles the same symmetric instance in near-linear time, because
+        // every candidate extension is consistent.
+        assert!(f1.isomorphic(&f2, &empty));
+        f2.insert(1, Tuple::from([pool.intern("y0")]));
+        assert!(!f1.isomorphic(&f2, &empty));
+    }
+
+    #[test]
+    fn budgeted_key_agrees_with_unbounded_when_within_budget() {
+        let mut pool = ConstantPool::new();
+        let v = vals(&mut pool, &["a", "b", "c", "d"]);
+        let rigid: BTreeSet<Value> = [v[0]].into_iter().collect();
+        let mut f = Facts::new();
+        f.insert(0, Tuple::from([v[0], v[1]]));
+        f.insert(0, Tuple::from([v[1], v[2]]));
+        f.insert(1, Tuple::from([v[3]]));
+        assert_eq!(
+            f.try_canonical_key(&rigid, crate::PERM_BUDGET),
+            Some(f.canonical_key(&rigid))
+        );
     }
 
     #[test]

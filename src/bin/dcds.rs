@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! dcds analyze  <spec.dcds>                     static analysis verdicts
-//! dcds abstract <spec.dcds> [--max-states N] [--dot]
+//! dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
 //!                                               build the finite abstraction
+//!                                               (threads default to DCDS_THREADS
+//!                                               or the machine's parallelism)
 //! dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
 //!                                               model-check a µ-calculus property
 //! dcds run      <spec.dcds> [--steps N] [--seed S]
@@ -16,7 +18,8 @@
 //! Specs are in the textual format of `dcds_core::parser`; formulas in the
 //! µ-calculus surface syntax of `dcds_mucalc::parser`.
 
-use dcds_verify::abstraction::{det_abstraction, rcycl, AbsOutcome};
+use dcds_verify::abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, AbsOutcome};
+use dcds_verify::core::{configured_threads, EngineCounters};
 use dcds_verify::analysis::{
     dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity,
     is_weakly_acyclic, position_ranks, run_bound_estimate, state_bound_estimate,
@@ -41,7 +44,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dcds analyze  <spec.dcds>
-  dcds abstract <spec.dcds> [--max-states N] [--dot]
+  dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
   dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
@@ -54,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "abstract" => do_abstract(
             args.get(1).ok_or("missing spec path")?,
             flag_value(args, "--max-states")?.unwrap_or(10_000),
+            flag_value(args, "--threads")?.unwrap_or_else(configured_threads),
             args.iter().any(|a| a == "--dot"),
         ),
         "check" => do_check(
@@ -158,26 +162,56 @@ fn analyze(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn build_abstraction(dcds: &Dcds, max_states: usize) -> (Ts, ConstantPool, bool, &'static str) {
+fn build_abstraction(
+    dcds: &Dcds,
+    max_states: usize,
+    threads: usize,
+) -> (Ts, ConstantPool, bool, &'static str, EngineCounters) {
     if dcds.is_deterministic() {
-        let abs = det_abstraction(dcds, max_states);
+        let abs = det_abstraction_opts(
+            dcds,
+            max_states,
+            AbsOptions {
+                threads,
+                ..AbsOptions::default()
+            },
+        );
         let complete = abs.outcome == AbsOutcome::Complete;
-        (abs.ts, abs.pool, complete, "deterministic abstraction (Thm 4.3)")
+        (
+            abs.ts,
+            abs.pool,
+            complete,
+            "deterministic abstraction (Thm 4.3)",
+            abs.counters,
+        )
     } else {
-        let res = rcycl(dcds, max_states);
-        (res.ts, res.pool, res.complete, "RCYCL pruning (Thm 5.4)")
+        let res = rcycl_opts(dcds, max_states, threads);
+        (
+            res.ts,
+            res.pool,
+            res.complete,
+            "RCYCL pruning (Thm 5.4)",
+            res.counters,
+        )
     }
 }
 
-fn do_abstract(path: &str, max_states: usize, dot: bool) -> Result<(), String> {
+fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Result<(), String> {
     let dcds = load(path)?;
-    let (ts, pool, complete, how) = build_abstraction(&dcds, max_states);
+    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads);
     println!(
         "{how}: {} states, {} edges, max |adom(state)| = {}, complete = {complete}",
         ts.num_states(),
         ts.num_edges(),
         ts.max_state_adom()
     );
+    println!("engine ({threads} thread{}): {counters}", if threads == 1 { "" } else { "s" });
+    if let Some(rate) = counters.sig_hit_rate() {
+        println!(
+            "signature fast path resolved {:.1}% of dedup probes",
+            rate * 100.0
+        );
+    }
     if !complete {
         println!(
             "note: budget of {max_states} states hit — the system may be run-/state-unbounded; \
@@ -196,7 +230,7 @@ fn do_check(path: &str, formula: &str, max_states: usize, trace: bool) -> Result
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
     let fragment = classify(&phi).map_err(|e| e.to_string())?;
-    let (ts, pool, complete, how) = build_abstraction(&dcds, max_states);
+    let (ts, pool, complete, how, _counters) = build_abstraction(&dcds, max_states, configured_threads());
     let verdict = check(&phi, &ts);
     println!("fragment: {fragment:?}");
     println!("abstraction: {how}, {} states, complete = {complete}", ts.num_states());
