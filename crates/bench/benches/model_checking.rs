@@ -48,7 +48,7 @@ fn bench_direct_vs_prop(c: &mut Criterion) {
     let res = rcycl(&dcds, 100);
     let phi = sample_formula(&dcds);
     let mut group = c.benchmark_group("mc_direct_vs_prop");
-    group.bench_function("direct", |b| b.iter(|| black_box(check(&phi, &res.ts))));
+    group.bench_function("direct", |b| b.iter(|| black_box(check(&phi, &res.ts).unwrap())));
     group.bench_function("prop_pipeline", |b| {
         b.iter(|| {
             let p = propositionalize(&phi, &res.ts.adom_union()).unwrap();
@@ -68,7 +68,7 @@ fn bench_quantifier_depth(c: &mut Criterion) {
     for depth in [1usize, 2, 3, 4] {
         let phi = deep_quantifiers(&dcds, depth);
         group.bench_with_input(BenchmarkId::from_parameter(depth), &phi, |b, f| {
-            b.iter(|| black_box(check(f, &res.ts)))
+            b.iter(|| black_box(check(f, &res.ts).unwrap()))
         });
     }
     group.finish();
@@ -94,7 +94,7 @@ fn bench_fixpoint_iteration(c: &mut Criterion) {
     group.sample_size(10);
     let _ = &res.ts as &Ts;
     for (name, phi) in &formulas {
-        group.bench_function(*name, |b| b.iter(|| black_box(check(phi, &res.ts))));
+        group.bench_function(*name, |b| b.iter(|| black_box(check(phi, &res.ts).unwrap())));
     }
     group.finish();
 }

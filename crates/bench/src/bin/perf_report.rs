@@ -1,4 +1,5 @@
-//! Std-only timing harness for the abstraction engines (no criterion).
+//! Std-only timing harness for the abstraction engines and the staged
+//! µ-calculus model-checking engine (no criterion).
 //!
 //! Times `det_abstraction` and RCYCL on the synthetic workload families
 //! along two axes:
@@ -10,15 +11,25 @@
 //!   against the eager ablation that canonicalises every successor (the
 //!   pre-fast-path cost model), at a fixed thread count.
 //!
-//! Writes `BENCH_abstraction.json` into the current directory so the perf
-//! trajectory is tracked across commits without a benchmarking framework,
-//! and prints the same numbers as a table.
+//! Then times the staged model checker (`dcds_mucalc::engine`) against the
+//! naive Kleene evaluator (`dcds_mucalc::mc`, kept as the differential
+//! oracle) on properties over real abstractions, at 1, 2, 4, 8 threads,
+//! recording the query-extension cache hit rate and checking that both
+//! evaluators agree on the full extension.
+//!
+//! Writes `BENCH_abstraction.json` and `BENCH_mucalc.json` into the
+//! current directory so the perf trajectory is tracked across commits
+//! without a benchmarking framework, and prints the same numbers as
+//! tables.
 //!
 //! Usage: `cargo run --release --bin perf_report [-- --reps N]`
 
 use dcds_abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, DedupStrategy};
-use dcds_bench::synthetic;
-use dcds_core::Dcds;
+use dcds_bench::{examples, synthetic, travel};
+use dcds_core::{Dcds, Ts};
+use dcds_folang::{Formula, QTerm};
+use dcds_mucalc::mc::{eval, Valuation};
+use dcds_mucalc::{eval_with_opts, sugar, McCounters, McOptions, Mu};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -120,6 +131,119 @@ fn bench_rcycl(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) 
         eager_secs: None,
         lazy_secs: None,
     }
+}
+
+struct McThreadRun {
+    threads: usize,
+    secs: f64,
+}
+
+struct McWorkload {
+    name: &'static str,
+    property: &'static str,
+    states: usize,
+    /// Naive Kleene evaluator (the differential oracle), 1 thread.
+    naive_secs: f64,
+    /// Staged engine at each thread count.
+    runs: Vec<McThreadRun>,
+    counters: McCounters,
+    holds: bool,
+}
+
+/// Time the naive evaluator vs the staged engine on one (system, property)
+/// pair, asserting extension-level agreement at every thread count.
+fn bench_mc(
+    name: &'static str,
+    property: &'static str,
+    ts: &Ts,
+    phi: &Mu,
+    reps: usize,
+) -> McWorkload {
+    let (naive_secs, oracle) = time_best(reps, || eval(phi, ts, &mut Valuation::default()));
+    let mut runs = Vec::new();
+    let mut counters = McCounters::default();
+    for threads in THREAD_COUNTS {
+        let (secs, (ext, c)) = time_best(reps, || {
+            eval_with_opts(phi, ts, &mut Valuation::default(), McOptions { threads })
+        });
+        assert_eq!(ext, oracle, "engine disagrees with naive oracle on {name}");
+        counters = c;
+        runs.push(McThreadRun { threads, secs });
+    }
+    McWorkload {
+        name,
+        property,
+        states: ts.num_states(),
+        naive_secs,
+        runs,
+        counters,
+        holds: oracle.contains(&ts.initial()),
+    }
+}
+
+fn mc_workloads(reps: usize) -> Vec<McWorkload> {
+    let mut out = Vec::new();
+
+    // Example 5.1 (nondeterministic) — RCYCL pruning, a µLP safety property.
+    let e51 = examples::example_5_1();
+    let pruning = rcycl_opts(&e51, 100, 1);
+    assert!(pruning.complete);
+    let r = e51.data.schema.rel_id("R").unwrap();
+    let q = e51.data.schema.rel_id("Q").unwrap();
+    let phi = sugar::ag(Mu::exists(
+        "X",
+        Mu::live("X").and(
+            Mu::Query(Formula::Atom(r, vec![QTerm::var("X")]))
+                .or(Mu::Query(Formula::Atom(q, vec![QTerm::var("X")]))),
+        ),
+    ));
+    out.push(bench_mc(
+        "example_5_1 via RCYCL",
+        "AG exists x. live(x) & (R(x) | Q(x))",
+        &pruning.ts,
+        &phi,
+        reps,
+    ));
+
+    // service_cycle(6) (deterministic) — a µLP reachability property.
+    let cyc = synthetic::service_cycle(6);
+    let abs = det_abstraction_opts(&cyc, 1500, AbsOptions::default());
+    let last = cyc.data.schema.rel_id("R5").unwrap();
+    let phi = sugar::ef(Mu::exists(
+        "X",
+        Mu::live("X").and(Mu::Query(Formula::Atom(last, vec![QTerm::var("X")]))),
+    ));
+    out.push(bench_mc(
+        "service_cycle(6) via det abstraction",
+        "EF exists x. live(x) & R5(x)",
+        &abs.ts,
+        &phi,
+        reps,
+    ));
+
+    // Travel request system (Appendix E) — RCYCL, the paper's safety
+    // property "no confirmation without travel data".
+    let req = travel::request_system_small();
+    let res = rcycl_opts(&req, 5000, 1);
+    assert!(res.complete);
+    let status = req.data.schema.rel_id("Status").unwrap();
+    let travel_rel = req.data.schema.rel_id("Travel").unwrap();
+    let conf = req.data.pool.get("requestConfirmed").unwrap();
+    let confirmed = Mu::Query(Formula::Atom(status, vec![QTerm::Const(conf)]));
+    let some_travel = Mu::exists(
+        "N",
+        Mu::live("N").and(Mu::Query(Formula::Atom(travel_rel, vec![QTerm::var("N")]))),
+    );
+    let phi = sugar::ag(confirmed.and(some_travel.not()).not());
+    out.push(bench_mc(
+        "travel request (small) via RCYCL",
+        "AG !(confirmed & no Travel tuple)",
+        &res.ts,
+        &phi,
+        reps,
+    ));
+
+    out
 }
 
 fn json_f64(v: f64) -> String {
@@ -250,4 +374,79 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_abstraction.json", &json).expect("write BENCH_abstraction.json");
     println!("\nwrote BENCH_abstraction.json");
+
+    // ---- µ-calculus model-checking engine ----
+    let mc_loads = mc_workloads(reps);
+    println!("\nmucalc perf report  (hardware_threads = {hardware_threads}, best of {reps})");
+    for w in &mc_loads {
+        println!("\n{} — {} ({} states, holds = {})", w.name, w.property, w.states, w.holds);
+        println!("  naive oracle: {:>10.4}s", w.naive_secs);
+        println!("  {:>7}  {:>10}  {:>12}", "threads", "secs", "vs naive");
+        for r in &w.runs {
+            println!(
+                "  {:>7}  {:>10.4}  {:>11.2}x",
+                r.threads,
+                r.secs,
+                w.naive_secs / r.secs
+            );
+        }
+        if let Some(rate) = w.counters.cache_hit_rate() {
+            println!(
+                "  query-extension cache: {:.1}% hit rate ({} hits / {} misses), \
+                 {} fixpoint iterations",
+                rate * 100.0,
+                w.counters.cache_hits,
+                w.counters.cache_misses,
+                w.counters.fixpoint_iterations
+            );
+        }
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"mucalc-staged-engine\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (wi, w) in mc_loads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"property\": \"{}\",", w.property.replace('"', "'"));
+        let _ = writeln!(json, "      \"states\": {},", w.states);
+        let _ = writeln!(json, "      \"holds\": {},", w.holds);
+        let _ = writeln!(json, "      \"naive_secs\": {},", json_f64(w.naive_secs));
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, r) in w.runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"threads\": {}, \"secs\": {}, \"speedup_vs_naive\": {}}}{}",
+                r.threads,
+                json_f64(r.secs),
+                json_f64(w.naive_secs / r.secs),
+                if ri + 1 < w.runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(
+            json,
+            "      \"cache_hit_rate\": {},",
+            w.counters.cache_hit_rate().map(json_f64).unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(json, "      \"cache_hits\": {},", w.counters.cache_hits);
+        let _ = writeln!(json, "      \"cache_misses\": {},", w.counters.cache_misses);
+        let _ = writeln!(json, "      \"query_state_evals\": {},", w.counters.query_state_evals);
+        let _ = writeln!(
+            json,
+            "      \"fixpoint_iterations\": {}",
+            w.counters.fixpoint_iterations
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < mc_loads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_mucalc.json", &json).expect("write BENCH_mucalc.json");
+    println!("\nwrote BENCH_mucalc.json");
 }

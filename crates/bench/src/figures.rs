@@ -311,7 +311,8 @@ pub fn table1() -> String {
         let safe = check(
             &sugar::ag(Mu::Query(Formula::Atom(halted_rel2, vec![])).not()),
             &abs.ts,
-        );
+        )
+        .unwrap();
         cell(
             &mut out,
             "deterministic, unrestricted",
@@ -333,7 +334,7 @@ pub fn table1() -> String {
             "X",
             Mu::live("X").and(Mu::Query(Formula::Atom(p, vec![dcds_folang::QTerm::var("X")]))),
         ));
-        let direct = check(&phi, &abs.ts);
+        let direct = check(&phi, &abs.ts).unwrap();
         let prop = propositionalize(&phi, &abs.ts.adom_union()).unwrap();
         let via_prop = check_prop(&prop, &abs.ts);
         cell(
@@ -385,8 +386,8 @@ pub fn table1() -> String {
             body
         };
         let k = prefix.ts.successors(prefix.ts.initial()).len();
-        let holds_k = check(&phi_n(k.min(3)), &prefix.ts);
-        let fails_over = !check(&phi_n(k + 1), &prefix.ts);
+        let holds_k = check(&phi_n(k.min(3)), &prefix.ts).unwrap();
+        let fails_over = !check(&phi_n(k + 1), &prefix.ts).unwrap();
         cell(
             &mut out,
             "deterministic, run-bounded",
@@ -440,7 +441,7 @@ pub fn table1() -> String {
                 )),
             ),
         ));
-        let verdict = check(&phi, &res.ts);
+        let verdict = check(&phi, &res.ts).unwrap();
         cell(
             &mut out,
             "nondeterministic, state-bounded",
@@ -510,7 +511,7 @@ pub fn travel_verify() -> String {
     let _ = writeln!(
         out,
         "property 1 (liveness: every filed request is eventually decided): {}",
-        check(&liveness, &res.ts)
+        check(&liveness, &res.ts).unwrap()
     );
     eprintln!("[travel_verify] property 1 done");
     // Safety: G not(confirmed and no Travel tuple).
@@ -524,7 +525,7 @@ pub fn travel_verify() -> String {
     let _ = writeln!(
         out,
         "property 2 (safety: no confirmation without travel data): {}",
-        check(&safety, &res.ts)
+        check(&safety, &res.ts).unwrap()
     );
 
     // Audit system (deterministic) — abstraction + muLA. (The reduced
@@ -578,7 +579,7 @@ pub fn travel_verify() -> String {
     let _ = writeln!(
         out,
         "property 3 (muLA audit: failed component check implies eventual request failure): {}",
-        check(&audit_prop, &abs.ts)
+        check(&audit_prop, &abs.ts).unwrap()
     );
     eprintln!("[travel_verify] all properties checked");
     out

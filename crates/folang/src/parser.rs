@@ -98,11 +98,19 @@ pub fn is_variable_name(name: &str) -> bool {
         .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
 }
 
+/// Maximum recursion depth the recursive-descent parsers accept. Deeply
+/// nested input (`((((…`, `!!!!…`, long `->` chains) otherwise overflows
+/// the stack and aborts the process instead of reporting a parse error.
+/// The bound is far above any formula a human or generator writes, and far
+/// below what overflows even a 2 MiB test-thread stack.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
 /// Token-stream cursor shared by the formula parser and the downstream
 /// µ-calculus / DCDS-spec parsers.
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -111,7 +119,30 @@ impl Parser {
         Ok(Parser {
             tokens: tokenize(src)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Enter one level of grammar recursion; errors past
+    /// [`MAX_PARSE_DEPTH`]. Every caller must pair it with [`ascend`]
+    /// (also on the error path — the µ-calculus parser shares this cursor,
+    /// so a leaked level would shrink the budget of sibling branches).
+    ///
+    /// [`ascend`]: Parser::ascend
+    pub fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            Err(self.error(&format!(
+                "formula nesting deeper than {MAX_PARSE_DEPTH} levels"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Leave one level of grammar recursion.
+    pub fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     /// The current token.
@@ -228,6 +259,15 @@ impl Parser {
     }
 
     fn parse_impl(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        // `->` is right-recursive: guard the depth so `a -> a -> …` chains
+        // error out instead of overflowing the stack.
+        self.descend()?;
+        let out = self.parse_impl_inner(r);
+        self.ascend();
+        out
+    }
+
+    fn parse_impl_inner(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
         let lhs = self.parse_or(r)?;
         if self.eat(&TokenKind::Arrow) {
             let rhs = self.parse_impl(r)?;
@@ -256,6 +296,15 @@ impl Parser {
     }
 
     fn parse_unary(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
+        // Every grammar cycle (`(…)`, `!…`, quantifier bodies) passes
+        // through here: one guard bounds them all.
+        self.descend()?;
+        let out = self.parse_unary_inner(r);
+        self.ascend();
+        out
+    }
+
+    fn parse_unary_inner(&mut self, r: &mut Resolver<'_>) -> Result<Formula, ParseError> {
         if self.eat(&TokenKind::Bang) || self.eat_keyword("not") {
             return Ok(self.parse_unary(r)?.not());
         }
@@ -557,6 +606,29 @@ mod tests {
     fn trailing_garbage_rejected() {
         let (mut s, mut pool) = setup();
         assert!(parse_formula("P(X) P(Y)", &mut s, &mut pool).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        let (mut s, mut pool) = setup();
+        for src in [
+            format!("{}true{}", "(".repeat(20_000), ")".repeat(20_000)),
+            format!("{}P(X)", "!".repeat(20_000)),
+            format!("{}true", "true -> ".repeat(20_000)),
+            format!("{}P(X)", "exists X . ".repeat(20_000)),
+        ] {
+            let err = parse_formula(&src, &mut s, &mut pool).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+    }
+
+    #[test]
+    fn depth_budget_is_per_branch_not_cumulative() {
+        let (mut s, mut pool) = setup();
+        // Many shallow conjuncts must NOT trip the depth guard: the budget
+        // is released when each branch completes.
+        let src = (0..2_000).map(|_| "(P(X))").collect::<Vec<_>>().join(" & ");
+        assert!(parse_formula(&src, &mut s, &mut pool).is_ok());
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Staged µ-calculus model-checking engine: memoized, parallel evaluation
+//! of the Figure 1 extension function.
+//!
+//! The naive evaluator in [`crate::mc`] recomputes every FO query on every
+//! state in every Kleene iteration. This engine exploits the two facts that
+//! make verification over a *fixed* finite abstraction special (Thm 4.4 /
+//! `PROP(Φ)`): `ADOM(Θ)` and the state databases never change during a run,
+//! so
+//!
+//! 1. **query-extension caching** — the extension of any subformula with no
+//!    free predicate variables is a pure function of (subformula, values of
+//!    its free individual variables). Extensions are cached under that key,
+//!    so `Mu::Query` / `Mu::Live` atoms are evaluated once per distinct
+//!    binding instead of once per fixpoint iteration. The same cache
+//!    *hoists closed subformulas out of fixpoint loops*: after the first
+//!    iteration every predicate-closed subtree is a lookup.
+//! 2. **parallel extension computation** — the per-state `holds` evaluation
+//!    of an FO query is embarrassingly parallel; it runs on the
+//!    deterministic [`dcds_core::par`] scoped-thread pool. Results come
+//!    back in state order, so the output (verdict, extension, counters) is
+//!    bit-identical at every thread count.
+//!
+//! Fixpoints keep the naive early-exit paths (∃ stops at `all`, ∀ stops at
+//! `∅`), which never change the computed extension.
+//!
+//! [`crate::mc::eval`] remains in-tree as the differential-testing oracle;
+//! `tests/mc_engine_differential.rs` and the unit tests below check
+//! agreement on random and hand-written formulas.
+
+use crate::ast::{Mu, PredVar};
+use crate::mc::Valuation;
+use dcds_core::par::par_map;
+use dcds_core::{StateId, Ts};
+use dcds_folang::{holds, Assignment, QTerm, Var};
+use dcds_reldata::Value;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Why a formula was rejected before evaluation: model checking is defined
+/// for *closed* formulas only, and an open one silently evaluates to a
+/// wrong verdict (e.g. a free-variable atom under `Not` becomes "all
+/// states").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Free individual (first-order) variables, sorted by name.
+    FreeIndividuals(Vec<Var>),
+    /// Free predicate (fixpoint) variables, sorted by name.
+    FreePredicates(Vec<PredVar>),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::FreeIndividuals(vs) => {
+                let names: Vec<&str> = vs.iter().map(|v| v.name()).collect();
+                write!(
+                    f,
+                    "formula is not closed: free individual variable{} {} \
+                     (quantify, e.g. `exists {} . live({}) & ...`)",
+                    if names.len() == 1 { "" } else { "s" },
+                    names.join(", "),
+                    names[0],
+                    names[0],
+                )
+            }
+            CheckError::FreePredicates(zs) => {
+                let names: Vec<&str> = zs.iter().map(|z| z.name()).collect();
+                write!(
+                    f,
+                    "formula is not closed: free predicate variable{} {} \
+                     (bind with `mu {} . ...` or `nu {} . ...`)",
+                    if names.len() == 1 { "" } else { "s" },
+                    names.join(", "),
+                    names[0],
+                    names[0],
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Options for [`check_with_opts`] / [`eval_with_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McOptions {
+    /// Worker threads for per-state query evaluation (values `< 1` are
+    /// treated as 1). The output is identical at every thread count.
+    pub threads: usize,
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions { threads: 1 }
+    }
+}
+
+/// Observability counters for one model-checking run. All counts are exact
+/// and independent of the thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McCounters {
+    /// Per-state FO query / `LIVE` evaluations actually performed.
+    pub query_state_evals: u64,
+    /// Extension requests answered from the query-extension cache.
+    pub cache_hits: u64,
+    /// Extension requests that missed the cache and were computed.
+    pub cache_misses: u64,
+    /// Total Kleene iterations across all fixpoint subformulas.
+    pub fixpoint_iterations: u64,
+    /// States × subformulas visited: each computed subformula extension
+    /// contributes the number of states it ranges over.
+    pub state_subformula_visits: u64,
+}
+
+impl McCounters {
+    /// Fraction of cacheable extension requests answered from the cache,
+    /// in `[0, 1]`; `None` when there were no cacheable requests.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+}
+
+impl fmt::Display for McCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} query-state evals, cache {} hits / {} misses, {} fixpoint iterations, \
+             {} state×subformula visits",
+            self.query_state_evals,
+            self.cache_hits,
+            self.cache_misses,
+            self.fixpoint_iterations,
+            self.state_subformula_visits,
+        )
+    }
+}
+
+/// Result of a staged model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McRun {
+    /// Does the formula hold in the initial state?
+    pub holds: bool,
+    /// The full extension `(Φ)ᵥ` (states satisfying the formula).
+    pub extension: BTreeSet<StateId>,
+    /// What the run cost.
+    pub counters: McCounters,
+}
+
+/// Model-check a **closed** formula with the staged engine, returning the
+/// verdict, the extension, and the run counters.
+pub fn check_with_opts(f: &Mu, ts: &Ts, opts: McOptions) -> Result<McRun, CheckError> {
+    let free = f.free_vars();
+    if !free.is_empty() {
+        return Err(CheckError::FreeIndividuals(free.into_iter().collect()));
+    }
+    let free_preds = f.free_pred_vars();
+    if !free_preds.is_empty() {
+        return Err(CheckError::FreePredicates(free_preds.into_iter().collect()));
+    }
+    let (extension, counters) = eval_with_opts(f, ts, &mut Valuation::default(), opts);
+    Ok(McRun {
+        holds: extension.contains(&ts.initial()),
+        extension,
+        counters,
+    })
+}
+
+/// Evaluate the extension of a (possibly open) formula with the staged
+/// engine under an explicit valuation — the drop-in counterpart of
+/// [`crate::mc::eval`] used by the differential tests.
+pub fn eval_with_opts(
+    f: &Mu,
+    ts: &Ts,
+    val: &mut Valuation,
+    opts: McOptions,
+) -> (BTreeSet<StateId>, McCounters) {
+    let mut infos = Vec::new();
+    index(f, &mut infos);
+    let states: Vec<StateId> = ts.state_ids().collect();
+    let all: BTreeSet<StateId> = states.iter().copied().collect();
+    let domain: Vec<Value> = {
+        let mut d = ts.adom_union();
+        d.extend(val.individuals.values().copied());
+        d.into_iter().collect()
+    };
+    let mut engine = Engine {
+        ts,
+        states,
+        all,
+        domain,
+        infos,
+        threads: opts.threads.max(1),
+        cache: HashMap::new(),
+        counters: McCounters::default(),
+    };
+    let ext = engine.eval_node(f, 0, val);
+    (ext, engine.counters)
+}
+
+/// Static per-subformula facts, computed once per run by [`index`].
+struct NodeInfo {
+    /// Subtree size in nodes (this node included) — pre-order child ids
+    /// are derived from it.
+    size: u32,
+    /// Free individual variables, sorted: the relevant slice of the
+    /// valuation for the cache key.
+    free: Vec<Var>,
+    /// No free predicate variables ⇒ the extension depends only on the
+    /// individual valuation ⇒ safe to cache for the whole run.
+    cacheable: bool,
+}
+
+/// Pre-order-number the formula, returning the subtree size.
+fn index(f: &Mu, infos: &mut Vec<NodeInfo>) -> u32 {
+    let my = infos.len();
+    infos.push(NodeInfo {
+        size: 0,
+        free: Vec::new(),
+        cacheable: false,
+    });
+    let kids = match f {
+        Mu::Query(_) | Mu::Live(_) | Mu::Pvar(_) => 0,
+        Mu::Not(g)
+        | Mu::Diamond(g)
+        | Mu::Box_(g)
+        | Mu::Exists(_, g)
+        | Mu::Forall(_, g)
+        | Mu::Lfp(_, g)
+        | Mu::Gfp(_, g) => index(g, infos),
+        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => {
+            index(g, infos) + index(h, infos)
+        }
+    };
+    let size = 1 + kids;
+    infos[my] = NodeInfo {
+        size,
+        free: f.free_vars().into_iter().collect(),
+        cacheable: f.free_pred_vars().is_empty(),
+    };
+    size
+}
+
+type CacheKey = (u32, Vec<Option<Value>>);
+
+struct Engine<'a> {
+    ts: &'a Ts,
+    states: Vec<StateId>,
+    all: BTreeSet<StateId>,
+    domain: Vec<Value>,
+    infos: Vec<NodeInfo>,
+    threads: usize,
+    cache: HashMap<CacheKey, BTreeSet<StateId>>,
+    counters: McCounters,
+}
+
+impl Engine<'_> {
+    /// Pre-order id of the first child of `id`.
+    fn kid1(&self, id: u32) -> u32 {
+        id + 1
+    }
+
+    /// Pre-order id of the second child of `id`.
+    fn kid2(&self, id: u32) -> u32 {
+        id + 1 + self.infos[(id + 1) as usize].size
+    }
+
+    fn eval_node(&mut self, f: &Mu, id: u32, val: &mut Valuation) -> BTreeSet<StateId> {
+        // Cache lookup: sound only for predicate-closed subformulas, keyed
+        // by the valuation restricted to the node's free variables.
+        let key: Option<CacheKey> = if self.infos[id as usize].cacheable {
+            let slice: Vec<Option<Value>> = self.infos[id as usize]
+                .free
+                .iter()
+                .map(|v| val.individuals.get(v).copied())
+                .collect();
+            let key = (id, slice);
+            if let Some(hit) = self.cache.get(&key) {
+                self.counters.cache_hits += 1;
+                return hit.clone();
+            }
+            self.counters.cache_misses += 1;
+            Some(key)
+        } else {
+            None
+        };
+        self.counters.state_subformula_visits += self.states.len() as u64;
+        let out = self.compute(f, id, val);
+        if let Some(key) = key {
+            self.cache.insert(key, out.clone());
+        }
+        out
+    }
+
+    fn compute(&mut self, f: &Mu, id: u32, val: &mut Valuation) -> BTreeSet<StateId> {
+        match f {
+            Mu::Query(q) => {
+                let mut asg = Assignment::new();
+                for v in &q.free_vars() {
+                    match val.individuals.get(v) {
+                        Some(&d) => {
+                            asg.insert(v.clone(), d);
+                        }
+                        // An unassigned free variable cannot be satisfied.
+                        None => return BTreeSet::new(),
+                    }
+                }
+                self.counters.query_state_evals += self.states.len() as u64;
+                let ts = self.ts;
+                let sat = par_map(&self.states, self.threads, |&s| {
+                    holds(q, ts.db(s), &asg).unwrap_or(false)
+                });
+                self.states
+                    .iter()
+                    .zip(sat)
+                    .filter_map(|(&s, ok)| ok.then_some(s))
+                    .collect()
+            }
+            Mu::Live(t) => {
+                let d = match t {
+                    QTerm::Const(c) => Some(*c),
+                    QTerm::Var(v) => val.individuals.get(v).copied(),
+                };
+                match d {
+                    // Per Section 3.1: an unassigned LIVE(x) imposes no
+                    // requirement.
+                    None => self.all.clone(),
+                    Some(d) => {
+                        self.counters.query_state_evals += self.states.len() as u64;
+                        self.states
+                            .iter()
+                            .copied()
+                            .filter(|&s| self.ts.db(s).active_domain().contains(&d))
+                            .collect()
+                    }
+                }
+            }
+            Mu::Not(g) => &self.all.clone() - &self.eval_node(g, self.kid1(id), val),
+            Mu::And(g, h) => {
+                let (k1, k2) = (self.kid1(id), self.kid2(id));
+                &self.eval_node(g, k1, val) & &self.eval_node(h, k2, val)
+            }
+            Mu::Or(g, h) => {
+                let (k1, k2) = (self.kid1(id), self.kid2(id));
+                &self.eval_node(g, k1, val) | &self.eval_node(h, k2, val)
+            }
+            Mu::Implies(g, h) => {
+                let (k1, k2) = (self.kid1(id), self.kid2(id));
+                let ng = &self.all.clone() - &self.eval_node(g, k1, val);
+                &ng | &self.eval_node(h, k2, val)
+            }
+            Mu::Exists(v, g) => {
+                let kid = self.kid1(id);
+                let saved = val.individuals.get(v).copied();
+                let mut out = BTreeSet::new();
+                let domain = self.domain.clone();
+                for d in domain {
+                    val.individuals.insert(v.clone(), d);
+                    out.extend(self.eval_node(g, kid, val));
+                    if out.len() == self.all.len() {
+                        break;
+                    }
+                }
+                restore(val, v, saved);
+                out
+            }
+            Mu::Forall(v, g) => {
+                let kid = self.kid1(id);
+                let saved = val.individuals.get(v).copied();
+                let mut out = self.all.clone();
+                let domain = self.domain.clone();
+                for d in domain {
+                    val.individuals.insert(v.clone(), d);
+                    out = &out & &self.eval_node(g, kid, val);
+                    if out.is_empty() {
+                        break;
+                    }
+                }
+                restore(val, v, saved);
+                out
+            }
+            Mu::Diamond(g) => {
+                let target = self.eval_node(g, self.kid1(id), val);
+                self.states
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.ts.successors(s).iter().any(|t| target.contains(t)))
+                    .collect()
+            }
+            Mu::Box_(g) => {
+                let target = self.eval_node(g, self.kid1(id), val);
+                self.states
+                    .iter()
+                    .copied()
+                    .filter(|&s| self.ts.successors(s).iter().all(|t| target.contains(t)))
+                    .collect()
+            }
+            Mu::Pvar(z) => val.predicates.get(z).cloned().unwrap_or_default(),
+            Mu::Lfp(z, g) => {
+                let kid = self.kid1(id);
+                let saved = val.predicates.insert(z.clone(), BTreeSet::new());
+                let mut current = BTreeSet::new();
+                loop {
+                    val.predicates.insert(z.clone(), current.clone());
+                    self.counters.fixpoint_iterations += 1;
+                    let next = self.eval_node(g, kid, val);
+                    if next == current {
+                        break;
+                    }
+                    current = next;
+                }
+                restore_pred(val, z, saved);
+                current
+            }
+            Mu::Gfp(z, g) => {
+                let kid = self.kid1(id);
+                let saved = val.predicates.insert(z.clone(), self.all.clone());
+                let mut current = self.all.clone();
+                loop {
+                    val.predicates.insert(z.clone(), current.clone());
+                    self.counters.fixpoint_iterations += 1;
+                    let next = self.eval_node(g, kid, val);
+                    if next == current {
+                        break;
+                    }
+                    current = next;
+                }
+                restore_pred(val, z, saved);
+                current
+            }
+        }
+    }
+}
+
+fn restore(val: &mut Valuation, v: &Var, saved: Option<Value>) {
+    match saved {
+        Some(d) => {
+            val.individuals.insert(v.clone(), d);
+        }
+        None => {
+            val.individuals.remove(v);
+        }
+    }
+}
+
+fn restore_pred(val: &mut Valuation, z: &PredVar, saved: Option<BTreeSet<StateId>>) {
+    match saved {
+        Some(s) => {
+            val.predicates.insert(z.clone(), s);
+        }
+        None => {
+            val.predicates.remove(z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mc;
+    use crate::sugar;
+    use dcds_folang::Formula;
+    use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
+
+    /// The 3-state system of the `mc` tests: s0 --> s1 --> s2 (self-loop).
+    fn sample() -> (Schema, ConstantPool, Ts) {
+        let mut schema = Schema::new();
+        let stud = schema.add_relation("Stud", 1).unwrap();
+        let grad = schema.add_relation("Grad", 2).unwrap();
+        let mut pool = ConstantPool::new();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let m = pool.intern("m");
+        let s0 = Instance::from_facts([(stud, Tuple::from([a]))]);
+        let s1 = Instance::from_facts([(stud, Tuple::from([a])), (stud, Tuple::from([b]))]);
+        let s2 = Instance::from_facts([(grad, Tuple::from([a, m]))]);
+        let mut ts = Ts::new(s0);
+        let i1 = ts.add_state(s1);
+        let i2 = ts.add_state(s2);
+        ts.add_edge(ts.initial(), i1);
+        ts.add_edge(i1, i2);
+        ts.add_edge(i2, i2);
+        (schema, pool, ts)
+    }
+
+    fn stud(s: &Schema, v: &str) -> Mu {
+        Mu::Query(Formula::Atom(s.rel_id("Stud").unwrap(), vec![QTerm::var(v)]))
+    }
+
+    fn formula_family(schema: &Schema, pool: &ConstantPool) -> Vec<Mu> {
+        let a = pool.get("a").unwrap();
+        let m = pool.get("m").unwrap();
+        let grad_am = Mu::Query(Formula::Atom(
+            schema.rel_id("Grad").unwrap(),
+            vec![QTerm::Const(a), QTerm::Const(m)],
+        ));
+        let some_stud = Mu::exists("X", Mu::live("X").and(stud(schema, "X")));
+        vec![
+            some_stud.clone(),
+            some_stud.clone().diamond(),
+            sugar::ef(grad_am.clone()),
+            sugar::ag(some_stud.clone().not()),
+            sugar::ag(Mu::Query(Formula::True)),
+            sugar::eu(some_stud.clone(), grad_am.clone()),
+            sugar::af(grad_am.clone()),
+            sugar::eg(some_stud.clone()),
+            Mu::forall("X", Mu::live("X").implies(stud(schema, "X"))),
+            Mu::exists(
+                "X",
+                Mu::live("X")
+                    .and(stud(schema, "X"))
+                    .and(
+                        Mu::exists(
+                            "Y",
+                            Mu::live("Y").and(Mu::Query(Formula::Atom(
+                                schema.rel_id("Grad").unwrap(),
+                                vec![QTerm::var("X"), QTerm::var("Y")],
+                            ))),
+                        )
+                        .diamond()
+                        .diamond(),
+                    ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn agrees_with_naive_oracle_at_all_thread_counts() {
+        let (schema, pool, ts) = sample();
+        for phi in formula_family(&schema, &pool) {
+            let oracle = mc::eval(&phi, &ts, &mut Valuation::default());
+            let mut reference = None;
+            for threads in [1, 2, 8] {
+                let (ext, counters) = eval_with_opts(
+                    &phi,
+                    &ts,
+                    &mut Valuation::default(),
+                    McOptions { threads },
+                );
+                assert_eq!(ext, oracle, "engine vs oracle on {phi:?}");
+                match &reference {
+                    None => reference = Some((ext, counters)),
+                    Some((r_ext, r_counters)) => {
+                        assert_eq!(&ext, r_ext, "extension varies with threads on {phi:?}");
+                        assert_eq!(
+                            &counters, r_counters,
+                            "counters vary with threads on {phi:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_reuses_cached_query_extensions() {
+        let (schema, pool, ts) = sample();
+        let a = pool.get("a").unwrap();
+        let m = pool.get("m").unwrap();
+        let grad = Mu::Query(Formula::Atom(
+            schema.rel_id("Grad").unwrap(),
+            vec![QTerm::Const(a), QTerm::Const(m)],
+        ));
+        let run = check_with_opts(&sugar::ef(grad), &ts, McOptions::default()).unwrap();
+        assert!(run.holds);
+        // EF needs ≥ 2 Kleene iterations; the ground Grad(a,m) leaf is
+        // computed once and a cache hit afterwards.
+        assert!(run.counters.fixpoint_iterations >= 2);
+        assert!(run.counters.cache_hits > 0, "{:?}", run.counters);
+        assert!(run.counters.cache_hit_rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn closed_subformulas_hoisted_out_of_fixpoints() {
+        let (schema, pool, ts) = sample();
+        let (_, _) = (&schema, &pool);
+        // νZ.(∃x. LIVE(x) ∧ Stud(x)) ∧ []Z — the quantified conjunct is
+        // predicate-closed, so iterations 2.. answer it from the cache.
+        let some_stud = Mu::exists("X", Mu::live("X").and(stud(&schema, "X")));
+        let run = check_with_opts(&sugar::ag(some_stud), &ts, McOptions::default()).unwrap();
+        let c = run.counters;
+        assert!(c.fixpoint_iterations >= 2);
+        // The hoisted conjunct costs one computation regardless of the
+        // number of iterations: hits strictly exceed zero.
+        assert!(c.cache_hits >= c.fixpoint_iterations - 1, "{c:?}");
+    }
+
+    #[test]
+    fn open_formulas_are_rejected_by_name() {
+        let (_, _, ts) = sample();
+        let err = check_with_opts(&Mu::live("X"), &ts, McOptions::default()).unwrap_err();
+        assert_eq!(err, CheckError::FreeIndividuals(vec![Var::new("X")]));
+        assert!(err.to_string().contains("X"), "{err}");
+
+        let open_pred = Mu::Pvar(PredVar::new("Z")).diamond();
+        let err2 = check_with_opts(&open_pred, &ts, McOptions::default()).unwrap_err();
+        assert_eq!(err2, CheckError::FreePredicates(vec![PredVar::new("Z")]));
+        assert!(err2.to_string().contains("Z"), "{err2}");
+
+        // The wrong-verdict shape from the issue: ¬LIVE(x) with x free
+        // evaluated to ∅ (naive: all − all); now it is an error instead.
+        let trap = Mu::live("X").not();
+        assert!(check_with_opts(&trap, &ts, McOptions::default()).is_err());
+    }
+
+    #[test]
+    fn verdicts_match_naive_check() {
+        let (schema, pool, ts) = sample();
+        for phi in formula_family(&schema, &pool) {
+            if !phi.is_closed() {
+                continue;
+            }
+            let naive = mc::eval(&phi, &ts, &mut Valuation::default()).contains(&ts.initial());
+            let run = check_with_opts(&phi, &ts, McOptions { threads: 4 }).unwrap();
+            assert_eq!(run.holds, naive, "{phi:?}");
+        }
+    }
+}

@@ -13,19 +13,25 @@
 //! Fragment membership and the syntactic monotonicity of fixpoints are
 //! checked by [`fragments`]. Model checking over explicit finite transition
 //! systems (concrete prefixes or the finite abstractions of Theorems 4.3 /
-//! 5.4) is provided twice:
+//! 5.4) is provided three ways:
 //!
-//! * [`mc`] — a direct evaluator of the extension function of Figure 1;
+//! * [`engine`] — the production path: a staged evaluator with a
+//!   query-extension cache and parallel per-state query evaluation
+//!   ([`engine::check_with_opts`] exposes thread control and
+//!   [`engine::McCounters`] observability);
+//! * [`mc`] — a naive direct evaluator of the extension function of
+//!   Figure 1, kept as the differential-testing oracle;
 //! * [`prop`] + [`prop_mc`] — the `PROP(Φ)` propositionalisation of Theorem
 //!   4.4 followed by conventional propositional µ-calculus model checking.
 //!
-//! The two are cross-validated by property tests. [`sugar`] offers CTL-style
+//! The three are cross-validated by property tests. [`sugar`] offers CTL-style
 //! combinators (`AG`, `EF`, `AF`, `EU`, ...) compiled into µ-calculus, and
 //! [`parser`] a surface syntax (`mu Z . ...`, `<> phi`, `[] phi`,
 //! `live(X)`).
 
 pub mod ast;
 pub mod diagnostics;
+pub mod engine;
 pub mod fragments;
 pub mod mc;
 pub mod parser;
@@ -36,6 +42,7 @@ pub mod sugar;
 
 pub use ast::{Mu, PredVar};
 pub use diagnostics::{counterexample_ag, witness_ef};
+pub use engine::{check_with_opts, eval_with_opts, CheckError, McCounters, McOptions, McRun};
 pub use fragments::{classify, Fragment, FragmentError};
 pub use mc::{check, eval, Valuation};
 pub use parser::parse_mu;

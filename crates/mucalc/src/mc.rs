@@ -2,6 +2,12 @@
 //! systems: the extension function of Figure 1, computed by naive (Kleene)
 //! fixpoint iteration.
 //!
+//! [`eval`] is deliberately kept naive — no memoization, no parallelism —
+//! because it is the **differential-testing oracle** for the staged engine
+//! in [`crate::engine`]: every optimisation over there is validated by
+//! agreement with the straight-line transcription of Figure 1 over here.
+//! [`check`] itself delegates to the staged engine.
+//!
 //! First-order quantification is evaluated over `ADOM(Θ)` — the union of
 //! all state active domains (plus the values already in the valuation).
 //! For µLA/µLP formulas this is *exact*: their quantifiers are LIVE-guarded,
@@ -178,10 +184,16 @@ fn restore_pred(val: &mut Valuation, z: &PredVar, saved: Option<BTreeSet<StateId
 }
 
 /// Model checking: does the closed formula hold in the initial state?
-pub fn check(f: &Mu, ts: &Ts) -> bool {
-    debug_assert!(f.free_pred_vars().is_empty(), "formula must be closed");
-    let mut val = Valuation::default();
-    eval(f, ts, &mut val).contains(&ts.initial())
+///
+/// Rejects non-closed formulas (free individual *or* predicate variables)
+/// with a named-variable [`crate::engine::CheckError`] — an open formula silently
+/// evaluates to a wrong verdict (e.g. a free-variable atom under `Not`
+/// becomes "all states"), so it must never reach the fixpoint engine.
+/// Evaluation itself runs on the staged engine of [`crate::engine`]; use
+/// [`crate::engine::check_with_opts`] for thread control and counters.
+pub fn check(f: &Mu, ts: &Ts) -> Result<bool, crate::engine::CheckError> {
+    crate::engine::check_with_opts(f, ts, crate::engine::McOptions::default())
+        .map(|run| run.holds)
 }
 
 #[cfg(test)]
@@ -226,7 +238,7 @@ mod tests {
         assert_eq!(ext.len(), 2);
         // ⟨−⟩ of it holds in s0 only.
         let g = Mu::exists("X", Mu::live("X").and(stud(&schema, "X"))).diamond();
-        assert!(check(&g, &ts));
+        assert!(check(&g, &ts).unwrap());
         let ext2 = eval(&g, &ts, &mut Valuation::default());
         assert_eq!(ext2.len(), 1);
     }
@@ -242,7 +254,7 @@ mod tests {
             vec![QTerm::Const(a), QTerm::Const(m)],
         ));
         let f = sugar::ef(grad);
-        assert!(check(&f, &ts));
+        assert!(check(&f, &ts).unwrap());
     }
 
     #[test]
@@ -256,10 +268,10 @@ mod tests {
             schema.rel_id("Stud").unwrap(),
             vec![QTerm::Const(b)],
         ));
-        assert!(!check(&sugar::ag(studb.clone().not()), &ts));
+        assert!(!check(&sugar::ag(studb.clone().not()), &ts).unwrap());
         // AG ¬(Stud(b) ∧ Grad-state) is true since they never co-occur...
         // simpler: AG true is true.
-        assert!(check(&sugar::ag(Mu::Query(Formula::True)), &ts));
+        assert!(check(&sugar::ag(Mu::Query(Formula::True)), &ts).unwrap());
     }
 
     #[test]
@@ -277,7 +289,7 @@ mod tests {
                 .and(stud(&schema, "X"))
                 .and(Mu::exists("Y", Mu::live("Y").and(grad_xy)).diamond().diamond()),
         );
-        assert!(check(&f, &ts));
+        assert!(check(&f, &ts).unwrap());
     }
 
     #[test]
@@ -315,6 +327,6 @@ mod tests {
             )),
         );
         let f = sugar::eu(some_stud, some_grad);
-        assert!(check(&f, &ts));
+        assert!(check(&f, &ts).unwrap());
     }
 }

@@ -108,6 +108,14 @@ impl MuParser {
     }
 
     fn parse_impl(&mut self, p: &mut Parser, r: &mut Resolver<'_>) -> Result<Mu, ParseError> {
+        // Right-recursive on `->`: depth-guarded like the FO parser.
+        p.descend()?;
+        let out = self.parse_impl_inner(p, r);
+        p.ascend();
+        out
+    }
+
+    fn parse_impl_inner(&mut self, p: &mut Parser, r: &mut Resolver<'_>) -> Result<Mu, ParseError> {
         let lhs = self.parse_or(p, r)?;
         if p.eat(&TokenKind::Arrow) {
             let rhs = self.parse_impl(p, r)?;
@@ -136,6 +144,17 @@ impl MuParser {
     }
 
     fn parse_unary(&mut self, p: &mut Parser, r: &mut Resolver<'_>) -> Result<Mu, ParseError> {
+        // Every µ-calculus grammar cycle (`(…)`, `!…`, `<>`/`[]` chains,
+        // `mu`/`nu`/quantifier bodies) passes through here; the depth
+        // counter lives in the shared token cursor, so FO subformula
+        // recursion counts against the same budget.
+        p.descend()?;
+        let out = self.parse_unary_inner(p, r);
+        p.ascend();
+        out
+    }
+
+    fn parse_unary_inner(&mut self, p: &mut Parser, r: &mut Resolver<'_>) -> Result<Mu, ParseError> {
         if p.eat(&TokenKind::Bang) || p.eat_keyword("not") {
             return Ok(self.parse_unary(p, r)?.not());
         }
@@ -325,5 +344,20 @@ mod tests {
     fn trailing_garbage_rejected() {
         let (mut s, mut pool) = setup();
         assert!(parse_mu("true true", &mut s, &mut pool).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        let (mut s, mut pool) = setup();
+        for src in [
+            format!("{}true{}", "(".repeat(20_000), ")".repeat(20_000)),
+            format!("{}true", "<> ".repeat(20_000)),
+            format!("{}true", "[] ".repeat(20_000)),
+            format!("{}true", (0..20_000).map(|i| format!("mu Z{i} . ")).collect::<String>()),
+            format!("{}true", "exists X . live(X) & ".repeat(20_000)),
+        ] {
+            let err = parse_mu(&src, &mut s, &mut pool).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
     }
 }

@@ -160,7 +160,7 @@ mod tests {
         ];
         let adom = ts.adom_union();
         for f in &formulas {
-            let direct = mc::check(f, &ts);
+            let direct = mc::check(f, &ts).unwrap();
             let prop = propositionalize(f, &adom).unwrap();
             assert_eq!(direct, check_prop(&prop, &ts), "formula {f:?}");
         }

@@ -128,37 +128,37 @@ mod tests {
     #[test]
     fn ef_finds_reachable_goal() {
         let (phi, ts) = sample();
-        assert!(check(&ef(phi), &ts));
+        assert!(check(&ef(phi), &ts).unwrap());
     }
 
     #[test]
     fn af_fails_with_escaping_loop() {
         let (phi, ts) = sample();
         // The s0 self-loop avoids P forever.
-        assert!(!check(&af(phi), &ts));
+        assert!(!check(&af(phi), &ts).unwrap());
     }
 
     #[test]
     fn ag_and_eg() {
         let (phi, ts) = sample();
-        assert!(!check(&ag(phi.clone()), &ts));
+        assert!(!check(&ag(phi.clone()), &ts).unwrap());
         // EG ¬P: loop on s0 forever.
-        assert!(check(&eg(phi.clone().not()), &ts));
+        assert!(check(&eg(phi.clone().not()), &ts).unwrap());
         // EG P fails at the initial state.
-        assert!(!check(&eg(phi), &ts));
+        assert!(!check(&eg(phi), &ts).unwrap());
     }
 
     #[test]
     fn eu_strong_until() {
         let (phi, ts) = sample();
         // E[ ¬P U P ]: s0 s1 s2.
-        assert!(check(&eu(phi.clone().not(), phi), &ts));
+        assert!(check(&eu(phi.clone().not(), phi), &ts).unwrap());
     }
 
     #[test]
     fn au_requires_all_paths() {
         let (phi, ts) = sample();
-        assert!(!check(&au(phi.clone().not(), phi), &ts));
+        assert!(!check(&au(phi.clone().not(), phi), &ts).unwrap());
     }
 
     #[test]
@@ -187,14 +187,14 @@ mod tests {
                 .and(p_of_x.clone())
                 .and(eu_live(std::slice::from_ref(&x), psi.clone())),
         );
-        assert!(!check(&guarded, &ts), "a does not persist through s1");
+        assert!(!check(&guarded, &ts).unwrap(), "a does not persist through s1");
         let unguarded = Mu::exists(
             "X",
             Mu::live("X")
                 .and(p_of_x)
                 .and(eu(Mu::Query(dcds_folang::Formula::True), psi)),
         );
-        assert!(check(&unguarded, &ts), "history-style reachability holds");
+        assert!(check(&unguarded, &ts).unwrap(), "history-style reachability holds");
     }
 
     #[test]
@@ -203,6 +203,6 @@ mod tests {
         let mut ts = Ts::new(Instance::new());
         let _ = &mut ts;
         let phi = Mu::Query(dcds_folang::Formula::False);
-        assert!(!check(&af(phi), &ts));
+        assert!(!check(&af(phi), &ts).unwrap());
     }
 }

@@ -182,7 +182,7 @@ mod tests {
         assert!(!halted_somewhere(&abs.ts, &dcds));
         let halted = dcds.data.schema.rel_id("halted").unwrap();
         let prop = sugar::ag(Mu::Query(Formula::Atom(halted, vec![])).not());
-        assert!(check(&prop, &abs.ts));
+        assert!(check(&prop, &abs.ts).unwrap());
     }
 
     #[test]

@@ -67,7 +67,7 @@ fn main() {
     ];
     for (name, src) in props {
         let phi = parse_mu(src, &mut schema, &mut pool).expect("parsable");
-        println!("fragment {:?}  |  {name}: {}", classify(&phi).unwrap(), check(&phi, &pruning.ts));
+        println!("fragment {:?}  |  {name}: {}", classify(&phi).unwrap(), check(&phi, &pruning.ts).unwrap());
     }
 
     // ------------------------------------------------------------------

@@ -90,7 +90,7 @@ fn main() {
         println!(
             "{name}\n  fragment: {:?}\n  holds: {}",
             classify(phi).unwrap(),
-            check(phi, &pruning.ts)
+            check(phi, &pruning.ts).unwrap()
         );
     }
 

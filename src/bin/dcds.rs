@@ -6,7 +6,7 @@
 //!                                               build the finite abstraction
 //!                                               (threads default to DCDS_THREADS
 //!                                               or the machine's parallelism)
-//! dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
+//! dcds check    <spec.dcds> <formula> [--max-states N] [--threads N] [--trace]
 //!                                               model-check a µ-calculus property
 //! dcds run      <spec.dcds> [--steps N] [--seed S]
 //!                                               simulate the system
@@ -17,6 +17,15 @@
 //!
 //! Specs are in the textual format of `dcds_core::parser`; formulas in the
 //! µ-calculus surface syntax of `dcds_mucalc::parser`.
+//!
+//! ## Exit codes (`dcds check`)
+//!
+//! Scripting/CI contract: **0** — the property holds on a complete
+//! abstraction; **1** — the property is violated on a complete abstraction;
+//! **2** — inconclusive (the state budget was hit, so the abstraction is
+//! truncated and the verdict only valid up to the budget). Parse and usage
+//! errors keep the ordinary failure path (exit 1 with a message on stderr,
+//! distinguishable from a violation verdict by the `error:` prefix).
 
 use dcds_verify::abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, AbsOutcome};
 use dcds_verify::core::{configured_threads, EngineCounters};
@@ -25,14 +34,21 @@ use dcds_verify::analysis::{
     is_weakly_acyclic, position_ranks, run_bound_estimate, state_bound_estimate,
 };
 use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
-use dcds_verify::mucalc::{check, classify, diagnostics, parse_mu};
+use dcds_verify::mucalc::{check_with_opts, classify, diagnostics, parse_mu, McOptions};
 use dcds_verify::reldata::{ConstantPool, InstanceDisplay};
 use std::process::ExitCode;
+
+/// `dcds check`: property holds (complete abstraction).
+const EXIT_HOLDS: u8 = 0;
+/// `dcds check`: property violated (complete abstraction).
+const EXIT_VIOLATED: u8 = 1;
+/// `dcds check`: inconclusive — the abstraction hit the state budget.
+const EXIT_INCONCLUSIVE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -45,31 +61,37 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dcds analyze  <spec.dcds>
   dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
-  dcds check    <spec.dcds> <formula> [--max-states N] [--trace]
+  dcds check    <spec.dcds> <formula> [--max-states N] [--threads N] [--trace]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
-  dcds fmt      <spec.dcds>";
+  dcds fmt      <spec.dcds>
 
-fn run(args: &[String]) -> Result<(), String> {
+`dcds check` exits 0 when the property holds, 1 when it is violated, and
+2 when the verdict is inconclusive (state budget hit).";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "analyze" => analyze(args.get(1).ok_or("missing spec path")?),
         "abstract" => do_abstract(
             args.get(1).ok_or("missing spec path")?,
             flag_value(args, "--max-states")?.unwrap_or(10_000),
-            flag_value(args, "--threads")?.unwrap_or_else(configured_threads),
+            threads_flag(args)?.unwrap_or_else(configured_threads),
             args.iter().any(|a| a == "--dot"),
         ),
-        "check" => do_check(
-            args.get(1).ok_or("missing spec path")?,
-            args.get(2).ok_or("missing formula")?,
-            flag_value(args, "--max-states")?.unwrap_or(10_000),
-            args.iter().any(|a| a == "--trace"),
-        ),
+        "check" => {
+            return do_check(
+                args.get(1).ok_or("missing spec path")?,
+                args.get(2).ok_or("missing formula")?,
+                flag_value(args, "--max-states")?.unwrap_or(10_000),
+                threads_flag(args)?.unwrap_or_else(configured_threads),
+                args.iter().any(|a| a == "--trace"),
+            )
+        }
         "run" => do_run(
             args.get(1).ok_or("missing spec path")?,
             flag_value(args, "--steps")?.unwrap_or(10),
-            flag_value(args, "--seed")?.unwrap_or(42) as u64,
+            flag_value::<u64>(args, "--seed")?.unwrap_or(42),
         ),
         "dot" => do_dot(
             args.get(1).ok_or("missing spec path")?,
@@ -82,9 +104,10 @@ fn run(args: &[String]) -> Result<(), String> {
         "fmt" => do_fmt(args.get(1).ok_or("missing spec path")?),
         other => Err(format!("unknown command `{other}`")),
     }
+    .map(|()| ExitCode::SUCCESS)
 }
 
-fn flag_value(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => args
@@ -93,6 +116,15 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<usize>, String> {
             .parse()
             .map(Some)
             .map_err(|_| format!("{flag} needs a number")),
+    }
+}
+
+/// `--threads`, range-checked: the engines treat the count as a divisor of
+/// the work, so 0 is a usage error, not a silent serial fallback.
+fn threads_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value::<usize>(args, "--threads")? {
+        Some(0) => Err("--threads must be at least 1".into()),
+        other => Ok(other),
     }
 }
 
@@ -224,18 +256,36 @@ fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Resu
     Ok(())
 }
 
-fn do_check(path: &str, formula: &str, max_states: usize, trace: bool) -> Result<(), String> {
+fn do_check(
+    path: &str,
+    formula: &str,
+    max_states: usize,
+    threads: usize,
+    trace: bool,
+) -> Result<ExitCode, String> {
     let dcds = load(path)?;
     let mut schema = dcds.data.schema.clone();
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
     let fragment = classify(&phi).map_err(|e| e.to_string())?;
-    let (ts, pool, complete, how, _counters) = build_abstraction(&dcds, max_states, configured_threads());
-    let verdict = check(&phi, &ts);
+    let (ts, pool, complete, how, _counters) = build_abstraction(&dcds, max_states, threads);
+    let run = check_with_opts(&phi, &ts, McOptions { threads }).map_err(|e| e.to_string())?;
+    let verdict = run.holds;
     println!("fragment: {fragment:?}");
     println!("abstraction: {how}, {} states, complete = {complete}", ts.num_states());
     if !complete {
         println!("WARNING: the abstraction is truncated; the verdict is only valid up to the budget");
+    }
+    println!(
+        "mc engine ({threads} thread{}): {}",
+        if threads == 1 { "" } else { "s" },
+        run.counters
+    );
+    if let Some(rate) = run.counters.cache_hit_rate() {
+        println!(
+            "query-extension cache resolved {:.1}% of extension requests",
+            rate * 100.0
+        );
     }
     println!("verdict: {verdict}");
     if trace && !verdict {
@@ -254,7 +304,13 @@ fn do_check(path: &str, formula: &str, max_states: usize, trace: bool) -> Result
             );
         }
     }
-    Ok(())
+    Ok(ExitCode::from(if !complete {
+        EXIT_INCONCLUSIVE
+    } else if verdict {
+        EXIT_HOLDS
+    } else {
+        EXIT_VIOLATED
+    }))
 }
 
 fn do_run(path: &str, steps: usize, seed: u64) -> Result<(), String> {

@@ -56,7 +56,7 @@
 //!     &mut pool,
 //! )
 //! .unwrap();
-//! assert!(check(&phi, &pruning.ts));
+//! assert!(check(&phi, &pruning.ts).unwrap());
 //! ```
 
 pub use dcds_abstraction as abstraction;

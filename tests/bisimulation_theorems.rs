@@ -112,8 +112,8 @@ fn theorem_3_1_mu_la_invariance_across_bisimilar_systems() {
     ];
     for (ix, phi) in formulas.iter().enumerate() {
         assert_eq!(
-            check(phi, &abs.ts),
-            check(phi, &fig),
+            check(phi, &abs.ts).unwrap(),
+            check(phi, &fig).unwrap(),
             "formula #{ix} distinguishes bisimilar systems"
         );
     }
@@ -215,8 +215,8 @@ fn theorem_3_2_mu_lp_invariance() {
             "test formulas should be in a decidable fragment: {src}"
         );
         assert_eq!(
-            check(&phi, &res.ts),
-            check(&phi, &mirror),
+            check(&phi, &res.ts).unwrap(),
+            check(&phi, &mirror).unwrap(),
             "µLP formula distinguishes persistence-bisimilar systems: {src}"
         );
     }

@@ -3,7 +3,8 @@
 
 use std::process::Command;
 
-fn dcds(args: &[&str]) -> (bool, String) {
+/// Run the binary; returns (exit code, combined stdout+stderr).
+fn dcds_code(args: &[&str]) -> (i32, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_dcds"))
         .args(args)
         .output()
@@ -13,7 +14,12 @@ fn dcds(args: &[&str]) -> (bool, String) {
         String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
-    (out.status.success(), text)
+    (out.status.code().expect("not killed by signal"), text)
+}
+
+fn dcds(args: &[&str]) -> (bool, String) {
+    let (code, text) = dcds_code(args);
+    (code == 0, text)
 }
 
 fn spec(name: &str) -> String {
@@ -46,26 +52,112 @@ fn analyze_travel_request() {
 }
 
 #[test]
-fn check_verdicts_and_traces() {
-    let (ok, text) = dcds(&[
+fn check_verdicts_traces_and_exit_codes() {
+    // Exit 0: property holds on a complete abstraction.
+    let (code, text) = dcds_code(&[
         "check",
         &spec("ping_pong.dcds"),
         "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
         "--trace",
     ]);
-    assert!(ok, "{text}");
+    assert_eq!(code, 0, "{text}");
     assert!(text.contains("fragment: MuLP"));
     assert!(text.contains("verdict: true"));
-    // A failing property gets a counterexample path.
-    let (ok2, text2) = dcds(&[
+    assert!(text.contains("mc engine"), "{text}");
+
+    // Exit 1: property violated, with a counterexample path.
+    let (code2, text2) = dcds_code(&[
         "check",
         &spec("ping_pong.dcds"),
         "nu Z . (exists X . live(X) & R(X)) & [] Z",
         "--trace",
     ]);
-    assert!(ok2, "{text2}");
+    assert_eq!(code2, 1, "{text2}");
     assert!(text2.contains("verdict: false"));
     assert!(text2.contains("violating state"));
+}
+
+#[test]
+fn check_truncated_abstraction_is_inconclusive() {
+    // Exit 2: the state budget cuts the abstraction short.
+    let (code, text) = dcds_code(&[
+        "check",
+        &spec("travel_request.dcds"),
+        "nu Z . true & [] Z",
+        "--max-states",
+        "3",
+    ]);
+    assert_eq!(code, 2, "{text}");
+    assert!(text.contains("truncated"), "{text}");
+}
+
+#[test]
+fn check_rejects_open_formulas_by_name() {
+    let (code, text) = dcds_code(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "live(X) & R(X)",
+    ]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("not closed"), "{text}");
+    assert!(text.contains('X'), "{text}");
+}
+
+#[test]
+fn check_threads_agree_and_zero_is_rejected() {
+    let phi = "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z";
+    let (c1, t1) = dcds_code(&["check", &spec("ping_pong.dcds"), phi, "--threads", "1"]);
+    let (c2, t2) = dcds_code(&["check", &spec("ping_pong.dcds"), phi, "--threads", "2"]);
+    assert_eq!(c1, 0, "{t1}");
+    assert_eq!(c2, 0, "{t2}");
+    // Identical counters and verdict at every thread count: compare the
+    // thread-independent report lines.
+    let strip = |t: &str| {
+        t.lines()
+            .filter(|l| !l.starts_with("mc engine"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&t1), strip(&t2));
+    // The counters line differs only in its thread-count prefix.
+    let tail = |t: &str| {
+        t.lines()
+            .find(|l| l.starts_with("mc engine"))
+            .map(|l| l.split(':').nth(1).unwrap().to_owned())
+    };
+    assert_eq!(tail(&t1), tail(&t2), "counters must not depend on threads");
+
+    let (c0, t0) = dcds_code(&["check", &spec("ping_pong.dcds"), phi, "--threads", "0"]);
+    assert_ne!(c0, 0);
+    assert!(t0.contains("--threads must be at least 1"), "{t0}");
+
+    let (ca, ta) = dcds_code(&["abstract", &spec("ping_pong.dcds"), "--threads", "0"]);
+    assert_ne!(ca, 0);
+    assert!(ta.contains("--threads must be at least 1"), "{ta}");
+}
+
+#[test]
+fn run_accepts_full_u64_seeds() {
+    // u64::MAX used to be rejected (or truncated) by the usize round trip.
+    let (ok, text) = dcds(&[
+        "run",
+        &spec("ping_pong.dcds"),
+        "--steps",
+        "2",
+        "--seed",
+        "18446744073709551615",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("s2:"), "{text}");
+}
+
+#[test]
+fn deeply_nested_formula_is_a_parse_error_not_a_crash() {
+    let bomb = format!("{}true{}", "(".repeat(50_000), ")".repeat(50_000));
+    let (code, text) = dcds_code(&["check", &spec("ping_pong.dcds"), &bomb]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("nesting"), "{text}");
 }
 
 #[test]

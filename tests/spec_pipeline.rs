@@ -73,7 +73,7 @@ fn parse_analyse_abstract_verify() {
             classify(&phi).is_ok(),
             "monotonicity check must pass for {src}"
         );
-        assert_eq!(check(&phi, &pruning.ts), expected, "{src}");
+        assert_eq!(check(&phi, &pruning.ts).unwrap(), expected, "{src}");
     }
 }
 
