@@ -88,7 +88,16 @@ fn dfs_det(
             .into_iter()
             .filter(|v| values_on_run.insert(*v))
             .collect();
-        dfs_det(dcds, &next, values_on_run, depth - 1, runs, max_runs, obs, pool);
+        dfs_det(
+            dcds,
+            &next,
+            values_on_run,
+            depth - 1,
+            runs,
+            max_runs,
+            obs,
+            pool,
+        );
         for v in added {
             values_on_run.remove(&v);
         }

@@ -260,6 +260,11 @@ impl ClassIndex {
     }
 }
 
+/// What the parallel enumeration phase computes per `(state, ασ)`: the
+/// action, its assignment, the pre-instance, and the equality commitments
+/// over the not-yet-mapped calls.
+type EnumeratedStep = (ActionId, Assignment, PreInstance, Vec<Commitment>);
+
 /// One phase-3 task: a `(frontier state, ασ, commitment)` triple with its
 /// minted evaluation choice.
 struct StepTask<'a> {
@@ -310,26 +315,25 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
 
         // Phase 1 (parallel): legal assignments, pre-instances, and
         // commitments per frontier state. Nothing here touches the pool.
-        let enumerated: Vec<Vec<(ActionId, Assignment, PreInstance, Vec<Commitment>)>> =
-            par_map(&frontier, threads, |&sid| {
-                let state = &states[sid.index()];
-                legal_assignments(dcds, &state.instance)
-                    .into_iter()
-                    .map(|(action, sigma)| {
-                        let pre = do_action(dcds, &state.instance, action, &sigma);
-                        let new_calls: Vec<dcds_core::ServiceCall> = pre
-                            .calls()
-                            .into_iter()
-                            .filter(|c| !state.call_map.contains_key(c))
-                            .collect();
-                        let mut known: BTreeSet<Value> = state.known_values();
-                        known.extend(rigid.iter().copied());
-                        let known: Vec<Value> = known.into_iter().collect();
-                        let commitments = enumerate_commitments(&new_calls, &known);
-                        (action, sigma, pre, commitments)
-                    })
-                    .collect()
-            });
+        let enumerated: Vec<Vec<EnumeratedStep>> = par_map(&frontier, threads, |&sid| {
+            let state = &states[sid.index()];
+            legal_assignments(dcds, &state.instance)
+                .into_iter()
+                .map(|(action, sigma)| {
+                    let pre = do_action(dcds, &state.instance, action, &sigma);
+                    let new_calls: Vec<dcds_core::ServiceCall> = pre
+                        .calls()
+                        .into_iter()
+                        .filter(|c| !state.call_map.contains_key(c))
+                        .collect();
+                    let mut known: BTreeSet<Value> = state.known_values();
+                    known.extend(rigid.iter().copied());
+                    let known: Vec<Value> = known.into_iter().collect();
+                    let commitments = enumerate_commitments(&new_calls, &known);
+                    (action, sigma, pre, commitments)
+                })
+                .collect()
+        });
 
         // Phase 2 (serial, frontier order): mint the fresh cells of every
         // commitment — the exact mint sequence of the serial engine.
@@ -392,11 +396,9 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
                 continue;
             };
             counters.successors_generated += 1;
-            if key.is_some() {
-                // Worker canonicalised eagerly; account for it exactly once.
-                if key.as_ref().unwrap().is_some() {
-                    counters.canon_keys_computed += 1;
-                }
+            // Worker canonicalised eagerly; account for it exactly once.
+            if let Some(Some(_)) = &key {
+                counters.canon_keys_computed += 1;
             }
             let next_id = match index.find(&facts, sig, &mut key, &mut counters) {
                 Some(class_ix) => StateId::from_index(class_ix),
@@ -607,8 +609,7 @@ mod tests {
         let abs = det_abstraction(&example_4_1(), 200);
         assert!(abs.counters.sig_filter_skips > 0);
         assert!(
-            abs.counters.canon_keys_computed
-                < abs.counters.successors_generated + 1,
+            abs.counters.canon_keys_computed < abs.counters.successors_generated + 1,
             "fast path never fired: {:?}",
             abs.counters
         );

@@ -30,9 +30,10 @@ pub fn commitment_coverage_holds(dcds: &Dcds, ts: &Ts) -> bool {
             let mut fixed: BTreeSet<_> = rigid.clone();
             fixed.extend(inst.active_domain());
             let rep_facts = Facts::from_instance(rep);
-            let covered = ts.successors(s).iter().any(|&t| {
-                Facts::from_instance(ts.db(t)).isomorphic(&rep_facts, &fixed)
-            });
+            let covered = ts
+                .successors(s)
+                .iter()
+                .any(|&t| Facts::from_instance(ts.db(t)).isomorphic(&rep_facts, &fixed));
             if !covered {
                 return false;
             }

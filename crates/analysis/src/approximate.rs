@@ -60,7 +60,11 @@ pub fn positive_approximate(dcds: &Dcds) -> Dcds {
                 }
             })
             .collect();
-        actions.push(Action::new(&format!("{}+", action.name), Vec::new(), effects));
+        actions.push(Action::new(
+            &format!("{}+", action.name),
+            Vec::new(),
+            effects,
+        ));
     }
     let rules = (0..actions.len())
         .map(|ix| CaRule {

@@ -76,13 +76,7 @@ pub fn dataflow_graph(dcds: &Dcds) -> DataflowGraph {
                     // Figure 9 draws for the `true` self-loop.
                     for &body_rel in &body_rels {
                         push_edge(
-                            &mut graph,
-                            &mut edges,
-                            &rels,
-                            body_rel,
-                            *head_rel,
-                            false,
-                            action_id,
+                            &mut graph, &mut edges, &rels, body_rel, *head_rel, false, action_id,
                         );
                     }
                     continue;
@@ -94,13 +88,7 @@ pub fn dataflow_graph(dcds: &Dcds) -> DataflowGraph {
                     };
                     for &body_rel in &body_rels {
                         push_edge(
-                            &mut graph,
-                            &mut edges,
-                            &rels,
-                            body_rel,
-                            *head_rel,
-                            special,
-                            action_id,
+                            &mut graph, &mut edges, &rels, body_rel, *head_rel, special, action_id,
                         );
                     }
                 }

@@ -19,9 +19,7 @@ pub fn depgraph_dot(dg: &DepGraph, dcds: &Dcds) -> String {
     for eid in 0..dg.graph.num_edges() {
         let (u, v) = dg.graph.edge(eid);
         if dg.special[eid] {
-            out.push_str(&format!(
-                "  n{u} -> n{v} [label=\"*\", style=dashed];\n"
-            ));
+            out.push_str(&format!("  n{u} -> n{v} [label=\"*\", style=dashed];\n"));
         } else {
             out.push_str(&format!("  n{u} -> n{v};\n"));
         }
@@ -55,9 +53,7 @@ pub fn dataflow_dot(df: &DataflowGraph, dcds: &Dcds) -> String {
             actions.join(",")
         };
         let style = if edge.special { ", style=dashed" } else { "" };
-        out.push_str(&format!(
-            "  n{u} -> n{v} [label=\"{label}\"{style}];\n"
-        ));
+        out.push_str(&format!("  n{u} -> n{v} [label=\"{label}\"{style}];\n"));
     }
     out.push_str("}\n");
     out

@@ -121,11 +121,7 @@ fn find_witness(df: &DataflowGraph, with_excuse: bool) -> Option<GrWitness> {
 /// Render a witness with relation and action names, e.g.
 /// `pi1: R -[alpha]-> R ; pi2: R =[alpha]=> Q ; pi3: Q -[alpha]-> Q`
 /// (special edges drawn with `=…=>`).
-pub fn render_witness(
-    w: &GrWitness,
-    df: &DataflowGraph,
-    dcds: &dcds_core::Dcds,
-) -> String {
+pub fn render_witness(w: &GrWitness, df: &DataflowGraph, dcds: &dcds_core::Dcds) -> String {
     let edge = |e: usize| {
         let meta = &df.edges[e];
         let actions: Vec<&str> = meta
@@ -133,7 +129,11 @@ pub fn render_witness(
             .iter()
             .map(|a| dcds.process.actions[a.index()].name.as_str())
             .collect();
-        let (arrow_l, arrow_r) = if meta.special { ("=[", "]=>") } else { ("-[", "]->") };
+        let (arrow_l, arrow_r) = if meta.special {
+            ("=[", "]=>")
+        } else {
+            ("-[", "]->")
+        };
         format!(
             "{} {}{}{} {}",
             dcds.data.schema.name(meta.from),
@@ -144,7 +144,11 @@ pub fn render_witness(
         )
     };
     let seg = |edges: &[usize]| {
-        edges.iter().map(|&e| edge(e)).collect::<Vec<_>>().join(" ; ")
+        edges
+            .iter()
+            .map(|&e| edge(e))
+            .collect::<Vec<_>>()
+            .join(" ; ")
     };
     format!(
         "generate cycle pi1: {}\nconnecting path pi2: {}\nrecall cycle pi3: {}",

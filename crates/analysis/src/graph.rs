@@ -158,9 +158,9 @@ impl DiGraph {
                 out.extend(comp);
             } else {
                 let u = comp[0];
-                let has_loop = self.out[u].iter().any(|&e| {
-                    !forbidden.contains(&e) && self.edges[e].1 == u
-                });
+                let has_loop = self.out[u]
+                    .iter()
+                    .any(|&e| !forbidden.contains(&e) && self.edges[e].1 == u);
                 if has_loop {
                     out.insert(u);
                 }

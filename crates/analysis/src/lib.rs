@@ -30,9 +30,13 @@ pub mod state_bound;
 pub mod weak_acyclicity;
 
 pub use approximate::positive_approximate;
-pub use dataflow::{dataflow_graph, DfEdge, DataflowGraph};
+pub use dataflow::{dataflow_graph, DataflowGraph, DfEdge};
 pub use depgraph::{dependency_graph, DepGraph, Position};
 pub use dot::{dataflow_dot, depgraph_dot};
-pub use gr_acyclicity::{is_gr_acyclic, is_gr_plus_acyclic, GrWitness};
+pub use gr_acyclicity::{
+    gr_plus_witness, gr_witness, is_gr_acyclic, is_gr_plus_acyclic, render_witness, GrWitness,
+};
 pub use state_bound::state_bound_estimate;
-pub use weak_acyclicity::{is_weakly_acyclic, position_ranks, run_bound_estimate};
+pub use weak_acyclicity::{
+    is_weakly_acyclic, position_ranks, render_dep_cycle, run_bound_estimate, weak_cycle_witness,
+};

@@ -2,6 +2,7 @@
 
 use crate::depgraph::DepGraph;
 use dcds_core::Dcds;
+use dcds_reldata::Schema;
 use std::collections::BTreeSet;
 
 /// Is the dependency graph weakly acyclic — i.e. no cycle goes through a
@@ -27,6 +28,65 @@ pub fn is_weakly_acyclic(dg: &DepGraph) -> bool {
         }
     }
     true
+}
+
+/// A concrete cycle through a special edge, witnessing *failure* of weak
+/// acyclicity: an edge-id sequence whose first edge is special and whose
+/// edges close a cycle in the dependency graph. `None` iff weakly acyclic.
+pub fn weak_cycle_witness(dg: &DepGraph) -> Option<Vec<usize>> {
+    let mut comp_of = vec![usize::MAX; dg.graph.num_nodes()];
+    for (cix, comp) in dg.graph.sccs().into_iter().enumerate() {
+        for node in comp {
+            comp_of[node] = cix;
+        }
+    }
+    for eid in 0..dg.graph.num_edges() {
+        if !dg.special[eid] {
+            continue;
+        }
+        let (u, v) = dg.graph.edge(eid);
+        if u == v {
+            return Some(vec![eid]);
+        }
+        if comp_of[u] == comp_of[v] {
+            // Same SCC ⇒ a simple return path v→u exists; the shortest one
+            // keeps the witness small.
+            if let Some(back) = dg
+                .graph
+                .simple_paths(v, u)
+                .into_iter()
+                .min_by_key(|p| p.len())
+            {
+                let mut cycle = vec![eid];
+                cycle.extend(back);
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+/// Render a dependency-graph edge cycle as `P.1 =[special]=> Q.1 -> P.1`
+/// with 1-based position components.
+pub fn render_dep_cycle(cycle: &[usize], dg: &DepGraph, schema: &Schema) -> String {
+    let pos_name = |node: usize| {
+        let (rel, i) = dg.positions[node];
+        format!("{}.{}", schema.name(rel), i + 1)
+    };
+    let mut out = String::new();
+    for (ix, &eid) in cycle.iter().enumerate() {
+        let (u, v) = dg.graph.edge(eid);
+        if ix == 0 {
+            out.push_str(&pos_name(u));
+        }
+        out.push_str(if dg.special[eid] {
+            " =[special]=> "
+        } else {
+            " -> "
+        });
+        out.push_str(&pos_name(v));
+    }
+    out
 }
 
 /// The *rank* of each position: the maximum number of special edges on any
@@ -146,6 +206,27 @@ mod tests {
         assert!(!is_weakly_acyclic(&dg));
         assert!(position_ranks(&dg).is_none());
         assert!(run_bound_estimate(&dcds, &dg).is_none());
+    }
+
+    #[test]
+    fn witness_cycle_goes_through_a_special_edge() {
+        let dcds = dep_tests::example_4_3();
+        let dg = dependency_graph(&dcds);
+        let cycle = weak_cycle_witness(&dg).expect("not weakly acyclic");
+        assert!(dg.special[cycle[0]]);
+        // The edges close a cycle: each edge's target is the next's source.
+        for w in cycle.windows(2) {
+            assert_eq!(dg.graph.edge(w[0]).1, dg.graph.edge(w[1]).0);
+        }
+        assert_eq!(
+            dg.graph.edge(*cycle.last().unwrap()).1,
+            dg.graph.edge(cycle[0]).0
+        );
+        let text = render_dep_cycle(&cycle, &dg, &dcds.data.schema);
+        assert_eq!(text, "R.1 =[special]=> Q.1 -> R.1");
+
+        let wa = dependency_graph(&dep_tests::example_4_1());
+        assert!(weak_cycle_witness(&wa).is_none());
     }
 
     #[test]

@@ -24,17 +24,13 @@ fn bench_dedup_strategies(c: &mut Criterion) {
         ("audit_small", travel::audit_system_small()),
     ];
     for (name, dcds) in &systems {
-        group.bench_with_input(
-            BenchmarkId::new("canonical_key", name),
-            dcds,
-            |b, d| {
-                b.iter(|| {
-                    black_box(det_abstraction_with(d, 2_000, DedupStrategy::CanonicalKey))
-                        .ts
-                        .num_states()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("canonical_key", name), dcds, |b, d| {
+            b.iter(|| {
+                black_box(det_abstraction_with(d, 2_000, DedupStrategy::CanonicalKey))
+                    .ts
+                    .num_states()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("pairwise_iso", name), dcds, |b, d| {
             b.iter(|| {
                 black_box(det_abstraction_with(d, 2_000, DedupStrategy::PairwiseIso))
@@ -54,9 +50,7 @@ fn guard_setup(n: usize) -> (Schema, ConstantPool, Instance, dcds_folang::Formul
     let ok = pool.intern("ok");
     let mut inst = Instance::new();
     for i in 0..n {
-        let row: Vec<_> = (0..3)
-            .map(|j| pool.intern(&format!("v{i}_{j}")))
-            .collect();
+        let row: Vec<_> = (0..3).map(|j| pool.intern(&format!("v{i}_{j}"))).collect();
         inst.insert(r, Tuple::from([row[0], row[1], row[2], ok]));
     }
     let f = parse_formula(

@@ -80,5 +80,10 @@ fn bench_gr_acyclicity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_weak_acyclicity, bench_ranks, bench_gr_acyclicity);
+criterion_group!(
+    benches,
+    bench_weak_acyclicity,
+    bench_ranks,
+    bench_gr_acyclicity
+);
 criterion_main!(benches);

@@ -9,18 +9,30 @@ use std::hint::black_box;
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig2_example_4_2", |b| b.iter(|| black_box(figures::fig2()).len()));
-    group.bench_function("fig3_example_4_1", |b| b.iter(|| black_box(figures::fig3()).len()));
-    group.bench_function("fig4_run_unbounded", |b| b.iter(|| black_box(figures::fig4()).len()));
+    group.bench_function("fig2_example_4_2", |b| {
+        b.iter(|| black_box(figures::fig2()).len())
+    });
+    group.bench_function("fig3_example_4_1", |b| {
+        b.iter(|| black_box(figures::fig3()).len())
+    });
+    group.bench_function("fig4_run_unbounded", |b| {
+        b.iter(|| black_box(figures::fig4()).len())
+    });
     group.bench_function("fig5_dependency_graphs", |b| {
         b.iter(|| black_box(figures::fig5()).len())
     });
-    group.bench_function("fig6_state_unbounded", |b| b.iter(|| black_box(figures::fig6()).len()));
-    group.bench_function("fig7_rcycl", |b| b.iter(|| black_box(figures::fig7()).len()));
+    group.bench_function("fig6_state_unbounded", |b| {
+        b.iter(|| black_box(figures::fig6()).len())
+    });
+    group.bench_function("fig7_rcycl", |b| {
+        b.iter(|| black_box(figures::fig7()).len())
+    });
     group.bench_function("fig8_dataflow_graphs", |b| {
         b.iter(|| black_box(figures::fig8()).len())
     });
-    group.bench_function("fig9_request_system", |b| b.iter(|| black_box(figures::fig9()).len()));
+    group.bench_function("fig9_request_system", |b| {
+        b.iter(|| black_box(figures::fig9()).len())
+    });
     group.bench_function("fig10_audit_system", |b| {
         b.iter(|| black_box(figures::fig10()).len())
     });

@@ -48,7 +48,9 @@ fn bench_direct_vs_prop(c: &mut Criterion) {
     let res = rcycl(&dcds, 100);
     let phi = sample_formula(&dcds);
     let mut group = c.benchmark_group("mc_direct_vs_prop");
-    group.bench_function("direct", |b| b.iter(|| black_box(check(&phi, &res.ts).unwrap())));
+    group.bench_function("direct", |b| {
+        b.iter(|| black_box(check(&phi, &res.ts).unwrap()))
+    });
     group.bench_function("prop_pipeline", |b| {
         b.iter(|| {
             let p = propositionalize(&phi, &res.ts.adom_union()).unwrap();
@@ -57,7 +59,9 @@ fn bench_direct_vs_prop(c: &mut Criterion) {
     });
     // Pre-translated (amortised) propositional checking.
     let p = propositionalize(&phi, &res.ts.adom_union()).unwrap();
-    group.bench_function("prop_only", |b| b.iter(|| black_box(check_prop(&p, &res.ts))));
+    group.bench_function("prop_only", |b| {
+        b.iter(|| black_box(check_prop(&p, &res.ts)))
+    });
     group.finish();
 }
 
@@ -94,7 +98,9 @@ fn bench_fixpoint_iteration(c: &mut Criterion) {
     group.sample_size(10);
     let _ = &res.ts as &Ts;
     for (name, phi) in &formulas {
-        group.bench_function(*name, |b| b.iter(|| black_box(check(phi, &res.ts).unwrap())));
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(check(phi, &res.ts).unwrap()))
+        });
     }
     group.finish();
 }

@@ -283,7 +283,12 @@ fn main() {
             1500,
             reps,
         ),
-        bench_rcycl("flush_ladder, max_states=2000", &synthetic::flush_ladder(), 2000, reps),
+        bench_rcycl(
+            "flush_ladder, max_states=2000",
+            &synthetic::flush_ladder(),
+            2000,
+            reps,
+        ),
         bench_rcycl(
             "accumulator(2), max_states=250",
             &synthetic::accumulator(2),
@@ -297,7 +302,10 @@ fn main() {
     for w in &workloads {
         let base = w.runs[0].secs;
         println!("\n{} — {}", w.engine, w.name);
-        println!("  {:>7}  {:>10}  {:>8}  {:>7}  {:>7}", "threads", "secs", "speedup", "states", "edges");
+        println!(
+            "  {:>7}  {:>10}  {:>8}  {:>7}  {:>7}",
+            "threads", "secs", "speedup", "states", "edges"
+        );
         for r in &w.runs {
             println!(
                 "  {:>7}  {:>10.4}  {:>7.2}x  {:>7}  {:>7}",
@@ -349,7 +357,9 @@ fn main() {
         let _ = writeln!(
             json,
             "      \"sig_fast_path_hit_rate\": {},",
-            w.sig_hit_rate.map(json_f64).unwrap_or_else(|| "null".into())
+            w.sig_hit_rate
+                .map(json_f64)
+                .unwrap_or_else(|| "null".into())
         );
         let _ = writeln!(
             json,
@@ -379,7 +389,10 @@ fn main() {
     let mc_loads = mc_workloads(reps);
     println!("\nmucalc perf report  (hardware_threads = {hardware_threads}, best of {reps})");
     for w in &mc_loads {
-        println!("\n{} — {} ({} states, holds = {})", w.name, w.property, w.states, w.holds);
+        println!(
+            "\n{} — {} ({} states, holds = {})",
+            w.name, w.property, w.states, w.holds
+        );
         println!("  naive oracle: {:>10.4}s", w.naive_secs);
         println!("  {:>7}  {:>10}  {:>12}", "threads", "secs", "vs naive");
         for r in &w.runs {
@@ -410,7 +423,11 @@ fn main() {
     for (wi, w) in mc_loads.iter().enumerate() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
-        let _ = writeln!(json, "      \"property\": \"{}\",", w.property.replace('"', "'"));
+        let _ = writeln!(
+            json,
+            "      \"property\": \"{}\",",
+            w.property.replace('"', "'")
+        );
         let _ = writeln!(json, "      \"states\": {},", w.states);
         let _ = writeln!(json, "      \"holds\": {},", w.holds);
         let _ = writeln!(json, "      \"naive_secs\": {},", json_f64(w.naive_secs));
@@ -429,11 +446,18 @@ fn main() {
         let _ = writeln!(
             json,
             "      \"cache_hit_rate\": {},",
-            w.counters.cache_hit_rate().map(json_f64).unwrap_or_else(|| "null".into())
+            w.counters
+                .cache_hit_rate()
+                .map(json_f64)
+                .unwrap_or_else(|| "null".into())
         );
         let _ = writeln!(json, "      \"cache_hits\": {},", w.counters.cache_hits);
         let _ = writeln!(json, "      \"cache_misses\": {},", w.counters.cache_misses);
-        let _ = writeln!(json, "      \"query_state_evals\": {},", w.counters.query_state_evals);
+        let _ = writeln!(
+            json,
+            "      \"query_state_evals\": {},",
+            w.counters.query_state_evals
+        );
         let _ = writeln!(
             json,
             "      \"fixpoint_iterations\": {}",

@@ -164,18 +164,22 @@ mod tests {
 
     #[test]
     fn static_verdicts_match_the_paper() {
-        use dcds_analysis::{
-            dataflow_graph, dependency_graph, gr_acyclicity, is_weakly_acyclic,
-        };
+        use dcds_analysis::{dataflow_graph, dependency_graph, gr_acyclicity, is_weakly_acyclic};
         // Table of Section 4.3 / 5.4 verdicts.
         assert!(is_weakly_acyclic(&dependency_graph(&example_4_1())));
         assert!(is_weakly_acyclic(&dependency_graph(&example_4_2())));
         assert!(!is_weakly_acyclic(&dependency_graph(&example_4_3(
             ServiceKind::Deterministic
         ))));
-        assert!(gr_acyclicity::is_gr_acyclic(&dataflow_graph(&example_5_1())));
-        assert!(!gr_acyclicity::is_gr_acyclic(&dataflow_graph(&example_5_2())));
-        assert!(!gr_acyclicity::is_gr_acyclic(&dataflow_graph(&example_5_3())));
+        assert!(gr_acyclicity::is_gr_acyclic(
+            &dataflow_graph(&example_5_1())
+        ));
+        assert!(!gr_acyclicity::is_gr_acyclic(&dataflow_graph(
+            &example_5_2()
+        )));
+        assert!(!gr_acyclicity::is_gr_acyclic(&dataflow_graph(
+            &example_5_3()
+        )));
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::examples;
 use crate::travel;
 use dcds_abstraction::{det_abstraction, observe_run_bound, observe_state_bound, rcycl};
 use dcds_analysis::{
-    dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity,
-    is_weakly_acyclic, position_ranks,
+    dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity, is_weakly_acyclic,
+    position_ranks,
 };
 use dcds_core::explore::{explore_det, explore_nondet, CommitmentOracle, Limits};
 use dcds_core::{Dcds, ServiceKind, Ts};
@@ -21,7 +21,13 @@ use dcds_mucalc::{check, check_prop, propositionalize, sugar, Mu};
 use dcds_reldata::InstanceDisplay;
 use std::fmt::Write as _;
 
-fn ts_summary(ts: &Ts, dcds: &Dcds, pool: &dcds_reldata::ConstantPool, label: &str, list_states: bool) -> String {
+fn ts_summary(
+    ts: &Ts,
+    dcds: &Dcds,
+    pool: &dcds_reldata::ConstantPool,
+    label: &str,
+    list_states: bool,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -74,7 +80,13 @@ pub fn fig2() -> String {
         false,
     );
     let abs = det_abstraction(&dcds, 100);
-    out += &ts_summary(&abs.ts, &dcds, &abs.pool, "abstract transition system", true);
+    out += &ts_summary(
+        &abs.ts,
+        &dcds,
+        &abs.pool,
+        "abstract transition system",
+        true,
+    );
     let _ = writeln!(
         out,
         "\nabstraction outcome: {:?} (paper: finite, f(a) |-> a forced; initial state has 2 successors — ours has {})",
@@ -105,7 +117,13 @@ pub fn fig3() -> String {
         false,
     );
     let abs = det_abstraction(&dcds, 100);
-    out += &ts_summary(&abs.ts, &dcds, &abs.pool, "abstract transition system", true);
+    out += &ts_summary(
+        &abs.ts,
+        &dcds,
+        &abs.pool,
+        "abstract transition system",
+        true,
+    );
     let _ = writeln!(
         out,
         "\nabstraction outcome: {:?} (paper: finite; initial state has 5 successors \
@@ -279,10 +297,15 @@ fn cell(out: &mut String, setting: &str, logic: &str, verdict: &str, evidence: &
 /// Table 1: the (un)decidability matrix, each cell demonstrated by running
 /// the corresponding construction.
 pub fn table1() -> String {
-    let mut out = String::from(
-        "Table 1 — (un)decidability of verification (U undecidable, D decidable)\n\n",
+    let mut out =
+        String::from("Table 1 — (un)decidability of verification (U undecidable, D decidable)\n\n");
+    cell(
+        &mut out,
+        "SETTING",
+        "LOGIC",
+        "VERDICT",
+        "EVIDENCE (this run)",
     );
-    cell(&mut out, "SETTING", "LOGIC", "VERDICT", "EVIDENCE (this run)");
 
     // --- Deterministic, unrestricted: U (even propositional LTL). ---
     // Evidence: the Theorem 4.1 reduction executes — G !halted tracks TM
@@ -301,10 +324,11 @@ pub fn table1() -> String {
             &mut oracle,
         );
         let halted_rel = halting.data.schema.rel_id("halted").unwrap();
-        let reached = exp
-            .ts
-            .state_ids()
-            .any(|s| exp.ts.db(s).contains(halted_rel, &dcds_reldata::Tuple::unit()));
+        let reached = exp.ts.state_ids().any(|s| {
+            exp.ts
+                .db(s)
+                .contains(halted_rel, &dcds_reldata::Tuple::unit())
+        });
         let looping = tm_to_dcds(&looping_machine(), &[]).unwrap();
         let abs = det_abstraction(&looping, 3000);
         let halted_rel2 = looping.data.schema.rel_id("halted").unwrap();
@@ -332,7 +356,10 @@ pub fn table1() -> String {
         let p = dcds.data.schema.rel_id("P").unwrap();
         let phi = sugar::ag(Mu::exists(
             "X",
-            Mu::live("X").and(Mu::Query(Formula::Atom(p, vec![dcds_folang::QTerm::var("X")]))),
+            Mu::live("X").and(Mu::Query(Formula::Atom(
+                p,
+                vec![dcds_folang::QTerm::var("X")],
+            ))),
         ));
         let direct = check(&phi, &abs.ts).unwrap();
         let prop = propositionalize(&phi, &abs.ts.adom_union()).unwrap();
@@ -376,9 +403,8 @@ pub fn table1() -> String {
                 }
             }
             for v in &vars {
-                body = body.and(
-                    Mu::Query(Formula::Atom(q, vec![dcds_folang::QTerm::var(v)])).diamond(),
-                );
+                body = body
+                    .and(Mu::Query(Formula::Atom(q, vec![dcds_folang::QTerm::var(v)])).diamond());
             }
             for v in vars.iter().rev() {
                 body = Mu::exists(v.as_str(), body);
@@ -487,14 +513,9 @@ pub fn travel_verify() -> String {
     // Liveness: AG (forall live n: Travel(n) -> A[Travel(n)-live U decided])
     // — the paper's first property, with the Travel(n) guard keeping the
     // binding live (muLP-compatible).
-    let decided = Mu::Query(Formula::Atom(
-        status,
-        vec![dcds_folang::QTerm::Const(upd)],
-    ))
-    .or(Mu::Query(Formula::Atom(
-        status,
-        vec![dcds_folang::QTerm::Const(conf)],
-    )));
+    let decided = Mu::Query(Formula::Atom(status, vec![dcds_folang::QTerm::Const(upd)])).or(
+        Mu::Query(Formula::Atom(status, vec![dcds_folang::QTerm::Const(conf)])),
+    );
     let traveln = Mu::Query(Formula::Atom(
         travel_rel,
         vec![dcds_folang::QTerm::var("N")],
@@ -516,10 +537,7 @@ pub fn travel_verify() -> String {
     eprintln!("[travel_verify] property 1 done");
     // Safety: G not(confirmed and no Travel tuple).
     let some_travel = Mu::exists("N", Mu::live("N").and(traveln));
-    let confirmed = Mu::Query(Formula::Atom(
-        status,
-        vec![dcds_folang::QTerm::Const(conf)],
-    ));
+    let confirmed = Mu::Query(Formula::Atom(status, vec![dcds_folang::QTerm::Const(conf)]));
     let safety = sugar::ag(confirmed.and(some_travel.not()).not());
     eprintln!("[travel_verify] checking property 2 ...");
     let _ = writeln!(
@@ -534,7 +552,10 @@ pub fn travel_verify() -> String {
     eprintln!("[travel_verify] building audit system abstraction ...");
     let audit = travel::audit_system_small();
     let abs = det_abstraction(&audit, 5000);
-    eprintln!("[travel_verify] audit abstraction: {} states", abs.ts.num_states());
+    eprintln!(
+        "[travel_verify] audit abstraction: {} states",
+        abs.ts.num_states()
+    );
     let _ = writeln!(
         out,
         "\naudit system: abstraction {:?}, {} states, {} edges",
@@ -551,17 +572,24 @@ pub fn travel_verify() -> String {
     let var = dcds_folang::QTerm::var;
     let hotel_failed = Formula::exists(
         "H",
-        Formula::Atom(hotel, vec![var("I"), var("H"), dcds_folang::QTerm::Const(fail)]),
+        Formula::Atom(
+            hotel,
+            vec![var("I"), var("H"), dcds_folang::QTerm::Const(fail)],
+        ),
     );
     let flight_failed = Formula::exists(
         "F",
-        Formula::Atom(flight, vec![var("I"), var("F"), dcds_folang::QTerm::Const(fail)]),
+        Formula::Atom(
+            flight,
+            vec![var("I"), var("F"), dcds_folang::QTerm::Const(fail)],
+        ),
     );
     let premise = Mu::exists(
         "V",
-        Mu::live("V").and(Mu::Query(
-            Formula::Atom(tr, vec![var("I"), var("N"), var("V")]),
-        )),
+        Mu::live("V").and(Mu::Query(Formula::Atom(
+            tr,
+            vec![var("I"), var("N"), var("V")],
+        ))),
     )
     .and(Mu::Query(hotel_failed.or(flight_failed)));
     let eventually_fail = sugar::ef(Mu::Query(Formula::Atom(
@@ -648,7 +676,9 @@ mod tests {
     fn travel_verification_properties_hold() {
         let r = travel_verify();
         assert!(r.contains("RCYCL complete = true"));
-        assert!(r.contains("property 1 (liveness: every filed request is eventually decided): true"));
+        assert!(
+            r.contains("property 1 (liveness: every filed request is eventually decided): true")
+        );
         assert!(r.contains("property 2 (safety: no confirmation without travel data): true"));
         assert!(r.contains("property 3 (muLA audit: failed component check implies eventual request failure): true"));
     }

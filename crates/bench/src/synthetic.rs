@@ -259,7 +259,10 @@ mod tests {
         let p = RandomParams::default();
         let a = random_dcds(42, p);
         let b = random_dcds(42, p);
-        assert_eq!(a.process.actions[0].effects.len(), b.process.actions[0].effects.len());
+        assert_eq!(
+            a.process.actions[0].effects.len(),
+            b.process.actions[0].effects.len()
+        );
         let dga = dependency_graph(&a);
         let dgb = dependency_graph(&b);
         assert_eq!(dga.graph.num_edges(), dgb.graph.num_edges());

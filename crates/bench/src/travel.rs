@@ -277,9 +277,7 @@ pub fn audit_system_small() -> Dcds {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcds_analysis::{
-        dataflow_graph, dependency_graph, gr_acyclicity, is_weakly_acyclic,
-    };
+    use dcds_analysis::{dataflow_graph, dependency_graph, gr_acyclicity, is_weakly_acyclic};
 
     #[test]
     fn request_system_is_gr_plus_but_not_gr_acyclic() {

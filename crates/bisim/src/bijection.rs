@@ -87,9 +87,7 @@ impl PartialBijection {
 
     /// Does `other` extend `self` (agreeing on both directions)?
     pub fn extended_by(&self, other: &PartialBijection) -> bool {
-        self.fwd
-            .iter()
-            .all(|(&x, &y)| other.get(x) == Some(y))
+        self.fwd.iter().all(|(&x, &y)| other.get(x) == Some(y))
     }
 }
 
@@ -293,8 +291,10 @@ mod tests {
         // adom sizes differ (1 vs 2), caught early.
         let db1 = Instance::from_facts([(q, Tuple::from([a, a]))]);
         let db2 = Instance::from_facts([(q, Tuple::from([c, d]))]);
-        assert!(constrained_isomorphisms(&db1, &db2, &PartialBijection::new(), &BTreeSet::new())
-            .is_empty());
+        assert!(
+            constrained_isomorphisms(&db1, &db2, &PartialBijection::new(), &BTreeSet::new())
+                .is_empty()
+        );
         // Q(a,b), Q(b,a) vs Q(c,d), Q(d,c): isomorphic (2 ways).
         let db3 = Instance::from_facts([(q, Tuple::from([a, b])), (q, Tuple::from([b, a]))]);
         let db4 = Instance::from_facts([(q, Tuple::from([c, d])), (q, Tuple::from([d, c]))]);

@@ -14,11 +14,7 @@ use std::collections::{BTreeSet, HashSet};
 type Key = (StateId, Vec<(Value, Value)>, StateId);
 
 fn key(s1: StateId, h: &PartialBijection, s2: StateId) -> Key {
-    (
-        s1,
-        h.forward().iter().map(|(&x, &y)| (x, y)).collect(),
-        s2,
-    )
+    (s1, h.forward().iter().map(|(&x, &y)| (x, y)).collect(), s2)
 }
 
 struct Checker<'a> {
@@ -58,12 +54,9 @@ impl Checker<'_> {
             for &s2p in self.ts2.successors(s2) {
                 // h' must be an isomorphism db1(s1') → db2(s2') extending h
                 // (pre-constrained by ALL of h, per history preservation).
-                for hp in constrained_isomorphisms(
-                    self.ts1.db(s1p),
-                    self.ts2.db(s2p),
-                    h,
-                    self.rigid,
-                ) {
+                for hp in
+                    constrained_isomorphisms(self.ts1.db(s1p), self.ts2.db(s2p), h, self.rigid)
+                {
                     // h' = h ∪ hp must itself be a bijection.
                     let mut merged = h.clone();
                     let mut consistent = true;
@@ -88,12 +81,9 @@ impl Checker<'_> {
         let succ2: Vec<StateId> = self.ts2.successors(s2).to_vec();
         'outer: for s2p in succ2 {
             for &s1p in self.ts1.successors(s1) {
-                for hp in constrained_isomorphisms(
-                    self.ts1.db(s1p),
-                    self.ts2.db(s2p),
-                    h,
-                    self.rigid,
-                ) {
+                for hp in
+                    constrained_isomorphisms(self.ts1.db(s1p), self.ts2.db(s2p), h, self.rigid)
+                {
                     let mut merged = h.clone();
                     let mut consistent = true;
                     for (&x, &y) in hp.forward() {

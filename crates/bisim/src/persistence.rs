@@ -14,11 +14,7 @@ use std::collections::{BTreeSet, HashSet};
 type Key = (StateId, Vec<(Value, Value)>, StateId);
 
 fn key(s1: StateId, h: &PartialBijection, s2: StateId) -> Key {
-    (
-        s1,
-        h.forward().iter().map(|(&x, &y)| (x, y)).collect(),
-        s2,
-    )
+    (s1, h.forward().iter().map(|(&x, &y)| (x, y)).collect(), s2)
 }
 
 struct Checker<'a> {
@@ -69,12 +65,9 @@ impl Checker<'_> {
                     .copied()
                     .collect();
                 let pre = h.restrict(&persisting);
-                for hp in constrained_isomorphisms(
-                    self.ts1.db(s1p),
-                    self.ts2.db(s2p),
-                    &pre,
-                    self.rigid,
-                ) {
+                for hp in
+                    constrained_isomorphisms(self.ts1.db(s1p), self.ts2.db(s2p), &pre, self.rigid)
+                {
                     if self.bisim(s1p, &hp, s2p) {
                         continue 'outer;
                     }
@@ -121,9 +114,8 @@ pub fn persistence_bisimilar(ts1: &Ts, ts2: &Ts, rigid: &BTreeSet<Value>) -> boo
         &PartialBijection::new(),
         rigid,
     );
-    h0s.into_iter().any(|h0| {
-        persistence_bisimilar_from(ts1, ts1.initial(), ts2, ts2.initial(), &h0, rigid)
-    })
+    h0s.into_iter()
+        .any(|h0| persistence_bisimilar_from(ts1, ts1.initial(), ts2, ts2.initial(), &h0, rigid))
 }
 
 #[cfg(test)]

@@ -135,7 +135,8 @@ impl DcdsBuilder {
             effects: Vec::new(),
         };
         f(&mut spec);
-        self.actions.push((name.to_owned(), spec.params, spec.effects));
+        self.actions
+            .push((name.to_owned(), spec.params, spec.effects));
         self
     }
 
@@ -155,12 +156,7 @@ impl DcdsBuilder {
             let mut parsed = Vec::new();
             for (body_src, head_src) in effects {
                 let body = parse_formula_str(&body_src, &mut self.schema, &mut self.pool)?;
-                let head = parse_head_str(
-                    &head_src,
-                    &self.schema,
-                    &mut self.pool,
-                    &self.services,
-                )?;
+                let head = parse_head_str(&head_src, &self.schema, &mut self.pool, &self.services)?;
                 parsed.push(effect_from_body(body, head, &params)?);
             }
             actions.push(Action::new(&name, params, parsed));
@@ -229,16 +225,15 @@ fn parse_head_str(
             .rel_id(&name)
             .ok_or_else(|| format!("unknown relation {name} in effect head"))?;
         let mut terms = Vec::new();
-        if p.eat(&TokenKind::LParen)
-            && !p.eat(&TokenKind::RParen) {
-                loop {
-                    terms.push(parse_eterm_str(&mut p, pool, services)?);
-                    if !p.eat(&TokenKind::Comma) {
-                        break;
-                    }
+        if p.eat(&TokenKind::LParen) && !p.eat(&TokenKind::RParen) {
+            loop {
+                terms.push(parse_eterm_str(&mut p, pool, services)?);
+                if !p.eat(&TokenKind::Comma) {
+                    break;
                 }
-                p.expect(&TokenKind::RParen).map_err(|e| e.to_string())?;
             }
+            p.expect(&TokenKind::RParen).map_err(|e| e.to_string())?;
+        }
         if terms.len() != schema.arity(rel) {
             return Err(format!(
                 "head fact over {name} has {} terms, arity is {}",
@@ -343,10 +338,7 @@ mod tests {
 
     #[test]
     fn builder_reports_first_error() {
-        let r = DcdsBuilder::new()
-            .relation("P", 1)
-            .relation("P", 2)
-            .build();
+        let r = DcdsBuilder::new().relation("P", 1).relation("P", 2).build();
         assert!(r.is_err());
     }
 

@@ -67,14 +67,7 @@ fn rec(
     // Existing fresh cells, plus one new cell (restricted growth).
     for cell in 0..=next_cell {
         acc.push(CommitTarget::Fresh(cell));
-        rec(
-            calls,
-            known,
-            ix + 1,
-            next_cell.max(cell + 1),
-            acc,
-            out,
-        );
+        rec(calls, known, ix + 1, next_cell.max(cell + 1), acc, out);
         acc.pop();
     }
 }

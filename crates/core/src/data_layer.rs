@@ -98,11 +98,7 @@ mod tests {
         let p = schema.add_relation("P", 1).unwrap();
         let a = pool.intern("a");
         let _b = pool.intern("b");
-        let layer = DataLayer::new(
-            pool,
-            schema,
-            Instance::from_facts([(p, Tuple::from([a]))]),
-        );
+        let layer = DataLayer::new(pool, schema, Instance::from_facts([(p, Tuple::from([a]))]));
         assert_eq!(layer.rigid_constants(), [a].into_iter().collect());
     }
 }

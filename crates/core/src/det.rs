@@ -60,10 +60,7 @@ impl DetState {
         for (call, result) in &self.call_map {
             let mut t: Vec<Value> = call.args.clone();
             t.push(*result);
-            facts.insert(
-                (num_rels + call.func.index()) as u32,
-                Tuple::from(t),
-            );
+            facts.insert((num_rels + call.func.index()) as u32, Tuple::from(t));
         }
         facts
     }

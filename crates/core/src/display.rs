@@ -28,9 +28,7 @@ impl<'a> DcdsDisplay<'a> {
             .chars()
             .next()
             .is_some_and(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
-            && name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_');
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
         if simple {
             name.to_owned()
         } else {

@@ -97,12 +97,7 @@ fn substitute_ucq(ucq: &Ucq, sigma: &Assignment) -> Ucq {
             atoms: cq
                 .atoms
                 .iter()
-                .map(|(rel, terms)| {
-                    (
-                        *rel,
-                        terms.iter().map(|t| subst_qterm(t, sigma)).collect(),
-                    )
-                })
+                .map(|(rel, terms)| (*rel, terms.iter().map(|t| subst_qterm(t, sigma)).collect()))
                 .collect(),
             equalities: cq
                 .equalities
@@ -154,8 +149,7 @@ pub fn do_action(
                 continue;
             }
             for (rel, terms) in &effect.head {
-                let grounded: Option<Vec<GTerm>> =
-                    terms.iter().map(|t| t.ground(&full)).collect();
+                let grounded: Option<Vec<GTerm>> = terms.iter().map(|t| t.ground(&full)).collect();
                 if let Some(g) = grounded {
                     out.insert(*rel, g);
                 }
@@ -242,8 +236,7 @@ mod tests {
         let alpha = dcds.action_id("alpha").unwrap();
         let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
         let a = dcds.data.pool.get("a").unwrap();
-        let map: BTreeMap<ServiceCall, _> =
-            pre.calls().into_iter().map(|c| (c, a)).collect();
+        let map: BTreeMap<ServiceCall, _> = pre.calls().into_iter().map(|c| (c, a)).collect();
         let inst = resolve_with_map(&pre, &map).unwrap();
         // R(a), P(a), Q(a,a).
         assert_eq!(inst.len(), 3);

@@ -145,6 +145,11 @@ impl ValueOracle for SampledOracle {
     }
 }
 
+/// What the parallel enumeration phase computes per `(state, ασ)`: the
+/// pre-instance, the service calls still needing values, and the values
+/// already known to the state (for the oracle's domain).
+type Enumerated = (PreInstance, BTreeSet<ServiceCall>, BTreeSet<Value>);
+
 /// Result of a deterministic exploration: the transition system, the
 /// service-call map of each state, and whether the prefix is complete.
 #[derive(Debug, Clone)]
@@ -210,23 +215,22 @@ pub fn explore_det_opts(
         }
         // Phase 1 (parallel): `DO` and the not-yet-mapped calls per
         // `(state, ασ)` — pure queries, no pool access.
-        let enumerated: Vec<Vec<(PreInstance, BTreeSet<ServiceCall>, BTreeSet<Value>)>> =
-            par_map(&level, threads, |(_, state)| {
-                legal_assignments(dcds, &state.instance)
-                    .into_iter()
-                    .map(|(action, sigma)| {
-                        let pre = do_action(dcds, &state.instance, action, &sigma);
-                        let new_calls: BTreeSet<ServiceCall> = pre
-                            .calls()
-                            .into_iter()
-                            .filter(|c| !state.call_map.contains_key(c))
-                            .collect();
-                        let mut known = state.known_values();
-                        known.extend(rigid.iter().copied());
-                        (pre, new_calls, known)
-                    })
-                    .collect()
-            });
+        let enumerated: Vec<Vec<Enumerated>> = par_map(&level, threads, |(_, state)| {
+            legal_assignments(dcds, &state.instance)
+                .into_iter()
+                .map(|(action, sigma)| {
+                    let pre = do_action(dcds, &state.instance, action, &sigma);
+                    let new_calls: BTreeSet<ServiceCall> = pre
+                        .calls()
+                        .into_iter()
+                        .filter(|c| !state.call_map.contains_key(c))
+                        .collect();
+                    let mut known = state.known_values();
+                    known.extend(rigid.iter().copied());
+                    (pre, new_calls, known)
+                })
+                .collect()
+        });
         // Phase 2 (serial): the oracle, in the serial invocation order.
         let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
         for (state_ix, per_state) in enumerated.iter().enumerate() {
@@ -308,19 +312,18 @@ pub fn explore_nondet_opts(
             outcome = ExploreOutcome::Truncated;
             break;
         }
-        let enumerated: Vec<Vec<(PreInstance, BTreeSet<ServiceCall>, BTreeSet<Value>)>> =
-            par_map(&level, threads, |(_, inst)| {
-                legal_assignments(dcds, inst)
-                    .into_iter()
-                    .map(|(action, sigma)| {
-                        let pre = do_action(dcds, inst, action, &sigma);
-                        let calls = pre.calls();
-                        let mut known = inst.active_domain();
-                        known.extend(rigid.iter().copied());
-                        (pre, calls, known)
-                    })
-                    .collect()
-            });
+        let enumerated: Vec<Vec<Enumerated>> = par_map(&level, threads, |(_, inst)| {
+            legal_assignments(dcds, inst)
+                .into_iter()
+                .map(|(action, sigma)| {
+                    let pre = do_action(dcds, inst, action, &sigma);
+                    let calls = pre.calls();
+                    let mut known = inst.active_domain();
+                    known.extend(rigid.iter().copied());
+                    (pre, calls, known)
+                })
+                .collect()
+        });
         let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
         for (state_ix, per_state) in enumerated.iter().enumerate() {
             for (pre_ix, (_, calls, known)) in per_state.iter().enumerate() {

@@ -44,6 +44,7 @@ pub mod parser;
 pub mod process;
 pub mod runner;
 pub mod service;
+pub mod spec;
 pub mod term;
 pub mod ts;
 
@@ -52,8 +53,8 @@ pub use builder::DcdsBuilder;
 pub use commitment::{enumerate_commitments, CommitTarget, Commitment};
 pub use data_layer::DataLayer;
 pub use dcds::{Dcds, ValidationError};
-pub use display::{to_spec, DcdsDisplay};
 pub use det::DetState;
+pub use display::{to_spec, DcdsDisplay};
 pub use do_op::{do_action, legal_assignments, PreInstance};
 pub use explore::{
     explore_det, explore_det_opts, explore_nondet, explore_nondet_opts, ExploreOutcome, Limits,
@@ -63,5 +64,6 @@ pub use parser::parse_dcds;
 pub use process::{CaRule, FsProcess, ProcessLayer};
 pub use runner::{AnswerPolicy, Runner, StepRecord};
 pub use service::{FuncId, ServiceCatalog, ServiceKind};
+pub use spec::{parse_spec, DcdsSpec, SpecError};
 pub use term::{BaseTerm, ETerm, GTerm, ServiceCall};
 pub use ts::{StateId, Ts};

@@ -178,10 +178,9 @@ mod tests {
         let alpha = dcds.action_id("alpha").unwrap();
         let a = dcds.data.pool.get("a").unwrap();
         let pre = do_action(&dcds, &dcds.data.initial, alpha, &Assignment::new());
-        let theta: BTreeMap<ServiceCall, Value> =
-            pre.calls().into_iter().map(|c| (c, a)).collect();
-        let next = nondet_step(&dcds, &dcds.data.initial, alpha, &Assignment::new(), &theta)
-            .unwrap();
+        let theta: BTreeMap<ServiceCall, Value> = pre.calls().into_iter().map(|c| (c, a)).collect();
+        let next =
+            nondet_step(&dcds, &dcds.data.initial, alpha, &Assignment::new(), &theta).unwrap();
         // {R(a)} → {Q(a)}: R is forgotten (no copy effect for R from R).
         let r = dcds.data.schema.rel_id("R").unwrap();
         let q = dcds.data.schema.rel_id("Q").unwrap();

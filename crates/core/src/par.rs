@@ -194,7 +194,9 @@ mod tests {
     #[test]
     fn uneven_work_is_balanced() {
         // Items with wildly different costs still come back in order.
-        let items: Vec<u64> = (0..64).map(|i| if i % 7 == 0 { 200_000 } else { 10 }).collect();
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i % 7 == 0 { 200_000 } else { 10 })
+            .collect();
         let spin = |n: u64| {
             let mut acc = 0u64;
             for i in 0..n {
@@ -218,16 +220,11 @@ mod tests {
         // The scratch must never leak between items in a way that changes
         // results: use it as a reusable buffer only.
         let items: Vec<usize> = (0..100).collect();
-        let out = par_map_with(
-            &items,
-            4,
-            Vec::<usize>::new,
-            |buf, &x| {
-                buf.clear();
-                buf.extend(0..=x);
-                buf.iter().sum::<usize>()
-            },
-        );
+        let out = par_map_with(&items, 4, Vec::<usize>::new, |buf, &x| {
+            buf.clear();
+            buf.extend(0..=x);
+            buf.iter().sum::<usize>()
+        });
         let expect: Vec<usize> = items.iter().map(|&x| x * (x + 1) / 2).collect();
         assert_eq!(out, expect);
     }

@@ -18,327 +18,23 @@
 //! level is rejected — write one effect per disjunct, which is the UCQ
 //! reading the paper gives).
 
-use crate::action::{Action, ActionId, Effect};
-use crate::data_layer::DataLayer;
+use crate::action::Effect;
 use crate::dcds::Dcds;
-use crate::process::{CaRule, ProcessLayer};
-use crate::service::{ServiceCatalog, ServiceKind};
-use crate::term::{BaseTerm, ETerm};
-use dcds_folang::lexer::TokenKind;
-use dcds_folang::parser::{is_variable_name, ParseError, Parser, Resolver};
-use dcds_folang::{ConjunctiveQuery, EqualityConstraint, FoConstraint, Formula, QTerm, Ucq, Var};
-use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
+use crate::term::ETerm;
+use dcds_folang::{ConjunctiveQuery, EqualityConstraint, Formula, QTerm, Ucq, Var};
 use std::collections::BTreeSet;
 
 /// Parse a complete DCDS specification.
+///
+/// This is the strict entry point: the first semantic defect aborts with a
+/// `line:col: message` string. For structured errors keep the
+/// [`crate::spec::SpecError`]: `parse_spec(src)?.lower()`; for tolerant
+/// parsing with per-construct diagnostics see the `dcds-lint` crate.
 pub fn parse_dcds(src: &str) -> Result<Dcds, String> {
-    let mut p = Parser::new(src).map_err(|e| e.to_string())?;
-    let mut pool = ConstantPool::new();
-    let mut schema = Schema::new();
-    let mut services = ServiceCatalog::new();
-    let mut initial = Instance::new();
-    let mut constraints = Vec::new();
-    let mut fo_constraints = Vec::new();
-    let mut actions: Vec<Action> = Vec::new();
-    let mut rules_raw: Vec<(Formula, String)> = Vec::new();
-
-    while !p.at_eof() {
-        if p.eat_keyword("schema") {
-            parse_schema_block(&mut p, &mut schema).map_err(|e| e.to_string())?;
-        } else if p.eat_keyword("services") {
-            parse_services_block(&mut p, &mut services).map_err(|e| e.to_string())?;
-        } else if p.eat_keyword("init") {
-            parse_init_block(&mut p, &mut schema, &mut pool, &mut initial)
-                .map_err(|e| e.to_string())?;
-        } else if p.eat_keyword("constraint") {
-            let mut r = Resolver {
-                schema: &mut schema,
-                pool: &mut pool,
-                extend_schema: false,
-            };
-            let f = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
-            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
-            constraints.push(decompose_equality_constraint(f)?);
-        } else if p.eat_keyword("assert") {
-            let mut r = Resolver {
-                schema: &mut schema,
-                pool: &mut pool,
-                extend_schema: false,
-            };
-            let f = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
-            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
-            fo_constraints.push(FoConstraint::new(f).map_err(|e| e.to_string())?);
-        } else if p.eat_keyword("action") {
-            let action =
-                parse_action(&mut p, &mut schema, &mut pool, &services).map_err(|e| e.to_string())?;
-            actions.push(action);
-        } else if p.eat_keyword("rule") {
-            let mut r = Resolver {
-                schema: &mut schema,
-                pool: &mut pool,
-                extend_schema: false,
-            };
-            let cond = p.parse_formula(&mut r).map_err(|e| e.to_string())?;
-            p.expect(&TokenKind::FatArrow).map_err(|e| e.to_string())?;
-            let name = p.expect_ident().map_err(|e| e.to_string())?;
-            p.expect(&TokenKind::Semicolon).map_err(|e| e.to_string())?;
-            rules_raw.push((cond, name));
-        } else {
-            return Err(p
-                .error(&format!("expected a top-level item, found {}", p.peek_kind()))
-                .to_string());
-        }
-    }
-
-    let mut rules = Vec::new();
-    for (cond, name) in rules_raw {
-        let id = actions
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActionId::from_index)
-            .ok_or_else(|| format!("rule references unknown action {name}"))?;
-        rules.push(CaRule {
-            condition: cond,
-            action: id,
-        });
-    }
-
-    let mut data = DataLayer::new(pool, schema, initial);
-    data.constraints = constraints;
-    data.fo_constraints = fo_constraints;
-    let process = ProcessLayer {
-        services,
-        actions,
-        rules,
-    };
-    Dcds::new(data, process).map_err(|e| e.to_string())
-}
-
-fn parse_schema_block(p: &mut Parser, schema: &mut Schema) -> Result<(), ParseError> {
-    p.expect(&TokenKind::LBrace)?;
-    while !p.eat(&TokenKind::RBrace) {
-        let name = p.expect_ident()?;
-        let arity = parse_arity(p)?;
-        schema
-            .add_relation(&name, arity)
-            .map_err(|e| p.error(&e.to_string()))?;
-        p.expect(&TokenKind::Semicolon)?;
-    }
-    Ok(())
-}
-
-fn parse_services_block(p: &mut Parser, services: &mut ServiceCatalog) -> Result<(), ParseError> {
-    p.expect(&TokenKind::LBrace)?;
-    while !p.eat(&TokenKind::RBrace) {
-        let name = p.expect_ident()?;
-        let arity = parse_arity(p)?;
-        let kind = if p.eat_keyword("det") {
-            ServiceKind::Deterministic
-        } else if p.eat_keyword("nondet") {
-            ServiceKind::Nondeterministic
-        } else {
-            return Err(p.error("expected `det` or `nondet`"));
-        };
-        services
-            .add(&name, arity, kind)
-            .map_err(|e| p.error(&e))?;
-        p.expect(&TokenKind::Semicolon)?;
-    }
-    Ok(())
-}
-
-fn parse_arity(p: &mut Parser) -> Result<usize, ParseError> {
-    // Arity is written `P 2` (digits lex as identifiers).
-    let tok = p.expect_ident()?;
-    tok.parse::<usize>()
-        .map_err(|_| p.error(&format!("expected arity (a number), found `{tok}`")))
-}
-
-fn parse_init_block(
-    p: &mut Parser,
-    schema: &mut Schema,
-    pool: &mut ConstantPool,
-    initial: &mut Instance,
-) -> Result<(), ParseError> {
-    p.expect(&TokenKind::LBrace)?;
-    while !p.eat(&TokenKind::RBrace) {
-        let name = p.expect_ident()?;
-        let rel = schema
-            .rel_id(&name)
-            .ok_or_else(|| p.error(&format!("unknown relation {name}")))?;
-        let mut vals = Vec::new();
-        if p.eat(&TokenKind::LParen)
-            && !p.eat(&TokenKind::RParen) {
-                loop {
-                    match p.peek_kind().clone() {
-                        TokenKind::Ident(s) if !is_variable_name(&s) => {
-                            p.advance();
-                            vals.push(pool.intern(&s));
-                        }
-                        TokenKind::Quoted(s) => {
-                            p.advance();
-                            vals.push(pool.intern(&s));
-                        }
-                        other => {
-                            return Err(
-                                p.error(&format!("expected constant in init fact, found {other}"))
-                            )
-                        }
-                    }
-                    if !p.eat(&TokenKind::Comma) {
-                        break;
-                    }
-                }
-                p.expect(&TokenKind::RParen)?;
-            }
-        if vals.len() != schema.arity(rel) {
-            return Err(p.error(&format!(
-                "init fact over {name} has {} constants, arity is {}",
-                vals.len(),
-                schema.arity(rel)
-            )));
-        }
-        initial.insert(rel, Tuple::from(vals));
-        p.expect(&TokenKind::Semicolon)?;
-    }
-    Ok(())
-}
-
-fn parse_action(
-    p: &mut Parser,
-    schema: &mut Schema,
-    pool: &mut ConstantPool,
-    services: &ServiceCatalog,
-) -> Result<Action, ParseError> {
-    let name = p.expect_ident()?;
-    let mut params = Vec::new();
-    p.expect(&TokenKind::LParen)?;
-    if !p.eat(&TokenKind::RParen) {
-        params = p.parse_var_list()?;
-        p.expect(&TokenKind::RParen)?;
-    }
-    p.expect(&TokenKind::LBrace)?;
-    let mut effects = Vec::new();
-    while !p.eat(&TokenKind::RBrace) {
-        let mut r = Resolver {
-            schema,
-            pool,
-            extend_schema: false,
-        };
-        let body = p.parse_formula(&mut r)?;
-        p.expect(&TokenKind::Squiggle)?;
-        let mut head = Vec::new();
-        loop {
-            head.push(parse_head_fact(p, schema, pool, services)?);
-            if !p.eat(&TokenKind::Comma) {
-                break;
-            }
-        }
-        p.expect(&TokenKind::Semicolon)?;
-        let effect =
-            effect_from_body(body, head, &params).map_err(|m| p.error(&m))?;
-        effects.push(effect);
-    }
-    Ok(Action::new(&name, params, effects))
-}
-
-/// Parse one head fact `R(term, ...)` where terms may be service calls.
-fn parse_head_fact(
-    p: &mut Parser,
-    schema: &Schema,
-    pool: &mut ConstantPool,
-    services: &ServiceCatalog,
-) -> Result<(dcds_reldata::RelId, Vec<ETerm>), ParseError> {
-    let name = p.expect_ident()?;
-    let rel = schema
-        .rel_id(&name)
-        .ok_or_else(|| p.error(&format!("unknown relation {name} in effect head")))?;
-    let mut terms = Vec::new();
-    if p.eat(&TokenKind::LParen)
-        && !p.eat(&TokenKind::RParen) {
-            loop {
-                terms.push(parse_eterm(p, pool, services)?);
-                if !p.eat(&TokenKind::Comma) {
-                    break;
-                }
-            }
-            p.expect(&TokenKind::RParen)?;
-        }
-    if terms.len() != schema.arity(rel) {
-        return Err(p.error(&format!(
-            "head fact over {name} has {} terms, arity is {}",
-            terms.len(),
-            schema.arity(rel)
-        )));
-    }
-    Ok((rel, terms))
-}
-
-fn parse_eterm(
-    p: &mut Parser,
-    pool: &mut ConstantPool,
-    services: &ServiceCatalog,
-) -> Result<ETerm, ParseError> {
-    match p.peek_kind().clone() {
-        TokenKind::Ident(name) => {
-            if matches!(p.peek_ahead(1), TokenKind::LParen) {
-                // Service call.
-                p.advance();
-                let fid = services
-                    .func_id(&name)
-                    .ok_or_else(|| p.error(&format!("unknown service {name}")))?;
-                p.expect(&TokenKind::LParen)?;
-                let mut args = Vec::new();
-                if !p.eat(&TokenKind::RParen) {
-                    loop {
-                        args.push(parse_base_term(p, pool)?);
-                        if !p.eat(&TokenKind::Comma) {
-                            break;
-                        }
-                    }
-                    p.expect(&TokenKind::RParen)?;
-                }
-                if args.len() != services.arity(fid) {
-                    return Err(p.error(&format!(
-                        "service {name} has arity {}, call has {} arguments",
-                        services.arity(fid),
-                        args.len()
-                    )));
-                }
-                Ok(ETerm::Call(fid, args))
-            } else {
-                p.advance();
-                if is_variable_name(&name) {
-                    Ok(ETerm::var(&name))
-                } else {
-                    Ok(ETerm::constant(pool.intern(&name)))
-                }
-            }
-        }
-        TokenKind::Quoted(name) => {
-            p.advance();
-            Ok(ETerm::constant(pool.intern(&name)))
-        }
-        other => Err(p.error(&format!("expected head term, found {other}"))),
-    }
-}
-
-fn parse_base_term(p: &mut Parser, pool: &mut ConstantPool) -> Result<BaseTerm, ParseError> {
-    match p.peek_kind().clone() {
-        TokenKind::Ident(name) => {
-            p.advance();
-            if is_variable_name(&name) {
-                Ok(BaseTerm::var(&name))
-            } else {
-                Ok(BaseTerm::Const(pool.intern(&name)))
-            }
-        }
-        TokenKind::Quoted(name) => {
-            p.advance();
-            Ok(BaseTerm::Const(pool.intern(&name)))
-        }
-        other => Err(p.error(&format!("expected variable or constant, found {other}"))),
-    }
+    let spec = crate::spec::parse_spec(src)
+        .map_err(crate::spec::SpecError::from)
+        .map_err(|e| e.to_string())?;
+    spec.lower().map_err(|e| e.to_string())
 }
 
 /// Decompose `premise -> eq & ... & eq` into an [`EqualityConstraint`].
@@ -363,8 +59,10 @@ fn collect_equalities(f: Formula, out: &mut Vec<(QTerm, QTerm)>) -> Result<(), S
             out.push((t1, t2));
             Ok(())
         }
-        _ => Err("the conclusion of an equality constraint must be a conjunction of equalities"
-            .to_owned()),
+        _ => Err(
+            "the conclusion of an equality constraint must be a conjunction of equalities"
+                .to_owned(),
+        ),
     }
 }
 

@@ -88,9 +88,7 @@ impl FsProcess {
         pool: &mut ConstantPool,
         actions: &[Action],
     ) -> Result<CompiledFs, String> {
-        let pc = schema
-            .add_or_get("__pc", 1)
-            .map_err(|e| e.to_string())?;
+        let pc = schema.add_or_get("__pc", 1).map_err(|e| e.to_string())?;
         let state_consts: Vec<_> = (0..self.num_states)
             .map(|i| pool.intern(&format!("q{i}")))
             .collect();
@@ -116,8 +114,8 @@ impl FsProcess {
             )]));
             let new_id = ActionId::from_index(out_actions.len());
             out_actions.push(action);
-            let guard = Formula::Atom(pc, vec![QTerm::Const(state_consts[*from])])
-                .and(cond.clone());
+            let guard =
+                Formula::Atom(pc, vec![QTerm::Const(state_consts[*from])]).and(cond.clone());
             out_rules.push(CaRule {
                 condition: guard,
                 action: new_id,

@@ -154,9 +154,8 @@ impl Runner {
                     }
                 }
             }
-            let next =
-                nondet_step(&self.dcds, &self.det_state.instance, action, sigma, &theta)
-                    .ok_or("step rejected: missing answers or constraint violation")?;
+            let next = nondet_step(&self.dcds, &self.det_state.instance, action, sigma, &theta)
+                .ok_or("step rejected: missing answers or constraint violation")?;
             // Record deterministic answers in the map.
             for (call, &v) in &theta {
                 if self.service_is_deterministic(call) {
@@ -313,8 +312,7 @@ mod tests {
     #[test]
     fn random_policy_is_reproducible() {
         let run = |seed| {
-            let mut runner =
-                Runner::new(det_system(), AnswerPolicy::Random { seed });
+            let mut runner = Runner::new(det_system(), AnswerPolicy::Random { seed });
             runner.run(8);
             runner.call_map().len()
         };
@@ -327,8 +325,6 @@ mod tests {
         let mut sigma = Assignment::new();
         sigma.insert(dcds_folang::Var::new("X"), Value::from_index(0));
         let alpha = runner.dcds().action_id("alpha").unwrap();
-        assert!(runner
-            .step_with(alpha, &sigma, &BTreeMap::new())
-            .is_err());
+        assert!(runner.step_with(alpha, &sigma, &BTreeMap::new()).is_err());
     }
 }

@@ -1,0 +1,860 @@
+//! Span-carrying surface AST for `.dcds` specifications.
+//!
+//! [`parse_spec`] accepts anything that is *syntactically* well formed —
+//! unknown relations, arity mismatches, unbound variables and other
+//! semantic defects do **not** abort the parse. Instead every relation
+//! atom is resolved tolerantly (see [`Parser::record_atom_uses`]) and
+//! recorded as a [`RelUse`] with its source position, so downstream tools
+//! (`dcds-lint`) can re-check the spec and point diagnostics at
+//! `file:line:col`.
+//!
+//! [`DcdsSpec::lower`] then applies today's strict semantics and produces
+//! the validated [`Dcds`]; [`crate::parse_dcds`] is `parse_spec` + `lower`.
+
+use crate::action::{Action, ActionId, Effect};
+use crate::data_layer::DataLayer;
+use crate::dcds::{Dcds, ValidationError};
+use crate::process::{CaRule, ProcessLayer};
+use crate::service::{ServiceCatalog, ServiceKind};
+use crate::term::{BaseTerm, ETerm};
+use dcds_folang::lexer::{Span, TokenKind};
+use dcds_folang::parser::{is_variable_name, ParseError, Parser, RelUse, Resolver};
+use dcds_folang::{FoConstraint, Formula};
+use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
+use std::fmt;
+
+/// A relation declaration `P 2;` in the `schema` block.
+#[derive(Debug, Clone)]
+pub struct RelDecl {
+    /// Relation name.
+    pub name: String,
+    /// Declared arity.
+    pub arity: usize,
+    /// Position of the name.
+    pub span: Span,
+}
+
+/// A service declaration `f 1 det;` in the `services` block.
+#[derive(Debug, Clone)]
+pub struct SvcDecl {
+    /// Service name.
+    pub name: String,
+    /// Declared arity.
+    pub arity: usize,
+    /// Deterministic or nondeterministic semantics.
+    pub kind: ServiceKind,
+    /// Position of the name.
+    pub span: Span,
+}
+
+/// An `init` fact `P(a, 'b c');`.
+#[derive(Debug, Clone)]
+pub struct InitFactDecl {
+    /// Relation name as written.
+    pub rel: String,
+    /// Constant arguments as written.
+    pub args: Vec<String>,
+    /// Position of the relation name.
+    pub span: Span,
+}
+
+/// A `constraint premise -> eq & ...;` item (equality constraint).
+#[derive(Debug, Clone)]
+pub struct ConstraintDecl {
+    /// The whole constraint formula, atoms resolved tolerantly.
+    pub formula: Formula,
+    /// Every relation atom occurring in the formula.
+    pub uses: Vec<RelUse>,
+    /// Position of the `constraint` keyword.
+    pub span: Span,
+}
+
+/// An `assert <sentence>;` item (FO integrity constraint).
+#[derive(Debug, Clone)]
+pub struct AssertDecl {
+    /// The asserted sentence, atoms resolved tolerantly.
+    pub formula: Formula,
+    /// Every relation atom occurring in the formula.
+    pub uses: Vec<RelUse>,
+    /// Position of the `assert` keyword.
+    pub span: Span,
+}
+
+/// A term in an effect head: variable, constant, or service call.
+#[derive(Debug, Clone)]
+pub enum SpecTerm {
+    /// A variable (uppercase / `_` start).
+    Var {
+        /// Variable name.
+        name: String,
+        /// Position of the name.
+        span: Span,
+    },
+    /// A constant (other identifier or quoted string).
+    Const {
+        /// Constant text.
+        name: String,
+        /// Position of the constant.
+        span: Span,
+    },
+    /// A service call `f(t, ...)` over variables/constants.
+    Call {
+        /// Service name as written.
+        service: String,
+        /// Position of the service name.
+        span: Span,
+        /// Argument terms (never nested calls).
+        args: Vec<SpecTerm>,
+    },
+}
+
+impl SpecTerm {
+    /// The position of this term.
+    pub fn span(&self) -> Span {
+        match self {
+            SpecTerm::Var { span, .. }
+            | SpecTerm::Const { span, .. }
+            | SpecTerm::Call { span, .. } => *span,
+        }
+    }
+}
+
+/// One head fact `R(t, ...)` of an effect.
+#[derive(Debug, Clone)]
+pub struct HeadFactDecl {
+    /// Relation name as written.
+    pub rel: String,
+    /// Position of the relation name.
+    pub span: Span,
+    /// Head terms.
+    pub terms: Vec<SpecTerm>,
+}
+
+/// One effect `body ~> head, head;` of an action.
+#[derive(Debug, Clone)]
+pub struct EffectDecl {
+    /// The effect body (`q⁺ ∧ Q⁻` before splitting).
+    pub body: Formula,
+    /// Relation atoms of the body.
+    pub body_uses: Vec<RelUse>,
+    /// Head facts.
+    pub heads: Vec<HeadFactDecl>,
+    /// Position where the effect starts.
+    pub span: Span,
+}
+
+/// An `action name(params) { effects }` item.
+#[derive(Debug, Clone)]
+pub struct ActionDecl {
+    /// Action name.
+    pub name: String,
+    /// Position of the name.
+    pub span: Span,
+    /// Parameter variables.
+    pub params: Vec<dcds_folang::Var>,
+    /// The action's effects.
+    pub effects: Vec<EffectDecl>,
+}
+
+/// A `rule condition => action;` item.
+#[derive(Debug, Clone)]
+pub struct RuleDecl {
+    /// The condition query.
+    pub condition: Formula,
+    /// Relation atoms of the condition.
+    pub cond_uses: Vec<RelUse>,
+    /// Invoked action name as written.
+    pub action: String,
+    /// Position of the action name.
+    pub action_span: Span,
+    /// Position of the `rule` keyword.
+    pub span: Span,
+}
+
+/// A parsed-but-not-yet-validated DCDS specification, with source spans.
+#[derive(Debug, Clone)]
+pub struct DcdsSpec {
+    /// Relation declarations in source order (duplicates included).
+    pub relations: Vec<RelDecl>,
+    /// Service declarations in source order (duplicates included).
+    pub services: Vec<SvcDecl>,
+    /// `init` facts in source order.
+    pub init: Vec<InitFactDecl>,
+    /// Equality constraints.
+    pub constraints: Vec<ConstraintDecl>,
+    /// FO integrity constraints.
+    pub asserts: Vec<AssertDecl>,
+    /// Actions in source order.
+    pub actions: Vec<ActionDecl>,
+    /// CA rules in source order.
+    pub rules: Vec<RuleDecl>,
+    /// Working schema: the declared relations (first declaration wins on
+    /// duplicates) plus `name/arity` scratch entries for atom uses that
+    /// matched no declaration. Formulas in this spec refer to its ids.
+    pub schema: Schema,
+    /// Constants interned while parsing, in first-occurrence order.
+    pub pool: ConstantPool,
+}
+
+impl DcdsSpec {
+    /// The first declaration of relation `name`, if any.
+    pub fn declared_relation(&self, name: &str) -> Option<&RelDecl> {
+        self.relations.iter().find(|d| d.name == name)
+    }
+
+    /// The first declaration of service `name`, if any.
+    pub fn declared_service(&self, name: &str) -> Option<&SvcDecl> {
+        self.services.iter().find(|d| d.name == name)
+    }
+
+    /// The first action named `name`, if any.
+    pub fn action(&self, name: &str) -> Option<&ActionDecl> {
+        self.actions.iter().find(|a| a.name == name)
+    }
+
+    /// All relation atom uses across constraints, asserts, effect bodies
+    /// and rule conditions, in source order within each item class.
+    pub fn formula_uses(&self) -> impl Iterator<Item = &RelUse> {
+        self.constraints
+            .iter()
+            .map(|c| &c.uses)
+            .chain(self.asserts.iter().map(|a| &a.uses))
+            .chain(
+                self.actions
+                    .iter()
+                    .flat_map(|a| a.effects.iter().map(|e| &e.body_uses)),
+            )
+            .chain(self.rules.iter().map(|r| &r.cond_uses))
+            .flatten()
+    }
+}
+
+/// A semantic error raised while lowering a [`DcdsSpec`] to a [`Dcds`],
+/// with a source position when one is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the offending construct appears, when known.
+    pub span: Option<Span>,
+}
+
+impl SpecError {
+    fn new(message: impl Into<String>, span: Span) -> Self {
+        SpecError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{s}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ParseError> for SpecError {
+    fn from(e: ParseError) -> Self {
+        SpecError {
+            span: Some(Span::new(e.line, e.col)),
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a DCDS specification into the tolerant, span-carrying AST.
+/// Only *syntax* errors are reported here; semantic defects are left in
+/// the AST for `DcdsSpec::lower` or the lint passes to find.
+pub fn parse_spec(src: &str) -> Result<DcdsSpec, ParseError> {
+    let mut p = Parser::new(src)?;
+    p.record_atom_uses();
+    let mut spec = DcdsSpec {
+        relations: Vec::new(),
+        services: Vec::new(),
+        init: Vec::new(),
+        constraints: Vec::new(),
+        asserts: Vec::new(),
+        actions: Vec::new(),
+        rules: Vec::new(),
+        schema: Schema::new(),
+        pool: ConstantPool::new(),
+    };
+
+    while !p.at_eof() {
+        let item_span = p.peek_span();
+        if p.eat_keyword("schema") {
+            parse_schema_block(&mut p, &mut spec)?;
+        } else if p.eat_keyword("services") {
+            parse_services_block(&mut p, &mut spec)?;
+        } else if p.eat_keyword("init") {
+            parse_init_block(&mut p, &mut spec)?;
+        } else if p.eat_keyword("constraint") {
+            let formula = parse_item_formula(&mut p, &mut spec)?;
+            p.expect(&TokenKind::Semicolon)?;
+            let uses = p.take_atom_uses();
+            spec.constraints.push(ConstraintDecl {
+                formula,
+                uses,
+                span: item_span,
+            });
+        } else if p.eat_keyword("assert") {
+            let formula = parse_item_formula(&mut p, &mut spec)?;
+            p.expect(&TokenKind::Semicolon)?;
+            let uses = p.take_atom_uses();
+            spec.asserts.push(AssertDecl {
+                formula,
+                uses,
+                span: item_span,
+            });
+        } else if p.eat_keyword("action") {
+            parse_action_item(&mut p, &mut spec)?;
+        } else if p.eat_keyword("rule") {
+            let condition = parse_item_formula(&mut p, &mut spec)?;
+            let cond_uses = p.take_atom_uses();
+            p.expect(&TokenKind::FatArrow)?;
+            let action_span = p.peek_span();
+            let action = p.expect_ident()?;
+            p.expect(&TokenKind::Semicolon)?;
+            spec.rules.push(RuleDecl {
+                condition,
+                cond_uses,
+                action,
+                action_span,
+                span: item_span,
+            });
+        } else {
+            return Err(p.error(&format!(
+                "expected a top-level item, found {}",
+                p.peek_kind()
+            )));
+        }
+    }
+    Ok(spec)
+}
+
+/// Parse a formula against the spec's working schema/pool, tolerantly.
+fn parse_item_formula(p: &mut Parser, spec: &mut DcdsSpec) -> Result<Formula, ParseError> {
+    let mut r = Resolver {
+        schema: &mut spec.schema,
+        pool: &mut spec.pool,
+        extend_schema: false,
+    };
+    p.parse_formula(&mut r)
+}
+
+fn parse_schema_block(p: &mut Parser, spec: &mut DcdsSpec) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let span = p.peek_span();
+        let name = p.expect_ident()?;
+        let arity = parse_arity(p)?;
+        // The first declaration wins in the working schema; duplicates stay
+        // in `relations` for the lint passes / lowering to reject.
+        let _ = spec.schema.add_relation(&name, arity);
+        spec.relations.push(RelDecl { name, arity, span });
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_services_block(p: &mut Parser, spec: &mut DcdsSpec) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let span = p.peek_span();
+        let name = p.expect_ident()?;
+        let arity = parse_arity(p)?;
+        let kind = if p.eat_keyword("det") {
+            ServiceKind::Deterministic
+        } else if p.eat_keyword("nondet") {
+            ServiceKind::Nondeterministic
+        } else {
+            return Err(p.error("expected `det` or `nondet`"));
+        };
+        spec.services.push(SvcDecl {
+            name,
+            arity,
+            kind,
+            span,
+        });
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_arity(p: &mut Parser) -> Result<usize, ParseError> {
+    // Arity is written `P 2` (digits lex as identifiers).
+    let tok = p.expect_ident()?;
+    tok.parse::<usize>()
+        .map_err(|_| p.error(&format!("expected arity (a number), found `{tok}`")))
+}
+
+fn parse_init_block(p: &mut Parser, spec: &mut DcdsSpec) -> Result<(), ParseError> {
+    p.expect(&TokenKind::LBrace)?;
+    while !p.eat(&TokenKind::RBrace) {
+        let span = p.peek_span();
+        let rel = p.expect_ident()?;
+        let mut args = Vec::new();
+        if p.eat(&TokenKind::LParen) && !p.eat(&TokenKind::RParen) {
+            loop {
+                match p.peek_kind().clone() {
+                    TokenKind::Ident(s) if !is_variable_name(&s) => {
+                        p.advance();
+                        spec.pool.intern(&s);
+                        args.push(s);
+                    }
+                    TokenKind::Quoted(s) => {
+                        p.advance();
+                        spec.pool.intern(&s);
+                        args.push(s);
+                    }
+                    other => {
+                        return Err(
+                            p.error(&format!("expected constant in init fact, found {other}"))
+                        )
+                    }
+                }
+                if !p.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            p.expect(&TokenKind::RParen)?;
+        }
+        spec.init.push(InitFactDecl { rel, args, span });
+        p.expect(&TokenKind::Semicolon)?;
+    }
+    Ok(())
+}
+
+fn parse_action_item(p: &mut Parser, spec: &mut DcdsSpec) -> Result<(), ParseError> {
+    let span = p.peek_span();
+    let name = p.expect_ident()?;
+    let mut params = Vec::new();
+    p.expect(&TokenKind::LParen)?;
+    if !p.eat(&TokenKind::RParen) {
+        params = p.parse_var_list()?;
+        p.expect(&TokenKind::RParen)?;
+    }
+    p.expect(&TokenKind::LBrace)?;
+    let mut effects = Vec::new();
+    while !p.eat(&TokenKind::RBrace) {
+        let espan = p.peek_span();
+        let body = parse_item_formula(p, spec)?;
+        let body_uses = p.take_atom_uses();
+        p.expect(&TokenKind::Squiggle)?;
+        let mut heads = Vec::new();
+        loop {
+            heads.push(parse_head_fact_decl(p, spec)?);
+            if !p.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        p.expect(&TokenKind::Semicolon)?;
+        effects.push(EffectDecl {
+            body,
+            body_uses,
+            heads,
+            span: espan,
+        });
+    }
+    spec.actions.push(ActionDecl {
+        name,
+        span,
+        params,
+        effects,
+    });
+    Ok(())
+}
+
+/// Parse one head fact `R(term, ...)` where terms may be service calls.
+/// No name resolution happens here — lowering and the lint passes check
+/// relation and service names against the declarations.
+fn parse_head_fact_decl(p: &mut Parser, spec: &mut DcdsSpec) -> Result<HeadFactDecl, ParseError> {
+    let span = p.peek_span();
+    let rel = p.expect_ident()?;
+    let mut terms = Vec::new();
+    if p.eat(&TokenKind::LParen) && !p.eat(&TokenKind::RParen) {
+        loop {
+            terms.push(parse_spec_term(p, spec)?);
+            if !p.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        p.expect(&TokenKind::RParen)?;
+    }
+    Ok(HeadFactDecl { rel, span, terms })
+}
+
+fn parse_spec_term(p: &mut Parser, spec: &mut DcdsSpec) -> Result<SpecTerm, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::Ident(name) => {
+            let span = p.peek_span();
+            if matches!(p.peek_ahead(1), TokenKind::LParen) {
+                // Service call.
+                p.advance();
+                p.expect(&TokenKind::LParen)?;
+                let mut args = Vec::new();
+                if !p.eat(&TokenKind::RParen) {
+                    loop {
+                        args.push(parse_spec_base_term(p, spec)?);
+                        if !p.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    p.expect(&TokenKind::RParen)?;
+                }
+                Ok(SpecTerm::Call {
+                    service: name,
+                    span,
+                    args,
+                })
+            } else {
+                p.advance();
+                if is_variable_name(&name) {
+                    Ok(SpecTerm::Var { name, span })
+                } else {
+                    spec.pool.intern(&name);
+                    Ok(SpecTerm::Const { name, span })
+                }
+            }
+        }
+        TokenKind::Quoted(name) => {
+            let span = p.peek_span();
+            p.advance();
+            spec.pool.intern(&name);
+            Ok(SpecTerm::Const { name, span })
+        }
+        other => Err(p.error(&format!("expected head term, found {other}"))),
+    }
+}
+
+/// Service-call arguments: variables and constants only, as in the strict
+/// grammar (service calls do not nest).
+fn parse_spec_base_term(p: &mut Parser, spec: &mut DcdsSpec) -> Result<SpecTerm, ParseError> {
+    match p.peek_kind().clone() {
+        TokenKind::Ident(name) => {
+            let span = p.peek_span();
+            p.advance();
+            if is_variable_name(&name) {
+                Ok(SpecTerm::Var { name, span })
+            } else {
+                spec.pool.intern(&name);
+                Ok(SpecTerm::Const { name, span })
+            }
+        }
+        TokenKind::Quoted(name) => {
+            let span = p.peek_span();
+            p.advance();
+            spec.pool.intern(&name);
+            Ok(SpecTerm::Const { name, span })
+        }
+        other => Err(p.error(&format!("expected variable or constant, found {other}"))),
+    }
+}
+
+impl DcdsSpec {
+    /// Apply the strict semantics: re-check every tolerated construct and
+    /// build the validated [`Dcds`]. The error carries the span of the
+    /// offending construct when one is known.
+    pub fn lower(&self) -> Result<Dcds, SpecError> {
+        // Duplicate declarations.
+        for (ix, d) in self.relations.iter().enumerate() {
+            if self.relations[..ix].iter().any(|e| e.name == d.name) {
+                return Err(SpecError::new(
+                    format!("duplicate relation {}", d.name),
+                    d.span,
+                ));
+            }
+        }
+        for (ix, d) in self.services.iter().enumerate() {
+            if self.services[..ix].iter().any(|e| e.name == d.name) {
+                return Err(SpecError::new(
+                    format!("duplicate service {}", d.name),
+                    d.span,
+                ));
+            }
+        }
+        for (ix, a) in self.actions.iter().enumerate() {
+            if self.actions[..ix].iter().any(|e| e.name == a.name) {
+                return Err(SpecError::new(
+                    format!("duplicate action {}", a.name),
+                    a.span,
+                ));
+            }
+        }
+
+        // Every tolerated atom use must match a declared relation.
+        for u in self.formula_uses() {
+            match self.declared_relation(&u.name) {
+                None => {
+                    return Err(SpecError::new(
+                        format!("unknown relation {}", u.name),
+                        u.span,
+                    ))
+                }
+                Some(d) if d.arity != u.arity => {
+                    return Err(SpecError::new(
+                        format!(
+                            "relation {} has arity {}, atom has {} arguments",
+                            u.name, d.arity, u.arity
+                        ),
+                        u.span,
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+
+        // With all uses resolved and duplicates rejected, the working
+        // schema contains exactly the declared relations.
+        let schema = self.schema.clone();
+        let mut pool = self.pool.clone();
+
+        let mut services = ServiceCatalog::new();
+        for d in &self.services {
+            services
+                .add(&d.name, d.arity, d.kind)
+                .map_err(|m| SpecError::new(m, d.span))?;
+        }
+
+        let mut initial = Instance::new();
+        for f in &self.init {
+            let rel = schema
+                .rel_id(&f.rel)
+                .filter(|_| self.declared_relation(&f.rel).is_some())
+                .ok_or_else(|| SpecError::new(format!("unknown relation {}", f.rel), f.span))?;
+            if f.args.len() != schema.arity(rel) {
+                return Err(SpecError::new(
+                    format!(
+                        "init fact over {} has {} constants, arity is {}",
+                        f.rel,
+                        f.args.len(),
+                        schema.arity(rel)
+                    ),
+                    f.span,
+                ));
+            }
+            let vals: Vec<_> = f.args.iter().map(|a| pool.intern(a)).collect();
+            initial.insert(rel, Tuple::from(vals));
+        }
+
+        let mut constraints = Vec::new();
+        for c in &self.constraints {
+            constraints.push(
+                crate::parser::decompose_equality_constraint(c.formula.clone())
+                    .map_err(|m| SpecError::new(m, c.span))?,
+            );
+        }
+        let mut fo_constraints = Vec::new();
+        for a in &self.asserts {
+            fo_constraints.push(
+                FoConstraint::new(a.formula.clone())
+                    .map_err(|e| SpecError::new(e.to_string(), a.span))?,
+            );
+        }
+
+        let mut actions: Vec<Action> = Vec::new();
+        for a in &self.actions {
+            let mut effects = Vec::new();
+            for e in &a.effects {
+                let mut head = Vec::new();
+                for h in &e.heads {
+                    head.push(self.lower_head_fact(h, &schema, &services, &mut pool)?);
+                }
+                let effect: Effect =
+                    crate::parser::effect_from_body(e.body.clone(), head, &a.params)
+                        .map_err(|m| SpecError::new(m, e.span))?;
+                effects.push(effect);
+            }
+            actions.push(Action::new(&a.name, a.params.clone(), effects));
+        }
+
+        let mut rules = Vec::new();
+        for r in &self.rules {
+            let id = actions
+                .iter()
+                .position(|a| a.name == r.action)
+                .map(ActionId::from_index)
+                .ok_or_else(|| {
+                    SpecError::new(
+                        format!("rule references unknown action {}", r.action),
+                        r.action_span,
+                    )
+                })?;
+            rules.push(CaRule {
+                condition: r.condition.clone(),
+                action: id,
+            });
+        }
+
+        let mut data = DataLayer::new(pool, schema, initial);
+        data.constraints = constraints;
+        data.fo_constraints = fo_constraints;
+        let process = ProcessLayer {
+            services,
+            actions,
+            rules,
+        };
+        Dcds::new(data, process).map_err(|e| self.validation_span(e))
+    }
+
+    fn lower_head_fact(
+        &self,
+        h: &HeadFactDecl,
+        schema: &Schema,
+        services: &ServiceCatalog,
+        pool: &mut ConstantPool,
+    ) -> Result<(dcds_reldata::RelId, Vec<ETerm>), SpecError> {
+        let rel = schema
+            .rel_id(&h.rel)
+            .filter(|_| self.declared_relation(&h.rel).is_some())
+            .ok_or_else(|| {
+                SpecError::new(format!("unknown relation {} in effect head", h.rel), h.span)
+            })?;
+        if h.terms.len() != schema.arity(rel) {
+            return Err(SpecError::new(
+                format!(
+                    "head fact over {} has {} terms, arity is {}",
+                    h.rel,
+                    h.terms.len(),
+                    schema.arity(rel)
+                ),
+                h.span,
+            ));
+        }
+        let mut terms = Vec::new();
+        for t in &h.terms {
+            terms.push(lower_eterm(t, services, pool)?);
+        }
+        Ok((rel, terms))
+    }
+
+    /// Attach the source span of the construct a [`ValidationError`] is
+    /// about, when the spec still knows it.
+    fn validation_span(&self, e: ValidationError) -> SpecError {
+        let span = match &e {
+            ValidationError::DataLayer(_) => None,
+            ValidationError::RuleParamMismatch { rule, .. } => {
+                self.rules.get(*rule).map(|r| r.span)
+            }
+            ValidationError::Effect { action, effect, .. } => self
+                .action(action)
+                .and_then(|a| a.effects.get(*effect))
+                .map(|eff| eff.span),
+        };
+        SpecError {
+            message: e.to_string(),
+            span,
+        }
+    }
+}
+
+fn lower_eterm(
+    t: &SpecTerm,
+    services: &ServiceCatalog,
+    pool: &mut ConstantPool,
+) -> Result<ETerm, SpecError> {
+    match t {
+        SpecTerm::Var { name, .. } => Ok(ETerm::var(name)),
+        SpecTerm::Const { name, .. } => Ok(ETerm::constant(pool.intern(name))),
+        SpecTerm::Call {
+            service,
+            span,
+            args,
+        } => {
+            let fid = services
+                .func_id(service)
+                .ok_or_else(|| SpecError::new(format!("unknown service {service}"), *span))?;
+            if args.len() != services.arity(fid) {
+                return Err(SpecError::new(
+                    format!(
+                        "service {service} has arity {}, call has {} arguments",
+                        services.arity(fid),
+                        args.len()
+                    ),
+                    *span,
+                ));
+            }
+            let mut base = Vec::new();
+            for a in args {
+                base.push(match a {
+                    SpecTerm::Var { name, .. } => BaseTerm::var(name),
+                    SpecTerm::Const { name, .. } => BaseTerm::Const(pool.intern(name)),
+                    SpecTerm::Call { span, .. } => {
+                        return Err(SpecError::new(
+                            "service calls cannot be nested".to_owned(),
+                            *span,
+                        ))
+                    }
+                });
+            }
+            Ok(ETerm::Call(fid, base))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerant_parse_keeps_semantic_defects() {
+        let spec = parse_spec(
+            r"
+            schema { P 1; P 2; }
+            init   { Q(a); }
+            action alpha() { P(X, Y) & Nope(X) ~> Gone(Z, f(W)); }
+            rule true => beta;
+            ",
+        )
+        .unwrap();
+        assert_eq!(spec.relations.len(), 2);
+        assert_eq!(spec.actions[0].effects[0].body_uses.len(), 2);
+        assert_eq!(spec.rules[0].action, "beta");
+        // Scratch relations keep the formulas well-typed internally.
+        assert!(spec.schema.rel_id("P/2").is_some());
+        assert!(spec.schema.rel_id("Nope/1").is_some());
+        // But lowering rejects the first defect, with a position.
+        let err = spec.lower().unwrap_err();
+        assert!(err.message.contains("duplicate relation P"), "{err}");
+        assert_eq!(err.span.map(|s| s.line), Some(2));
+    }
+
+    #[test]
+    fn spans_point_at_atom_names() {
+        let spec = parse_spec("schema { P 1; }\ninit { P(a); }\naction a1() { P(X) & Nope(X) ~> P(X); }\nrule true => a1;").unwrap();
+        let bad = spec
+            .formula_uses()
+            .find(|u| u.name == "Nope")
+            .expect("use recorded");
+        assert_eq!((bad.span.line, bad.span.col), (3, 22));
+        let err = spec.lower().unwrap_err();
+        assert!(err.message.contains("unknown relation Nope"));
+        assert_eq!(err.span, Some(bad.span));
+    }
+
+    #[test]
+    fn lowering_matches_strict_parser_on_good_specs() {
+        let src = r"
+            schema   { Q 2; P 1; R 1; }
+            services { f 1 det; g 1 det; }
+            init     { P(a); Q(a, a); }
+            constraint P(X) & Q(Y, Z) -> X = Y;
+            action alpha() {
+                Q(a, a) & P(X) ~> R(X);
+                P(X)           ~> P(X), Q(f(X), g(X));
+            }
+            rule true => alpha;
+        ";
+        let dcds = parse_spec(src).unwrap().lower().unwrap();
+        assert_eq!(dcds.data.schema.len(), 3);
+        assert_eq!(dcds.process.actions.len(), 1);
+        assert_eq!(dcds.data.constraints.len(), 1);
+        assert!(dcds.is_deterministic());
+    }
+}

@@ -7,7 +7,7 @@
 
 use dcds_core::explore::{explore_nondet, CommitmentOracle, Limits};
 use dcds_core::{
-    Action, ActionId, DataLayer, Dcds, Effect, ETerm, FsProcess, ProcessLayer, ServiceCatalog,
+    Action, ActionId, DataLayer, Dcds, ETerm, Effect, FsProcess, ProcessLayer, ServiceCatalog,
     ServiceKind,
 };
 use dcds_folang::{ConjunctiveQuery, Formula, Ucq, Var};

@@ -266,10 +266,9 @@ impl Formula {
         match self {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
-            Formula::Atom(rel, terms) => Formula::Atom(
-                *rel,
-                terms.iter().map(|t| subst_term(t, subst)).collect(),
-            ),
+            Formula::Atom(rel, terms) => {
+                Formula::Atom(*rel, terms.iter().map(|t| subst_term(t, subst)).collect())
+            }
             Formula::Eq(t1, t2) => Formula::Eq(subst_term(t1, subst), subst_term(t2, subst)),
             Formula::Not(f) => Formula::Not(Box::new(f.substitute(subst))),
             Formula::And(f, g) => {
@@ -278,10 +277,9 @@ impl Formula {
             Formula::Or(f, g) => {
                 Formula::Or(Box::new(f.substitute(subst)), Box::new(g.substitute(subst)))
             }
-            Formula::Implies(f, g) => Formula::Implies(
-                Box::new(f.substitute(subst)),
-                Box::new(g.substitute(subst)),
-            ),
+            Formula::Implies(f, g) => {
+                Formula::Implies(Box::new(f.substitute(subst)), Box::new(g.substitute(subst)))
+            }
             Formula::Exists(v, f) => {
                 let mut inner = subst.clone();
                 inner.remove(v);

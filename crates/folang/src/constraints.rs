@@ -32,10 +32,7 @@ pub struct EqualityConstraint {
 impl EqualityConstraint {
     /// Build a constraint, checking the equality terms only use free
     /// variables of the premise (or constants).
-    pub fn new(
-        query: Formula,
-        equalities: Vec<(QTerm, QTerm)>,
-    ) -> Result<Self, QueryError> {
+    pub fn new(query: Formula, equalities: Vec<(QTerm, QTerm)>) -> Result<Self, QueryError> {
         let free = query.free_vars();
         for (t1, t2) in &equalities {
             for t in [t1, t2] {
@@ -137,11 +134,8 @@ mod tests {
         let a = pool.intern("a");
         let b = pool.intern("b");
         let premise = parse_formula("P(X) & Q(Y, Z)", &mut schema, &mut pool).unwrap();
-        let ec = EqualityConstraint::new(
-            premise,
-            vec![(QTerm::var("X"), QTerm::var("Y"))],
-        )
-        .unwrap();
+        let ec =
+            EqualityConstraint::new(premise, vec![(QTerm::var("X"), QTerm::var("Y"))]).unwrap();
         // {P(a), Q(a,a)} satisfies; {P(a), Q(b,a)} does not.
         let ok = Instance::from_facts([(p, Tuple::from([a])), (q, Tuple::from([a, a]))]);
         assert!(ec.satisfied(&ok));

@@ -34,11 +34,7 @@ pub fn holds_closed(f: &Formula, inst: &Instance) -> Result<bool, QueryError> {
 /// guided-evaluation optimisation. Exists so the benchmark suite can
 /// quantify what the optimisation buys; semantics are identical (asserted
 /// by tests).
-pub fn holds_unguided(
-    f: &Formula,
-    inst: &Instance,
-    asg: &Assignment,
-) -> Result<bool, QueryError> {
+pub fn holds_unguided(f: &Formula, inst: &Instance, asg: &Assignment) -> Result<bool, QueryError> {
     let adom = inst.active_domain();
     let mut env: BTreeMap<Var, Value> = asg.clone();
     GUIDANCE_DISABLED.with(|flag| flag.set(true));
@@ -194,11 +190,9 @@ fn covering_atom<'a>(
 ) -> Option<&'a Formula> {
     atoms_of(body).into_iter().find(|a| {
         if let Formula::Atom(_, terms) = a {
-            block.iter().all(|v| {
-                terms
-                    .iter()
-                    .any(|t| matches!(t, QTerm::Var(w) if w == *v))
-            })
+            block
+                .iter()
+                .all(|v| terms.iter().any(|t| matches!(t, QTerm::Var(w) if w == *v)))
         } else {
             false
         }
@@ -265,9 +259,7 @@ fn guided(
                                 // A free variable of the atom that the
                                 // caller left unbound: error like the
                                 // naive path would.
-                                return Err(QueryError::UnboundVariable(
-                                    v.name().to_owned(),
-                                ));
+                                return Err(QueryError::UnboundVariable(v.name().to_owned()));
                             }
                         }
                     }
@@ -478,7 +470,10 @@ mod tests {
         );
         assert!(holds_closed(&h, &inst).unwrap());
         // Guard with a repeated variable: ∃X. Q(X, X) — only (b,b).
-        let r = Formula::exists("X", Formula::Atom(q, vec![QTerm::var("X"), QTerm::var("X")]));
+        let r = Formula::exists(
+            "X",
+            Formula::Atom(q, vec![QTerm::var("X"), QTerm::var("X")]),
+        );
         assert!(holds_closed(&r, &inst).unwrap());
         // Same but over P(b)... Q(a,a) absent: ∃X. Q(X,X) ∧ P(X) fails
         // (only b satisfies Q(X,X), and P(b) is false).

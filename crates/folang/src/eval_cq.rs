@@ -99,10 +99,7 @@ fn join_order(cq: &ConjunctiveQuery) -> Vec<usize> {
 }
 
 fn atom_vars(terms: &[QTerm]) -> BTreeSet<Var> {
-    terms
-        .iter()
-        .filter_map(|t| t.as_var().cloned())
-        .collect()
+    terms.iter().filter_map(|t| t.as_var().cloned()).collect()
 }
 
 fn term_val(t: &QTerm, asg: &Assignment) -> Option<Value> {

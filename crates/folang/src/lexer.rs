@@ -113,6 +113,37 @@ pub struct Token {
     pub col: u32,
 }
 
+/// A source position (1-based line and column) carried on AST items and
+/// diagnostics so tools can point at `file:line:col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Line (1-based; 0 only in [`Span::default`], meaning "no position").
+    pub line: u32,
+    /// Column (1-based).
+    pub col: u32,
+}
+
+impl Span {
+    /// Build a span from a line/column pair.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The position of a token.
+    pub fn of(tok: &Token) -> Self {
+        Span {
+            line: tok.line,
+            col: tok.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A lexing error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LexError {
@@ -256,8 +287,7 @@ impl<'a> Lexer<'a> {
                     if self.peek() != Some(b'\'') {
                         return Err(self.error("unterminated quoted constant"));
                     }
-                    let text =
-                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                     self.bump();
                     TokenKind::Quoted(text)
                 }
@@ -270,8 +300,7 @@ impl<'a> Lexer<'a> {
                             break;
                         }
                     }
-                    let text =
-                        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
                     TokenKind::Ident(text)
                 }
                 other => {

@@ -35,8 +35,8 @@ pub use ast::{Assignment, Formula, QTerm, Var};
 pub use constraints::{EqualityConstraint, FoConstraint};
 pub use eval::{answers, answers_over, holds, holds_closed, holds_unguided};
 pub use eval_cq::eval_ucq;
-pub use lexer::{Lexer, Token, TokenKind};
-pub use parser::{parse_formula, ParseError, Parser};
+pub use lexer::{Lexer, Span, Token, TokenKind};
+pub use parser::{parse_formula, ParseError, Parser, RelUse};
 pub use safety::{is_safe_range, SafetyError};
 pub use ucq::{ConjunctiveQuery, Ucq};
 

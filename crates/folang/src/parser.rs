@@ -25,7 +25,7 @@
 //! or a bare identifier naming a known relation is a nullary atom).
 
 use crate::ast::{Formula, QTerm, Var};
-use crate::lexer::{tokenize, Token, TokenKind};
+use crate::lexer::{tokenize, Span, Token, TokenKind};
 use dcds_reldata::{ConstantPool, RelId, Schema};
 use std::fmt;
 
@@ -91,6 +91,23 @@ impl Resolver<'_> {
     }
 }
 
+/// One syntactic occurrence of a relation atom, recorded when the parser
+/// runs in tolerant mode (see [`Parser::record_atom_uses`]). Lint passes
+/// re-check every use against the declared schema and point diagnostics at
+/// `span`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelUse {
+    /// The relation name as written.
+    pub name: String,
+    /// The number of argument terms at this use site.
+    pub arity: usize,
+    /// The relation id the atom resolved to (a scratch relation named
+    /// `name/arity` when the use did not match a declared relation).
+    pub rel: RelId,
+    /// Where the atom's name appears in the source.
+    pub span: Span,
+}
+
 /// Is this identifier a variable (uppercase or `_` start)?
 pub fn is_variable_name(name: &str) -> bool {
     name.chars()
@@ -111,6 +128,10 @@ pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     depth: usize,
+    /// When `Some`, atom resolution is *tolerant*: uses that do not match a
+    /// declared relation resolve to a scratch relation instead of erroring,
+    /// and every use is recorded here for later re-checking.
+    uses: Option<Vec<RelUse>>,
 }
 
 impl Parser {
@@ -120,7 +141,68 @@ impl Parser {
             tokens: tokenize(src)?,
             pos: 0,
             depth: 0,
+            uses: None,
         })
+    }
+
+    /// Switch atom resolution to tolerant mode: unknown relations and arity
+    /// mismatches no longer abort the parse; instead each atom resolves to a
+    /// scratch relation (internally named `name/arity` — `/` cannot appear
+    /// in an identifier, so scratch names never collide with declared ones)
+    /// and is recorded as a [`RelUse`]. Drain the record per formula with
+    /// [`Parser::take_atom_uses`].
+    pub fn record_atom_uses(&mut self) {
+        self.uses = Some(Vec::new());
+    }
+
+    /// Take the atom uses recorded since the last call (empty when not in
+    /// tolerant mode).
+    pub fn take_atom_uses(&mut self) -> Vec<RelUse> {
+        match &mut self.uses {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    /// The source position of the current token.
+    pub fn peek_span(&self) -> Span {
+        Span::of(self.peek())
+    }
+
+    /// Resolve an atom of `name` with `arity` arguments: strictly via the
+    /// resolver by default, tolerantly (recording the use) after
+    /// [`Parser::record_atom_uses`].
+    fn resolve_atom(
+        &mut self,
+        name: &str,
+        arity: usize,
+        span: Span,
+        r: &mut Resolver<'_>,
+    ) -> Result<RelId, ParseError> {
+        let rel = if self.uses.is_some() {
+            match r.schema.rel_id(name) {
+                Some(id) if r.schema.arity(id) == arity => id,
+                _ => r
+                    .schema
+                    .add_or_get(&format!("{name}/{arity}"), arity)
+                    .expect("scratch relation names are unique per arity"),
+            }
+        } else {
+            r.relation(name, arity).map_err(|m| ParseError {
+                message: m,
+                line: span.line,
+                col: span.col,
+            })?
+        };
+        if let Some(uses) = &mut self.uses {
+            uses.push(RelUse {
+                name: name.to_owned(),
+                arity,
+                rel,
+                span,
+            });
+        }
+        Ok(rel)
     }
 
     /// Enter one level of grammar recursion; errors past
@@ -250,10 +332,7 @@ impl Parser {
         let mut lhs = self.parse_impl(r)?;
         while self.eat(&TokenKind::Equiv) {
             let rhs = self.parse_impl(r)?;
-            lhs = lhs
-                .clone()
-                .implies(rhs.clone())
-                .and(rhs.implies(lhs));
+            lhs = lhs.clone().implies(rhs.clone()).and(rhs.implies(lhs));
         }
         Ok(lhs)
     }
@@ -360,23 +439,23 @@ impl Parser {
         // Atom `R(...)`, nullary atom `R`, or comparison `term (=|!=) term`.
         match self.peek_kind().clone() {
             TokenKind::Ident(name) => {
+                let span = self.peek_span();
                 if matches!(self.peek_ahead(1), TokenKind::LParen) {
                     self.advance();
-                    return self.parse_atom_tail(&name, r);
+                    return self.parse_atom_at(&name, span, r);
                 }
                 // A bare identifier is a nullary atom when it names a known
                 // nullary relation and is not the lhs of a comparison;
                 // otherwise it is a term. (New nullary relations must be
                 // introduced as `R()`.)
-                let followed_by_cmp =
-                    matches!(self.peek_ahead(1), TokenKind::Eq | TokenKind::Neq);
+                let followed_by_cmp = matches!(self.peek_ahead(1), TokenKind::Eq | TokenKind::Neq);
                 let known_nullary = r
                     .schema
                     .rel_id(&name)
                     .is_some_and(|id| r.schema.arity(id) == 0);
                 if known_nullary && !followed_by_cmp {
                     self.advance();
-                    let rel = r.relation(&name, 0).map_err(|m| self.error(&m))?;
+                    let rel = self.resolve_atom(&name, 0, span, r)?;
                     return Ok(Formula::Atom(rel, Vec::new()));
                 }
                 let t1 = self.parse_term(r)?;
@@ -416,6 +495,18 @@ impl Parser {
         name: &str,
         r: &mut Resolver<'_>,
     ) -> Result<Formula, ParseError> {
+        let span = self.peek_span();
+        self.parse_atom_at(name, span, r)
+    }
+
+    /// Like [`Parser::parse_atom_tail`] but with the atom name's own span
+    /// (the caller consumed the name token and remembered its position).
+    pub fn parse_atom_at(
+        &mut self,
+        name: &str,
+        span: Span,
+        r: &mut Resolver<'_>,
+    ) -> Result<Formula, ParseError> {
         self.expect(&TokenKind::LParen)?;
         let mut terms = Vec::new();
         if !self.eat(&TokenKind::RParen) {
@@ -427,9 +518,7 @@ impl Parser {
             }
             self.expect(&TokenKind::RParen)?;
         }
-        let rel = r
-            .relation(name, terms.len())
-            .map_err(|m| self.error(&m))?;
+        let rel = self.resolve_atom(name, terms.len(), span, r)?;
         Ok(Formula::Atom(rel, terms))
     }
 
@@ -520,7 +609,10 @@ mod tests {
         let a = pool.get("a").unwrap();
         assert_eq!(
             f,
-            Formula::Atom(s.rel_id("Q").unwrap(), vec![QTerm::Const(a), QTerm::var("X")])
+            Formula::Atom(
+                s.rel_id("Q").unwrap(),
+                vec![QTerm::Const(a), QTerm::var("X")]
+            )
         );
     }
 
@@ -632,6 +724,32 @@ mod tests {
     }
 
     #[test]
+    fn tolerant_mode_records_uses_instead_of_erroring() {
+        let (mut s, mut pool) = setup();
+        let mut p = Parser::new("P(X, Y) & Nope(Z) & P(W)").unwrap();
+        p.record_atom_uses();
+        let mut r = Resolver {
+            schema: &mut s,
+            pool: &mut pool,
+            extend_schema: false,
+        };
+        p.parse_formula_all(&mut r).unwrap();
+        let uses = p.take_atom_uses();
+        assert_eq!(uses.len(), 3);
+        assert_eq!((uses[0].name.as_str(), uses[0].arity), ("P", 2));
+        assert_eq!(uses[0].span, Span::new(1, 1));
+        assert_eq!((uses[1].name.as_str(), uses[1].arity), ("Nope", 1));
+        assert_eq!(uses[1].span, Span::new(1, 11));
+        // The matching use resolves to the declared relation; the two
+        // mismatches land on scratch relations.
+        assert_eq!(uses[2].rel, s.rel_id("P").unwrap());
+        assert!(s.rel_id("P/2").is_some());
+        assert!(s.rel_id("Nope/1").is_some());
+        // The record is drained.
+        assert!(p.take_atom_uses().is_empty());
+    }
+
+    #[test]
     fn keyword_connectives() {
         let (mut s, mut pool) = setup();
         let f1 = parse_formula("P(X) and not P(Y) or P(Z)", &mut s, &mut pool).unwrap();
@@ -646,9 +764,6 @@ mod tests {
         let p = s.rel_id("P").unwrap();
         let px = Formula::Atom(p, vec![QTerm::var("X")]);
         let py = Formula::Atom(p, vec![QTerm::var("Y")]);
-        assert_eq!(
-            f,
-            px.clone().implies(py.clone()).and(py.implies(px))
-        );
+        assert_eq!(f, px.clone().implies(py.clone()).and(py.implies(px)));
     }
 }

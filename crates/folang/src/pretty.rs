@@ -46,10 +46,7 @@ impl<'a> FormulaDisplay<'a> {
     /// Precedence levels: higher binds tighter.
     fn prec(formula: &Formula) -> u8 {
         match formula {
-            Formula::True
-            | Formula::False
-            | Formula::Atom(_, _)
-            | Formula::Eq(_, _) => 5,
+            Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => 5,
             Formula::Not(inner) => {
                 // `!(t1 = t2)` prints as `t1 != t2`, which is atomic.
                 if matches!(**inner, Formula::Eq(_, _)) {

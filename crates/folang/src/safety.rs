@@ -45,10 +45,7 @@ pub fn is_safe_range(f: &Formula) -> Result<(), SafetyError> {
 fn check(f: &Formula) -> Result<BTreeSet<Var>, SafetyError> {
     match f {
         Formula::True | Formula::False => Ok(BTreeSet::new()),
-        Formula::Atom(_, terms) => Ok(terms
-            .iter()
-            .filter_map(|t| t.as_var().cloned())
-            .collect()),
+        Formula::Atom(_, terms) => Ok(terms.iter().filter_map(|t| t.as_var().cloned()).collect()),
         Formula::Eq(t1, t2) => {
             // x = c restricts x; x = y restricts neither on its own.
             match (t1, t2) {

@@ -131,7 +131,8 @@ impl Ucq {
 
     /// Validate each disjunct and the head agreement.
     pub fn validate(&self, schema: &Schema) -> Result<(), QueryError> {
-        let head: Option<BTreeSet<&Var>> = self.disjuncts.first().map(|cq| cq.head.iter().collect());
+        let head: Option<BTreeSet<&Var>> =
+            self.disjuncts.first().map(|cq| cq.head.iter().collect());
         for cq in &self.disjuncts {
             cq.validate(schema)?;
             let this: BTreeSet<&Var> = cq.head.iter().collect();

@@ -21,10 +21,8 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
         Just(Formula::False),
         term.clone()
             .prop_map(|t| Formula::Atom(dcds_reldata::RelId::from_index(0), vec![t])),
-        (term.clone(), term.clone()).prop_map(|(a, b)| Formula::Atom(
-            dcds_reldata::RelId::from_index(1),
-            vec![a, b]
-        )),
+        (term.clone(), term.clone())
+            .prop_map(|(a, b)| Formula::Atom(dcds_reldata::RelId::from_index(1), vec![a, b])),
         (term.clone(), term.clone()).prop_map(|(a, b)| Formula::Eq(a, b)),
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {

@@ -1,0 +1,185 @@
+//! Binding pass: every variable that feeds the next state must be bound.
+//!
+//! Mirrors the strict semantics of `effect_from_body` and `Dcds::validate`
+//! without aborting at the first defect: the binding set of an effect is
+//! the variables of its top-level positive atoms plus the action
+//! parameters; head variables, service-call arguments and filter (`Q⁻`)
+//! free variables must all come from it.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use dcds_core::spec::SpecTerm;
+use dcds_folang::{Formula, QTerm, Var};
+use std::collections::BTreeSet;
+
+/// Run the pass.
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let spec = ctx.spec;
+
+    // Action parameters must be bound by every invoking rule's condition.
+    for r in &spec.rules {
+        if let Some(a) = spec.action(&r.action) {
+            let free = r.condition.free_vars();
+            for p in &a.params {
+                if !free.contains(p) {
+                    out.push(
+                        Diagnostic::error(
+                            codes::PARAM_UNBOUND,
+                            format!(
+                                "parameter {} of action `{}` is not bound by the rule condition",
+                                p.name(),
+                                a.name
+                            ),
+                        )
+                        .at(r.span)
+                        .with("parameter", Payload::Str(p.name().to_owned()))
+                        .with("action", Payload::Str(a.name.clone())),
+                    );
+                }
+            }
+        }
+    }
+
+    // Effect bodies: positive atoms bind; heads, calls and filters consume.
+    for a in &spec.actions {
+        for e in &a.effects {
+            let mut atom_vars: BTreeSet<Var> = BTreeSet::new();
+            let mut filters: Vec<&Formula> = Vec::new();
+            let mut equalities: Vec<(&QTerm, &QTerm)> = Vec::new();
+            if !split_body(&e.body, &mut atom_vars, &mut equalities, &mut filters) {
+                out.push(
+                    Diagnostic::error(
+                        codes::EFFECT_DISJUNCTIVE,
+                        "effect body is disjunctive at the top level; write one effect per disjunct",
+                    )
+                    .at(e.span),
+                );
+                continue;
+            }
+            let bound = |v: &Var| atom_vars.contains(v) || a.params.contains(v);
+
+            // Equalities whose variables are all bound join q⁺; the rest
+            // fall back to the filter, where their variables must be bound
+            // anyway — so for linting, every equality behaves like a filter.
+            for (t1, t2) in equalities {
+                for t in [t1, t2] {
+                    if let QTerm::Var(v) = t {
+                        if !bound(v) {
+                            out.push(
+                                Diagnostic::error(
+                                    codes::FILTER_VAR_UNBOUND,
+                                    format!(
+                                        "effect equality uses variable {} which no positive atom binds",
+                                        v.name()
+                                    ),
+                                )
+                                .at(e.span)
+                                .with("variable", Payload::Str(v.name().to_owned())),
+                            );
+                        }
+                    }
+                }
+            }
+            for f in filters {
+                for v in f.free_vars() {
+                    if !bound(&v) {
+                        out.push(
+                            Diagnostic::error(
+                                codes::FILTER_VAR_UNBOUND,
+                                format!(
+                                    "effect filter uses variable {} which no positive atom binds",
+                                    v.name()
+                                ),
+                            )
+                            .at(e.span)
+                            .with("variable", Payload::Str(v.name().to_owned())),
+                        );
+                    }
+                }
+            }
+
+            for h in &e.heads {
+                for t in &h.terms {
+                    check_head_term(t, &bound, out);
+                }
+            }
+        }
+    }
+}
+
+fn check_head_term(t: &SpecTerm, bound: &dyn Fn(&Var) -> bool, out: &mut Vec<Diagnostic>) {
+    match t {
+        SpecTerm::Var { name, span } => {
+            if !bound(&Var::new(name)) {
+                out.push(
+                    Diagnostic::error(
+                        codes::HEAD_VAR_UNBOUND,
+                        format!("head variable {name} is not bound by the effect body"),
+                    )
+                    .at(*span)
+                    .with("variable", Payload::Str(name.clone())),
+                );
+            }
+        }
+        SpecTerm::Const { .. } => {}
+        SpecTerm::Call { service, args, .. } => {
+            for arg in args {
+                match arg {
+                    SpecTerm::Var { name, span } => {
+                        if !bound(&Var::new(name)) {
+                            out.push(
+                                Diagnostic::error(
+                                    codes::SERVICE_ARG_UNBOUND,
+                                    format!(
+                                        "service call {service}(…) uses variable {name} which the effect body does not bind"
+                                    ),
+                                )
+                                .at(*span)
+                                .with("variable", Payload::Str(name.clone()))
+                                .with("service", Payload::Str(service.clone())),
+                            );
+                        }
+                    }
+                    // Nested calls are a parse-time impossibility, and
+                    // constant arguments bind nothing.
+                    _ => check_head_term(arg, bound, out),
+                }
+            }
+        }
+    }
+}
+
+/// Collect the top-level conjunctive structure of an effect body. Returns
+/// `false` on a top-level disjunction (the body has no conjunctive
+/// reading).
+fn split_body<'f>(
+    f: &'f Formula,
+    atom_vars: &mut BTreeSet<Var>,
+    equalities: &mut Vec<(&'f QTerm, &'f QTerm)>,
+    filters: &mut Vec<&'f Formula>,
+) -> bool {
+    match f {
+        Formula::And(g, h) => {
+            split_body(g, atom_vars, equalities, filters)
+                && split_body(h, atom_vars, equalities, filters)
+        }
+        Formula::Atom(_, terms) => {
+            for t in terms {
+                if let QTerm::Var(v) = t {
+                    atom_vars.insert(v.clone());
+                }
+            }
+            true
+        }
+        Formula::Eq(t1, t2) => {
+            equalities.push((t1, t2));
+            true
+        }
+        Formula::True => true,
+        Formula::Or(_, _) => false,
+        other => {
+            filters.push(other);
+            true
+        }
+    }
+}

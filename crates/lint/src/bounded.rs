@@ -1,0 +1,99 @@
+//! Boundedness advisories, reusing `dcds-analysis`.
+//!
+//! Deterministic services: weak acyclicity of the dependency graph
+//! guarantees run-boundedness (Theorem 4.7) and hence decidable μL
+//! verification; a violation comes with the cycle through a special edge.
+//! Nondeterministic services: GR⁺-acyclicity of the dataflow graph
+//! guarantees state-boundedness (Theorem 5.6) and decidable μLₚ
+//! verification; a violation comes with the π₁π₂π₃ witness.
+//!
+//! These are advisories, not errors: an unbounded spec is still a valid
+//! DCDS, it just falls outside the decidable fragments.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use dcds_analysis::{
+    dataflow_graph, dependency_graph, gr_plus_witness, is_gr_acyclic, render_dep_cycle,
+    render_witness, run_bound_estimate, state_bound_estimate, weak_cycle_witness,
+};
+
+/// Run the pass. Only reached with a lowered [`dcds_core::Dcds`] in the
+/// context (the registry marks it `needs_dcds`).
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(dcds) = ctx.dcds else { return };
+
+    if dcds.is_deterministic() {
+        let dg = dependency_graph(dcds);
+        match weak_cycle_witness(&dg) {
+            Some(cycle) => {
+                let rendered = render_dep_cycle(&cycle, &dg, &dcds.data.schema);
+                let positions: Vec<Payload> = cycle
+                    .iter()
+                    .map(|&eid| {
+                        let (from, _) = dg.graph.edge(eid);
+                        let (rel, i) = dg.positions[from];
+                        Payload::Str(format!("{}.{}", dcds.data.schema.name(rel), i + 1))
+                    })
+                    .collect();
+                out.push(
+                    Diagnostic::warning(
+                        codes::NOT_WEAKLY_ACYCLIC,
+                        format!(
+                            "spec is not weakly acyclic: the dependency graph has a cycle through a special edge ({rendered}); runs may grow without bound and verification falls outside the decidable fragment of Theorem 4.7"
+                        ),
+                    )
+                    .with("cycle", Payload::List(positions))
+                    .with("rendered", Payload::Str(rendered)),
+                );
+            }
+            None => {
+                let mut d = Diagnostic::note(
+                    codes::RUN_BOUND,
+                    "spec is weakly acyclic: every run is bounded and mu-calculus verification is decidable (Theorem 4.7)",
+                );
+                if let Some(bound) = run_bound_estimate(dcds, &dg) {
+                    d = d
+                        .with("run_bound", Payload::Num(bound))
+                        .with("kind", Payload::Str("run".to_owned()));
+                }
+                out.push(d);
+            }
+        }
+        return;
+    }
+
+    // Nondeterministic (or mixed) services: the dataflow-graph route.
+    let df = dataflow_graph(dcds);
+    match gr_plus_witness(&df) {
+        Some(w) => {
+            let rendered = render_witness(&w, &df, dcds);
+            out.push(
+                Diagnostic::warning(
+                    codes::NOT_GR_PLUS_ACYCLIC,
+                    format!(
+                        "spec is not GR+-acyclic: the dataflow graph carries a generate/recall witness:\n{rendered}\nstates may grow without bound and verification falls outside the decidable fragment of Theorem 5.6"
+                    ),
+                )
+                .with("witness", Payload::Str(rendered)),
+            );
+        }
+        None => {
+            let mut d = Diagnostic::note(
+                codes::STATE_BOUND,
+                if is_gr_acyclic(&df) {
+                    "spec is GR-acyclic: every state is bounded and mu-calculus (persistent fragment) verification is decidable (Theorem 5.6)"
+                } else {
+                    "spec is GR+-acyclic (GR-cyclic, but every witness is excused): states stay bounded and verification is decidable (Theorem 5.6)"
+                },
+            );
+            if is_gr_acyclic(&df) {
+                if let Some(bound) = state_bound_estimate(dcds, &df) {
+                    d = d
+                        .with("state_bound", Payload::Num(bound))
+                        .with("kind", Payload::Str("state".to_owned()));
+                }
+            }
+            out.push(d);
+        }
+    }
+}

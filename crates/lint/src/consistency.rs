@@ -1,0 +1,228 @@
+//! Arity/consistency pass: every name must be declared exactly once and
+//! used with its declared arity.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use dcds_core::spec::{DcdsSpec, SpecTerm};
+
+/// Run the pass.
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let spec = ctx.spec;
+
+    // Duplicate declarations (the first one wins; later ones are flagged).
+    for (ix, d) in spec.relations.iter().enumerate() {
+        if let Some(first) = spec.relations[..ix].iter().find(|e| e.name == d.name) {
+            out.push(
+                Diagnostic::error(
+                    codes::DUPLICATE_RELATION,
+                    format!(
+                        "relation `{}` is declared more than once (first declared with arity {} at {})",
+                        d.name, first.arity, first.span
+                    ),
+                )
+                .at(d.span)
+                .with("name", Payload::Str(d.name.clone())),
+            );
+        }
+    }
+    for (ix, d) in spec.services.iter().enumerate() {
+        if let Some(first) = spec.services[..ix].iter().find(|e| e.name == d.name) {
+            out.push(
+                Diagnostic::error(
+                    codes::DUPLICATE_SERVICE,
+                    format!(
+                        "service `{}` is declared more than once (first declared at {})",
+                        d.name, first.span
+                    ),
+                )
+                .at(d.span)
+                .with("name", Payload::Str(d.name.clone())),
+            );
+        }
+    }
+    for (ix, a) in spec.actions.iter().enumerate() {
+        if let Some(first) = spec.actions[..ix].iter().find(|e| e.name == a.name) {
+            out.push(
+                Diagnostic::error(
+                    codes::DUPLICATE_ACTION,
+                    format!(
+                        "action `{}` is declared more than once (first declared at {})",
+                        a.name, first.span
+                    ),
+                )
+                .at(a.span)
+                .with("name", Payload::Str(a.name.clone())),
+            );
+        }
+    }
+
+    // Relation atoms in formulas (constraints, asserts, effect bodies,
+    // rule conditions) — the tolerant parser recorded every use.
+    for u in spec.formula_uses() {
+        match spec.declared_relation(&u.name) {
+            None => out.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_RELATION,
+                    format!("unknown relation `{}`", u.name),
+                )
+                .at(u.span)
+                .with("name", Payload::Str(u.name.clone())),
+            ),
+            Some(d) if d.arity != u.arity => out.push(
+                Diagnostic::error(
+                    codes::ARITY_MISMATCH,
+                    format!(
+                        "relation `{}` is used with {} arguments, but is declared with arity {} at {}",
+                        u.name, u.arity, d.arity, d.span
+                    ),
+                )
+                .at(u.span)
+                .with("name", Payload::Str(u.name.clone()))
+                .with("used_arity", Payload::Int(u.arity as i64))
+                .with("declared_arity", Payload::Int(d.arity as i64)),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    // Init facts.
+    for f in &spec.init {
+        match spec.declared_relation(&f.rel) {
+            None => out.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_RELATION,
+                    format!("unknown relation `{}` in init fact", f.rel),
+                )
+                .at(f.span)
+                .with("name", Payload::Str(f.rel.clone())),
+            ),
+            Some(d) if d.arity != f.args.len() => out.push(
+                Diagnostic::error(
+                    codes::ARITY_MISMATCH,
+                    format!(
+                        "init fact over `{}` has {} constants, but the relation is declared with arity {}",
+                        f.rel,
+                        f.args.len(),
+                        d.arity
+                    ),
+                )
+                .at(f.span)
+                .with("name", Payload::Str(f.rel.clone())),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    // Effect heads and the service calls inside them.
+    for a in &spec.actions {
+        for e in &a.effects {
+            for h in &e.heads {
+                match spec.declared_relation(&h.rel) {
+                    None => out.push(
+                        Diagnostic::error(
+                            codes::UNKNOWN_RELATION,
+                            format!("unknown relation `{}` in effect head", h.rel),
+                        )
+                        .at(h.span)
+                        .with("name", Payload::Str(h.rel.clone())),
+                    ),
+                    Some(d) if d.arity != h.terms.len() => out.push(
+                        Diagnostic::error(
+                            codes::ARITY_MISMATCH,
+                            format!(
+                                "head fact over `{}` has {} terms, but the relation is declared with arity {}",
+                                h.rel,
+                                h.terms.len(),
+                                d.arity
+                            ),
+                        )
+                        .at(h.span)
+                        .with("name", Payload::Str(h.rel.clone())),
+                    ),
+                    Some(_) => {}
+                }
+                for t in &h.terms {
+                    check_service_calls(spec, t, out);
+                }
+            }
+        }
+    }
+
+    // Rules: action resolution and the free-variable/parameter contract
+    // (free(condition) ⊆ params here; the ⊇ direction is a binding lint).
+    for r in &spec.rules {
+        match spec.action(&r.action) {
+            None => out.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_ACTION,
+                    format!("rule references unknown action `{}`", r.action),
+                )
+                .at(r.action_span)
+                .with("name", Payload::Str(r.action.clone())),
+            ),
+            Some(a) => {
+                let extra: Vec<String> = r
+                    .condition
+                    .free_vars()
+                    .into_iter()
+                    .filter(|v| !a.params.contains(v))
+                    .map(|v| v.name().to_owned())
+                    .collect();
+                if !extra.is_empty() {
+                    out.push(
+                        Diagnostic::error(
+                            codes::RULE_EXTRA_FREE_VARS,
+                            format!(
+                                "rule condition has free variable(s) {} that are not parameters of action `{}`",
+                                extra.join(", "),
+                                a.name
+                            ),
+                        )
+                        .at(r.span)
+                        .with(
+                            "variables",
+                            Payload::List(extra.into_iter().map(Payload::Str).collect()),
+                        )
+                        .with("action", Payload::Str(a.name.clone())),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn check_service_calls(spec: &DcdsSpec, t: &SpecTerm, out: &mut Vec<Diagnostic>) {
+    if let SpecTerm::Call {
+        service,
+        span,
+        args,
+    } = t
+    {
+        match spec.declared_service(service) {
+            None => out.push(
+                Diagnostic::error(
+                    codes::UNKNOWN_SERVICE,
+                    format!("unknown service `{service}`"),
+                )
+                .at(*span)
+                .with("name", Payload::Str(service.clone())),
+            ),
+            Some(d) if d.arity != args.len() => out.push(
+                Diagnostic::error(
+                    codes::SERVICE_ARITY_MISMATCH,
+                    format!(
+                        "service `{service}` is called with {} arguments, but is declared with arity {}",
+                        args.len(),
+                        d.arity
+                    ),
+                )
+                .at(*span)
+                .with("name", Payload::Str(service.clone())),
+            ),
+            Some(_) => {}
+        }
+        for a in args {
+            check_service_calls(spec, a, out);
+        }
+    }
+}

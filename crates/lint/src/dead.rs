@@ -1,0 +1,76 @@
+//! Dead-code pass: declared things the process can never exercise.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use std::collections::BTreeSet;
+
+/// Run the pass.
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let spec = ctx.spec;
+
+    // Actions never referenced by any CA rule can never execute (the
+    // process layer only acts through rules).
+    let invoked: BTreeSet<&str> = spec.rules.iter().map(|r| r.action.as_str()).collect();
+    for a in &spec.actions {
+        if !invoked.contains(a.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_ACTION,
+                    format!("action `{}` is never invoked by any rule", a.name),
+                )
+                .at(a.span)
+                .with("action", Payload::Str(a.name.clone())),
+            );
+        }
+    }
+
+    // Writers: init facts and effect heads. Readers: every formula atom.
+    let written: BTreeSet<&str> = spec
+        .init
+        .iter()
+        .map(|f| f.rel.as_str())
+        .chain(
+            spec.actions
+                .iter()
+                .flat_map(|a| a.effects.iter())
+                .flat_map(|e| e.heads.iter())
+                .map(|h| h.rel.as_str()),
+        )
+        .collect();
+    let read: BTreeSet<&str> = spec.formula_uses().map(|u| u.name.as_str()).collect();
+
+    let mut seen = BTreeSet::new();
+    for d in &spec.relations {
+        // Report each relation once, at its first declaration (duplicate
+        // declarations are a consistency-pass error already).
+        if !seen.insert(d.name.as_str()) {
+            continue;
+        }
+        if !written.contains(d.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::RELATION_NEVER_WRITTEN,
+                    format!(
+                        "relation `{}` is never written: no init fact or effect head mentions it, so it is empty in every state",
+                        d.name
+                    ),
+                )
+                .at(d.span)
+                .with("relation", Payload::Str(d.name.clone())),
+            );
+        }
+        if !read.contains(d.name.as_str()) {
+            out.push(
+                Diagnostic::warning(
+                    codes::RELATION_NEVER_READ,
+                    format!(
+                        "relation `{}` is never read: no constraint, rule condition or effect body mentions it",
+                        d.name
+                    ),
+                )
+                .at(d.span)
+                .with("relation", Payload::Str(d.name.clone())),
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Trivially unsatisfiable rule conditions, found by a cheap congruence
+//! closure (union-find) over the equalities and inequalities of the
+//! condition's top-level conjunction. No query evaluation is involved, so
+//! the check is linear-ish and sound-but-incomplete: anything flagged here
+//! really is unsatisfiable; plenty of unsatisfiable conditions pass.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use dcds_folang::{Formula, QTerm};
+use dcds_reldata::ConstantPool;
+
+/// Run the pass.
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let spec = ctx.spec;
+    for r in &spec.rules {
+        if let Some(reason) = unsat_reason(&r.condition, &spec.pool) {
+            out.push(
+                Diagnostic::warning(
+                    codes::UNSATISFIABLE_CONDITION,
+                    format!(
+                        "rule condition is trivially unsatisfiable ({reason}); the rule can never fire"
+                    ),
+                )
+                .at(r.span)
+                .with("reason", Payload::Str(reason)),
+            );
+        }
+    }
+}
+
+/// Why the top-level conjunction of `f` cannot be satisfied, if the
+/// congruence closure finds a contradiction.
+pub fn unsat_reason(f: &Formula, pool: &ConstantPool) -> Option<String> {
+    let mut eqs: Vec<(&QTerm, &QTerm)> = Vec::new();
+    let mut neqs: Vec<(&QTerm, &QTerm)> = Vec::new();
+    let mut has_false = false;
+    collect(f, &mut eqs, &mut neqs, &mut has_false);
+    if has_false {
+        return Some("it contains `false`".to_owned());
+    }
+
+    // Union-find over the terms mentioned by (in)equalities.
+    fn index_of<'f>(terms: &mut Vec<&'f QTerm>, t: &'f QTerm) -> usize {
+        match terms.iter().position(|u| *u == t) {
+            Some(ix) => ix,
+            None => {
+                terms.push(t);
+                terms.len() - 1
+            }
+        }
+    }
+    let mut terms: Vec<&QTerm> = Vec::new();
+    let mut pairs = Vec::new();
+    for (t1, t2) in &eqs {
+        let a = index_of(&mut terms, t1);
+        let b = index_of(&mut terms, t2);
+        pairs.push((a, b));
+    }
+    let mut neq_pairs = Vec::new();
+    for (t1, t2) in &neqs {
+        let a = index_of(&mut terms, t1);
+        let b = index_of(&mut terms, t2);
+        neq_pairs.push((a, b, *t1, *t2));
+    }
+    let mut parent: Vec<usize> = (0..terms.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (a, b) in pairs {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        parent[ra] = rb;
+    }
+
+    let render = |t: &QTerm| match t {
+        QTerm::Var(v) => v.name().to_owned(),
+        QTerm::Const(c) => pool.name(*c).to_owned(),
+    };
+
+    // Two distinct constants merged into one class.
+    for i in 0..terms.len() {
+        for j in i + 1..terms.len() {
+            if let (QTerm::Const(a), QTerm::Const(b)) = (terms[i], terms[j]) {
+                if a != b && find(&mut parent, i) == find(&mut parent, j) {
+                    return Some(format!(
+                        "the equalities force distinct constants {} = {}",
+                        render(terms[i]),
+                        render(terms[j])
+                    ));
+                }
+            }
+        }
+    }
+
+    // An inequality whose sides the equalities identify.
+    for (a, b, t1, t2) in neq_pairs {
+        if find(&mut parent, a) == find(&mut parent, b) {
+            return Some(format!(
+                "{} != {} contradicts the equalities",
+                render(t1),
+                render(t2)
+            ));
+        }
+    }
+    None
+}
+
+/// Collect (in)equalities of the top-level conjunction. Disjunctions,
+/// quantifiers, atoms and other shapes contribute nothing (the closure
+/// only reasons about what must hold in *every* model of the condition).
+fn collect<'f>(
+    f: &'f Formula,
+    eqs: &mut Vec<(&'f QTerm, &'f QTerm)>,
+    neqs: &mut Vec<(&'f QTerm, &'f QTerm)>,
+    has_false: &mut bool,
+) {
+    match f {
+        Formula::And(g, h) => {
+            collect(g, eqs, neqs, has_false);
+            collect(h, eqs, neqs, has_false);
+        }
+        Formula::Eq(t1, t2) => eqs.push((t1, t2)),
+        Formula::Not(inner) => {
+            if let Formula::Eq(t1, t2) = inner.as_ref() {
+                neqs.push((t1, t2));
+            }
+        }
+        Formula::False => *has_false = true,
+        _ => {}
+    }
+}

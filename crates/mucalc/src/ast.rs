@@ -324,7 +324,10 @@ mod tests {
     #[test]
     fn pred_vars_bound_by_fixpoints() {
         let s = schema();
-        let f = Mu::lfp("Z", atom(&s, "Stud", "X").or(Mu::Pvar(PredVar::new("Z")).diamond()));
+        let f = Mu::lfp(
+            "Z",
+            atom(&s, "Stud", "X").or(Mu::Pvar(PredVar::new("Z")).diamond()),
+        );
         assert!(f.free_pred_vars().is_empty());
         let g = Mu::Pvar(PredVar::new("Z")).diamond();
         assert_eq!(g.free_pred_vars().len(), 1);

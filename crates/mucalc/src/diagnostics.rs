@@ -55,8 +55,7 @@ pub fn shortest_path_to(ts: &Ts, targets: &BTreeSet<StateId>) -> Option<Vec<Stat
 /// `None` means `AG φ` holds.
 pub fn counterexample_ag(phi: &Mu, ts: &Ts) -> Option<Vec<StateId>> {
     let sat = eval(phi, ts, &mut Valuation::default());
-    let violating: BTreeSet<StateId> =
-        ts.state_ids().filter(|s| !sat.contains(s)).collect();
+    let violating: BTreeSet<StateId> = ts.state_ids().filter(|s| !sat.contains(s)).collect();
     shortest_path_to(ts, &violating)
 }
 

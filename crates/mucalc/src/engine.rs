@@ -232,9 +232,7 @@ fn index(f: &Mu, infos: &mut Vec<NodeInfo>) -> u32 {
         | Mu::Forall(_, g)
         | Mu::Lfp(_, g)
         | Mu::Gfp(_, g) => index(g, infos),
-        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => {
-            index(g, infos) + index(h, infos)
-        }
+        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => index(g, infos) + index(h, infos),
     };
     let size = 1 + kids;
     infos[my] = NodeInfo {
@@ -488,7 +486,10 @@ mod tests {
     }
 
     fn stud(s: &Schema, v: &str) -> Mu {
-        Mu::Query(Formula::Atom(s.rel_id("Stud").unwrap(), vec![QTerm::var(v)]))
+        Mu::Query(Formula::Atom(
+            s.rel_id("Stud").unwrap(),
+            vec![QTerm::var(v)],
+        ))
     }
 
     fn formula_family(schema: &Schema, pool: &ConstantPool) -> Vec<Mu> {
@@ -511,19 +512,17 @@ mod tests {
             Mu::forall("X", Mu::live("X").implies(stud(schema, "X"))),
             Mu::exists(
                 "X",
-                Mu::live("X")
-                    .and(stud(schema, "X"))
-                    .and(
-                        Mu::exists(
-                            "Y",
-                            Mu::live("Y").and(Mu::Query(Formula::Atom(
-                                schema.rel_id("Grad").unwrap(),
-                                vec![QTerm::var("X"), QTerm::var("Y")],
-                            ))),
-                        )
-                        .diamond()
-                        .diamond(),
-                    ),
+                Mu::live("X").and(stud(schema, "X")).and(
+                    Mu::exists(
+                        "Y",
+                        Mu::live("Y").and(Mu::Query(Formula::Atom(
+                            schema.rel_id("Grad").unwrap(),
+                            vec![QTerm::var("X"), QTerm::var("Y")],
+                        ))),
+                    )
+                    .diamond()
+                    .diamond(),
+                ),
             ),
         ]
     }
@@ -535,12 +534,8 @@ mod tests {
             let oracle = mc::eval(&phi, &ts, &mut Valuation::default());
             let mut reference = None;
             for threads in [1, 2, 8] {
-                let (ext, counters) = eval_with_opts(
-                    &phi,
-                    &ts,
-                    &mut Valuation::default(),
-                    McOptions { threads },
-                );
+                let (ext, counters) =
+                    eval_with_opts(&phi, &ts, &mut Valuation::default(), McOptions { threads });
                 assert_eq!(ext, oracle, "engine vs oracle on {phi:?}");
                 match &reference {
                     None => reference = Some((ext, counters)),

@@ -41,7 +41,10 @@ impl std::fmt::Display for FragmentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FragmentError::NonMonotone(z) => {
-                write!(f, "predicate variable {z} occurs under an odd number of negations")
+                write!(
+                    f,
+                    "predicate variable {z} occurs under an odd number of negations"
+                )
             }
             FragmentError::RebindsPredVar(z) => {
                 write!(f, "predicate variable {z} is bound twice")
@@ -148,9 +151,7 @@ pub fn is_mu_la(f: &Mu) -> bool {
         }
         Mu::Forall(v, g) => match &**g {
             Mu::Implies(lhs, rhs) => {
-                flatten_and(lhs).iter().any(|l| is_live_of(l, v))
-                    && is_mu_la(lhs)
-                    && is_mu_la(rhs)
+                flatten_and(lhs).iter().any(|l| is_live_of(l, v)) && is_mu_la(lhs) && is_mu_la(rhs)
             }
             _ => false,
         },
@@ -180,13 +181,10 @@ pub fn is_mu_lp(f: &Mu, env: &mut BTreeMap<PredVar, Mu>) -> bool {
     match f {
         Mu::Query(_) | Mu::Live(_) | Mu::Pvar(_) => true,
         Mu::Not(g) => is_mu_lp(g, env),
-        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => {
-            is_mu_lp(g, env) && is_mu_lp(h, env)
-        }
+        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => is_mu_lp(g, env) && is_mu_lp(h, env),
         Mu::Exists(v, g) => {
             let leaves = flatten_and(g);
-            leaves.iter().any(|l| is_live_of(l, v))
-                && leaves.iter().all(|l| is_mu_lp(l, env))
+            leaves.iter().any(|l| is_live_of(l, v)) && leaves.iter().all(|l| is_mu_lp(l, env))
         }
         Mu::Forall(v, g) => match &**g {
             Mu::Implies(lhs, rhs) => {
@@ -227,7 +225,9 @@ pub fn is_mu_lp(f: &Mu, env: &mut BTreeMap<PredVar, Mu>) -> bool {
                     // is that every free variable of Φ is guarded and no
                     // extraneous variable is.
                     free.is_subset(&guard_vars)
-                        && guard_vars.iter().all(|v| free.contains(v) || body_leaves.is_empty())
+                        && guard_vars
+                            .iter()
+                            .all(|v| free.contains(v) || body_leaves.is_empty())
                         && body_leaves.iter().all(|l| is_mu_lp(l, env))
                 }
             }
@@ -311,11 +311,13 @@ mod tests {
             "X",
             Mu::forall(
                 "V",
-                Mu::live("V").implies(atom1(s, "Stud", "V").implies(Mu::lfp(
-                    "Y",
-                    Mu::exists("W", Mu::live("W").and(atom2(s, "Grad", "V", "W")))
-                        .or(Mu::Pvar(PredVar::new("Y")).diamond()),
-                ))),
+                Mu::live("V").implies(
+                    atom1(s, "Stud", "V").implies(Mu::lfp(
+                        "Y",
+                        Mu::exists("W", Mu::live("W").and(atom2(s, "Grad", "V", "W")))
+                            .or(Mu::Pvar(PredVar::new("Y")).diamond()),
+                    )),
+                ),
             )
             .and(Mu::Pvar(PredVar::new("X")).boxed()),
         )
@@ -329,11 +331,9 @@ mod tests {
                 "V",
                 Mu::live("V").implies(atom1(s, "Stud", "V").implies(Mu::lfp(
                     "Y",
-                    Mu::exists("W", Mu::live("W").and(atom2(s, "Grad", "V", "W"))).or(
-                        Mu::Diamond(Box::new(
-                            Mu::live("V").and(Mu::Pvar(PredVar::new("Y"))),
-                        )),
-                    ),
+                    Mu::exists("W", Mu::live("W").and(atom2(s, "Grad", "V", "W"))).or(Mu::Diamond(
+                        Box::new(Mu::live("V").and(Mu::Pvar(PredVar::new("Y")))),
+                    )),
                 ))),
             )
             .and(Mu::Pvar(PredVar::new("X")).boxed()),
@@ -367,7 +367,10 @@ mod tests {
     #[test]
     fn nonmonotone_rejected() {
         let s = schema();
-        let f = Mu::lfp("Z", Mu::Pvar(PredVar::new("Z")).not().or(atom1(&s, "Stud", "V")));
+        let f = Mu::lfp(
+            "Z",
+            Mu::Pvar(PredVar::new("Z")).not().or(atom1(&s, "Stud", "V")),
+        );
         assert!(matches!(classify(&f), Err(FragmentError::NonMonotone(_))));
     }
 
@@ -376,7 +379,10 @@ mod tests {
         let s = schema();
         let f = Mu::lfp(
             "Z",
-            Mu::Pvar(PredVar::new("Z")).not().not().or(atom1(&s, "Stud", "V")),
+            Mu::Pvar(PredVar::new("Z"))
+                .not()
+                .not()
+                .or(atom1(&s, "Stud", "V")),
         );
         assert!(classify(&f).is_ok());
     }
@@ -393,7 +399,10 @@ mod tests {
     #[test]
     fn duplicate_binders_rejected() {
         let f = Mu::lfp("Z", Mu::lfp("Z", Mu::Pvar(PredVar::new("Z"))));
-        assert!(matches!(classify(&f), Err(FragmentError::RebindsPredVar(_))));
+        assert!(matches!(
+            classify(&f),
+            Err(FragmentError::RebindsPredVar(_))
+        ));
     }
 
     #[test]

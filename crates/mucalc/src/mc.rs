@@ -192,8 +192,7 @@ fn restore_pred(val: &mut Valuation, z: &PredVar, saved: Option<BTreeSet<StateId
 /// Evaluation itself runs on the staged engine of [`crate::engine`]; use
 /// [`crate::engine::check_with_opts`] for thread control and counters.
 pub fn check(f: &Mu, ts: &Ts) -> Result<bool, crate::engine::CheckError> {
-    crate::engine::check_with_opts(f, ts, crate::engine::McOptions::default())
-        .map(|run| run.holds)
+    crate::engine::check_with_opts(f, ts, crate::engine::McOptions::default()).map(|run| run.holds)
 }
 
 #[cfg(test)]
@@ -226,7 +225,10 @@ mod tests {
     }
 
     fn stud(s: &Schema, v: &str) -> Mu {
-        Mu::Query(Formula::Atom(s.rel_id("Stud").unwrap(), vec![QTerm::var(v)]))
+        Mu::Query(Formula::Atom(
+            s.rel_id("Stud").unwrap(),
+            vec![QTerm::var(v)],
+        ))
     }
 
     #[test]
@@ -285,9 +287,11 @@ mod tests {
         ));
         let f = Mu::exists(
             "X",
-            Mu::live("X")
-                .and(stud(&schema, "X"))
-                .and(Mu::exists("Y", Mu::live("Y").and(grad_xy)).diamond().diamond()),
+            Mu::live("X").and(stud(&schema, "X")).and(
+                Mu::exists("Y", Mu::live("Y").and(grad_xy))
+                    .diamond()
+                    .diamond(),
+            ),
         );
         assert!(check(&f, &ts).unwrap());
     }

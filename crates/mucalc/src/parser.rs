@@ -99,10 +99,7 @@ impl MuParser {
         let mut lhs = self.parse_impl(p, r)?;
         while p.eat(&TokenKind::Equiv) {
             let rhs = self.parse_impl(p, r)?;
-            lhs = lhs
-                .clone()
-                .implies(rhs.clone())
-                .and(rhs.implies(lhs));
+            lhs = lhs.clone().implies(rhs.clone()).and(rhs.implies(lhs));
         }
         Ok(lhs)
     }
@@ -154,7 +151,11 @@ impl MuParser {
         out
     }
 
-    fn parse_unary_inner(&mut self, p: &mut Parser, r: &mut Resolver<'_>) -> Result<Mu, ParseError> {
+    fn parse_unary_inner(
+        &mut self,
+        p: &mut Parser,
+        r: &mut Resolver<'_>,
+    ) -> Result<Mu, ParseError> {
         if p.eat(&TokenKind::Bang) || p.eat_keyword("not") {
             return Ok(self.parse_unary(p, r)?.not());
         }
@@ -210,8 +211,7 @@ impl MuParser {
         match p.peek_kind().clone() {
             TokenKind::Ident(name) => {
                 // Predicate variable in scope (not an atom application).
-                if self.pred_scope.contains(&name)
-                    && !matches!(p.peek_ahead(1), TokenKind::LParen)
+                if self.pred_scope.contains(&name) && !matches!(p.peek_ahead(1), TokenKind::LParen)
                 {
                     p.advance();
                     return Ok(Mu::Pvar(PredVar::new(&name)));
@@ -222,8 +222,7 @@ impl MuParser {
                     return Ok(Mu::Query(atom));
                 }
                 // Nullary atom or comparison.
-                let followed_by_cmp =
-                    matches!(p.peek_ahead(1), TokenKind::Eq | TokenKind::Neq);
+                let followed_by_cmp = matches!(p.peek_ahead(1), TokenKind::Eq | TokenKind::Neq);
                 let known_nullary = r
                     .schema
                     .rel_id(&name)
@@ -353,7 +352,12 @@ mod tests {
             format!("{}true{}", "(".repeat(20_000), ")".repeat(20_000)),
             format!("{}true", "<> ".repeat(20_000)),
             format!("{}true", "[] ".repeat(20_000)),
-            format!("{}true", (0..20_000).map(|i| format!("mu Z{i} . ")).collect::<String>()),
+            format!(
+                "{}true",
+                (0..20_000)
+                    .map(|i| format!("mu Z{i} . "))
+                    .collect::<String>()
+            ),
             format!("{}true", "exists X . live(X) & ".repeat(20_000)),
         ] {
             let err = parse_mu(&src, &mut s, &mut pool).unwrap_err();

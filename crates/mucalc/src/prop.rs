@@ -49,7 +49,10 @@ impl PropMu {
         match self {
             PropMu::Atom(f) => f.size(),
             PropMu::LiveConst(_) | PropMu::Pvar(_) => 1,
-            PropMu::Not(f) | PropMu::Diamond(f) | PropMu::Box_(f) | PropMu::Lfp(_, f)
+            PropMu::Not(f)
+            | PropMu::Diamond(f)
+            | PropMu::Box_(f)
+            | PropMu::Lfp(_, f)
             | PropMu::Gfp(_, f) => 1 + f.size(),
             PropMu::And(f, g) | PropMu::Or(f, g) => 1 + f.size() + g.size(),
         }
@@ -159,7 +162,10 @@ mod tests {
         match f {
             PropMu::LiveConst(_) => 1,
             PropMu::Atom(_) | PropMu::Pvar(_) => 0,
-            PropMu::Not(g) | PropMu::Diamond(g) | PropMu::Box_(g) | PropMu::Lfp(_, g)
+            PropMu::Not(g)
+            | PropMu::Diamond(g)
+            | PropMu::Box_(g)
+            | PropMu::Lfp(_, g)
             | PropMu::Gfp(_, g) => count_live_consts(g),
             PropMu::And(g, h) | PropMu::Or(g, h) => count_live_consts(g) + count_live_consts(h),
         }

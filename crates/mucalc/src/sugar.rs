@@ -187,14 +187,20 @@ mod tests {
                 .and(p_of_x.clone())
                 .and(eu_live(std::slice::from_ref(&x), psi.clone())),
         );
-        assert!(!check(&guarded, &ts).unwrap(), "a does not persist through s1");
+        assert!(
+            !check(&guarded, &ts).unwrap(),
+            "a does not persist through s1"
+        );
         let unguarded = Mu::exists(
             "X",
             Mu::live("X")
                 .and(p_of_x)
                 .and(eu(Mu::Query(dcds_folang::Formula::True), psi)),
         );
-        assert!(check(&unguarded, &ts).unwrap(), "history-style reachability holds");
+        assert!(
+            check(&unguarded, &ts).unwrap(),
+            "history-style reachability holds"
+        );
     }
 
     #[test]

@@ -146,10 +146,7 @@ mod tests {
                     post: vec![
                         ("Seed()".to_owned(), "Seed()".to_owned()),
                         ("true".to_owned(), "Order(Id, approved)".to_owned()),
-                        (
-                            "Order(O, S) & O != Id".to_owned(),
-                            "Order(O, S)".to_owned(),
-                        ),
+                        ("Order(O, S) & O != Id".to_owned(), "Order(O, S)".to_owned()),
                     ],
                 },
             ],

@@ -16,7 +16,7 @@
 //! nondeterministic case, after which Algorithm RCYCL and µLP verification
 //! apply.
 
-use dcds_core::{Action, BaseTerm, Dcds, Effect, ETerm, ServiceCatalog, ServiceKind};
+use dcds_core::{Action, BaseTerm, Dcds, ETerm, Effect, ServiceCatalog, ServiceKind};
 use dcds_folang::{ConjunctiveQuery, EqualityConstraint, QTerm, Ucq, Var};
 use dcds_reldata::RelId;
 

@@ -7,7 +7,7 @@
 //! would then equate two distinct constants — impossible — so exactly the
 //! `IC`-satisfying successors survive.
 
-use dcds_core::{BaseTerm, Dcds, Effect, ETerm};
+use dcds_core::{BaseTerm, Dcds, ETerm, Effect};
 use dcds_folang::{ConjunctiveQuery, EqualityConstraint, Formula, QTerm, Ucq, Var};
 use dcds_reldata::Tuple;
 
@@ -50,10 +50,10 @@ pub fn encode_fo_constraint(dcds: &Dcds, ic: &Formula) -> Result<Dcds, String> {
         });
     }
     // ec := ¬IC ∧ aux(x, y) → x = y.
-    let premise = ic
-        .clone()
-        .not()
-        .and(Formula::Atom(aux, vec![QTerm::Var(x.clone()), QTerm::Var(y.clone())]));
+    let premise = ic.clone().not().and(Formula::Atom(
+        aux,
+        vec![QTerm::Var(x.clone()), QTerm::Var(y.clone())],
+    ));
     out.data.constraints.push(
         EqualityConstraint::new(premise, vec![(QTerm::Var(x), QTerm::Var(y))])
             .map_err(|e| e.to_string())?,

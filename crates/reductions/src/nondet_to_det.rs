@@ -8,7 +8,7 @@
 //! the Theorem 4.1 key trick with a looped guard node) with the most
 //! recent one in `now/1`.
 
-use dcds_core::{Action, BaseTerm, Dcds, Effect, ETerm, FuncId, ServiceCatalog, ServiceKind};
+use dcds_core::{Action, BaseTerm, Dcds, ETerm, Effect, FuncId, ServiceCatalog, ServiceKind};
 use dcds_folang::{ConjunctiveQuery, EqualityConstraint, Formula, QTerm, Ucq, Var};
 use dcds_reldata::Tuple;
 
@@ -88,10 +88,7 @@ pub fn nondet_to_det(dcds: &Dcds) -> Result<Dcds, String> {
             }),
             qminus: Formula::True,
             head: vec![
-                (
-                    now,
-                    vec![ts_call(new_ts, &ts_var)],
-                ),
+                (now, vec![ts_call(new_ts, &ts_var)]),
                 (
                     succ,
                     vec![
@@ -106,10 +103,7 @@ pub fn nondet_to_det(dcds: &Dcds) -> Result<Dcds, String> {
         new_action.effects.push(Effect {
             qplus: Ucq::single(ConjunctiveQuery {
                 head: vec![sx.clone(), sy.clone()],
-                atoms: vec![(
-                    succ,
-                    vec![QTerm::Var(sx.clone()), QTerm::Var(sy.clone())],
-                )],
+                atoms: vec![(succ, vec![QTerm::Var(sx.clone()), QTerm::Var(sy.clone())])],
                 equalities: vec![],
             }),
             qminus: Formula::True,
@@ -206,8 +200,7 @@ mod tests {
             "f must be called at least twice along the branch"
         );
         // All f calls carry pairwise distinct timestamp arguments.
-        let timestamps: std::collections::BTreeSet<_> =
-            f_calls.iter().map(|c| c.args[1]).collect();
+        let timestamps: std::collections::BTreeSet<_> = f_calls.iter().map(|c| c.args[1]).collect();
         assert_eq!(timestamps.len(), f_calls.len());
     }
 

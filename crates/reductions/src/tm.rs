@@ -60,7 +60,10 @@ impl Tm {
                 while t.len() > 1 && *t.last().unwrap() == self.blank {
                     t.pop();
                 }
-                return TmOutcome::Halted { steps: step, tape: t };
+                return TmOutcome::Halted {
+                    steps: step,
+                    tape: t,
+                };
             }
             if step == max_steps {
                 break;
@@ -162,14 +165,7 @@ impl TmBuilder {
     }
 
     /// Add a transition.
-    pub fn rule(
-        &mut self,
-        from: usize,
-        read: char,
-        to: usize,
-        write: char,
-        mv: Move,
-    ) -> &mut Self {
+    pub fn rule(&mut self, from: usize, read: char, to: usize, write: char, mv: Move) -> &mut Self {
         self.delta.insert((from, read), (to, write, mv));
         self
     }

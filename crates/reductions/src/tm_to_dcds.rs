@@ -118,9 +118,7 @@ pub fn tm_to_dcds(tm: &Tm, input: &[char]) -> Result<Dcds, String> {
                 Move::Left => {
                     // Interior: the left neighbour carries a symbol.
                     a.effect(
-                        &format!(
-                            "right(W, X) & sym(W, SW) & sym(X, {rd}) & head(X) & state({qs})"
-                        ),
+                        &format!("right(W, X) & sym(W, SW) & sym(X, {rd}) & head(X) & state({qs})"),
                         &format!("sym(X, {wr}), head(W), state({qp})"),
                     );
                     // Left end: the left neighbour is the unsymed guard —

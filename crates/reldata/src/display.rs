@@ -111,7 +111,10 @@ mod tests {
         let pool = ConstantPool::new();
         let schema = Schema::new();
         let inst = Instance::new();
-        assert_eq!(InstanceDisplay::new(&inst, &schema, &pool).to_string(), "{}");
+        assert_eq!(
+            InstanceDisplay::new(&inst, &schema, &pool).to_string(),
+            "{}"
+        );
     }
 
     #[test]

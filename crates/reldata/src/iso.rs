@@ -170,10 +170,16 @@ impl Facts {
         if class_histogram(&colors_a) != class_histogram(&colors_b) {
             return None;
         }
-        let free_a: Vec<Value> = adom_a.iter().copied().filter(|v| !rigid.contains(v)).collect();
+        let free_a: Vec<Value> = adom_a
+            .iter()
+            .copied()
+            .filter(|v| !rigid.contains(v))
+            .collect();
         let mut map: BTreeMap<Value, Value> = rigid_a.iter().map(|&v| (v, v)).collect();
         let mut used: BTreeSet<Value> = rigid_b.clone();
-        if backtrack(self, other, &colors_a, &colors_b, &free_a, 0, &mut map, &mut used) {
+        if backtrack(
+            self, other, &colors_a, &colors_b, &free_a, 0, &mut map, &mut used,
+        ) {
             Some(map)
         } else {
             None
@@ -213,7 +219,11 @@ impl Facts {
     /// default budget.
     pub fn try_canonical_key(&self, rigid: &BTreeSet<Value>, max_orders: u64) -> Option<CanonKey> {
         let adom = self.active_domain();
-        let free: Vec<Value> = adom.iter().copied().filter(|v| !rigid.contains(v)).collect();
+        let free: Vec<Value> = adom
+            .iter()
+            .copied()
+            .filter(|v| !rigid.contains(v))
+            .collect();
         if free.is_empty() {
             return Some(CanonKey {
                 facts: encode(self, rigid, &BTreeMap::new()),
@@ -305,7 +315,11 @@ fn permute_within(
     }
 }
 
-fn encode(facts: &Facts, rigid: &BTreeSet<Value>, _unused: &BTreeMap<Value, Value>) -> Vec<(u32, Vec<CanonVal>)> {
+fn encode(
+    facts: &Facts,
+    rigid: &BTreeSet<Value>,
+    _unused: &BTreeMap<Value, Value>,
+) -> Vec<(u32, Vec<CanonVal>)> {
     encode_with(facts, rigid, &BTreeMap::new())
 }
 
@@ -442,7 +456,9 @@ fn backtrack(
     for w in candidates {
         map.insert(v, w);
         used.insert(w);
-        if partial_consistent(a, b, map) && backtrack(a, b, colors_a, colors_b, free_a, k + 1, map, used) {
+        if partial_consistent(a, b, map)
+            && backtrack(a, b, colors_a, colors_b, free_a, k + 1, map, used)
+        {
             return true;
         }
         map.remove(&v);

@@ -46,13 +46,13 @@ fn arb_facts() -> impl Strategy<Value = (Facts, BTreeSet<Value>)> {
 
 /// A random permutation of the non-rigid values (extended with identity on
 /// rigid ones).
-fn permute_free(
-    facts: &Facts,
-    rigid: &BTreeSet<Value>,
-    seed: u64,
-) -> BTreeMap<Value, Value> {
+fn permute_free(facts: &Facts, rigid: &BTreeSet<Value>, seed: u64) -> BTreeMap<Value, Value> {
     let adom = facts.active_domain();
-    let free: Vec<Value> = adom.iter().copied().filter(|v| !rigid.contains(v)).collect();
+    let free: Vec<Value> = adom
+        .iter()
+        .copied()
+        .filter(|v| !rigid.contains(v))
+        .collect();
     let mut perm = free.clone();
     // Deterministic Fisher-Yates from the seed.
     let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);

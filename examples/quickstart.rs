@@ -23,7 +23,11 @@ fn main() {
         .rule("true", "alpha")
         .build()
         .expect("well-formed DCDS");
-    println!("DCDS built: {} relations, {} actions", dcds.data.schema.len(), dcds.process.actions.len());
+    println!(
+        "DCDS built: {} relations, {} actions",
+        dcds.data.schema.len(),
+        dcds.process.actions.len()
+    );
 
     // ------------------------------------------------------------------
     // 2. Static analysis. The dependency graph has a cycle through a
@@ -59,15 +63,28 @@ fn main() {
     let mut pool = dcds.data.pool.clone();
     let props = [
         // Invariant: some tuple is always live.
-        ("always some tuple", "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z"),
+        (
+            "always some tuple",
+            "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
+        ),
         // From every state, an R-state is reachable.
-        ("AG EF R nonempty", "nu Z . (mu Y . (exists X . live(X) & R(X)) | <> Y) & [] Z"),
+        (
+            "AG EF R nonempty",
+            "nu Z . (mu Y . (exists X . live(X) & R(X)) | <> Y) & [] Z",
+        ),
         // R and Q never hold together (the action replaces the whole state).
-        ("mutual exclusion", "nu Z . !(exists X . live(X) & R(X) & Q(X)) & [] Z"),
+        (
+            "mutual exclusion",
+            "nu Z . !(exists X . live(X) & R(X) & Q(X)) & [] Z",
+        ),
     ];
     for (name, src) in props {
         let phi = parse_mu(src, &mut schema, &mut pool).expect("parsable");
-        println!("fragment {:?}  |  {name}: {}", classify(&phi).unwrap(), check(&phi, &pruning.ts).unwrap());
+        println!(
+            "fragment {:?}  |  {name}: {}",
+            classify(&phi).unwrap(),
+            check(&phi, &pruning.ts).unwrap()
+        );
     }
 
     // ------------------------------------------------------------------

@@ -89,5 +89,8 @@ fn main() {
         check(&phi, &pruning.ts).unwrap()
     );
 
-    println!("\nGraphviz of the dataflow graph:\n{}", dcds_verify::analysis::dataflow_dot(&df, &dcds));
+    println!(
+        "\nGraphviz of the dataflow graph:\n{}",
+        dcds_verify::analysis::dataflow_dot(&df, &dcds)
+    );
 }

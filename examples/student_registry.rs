@@ -84,7 +84,10 @@ fn main() {
 
     for (name, phi) in [
         ("Example 3.2 (muLA: eventual graduation)", &mu_la),
-        ("Example 3.3a (muLP: persist until graduation)", &mu_lp_strong),
+        (
+            "Example 3.3a (muLP: persist until graduation)",
+            &mu_lp_strong,
+        ),
         ("Example 3.3b (muLP: dropped or graduates)", &mu_lp_weak),
     ] {
         println!(
@@ -96,12 +99,7 @@ fn main() {
 
     // Diagnostics: a counterexample path for a property that fails —
     // AG (some student is enrolled) fails immediately after graduation.
-    let always_stud = parse_mu(
-        "exists S . live(S) & Stud(S)",
-        &mut schema,
-        &mut pool,
-    )
-    .unwrap();
+    let always_stud = parse_mu("exists S . live(S) & Stud(S)", &mut schema, &mut pool).unwrap();
     if let Some(path) = dcds_verify::mucalc::counterexample_ag(&always_stud, &pruning.ts) {
         println!(
             "\ncounterexample to AG(some student enrolled):\n  {}",

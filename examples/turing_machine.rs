@@ -11,8 +11,10 @@ use dcds_verify::reductions::tm_to_dcds;
 
 fn halted_somewhere(ts: &Ts, dcds: &Dcds) -> bool {
     let halted = dcds.data.schema.rel_id("halted").unwrap();
-    ts.state_ids()
-        .any(|s| ts.db(s).contains(halted, &dcds_verify::reldata::Tuple::unit()))
+    ts.state_ids().any(|s| {
+        ts.db(s)
+            .contains(halted, &dcds_verify::reldata::Tuple::unit())
+    })
 }
 
 fn main() {

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q
+
+echo "All checks passed."

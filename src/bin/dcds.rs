@@ -13,6 +13,8 @@
 //! dcds dot      <spec.dcds> [--graph dataflow|depgraph]
 //!                                               emit Graphviz
 //! dcds fmt      <spec.dcds>                     parse and pretty-print back
+//! dcds lint     <spec.dcds> [--deny warnings] [--format text|json]
+//!                                               multi-pass spec diagnostics
 //! ```
 //!
 //! Specs are in the textual format of `dcds_core::parser`; formulas in the
@@ -26,14 +28,23 @@
 //! truncated and the verdict only valid up to the budget). Parse and usage
 //! errors keep the ordinary failure path (exit 1 with a message on stderr,
 //! distinguishable from a violation verdict by the `error:` prefix).
+//!
+//! ## Exit codes (`dcds lint`)
+//!
+//! **0** — no error-severity findings (warnings/notes allowed, unless
+//! `--deny warnings`); **1** — errors found (or warnings under
+//! `--deny warnings`); **2** — the spec could not be parsed at all (the
+//! syntax error itself is reported as a `DCDS000` diagnostic in the
+//! selected format).
 
 use dcds_verify::abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, AbsOutcome};
-use dcds_verify::core::{configured_threads, EngineCounters};
 use dcds_verify::analysis::{
-    dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity,
-    is_weakly_acyclic, position_ranks, run_bound_estimate, state_bound_estimate,
+    dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity, is_weakly_acyclic,
+    position_ranks, render_dep_cycle, run_bound_estimate, state_bound_estimate, weak_cycle_witness,
 };
+use dcds_verify::core::{configured_threads, EngineCounters};
 use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
+use dcds_verify::lint::{codes, lint_spec, render_json, render_text, Diagnostic};
 use dcds_verify::mucalc::{check_with_opts, classify, diagnostics, parse_mu, McOptions};
 use dcds_verify::reldata::{ConstantPool, InstanceDisplay};
 use std::process::ExitCode;
@@ -65,9 +76,12 @@ const USAGE: &str = "usage:
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
   dcds fmt      <spec.dcds>
+  dcds lint     <spec.dcds> [--deny warnings] [--format text|json]
 
 `dcds check` exits 0 when the property holds, 1 when it is violated, and
-2 when the verdict is inconclusive (state budget hit).";
+2 when the verdict is inconclusive (state budget hit).
+`dcds lint` exits 0 when the spec is clean, 1 on errors (or warnings under
+--deny warnings), and 2 when the spec cannot be parsed.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
@@ -102,6 +116,31 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 .unwrap_or("dataflow"),
         ),
         "fmt" => do_fmt(args.get(1).ok_or("missing spec path")?),
+        "lint" => {
+            return do_lint(
+                args.get(1).ok_or("missing spec path")?,
+                args.iter()
+                    .position(|a| a == "--deny")
+                    .map(|i| {
+                        args.get(i + 1)
+                            .filter(|v| v.as_str() == "warnings")
+                            .map(|_| ())
+                            .ok_or("--deny takes `warnings`")
+                    })
+                    .transpose()?
+                    .is_some(),
+                match args
+                    .iter()
+                    .position(|a| a == "--format")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str)
+                {
+                    None | Some("text") => LintFormat::Text,
+                    Some("json") => LintFormat::Json,
+                    Some(other) => return Err(format!("unknown format `{other}` (text|json)")),
+                },
+            )
+        }
         other => Err(format!("unknown command `{other}`")),
     }
     .map(|()| ExitCode::SUCCESS)
@@ -154,6 +193,14 @@ fn analyze(path: &str) -> Result<(), String> {
     let dg = dependency_graph(&dcds);
     let wa = is_weakly_acyclic(&dg);
     println!("weakly acyclic: {wa}");
+    if !wa {
+        if let Some(cycle) = weak_cycle_witness(&dg) {
+            println!(
+                "  cycle through a special edge: {}",
+                render_dep_cycle(&cycle, &dg, &dcds.data.schema)
+            );
+        }
+    }
     if wa {
         if let Some(ranks) = position_ranks(&dg) {
             println!(
@@ -237,7 +284,10 @@ fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Resu
         ts.num_edges(),
         ts.max_state_adom()
     );
-    println!("engine ({threads} thread{}): {counters}", if threads == 1 { "" } else { "s" });
+    println!(
+        "engine ({threads} thread{}): {counters}",
+        if threads == 1 { "" } else { "s" }
+    );
     if let Some(rate) = counters.sig_hit_rate() {
         println!(
             "signature fast path resolved {:.1}% of dedup probes",
@@ -272,9 +322,14 @@ fn do_check(
     let run = check_with_opts(&phi, &ts, McOptions { threads }).map_err(|e| e.to_string())?;
     let verdict = run.holds;
     println!("fragment: {fragment:?}");
-    println!("abstraction: {how}, {} states, complete = {complete}", ts.num_states());
+    println!(
+        "abstraction: {how}, {} states, complete = {complete}",
+        ts.num_states()
+    );
     if !complete {
-        println!("WARNING: the abstraction is truncated; the verdict is only valid up to the budget");
+        println!(
+            "WARNING: the abstraction is truncated; the verdict is only valid up to the budget"
+        );
     }
     println!(
         "mc engine ({threads} thread{}): {}",
@@ -354,4 +409,41 @@ fn do_fmt(path: &str) -> Result<(), String> {
     let dcds = load(path)?;
     print!("{}", to_spec(&dcds));
     Ok(())
+}
+
+/// Output format of `dcds lint`.
+enum LintFormat {
+    /// rustc-style text with source snippets.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+/// `dcds lint`: exit 0 clean, 1 on errors (or warnings under `--deny
+/// warnings`), 2 when the spec does not even parse (the syntax error is
+/// itself rendered as a `DCDS000` diagnostic).
+fn do_lint(path: &str, deny_warnings: bool, format: LintFormat) -> Result<ExitCode, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let emit = |d: &Diagnostic| match format {
+        LintFormat::Text => print!("{}", render_text(d, path, &src)),
+        LintFormat::Json => println!("{}", render_json(d, path)),
+    };
+    let report = match dcds_verify::core::parse_spec(&src) {
+        Ok(spec) => lint_spec(&spec),
+        Err(e) => {
+            let d = Diagnostic::error(codes::PARSE_ERROR, e.message.clone())
+                .at(dcds_verify::folang::Span::new(e.line, e.col));
+            emit(&d);
+            return Ok(ExitCode::from(2));
+        }
+    };
+    for d in &report.diagnostics {
+        emit(d);
+    }
+    if matches!(format, LintFormat::Text) {
+        let (e, w, n) = (report.errors(), report.warnings(), report.notes());
+        println!("{path}: {e} error(s), {w} warning(s), {n} note(s)");
+    }
+    let failed = report.has_errors() || (deny_warnings && report.warnings() > 0);
+    Ok(ExitCode::from(if failed { 1 } else { 0 }))
 }

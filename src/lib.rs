@@ -14,6 +14,7 @@
 //! | [`mucalc`] | `dcds-mucalc` | µL / µLA / µLP, fragment checks, model checkers |
 //! | [`analysis`] | `dcds-analysis` | weak acyclicity, GR(⁺)-acyclicity, graph exports |
 //! | [`abstraction`] | `dcds-abstraction` | deterministic abstraction, Algorithm RCYCL |
+//! | [`lint`] | `dcds-lint` | multi-pass spec diagnostics with stable `DCDS0xx` codes |
 //! | [`bisim`] | `dcds-bisim` | history-/persistence-preserving bisimulation checkers |
 //! | [`reductions`] | `dcds-reductions` | TM reduction, det↔nondet rewrites, artifact systems |
 //! | [`mod@bench`] | `dcds-bench` | paper examples, travel systems, workloads, figure regeneration |
@@ -65,6 +66,7 @@ pub use dcds_bench as bench;
 pub use dcds_bisim as bisim;
 pub use dcds_core as core;
 pub use dcds_folang as folang;
+pub use dcds_lint as lint;
 pub use dcds_mucalc as mucalc;
 pub use dcds_reductions as reductions;
 pub use dcds_reldata as reldata;
@@ -72,14 +74,14 @@ pub use dcds_reldata as reldata;
 /// The most common imports in one place.
 pub mod prelude {
     pub use dcds_abstraction::{det_abstraction, rcycl, AbsOutcome};
-    pub use dcds_analysis::{
-        dataflow_graph, dependency_graph, is_weakly_acyclic,
-    };
     pub use dcds_analysis::gr_acyclicity::{is_gr_acyclic, is_gr_plus_acyclic};
+    pub use dcds_analysis::{dataflow_graph, dependency_graph, is_weakly_acyclic};
     pub use dcds_bisim::{history_bisimilar, persistence_bisimilar};
     pub use dcds_core::explore::{explore_det, explore_nondet, CommitmentOracle, Limits};
     pub use dcds_core::{parse_dcds, Dcds, DcdsBuilder, ServiceKind, Ts};
     pub use dcds_folang::{parse_formula, Formula};
-    pub use dcds_mucalc::{check, check_prop, classify, parse_mu, propositionalize, sugar, Fragment, Mu};
+    pub use dcds_mucalc::{
+        check, check_prop, classify, parse_mu, propositionalize, sugar, Fragment, Mu,
+    };
     pub use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
 }

@@ -89,19 +89,21 @@ fn theorem_3_1_mu_la_invariance_across_bisimilar_systems() {
             Mu::live("X").and(Mu::exists(
                 "Y",
                 Mu::live("Y").and(
-                    Mu::Query(Formula::Atom(q, vec![var("X"), var("Y")])).and(Mu::Query(
-                        Formula::neq(var("X"), var("Y")),
-                    )),
+                    Mu::Query(Formula::Atom(q, vec![var("X"), var("Y")]))
+                        .and(Mu::Query(Formula::neq(var("X"), var("Y")))),
                 ),
             )),
         )),
         // EF R nonempty, then AG from there (nested fixpoints).
         sugar::ef(
-            Mu::exists("X", Mu::live("X").and(Mu::Query(Formula::Atom(r, vec![var("X")]))))
-                .and(sugar::ag(Mu::exists(
-                    "Y",
-                    Mu::live("Y").and(Mu::Query(Formula::Atom(p, vec![var("Y")]))),
-                ))),
+            Mu::exists(
+                "X",
+                Mu::live("X").and(Mu::Query(Formula::Atom(r, vec![var("X")]))),
+            )
+            .and(sugar::ag(Mu::exists(
+                "Y",
+                Mu::live("Y").and(Mu::Query(Formula::Atom(p, vec![var("Y")]))),
+            ))),
         ),
         // A history-preserving cross-state reference: some live value is
         // eventually in R — µLA because the quantifier is guarded NOW.

@@ -62,10 +62,7 @@ fn theorem_5_6_gr_acyclicity_implies_rcycl_saturation() {
         ("flush_ladder", synthetic::flush_ladder()),
     ] {
         let df = dataflow_graph(&dcds);
-        assert!(
-            is_gr_plus_acyclic(&df),
-            "{name} should be GR(+)-acyclic"
-        );
+        assert!(is_gr_plus_acyclic(&df), "{name} should be GR(+)-acyclic");
         let res = rcycl(&dcds, 4_000);
         assert!(res.complete, "{name} should saturate");
     }

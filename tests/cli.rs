@@ -93,11 +93,7 @@ fn check_truncated_abstraction_is_inconclusive() {
 
 #[test]
 fn check_rejects_open_formulas_by_name() {
-    let (code, text) = dcds_code(&[
-        "check",
-        &spec("ping_pong.dcds"),
-        "live(X) & R(X)",
-    ]);
+    let (code, text) = dcds_code(&["check", &spec("ping_pong.dcds"), "live(X) & R(X)"]);
     assert_eq!(code, 1, "{text}");
     assert!(text.contains("error:"), "{text}");
     assert!(text.contains("not closed"), "{text}");
@@ -162,11 +158,23 @@ fn deeply_nested_formula_is_a_parse_error_not_a_crash() {
 
 #[test]
 fn abstract_and_run_and_dot_and_fmt() {
-    let (ok, text) = dcds(&["abstract", &spec("travel_request.dcds"), "--max-states", "5000"]);
+    let (ok, text) = dcds(&[
+        "abstract",
+        &spec("travel_request.dcds"),
+        "--max-states",
+        "5000",
+    ]);
     assert!(ok, "{text}");
     assert!(text.contains("complete = true"));
 
-    let (ok2, text2) = dcds(&["run", &spec("ping_pong.dcds"), "--steps", "4", "--seed", "7"]);
+    let (ok2, text2) = dcds(&[
+        "run",
+        &spec("ping_pong.dcds"),
+        "--steps",
+        "4",
+        "--seed",
+        "7",
+    ]);
     assert!(ok2, "{text2}");
     assert!(text2.contains("s4:"));
 
@@ -191,11 +199,7 @@ fn errors_are_reported() {
     let (ok2, text2) = dcds(&["frobnicate"]);
     assert!(!ok2);
     assert!(text2.contains("unknown command"));
-    let (ok3, text3) = dcds(&[
-        "check",
-        &spec("ping_pong.dcds"),
-        "nu Z . Nope(X) & [] Z",
-    ]);
+    let (ok3, text3) = dcds(&["check", &spec("ping_pong.dcds"), "nu Z . Nope(X) & [] Z"]);
     assert!(!ok3);
     assert!(text3.contains("unknown relation"), "{text3}");
 }

@@ -24,7 +24,8 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 fn det_runs(dcds: &Dcds, max_states: usize, strategy: DedupStrategy) -> Vec<DetAbstraction> {
     THREAD_COUNTS
         .into_iter()
-        .map(|threads| det_abstraction_opts(
+        .map(|threads| {
+            det_abstraction_opts(
                 dcds,
                 max_states,
                 AbsOptions {
@@ -32,7 +33,8 @@ fn det_runs(dcds: &Dcds, max_states: usize, strategy: DedupStrategy) -> Vec<DetA
                     threads,
                     eager_keys: false,
                 },
-            ))
+            )
+        })
         .collect()
 }
 

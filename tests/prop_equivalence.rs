@@ -50,9 +50,11 @@ fn arb_mu_la() -> impl Strategy<Value = Mu> {
                 let name = format!("V{v}");
                 Mu::forall(name.as_str(), Mu::live(&name).implies(f))
             }),
-            inner
-                .clone()
-                .prop_map(|f| Mu::lfp("Zp", f.diamond().or(Mu::Pvar(PredVar::new("Zp")).not().not().diamond()))),
+            inner.clone().prop_map(|f| Mu::lfp(
+                "Zp",
+                f.diamond()
+                    .or(Mu::Pvar(PredVar::new("Zp")).not().not().diamond())
+            )),
         ]
     })
 }

@@ -53,11 +53,17 @@ fn parse_analyse_abstract_verify() {
     let cases = [
         // Every triaged payload came from somewhere: in triage phase an
         // Open ticket exists.
-        ("nu Z . (Phase('triage') -> exists X . live(X) & Open(X)) & [] Z", true),
+        (
+            "nu Z . (Phase('triage') -> exists X . live(X) & Open(X)) & [] Z",
+            true,
+        ),
         // The phase cycle always returns to 'open'.
         ("nu Z . (mu Y . Phase('open') | <> Y) & [] Z", true),
         // Tickets do not survive closing: AG (Phase('open') -> no Triaged).
-        ("nu Z . (Phase('open') -> !(exists X . live(X) & Triaged(X))) & [] Z", true),
+        (
+            "nu Z . (Phase('open') -> !(exists X . live(X) & Triaged(X))) & [] Z",
+            true,
+        ),
         // A ticket payload persists from open into triage on some path —
         // true: Triage copies Open into Triaged.
         (
@@ -87,7 +93,10 @@ fn spec_errors_are_reported_with_positions() {
         rule true => a1;
     ";
     let err = parse_dcds(bad).unwrap_err();
-    assert!(err.contains("Nope"), "error should name the relation: {err}");
+    assert!(
+        err.contains("Nope"),
+        "error should name the relation: {err}"
+    );
 
     // Rule whose guard variables mismatch the action parameters.
     let bad2 = r"
