@@ -47,9 +47,10 @@
 
 use dcds_core::det::{det_step_with_pre, DetState};
 use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
-use dcds_core::par::{configured_threads, par_map, EngineCounters};
+use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{enumerate_commitments, ActionId, CommitTarget, Commitment, Dcds, StateId, Ts};
 use dcds_folang::Assignment;
+use dcds_obs::{span, Obs};
 use dcds_reldata::{CanonKey, ConstantPool, Facts, Value, PERM_BUDGET};
 use std::collections::{BTreeSet, HashMap};
 
@@ -284,6 +285,29 @@ struct StepResult {
 /// [`det_abstraction`] with explicit options. Output is identical for
 /// every `opts.threads` value (including 1); see the module docs.
 pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) -> DetAbstraction {
+    det_abstraction_traced(dcds, max_states, opts, &Obs::disabled())
+}
+
+/// [`det_abstraction_opts`] with an observability handle: an overall span,
+/// one `frontier_level` span per BFS level, frontier/dedup metrics, and
+/// rate-limited heartbeats. With a disabled handle this is exactly
+/// `det_abstraction_opts` — no clock reads, no allocation.
+///
+/// The registry is only updated from the serial phases (and from the final
+/// [`EngineCounters::publish`]), so every metric except the `*_us` timing
+/// histograms is bit-identical at every thread count.
+pub fn det_abstraction_traced(
+    dcds: &Dcds,
+    max_states: usize,
+    opts: AbsOptions,
+    obs: &Obs,
+) -> DetAbstraction {
+    let _run = span!(
+        obs,
+        "det_abstraction",
+        threads = opts.threads,
+        max_states = max_states
+    );
     let rigid = dcds.rigid_constants();
     let num_rels = dcds.data.schema.len();
     let threads = opts.threads.max(1);
@@ -309,31 +333,48 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
 
     let mut frontier: Vec<StateId> = vec![ts.initial()];
     let mut outcome = AbsOutcome::Complete;
+    let mut level = 0usize;
 
     while !frontier.is_empty() {
         counters.states_expanded += frontier.len() as u64;
+        let mut level_span = span!(
+            obs,
+            "frontier_level",
+            level = level,
+            frontier = frontier.len()
+        );
+        obs.histogram("abs.frontier_states", frontier.len() as u64);
+        obs.gauge_max("abs.max_frontier", frontier.len() as i64);
+        obs.heartbeat(|| {
+            format!(
+                "abstraction level {level}: frontier {}, {} classes total",
+                frontier.len(),
+                ts.num_states()
+            )
+        });
 
         // Phase 1 (parallel): legal assignments, pre-instances, and
         // commitments per frontier state. Nothing here touches the pool.
-        let enumerated: Vec<Vec<EnumeratedStep>> = par_map(&frontier, threads, |&sid| {
-            let state = &states[sid.index()];
-            legal_assignments(dcds, &state.instance)
-                .into_iter()
-                .map(|(action, sigma)| {
-                    let pre = do_action(dcds, &state.instance, action, &sigma);
-                    let new_calls: Vec<dcds_core::ServiceCall> = pre
-                        .calls()
-                        .into_iter()
-                        .filter(|c| !state.call_map.contains_key(c))
-                        .collect();
-                    let mut known: BTreeSet<Value> = state.known_values();
-                    known.extend(rigid.iter().copied());
-                    let known: Vec<Value> = known.into_iter().collect();
-                    let commitments = enumerate_commitments(&new_calls, &known);
-                    (action, sigma, pre, commitments)
-                })
-                .collect()
-        });
+        let enumerated: Vec<Vec<EnumeratedStep>> =
+            par_map_obs(&frontier, threads, obs, "enumerate", |&sid| {
+                let state = &states[sid.index()];
+                legal_assignments(dcds, &state.instance)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let new_calls: Vec<dcds_core::ServiceCall> = pre
+                            .calls()
+                            .into_iter()
+                            .filter(|c| !state.call_map.contains_key(c))
+                            .collect();
+                        let mut known: BTreeSet<Value> = state.known_values();
+                        known.extend(rigid.iter().copied());
+                        let known: Vec<Value> = known.into_iter().collect();
+                        let commitments = enumerate_commitments(&new_calls, &known);
+                        (action, sigma, pre, commitments)
+                    })
+                    .collect()
+            });
 
         // Phase 2 (serial, frontier order): mint the fresh cells of every
         // commitment — the exact mint sequence of the serial engine.
@@ -367,7 +408,8 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
         // encode it, and — on a signature hit against the level-start
         // index — canonicalise it eagerly so the serial merge rarely has
         // to.
-        let stepped: Vec<StepResult> = par_map(&tasks, threads, |task| {
+        let step_timer = obs.timer();
+        let stepped: Vec<StepResult> = par_map_obs(&tasks, threads, obs, "step", |task| {
             let state = &states[frontier[task.frontier_ix].index()];
             let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
                 let facts = next.to_facts(num_rels);
@@ -387,9 +429,11 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
             }
         });
         drop(tasks);
+        obs.time_us("abs.step_phase_us", step_timer);
 
         // Phase 4 (serial, task order): deduplicate, allocate ids, record
         // edges — byte-for-byte the serial engine's merge order.
+        let merge_timer = obs.timer();
         let mut next_frontier: Vec<StateId> = Vec::new();
         for result in stepped {
             let Some((next, facts, sig, mut key)) = result.next else {
@@ -400,7 +444,13 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
             if let Some(Some(_)) = &key {
                 counters.canon_keys_computed += 1;
             }
-            let next_id = match index.find(&facts, sig, &mut key, &mut counters) {
+            let found = index.find(&facts, sig, &mut key, &mut counters);
+            // A probe whose canonical-key search blew the permutation
+            // budget fell back to the backtracking matcher.
+            if matches!(key, Some(None)) {
+                obs.counter_add("abs.perm_budget_fallbacks", 1);
+            }
+            let next_id = match found {
                 Some(class_ix) => StateId::from_index(class_ix),
                 None => {
                     if ts.num_states() >= max_states {
@@ -416,8 +466,14 @@ pub fn det_abstraction_opts(dcds: &Dcds, max_states: usize, opts: AbsOptions) ->
             };
             ts.add_edge(result.source, next_id);
         }
+        obs.time_us("abs.merge_phase_us", merge_timer);
+        level_span.set("new_classes", next_frontier.len() as u64);
         frontier = next_frontier;
+        level += 1;
     }
+
+    obs.counter_add("abs.levels", level as u64);
+    counters.publish(obs, "abs");
 
     DetAbstraction {
         ts,

@@ -30,8 +30,8 @@ pub mod rcycl;
 
 pub use bounds::{observe_run_bound, observe_state_bound, BoundObservation};
 pub use det_abs::{
-    det_abstraction, det_abstraction_opts, det_abstraction_with, AbsOptions, AbsOutcome,
-    DedupStrategy, DetAbstraction,
+    det_abstraction, det_abstraction_opts, det_abstraction_traced, det_abstraction_with,
+    AbsOptions, AbsOutcome, DedupStrategy, DetAbstraction,
 };
-pub use pruning::commitment_coverage_holds;
-pub use rcycl::{rcycl, rcycl_opts, RcyclResult};
+pub use pruning::{commitment_coverage_holds, commitment_coverage_holds_traced};
+pub use rcycl::{rcycl, rcycl_opts, rcycl_traced, RcyclResult};

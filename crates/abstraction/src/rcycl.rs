@@ -28,8 +28,9 @@
 
 use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
 use dcds_core::nondet::{evals_over, nondet_step_with_pre};
-use dcds_core::par::{configured_threads, par_map, EngineCounters};
+use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{Dcds, StateId, Ts};
+use dcds_obs::{span, Obs};
 use dcds_reldata::{ConstantPool, Instance, Value};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -80,7 +81,15 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
 /// out with [`par_map`] and merged serially in enumeration order, so the
 /// pruning, `UsedValues`, and the pool match the serial run exactly.
 pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult {
+    rcycl_traced(dcds, max_states, threads, &Obs::disabled())
+}
+
+/// [`rcycl_opts`] with an observability handle: one span per dequeued
+/// state, θ-fan-out metrics, and rate-limited heartbeats. A disabled
+/// handle makes this exactly `rcycl_opts`.
+pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -> RcyclResult {
     const MAX_EVALS_PER_STEP: f64 = 20_000.0;
+    let _run = span!(obs, "rcycl", threads = threads, max_states = max_states);
     let rigid = dcds.rigid_constants();
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
@@ -107,13 +116,24 @@ pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult
             continue;
         }
         counters.states_expanded += 1;
+        let mut state_span = span!(obs, "rcycl_state", queue = queue.len());
+        obs.heartbeat(|| {
+            format!(
+                "rcycl: {} states, {} queued, {} triples processed",
+                ts.num_states(),
+                queue.len(),
+                triples
+            )
+        });
         let inst = ts.db(sid).clone();
         // `DO(I, ασ)` depends only on the state, not on `UsedValues`:
         // precompute every triple's pre-instance in parallel.
         let triples_for_state = legal_assignments(dcds, &inst);
-        let pres: Vec<PreInstance> = par_map(&triples_for_state, threads, |(action, sigma)| {
-            do_action(dcds, &inst, *action, sigma)
-        });
+        let pres: Vec<PreInstance> =
+            par_map_obs(&triples_for_state, threads, obs, "do", |(action, sigma)| {
+                do_action(dcds, &inst, *action, sigma)
+            });
+        state_span.set("triples", pres.len() as u64);
         for pre in &pres {
             triples += 1;
             let calls = pre.calls();
@@ -137,14 +157,17 @@ pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult
             f_set.extend(v_set.iter().copied());
             if (f_set.len() as f64).powi(n as i32) > MAX_EVALS_PER_STEP {
                 complete = false;
+                obs.counter_add("rcycl.eval_budget_skips", 1);
                 continue;
             }
             // The θ fan-out: independent evaluations of one pre-instance,
             // merged below in enumeration order.
             let thetas = evals_over(&calls, &f_set);
-            let nexts: Vec<Option<Instance>> = par_map(&thetas, threads, |theta| {
-                nondet_step_with_pre(dcds, pre, theta)
-            });
+            obs.histogram("rcycl.theta_fanout", thetas.len() as u64);
+            let nexts: Vec<Option<Instance>> =
+                par_map_obs(&thetas, threads, obs, "theta", |theta| {
+                    nondet_step_with_pre(dcds, pre, theta)
+                });
             for next in nexts.into_iter().flatten() {
                 counters.successors_generated += 1;
                 let next_id = match index.get(&next) {
@@ -165,6 +188,10 @@ pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult
             }
         }
     }
+
+    obs.counter_add("rcycl.triples_processed", triples as u64);
+    obs.gauge_max("rcycl.used_values", used_values.len() as i64);
+    counters.publish(obs, "rcycl");
 
     RcyclResult {
         ts,

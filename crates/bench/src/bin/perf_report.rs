@@ -24,12 +24,15 @@
 //!
 //! Usage: `cargo run --release --bin perf_report [-- --reps N]`
 
-use dcds_abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, DedupStrategy};
+use dcds_abstraction::{
+    det_abstraction_opts, det_abstraction_traced, rcycl_opts, AbsOptions, DedupStrategy,
+};
 use dcds_bench::{examples, synthetic, travel};
-use dcds_core::{Dcds, Ts};
+use dcds_core::{Dcds, EngineCounters, Ts};
 use dcds_folang::{Formula, QTerm};
 use dcds_mucalc::mc::{eval, Valuation};
 use dcds_mucalc::{eval_with_opts, sugar, McCounters, McOptions, Mu};
+use dcds_obs::{Obs, ObsConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -66,11 +69,14 @@ struct Workload {
     eager_secs: Option<f64>,
     /// lazy seconds at 1 thread (denominator partner of `eager_secs`).
     lazy_secs: Option<f64>,
+    /// Engine counters (thread-independent; taken from the last run).
+    counters: EngineCounters,
 }
 
 fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
     let mut runs = Vec::new();
     let mut sig_hit_rate = None;
+    let mut counters = EngineCounters::default();
     for threads in THREAD_COUNTS {
         let (secs, abs) = time_best(reps, || {
             det_abstraction_opts(
@@ -84,6 +90,7 @@ fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) ->
             )
         });
         sig_hit_rate = abs.counters.sig_hit_rate();
+        counters = abs.counters;
         runs.push(ThreadRun {
             threads,
             secs,
@@ -109,13 +116,16 @@ fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) ->
         runs,
         sig_hit_rate,
         eager_secs: Some(eager_secs),
+        counters,
     }
 }
 
 fn bench_rcycl(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
     let mut runs = Vec::new();
+    let mut counters = EngineCounters::default();
     for threads in THREAD_COUNTS {
         let (secs, res) = time_best(reps, || rcycl_opts(dcds, max_states, threads));
+        counters = res.counters;
         runs.push(ThreadRun {
             threads,
             secs,
@@ -130,6 +140,7 @@ fn bench_rcycl(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) 
         sig_hit_rate: None,
         eager_secs: None,
         lazy_secs: None,
+        counters,
     }
 }
 
@@ -330,6 +341,18 @@ fn main() {
         }
     }
 
+    // One instrumented run so the artifact carries a full metrics snapshot
+    // (registry counters, gauges, and non-timing histograms) next to the
+    // wall-clock numbers.
+    let obs = Obs::enabled(ObsConfig::default());
+    let _ = det_abstraction_traced(
+        &synthetic::service_cycle(6),
+        1500,
+        AbsOptions::default(),
+        &obs,
+    );
+    let snapshot = obs.finish().expect("obs enabled").metrics;
+
     // JSON artifact.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"abstraction-parallel\",");
@@ -368,19 +391,21 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"fast_path_speedup_1_thread\": {}",
+            "      \"fast_path_speedup_1_thread\": {},",
             match (w.eager_secs, w.lazy_secs) {
                 (Some(e), Some(l)) => json_f64(e / l),
                 _ => "null".into(),
             }
         );
+        let _ = writeln!(json, "      \"counters\": {}", w.counters.to_json());
         let _ = writeln!(
             json,
             "    }}{}",
             if wi + 1 < workloads.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
     std::fs::write("BENCH_abstraction.json", &json).expect("write BENCH_abstraction.json");
     println!("\nwrote BENCH_abstraction.json");
@@ -451,18 +476,7 @@ fn main() {
                 .map(json_f64)
                 .unwrap_or_else(|| "null".into())
         );
-        let _ = writeln!(json, "      \"cache_hits\": {},", w.counters.cache_hits);
-        let _ = writeln!(json, "      \"cache_misses\": {},", w.counters.cache_misses);
-        let _ = writeln!(
-            json,
-            "      \"query_state_evals\": {},",
-            w.counters.query_state_evals
-        );
-        let _ = writeln!(
-            json,
-            "      \"fixpoint_iterations\": {}",
-            w.counters.fixpoint_iterations
-        );
+        let _ = writeln!(json, "      \"counters\": {}", w.counters.to_json());
         let _ = writeln!(
             json,
             "    }}{}",

@@ -17,9 +17,10 @@ use crate::dcds::Dcds;
 use crate::det::{det_step_with_pre, DetState};
 use crate::do_op::{do_action, legal_assignments, PreInstance};
 use crate::nondet::nondet_step_with_pre;
-use crate::par::{configured_threads, par_map};
+use crate::par::{configured_threads, par_map_obs};
 use crate::term::ServiceCall;
 use crate::ts::{StateId, Ts};
+use dcds_obs::{span, Obs};
 use dcds_reldata::{ConstantPool, Instance, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -194,6 +195,20 @@ pub fn explore_det_opts(
     oracle: &mut dyn ValueOracle,
     threads: usize,
 ) -> DetExploration {
+    explore_det_traced(dcds, limits, oracle, threads, &Obs::disabled())
+}
+
+/// [`explore_det_opts`] with an observability handle: per-level spans,
+/// frontier-size metrics, and rate-limited heartbeats. A disabled handle
+/// makes this exactly `explore_det_opts`.
+pub fn explore_det_traced(
+    dcds: &Dcds,
+    limits: Limits,
+    oracle: &mut dyn ValueOracle,
+    threads: usize,
+    obs: &Obs,
+) -> DetExploration {
+    let _run = span!(obs, "explore_det", threads = threads);
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
@@ -213,24 +228,35 @@ pub fn explore_det_opts(
             outcome = ExploreOutcome::Truncated;
             break;
         }
+        let mut level_span = span!(obs, "explore_level", depth = depth, frontier = level.len());
+        obs.histogram("explore.frontier_states", level.len() as u64);
+        obs.gauge_max("explore.max_frontier", level.len() as i64);
+        obs.heartbeat(|| {
+            format!(
+                "explore depth {depth}: frontier {}, {} states total",
+                level.len(),
+                ts.num_states()
+            )
+        });
         // Phase 1 (parallel): `DO` and the not-yet-mapped calls per
         // `(state, ασ)` — pure queries, no pool access.
-        let enumerated: Vec<Vec<Enumerated>> = par_map(&level, threads, |(_, state)| {
-            legal_assignments(dcds, &state.instance)
-                .into_iter()
-                .map(|(action, sigma)| {
-                    let pre = do_action(dcds, &state.instance, action, &sigma);
-                    let new_calls: BTreeSet<ServiceCall> = pre
-                        .calls()
-                        .into_iter()
-                        .filter(|c| !state.call_map.contains_key(c))
-                        .collect();
-                    let mut known = state.known_values();
-                    known.extend(rigid.iter().copied());
-                    (pre, new_calls, known)
-                })
-                .collect()
-        });
+        let enumerated: Vec<Vec<Enumerated>> =
+            par_map_obs(&level, threads, obs, "enumerate", |(_, state)| {
+                legal_assignments(dcds, &state.instance)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let new_calls: BTreeSet<ServiceCall> = pre
+                            .calls()
+                            .into_iter()
+                            .filter(|c| !state.call_map.contains_key(c))
+                            .collect();
+                        let mut known = state.known_values();
+                        known.extend(rigid.iter().copied());
+                        (pre, new_calls, known)
+                    })
+                    .collect()
+            });
         // Phase 2 (serial): the oracle, in the serial invocation order.
         let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
         for (state_ix, per_state) in enumerated.iter().enumerate() {
@@ -242,7 +268,7 @@ pub fn explore_det_opts(
         }
         // Phase 3 (parallel): one step per θ.
         let stepped: Vec<Option<DetState>> =
-            par_map(&tasks, threads, |(state_ix, pre_ix, theta)| {
+            par_map_obs(&tasks, threads, obs, "step", |(state_ix, pre_ix, theta)| {
                 let (_, state) = &level[*state_ix];
                 let (pre, _, _) = &enumerated[*state_ix][*pre_ix];
                 det_step_with_pre(dcds, state, pre, theta)
@@ -268,9 +294,13 @@ pub fn explore_det_opts(
             };
             ts.add_edge(sid, next_id);
         }
+        obs.counter_add("explore.states_expanded", level.len() as u64);
+        obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
+        level_span.set("new_states", next_level.len() as u64);
         level = next_level;
         depth += 1;
     }
+    obs.counter_add("explore.levels", depth as u64);
     DetExploration {
         ts,
         call_maps,
@@ -297,6 +327,19 @@ pub fn explore_nondet_opts(
     oracle: &mut dyn ValueOracle,
     threads: usize,
 ) -> NondetExploration {
+    explore_nondet_traced(dcds, limits, oracle, threads, &Obs::disabled())
+}
+
+/// [`explore_nondet_opts`] with an observability handle; same contract as
+/// [`explore_det_traced`].
+pub fn explore_nondet_traced(
+    dcds: &Dcds,
+    limits: Limits,
+    oracle: &mut dyn ValueOracle,
+    threads: usize,
+    obs: &Obs,
+) -> NondetExploration {
+    let _run = span!(obs, "explore_nondet", threads = threads);
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
@@ -312,18 +355,29 @@ pub fn explore_nondet_opts(
             outcome = ExploreOutcome::Truncated;
             break;
         }
-        let enumerated: Vec<Vec<Enumerated>> = par_map(&level, threads, |(_, inst)| {
-            legal_assignments(dcds, inst)
-                .into_iter()
-                .map(|(action, sigma)| {
-                    let pre = do_action(dcds, inst, action, &sigma);
-                    let calls = pre.calls();
-                    let mut known = inst.active_domain();
-                    known.extend(rigid.iter().copied());
-                    (pre, calls, known)
-                })
-                .collect()
+        let mut level_span = span!(obs, "explore_level", depth = depth, frontier = level.len());
+        obs.histogram("explore.frontier_states", level.len() as u64);
+        obs.gauge_max("explore.max_frontier", level.len() as i64);
+        obs.heartbeat(|| {
+            format!(
+                "explore depth {depth}: frontier {}, {} states total",
+                level.len(),
+                ts.num_states()
+            )
         });
+        let enumerated: Vec<Vec<Enumerated>> =
+            par_map_obs(&level, threads, obs, "enumerate", |(_, inst)| {
+                legal_assignments(dcds, inst)
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action(dcds, inst, action, &sigma);
+                        let calls = pre.calls();
+                        let mut known = inst.active_domain();
+                        known.extend(rigid.iter().copied());
+                        (pre, calls, known)
+                    })
+                    .collect()
+            });
         let mut tasks: Vec<(usize, usize, BTreeMap<ServiceCall, Value>)> = Vec::new();
         for (state_ix, per_state) in enumerated.iter().enumerate() {
             for (pre_ix, (_, calls, known)) in per_state.iter().enumerate() {
@@ -333,7 +387,7 @@ pub fn explore_nondet_opts(
             }
         }
         let stepped: Vec<Option<Instance>> =
-            par_map(&tasks, threads, |(state_ix, pre_ix, theta)| {
+            par_map_obs(&tasks, threads, obs, "step", |(state_ix, pre_ix, theta)| {
                 let (pre, _, _) = &enumerated[*state_ix][*pre_ix];
                 nondet_step_with_pre(dcds, pre, theta)
             });
@@ -356,9 +410,13 @@ pub fn explore_nondet_opts(
             };
             ts.add_edge(sid, next_id);
         }
+        obs.counter_add("explore.states_expanded", level.len() as u64);
+        obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
+        level_span.set("new_states", next_level.len() as u64);
         level = next_level;
         depth += 1;
     }
+    obs.counter_add("explore.levels", depth as u64);
     NondetExploration { ts, outcome, pool }
 }
 

@@ -57,9 +57,10 @@ pub use det::DetState;
 pub use display::{to_spec, DcdsDisplay};
 pub use do_op::{do_action, legal_assignments, PreInstance};
 pub use explore::{
-    explore_det, explore_det_opts, explore_nondet, explore_nondet_opts, ExploreOutcome, Limits,
+    explore_det, explore_det_opts, explore_det_traced, explore_nondet, explore_nondet_opts,
+    explore_nondet_traced, ExploreOutcome, Limits,
 };
-pub use par::{configured_threads, par_map, par_map_with, EngineCounters};
+pub use par::{configured_threads, par_map, par_map_obs, par_map_with, EngineCounters};
 pub use parser::parse_dcds;
 pub use process::{CaRule, FsProcess, ProcessLayer};
 pub use runner::{AnswerPolicy, Runner, StepRecord};

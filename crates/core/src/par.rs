@@ -21,6 +21,7 @@
 //! to a plain serial loop in the calling thread — the "serial engine" the
 //! ablation benchmarks compare against is literally that path.
 
+use dcds_obs::{span, Obs};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the default worker count.
@@ -62,6 +63,34 @@ where
     F: Fn(&T) -> R + Sync,
 {
     par_map_with(items, threads, || (), move |(), item| f(item))
+}
+
+/// [`par_map`] with a span wrapping each worker's whole loop, recorded on
+/// the worker's own thread — which is what maps worker threads to distinct
+/// tids in the Chrome-trace export. With a disabled handle this is exactly
+/// [`par_map`]; results are identical either way.
+pub fn par_map_obs<T, R, F>(
+    items: &[T],
+    threads: usize,
+    obs: &Obs,
+    name: &'static str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if !obs.is_enabled() {
+        return par_map(items, threads, f);
+    }
+    let n = items.len();
+    par_map_with(
+        items,
+        threads,
+        || span!(obs, name, items = n),
+        move |_worker_span, item| f(item),
+    )
 }
 
 /// [`par_map`] with per-worker scratch state: `init` runs once on each
@@ -150,6 +179,44 @@ pub struct EngineCounters {
 }
 
 impl EngineCounters {
+    /// The counters as `(name, value)` pairs — single source of truth for
+    /// [`EngineCounters::to_json`] and [`EngineCounters::publish`].
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("states_expanded", self.states_expanded),
+            ("successors_generated", self.successors_generated),
+            ("canon_keys_computed", self.canon_keys_computed),
+            ("sig_filter_skips", self.sig_filter_skips),
+            ("iso_checks_avoided", self.iso_checks_avoided),
+            ("iso_checks_performed", self.iso_checks_performed),
+        ]
+    }
+
+    /// Serde-free JSON object, e.g. `{"states_expanded":12,...}` — for
+    /// machine consumers (`dcds abstract|check --format json`,
+    /// `perf_report`) that previously had to parse the `Display` string.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .entries()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Publish every counter into the observability registry under
+    /// `<prefix>.<name>`, unifying the engine-local struct with the
+    /// registry story. Called from serial code, so the registry stays
+    /// thread-count deterministic.
+    pub fn publish(&self, obs: &Obs, prefix: &str) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for (k, v) in self.entries() {
+            obs.counter_add(format!("{prefix}.{k}"), v);
+        }
+    }
+
     /// Fraction of dedup probes the signature fast path resolved without
     /// exact work, in `[0, 1]`; `None` when there were no probes.
     pub fn sig_hit_rate(&self) -> Option<f64> {

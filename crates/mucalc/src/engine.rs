@@ -32,6 +32,7 @@ use crate::mc::Valuation;
 use dcds_core::par::par_map;
 use dcds_core::{StateId, Ts};
 use dcds_folang::{holds, Assignment, QTerm, Var};
+use dcds_obs::{span, Obs};
 use dcds_reldata::Value;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -113,6 +114,40 @@ pub struct McCounters {
 }
 
 impl McCounters {
+    /// The counters as `(name, value)` pairs — single source of truth for
+    /// [`McCounters::to_json`] and [`McCounters::publish`].
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("query_state_evals", self.query_state_evals),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("fixpoint_iterations", self.fixpoint_iterations),
+            ("state_subformula_visits", self.state_subformula_visits),
+        ]
+    }
+
+    /// Serde-free JSON object, e.g. `{"query_state_evals":42,...}` — used
+    /// by `dcds check --format json`.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .entries()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Publish every counter into the observability registry under
+    /// `<prefix>.<name>`. Called from serial code only.
+    pub fn publish(&self, obs: &Obs, prefix: &str) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for (k, v) in self.entries() {
+            obs.counter_add(format!("{prefix}.{k}"), v);
+        }
+    }
+
     /// Fraction of cacheable extension requests answered from the cache,
     /// in `[0, 1]`; `None` when there were no cacheable requests.
     pub fn cache_hit_rate(&self) -> Option<f64> {
@@ -154,6 +189,14 @@ pub struct McRun {
 /// Model-check a **closed** formula with the staged engine, returning the
 /// verdict, the extension, and the run counters.
 pub fn check_with_opts(f: &Mu, ts: &Ts, opts: McOptions) -> Result<McRun, CheckError> {
+    check_traced(f, ts, opts, &Obs::disabled())
+}
+
+/// [`check_with_opts`] with an observability handle: an overall `mc_check`
+/// span, one span per fixpoint evaluation, iteration heartbeats, and the
+/// run counters published under `mc.*`. A disabled handle makes this
+/// exactly `check_with_opts`.
+pub fn check_traced(f: &Mu, ts: &Ts, opts: McOptions, obs: &Obs) -> Result<McRun, CheckError> {
     let free = f.free_vars();
     if !free.is_empty() {
         return Err(CheckError::FreeIndividuals(free.into_iter().collect()));
@@ -162,7 +205,7 @@ pub fn check_with_opts(f: &Mu, ts: &Ts, opts: McOptions) -> Result<McRun, CheckE
     if !free_preds.is_empty() {
         return Err(CheckError::FreePredicates(free_preds.into_iter().collect()));
     }
-    let (extension, counters) = eval_with_opts(f, ts, &mut Valuation::default(), opts);
+    let (extension, counters) = eval_traced(f, ts, &mut Valuation::default(), opts, obs);
     Ok(McRun {
         holds: extension.contains(&ts.initial()),
         extension,
@@ -179,6 +222,23 @@ pub fn eval_with_opts(
     val: &mut Valuation,
     opts: McOptions,
 ) -> (BTreeSet<StateId>, McCounters) {
+    eval_traced(f, ts, val, opts, &Obs::disabled())
+}
+
+/// [`eval_with_opts`] with an observability handle.
+pub fn eval_traced(
+    f: &Mu,
+    ts: &Ts,
+    val: &mut Valuation,
+    opts: McOptions,
+    obs: &Obs,
+) -> (BTreeSet<StateId>, McCounters) {
+    let mut run_span = span!(
+        obs,
+        "mc_eval",
+        states = ts.num_states(),
+        threads = opts.threads
+    );
     let mut infos = Vec::new();
     index(f, &mut infos);
     let states: Vec<StateId> = ts.state_ids().collect();
@@ -197,8 +257,11 @@ pub fn eval_with_opts(
         threads: opts.threads.max(1),
         cache: HashMap::new(),
         counters: McCounters::default(),
+        obs: obs.clone(),
     };
     let ext = engine.eval_node(f, 0, val);
+    run_span.set("extension", ext.len() as u64);
+    engine.counters.publish(obs, "mc");
     (ext, engine.counters)
 }
 
@@ -254,6 +317,7 @@ struct Engine<'a> {
     threads: usize,
     cache: HashMap<CacheKey, BTreeSet<StateId>>,
     counters: McCounters,
+    obs: Obs,
 }
 
 impl Engine<'_> {
@@ -400,33 +464,55 @@ impl Engine<'_> {
             Mu::Pvar(z) => val.predicates.get(z).cloned().unwrap_or_default(),
             Mu::Lfp(z, g) => {
                 let kid = self.kid1(id);
+                let mut fp_span = span!(self.obs, "lfp", node = id);
                 let saved = val.predicates.insert(z.clone(), BTreeSet::new());
                 let mut current = BTreeSet::new();
+                let mut iters = 0u64;
                 loop {
                     val.predicates.insert(z.clone(), current.clone());
                     self.counters.fixpoint_iterations += 1;
+                    iters += 1;
+                    self.obs.heartbeat(|| {
+                        format!(
+                            "mc lfp node {id}: iteration {iters}, |ext| = {}",
+                            current.len()
+                        )
+                    });
                     let next = self.eval_node(g, kid, val);
                     if next == current {
                         break;
                     }
                     current = next;
                 }
+                fp_span.set("iterations", iters);
+                fp_span.set("extension", current.len() as u64);
                 restore_pred(val, z, saved);
                 current
             }
             Mu::Gfp(z, g) => {
                 let kid = self.kid1(id);
+                let mut fp_span = span!(self.obs, "gfp", node = id);
                 let saved = val.predicates.insert(z.clone(), self.all.clone());
                 let mut current = self.all.clone();
+                let mut iters = 0u64;
                 loop {
                     val.predicates.insert(z.clone(), current.clone());
                     self.counters.fixpoint_iterations += 1;
+                    iters += 1;
+                    self.obs.heartbeat(|| {
+                        format!(
+                            "mc gfp node {id}: iteration {iters}, |ext| = {}",
+                            current.len()
+                        )
+                    });
                     let next = self.eval_node(g, kid, val);
                     if next == current {
                         break;
                     }
                     current = next;
                 }
+                fp_span.set("iterations", iters);
+                fp_span.set("extension", current.len() as u64);
                 restore_pred(val, z, saved);
                 current
             }

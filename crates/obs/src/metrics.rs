@@ -1,0 +1,276 @@
+//! Metrics registry: named counters, high-water gauges, and fixed-bucket
+//! histograms.
+//!
+//! The registry is the *one counter story* for the stack: engine-local
+//! structs (`EngineCounters`, `McCounters`) publish their fields here at
+//! the end of a run, and engines additionally record distribution metrics
+//! (frontier size per level, θ fan-out, canonical-key time) directly.
+//!
+//! # Determinism contract
+//!
+//! Engines update the registry only from their serial phases, so every
+//! counter, gauge, and histogram is bit-identical at every thread count —
+//! **except** histograms whose name ends in `_us`, which hold wall-clock
+//! measurements and are excluded by convention.
+//! [`MetricsSnapshot::deterministic_histograms`] applies that filter.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// Bucket upper bounds shared by every histogram: powers of two. A value
+/// `v` lands in the first bucket with `v <= bound`; larger values land in
+/// the overflow bucket.
+pub const BUCKET_BOUNDS: [u64; 20] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 262144,
+    1048576, 16777216,
+];
+
+/// A fixed-bucket histogram with exact count/sum/min/max sidecars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts; `counts[i]` counts values `<= BUCKET_BOUNDS[i]`
+    /// (and greater than the previous bound). The final slot is overflow.
+    pub counts: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u128,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let ix = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[ix] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the recorded values; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// The mutable registry behind an enabled `Obs`.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    gauges: BTreeMap<Cow<'static, str>, i64>,
+    histograms: BTreeMap<Cow<'static, str>, Histogram>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&mut self, name: Cow<'static, str>, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_max(&mut self, name: Cow<'static, str>, value: i64) {
+        let g = self.gauges.entry(name).or_insert(i64::MIN);
+        *g = (*g).max(value);
+    }
+
+    pub(crate) fn histogram_record(&mut self, name: Cow<'static, str>, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable copy of the registry, as handed out by `Obs::finish`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// All histograms, by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The histograms covered by the thread-count determinism contract —
+    /// everything except the wall-clock `*_us` timing histograms.
+    pub fn deterministic_histograms(&self) -> BTreeMap<&str, &Histogram> {
+        self.histograms
+            .iter()
+            .filter(|(name, _)| !name.ends_with("_us"))
+            .map(|(name, h)| (name.as_str(), h))
+            .collect()
+    }
+
+    /// Is there anything to report?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render the snapshot as one JSON object (serde-free):
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    /// Histograms carry `count`, `sum`, `min`, `max`, `mean`, and the
+    /// non-zero buckets as `[upper_bound_or_null, count]` pairs.
+    pub fn to_json(&self) -> String {
+        use crate::export::json_escape;
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{v}",
+                if i > 0 { "," } else { "" },
+                json_escape(k)
+            );
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{v}",
+                if i > 0 { "," } else { "" },
+                json_escape(k)
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+                if i > 0 { "," } else { "" },
+                json_escape(k),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                h.mean()
+                    .map(|m| format!("{m:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+            );
+            let mut first = true;
+            for (ix, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let bound = BUCKET_BOUNDS
+                    .get(ix)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "null".into());
+                let _ = write!(out, "{}[{bound},{c}]", if first { "" } else { "," });
+                first = false;
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000, 20_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 20_000_000);
+        assert_eq!(h.sum, 20_001_006);
+        // 0 and 1 share the `<= 1` bucket; 2 its own; 3 in `<= 4`;
+        // 1000 in `<= 1024`; 20M in overflow.
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(h.counts[10], 1);
+        assert_eq!(h.counts[BUCKET_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let mut r = Registry::default();
+        r.counter_add("abs.states".into(), 42);
+        r.gauge_max("abs.max_frontier".into(), 7);
+        r.histogram_record("abs.frontier_states".into(), 3);
+        r.histogram_record("abs.canon_key_us".into(), 120);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"abs.states\":42"));
+        assert!(json.contains("\"abs.max_frontier\":7"));
+        assert!(json.contains("\"abs.frontier_states\":{\"count\":1"));
+        assert!(json.ends_with("}}"));
+        // The timing histogram is excluded from the deterministic view.
+        let det = snap.deterministic_histograms();
+        assert!(det.contains_key("abs.frontier_states"));
+        assert!(!det.contains_key("abs.canon_key_us"));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = Registry::default().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+}

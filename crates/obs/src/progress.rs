@@ -1,0 +1,112 @@
+//! Live progress heartbeats: interval parsing and the rate limiter.
+//!
+//! Heartbeats are off by default and enabled by `DCDS_PROGRESS=<interval>`
+//! (see [`crate::PROGRESS_ENV`]): `1s`, `500ms`, or a bare number of
+//! seconds. The engines call `Obs::heartbeat` at their natural cadence
+//! (every BFS level, every RCYCL state, every fixpoint iteration); the
+//! [`RateLimiter`] here decides which of those calls actually print.
+
+use std::time::{Duration, Instant};
+
+/// Parse a heartbeat interval: `"250ms"`, `"2s"`, or a bare `"2"`
+/// (seconds). Returns `None` for unparsable or zero intervals.
+pub fn parse_interval(s: &str) -> Option<Duration> {
+    let s = s.trim();
+    let (digits, unit_ms) = if let Some(rest) = s.strip_suffix("ms") {
+        (rest, 1u64)
+    } else if let Some(rest) = s.strip_suffix('s') {
+        (rest, 1000u64)
+    } else {
+        (s, 1000u64)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    let ms = n.checked_mul(unit_ms)?;
+    if ms == 0 {
+        None
+    } else {
+        Some(Duration::from_millis(ms))
+    }
+}
+
+/// Emit-at-most-once-per-interval limiter. Pure over an explicit `now` so
+/// the rate-limiting logic is unit-testable without sleeping.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    interval: Duration,
+    last: Option<Instant>,
+}
+
+impl RateLimiter {
+    /// A limiter that fires at most once per `interval`. The first call to
+    /// [`RateLimiter::ready`] only *arms* the limiter — a heartbeat right
+    /// at process start would always print, making short runs noisy.
+    pub fn new(interval: Duration) -> Self {
+        RateLimiter {
+            interval,
+            last: None,
+        }
+    }
+
+    /// Should an event at time `now` be emitted? Advances the window when
+    /// it returns `true`.
+    pub fn ready(&mut self, now: Instant) -> bool {
+        match self.last {
+            None => {
+                self.last = Some(now);
+                false
+            }
+            Some(last) => {
+                if now.duration_since(last) >= self.interval {
+                    self.last = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_intervals() {
+        assert_eq!(parse_interval("1s"), Some(Duration::from_secs(1)));
+        assert_eq!(parse_interval("250ms"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_interval("2"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_interval(" 3s "), Some(Duration::from_secs(3)));
+        assert_eq!(parse_interval("0"), None);
+        assert_eq!(parse_interval("0ms"), None);
+        assert_eq!(parse_interval("fast"), None);
+        assert_eq!(parse_interval(""), None);
+    }
+
+    #[test]
+    fn rate_limiting_is_at_most_once_per_interval() {
+        let mut rl = RateLimiter::new(Duration::from_millis(100));
+        let t0 = Instant::now();
+        // 1kHz of events over one simulated second: at most 10 fire, and
+        // the first call only arms the limiter.
+        let mut fired = 0;
+        for i in 0..1000 {
+            if rl.ready(t0 + Duration::from_millis(i)) {
+                fired += 1;
+            }
+        }
+        assert!(fired <= 10, "{fired} heartbeats in 1s at 100ms interval");
+        assert!(fired >= 9, "{fired} heartbeats in 1s at 100ms interval");
+    }
+
+    #[test]
+    fn first_event_arms_not_fires() {
+        let mut rl = RateLimiter::new(Duration::from_secs(1));
+        let t0 = Instant::now();
+        assert!(!rl.ready(t0));
+        assert!(!rl.ready(t0 + Duration::from_millis(10)));
+        assert!(rl.ready(t0 + Duration::from_secs(2)));
+        // Window advanced: immediately after firing, quiet again.
+        assert!(!rl.ready(t0 + Duration::from_secs(2) + Duration::from_millis(1)));
+    }
+}

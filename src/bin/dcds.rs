@@ -1,24 +1,39 @@
 //! `dcds` — command-line front end for the DCDS verification stack.
 //!
 //! ```text
-//! dcds analyze  <spec.dcds>                     static analysis verdicts
-//! dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
-//!                                               build the finite abstraction
-//!                                               (threads default to DCDS_THREADS
-//!                                               or the machine's parallelism)
-//! dcds check    <spec.dcds> <formula> [--max-states N] [--threads N] [--trace]
-//!                                               model-check a µ-calculus property
+//! dcds analyze  <spec.dcds> [obs flags]          static analysis verdicts
+//! dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot] [obs flags]
+//!                                                build the finite abstraction
+//!                                                (threads default to DCDS_THREADS
+//!                                                or the machine's parallelism)
+//! dcds check    <spec.dcds> <formula> [--max-states N] [--threads N]
+//!               [--witness] [--format text|json] [obs flags]
+//!                                                model-check a µ-calculus property
 //! dcds run      <spec.dcds> [--steps N] [--seed S]
-//!                                               simulate the system
+//!                                                simulate the system
 //! dcds dot      <spec.dcds> [--graph dataflow|depgraph]
-//!                                               emit Graphviz
-//! dcds fmt      <spec.dcds>                     parse and pretty-print back
-//! dcds lint     <spec.dcds> [--deny warnings] [--format text|json]
-//!                                               multi-pass spec diagnostics
+//!                                                emit Graphviz
+//! dcds fmt      <spec.dcds>                      parse and pretty-print back
+//! dcds lint     <spec.dcds> [--deny warnings] [--format text|json] [obs flags]
+//!                                                multi-pass spec diagnostics
 //! ```
+//!
+//! The observability flags (`abstract`, `check`, `analyze`, `lint`):
+//! `--trace <file>` writes a Chrome `trace_event` JSON openable in Perfetto
+//! or `chrome://tracing`; `--stats` prints a span/metric summary to stderr;
+//! `--metrics-json <file|->` writes the metrics snapshot as JSON (`-` =
+//! stdout). `DCDS_PROGRESS=<interval>` (e.g. `1s`, `500ms`) additionally
+//! enables rate-limited live heartbeats on stderr.
 //!
 //! Specs are in the textual format of `dcds_core::parser`; formulas in the
 //! µ-calculus surface syntax of `dcds_mucalc::parser`.
+//!
+//! ## Output streams
+//!
+//! Machine-consumable results (verdicts, abstractions, JSON) go to stdout;
+//! human-only diagnostics — witnesses, engine statistics, truncation
+//! warnings, heartbeats — go to stderr, so `dcds ... > out.txt` captures
+//! the result without the commentary.
 //!
 //! ## Exit codes (`dcds check`)
 //!
@@ -37,15 +52,17 @@
 //! syntax error itself is reported as a `DCDS000` diagnostic in the
 //! selected format).
 
-use dcds_verify::abstraction::{det_abstraction_opts, rcycl_opts, AbsOptions, AbsOutcome};
+use dcds_verify::abstraction::{det_abstraction_traced, rcycl_traced, AbsOptions, AbsOutcome};
 use dcds_verify::analysis::{
     dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity, is_weakly_acyclic,
     position_ranks, render_dep_cycle, run_bound_estimate, state_bound_estimate, weak_cycle_witness,
 };
+use dcds_verify::cli::{flag_value, has_flag, threads_flag, ObsCli};
 use dcds_verify::core::{configured_threads, EngineCounters};
 use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
 use dcds_verify::lint::{codes, lint_spec, render_json, render_text, Diagnostic};
-use dcds_verify::mucalc::{check_with_opts, classify, diagnostics, parse_mu, McOptions};
+use dcds_verify::mucalc::{check_traced, classify, diagnostics, parse_mu, McOptions};
+use dcds_verify::obs::{export::json_escape, span, Obs};
 use dcds_verify::reldata::{ConstantPool, InstanceDisplay};
 use std::process::ExitCode;
 
@@ -70,28 +87,37 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dcds analyze  <spec.dcds>
+  dcds analyze  <spec.dcds> [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
-  dcds check    <spec.dcds> <formula> [--max-states N] [--threads N] [--trace]
+                [--trace FILE] [--stats] [--metrics-json FILE|-]
+  dcds check    <spec.dcds> <formula> [--max-states N] [--threads N]
+                [--witness] [--format text|json]
+                [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
   dcds fmt      <spec.dcds>
   dcds lint     <spec.dcds> [--deny warnings] [--format text|json]
+                [--trace FILE] [--stats] [--metrics-json FILE|-]
 
 `dcds check` exits 0 when the property holds, 1 when it is violated, and
 2 when the verdict is inconclusive (state budget hit).
 `dcds lint` exits 0 when the spec is clean, 1 on errors (or warnings under
---deny warnings), and 2 when the spec cannot be parsed.";
+--deny warnings), and 2 when the spec cannot be parsed.
+Set DCDS_PROGRESS=1s (or 500ms, ...) for live heartbeats on stderr.";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
-        "analyze" => analyze(args.get(1).ok_or("missing spec path")?),
+        "analyze" => analyze(
+            args.get(1).ok_or("missing spec path")?,
+            &ObsCli::parse(args)?,
+        ),
         "abstract" => do_abstract(
             args.get(1).ok_or("missing spec path")?,
             flag_value(args, "--max-states")?.unwrap_or(10_000),
             threads_flag(args)?.unwrap_or_else(configured_threads),
-            args.iter().any(|a| a == "--dot"),
+            has_flag(args, "--dot"),
+            &ObsCli::parse(args)?,
         ),
         "check" => {
             return do_check(
@@ -99,7 +125,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 args.get(2).ok_or("missing formula")?,
                 flag_value(args, "--max-states")?.unwrap_or(10_000),
                 threads_flag(args)?.unwrap_or_else(configured_threads),
-                args.iter().any(|a| a == "--trace"),
+                has_flag(args, "--witness"),
+                parse_format(args)?,
+                &ObsCli::parse(args)?,
             )
         }
         "run" => do_run(
@@ -129,16 +157,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     })
                     .transpose()?
                     .is_some(),
-                match args
-                    .iter()
-                    .position(|a| a == "--format")
-                    .and_then(|i| args.get(i + 1))
-                    .map(String::as_str)
-                {
-                    None | Some("text") => LintFormat::Text,
-                    Some("json") => LintFormat::Json,
-                    Some(other) => return Err(format!("unknown format `{other}` (text|json)")),
+                match parse_format(args)? {
+                    OutputFormat::Text => LintFormat::Text,
+                    OutputFormat::Json => LintFormat::Json,
                 },
+                &ObsCli::parse(args)?,
             )
         }
         other => Err(format!("unknown command `{other}`")),
@@ -146,24 +169,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     .map(|()| ExitCode::SUCCESS)
 }
 
-fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
-    match args.iter().position(|a| a == flag) {
-        None => Ok(None),
-        Some(i) => args
-            .get(i + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("{flag} needs a number")),
-    }
+/// Output format of `dcds check` (and, mapped onto [`LintFormat`], `lint`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
 }
 
-/// `--threads`, range-checked: the engines treat the count as a divisor of
-/// the work, so 0 is a usage error, not a silent serial fallback.
-fn threads_flag(args: &[String]) -> Result<Option<usize>, String> {
-    match flag_value::<usize>(args, "--threads")? {
-        Some(0) => Err("--threads must be at least 1".into()),
-        other => Ok(other),
+fn parse_format(args: &[String]) -> Result<OutputFormat, String> {
+    match args
+        .iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("text") => Ok(OutputFormat::Text),
+        Some("json") => Ok(OutputFormat::Json),
+        Some(other) => Err(format!("unknown format `{other}` (text|json)")),
     }
 }
 
@@ -172,8 +194,12 @@ fn load(path: &str) -> Result<Dcds, String> {
     parse_dcds(&src).map_err(|e| format!("{path}: {e}"))
 }
 
-fn analyze(path: &str) -> Result<(), String> {
-    let dcds = load(path)?;
+fn analyze(path: &str, obs_cli: &ObsCli) -> Result<(), String> {
+    let obs = obs_cli.handle();
+    let dcds = {
+        let _s = span!(obs, "parse_spec");
+        load(path)?
+    };
     println!(
         "{}: {} relations, {} services ({}), {} actions, {} rules, |I0| = {}",
         path,
@@ -190,12 +216,17 @@ fn analyze(path: &str) -> Result<(), String> {
         dcds.process.rules.len(),
         dcds.data.initial.len(),
     );
-    let dg = dependency_graph(&dcds);
-    let wa = is_weakly_acyclic(&dg);
+    let (dg, wa) = {
+        let _s = span!(obs, "weak_acyclicity");
+        let dg = dependency_graph(&dcds);
+        let wa = is_weakly_acyclic(&dg);
+        (dg, wa)
+    };
     println!("weakly acyclic: {wa}");
     if !wa {
         if let Some(cycle) = weak_cycle_witness(&dg) {
-            println!(
+            // Witness rendering is a human diagnostic: stderr.
+            eprintln!(
                 "  cycle through a special edge: {}",
                 render_dep_cycle(&cycle, &dg, &dcds.data.schema)
             );
@@ -214,15 +245,19 @@ fn analyze(path: &str) -> Result<(), String> {
                 println!("  Thm 4.7 run bound (proof artifact): {bound:.3e}");
             }
         } else {
-            println!(
+            eprintln!(
                 "  (weak acyclicity implies run-boundedness only for deterministic \
                  services — this system has nondeterministic ones; see the GR verdicts)"
             );
         }
     }
-    let df = dataflow_graph(&dcds);
-    let gr = gr_acyclicity::is_gr_acyclic(&df);
-    let grp = gr_acyclicity::is_gr_plus_acyclic(&df);
+    let (df, gr, grp) = {
+        let _s = span!(obs, "gr_acyclicity");
+        let df = dataflow_graph(&dcds);
+        let gr = gr_acyclicity::is_gr_acyclic(&df);
+        let grp = gr_acyclicity::is_gr_plus_acyclic(&df);
+        (df, gr, grp)
+    };
     println!("GR-acyclic: {gr}");
     println!("GR+-acyclic: {grp}");
     if gr {
@@ -233,27 +268,31 @@ fn analyze(path: &str) -> Result<(), String> {
     if grp {
         println!("  ⇒ state-bounded (Thm 5.6); µLP decidable via RCYCL (Thm 5.7)");
     } else if let Some(w) = gr_acyclicity::gr_plus_witness(&df) {
-        println!("  unexcused generate→recall pattern:");
+        eprintln!("  unexcused generate→recall pattern:");
         for line in gr_acyclicity::render_witness(&w, &df, &dcds).lines() {
-            println!("    {line}");
+            eprintln!("    {line}");
         }
     }
-    Ok(())
+    obs.counter_add("analyze.relations", dcds.data.schema.len() as u64);
+    obs.counter_add("analyze.actions", dcds.process.actions.len() as u64);
+    obs_cli.finish(&obs)
 }
 
 fn build_abstraction(
     dcds: &Dcds,
     max_states: usize,
     threads: usize,
+    obs: &Obs,
 ) -> (Ts, ConstantPool, bool, &'static str, EngineCounters) {
     if dcds.is_deterministic() {
-        let abs = det_abstraction_opts(
+        let abs = det_abstraction_traced(
             dcds,
             max_states,
             AbsOptions {
                 threads,
                 ..AbsOptions::default()
             },
+            obs,
         );
         let complete = abs.outcome == AbsOutcome::Complete;
         (
@@ -264,7 +303,7 @@ fn build_abstraction(
             abs.counters,
         )
     } else {
-        let res = rcycl_opts(dcds, max_states, threads);
+        let res = rcycl_traced(dcds, max_states, threads, obs);
         (
             res.ts,
             res.pool,
@@ -275,9 +314,16 @@ fn build_abstraction(
     }
 }
 
-fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Result<(), String> {
+fn do_abstract(
+    path: &str,
+    max_states: usize,
+    threads: usize,
+    dot: bool,
+    obs_cli: &ObsCli,
+) -> Result<(), String> {
+    let obs = obs_cli.handle();
     let dcds = load(path)?;
-    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads);
+    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads, &obs);
     println!(
         "{how}: {} states, {} edges, max |adom(state)| = {}, complete = {complete}",
         ts.num_states(),
@@ -289,13 +335,13 @@ fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Resu
         if threads == 1 { "" } else { "s" }
     );
     if let Some(rate) = counters.sig_hit_rate() {
-        println!(
+        eprintln!(
             "signature fast path resolved {:.1}% of dedup probes",
             rate * 100.0
         );
     }
     if !complete {
-        println!(
+        eprintln!(
             "note: budget of {max_states} states hit — the system may be run-/state-unbounded; \
              see `dcds analyze` for the static verdicts"
         );
@@ -303,62 +349,89 @@ fn do_abstract(path: &str, max_states: usize, threads: usize, dot: bool) -> Resu
     if dot {
         println!("{}", ts.to_dot(&dcds.data.schema, &pool));
     }
-    Ok(())
+    obs_cli.finish(&obs)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn do_check(
     path: &str,
     formula: &str,
     max_states: usize,
     threads: usize,
-    trace: bool,
+    witness: bool,
+    format: OutputFormat,
+    obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
+    let obs = obs_cli.handle();
     let dcds = load(path)?;
     let mut schema = dcds.data.schema.clone();
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
     let fragment = classify(&phi).map_err(|e| e.to_string())?;
-    let (ts, pool, complete, how, _counters) = build_abstraction(&dcds, max_states, threads);
-    let run = check_with_opts(&phi, &ts, McOptions { threads }).map_err(|e| e.to_string())?;
+    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads, &obs);
+    let run = check_traced(&phi, &ts, McOptions { threads }, &obs).map_err(|e| e.to_string())?;
     let verdict = run.holds;
-    println!("fragment: {fragment:?}");
-    println!(
-        "abstraction: {how}, {} states, complete = {complete}",
-        ts.num_states()
-    );
-    if !complete {
-        println!(
-            "WARNING: the abstraction is truncated; the verdict is only valid up to the budget"
-        );
-    }
-    println!(
-        "mc engine ({threads} thread{}): {}",
-        if threads == 1 { "" } else { "s" },
-        run.counters
-    );
-    if let Some(rate) = run.counters.cache_hit_rate() {
-        println!(
-            "query-extension cache resolved {:.1}% of extension requests",
-            rate * 100.0
-        );
-    }
-    println!("verdict: {verdict}");
-    if trace && !verdict {
-        if let Some(path_states) = diagnostics::counterexample_ag(&phi, &ts) {
+    match format {
+        OutputFormat::Json => {
+            // One JSON object: the machine-readable counterpart of the
+            // text report, counters included (serde-free `to_json`).
             println!(
+                "{{\"fragment\":\"{}\",\"abstraction\":{{\"how\":\"{}\",\"states\":{},\
+                 \"edges\":{},\"complete\":{}}},\"engine_counters\":{},\"mc_counters\":{},\
+                 \"verdict\":{}}}",
+                json_escape(&format!("{fragment:?}")),
+                json_escape(how),
+                ts.num_states(),
+                ts.num_edges(),
+                complete,
+                counters.to_json(),
+                run.counters.to_json(),
+                verdict
+            );
+        }
+        OutputFormat::Text => {
+            println!("fragment: {fragment:?}");
+            println!(
+                "abstraction: {how}, {} states, complete = {complete}",
+                ts.num_states()
+            );
+            if !complete {
+                eprintln!(
+                    "WARNING: the abstraction is truncated; the verdict is only valid \
+                     up to the budget"
+                );
+            }
+            eprintln!(
+                "mc engine ({threads} thread{}): {}",
+                if threads == 1 { "" } else { "s" },
+                run.counters
+            );
+            if let Some(rate) = run.counters.cache_hit_rate() {
+                eprintln!(
+                    "query-extension cache resolved {:.1}% of extension requests",
+                    rate * 100.0
+                );
+            }
+            println!("verdict: {verdict}");
+        }
+    }
+    if witness && !verdict {
+        if let Some(path_states) = diagnostics::counterexample_ag(&phi, &ts) {
+            eprintln!(
                 "shortest path to a violating state:\n  {}",
                 diagnostics::render_path(&path_states, &ts, &dcds.data.schema, &pool)
             );
         }
     }
-    if trace && verdict {
+    if witness && verdict {
         if let Some(w) = diagnostics::witness_ef(&phi, &ts) {
-            println!(
+            eprintln!(
                 "a satisfying state (shortest path):\n  {}",
                 diagnostics::render_path(&w, &ts, &dcds.data.schema, &pool)
             );
         }
     }
+    obs_cli.finish(&obs)?;
     Ok(ExitCode::from(if !complete {
         EXIT_INCONCLUSIVE
     } else if verdict {
@@ -422,28 +495,42 @@ enum LintFormat {
 /// `dcds lint`: exit 0 clean, 1 on errors (or warnings under `--deny
 /// warnings`), 2 when the spec does not even parse (the syntax error is
 /// itself rendered as a `DCDS000` diagnostic).
-fn do_lint(path: &str, deny_warnings: bool, format: LintFormat) -> Result<ExitCode, String> {
+fn do_lint(
+    path: &str,
+    deny_warnings: bool,
+    format: LintFormat,
+    obs_cli: &ObsCli,
+) -> Result<ExitCode, String> {
+    let obs = obs_cli.handle();
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let emit = |d: &Diagnostic| match format {
         LintFormat::Text => print!("{}", render_text(d, path, &src)),
         LintFormat::Json => println!("{}", render_json(d, path)),
     };
-    let report = match dcds_verify::core::parse_spec(&src) {
-        Ok(spec) => lint_spec(&spec),
-        Err(e) => {
-            let d = Diagnostic::error(codes::PARSE_ERROR, e.message.clone())
-                .at(dcds_verify::folang::Span::new(e.line, e.col));
-            emit(&d);
-            return Ok(ExitCode::from(2));
+    let report = {
+        let _s = span!(obs, "lint", bytes = src.len());
+        match dcds_verify::core::parse_spec(&src) {
+            Ok(spec) => lint_spec(&spec),
+            Err(e) => {
+                let d = Diagnostic::error(codes::PARSE_ERROR, e.message.clone())
+                    .at(dcds_verify::folang::Span::new(e.line, e.col));
+                emit(&d);
+                obs_cli.finish(&obs)?;
+                return Ok(ExitCode::from(2));
+            }
         }
     };
     for d in &report.diagnostics {
         emit(d);
     }
+    obs.counter_add("lint.errors", report.errors() as u64);
+    obs.counter_add("lint.warnings", report.warnings() as u64);
+    obs.counter_add("lint.notes", report.notes() as u64);
     if matches!(format, LintFormat::Text) {
         let (e, w, n) = (report.errors(), report.warnings(), report.notes());
         println!("{path}: {e} error(s), {w} warning(s), {n} note(s)");
     }
     let failed = report.has_errors() || (deny_warnings && report.warnings() > 0);
+    obs_cli.finish(&obs)?;
     Ok(ExitCode::from(if failed { 1 } else { 0 }))
 }

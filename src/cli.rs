@@ -1,0 +1,158 @@
+//! Shared command-line helpers for the `dcds` binary.
+//!
+//! Flag parsing here is deliberately tiny (no external crates): positional
+//! scan, `--flag value` pairs, and the observability flag bundle
+//! ([`ObsCli`]) shared by `abstract`, `check`, `analyze`, and `lint`.
+
+use dcds_obs::{export, Obs, ObsConfig};
+use std::str::FromStr;
+
+/// Parse `--flag <value>` anywhere in `args`. `Ok(None)` when absent.
+pub fn flag_value<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} needs a number")),
+    }
+}
+
+/// Parse `--flag <string>` anywhere in `args`. `Ok(None)` when absent.
+pub fn string_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+    }
+}
+
+/// Is the bare `--flag` present?
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// `--threads`, shared by `abstract` and `check` and range-checked once:
+/// the engines treat the count as a divisor of the work, so 0 is a usage
+/// error, not a silent serial fallback. Parsed as `u32` — thread counts
+/// beyond four billion are typos, and on 32-bit targets a `usize` parse
+/// would accept values the pool cannot spawn anyway.
+pub fn threads_flag(args: &[String]) -> Result<Option<usize>, String> {
+    match flag_value::<u32>(args, "--threads")? {
+        Some(0) => Err("--threads must be at least 1".into()),
+        other => Ok(other.map(|n| n as usize)),
+    }
+}
+
+/// The observability flag bundle: `--trace <file>` (Chrome `trace_event`
+/// JSON), `--stats` (human span/metric summary on stderr), and
+/// `--metrics-json <file|->` (metrics snapshot as JSON; `-` = stdout).
+#[derive(Debug, Default)]
+pub struct ObsCli {
+    /// Chrome-trace output path, if requested.
+    pub trace: Option<String>,
+    /// Print the text summary to stderr at exit.
+    pub stats: bool,
+    /// Metrics-snapshot JSON output path (`-` = stdout), if requested.
+    pub metrics_json: Option<String>,
+}
+
+impl ObsCli {
+    /// Parse the bundle from `args`.
+    pub fn parse(args: &[String]) -> Result<ObsCli, String> {
+        Ok(ObsCli {
+            trace: string_flag(args, "--trace")?,
+            stats: has_flag(args, "--stats"),
+            metrics_json: string_flag(args, "--metrics-json")?,
+        })
+    }
+
+    /// Does any flag ask for recording?
+    pub fn wants_recording(&self) -> bool {
+        self.trace.is_some() || self.stats || self.metrics_json.is_some()
+    }
+
+    /// Build the handle: enabled when any output was requested or when
+    /// `DCDS_PROGRESS` asks for heartbeats; the zero-cost disabled handle
+    /// otherwise.
+    pub fn handle(&self) -> Obs {
+        let config = ObsConfig::from_env();
+        if self.wants_recording() || config.progress.is_some() {
+            Obs::enabled(config)
+        } else {
+            Obs::disabled()
+        }
+    }
+
+    /// Drain the handle and write whatever was requested: the Chrome trace
+    /// and metrics JSON to their files (metrics `-` = stdout), the text
+    /// summary to stderr.
+    pub fn finish(&self, obs: &Obs) -> Result<(), String> {
+        let Some(report) = obs.finish() else {
+            return Ok(());
+        };
+        if let Some(path) = &self.trace {
+            let trace = export::chrome_trace(&report.events);
+            std::fs::write(path, trace).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "trace: {} events written to {path} (open in Perfetto or chrome://tracing)",
+                report.events.len()
+            );
+        }
+        if let Some(path) = &self.metrics_json {
+            let json = report.metrics.to_json();
+            if path == "-" {
+                println!("{json}");
+            } else {
+                std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        if self.stats {
+            eprint!("{}", export::text_summary(&report));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_validates() {
+        assert_eq!(threads_flag(&argv(&["--threads", "4"])).unwrap(), Some(4));
+        assert_eq!(threads_flag(&argv(&["x"])).unwrap(), None);
+        assert!(threads_flag(&argv(&["--threads", "0"]))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(threads_flag(&argv(&["--threads", "many"])).is_err());
+        // u32 overflow is a parse error, not a wrap-around.
+        assert!(threads_flag(&argv(&["--threads", "99999999999"])).is_err());
+    }
+
+    #[test]
+    fn obs_cli_parses_bundle() {
+        let cli = ObsCli::parse(&argv(&["--trace", "t.json", "--stats"])).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("t.json"));
+        assert!(cli.stats);
+        assert!(cli.metrics_json.is_none());
+        assert!(cli.wants_recording());
+
+        let none = ObsCli::parse(&argv(&["--max-states", "7"])).unwrap();
+        assert!(!none.wants_recording());
+
+        // `--trace` directly followed by another flag is a missing value,
+        // not a file named like a flag.
+        assert!(ObsCli::parse(&argv(&["--trace", "--stats"])).is_err());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`analysis`] | `dcds-analysis` | weak acyclicity, GR(⁺)-acyclicity, graph exports |
 //! | [`abstraction`] | `dcds-abstraction` | deterministic abstraction, Algorithm RCYCL |
 //! | [`lint`] | `dcds-lint` | multi-pass spec diagnostics with stable `DCDS0xx` codes |
+//! | [`obs`] | `dcds-obs` | spans, metrics registry, Chrome-trace/JSON exporters, heartbeats |
 //! | [`bisim`] | `dcds-bisim` | history-/persistence-preserving bisimulation checkers |
 //! | [`reductions`] | `dcds-reductions` | TM reduction, det↔nondet rewrites, artifact systems |
 //! | [`mod@bench`] | `dcds-bench` | paper examples, travel systems, workloads, figure regeneration |
@@ -68,8 +69,11 @@ pub use dcds_core as core;
 pub use dcds_folang as folang;
 pub use dcds_lint as lint;
 pub use dcds_mucalc as mucalc;
+pub use dcds_obs as obs;
 pub use dcds_reductions as reductions;
 pub use dcds_reldata as reldata;
+
+pub mod cli;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -22,6 +22,20 @@ fn dcds(args: &[&str]) -> (bool, String) {
     (code == 0, text)
 }
 
+/// Run the binary; returns (exit code, stdout, stderr) separately, for the
+/// tests that pin the stdout/stderr routing contract.
+fn dcds_streams(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dcds"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().expect("not killed by signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
 fn spec(name: &str) -> String {
     format!("{}/specs/{name}", env!("CARGO_MANIFEST_DIR"))
 }
@@ -52,13 +66,13 @@ fn analyze_travel_request() {
 }
 
 #[test]
-fn check_verdicts_traces_and_exit_codes() {
+fn check_verdicts_witnesses_and_exit_codes() {
     // Exit 0: property holds on a complete abstraction.
     let (code, text) = dcds_code(&[
         "check",
         &spec("ping_pong.dcds"),
         "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
-        "--trace",
+        "--witness",
     ]);
     assert_eq!(code, 0, "{text}");
     assert!(text.contains("fragment: MuLP"));
@@ -70,7 +84,7 @@ fn check_verdicts_traces_and_exit_codes() {
         "check",
         &spec("ping_pong.dcds"),
         "nu Z . (exists X . live(X) & R(X)) & [] Z",
-        "--trace",
+        "--witness",
     ]);
     assert_eq!(code2, 1, "{text2}");
     assert!(text2.contains("verdict: false"));
@@ -131,6 +145,90 @@ fn check_threads_agree_and_zero_is_rejected() {
     let (ca, ta) = dcds_code(&["abstract", &spec("ping_pong.dcds"), "--threads", "0"]);
     assert_ne!(ca, 0);
     assert!(ta.contains("--threads must be at least 1"), "{ta}");
+}
+
+#[test]
+fn check_format_json_is_one_object_on_stdout() {
+    let (code, stdout, stderr) = dcds_streams(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    let line = stdout.trim();
+    assert_eq!(line.lines().count(), 1, "one JSON object: {stdout}");
+    assert!(line.starts_with("{\"fragment\":"), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+    assert!(line.contains("\"abstraction\":{\"how\":"), "{line}");
+    assert!(
+        line.contains("\"engine_counters\":{\"states_expanded\":"),
+        "{line}"
+    );
+    assert!(
+        line.contains("\"mc_counters\":{\"query_state_evals\":"),
+        "{line}"
+    );
+    assert!(line.contains("\"verdict\":true"), "{line}");
+    // Human commentary must not contaminate the machine stream.
+    assert!(!stdout.contains("mc engine"), "{stdout}");
+}
+
+#[test]
+fn check_obs_flags_write_trace_and_metrics() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("dcds_cli_trace_{}.json", std::process::id()));
+    let metrics = dir.join(format!("dcds_cli_metrics_{}.json", std::process::id()));
+    let (code, stdout, stderr) = dcds_streams(&[
+        "check",
+        &spec("travel_request.dcds"),
+        "nu Z . true & [] Z",
+        "--max-states",
+        "200",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--stats",
+        "--metrics-json",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    // stdout: the machine-readable report only.
+    assert!(stdout.contains("verdict: true"), "{stdout}");
+    assert!(!stdout.contains("span summary"), "{stdout}");
+    // stderr: the --stats summary and the trace-written note.
+    assert!(stderr.contains("== span summary"), "{stderr}");
+    assert!(stderr.contains("== counters =="), "{stderr}");
+    assert!(stderr.contains("trace:"), "{stderr}");
+
+    let t = std::fs::read_to_string(&trace).unwrap();
+    assert!(t.starts_with("{\"displayTimeUnit\""), "{t}");
+    assert!(t.contains("\"ph\":\"X\""));
+    assert!(!t.contains("\"ph\":\"B\""), "complete events only");
+    let m = std::fs::read_to_string(&metrics).unwrap();
+    assert!(m.starts_with("{\"counters\":{"), "{m}");
+    assert!(m.contains("rcycl.triples_processed"), "{m}");
+    assert!(m.contains("mc.query_state_evals"), "{m}");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
+fn abstract_metrics_json_dash_goes_to_stdout() {
+    let (code, stdout, stderr) =
+        dcds_streams(&["abstract", &spec("ping_pong.dcds"), "--metrics-json", "-"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("{\"counters\":{"), "{stdout}");
+    assert!(stdout.contains("\"gauges\":{"), "{stdout}");
+}
+
+#[test]
+fn analyze_stats_summary_lands_on_stderr() {
+    let (code, stdout, stderr) = dcds_streams(&["analyze", &spec("ping_pong.dcds"), "--stats"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stderr.contains("analyze.relations"), "{stderr}");
+    assert!(stdout.contains("weakly acyclic"), "{stdout}");
+    assert!(!stdout.contains("analyze.relations"), "{stdout}");
 }
 
 #[test]
