@@ -46,7 +46,10 @@
 //! isomorphism matcher within the bucket.
 
 use dcds_core::det::{det_step_with_pre, DetState};
-use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
+use dcds_core::do_op::{
+    do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
+    state_index, PreInstance,
+};
 use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{enumerate_commitments, ActionId, CommitTarget, Commitment, Dcds, StateId, Ts};
 use dcds_folang::Assignment;
@@ -308,6 +311,7 @@ pub fn det_abstraction_traced(
         threads = opts.threads,
         max_states = max_states
     );
+    let query_stats0 = query_stats_snapshot(dcds);
     let rigid = dcds.rigid_constants();
     let num_rels = dcds.data.schema.len();
     let threads = opts.threads.max(1);
@@ -358,10 +362,12 @@ pub fn det_abstraction_traced(
         let enumerated: Vec<Vec<EnumeratedStep>> =
             par_map_obs(&frontier, threads, obs, "enumerate", |&sid| {
                 let state = &states[sid.index()];
-                legal_assignments(dcds, &state.instance)
+                let idx = state_index(dcds, &state.instance);
+                legal_assignments_indexed(dcds, &state.instance, Some(&idx))
                     .into_iter()
                     .map(|(action, sigma)| {
-                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let pre =
+                            do_action_indexed(dcds, &state.instance, action, &sigma, Some(&idx));
                         let new_calls: Vec<dcds_core::ServiceCall> = pre
                             .calls()
                             .into_iter()
@@ -474,6 +480,7 @@ pub fn det_abstraction_traced(
 
     obs.counter_add("abs.levels", level as u64);
     counters.publish(obs, "abs");
+    publish_query_stats_delta(dcds, obs, &query_stats0);
 
     DetAbstraction {
         ts,

@@ -26,7 +26,10 @@
 //! recycling pruning `Θ_S ∼ Υ_S`; for state-unbounded inputs we stop at
 //! `max_states` and report truncation.
 
-use dcds_core::do_op::{do_action, legal_assignments, PreInstance};
+use dcds_core::do_op::{
+    do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
+    state_index, PreInstance,
+};
 use dcds_core::nondet::{evals_over, nondet_step_with_pre};
 use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{Dcds, StateId, Ts};
@@ -90,6 +93,7 @@ pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult
 pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -> RcyclResult {
     const MAX_EVALS_PER_STEP: f64 = 20_000.0;
     let _run = span!(obs, "rcycl", threads = threads, max_states = max_states);
+    let query_stats0 = query_stats_snapshot(dcds);
     let rigid = dcds.rigid_constants();
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
@@ -127,11 +131,13 @@ pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -
         });
         let inst = ts.db(sid).clone();
         // `DO(I, ασ)` depends only on the state, not on `UsedValues`:
-        // precompute every triple's pre-instance in parallel.
-        let triples_for_state = legal_assignments(dcds, &inst);
+        // build one hash index for the dequeued state and precompute every
+        // triple's pre-instance in parallel against it.
+        let state_idx = state_index(dcds, &inst);
+        let triples_for_state = legal_assignments_indexed(dcds, &inst, Some(&state_idx));
         let pres: Vec<PreInstance> =
             par_map_obs(&triples_for_state, threads, obs, "do", |(action, sigma)| {
-                do_action(dcds, &inst, *action, sigma)
+                do_action_indexed(dcds, &inst, *action, sigma, Some(&state_idx))
             });
         state_span.set("triples", pres.len() as u64);
         for pre in &pres {
@@ -192,6 +198,7 @@ pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -
     obs.counter_add("rcycl.triples_processed", triples as u64);
     obs.gauge_max("rcycl.used_values", used_values.len() as i64);
     counters.publish(obs, "rcycl");
+    publish_query_stats_delta(dcds, obs, &query_stats0);
 
     RcyclResult {
         ts,

@@ -72,14 +72,14 @@ pub fn positive_approximate(dcds: &Dcds) -> Dcds {
             action: ActionId::from_index(ix),
         })
         .collect();
-    Dcds {
+    Dcds::from_parts(
         data,
-        process: ProcessLayer {
+        ProcessLayer {
             services: dcds.process.services.clone(),
             actions,
             rules,
         },
-    }
+    )
 }
 
 #[cfg(test)]

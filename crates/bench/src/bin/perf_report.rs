@@ -17,22 +17,32 @@
 //! recording the query-extension cache hit rate and checking that both
 //! evaluators agree on the full extension.
 //!
-//! Writes `BENCH_abstraction.json` and `BENCH_mucalc.json` into the
-//! current directory so the perf trajectory is tracked across commits
-//! without a benchmarking framework, and prints the same numbers as
-//! tables.
+//! Finally, times the compiled query plans (`dcds_folang::plan`) against
+//! the nested-loop `eval_ucq` on join-heavy synthetic workloads and on the
+//! queries of the travel-request system, at 1 thread, with and without the
+//! per-state hash index — asserting bit-identical results.
 //!
-//! Usage: `cargo run --release --bin perf_report [-- --reps N]`
+//! Writes `BENCH_abstraction.json`, `BENCH_mucalc.json` and
+//! `BENCH_query.json` into the current directory so the perf trajectory is
+//! tracked across commits without a benchmarking framework, and prints the
+//! same numbers as tables.
+//!
+//! Usage: `cargo run --release --bin perf_report [-- --reps N] [-- --scale K]`
+//!
+//! `--scale` multiplies the workload sizes (state budgets, tuple counts);
+//! the committed baselines use `--scale 1`.
 
 use dcds_abstraction::{
     det_abstraction_opts, det_abstraction_traced, rcycl_opts, AbsOptions, DedupStrategy,
 };
-use dcds_bench::{examples, synthetic, travel};
+use dcds_bench::{examples, queries, synthetic, travel};
 use dcds_core::{Dcds, EngineCounters, Ts};
-use dcds_folang::{Formula, QTerm};
+use dcds_folang::{eval_ucq, CompiledPlan, EvalCtx, Formula, QTerm, Ucq};
 use dcds_mucalc::mc::{eval, Valuation};
 use dcds_mucalc::{eval_with_opts, sugar, McCounters, McOptions, Mu};
 use dcds_obs::{Obs, ObsConfig};
+use dcds_reldata::{Instance, InstanceIndex};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -60,7 +70,7 @@ struct ThreadRun {
 }
 
 struct Workload {
-    name: &'static str,
+    name: String,
     engine: &'static str,
     runs: Vec<ThreadRun>,
     /// Fraction of dedup probes resolved by the signature fast path alone.
@@ -73,7 +83,7 @@ struct Workload {
     counters: EngineCounters,
 }
 
-fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
+fn bench_det(name: String, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
     let mut runs = Vec::new();
     let mut sig_hit_rate = None;
     let mut counters = EngineCounters::default();
@@ -120,7 +130,7 @@ fn bench_det(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) ->
     }
 }
 
-fn bench_rcycl(name: &'static str, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
+fn bench_rcycl(name: String, dcds: &Dcds, max_states: usize, reps: usize) -> Workload {
     let mut runs = Vec::new();
     let mut counters = EngineCounters::default();
     for threads in THREAD_COUNTS {
@@ -257,6 +267,142 @@ fn mc_workloads(reps: usize) -> Vec<McWorkload> {
     out
 }
 
+struct QueryRun {
+    name: String,
+    shape: String,
+    /// Total tuples across the instances evaluated.
+    rows: usize,
+    /// Total result rows (identical across the three evaluators).
+    results: usize,
+    /// Nested-loop `eval_ucq`, 1 thread.
+    nested_secs: f64,
+    /// Compiled plan, relation scans only.
+    plan_scan_secs: f64,
+    /// Compiled plan through the prebuilt hash index.
+    plan_indexed_secs: f64,
+    /// One-off index construction (amortised across a state's evaluations
+    /// in the engines; reported separately here).
+    index_build_secs: f64,
+}
+
+/// Time one (query, instances) pair through the three evaluators, asserting
+/// bit-identical result sets.
+fn bench_query_set(
+    name: String,
+    shape: String,
+    pairs: &[(Ucq, CompiledPlan)],
+    instances: &[Instance],
+    reps: usize,
+) -> QueryRun {
+    let empty = dcds_folang::Assignment::new();
+    let (nested_secs, naive) = time_best(reps, || {
+        let mut out = Vec::new();
+        for inst in instances {
+            for (ucq, _) in pairs {
+                out.push(eval_ucq(ucq, inst));
+            }
+        }
+        out
+    });
+    let (plan_scan_secs, scanned) = time_best(reps, || {
+        let mut out = Vec::new();
+        for inst in instances {
+            for (_, plan) in pairs {
+                out.push(plan.eval(&EvalCtx::scan(inst), &empty));
+            }
+        }
+        out
+    });
+    let paths: BTreeSet<_> = pairs.iter().flat_map(|(_, p)| p.access_paths()).collect();
+    let (index_build_secs, indexes) = time_best(reps, || {
+        instances
+            .iter()
+            .map(|inst| InstanceIndex::build(inst, paths.iter().cloned()))
+            .collect::<Vec<_>>()
+    });
+    let (plan_indexed_secs, indexed) = time_best(reps, || {
+        let mut out = Vec::new();
+        for (inst, idx) in instances.iter().zip(&indexes) {
+            for (_, plan) in pairs {
+                out.push(plan.eval(&EvalCtx::with_index(inst, idx), &empty));
+            }
+        }
+        out
+    });
+    assert_eq!(naive, scanned, "{name}: scan plan diverged from eval_ucq");
+    assert_eq!(
+        naive, indexed,
+        "{name}: indexed plan diverged from eval_ucq"
+    );
+    QueryRun {
+        name,
+        shape,
+        rows: instances.iter().map(Instance::len).sum(),
+        results: naive.iter().map(BTreeSet::len).sum(),
+        nested_secs,
+        plan_scan_secs,
+        plan_indexed_secs,
+        index_build_secs,
+    }
+}
+
+fn query_runs(reps: usize, scale: usize) -> Vec<QueryRun> {
+    let mut out = Vec::new();
+    for w in queries::standard(scale) {
+        let plan = CompiledPlan::compile(&w.query, &BTreeSet::new())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        out.push(bench_query_set(
+            w.name.to_string(),
+            w.shape.clone(),
+            &[(w.query, plan)],
+            std::slice::from_ref(&w.instance),
+            reps,
+        ));
+    }
+
+    // The travel-request system (Appendix E): every rule condition and
+    // effect q+ in the compilable fragment, evaluated over every state of
+    // the RCYCL abstraction — the exact queries the transition hot path
+    // runs, on the instances it runs them against.
+    let req = travel::request_system_small();
+    let res = rcycl_opts(&req, 5000, 1);
+    assert!(res.complete);
+    let instances: Vec<Instance> = res.ts.state_ids().map(|s| res.ts.db(s).clone()).collect();
+    let mut ucqs: Vec<Ucq> = req
+        .process
+        .rules
+        .iter()
+        .filter_map(|r| Ucq::from_formula(&r.condition))
+        .collect();
+    for action in &req.process.actions {
+        for effect in &action.effects {
+            ucqs.push(effect.qplus.clone());
+        }
+    }
+    let total = ucqs.len();
+    let pairs: Vec<(Ucq, CompiledPlan)> = ucqs
+        .into_iter()
+        .filter_map(|u| {
+            CompiledPlan::compile(&u, &BTreeSet::new())
+                .ok()
+                .map(|p| (u, p))
+        })
+        .collect();
+    out.push(bench_query_set(
+        "travel_request_queries".into(),
+        format!(
+            "{}/{} rule-condition + effect-q+ queries over {} RCYCL states",
+            pairs.len(),
+            total,
+            instances.len()
+        ),
+        &pairs,
+        &instances,
+        reps,
+    ));
+    out
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -265,45 +411,58 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn main() {
-    let reps = std::env::args()
-        .skip_while(|a| a != "--reps")
+fn arg_usize(name: &str, default: usize) -> usize {
+    std::env::args()
+        .skip_while(|a| a != name)
         .nth(1)
         .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+        .unwrap_or(default)
+}
+
+fn main() {
+    let reps = arg_usize("--reps", 3);
+    let scale = arg_usize("--scale", 1).max(1);
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
+    // State budgets sized so the 1-thread runs take long enough for thread
+    // scaling to be visible above the phase-split overhead (the original
+    // ~10 ms budgets measured only overhead); `--scale` multiplies them.
+    let rings_budget = 2000 * scale;
+    let chain_budget = 1200 * scale;
+    let cycle_budget = 5000 * scale;
+    let ladder_budget = 8000 * scale;
+    let acc_budget = 300 * scale;
     let workloads = vec![
         bench_det(
-            "parallel_rings(3), max_states=600",
+            format!("parallel_rings(3), max_states={rings_budget}"),
             &synthetic::parallel_rings(3),
-            600,
+            rings_budget,
             reps,
         ),
         bench_det(
-            "service_chain(8), max_states=300",
-            &synthetic::service_chain(8),
-            300,
+            format!("service_chain(10), max_states={chain_budget}"),
+            &synthetic::service_chain(10),
+            chain_budget,
             reps,
         ),
         bench_det(
-            "service_cycle(6), max_states=1500",
+            format!("service_cycle(6), max_states={cycle_budget}"),
             &synthetic::service_cycle(6),
-            1500,
+            cycle_budget,
             reps,
         ),
         bench_rcycl(
-            "flush_ladder, max_states=2000",
+            format!("flush_ladder, max_states={ladder_budget}"),
             &synthetic::flush_ladder(),
-            2000,
+            ladder_budget,
             reps,
         ),
         bench_rcycl(
-            "accumulator(2), max_states=250",
-            &synthetic::accumulator(2),
-            250,
+            format!("accumulator(3), max_states={acc_budget}"),
+            &synthetic::accumulator(3),
+            acc_budget,
             reps,
         ),
     ];
@@ -487,4 +646,76 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_mucalc.json", &json).expect("write BENCH_mucalc.json");
     println!("\nwrote BENCH_mucalc.json");
+
+    // ---- compiled query plans + per-state indexes ----
+    let q_runs = query_runs(reps, scale);
+    println!("\nquery-plan perf report  (1 thread, best of {reps}, scale {scale})");
+    for r in &q_runs {
+        println!("\n{} — {}", r.name, r.shape);
+        println!("  {} rows in, {} result rows", r.rows, r.results);
+        println!(
+            "  nested-loop {:>9.4}s | plan(scan) {:>9.4}s ({:.2}x) | plan+index {:>9.4}s ({:.2}x, +{:.4}s build)",
+            r.nested_secs,
+            r.plan_scan_secs,
+            r.nested_secs / r.plan_scan_secs,
+            r.plan_indexed_secs,
+            r.nested_secs / r.plan_indexed_secs,
+            r.index_build_secs,
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"query-plans\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"bit_identical\": true,");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (ri, r) in q_runs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(json, "      \"shape\": \"{}\",", r.shape.replace('"', "'"));
+        let _ = writeln!(json, "      \"rows\": {},", r.rows);
+        let _ = writeln!(json, "      \"results\": {},", r.results);
+        let _ = writeln!(
+            json,
+            "      \"nested_loop_secs\": {},",
+            json_f64(r.nested_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"plan_scan_secs\": {},",
+            json_f64(r.plan_scan_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"plan_indexed_secs\": {},",
+            json_f64(r.plan_indexed_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"index_build_secs\": {},",
+            json_f64(r.index_build_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_plan_scan\": {},",
+            json_f64(r.nested_secs / r.plan_scan_secs)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_plan_indexed\": {}",
+            json_f64(r.nested_secs / r.plan_indexed_secs)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if ri + 1 < q_runs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("\nwrote BENCH_query.json");
 }

@@ -17,6 +17,7 @@
 
 pub mod examples;
 pub mod figures;
+pub mod queries;
 pub mod rng;
 pub mod synthetic;
 pub mod travel;

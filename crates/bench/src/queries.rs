@@ -1,0 +1,230 @@
+//! Join-heavy synthetic query workloads for the compiled-plan benchmarks.
+//!
+//! Each workload is a (UCQ, instance) pair sized so the nested-loop
+//! evaluator does quadratic-or-worse work while an index probe touches only
+//! the matching tuples: chain joins `E0(X0,X1) ⋈ E1(X1,X2) ⋈ ...`,
+//! constant-anchored chains, and equality-joined stars. Instances are
+//! generated deterministically from [`SplitMix64`] seeds, dense enough
+//! (thousands of tuples over a few hundred constants) that every join step
+//! has real fan-out.
+
+use crate::rng::SplitMix64;
+use dcds_folang::{ConjunctiveQuery, QTerm, Ucq, Var};
+use dcds_reldata::{ConstantPool, Instance, RelId, Schema, Tuple};
+
+/// A self-contained query workload: evaluate `query` against `instance`.
+pub struct QueryWorkload {
+    /// Short workload identifier for reports.
+    pub name: &'static str,
+    /// Human description of the query shape.
+    pub shape: String,
+    /// The query under test.
+    pub query: Ucq,
+    /// The instance it runs against.
+    pub instance: Instance,
+    /// Total tuples in the instance.
+    pub rows: usize,
+}
+
+fn random_pairs(
+    rng: &mut SplitMix64,
+    rel: RelId,
+    dom: &[dcds_reldata::Value],
+    n: usize,
+) -> Vec<(RelId, Tuple)> {
+    (0..n)
+        .map(|_| {
+            let a = dom[rng.gen_range(dom.len())];
+            let b = dom[rng.gen_range(dom.len())];
+            (rel, Tuple::from([a, b]))
+        })
+        .collect()
+}
+
+fn domain(pool: &mut ConstantPool, size: usize) -> Vec<dcds_reldata::Value> {
+    (0..size).map(|i| pool.intern(&format!("c{i}"))).collect()
+}
+
+/// Binary chain join `E0(X0,X1), E1(X1,X2)` with head `(X0, X2)`:
+/// the nested-loop evaluator rescans `E1` for every `E0` extension
+/// (`O(n²)` tuple visits); the indexed plan probes `E1` on its first
+/// position (`O(n · fanout)`).
+pub fn chain2(tuples_per_rel: usize, constants: usize, seed: u64) -> QueryWorkload {
+    let mut rng = SplitMix64::new(seed);
+    let mut schema = Schema::new();
+    let e0 = schema.add_relation("E0", 2).unwrap();
+    let e1 = schema.add_relation("E1", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let dom = domain(&mut pool, constants);
+    let mut facts = random_pairs(&mut rng, e0, &dom, tuples_per_rel);
+    facts.extend(random_pairs(&mut rng, e1, &dom, tuples_per_rel));
+    let instance = Instance::from_facts(facts);
+    let rows = instance.len();
+    let query = Ucq {
+        disjuncts: vec![ConjunctiveQuery {
+            head: vec![Var::new("X0"), Var::new("X2")],
+            atoms: vec![
+                (e0, vec![QTerm::var("X0"), QTerm::var("X1")]),
+                (e1, vec![QTerm::var("X1"), QTerm::var("X2")]),
+            ],
+            equalities: vec![],
+        }],
+    };
+    QueryWorkload {
+        name: "chain2",
+        shape: format!(
+            "E0(X0,X1), E1(X1,X2) -> (X0,X2); {tuples_per_rel} tuples/rel, {constants} constants"
+        ),
+        query,
+        instance,
+        rows,
+    }
+}
+
+/// Constant-anchored ternary chain `E0(c0,X1), E1(X1,X2), E2(X2,X3)` with
+/// head `(X3)`: the anchor makes the first step a point probe, after which
+/// the join fans out along two indexed hops. Selective output, deep probing.
+pub fn anchored_chain3(tuples_per_rel: usize, constants: usize, seed: u64) -> QueryWorkload {
+    let mut rng = SplitMix64::new(seed);
+    let mut schema = Schema::new();
+    let e0 = schema.add_relation("E0", 2).unwrap();
+    let e1 = schema.add_relation("E1", 2).unwrap();
+    let e2 = schema.add_relation("E2", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let dom = domain(&mut pool, constants);
+    let mut facts = random_pairs(&mut rng, e0, &dom, tuples_per_rel);
+    facts.extend(random_pairs(&mut rng, e1, &dom, tuples_per_rel));
+    facts.extend(random_pairs(&mut rng, e2, &dom, tuples_per_rel));
+    let instance = Instance::from_facts(facts);
+    let rows = instance.len();
+    let query = Ucq {
+        disjuncts: vec![ConjunctiveQuery {
+            head: vec![Var::new("X3")],
+            atoms: vec![
+                (e0, vec![QTerm::Const(dom[0]), QTerm::var("X1")]),
+                (e1, vec![QTerm::var("X1"), QTerm::var("X2")]),
+                (e2, vec![QTerm::var("X2"), QTerm::var("X3")]),
+            ],
+            equalities: vec![],
+        }],
+    };
+    QueryWorkload {
+        name: "anchored_chain3",
+        shape: format!(
+            "E0(c0,X1), E1(X1,X2), E2(X2,X3) -> (X3); {tuples_per_rel} tuples/rel, {constants} constants"
+        ),
+        query,
+        instance,
+        rows,
+    }
+}
+
+/// Equality-joined star `A(X,Y), B(X,Z)` with hoisted `Y = Z` and head
+/// `(X)`: exercises the equality-check hoisting (the check runs inside the
+/// innermost step, not as a post-filter) and two single-position probes.
+pub fn star_eq(tuples_per_rel: usize, constants: usize, seed: u64) -> QueryWorkload {
+    let mut rng = SplitMix64::new(seed);
+    let mut schema = Schema::new();
+    let a = schema.add_relation("A", 2).unwrap();
+    let b = schema.add_relation("B", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let dom = domain(&mut pool, constants);
+    let mut facts = random_pairs(&mut rng, a, &dom, tuples_per_rel);
+    facts.extend(random_pairs(&mut rng, b, &dom, tuples_per_rel));
+    let instance = Instance::from_facts(facts);
+    let rows = instance.len();
+    let query = Ucq {
+        disjuncts: vec![ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![
+                (a, vec![QTerm::var("X"), QTerm::var("Y")]),
+                (b, vec![QTerm::var("X"), QTerm::var("Z")]),
+            ],
+            equalities: vec![(QTerm::var("Y"), QTerm::var("Z"))],
+        }],
+    };
+    QueryWorkload {
+        name: "star_eq",
+        shape: format!(
+            "A(X,Y), B(X,Z), Y=Z -> (X); {tuples_per_rel} tuples/rel, {constants} constants"
+        ),
+        query,
+        instance,
+        rows,
+    }
+}
+
+/// Union of two chain joins over disjoint relation pairs — checks that the
+/// per-disjunct plans and the shared index cooperate.
+pub fn union_chains(tuples_per_rel: usize, constants: usize, seed: u64) -> QueryWorkload {
+    let mut rng = SplitMix64::new(seed);
+    let mut schema = Schema::new();
+    let e0 = schema.add_relation("E0", 2).unwrap();
+    let e1 = schema.add_relation("E1", 2).unwrap();
+    let f0 = schema.add_relation("F0", 2).unwrap();
+    let f1 = schema.add_relation("F1", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let dom = domain(&mut pool, constants);
+    let mut facts = random_pairs(&mut rng, e0, &dom, tuples_per_rel);
+    facts.extend(random_pairs(&mut rng, e1, &dom, tuples_per_rel));
+    facts.extend(random_pairs(&mut rng, f0, &dom, tuples_per_rel));
+    facts.extend(random_pairs(&mut rng, f1, &dom, tuples_per_rel));
+    let instance = Instance::from_facts(facts);
+    let rows = instance.len();
+    let chain = |r0: RelId, r1: RelId| ConjunctiveQuery {
+        head: vec![Var::new("X0"), Var::new("X2")],
+        atoms: vec![
+            (r0, vec![QTerm::var("X0"), QTerm::var("X1")]),
+            (r1, vec![QTerm::var("X1"), QTerm::var("X2")]),
+        ],
+        equalities: vec![],
+    };
+    QueryWorkload {
+        name: "union_chains",
+        shape: format!(
+            "E0⋈E1 ∪ F0⋈F1 -> (X0,X2); {tuples_per_rel} tuples/rel, {constants} constants"
+        ),
+        query: Ucq {
+            disjuncts: vec![chain(e0, e1), chain(f0, f1)],
+        },
+        instance,
+        rows,
+    }
+}
+
+/// The standard workload set at a given scale factor (`scale = 1` is the
+/// committed-baseline size).
+pub fn standard(scale: usize) -> Vec<QueryWorkload> {
+    let s = scale.max(1);
+    vec![
+        chain2(2500 * s, 250, 11),
+        anchored_chain3(2000 * s, 120, 12),
+        star_eq(3000 * s, 200, 13),
+        union_chains(1500 * s, 150, 14),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcds_folang::{eval_ucq, CompiledPlan, EvalCtx};
+    use dcds_reldata::InstanceIndex;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn workloads_agree_across_evaluators() {
+        for w in standard(1) {
+            let plan = CompiledPlan::compile(&w.query, &BTreeSet::new()).expect(w.name);
+            let naive = eval_ucq(&w.query, &w.instance);
+            let scanned = plan.eval(&EvalCtx::scan(&w.instance), &Default::default());
+            let index = InstanceIndex::build(&w.instance, plan.access_paths());
+            let indexed = plan.eval(
+                &EvalCtx::with_index(&w.instance, &index),
+                &Default::default(),
+            );
+            assert_eq!(naive, scanned, "{}: scan plan disagrees", w.name);
+            assert_eq!(naive, indexed, "{}: indexed plan disagrees", w.name);
+            assert!(!naive.is_empty(), "{}: degenerate workload", w.name);
+        }
+    }
+}

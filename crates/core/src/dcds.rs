@@ -2,18 +2,31 @@
 
 use crate::action::ActionId;
 use crate::data_layer::DataLayer;
+use crate::do_op::PlanCache;
 use crate::process::ProcessLayer;
 use crate::term::ETerm;
 use dcds_reldata::Value;
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// A data-centric dynamic system.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dcds {
     /// The data layer.
     pub data: DataLayer,
     /// The process layer.
     pub process: ProcessLayer,
+    /// Compiled query plans for the effects and rule conditions, built
+    /// lazily on first use and shared (behind `&self`) by every evaluation
+    /// of this system — one compilation per DCDS, not per transition.
+    plans: OnceLock<PlanCache>,
+}
+
+impl Clone for Dcds {
+    fn clone(&self) -> Self {
+        // The plan cache is derived state: a clone rebuilds it on demand.
+        Dcds::from_parts(self.data.clone(), self.process.clone())
+    }
 }
 
 /// Static well-formedness violations (Section 2.2's syntactic side
@@ -61,9 +74,28 @@ impl std::error::Error for ValidationError {}
 impl Dcds {
     /// Construct and validate.
     pub fn new(data: DataLayer, process: ProcessLayer) -> Result<Self, ValidationError> {
-        let s = Dcds { data, process };
+        let s = Dcds::from_parts(data, process);
         s.validate()?;
         Ok(s)
+    }
+
+    /// Assemble a system **without** validating it. For *analytic* objects
+    /// (e.g. the positive approximate `S⁺`, whose stripped parameters can
+    /// leave head variables unbound) that are inspected by the static
+    /// analyses but never executed.
+    pub fn from_parts(data: DataLayer, process: ProcessLayer) -> Self {
+        Dcds {
+            data,
+            process,
+            plans: OnceLock::new(),
+        }
+    }
+
+    /// The compiled-plan cache for this system's effects and rule
+    /// conditions, built on first use (thread-safe) and reused across the
+    /// whole exploration.
+    pub fn plans(&self) -> &PlanCache {
+        self.plans.get_or_init(|| PlanCache::build(self))
     }
 
     /// Check every static side condition of Section 2:

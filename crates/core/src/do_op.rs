@@ -10,9 +10,12 @@ use crate::action::ActionId;
 use crate::dcds::Dcds;
 use crate::term::{GTerm, ServiceCall};
 use dcds_folang::ast::QTerm;
-use dcds_folang::{eval_ucq, holds, Assignment, ConjunctiveQuery, Ucq, Var};
-use dcds_reldata::{Instance, RelId, Tuple};
+use dcds_folang::{
+    eval_ucq, holds, Assignment, CompiledPlan, ConjunctiveQuery, EvalCtx, PlanStats, Ucq, Var,
+};
+use dcds_reldata::{AccessPath, Instance, InstanceIndex, RelId, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
 
 /// A set of facts over ground terms (values and unresolved service calls).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -80,6 +83,119 @@ impl PreInstance {
     }
 }
 
+/// Compiled query plans for a DCDS: one [`CompiledPlan`] per effect `q⁺`
+/// (with the action parameters as pre-bound inputs) and one per rule
+/// condition that is recognisably a UCQ. Built once per system — see
+/// [`Dcds::plans`] — and shared across the whole exploration; queries
+/// outside the compilable fragment keep `None` and evaluation falls back to
+/// the legacy evaluators, so behaviour is bit-identical either way.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// `effect_plans[action][effect]`.
+    effect_plans: Vec<Vec<Option<CompiledPlan>>>,
+    /// One optional plan per condition–action rule.
+    rule_plans: Vec<Option<CompiledPlan>>,
+    /// Union of the access paths every compiled plan probes — what a
+    /// per-state [`InstanceIndex`] must cover.
+    paths: Vec<AccessPath>,
+    /// Evaluation counters (plan evals, index probes vs scans, fallbacks).
+    pub stats: PlanStats,
+}
+
+impl PlanCache {
+    /// Compile every effect `q⁺` and every UCQ-shaped rule condition.
+    pub fn build(dcds: &Dcds) -> PlanCache {
+        let mut paths: BTreeSet<AccessPath> = BTreeSet::new();
+        let mut effect_plans = Vec::with_capacity(dcds.process.actions.len());
+        for action in &dcds.process.actions {
+            let params: BTreeSet<Var> = action.params.iter().cloned().collect();
+            let mut per_effect = Vec::with_capacity(action.effects.len());
+            for effect in &action.effects {
+                let plan = CompiledPlan::compile(&effect.qplus, &params).ok();
+                if let Some(p) = &plan {
+                    paths.extend(p.access_paths());
+                }
+                per_effect.push(plan);
+            }
+            effect_plans.push(per_effect);
+        }
+        let mut rule_plans = Vec::with_capacity(dcds.process.rules.len());
+        for rule in &dcds.process.rules {
+            let plan = Ucq::from_formula(&rule.condition)
+                .and_then(|ucq| CompiledPlan::compile(&ucq, &BTreeSet::new()).ok());
+            if let Some(p) = &plan {
+                paths.extend(p.access_paths());
+            }
+            rule_plans.push(plan);
+        }
+        PlanCache {
+            effect_plans,
+            rule_plans,
+            paths: paths.into_iter().collect(),
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// The plan for one effect of one action, if it compiled.
+    pub fn effect_plan(&self, action: ActionId, effect: usize) -> Option<&CompiledPlan> {
+        self.effect_plans.get(action.index())?.get(effect)?.as_ref()
+    }
+
+    /// The plan for a rule condition, if it compiled.
+    pub fn rule_plan(&self, rule: usize) -> Option<&CompiledPlan> {
+        self.rule_plans.get(rule)?.as_ref()
+    }
+
+    /// The access paths a per-state index should cover.
+    pub fn access_paths(&self) -> &[AccessPath] {
+        &self.paths
+    }
+
+    /// How many effects (resp. rules) compiled, out of how many.
+    pub fn coverage(&self) -> ((usize, usize), (usize, usize)) {
+        let effects: Vec<&Option<CompiledPlan>> = self.effect_plans.iter().flatten().collect();
+        (
+            (
+                effects.iter().filter(|p| p.is_some()).count(),
+                effects.len(),
+            ),
+            (
+                self.rule_plans.iter().filter(|p| p.is_some()).count(),
+                self.rule_plans.len(),
+            ),
+        )
+    }
+}
+
+/// Build the per-state hash index covering every access path the system's
+/// compiled plans probe. Engines build one per frontier state and reuse it
+/// across all actions, parameter assignments, and effects evaluated there.
+pub fn state_index(dcds: &Dcds, inst: &Instance) -> InstanceIndex {
+    InstanceIndex::build(inst, dcds.plans().access_paths().iter().cloned())
+}
+
+/// Snapshot of the plan-cache counters, for delta publication around a run.
+pub fn query_stats_snapshot(dcds: &Dcds) -> [(&'static str, u64); 4] {
+    dcds.plans().stats.snapshot()
+}
+
+/// Publish the growth of the plan-cache counters since `before` into the
+/// observability registry under `query.*`. The totals depend only on the
+/// work performed, not on the thread count, and this is called from serial
+/// engine code — so the registry stays bit-identical at every thread count.
+pub fn publish_query_stats_delta(
+    dcds: &Dcds,
+    obs: &dcds_obs::Obs,
+    before: &[(&'static str, u64); 4],
+) {
+    if !obs.is_enabled() {
+        return;
+    }
+    for ((name, after), (_, b)) in dcds.plans().stats.snapshot().iter().zip(before) {
+        obs.counter_add(format!("query.{name}"), after.saturating_sub(*b));
+    }
+}
+
 /// Substitute an assignment into a UCQ: parameters bound by σ become
 /// constants (and are dropped from the head, their values being supplied by
 /// σ at grounding time).
@@ -127,12 +243,52 @@ pub fn do_action(
     action: ActionId,
     sigma: &Assignment,
 ) -> PreInstance {
+    do_action_indexed(dcds, inst, action, sigma, None)
+}
+
+/// [`do_action`] evaluating `q⁺` through the cached compiled plans, probing
+/// `index` when one is supplied (see [`state_index`]). Effects whose query
+/// did not compile — or a σ that is not exactly the action's parameter
+/// assignment — take the legacy substitute-and-join path; the result is
+/// bit-identical in every case.
+pub fn do_action_indexed(
+    dcds: &Dcds,
+    inst: &Instance,
+    action: ActionId,
+    sigma: &Assignment,
+    index: Option<&InstanceIndex>,
+) -> PreInstance {
+    let cache = dcds.plans();
+    let action_id = action;
     let action = dcds.process.action(action);
+    // The plans were compiled with exactly `params(α)` as input slots; any
+    // other σ domain (possible through this public API) changes which
+    // variables substitution eliminates, so it must use the legacy path.
+    let sigma_is_params =
+        sigma.len() == action.params.len() && action.params.iter().all(|p| sigma.contains_key(p));
     let mut out = PreInstance::new();
-    for effect in &action.effects {
-        let qplus = substitute_ucq(&effect.qplus, sigma);
+    for (eix, effect) in action.effects.iter().enumerate() {
+        let plan = if sigma_is_params {
+            cache.effect_plan(action_id, eix)
+        } else {
+            None
+        };
+        let thetas: BTreeSet<Assignment> = match plan {
+            Some(plan) => {
+                let mut ctx = match index {
+                    Some(ix) => EvalCtx::with_index(inst, ix),
+                    None => EvalCtx::scan(inst),
+                };
+                ctx = ctx.stats(&cache.stats);
+                plan.eval(&ctx, sigma)
+            }
+            None => {
+                cache.stats.fallback_evals.fetch_add(1, Ordering::Relaxed);
+                eval_ucq(&substitute_ucq(&effect.qplus, sigma), inst)
+            }
+        };
         let qminus = effect.qminus.apply(sigma);
-        for theta in eval_ucq(&qplus, inst) {
+        for theta in thetas {
             // θ covers the (remaining) head variables of q+; the filter Q-
             // may mention them and the parameters (already substituted).
             let mut full: Assignment = theta.clone();
@@ -163,10 +319,39 @@ pub fn do_action(
 /// over the instance provides a legal σ for α (Section 4.1). Returns
 /// deterministic, deduplicated `(action, σ)` pairs.
 pub fn legal_assignments(dcds: &Dcds, inst: &Instance) -> Vec<(ActionId, Assignment)> {
+    legal_assignments_indexed(dcds, inst, None)
+}
+
+/// [`legal_assignments`] answering UCQ-shaped rule conditions through their
+/// compiled plans (probing `index` when supplied); conditions outside the
+/// fragment — negation, universal quantification, non-range-restricted
+/// equalities — keep the reference active-domain evaluator. Identical
+/// output either way: compiled plans are gated on the range restriction
+/// under which the two semantics coincide.
+pub fn legal_assignments_indexed(
+    dcds: &Dcds,
+    inst: &Instance,
+    index: Option<&InstanceIndex>,
+) -> Vec<(ActionId, Assignment)> {
+    let cache = dcds.plans();
     let mut seen: BTreeSet<(ActionId, Vec<(Var, dcds_reldata::Value)>)> = BTreeSet::new();
     let mut out = Vec::new();
-    for rule in &dcds.process.rules {
-        for sigma in dcds_folang::answers(&rule.condition, inst) {
+    for (rix, rule) in dcds.process.rules.iter().enumerate() {
+        let answers: BTreeSet<Assignment> = match cache.rule_plan(rix) {
+            Some(plan) => {
+                let mut ctx = match index {
+                    Some(ix) => EvalCtx::with_index(inst, ix),
+                    None => EvalCtx::scan(inst),
+                };
+                ctx = ctx.stats(&cache.stats);
+                plan.eval(&ctx, &Assignment::new())
+            }
+            None => {
+                cache.stats.fallback_evals.fetch_add(1, Ordering::Relaxed);
+                dcds_folang::answers(&rule.condition, inst)
+            }
+        };
+        for sigma in answers {
             let key: Vec<_> = sigma.iter().map(|(v, c)| (v.clone(), *c)).collect();
             if seen.insert((rule.action, key)) {
                 out.push((rule.action, sigma));

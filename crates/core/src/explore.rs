@@ -15,7 +15,10 @@
 use crate::commitment::{enumerate_commitments, CommitTarget};
 use crate::dcds::Dcds;
 use crate::det::{det_step_with_pre, DetState};
-use crate::do_op::{do_action, legal_assignments, PreInstance};
+use crate::do_op::{
+    do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
+    state_index, PreInstance,
+};
 use crate::nondet::nondet_step_with_pre;
 use crate::par::{configured_threads, par_map_obs};
 use crate::term::ServiceCall;
@@ -209,6 +212,7 @@ pub fn explore_det_traced(
     obs: &Obs,
 ) -> DetExploration {
     let _run = span!(obs, "explore_det", threads = threads);
+    let query_stats0 = query_stats_snapshot(dcds);
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
@@ -239,13 +243,17 @@ pub fn explore_det_traced(
             )
         });
         // Phase 1 (parallel): `DO` and the not-yet-mapped calls per
-        // `(state, ασ)` — pure queries, no pool access.
+        // `(state, ασ)` — pure queries, no pool access. One hash index per
+        // frontier state serves every rule condition and effect evaluated
+        // there.
         let enumerated: Vec<Vec<Enumerated>> =
             par_map_obs(&level, threads, obs, "enumerate", |(_, state)| {
-                legal_assignments(dcds, &state.instance)
+                let idx = state_index(dcds, &state.instance);
+                legal_assignments_indexed(dcds, &state.instance, Some(&idx))
                     .into_iter()
                     .map(|(action, sigma)| {
-                        let pre = do_action(dcds, &state.instance, action, &sigma);
+                        let pre =
+                            do_action_indexed(dcds, &state.instance, action, &sigma, Some(&idx));
                         let new_calls: BTreeSet<ServiceCall> = pre
                             .calls()
                             .into_iter()
@@ -301,6 +309,7 @@ pub fn explore_det_traced(
         depth += 1;
     }
     obs.counter_add("explore.levels", depth as u64);
+    publish_query_stats_delta(dcds, obs, &query_stats0);
     DetExploration {
         ts,
         call_maps,
@@ -340,6 +349,7 @@ pub fn explore_nondet_traced(
     obs: &Obs,
 ) -> NondetExploration {
     let _run = span!(obs, "explore_nondet", threads = threads);
+    let query_stats0 = query_stats_snapshot(dcds);
     let threads = threads.max(1);
     let mut pool = dcds.data.pool.clone();
     let rigid = dcds.rigid_constants();
@@ -367,10 +377,11 @@ pub fn explore_nondet_traced(
         });
         let enumerated: Vec<Vec<Enumerated>> =
             par_map_obs(&level, threads, obs, "enumerate", |(_, inst)| {
-                legal_assignments(dcds, inst)
+                let idx = state_index(dcds, inst);
+                legal_assignments_indexed(dcds, inst, Some(&idx))
                     .into_iter()
                     .map(|(action, sigma)| {
-                        let pre = do_action(dcds, inst, action, &sigma);
+                        let pre = do_action_indexed(dcds, inst, action, &sigma, Some(&idx));
                         let calls = pre.calls();
                         let mut known = inst.active_domain();
                         known.extend(rigid.iter().copied());
@@ -417,6 +428,7 @@ pub fn explore_nondet_traced(
         depth += 1;
     }
     obs.counter_add("explore.levels", depth as u64);
+    publish_query_stats_delta(dcds, obs, &query_stats0);
     NondetExploration { ts, outcome, pool }
 }
 

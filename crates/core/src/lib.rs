@@ -55,7 +55,10 @@ pub use data_layer::DataLayer;
 pub use dcds::{Dcds, ValidationError};
 pub use det::DetState;
 pub use display::{to_spec, DcdsDisplay};
-pub use do_op::{do_action, legal_assignments, PreInstance};
+pub use do_op::{
+    do_action, do_action_indexed, legal_assignments, legal_assignments_indexed, state_index,
+    PlanCache, PreInstance,
+};
 pub use explore::{
     explore_det, explore_det_opts, explore_det_traced, explore_nondet, explore_nondet_opts,
     explore_nondet_traced, ExploreOutcome, Limits,

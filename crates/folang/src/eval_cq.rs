@@ -36,7 +36,10 @@ pub fn eval_cq(cq: &ConjunctiveQuery, inst: &Instance) -> BTreeSet<Assignment> {
             return BTreeSet::new();
         }
     }
-    // Apply equality side conditions, then project to the head.
+    // Apply equality side conditions, then project to the head. The number
+    // of distinct head variables is loop-invariant: compute it once, not
+    // once per result row.
+    let distinct_head = cq.head.iter().collect::<BTreeSet<_>>().len();
     let mut out = BTreeSet::new();
     'outer: for asg in partials {
         for (t1, t2) in &cq.equalities {
@@ -52,7 +55,7 @@ pub fn eval_cq(cq: &ConjunctiveQuery, inst: &Instance) -> BTreeSet<Assignment> {
             .iter()
             .filter_map(|v| asg.get(v).map(|&c| (v.clone(), c)))
             .collect();
-        if projected.len() == cq.head.iter().collect::<BTreeSet<_>>().len() {
+        if projected.len() == distinct_head {
             out.insert(projected);
         }
     }

@@ -12,6 +12,9 @@
 //!   of the instance) ([`eval`]);
 //! * a join-based evaluator for (U)CQs, cross-checked against the reference
 //!   evaluator by property tests ([`eval_cq`]);
+//! * compiled evaluation plans for (U)CQs — numbered variable slots, join
+//!   orders fixed at compile time, hoisted equality checks, and hash-index
+//!   probing via [`dcds_reldata::InstanceIndex`] ([`plan`]);
 //! * equality constraints `Q -> /\ z_i = y_i` and arbitrary FO sentences as
 //!   integrity constraints ([`constraints`]);
 //! * a safe-range (range-restriction) analyzer, the classical syntactic
@@ -27,6 +30,7 @@ pub mod eval;
 pub mod eval_cq;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod pretty;
 pub mod safety;
 pub mod ucq;
@@ -37,6 +41,7 @@ pub use eval::{answers, answers_over, holds, holds_closed, holds_unguided};
 pub use eval_cq::eval_ucq;
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::{parse_formula, ParseError, Parser, RelUse};
+pub use plan::{CompiledPlan, EvalCtx, PlanError, PlanStats};
 pub use safety::{is_safe_range, SafetyError};
 pub use ucq::{ConjunctiveQuery, Ucq};
 

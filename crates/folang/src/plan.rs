@@ -1,0 +1,815 @@
+//! Compiled evaluation plans for (unions of) conjunctive queries.
+//!
+//! [`crate::eval_cq`] re-derives a greedy join order on every call, scans
+//! whole relations with nested loops, and threads `BTreeMap` assignments
+//! that are cloned per extension. The positive parts `q+` of effect
+//! specifications are evaluated at *every* transition of the concrete and
+//! abstract systems, against a query that never changes — so we compile each
+//! (U)CQ once into a [`CompiledPlan`]:
+//!
+//! * variables are numbered **slots** and partial assignments become a flat
+//!   `Vec<Option<Value>>` register file (no tree maps, no per-extension
+//!   clones — bindings are written and undone in place during backtracking);
+//! * the greedy join order is fixed at **compile time**, with action
+//!   parameters treated as pre-bound inputs;
+//! * every atom position is classified up front as constant, bound, or free,
+//!   yielding the bound-position mask a [`dcds_reldata::InstanceIndex`]
+//!   probe needs — atom extension becomes a hash lookup instead of a scan;
+//! * equality side-conditions are **hoisted** to the earliest join step at
+//!   which both sides are bound (input-only equalities are checked once per
+//!   evaluation, before any join);
+//! * steps whose newly-bound slots are never read again (not by later steps,
+//!   later equalities, or the head) are *existential*: the first tuple that
+//!   passes suffices and the remaining candidates are skipped — the
+//!   dead-variable projection that makes boolean sub-joins cheap.
+//!
+//! Compilation is gated on range restriction: every head and equality
+//! variable must occur in an atom or be a declared parameter, which is
+//! exactly the condition under which the natural join semantics below, the
+//! nested-loop [`crate::eval_cq::eval_ucq`], and the active-domain
+//! [`crate::eval::answers`] coincide. Queries outside the fragment are
+//! rejected at compile time ([`PlanError`]) and callers fall back to the
+//! legacy evaluators. Evaluation visits candidate tuples in instance
+//! iteration order (indexes are order-normalised), so outputs are
+//! bit-identical with `eval_ucq` at every thread count.
+
+use crate::ast::{Assignment, QTerm, Var};
+use crate::ucq::{ConjunctiveQuery, Ucq};
+use dcds_reldata::{AccessPath, Instance, InstanceIndex, RelId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a query cannot be compiled (and the caller should use the legacy
+/// evaluators instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A head variable occurs in no atom and is not a parameter.
+    UnboundHeadVar(String),
+    /// An equality variable occurs in no atom and is not a parameter.
+    UnboundEqualityVar(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnboundHeadVar(v) => {
+                write!(
+                    f,
+                    "head variable {v} occurs in no atom and is not a parameter"
+                )
+            }
+            PlanError::UnboundEqualityVar(v) => {
+                write!(
+                    f,
+                    "equality variable {v} occurs in no atom and is not a parameter"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Evaluation counters, shared across threads. Totals are a function of the
+/// evaluated work only, so they are identical at every thread count.
+#[derive(Debug, Default)]
+pub struct PlanStats {
+    /// Compiled-plan evaluations ([`CompiledPlan::eval`] / [`CompiledPlan::holds`]).
+    pub plan_evals: AtomicU64,
+    /// Join steps answered by an index probe.
+    pub index_probes: AtomicU64,
+    /// Join steps answered by a relation scan (no index, or no bound position).
+    pub relation_scans: AtomicU64,
+    /// Evaluations that bypassed the plan layer (query outside the
+    /// compilable fragment, or a non-standard parameter assignment).
+    pub fallback_evals: AtomicU64,
+}
+
+impl PlanStats {
+    /// Current values as `(name, value)` pairs, for publishing into an
+    /// observability registry.
+    pub fn snapshot(&self) -> [(&'static str, u64); 4] {
+        [
+            ("plan_evals", self.plan_evals.load(Ordering::Relaxed)),
+            ("index_probes", self.index_probes.load(Ordering::Relaxed)),
+            (
+                "relation_scans",
+                self.relation_scans.load(Ordering::Relaxed),
+            ),
+            (
+                "fallback_evals",
+                self.fallback_evals.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+}
+
+/// Where an evaluation reads its tuples: always an instance, optionally an
+/// [`InstanceIndex`] over it, optionally a [`PlanStats`] to count into.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'a> {
+    inst: &'a Instance,
+    index: Option<&'a InstanceIndex>,
+    stats: Option<&'a PlanStats>,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Evaluate by scanning relations.
+    pub fn scan(inst: &'a Instance) -> Self {
+        EvalCtx {
+            inst,
+            index: None,
+            stats: None,
+        }
+    }
+
+    /// Evaluate through a prebuilt index (falling back to scans for access
+    /// paths the index does not cover).
+    pub fn with_index(inst: &'a Instance, index: &'a InstanceIndex) -> Self {
+        EvalCtx {
+            inst,
+            index: Some(index),
+            stats: None,
+        }
+    }
+
+    /// Attach an evaluation-counter sink.
+    pub fn stats(mut self, stats: &'a PlanStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    fn count(&self, f: impl FnOnce(&PlanStats) -> &AtomicU64) {
+        if let Some(stats) = self.stats {
+            f(stats).fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A value source known at compile time: a constant or a register slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Const(Value),
+    Slot(usize),
+}
+
+impl Src {
+    fn value(self, regs: &[Option<Value>]) -> Value {
+        match self {
+            Src::Const(c) => c,
+            Src::Slot(s) => regs[s].expect("slot read before bound"),
+        }
+    }
+}
+
+/// An equality check with both sides bound by the time it runs.
+#[derive(Debug, Clone, Copy)]
+struct EqCheck {
+    a: Src,
+    b: Src,
+}
+
+impl EqCheck {
+    fn holds(self, regs: &[Option<Value>]) -> bool {
+        self.a.value(regs) == self.b.value(regs)
+    }
+}
+
+/// Compile-time classification of one atom position.
+#[derive(Debug, Clone, Copy)]
+enum PosTerm {
+    /// The position must carry this constant.
+    Const(Value),
+    /// The position must equal the (already bound) slot.
+    Bound(usize),
+    /// The position binds the slot (or re-checks it, on a repeated variable
+    /// within the same atom).
+    Free(usize),
+}
+
+/// One join step: extend the register file through the tuples of a relation.
+#[derive(Debug, Clone)]
+struct Step {
+    rel: RelId,
+    terms: Vec<PosTerm>,
+    /// Positions bound before the step runs (ascending) — the index access
+    /// path — and how to compute the probe key for each.
+    key_positions: Vec<usize>,
+    key_srcs: Vec<Src>,
+    /// Equalities hoisted to this step (both sides bound once it binds).
+    eq_checks: Vec<EqCheck>,
+    /// No slot bound here is read later: the first passing tuple suffices.
+    existential: bool,
+}
+
+/// A compiled conjunctive query.
+#[derive(Debug, Clone)]
+struct CompiledCq {
+    nslots: usize,
+    /// Parameter variables and their slots, seeded from the input assignment.
+    param_slots: Vec<(Var, usize)>,
+    /// Output variables (head minus parameters) and their slots.
+    out_vars: Vec<(Var, usize)>,
+    /// Equalities over constants and parameters only: checked once per
+    /// evaluation, before any join step.
+    pre_checks: Vec<EqCheck>,
+    steps: Vec<Step>,
+}
+
+/// A compiled union of conjunctive queries. Evaluation returns assignments
+/// over the head variables that are not parameters — exactly what
+/// `eval_ucq` returns after substituting the parameters as constants.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    cqs: Vec<CompiledCq>,
+}
+
+impl CompiledPlan {
+    /// Compile a UCQ, treating `params` as pre-bound input variables.
+    ///
+    /// Fails iff some disjunct is not range-restricted modulo `params`
+    /// (a head or equality variable in no atom); callers should fall back
+    /// to the legacy evaluators in that case.
+    pub fn compile(ucq: &Ucq, params: &BTreeSet<Var>) -> Result<CompiledPlan, PlanError> {
+        let cqs = ucq
+            .disjuncts
+            .iter()
+            .map(|cq| compile_cq(cq, params))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledPlan { cqs })
+    }
+
+    /// The access paths the plan's steps probe — the set to build an
+    /// [`InstanceIndex`] over. Deduplicated and deterministic.
+    pub fn access_paths(&self) -> Vec<AccessPath> {
+        let mut out: BTreeSet<AccessPath> = BTreeSet::new();
+        for cq in &self.cqs {
+            for step in &cq.steps {
+                if !step.key_positions.is_empty() {
+                    out.insert((step.rel, step.key_positions.clone()));
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Evaluate, seeding the parameter slots from `seed`. Returns the set
+    /// of assignments over the non-parameter head variables; bit-identical
+    /// with `eval_ucq` on the parameter-substituted query.
+    ///
+    /// Panics if `seed` misses a parameter that occurs in the query.
+    pub fn eval(&self, ctx: &EvalCtx<'_>, seed: &Assignment) -> BTreeSet<Assignment> {
+        ctx.count(|s| &s.plan_evals);
+        let mut out = BTreeSet::new();
+        for cq in &self.cqs {
+            cq.run(ctx, seed, &mut out, false);
+        }
+        out
+    }
+
+    /// Boolean evaluation: is the answer set non-empty? Stops at the first
+    /// produced row.
+    pub fn holds(&self, ctx: &EvalCtx<'_>, seed: &Assignment) -> bool {
+        ctx.count(|s| &s.plan_evals);
+        let mut scratch = BTreeSet::new();
+        self.cqs
+            .iter()
+            .any(|cq| cq.run(ctx, seed, &mut scratch, true))
+    }
+}
+
+fn src_of(t: &QTerm, slot_of: &BTreeMap<Var, usize>) -> Option<Src> {
+    match t {
+        QTerm::Const(c) => Some(Src::Const(*c)),
+        QTerm::Var(v) => slot_of.get(v).map(|&s| Src::Slot(s)),
+    }
+}
+
+fn compile_cq(cq: &ConjunctiveQuery, params: &BTreeSet<Var>) -> Result<CompiledCq, PlanError> {
+    // Slots: every atom variable, plus parameters referenced by equalities
+    // (parameters referenced only by the head need no slot — the caller's
+    // seed assignment supplies their values directly).
+    let mut slot_vars: BTreeSet<Var> = cq.atom_vars();
+    for (t1, t2) in &cq.equalities {
+        for t in [t1, t2] {
+            if let QTerm::Var(v) = t {
+                if params.contains(v) {
+                    slot_vars.insert(v.clone());
+                }
+            }
+        }
+    }
+    let slot_of: BTreeMap<Var, usize> = slot_vars
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let nslots = slot_of.len();
+    let param_slots: Vec<(Var, usize)> = slot_of
+        .iter()
+        .filter(|(v, _)| params.contains(v))
+        .map(|(v, &s)| (v.clone(), s))
+        .collect();
+
+    // Range restriction modulo parameters.
+    let avars = cq.atom_vars();
+    let mut out_vars: Vec<(Var, usize)> = Vec::new();
+    let mut seen_head: BTreeSet<&Var> = BTreeSet::new();
+    for v in &cq.head {
+        if params.contains(v) {
+            continue; // supplied by the seed, as after parameter substitution
+        }
+        if !avars.contains(v) {
+            return Err(PlanError::UnboundHeadVar(v.name().to_owned()));
+        }
+        if seen_head.insert(v) {
+            out_vars.push((v.clone(), slot_of[v]));
+        }
+    }
+    for (t1, t2) in &cq.equalities {
+        for t in [t1, t2] {
+            if let QTerm::Var(v) = t {
+                if !avars.contains(v) && !params.contains(v) {
+                    return Err(PlanError::UnboundEqualityVar(v.name().to_owned()));
+                }
+            }
+        }
+    }
+
+    // Join order fixed at compile time: the greedy heuristic of
+    // `eval_cq::join_order`, with parameter slots counting as bound from
+    // the start. (The answer set is order-independent; the order only
+    // shapes how much gets pruned early.)
+    let order = {
+        let mut remaining: Vec<usize> = (0..cq.atoms.len()).collect();
+        let mut bound_vars: BTreeSet<Var> = param_slots.iter().map(|(v, _)| v.clone()).collect();
+        let mut order = Vec::with_capacity(cq.atoms.len());
+        while !remaining.is_empty() {
+            let (pos, &best) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &ix)| {
+                    let terms = &cq.atoms[ix].1;
+                    let shared = terms
+                        .iter()
+                        .filter_map(QTerm::as_var)
+                        .collect::<BTreeSet<_>>()
+                        .iter()
+                        .filter(|v| bound_vars.contains(**v))
+                        .count();
+                    let consts = terms.iter().filter(|t| t.as_const().is_some()).count();
+                    (shared, consts, usize::MAX - ix)
+                })
+                .expect("remaining nonempty");
+            order.push(best);
+            bound_vars.extend(cq.atoms[best].1.iter().filter_map(|t| t.as_var().cloned()));
+            remaining.remove(pos);
+        }
+        order
+    };
+
+    // Build the steps, tracking which slot each step binds first.
+    let mut bound: Vec<bool> = vec![false; nslots];
+    for (_, s) in &param_slots {
+        bound[*s] = true;
+    }
+    let mut first_bound_at: Vec<Option<usize>> = vec![None; nslots]; // None = param
+    let mut steps: Vec<Step> = Vec::with_capacity(order.len());
+    for (six, &atom_ix) in order.iter().enumerate() {
+        let (rel, terms) = &cq.atoms[atom_ix];
+        let mut pos_terms = Vec::with_capacity(terms.len());
+        let mut key_positions = Vec::new();
+        let mut key_srcs = Vec::new();
+        let mut newly: Vec<usize> = Vec::new();
+        for (pos, t) in terms.iter().enumerate() {
+            match t {
+                QTerm::Const(c) => {
+                    pos_terms.push(PosTerm::Const(*c));
+                    key_positions.push(pos);
+                    key_srcs.push(Src::Const(*c));
+                }
+                QTerm::Var(v) => {
+                    let s = slot_of[v];
+                    if bound[s] {
+                        pos_terms.push(PosTerm::Bound(s));
+                        key_positions.push(pos);
+                        key_srcs.push(Src::Slot(s));
+                    } else {
+                        // First occurrence binds; a repeat within the same
+                        // atom re-checks against the fresh binding at eval
+                        // time (it is not bound *before* the step, so it
+                        // cannot be part of the probe key).
+                        pos_terms.push(PosTerm::Free(s));
+                        if !newly.contains(&s) {
+                            newly.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        for &s in &newly {
+            bound[s] = true;
+            first_bound_at[s] = Some(six);
+        }
+        steps.push(Step {
+            rel: *rel,
+            terms: pos_terms,
+            key_positions,
+            key_srcs,
+            eq_checks: Vec::new(),
+            existential: false,
+        });
+    }
+
+    // Hoist each equality to the earliest step after which both sides are
+    // bound; equalities over constants and parameters only become
+    // pre-checks, run once per evaluation.
+    let mut pre_checks = Vec::new();
+    for (t1, t2) in &cq.equalities {
+        let a = src_of(t1, &slot_of).expect("equality var has a slot (validated above)");
+        let b = src_of(t2, &slot_of).expect("equality var has a slot (validated above)");
+        let ready = |s: Src| match s {
+            Src::Const(_) => None,
+            Src::Slot(slot) => first_bound_at[slot],
+        };
+        match ready(a).max(ready(b)) {
+            None => pre_checks.push(EqCheck { a, b }),
+            Some(six) => steps[six].eq_checks.push(EqCheck { a, b }),
+        }
+    }
+
+    // Dead-variable projection: a step none of whose fresh slots is read by
+    // a later step, a later equality, or the head is purely existential.
+    let out_slots: BTreeSet<usize> = out_vars.iter().map(|(_, s)| *s).collect();
+    for six in 0..steps.len() {
+        let newly: BTreeSet<usize> = (0..nslots)
+            .filter(|&s| first_bound_at[s] == Some(six))
+            .collect();
+        let used_later = steps[six + 1..].iter().any(|later| {
+            later.terms.iter().any(|t| match t {
+                PosTerm::Bound(s) | PosTerm::Free(s) => newly.contains(s),
+                PosTerm::Const(_) => false,
+            }) || later.eq_checks.iter().any(|eq| {
+                [eq.a, eq.b]
+                    .into_iter()
+                    .any(|src| matches!(src, Src::Slot(s) if newly.contains(&s)))
+            })
+        });
+        steps[six].existential = !used_later && newly.is_disjoint(&out_slots);
+    }
+
+    Ok(CompiledCq {
+        nslots,
+        param_slots,
+        out_vars,
+        pre_checks,
+        steps,
+    })
+}
+
+impl CompiledCq {
+    /// Run the plan, inserting result rows into `out`. With `stop` set,
+    /// returns `true` as soon as the first row is produced.
+    fn run(
+        &self,
+        ctx: &EvalCtx<'_>,
+        seed: &Assignment,
+        out: &mut BTreeSet<Assignment>,
+        stop: bool,
+    ) -> bool {
+        let mut regs: Vec<Option<Value>> = vec![None; self.nslots];
+        for (v, s) in &self.param_slots {
+            let val = seed.get(v).unwrap_or_else(|| {
+                panic!("compiled plan evaluated without a binding for parameter {v}")
+            });
+            regs[*s] = Some(*val);
+        }
+        if self.pre_checks.iter().any(|eq| !eq.holds(&regs)) {
+            return false;
+        }
+        self.dfs(0, &mut regs, ctx, out, stop)
+    }
+
+    fn dfs(
+        &self,
+        depth: usize,
+        regs: &mut Vec<Option<Value>>,
+        ctx: &EvalCtx<'_>,
+        out: &mut BTreeSet<Assignment>,
+        stop: bool,
+    ) -> bool {
+        let Some(step) = self.steps.get(depth) else {
+            let row: Assignment = self
+                .out_vars
+                .iter()
+                .map(|(v, s)| {
+                    (
+                        v.clone(),
+                        regs[*s].expect("head slot bound after all steps"),
+                    )
+                })
+                .collect();
+            out.insert(row);
+            return stop;
+        };
+        // Candidate tuples: a hash probe when an index covers the step's
+        // access path, otherwise a scan in instance iteration order. Index
+        // buckets preserve that order, so both sources enumerate the same
+        // matching tuples in the same sequence.
+        if !step.key_positions.is_empty() {
+            if let Some(index) = ctx.index {
+                let key: Vec<Value> = step.key_srcs.iter().map(|s| s.value(regs)).collect();
+                if let Some(bucket) = index.probe(step.rel, &step.key_positions, &key) {
+                    ctx.count(|s| &s.index_probes);
+                    return self.extend(step, depth, bucket.iter(), regs, ctx, out, stop);
+                }
+            }
+        }
+        ctx.count(|s| &s.relation_scans);
+        let tuples: Vec<&dcds_reldata::Tuple> = ctx.inst.tuples(step.rel).collect();
+        self.extend(step, depth, tuples.into_iter(), regs, ctx, out, stop)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn extend<'t>(
+        &self,
+        step: &Step,
+        depth: usize,
+        tuples: impl Iterator<Item = &'t dcds_reldata::Tuple>,
+        regs: &mut Vec<Option<Value>>,
+        ctx: &EvalCtx<'_>,
+        out: &mut BTreeSet<Assignment>,
+        stop: bool,
+    ) -> bool {
+        let mut written: Vec<usize> = Vec::new();
+        for tuple in tuples {
+            let vals = tuple.values();
+            if vals.len() != step.terms.len() {
+                continue; // cannot match an atom of different arity
+            }
+            written.clear();
+            let mut ok = true;
+            for (pos, pt) in step.terms.iter().enumerate() {
+                match pt {
+                    PosTerm::Const(c) => {
+                        if vals[pos] != *c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    PosTerm::Bound(s) => {
+                        if regs[*s] != Some(vals[pos]) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    PosTerm::Free(s) => match regs[*s] {
+                        Some(b) => {
+                            if b != vals[pos] {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            regs[*s] = Some(vals[pos]);
+                            written.push(*s);
+                        }
+                    },
+                }
+            }
+            if ok && step.eq_checks.iter().any(|eq| !eq.holds(regs)) {
+                ok = false;
+            }
+            if ok {
+                let found = self.dfs(depth + 1, regs, ctx, out, stop);
+                for &s in &written {
+                    regs[s] = None;
+                }
+                if found {
+                    return true;
+                }
+                if step.existential {
+                    // Nothing bound here is read again: every further
+                    // candidate reaches the same sub-search, producing only
+                    // duplicate rows. One passing tuple is enough.
+                    return false;
+                }
+            } else {
+                for &s in &written {
+                    regs[s] = None;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_cq::eval_ucq;
+    use dcds_reldata::{ConstantPool, Schema, Tuple};
+
+    fn setup() -> (ConstantPool, Schema, RelId, RelId, Instance) {
+        let mut pool = ConstantPool::new();
+        let mut schema = Schema::new();
+        let p = schema.add_relation("P", 1).unwrap();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        let inst = Instance::from_facts([
+            (p, Tuple::from([a])),
+            (p, Tuple::from([b])),
+            (q, Tuple::from([a, b])),
+            (q, Tuple::from([b, c])),
+        ]);
+        (pool, schema, p, q, inst)
+    }
+
+    fn check_agreement(ucq: &Ucq, inst: &Instance) {
+        let plan = CompiledPlan::compile(ucq, &BTreeSet::new()).unwrap();
+        let legacy = eval_ucq(ucq, inst);
+        assert_eq!(plan.eval(&EvalCtx::scan(inst), &Assignment::new()), legacy);
+        let index = InstanceIndex::build(inst, plan.access_paths());
+        assert_eq!(
+            plan.eval(&EvalCtx::with_index(inst, &index), &Assignment::new()),
+            legacy
+        );
+        assert_eq!(
+            plan.holds(&EvalCtx::scan(inst), &Assignment::new()),
+            !legacy.is_empty()
+        );
+    }
+
+    #[test]
+    fn agrees_on_joins_constants_and_repeats() {
+        let (pool, _, p, q, inst) = setup();
+        let a = pool.get("a").unwrap();
+        let cases = vec![
+            ConjunctiveQuery {
+                head: vec![Var::new("Y")],
+                atoms: vec![
+                    (p, vec![QTerm::var("X")]),
+                    (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+                    (p, vec![QTerm::var("Y")]),
+                ],
+                equalities: vec![],
+            },
+            ConjunctiveQuery {
+                head: vec![Var::new("X")],
+                atoms: vec![(q, vec![QTerm::var("X"), QTerm::var("X")])],
+                equalities: vec![],
+            },
+            ConjunctiveQuery {
+                head: vec![Var::new("Y")],
+                atoms: vec![(q, vec![QTerm::Const(a), QTerm::var("Y")])],
+                equalities: vec![],
+            },
+            ConjunctiveQuery {
+                head: vec![],
+                atoms: vec![(q, vec![QTerm::var("X"), QTerm::var("Y")])],
+                equalities: vec![],
+            },
+            ConjunctiveQuery::truth(),
+        ];
+        for cq in cases {
+            check_agreement(&Ucq::single(cq), &inst);
+        }
+    }
+
+    #[test]
+    fn equalities_are_hoisted_and_agree() {
+        let (pool, _, p, q, inst) = setup();
+        let b = pool.get("b").unwrap();
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![
+                (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+                (p, vec![QTerm::var("X")]),
+            ],
+            equalities: vec![(QTerm::var("Y"), QTerm::Const(b))],
+        };
+        let plan = CompiledPlan::compile(&Ucq::single(cq.clone()), &BTreeSet::new()).unwrap();
+        // The equality runs at the step that binds Y, not at the end.
+        let hoisted: usize = plan.cqs[0].steps.iter().map(|s| s.eq_checks.len()).sum();
+        assert_eq!(hoisted + plan.cqs[0].pre_checks.len(), 1);
+        check_agreement(&Ucq::single(cq), &inst);
+    }
+
+    #[test]
+    fn params_match_substitution_semantics() {
+        let (pool, _, _, q, inst) = setup();
+        let a = pool.get("a").unwrap();
+        // q+ = Q(p, Y) with parameter p; σ = {p ↦ a} must give the same
+        // rows as substituting p := a and evaluating.
+        let param = Var::new("p");
+        let cq = ConjunctiveQuery {
+            head: vec![param.clone(), Var::new("Y")],
+            atoms: vec![(q, vec![QTerm::Var(param.clone()), QTerm::var("Y")])],
+            equalities: vec![],
+        };
+        let params: BTreeSet<Var> = [param.clone()].into_iter().collect();
+        let plan = CompiledPlan::compile(&Ucq::single(cq.clone()), &params).unwrap();
+        let sigma: Assignment = [(param, a)].into_iter().collect();
+        let rows = plan.eval(&EvalCtx::scan(&inst), &sigma);
+        let substituted = ConjunctiveQuery {
+            head: vec![Var::new("Y")],
+            atoms: vec![(q, vec![QTerm::Const(a), QTerm::var("Y")])],
+            equalities: vec![],
+        };
+        assert_eq!(rows, eval_ucq(&Ucq::single(substituted), &inst));
+    }
+
+    #[test]
+    fn existential_steps_are_detected() {
+        let (_, _, p, q, _) = setup();
+        // head X: Q(X, Y), P(Z) — Z is dead, Y is projected away but the
+        // step binding (X, Y) feeds the head via X.
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("X")],
+            atoms: vec![
+                (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+                (p, vec![QTerm::var("Z")]),
+            ],
+            equalities: vec![],
+        };
+        let plan = CompiledPlan::compile(&Ucq::single(cq), &BTreeSet::new()).unwrap();
+        let steps = &plan.cqs[0].steps;
+        let p_step = steps.iter().find(|s| s.rel == p).unwrap();
+        let q_step = steps.iter().find(|s| s.rel == q).unwrap();
+        assert!(p_step.existential);
+        assert!(!q_step.existential);
+    }
+
+    #[test]
+    fn rejects_unbound_head_and_equality_vars() {
+        let (_, _, p, _, _) = setup();
+        let bad_head = ConjunctiveQuery {
+            head: vec![Var::new("Z")],
+            atoms: vec![(p, vec![QTerm::var("X")])],
+            equalities: vec![],
+        };
+        assert!(matches!(
+            CompiledPlan::compile(&Ucq::single(bad_head), &BTreeSet::new()),
+            Err(PlanError::UnboundHeadVar(_))
+        ));
+        let bad_eq = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![(p, vec![QTerm::var("X")])],
+            equalities: vec![(QTerm::var("W"), QTerm::var("X"))],
+        };
+        assert!(matches!(
+            CompiledPlan::compile(&Ucq::single(bad_eq), &BTreeSet::new()),
+            Err(PlanError::UnboundEqualityVar(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_probes_and_scans() {
+        let (_, _, p, q, inst) = setup();
+        let cq = ConjunctiveQuery {
+            head: vec![Var::new("Y")],
+            atoms: vec![
+                (p, vec![QTerm::var("X")]),
+                (q, vec![QTerm::var("X"), QTerm::var("Y")]),
+            ],
+            equalities: vec![],
+        };
+        let ucq = Ucq::single(cq);
+        let plan = CompiledPlan::compile(&ucq, &BTreeSet::new()).unwrap();
+        let stats = PlanStats::default();
+        let index = InstanceIndex::build(&inst, plan.access_paths());
+        plan.eval(
+            &EvalCtx::with_index(&inst, &index).stats(&stats),
+            &Assignment::new(),
+        );
+        let snap: std::collections::BTreeMap<_, _> = stats.snapshot().into_iter().collect();
+        assert_eq!(snap["plan_evals"], 1);
+        assert!(snap["index_probes"] > 0, "{snap:?}");
+        // The unbound first step (P scan) cannot probe.
+        assert!(snap["relation_scans"] > 0, "{snap:?}");
+    }
+
+    #[test]
+    fn pre_checks_filter_before_joining() {
+        let (pool, _, p, _, inst) = setup();
+        let a = pool.get("a").unwrap();
+        let b = pool.get("b").unwrap();
+        let cq = ConjunctiveQuery {
+            head: vec![],
+            atoms: vec![(p, vec![QTerm::var("X")])],
+            equalities: vec![(QTerm::Const(a), QTerm::Const(b))],
+        };
+        let plan = CompiledPlan::compile(&Ucq::single(cq.clone()), &BTreeSet::new()).unwrap();
+        assert_eq!(plan.cqs[0].pre_checks.len(), 1);
+        assert!(plan
+            .eval(&EvalCtx::scan(&inst), &Assignment::new())
+            .is_empty());
+        assert_eq!(
+            plan.eval(&EvalCtx::scan(&inst), &Assignment::new()),
+            eval_ucq(&Ucq::single(cq), &inst)
+        );
+    }
+}

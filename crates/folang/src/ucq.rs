@@ -149,6 +149,100 @@ impl Ucq {
     pub fn to_formula(&self) -> Formula {
         Formula::disj(self.disjuncts.iter().map(ConjunctiveQuery::to_formula))
     }
+
+    /// Recognise a formula as a UCQ, the gate for compiling it into an
+    /// evaluation plan ([`crate::plan`]).
+    ///
+    /// Accepted shape: a top-level disjunction whose disjuncts are
+    /// existential blocks over conjunctions of atoms, equalities, and
+    /// `true`. Returns `None` outside that fragment, and — conservatively —
+    /// whenever the equivalence between the converted query's natural
+    /// semantics and the formula's active-domain semantics would be in
+    /// doubt:
+    ///
+    /// * a disjunct whose free variables differ from the whole formula's
+    ///   (the active-domain evaluator pads the missing variables over the
+    ///   domain; a UCQ head cannot),
+    /// * a vacuous or shadowing quantifier (`∃v` with `v` not free in the
+    ///   body, or rebinding an outer variable).
+    ///
+    /// The returned query is *not* guaranteed range-restricted; plan
+    /// compilation re-checks that separately.
+    pub fn from_formula(f: &Formula) -> Option<Ucq> {
+        let free: BTreeSet<Var> = f.free_vars();
+        let mut head: Vec<Var> = free.iter().cloned().collect();
+        head.sort();
+        let mut flat = Vec::new();
+        flatten_or(f, &mut flat);
+        let mut disjuncts = Vec::new();
+        for g in flat {
+            if matches!(g, Formula::False) {
+                continue; // a false disjunct contributes no answers
+            }
+            if g.free_vars() != free {
+                return None;
+            }
+            disjuncts.push(disjunct_to_cq(g, head.clone())?);
+        }
+        Some(Ucq { disjuncts })
+    }
+}
+
+/// Flatten nested `Or` into a disjunct list.
+fn flatten_or<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+    match f {
+        Formula::Or(g, h) => {
+            flatten_or(g, out);
+            flatten_or(h, out);
+        }
+        _ => out.push(f),
+    }
+}
+
+/// Convert one disjunct `∃x₁...∃xₖ. conj` into a CQ with the given head.
+fn disjunct_to_cq(mut f: &Formula, head: Vec<Var>) -> Option<ConjunctiveQuery> {
+    let mut scope: BTreeSet<&Var> = head.iter().collect();
+    while let Formula::Exists(v, body) = f {
+        // Reject shadowing (substitution semantics would differ) and
+        // vacuous quantification (∃v over an empty active domain is false
+        // even when the body is satisfiable, unlike dropping v).
+        if !scope.insert(v) || !body.free_vars().contains(v) {
+            return None;
+        }
+        f = body;
+    }
+    let mut atoms = Vec::new();
+    let mut equalities = Vec::new();
+    collect_conjuncts(f, &mut atoms, &mut equalities)?;
+    Some(ConjunctiveQuery {
+        head,
+        atoms,
+        equalities,
+    })
+}
+
+/// Collect a conjunction of atoms / equalities / `true` leaves.
+fn collect_conjuncts(
+    f: &Formula,
+    atoms: &mut Vec<(RelId, Vec<QTerm>)>,
+    equalities: &mut Vec<(QTerm, QTerm)>,
+) -> Option<()> {
+    match f {
+        Formula::True => Some(()),
+        Formula::Atom(rel, terms) => {
+            atoms.push((*rel, terms.clone()));
+            Some(())
+        }
+        Formula::Eq(t1, t2) => {
+            equalities.push((t1.clone(), t2.clone()));
+            Some(())
+        }
+        Formula::And(g, h) => {
+            collect_conjuncts(g, atoms, equalities)?;
+            collect_conjuncts(h, atoms, equalities)
+        }
+        _ => None,
+    }
 }
 
 #[cfg(test)]

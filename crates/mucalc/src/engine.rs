@@ -31,9 +31,9 @@ use crate::ast::{Mu, PredVar};
 use crate::mc::Valuation;
 use dcds_core::par::par_map;
 use dcds_core::{StateId, Ts};
-use dcds_folang::{holds, Assignment, QTerm, Var};
+use dcds_folang::{holds, Assignment, CompiledPlan, EvalCtx, PlanStats, QTerm, Ucq, Var};
 use dcds_obs::{span, Obs};
-use dcds_reldata::Value;
+use dcds_reldata::{AccessPath, InstanceIndex, Value};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -241,6 +241,11 @@ pub fn eval_traced(
     );
     let mut infos = Vec::new();
     index(f, &mut infos);
+    // Compile each query leaf once per run (pre-order ids mirror `index`);
+    // leaves outside the compilable UCQ fragment stay on the `holds` path.
+    let mut plans = Vec::new();
+    compile_plans(f, &mut plans);
+    let threads = opts.threads.max(1);
     let states: Vec<StateId> = ts.state_ids().collect();
     let all: BTreeSet<StateId> = states.iter().copied().collect();
     let domain: Vec<Value> = {
@@ -248,13 +253,31 @@ pub fn eval_traced(
         d.extend(val.individuals.values().copied());
         d.into_iter().collect()
     };
+    // One hash index per state, covering every access path any compiled
+    // plan probes; built in parallel up front, reused by every query
+    // evaluation and every fixpoint iteration of the run.
+    let state_idx: Vec<InstanceIndex> = if plans.iter().any(Option::is_some) {
+        let paths: BTreeSet<AccessPath> = plans
+            .iter()
+            .flatten()
+            .flat_map(|p| p.access_paths())
+            .collect();
+        par_map(&states, threads, |&s| {
+            InstanceIndex::build(ts.db(s), paths.iter().cloned())
+        })
+    } else {
+        Vec::new()
+    };
     let mut engine = Engine {
         ts,
         states,
         all,
         domain,
         infos,
-        threads: opts.threads.max(1),
+        plans,
+        state_idx,
+        plan_stats: PlanStats::default(),
+        threads,
         cache: HashMap::new(),
         counters: McCounters::default(),
         obs: obs.clone(),
@@ -262,7 +285,44 @@ pub fn eval_traced(
     let ext = engine.eval_node(f, 0, val);
     run_span.set("extension", ext.len() as u64);
     engine.counters.publish(obs, "mc");
+    // Plan-cache counters are totals of the work performed — independent of
+    // the thread count — published here from serial code.
+    if obs.is_enabled() {
+        let compiled = engine.plans.iter().flatten().count() as u64;
+        obs.counter_add("mc.plans_compiled", compiled);
+        for (name, v) in engine.plan_stats.snapshot() {
+            obs.counter_add(format!("mc.query.{name}"), v);
+        }
+    }
     (ext, engine.counters)
+}
+
+/// Compile each `Mu::Query` leaf whose formula falls in the compilable UCQ
+/// fragment, pushing one entry per node in the pre-order of [`index`]. The
+/// query's free variables become plan parameters, so evaluation under a
+/// full assignment is a boolean existence check.
+fn compile_plans(f: &Mu, plans: &mut Vec<Option<CompiledPlan>>) {
+    let plan = match f {
+        Mu::Query(q) => {
+            Ucq::from_formula(q).and_then(|ucq| CompiledPlan::compile(&ucq, &q.free_vars()).ok())
+        }
+        _ => None,
+    };
+    plans.push(plan);
+    match f {
+        Mu::Query(_) | Mu::Live(_) | Mu::Pvar(_) => {}
+        Mu::Not(g)
+        | Mu::Diamond(g)
+        | Mu::Box_(g)
+        | Mu::Exists(_, g)
+        | Mu::Forall(_, g)
+        | Mu::Lfp(_, g)
+        | Mu::Gfp(_, g) => compile_plans(g, plans),
+        Mu::And(g, h) | Mu::Or(g, h) | Mu::Implies(g, h) => {
+            compile_plans(g, plans);
+            compile_plans(h, plans);
+        }
+    }
 }
 
 /// Static per-subformula facts, computed once per run by [`index`].
@@ -314,6 +374,13 @@ struct Engine<'a> {
     all: BTreeSet<StateId>,
     domain: Vec<Value>,
     infos: Vec<NodeInfo>,
+    /// Compiled plan per pre-order node id; `Some` only at `Mu::Query`
+    /// leaves in the compilable fragment.
+    plans: Vec<Option<CompiledPlan>>,
+    /// Per-state hash indexes aligned with `states`; empty when no leaf
+    /// compiled.
+    state_idx: Vec<InstanceIndex>,
+    plan_stats: PlanStats,
     threads: usize,
     cache: HashMap<CacheKey, BTreeSet<StateId>>,
     counters: McCounters,
@@ -373,9 +440,20 @@ impl Engine<'_> {
                 }
                 self.counters.query_state_evals += self.states.len() as u64;
                 let ts = self.ts;
-                let sat = par_map(&self.states, self.threads, |&s| {
-                    holds(q, ts.db(s), &asg).unwrap_or(false)
-                });
+                let sat = match &self.plans[id as usize] {
+                    Some(plan) if self.state_idx.len() == self.states.len() => {
+                        let (idxs, stats) = (&self.state_idx, &self.plan_stats);
+                        let states = &self.states;
+                        let ord: Vec<usize> = (0..states.len()).collect();
+                        par_map(&ord, self.threads, |&i| {
+                            let ctx = EvalCtx::with_index(ts.db(states[i]), &idxs[i]).stats(stats);
+                            plan.holds(&ctx, &asg)
+                        })
+                    }
+                    _ => par_map(&self.states, self.threads, |&s| {
+                        holds(q, ts.db(s), &asg).unwrap_or(false)
+                    }),
+                };
                 self.states
                     .iter()
                     .zip(sat)

@@ -1,0 +1,165 @@
+//! Hash indexes over instances for compiled query evaluation.
+//!
+//! An [`InstanceIndex`] materialises, for a fixed set of *access paths*
+//! `(relation, bound positions)`, a hash map from the values at those
+//! positions to the matching tuples. A compiled query plan (see
+//! `dcds_folang::plan`) declares up front which access paths its join steps
+//! probe; the state-space engines build one index per `Instance` (i.e. per
+//! state) and reuse it across every action, parameter assignment, and effect
+//! evaluated against that state, turning atom extension from a full relation
+//! scan into a hash lookup.
+//!
+//! Determinism contract: [`Instance`] iterates its `BTreeSet` tuples in
+//! sorted order, and the index records the tuples of every bucket in exactly
+//! that order, so probe results are *order-normalised* — evaluating a plan
+//! through the index visits candidate tuples in the same order as a scan of
+//! the relation restricted to the bucket, and every derived output is
+//! bit-identical with the scan-based evaluator.
+
+use crate::{Instance, RelId, Tuple, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An access path: the positions of a relation's columns that a plan step
+/// has bound at probe time. Positions are 0-based, strictly increasing, and
+/// non-empty (a step with no bound position scans the relation instead).
+pub type AccessPath = (RelId, Vec<usize>);
+
+/// One materialised access path: `values at positions -> matching tuples`,
+/// buckets in sorted (instance iteration) order.
+#[derive(Debug, Default)]
+struct PathIndex {
+    positions: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<Tuple>>,
+}
+
+/// Per-instance hash index over a declared set of access paths.
+///
+/// Built eagerly by [`InstanceIndex::build`]; the construction makes one
+/// pass over each indexed relation per distinct access path. The index is
+/// `Sync` — parallel workers probe a shared index for the state they are
+/// expanding — and counts its probes for observability.
+#[derive(Debug, Default)]
+pub struct InstanceIndex {
+    /// Paths grouped per relation; the per-relation list is tiny (one entry
+    /// per distinct bound-position set any plan step uses), so lookup is a
+    /// linear scan over it.
+    rels: HashMap<RelId, Vec<PathIndex>>,
+    /// Hash probes answered (hits and empty buckets alike).
+    probes: AtomicU64,
+}
+
+impl InstanceIndex {
+    /// Build an index over `inst` for the given access paths. Duplicate
+    /// paths and paths with no positions are ignored; tuples too short for
+    /// a path's positions are skipped (they can never match a probe).
+    pub fn build(inst: &Instance, paths: impl IntoIterator<Item = AccessPath>) -> Self {
+        let mut out = InstanceIndex::default();
+        for (rel, positions) in paths {
+            if positions.is_empty() {
+                continue;
+            }
+            debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            let entries = out.rels.entry(rel).or_default();
+            if entries.iter().any(|p| p.positions == positions) {
+                continue;
+            }
+            let mut buckets: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            let max_pos = *positions.last().expect("positions nonempty");
+            for tuple in inst.tuples(rel) {
+                if tuple.arity() <= max_pos {
+                    continue;
+                }
+                let key: Vec<Value> = positions.iter().map(|&p| tuple[p]).collect();
+                buckets.entry(key).or_default().push(tuple.clone());
+            }
+            entries.push(PathIndex { positions, buckets });
+        }
+        out
+    }
+
+    /// Probe the index: the tuples of `rel` whose `positions` carry exactly
+    /// the values `key`, in instance iteration order. Returns `None` when
+    /// the access path was not declared at build time (callers then fall
+    /// back to scanning); a declared path with no matches yields an empty
+    /// slice.
+    pub fn probe(&self, rel: RelId, positions: &[usize], key: &[Value]) -> Option<&[Tuple]> {
+        let path = self
+            .rels
+            .get(&rel)?
+            .iter()
+            .find(|p| p.positions == positions)?;
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        Some(path.buckets.get(key).map_or(&[], Vec::as_slice))
+    }
+
+    /// Number of probes answered so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Number of materialised access paths.
+    pub fn num_paths(&self) -> usize {
+        self.rels.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantPool, Schema};
+
+    fn setup() -> (ConstantPool, RelId, Instance) {
+        let mut pool = ConstantPool::new();
+        let mut schema = Schema::new();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        let inst = Instance::from_facts([
+            (q, Tuple::from([a, b])),
+            (q, Tuple::from([a, c])),
+            (q, Tuple::from([b, c])),
+        ]);
+        (pool, q, inst)
+    }
+
+    #[test]
+    fn probe_returns_bucket_in_instance_order() {
+        let (pool, q, inst) = setup();
+        let a = pool.get("a").unwrap();
+        let idx = InstanceIndex::build(&inst, [(q, vec![0])]);
+        let hits = idx.probe(q, &[0], &[a]).unwrap();
+        // Same order as scanning the sorted relation.
+        let scanned: Vec<Tuple> = inst.tuples(q).filter(|t| t[0] == a).cloned().collect();
+        assert_eq!(hits, scanned.as_slice());
+        assert_eq!(idx.probes(), 1);
+    }
+
+    #[test]
+    fn empty_bucket_and_unknown_path() {
+        let (pool, q, inst) = setup();
+        let c = pool.get("c").unwrap();
+        let idx = InstanceIndex::build(&inst, [(q, vec![0])]);
+        assert_eq!(idx.probe(q, &[0], &[c]).unwrap(), &[] as &[Tuple]);
+        assert!(idx.probe(q, &[1], &[c]).is_none());
+    }
+
+    #[test]
+    fn multi_position_key_and_dedup() {
+        let (pool, q, inst) = setup();
+        let a = pool.get("a").unwrap();
+        let b = pool.get("b").unwrap();
+        let idx = InstanceIndex::build(&inst, [(q, vec![0, 1]), (q, vec![0, 1])]);
+        assert_eq!(idx.num_paths(), 1);
+        let hits = idx.probe(q, &[0, 1], &[a, b]).unwrap();
+        assert_eq!(hits, &[Tuple::from([a, b])]);
+    }
+
+    #[test]
+    fn empty_positions_are_ignored() {
+        let (_, q, inst) = setup();
+        let idx = InstanceIndex::build(&inst, [(q, vec![])]);
+        assert_eq!(idx.num_paths(), 0);
+    }
+}

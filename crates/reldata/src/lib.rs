@@ -20,6 +20,7 @@
 //! bisimulations) is built on these types.
 
 pub mod display;
+pub mod index;
 pub mod instance;
 pub mod iso;
 pub mod schema;
@@ -28,6 +29,7 @@ pub mod tuple;
 pub mod value;
 
 pub use display::{FactsDisplay, InstanceDisplay};
+pub use index::{AccessPath, InstanceIndex};
 pub use instance::Instance;
 pub use iso::{CanonKey, Facts, PERM_BUDGET};
 pub use schema::{RelId, RelSchema, Schema};

@@ -12,4 +12,27 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q
 
+echo "== query-plan differential suite"
+# Four-way differential (reference / nested-loop / plan-scan / plan+index)
+# plus the engine-level thread-count invariance tests. Both are part of
+# `cargo test` above; rerunning them by name keeps the gate loud if either
+# target is ever renamed or feature-gated away.
+cargo test -q -p dcds-folang --test plan_differential
+cargo test -q -p dcds-bench --test plan_paths
+
+echo "== cargo bench --no-run (compile check)"
+# Criterion benches carry required-features = ["criterion"] (the registry
+# is unreachable offline), so this compiles every crate in the bench
+# profile and skips the gated harnesses unless the feature is enabled.
+cargo bench --no-run
+
+if [[ "${DCDS_PROPTEST:-0}" == "1" ]]; then
+    echo "== proptest suites (DCDS_PROPTEST=1)"
+    # Requires the `proptest` dev-dependency, which offline builds cannot
+    # fetch; opt in from a networked environment.
+    cargo test -q -p dcds-folang --features proptest --test eval_agreement
+else
+    echo "== proptest suites skipped (set DCDS_PROPTEST=1 to enable)"
+fi
+
 echo "All checks passed."
