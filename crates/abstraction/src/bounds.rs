@@ -33,7 +33,7 @@ pub struct BoundObservation {
 /// maximum, over all commitment-representative runs of length ≤ `depth`,
 /// of the number of distinct values met along the run.
 pub fn observe_run_bound(dcds: &Dcds, depth: usize, max_runs: usize) -> BoundObservation {
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let s0 = DetState::initial(dcds);
     let mut seen_values: BTreeSet<Value> = s0.instance.active_domain();
     let mut obs = BoundObservation {
@@ -112,7 +112,7 @@ fn dfs_det(
 /// maximum per-state active-domain size over commitment-representative
 /// states reachable within `depth` steps.
 pub fn observe_state_bound(dcds: &Dcds, depth: usize, max_states: usize) -> BoundObservation {
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let mut frontier = vec![dcds.data.initial.clone()];
     let mut examined = 0usize;
     let mut max_observed = dcds.data.initial.active_domain().len();

@@ -1,0 +1,779 @@
+//! Arena-backed variants of the state-space engines.
+//!
+//! [`det_abstraction_compact`] and [`rcycl_compact`] build the same
+//! abstract transition systems as [`crate::det_abs::det_abstraction`] and
+//! [`crate::rcycl::rcycl`] — same states in the same order, same edges,
+//! same pool, same counters, at every thread count — but store states in a
+//! [`StateStore`]: each state is a delta over its parent, every fact
+//! payload is interned once, and per-state memory is proportional to the
+//! *change* a transition made rather than the instance. That is what takes
+//! the engines from the legacy path's ~10⁴-state comfort zone to
+//! million-state budgets with flat per-state memory (see
+//! `BENCH_scale.json`).
+//!
+//! Two further compact-path mechanics:
+//!
+//! * **Copy-on-write indexes.** A successor's [`InstanceIndex`] is derived
+//!   from its parent's via [`InstanceIndex::rebuild_delta`]: untouched
+//!   relations share the parent's path groups behind an `Arc`, only the
+//!   relations the transition touched are rebuilt — O(|touched|) instead
+//!   of O(|instance|). Probe results are bit-identical to a from-scratch
+//!   build, so query evaluation is unchanged.
+//! * **Store-handle dedup.** The class index keeps [`StateRef`] handles
+//!   instead of owned [`Facts`]; the facts of a resident class are
+//!   materialised from the store only when a signature bucket collides
+//!   (the rare path). The dedup decisions and counter increments replay
+//!   the legacy engine's exactly.
+//!
+//! The legacy owned-`Instance` engines remain the **differential oracle**:
+//! the test suite asserts `compact.to_ts() == legacy.ts` (plus outcome,
+//! pool, and counters) across workloads and thread counts.
+
+use crate::det_abs::{AbsOptions, AbsOutcome, DedupStrategy};
+use dcds_core::det::{det_step_with_pre, DetState};
+use dcds_core::do_op::{
+    do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
+    state_index, PreInstance,
+};
+use dcds_core::nondet::{evals_over, nondet_step_with_pre};
+use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
+use dcds_core::{
+    enumerate_commitments, ActionId, CommitTarget, Commitment, CompactTs, Dcds, StateId,
+};
+use dcds_folang::Assignment;
+use dcds_obs::{span, Obs};
+use dcds_reldata::{
+    CanonKey, ConstantPool, Facts, InstanceIndex, RelId, StateRef, StateStore, Value, PERM_BUDGET,
+};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Publish the store's high-water marks. Called from serial phases only,
+/// so the gauges are bit-identical at every thread count.
+fn publish_store_gauges(obs: &Obs, store: &StateStore) {
+    let stats = store.stats();
+    obs.gauge_max("store.bytes", stats.bytes as i64);
+    obs.gauge_max("store.facts_interned", stats.facts_interned as i64);
+    obs.gauge_max("store.delta_states", stats.delta_states as i64);
+}
+
+/// Result of the compact deterministic abstraction. Compared to
+/// [`crate::det_abs::DetAbstraction`] there is no `states: Vec<DetState>`
+/// — retaining every ⟨I, M⟩ state as an owned structure is exactly what
+/// the compact path exists to avoid. The full fact encoding of any state
+/// is still available through [`CompactTs::store`].
+#[derive(Debug)]
+pub struct CompactDetAbstraction {
+    /// The abstract transition system, states in the store.
+    pub ts: CompactTs,
+    /// Saturated or truncated.
+    pub outcome: AbsOutcome,
+    /// The constant pool extended with minted representatives.
+    pub pool: ConstantPool,
+    /// Engine counters — bit-identical to the legacy engine's.
+    pub counters: EngineCounters,
+}
+
+/// Signature-bucketed class index over store handles. The mirror of the
+/// legacy `ClassIndex` with `Facts` payloads replaced by [`StateRef`]s;
+/// every counter increment and every dedup decision replays the legacy
+/// logic exactly (the differential tests assert `counters` equality).
+struct StoreClassIndex {
+    strategy: DedupStrategy,
+    rigid: BTreeSet<Value>,
+    /// Per class: the store handle of its representative state.
+    refs: Vec<StateRef>,
+    /// Per class: canonical key, if computed and within budget.
+    keys: Vec<Option<CanonKey>>,
+    /// Signature → classes with that signature, in insertion order.
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl StoreClassIndex {
+    fn new(strategy: DedupStrategy, rigid: BTreeSet<Value>) -> Self {
+        StoreClassIndex {
+            strategy,
+            rigid,
+            refs: Vec::new(),
+            keys: Vec::new(),
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn bucket_occupied(&self, sig: u64) -> bool {
+        self.buckets.get(&sig).is_some_and(|b| !b.is_empty())
+    }
+
+    fn find(
+        &mut self,
+        store: &StateStore,
+        facts: &Facts,
+        sig: u64,
+        probe_key: &mut Option<Option<CanonKey>>,
+        counters: &mut EngineCounters,
+    ) -> Option<usize> {
+        let StoreClassIndex {
+            strategy,
+            rigid,
+            refs,
+            keys,
+            buckets,
+        } = self;
+        let Some(bucket) = buckets.get(&sig).filter(|b| !b.is_empty()) else {
+            counters.sig_filter_skips += 1;
+            if *strategy == DedupStrategy::PairwiseIso {
+                counters.iso_checks_avoided += refs.len() as u64;
+            }
+            return None;
+        };
+        if *strategy == DedupStrategy::PairwiseIso {
+            counters.iso_checks_avoided += (refs.len() - bucket.len()) as u64;
+            for &ix in bucket {
+                counters.iso_checks_performed += 1;
+                if store.facts(refs[ix]).isomorphic(facts, rigid) {
+                    return Some(ix);
+                }
+            }
+            return None;
+        }
+        if probe_key.is_none() {
+            *probe_key = Some(facts.try_canonical_key(rigid, PERM_BUDGET));
+            if probe_key.as_ref().unwrap().is_some() {
+                counters.canon_keys_computed += 1;
+            }
+        }
+        let probe = probe_key.as_ref().unwrap();
+        for &ix in bucket {
+            match (probe, &keys[ix]) {
+                (Some(pk), Some(ck)) => {
+                    counters.iso_checks_avoided += 1;
+                    if pk == ck {
+                        return Some(ix);
+                    }
+                }
+                _ => {
+                    if probe.is_some() && keys[ix].is_none() {
+                        keys[ix] = store.facts(refs[ix]).try_canonical_key(rigid, PERM_BUDGET);
+                        if let Some(ck) = &keys[ix] {
+                            counters.canon_keys_computed += 1;
+                            counters.iso_checks_avoided += 1;
+                            if probe.as_ref().unwrap() == ck {
+                                return Some(ix);
+                            }
+                            continue;
+                        }
+                    }
+                    counters.iso_checks_performed += 1;
+                    if store.facts(refs[ix]).isomorphic(facts, rigid) {
+                        return Some(ix);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn insert(&mut self, state: StateRef, sig: u64, probe_key: Option<Option<CanonKey>>) {
+        let ix = self.refs.len();
+        self.refs.push(state);
+        self.keys.push(probe_key.flatten());
+        self.buckets.entry(sig).or_default().push(ix);
+    }
+}
+
+/// A frontier state of the compact BFS: its id, its transient ⟨I, M⟩
+/// structure (dropped when the level completes), and its copy-on-write
+/// query index (shared with its children until they are expanded).
+struct FrontierState {
+    id: StateId,
+    state: DetState,
+    index: Arc<InstanceIndex>,
+}
+
+type EnumeratedStep = (ActionId, Assignment, PreInstance, Vec<Commitment>);
+
+struct StepTask<'a> {
+    frontier_ix: usize,
+    source: StateId,
+    pre: &'a PreInstance,
+    choice: std::collections::BTreeMap<dcds_core::ServiceCall, Value>,
+}
+
+struct StepResult {
+    source: StateId,
+    frontier_ix: usize,
+    next: Option<(DetState, Facts, u64, Option<Option<CanonKey>>)>,
+}
+
+/// A state admitted during the merge phase, awaiting its COW index.
+struct PendingChild {
+    id: StateId,
+    state: DetState,
+    /// Index into the *current* frontier of the parent it stepped from.
+    parent_ix: usize,
+    /// Relations its delta touched; `None` = stored as a root (rebuild
+    /// everything).
+    touched: Option<Vec<RelId>>,
+}
+
+/// [`crate::det_abs::det_abstraction`] over the compact state store.
+pub fn det_abstraction_compact(dcds: &Dcds, max_states: usize) -> CompactDetAbstraction {
+    det_abstraction_compact_opts(dcds, max_states, AbsOptions::default())
+}
+
+/// [`det_abstraction_compact`] with explicit options.
+pub fn det_abstraction_compact_opts(
+    dcds: &Dcds,
+    max_states: usize,
+    opts: AbsOptions,
+) -> CompactDetAbstraction {
+    det_abstraction_compact_traced(dcds, max_states, opts, &Obs::disabled())
+}
+
+/// [`det_abstraction_compact_opts`] with an observability handle. Adds
+/// the `store.*` gauge family on top of the legacy engine's metrics; the
+/// phase structure (and therefore the output) mirrors
+/// [`crate::det_abs::det_abstraction_traced`] exactly, with one extra
+/// parallel phase per level that derives the new frontier's COW indexes
+/// while the parent indexes are still alive.
+pub fn det_abstraction_compact_traced(
+    dcds: &Dcds,
+    max_states: usize,
+    opts: AbsOptions,
+    obs: &Obs,
+) -> CompactDetAbstraction {
+    let _run = span!(
+        obs,
+        "det_abstraction_compact",
+        threads = opts.threads,
+        max_states = max_states
+    );
+    let query_stats0 = query_stats_snapshot(dcds);
+    let rigid = dcds.rigid_constants();
+    let num_rels = dcds.data.schema.len();
+    let threads = opts.threads.max(1);
+    let mut pool = dcds.working_pool();
+    let mut counters = EngineCounters::default();
+    let paths = dcds.plans().access_paths();
+
+    let mut store = StateStore::new();
+    let s0 = DetState::initial(dcds);
+    let f0 = s0.to_facts(num_rels);
+    let r0 = store.insert(None, &f0).state;
+    let mut refs: Vec<StateRef> = vec![r0];
+    let mut succ: Vec<Vec<StateId>> = vec![Vec::new()];
+
+    let mut index = StoreClassIndex::new(opts.strategy, rigid.clone());
+    let sig0 = f0.signature(&rigid);
+    let key0 = if opts.strategy == DedupStrategy::CanonicalKey {
+        let k = f0.try_canonical_key(&rigid, PERM_BUDGET);
+        if k.is_some() {
+            counters.canon_keys_computed += 1;
+        }
+        Some(k)
+    } else {
+        None
+    };
+    index.insert(r0, sig0, key0);
+
+    let idx0 = Arc::new(state_index(dcds, &s0.instance));
+    let mut frontier: Vec<FrontierState> = vec![FrontierState {
+        id: StateId::from_index(0),
+        state: s0,
+        index: idx0,
+    }];
+    let mut outcome = AbsOutcome::Complete;
+    let mut level = 0usize;
+
+    while !frontier.is_empty() {
+        counters.states_expanded += frontier.len() as u64;
+        let mut level_span = span!(
+            obs,
+            "frontier_level",
+            level = level,
+            frontier = frontier.len()
+        );
+        obs.histogram("abs.frontier_states", frontier.len() as u64);
+        obs.gauge_max("abs.max_frontier", frontier.len() as i64);
+        obs.heartbeat(|| {
+            format!(
+                "abstraction level {level}: frontier {}, {} classes total",
+                frontier.len(),
+                refs.len()
+            )
+        });
+
+        // Phase 1 (parallel): legal assignments, pre-instances, and
+        // commitments per frontier state — probing the state's COW index.
+        let enumerated: Vec<Vec<EnumeratedStep>> =
+            par_map_obs(&frontier, threads, obs, "enumerate", |entry| {
+                let state = &entry.state;
+                legal_assignments_indexed(dcds, &state.instance, Some(&entry.index))
+                    .into_iter()
+                    .map(|(action, sigma)| {
+                        let pre = do_action_indexed(
+                            dcds,
+                            &state.instance,
+                            action,
+                            &sigma,
+                            Some(&entry.index),
+                        );
+                        let new_calls: Vec<dcds_core::ServiceCall> = pre
+                            .calls()
+                            .into_iter()
+                            .filter(|c| !state.call_map.contains_key(c))
+                            .collect();
+                        let mut known: BTreeSet<Value> = state.known_values();
+                        known.extend(rigid.iter().copied());
+                        let known: Vec<Value> = known.into_iter().collect();
+                        let commitments = enumerate_commitments(&new_calls, &known);
+                        (action, sigma, pre, commitments)
+                    })
+                    .collect()
+            });
+
+        // Phase 2 (serial, frontier order): mint fresh cells.
+        let mut tasks: Vec<StepTask> = Vec::new();
+        for (frontier_ix, (entry, per_state)) in frontier.iter().zip(&enumerated).enumerate() {
+            for (_action, _sigma, pre, commitments) in per_state {
+                for commitment in commitments {
+                    let cells = dcds_core::commitment::fresh_cell_count(commitment);
+                    let fresh: Vec<Value> = (0..cells).map(|_| pool.mint("v")).collect();
+                    let choice = commitment
+                        .iter()
+                        .map(|(c, t)| {
+                            let v = match t {
+                                CommitTarget::Known(v) => *v,
+                                CommitTarget::Fresh(cell) => fresh[*cell],
+                            };
+                            (c.clone(), v)
+                        })
+                        .collect();
+                    tasks.push(StepTask {
+                        frontier_ix,
+                        source: entry.id,
+                        pre,
+                        choice,
+                    });
+                }
+            }
+        }
+
+        // Phase 3 (parallel): step, encode, sign, eager-key on bucket hit.
+        let step_timer = obs.timer();
+        let stepped: Vec<StepResult> = par_map_obs(&tasks, threads, obs, "step", |task| {
+            let state = &frontier[task.frontier_ix].state;
+            let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
+                let facts = next.to_facts(num_rels);
+                let sig = facts.signature(&rigid);
+                let key = if opts.strategy == DedupStrategy::CanonicalKey
+                    && (opts.eager_keys || index.bucket_occupied(sig))
+                {
+                    Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
+                } else {
+                    None
+                };
+                (next, facts, sig, key)
+            });
+            StepResult {
+                source: task.source,
+                frontier_ix: task.frontier_ix,
+                next,
+            }
+        });
+        drop(tasks);
+        obs.time_us("abs.step_phase_us", step_timer);
+
+        // Phase 4 (serial, task order): dedup against the class index,
+        // insert survivors into the store as deltas over their parent.
+        let merge_timer = obs.timer();
+        let mut pending: Vec<PendingChild> = Vec::new();
+        // Children of one parent arrive consecutively: resolve the
+        // parent's fact ids once and reuse them for the whole group.
+        let mut resolved_parent: Option<(StateId, Vec<dcds_reldata::FactId>)> = None;
+        for result in stepped {
+            let Some((next, facts, sig, mut key)) = result.next else {
+                continue;
+            };
+            counters.successors_generated += 1;
+            if let Some(Some(_)) = &key {
+                counters.canon_keys_computed += 1;
+            }
+            let found = index.find(&store, &facts, sig, &mut key, &mut counters);
+            if matches!(key, Some(None)) {
+                obs.counter_add("abs.perm_budget_fallbacks", 1);
+            }
+            let next_id = match found {
+                Some(class_ix) => StateId::from_index(class_ix),
+                None => {
+                    if refs.len() >= max_states {
+                        outcome = AbsOutcome::Truncated;
+                        continue;
+                    }
+                    let parent_ref = refs[result.source.index()];
+                    if resolved_parent.as_ref().map(|(s, _)| *s) != Some(result.source) {
+                        resolved_parent = Some((result.source, store.resolve(parent_ref)));
+                    }
+                    let parent_ids = &resolved_parent.as_ref().unwrap().1;
+                    let ins = store.insert_child(parent_ref, parent_ids, &facts);
+                    debug_assert!(!ins.existing, "new iso class duplicates a stored state");
+                    let id = StateId::from_index(refs.len());
+                    debug_assert_eq!(ins.state.index(), id.index());
+                    refs.push(ins.state);
+                    succ.push(Vec::new());
+                    index.insert(ins.state, sig, key);
+                    let touched = store.delta_rels(ins.state, num_rels as u32);
+                    pending.push(PendingChild {
+                        id,
+                        state: next,
+                        parent_ix: result.frontier_ix,
+                        touched,
+                    });
+                    id
+                }
+            };
+            let out = &mut succ[result.source.index()];
+            if !out.contains(&next_id) {
+                out.push(next_id);
+            }
+        }
+        obs.time_us("abs.merge_phase_us", merge_timer);
+        publish_store_gauges(obs, &store);
+        level_span.set("new_classes", pending.len() as u64);
+
+        // Phase 5 (parallel): derive the new frontier's COW indexes while
+        // the parent indexes are still alive.
+        let next_frontier: Vec<FrontierState> =
+            par_map_obs(&pending, threads, obs, "index", |child| {
+                let idx = match &child.touched {
+                    Some(touched) => InstanceIndex::rebuild_delta(
+                        &frontier[child.parent_ix].index,
+                        &child.state.instance,
+                        touched,
+                        paths.iter().cloned(),
+                    ),
+                    None => state_index(dcds, &child.state.instance),
+                };
+                FrontierState {
+                    id: child.id,
+                    state: child.state.clone(),
+                    index: Arc::new(idx),
+                }
+            });
+        frontier = next_frontier;
+        level += 1;
+    }
+
+    obs.counter_add("abs.levels", level as u64);
+    counters.publish(obs, "abs");
+    publish_store_gauges(obs, &store);
+    publish_query_stats_delta(dcds, obs, &query_stats0);
+
+    CompactDetAbstraction {
+        ts: CompactTs::from_parts(store, refs, succ, num_rels as u32),
+        outcome,
+        pool,
+        counters,
+    }
+}
+
+/// Result of the compact RCYCL pruning; mirrors
+/// [`crate::rcycl::RcyclResult`] with the states held in the store.
+#[derive(Debug)]
+pub struct CompactRcycl {
+    /// The pruning, states in the store.
+    pub ts: CompactTs,
+    /// Did the algorithm saturate (true) or hit `max_states` (false)?
+    pub complete: bool,
+    /// All values ever used (the final `UsedValues`).
+    pub used_values: BTreeSet<Value>,
+    /// Number of `(I, α, σ)` triples processed.
+    pub triples_processed: usize,
+    /// The constant pool extended with minted fresh values.
+    pub pool: ConstantPool,
+    /// Engine counters — bit-identical to the legacy engine's.
+    pub counters: EngineCounters,
+}
+
+/// [`crate::rcycl::rcycl`] over the compact state store.
+pub fn rcycl_compact(dcds: &Dcds, max_states: usize) -> CompactRcycl {
+    rcycl_compact_opts(dcds, max_states, configured_threads())
+}
+
+/// [`rcycl_compact`] with an explicit worker-thread count.
+pub fn rcycl_compact_opts(dcds: &Dcds, max_states: usize, threads: usize) -> CompactRcycl {
+    rcycl_compact_traced(dcds, max_states, threads, &Obs::disabled())
+}
+
+/// [`rcycl_compact_opts`] with an observability handle. The worklist
+/// carries each queued state's COW index (derived from its parent's at
+/// enqueue time), so expanding a state never rebuilds untouched
+/// relations' path groups.
+pub fn rcycl_compact_traced(
+    dcds: &Dcds,
+    max_states: usize,
+    threads: usize,
+    obs: &Obs,
+) -> CompactRcycl {
+    const MAX_EVALS_PER_STEP: f64 = 20_000.0;
+    let _run = span!(
+        obs,
+        "rcycl_compact",
+        threads = threads,
+        max_states = max_states
+    );
+    let query_stats0 = query_stats_snapshot(dcds);
+    let rigid = dcds.rigid_constants();
+    let num_rels = dcds.data.schema.len() as u32;
+    let threads = threads.max(1);
+    let mut pool = dcds.working_pool();
+    let mut counters = EngineCounters::default();
+    let paths = dcds.plans().access_paths();
+
+    let mut store = StateStore::new();
+    let r0 = store
+        .insert(None, &Facts::from_instance(&dcds.data.initial))
+        .state;
+    let mut refs: Vec<StateRef> = vec![r0];
+    let mut succ: Vec<Vec<StateId>> = vec![Vec::new()];
+    let mut used_values: BTreeSet<Value> = dcds.data.initial.active_domain();
+    used_values.extend(rigid.iter().copied());
+
+    let idx0 = Arc::new(state_index(dcds, &dcds.data.initial));
+    let mut queue: VecDeque<(StateId, Arc<InstanceIndex>)> = VecDeque::new();
+    queue.push_back((StateId::from_index(0), idx0));
+    let mut visited_states: BTreeSet<StateId> = BTreeSet::new();
+    let mut complete = true;
+    let mut triples = 0usize;
+
+    while let Some((sid, state_idx)) = queue.pop_front() {
+        if !visited_states.insert(sid) {
+            continue;
+        }
+        counters.states_expanded += 1;
+        let mut state_span = span!(obs, "rcycl_state", queue = queue.len());
+        obs.heartbeat(|| {
+            format!(
+                "rcycl: {} states, {} queued, {} triples processed",
+                refs.len(),
+                queue.len(),
+                triples
+            )
+        });
+        let inst = store.instance(refs[sid.index()], num_rels);
+        let parent_ref = refs[sid.index()];
+        let parent_ids = store.resolve(parent_ref);
+        let triples_for_state = legal_assignments_indexed(dcds, &inst, Some(&state_idx));
+        let pres: Vec<PreInstance> =
+            par_map_obs(&triples_for_state, threads, obs, "do", |(action, sigma)| {
+                do_action_indexed(dcds, &inst, *action, sigma, Some(&state_idx))
+            });
+        state_span.set("triples", pres.len() as u64);
+        for pre in &pres {
+            triples += 1;
+            let calls = pre.calls();
+            let n = calls.len();
+            let mut recyclable: Vec<Value> = used_values
+                .iter()
+                .copied()
+                .filter(|v| !rigid.contains(v) && !inst.active_domain().contains(v))
+                .collect();
+            recyclable.sort_unstable();
+            let v_set: Vec<Value> = if recyclable.len() >= n {
+                recyclable.into_iter().take(n).collect()
+            } else {
+                (0..n).map(|_| pool.mint("v")).collect()
+            };
+            let mut f_set: BTreeSet<Value> = inst.active_domain();
+            f_set.extend(rigid.iter().copied());
+            f_set.extend(v_set.iter().copied());
+            if (f_set.len() as f64).powi(n as i32) > MAX_EVALS_PER_STEP {
+                complete = false;
+                obs.counter_add("rcycl.eval_budget_skips", 1);
+                continue;
+            }
+            let thetas = evals_over(&calls, &f_set);
+            obs.histogram("rcycl.theta_fanout", thetas.len() as u64);
+            let nexts: Vec<Option<dcds_reldata::Instance>> =
+                par_map_obs(&thetas, threads, obs, "theta", |theta| {
+                    nondet_step_with_pre(dcds, pre, theta)
+                });
+            for next in nexts.into_iter().flatten() {
+                counters.successors_generated += 1;
+                let facts = Facts::from_instance(&next);
+                // Look up before inserting: an over-budget successor must
+                // leave no trace in the (append-only) store, or its
+                // dedup entry would later alias a never-allocated id.
+                let next_id = match store.find(&facts) {
+                    Some(existing) => StateId::from_index(existing.index()),
+                    None => {
+                        if refs.len() >= max_states {
+                            complete = false;
+                            continue;
+                        }
+                        let ins = store.insert_child(parent_ref, &parent_ids, &facts);
+                        debug_assert!(!ins.existing);
+                        let id = StateId::from_index(refs.len());
+                        debug_assert_eq!(ins.state.index(), id.index());
+                        refs.push(ins.state);
+                        succ.push(Vec::new());
+                        let touched = store.delta_rels(ins.state, num_rels);
+                        let child_idx = match touched {
+                            Some(t) => InstanceIndex::rebuild_delta(
+                                &state_idx,
+                                &next,
+                                &t,
+                                paths.iter().cloned(),
+                            ),
+                            None => state_index(dcds, &next),
+                        };
+                        queue.push_back((id, Arc::new(child_idx)));
+                        id
+                    }
+                };
+                used_values.extend(next.active_domain());
+                let out = &mut succ[sid.index()];
+                if !out.contains(&next_id) {
+                    out.push(next_id);
+                }
+            }
+        }
+        publish_store_gauges(obs, &store);
+    }
+
+    obs.counter_add("rcycl.triples_processed", triples as u64);
+    obs.gauge_max("rcycl.used_values", used_values.len() as i64);
+    counters.publish(obs, "rcycl");
+    publish_store_gauges(obs, &store);
+    publish_query_stats_delta(dcds, obs, &query_stats0);
+
+    CompactRcycl {
+        ts: CompactTs::from_parts(store, refs, succ, num_rels),
+        complete,
+        used_values,
+        triples_processed: triples,
+        pool,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::det_abs::{det_abstraction_opts, DedupStrategy};
+    use crate::rcycl::rcycl_opts;
+    use dcds_core::{DcdsBuilder, ServiceKind};
+
+    fn example_4_1() -> Dcds {
+        DcdsBuilder::new()
+            .relation("Q", 2)
+            .relation("P", 1)
+            .relation("R", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .service("g", 1, ServiceKind::Deterministic)
+            .init_fact("P", &["a"])
+            .init_fact("Q", &["a", "a"])
+            .action("alpha", &[], |a| {
+                a.effect("Q(a,a) & P(X)", "R(X)");
+                a.effect("P(X)", "P(X), Q(f(X), g(X))");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    fn example_4_3() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Deterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    fn example_5_1() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "R(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    fn example_5_2() -> Dcds {
+        DcdsBuilder::new()
+            .relation("R", 1)
+            .relation("Q", 1)
+            .service("f", 1, ServiceKind::Nondeterministic)
+            .init_fact("R", &["a"])
+            .action("alpha", &[], |a| {
+                a.effect("R(X)", "R(X)");
+                a.effect("R(X)", "Q(f(X))");
+                a.effect("Q(X)", "Q(X)");
+            })
+            .rule("true", "alpha")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn det_compact_matches_legacy_at_every_thread_count() {
+        for dcds in [example_4_1(), example_4_3()] {
+            for strategy in [DedupStrategy::CanonicalKey, DedupStrategy::PairwiseIso] {
+                for threads in [1usize, 2, 4, 8] {
+                    let opts = AbsOptions {
+                        strategy,
+                        threads,
+                        eager_keys: false,
+                    };
+                    let legacy = det_abstraction_opts(&dcds, 60, opts);
+                    let compact = det_abstraction_compact_opts(&dcds, 60, opts);
+                    assert_eq!(compact.ts.to_ts(), legacy.ts, "{strategy:?} t={threads}");
+                    assert_eq!(compact.outcome, legacy.outcome);
+                    assert_eq!(compact.pool.len(), legacy.pool.len());
+                    assert_eq!(compact.counters, legacy.counters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rcycl_compact_matches_legacy_at_every_thread_count() {
+        for (dcds, budget) in [(example_5_1(), 100usize), (example_5_2(), 80)] {
+            for threads in [1usize, 2, 4, 8] {
+                let legacy = rcycl_opts(&dcds, budget, threads);
+                let compact = rcycl_compact_opts(&dcds, budget, threads);
+                assert_eq!(compact.ts.to_ts(), legacy.ts, "t={threads}");
+                assert_eq!(compact.complete, legacy.complete);
+                assert_eq!(compact.used_values, legacy.used_values);
+                assert_eq!(compact.triples_processed, legacy.triples_processed);
+                assert_eq!(compact.pool.len(), legacy.pool.len());
+                assert_eq!(compact.counters, legacy.counters);
+            }
+        }
+    }
+
+    #[test]
+    fn compact_store_saves_fact_slots() {
+        // The truncating Example 4.3 run: successors extend their parent,
+        // so almost every state is a delta and the delta-share is high.
+        let compact = det_abstraction_compact(&example_4_3(), 60);
+        let stats = compact.ts.store_stats();
+        assert_eq!(stats.states(), 60);
+        assert!(stats.delta_states > 40, "stats: {stats:?}");
+        assert!(stats.delta_share() > 0.3, "stats: {stats:?}");
+        assert!(stats.bytes > 0);
+    }
+}

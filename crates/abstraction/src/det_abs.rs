@@ -191,19 +191,28 @@ impl ClassIndex {
         probe_key: &mut Option<Option<CanonKey>>,
         counters: &mut EngineCounters,
     ) -> Option<usize> {
-        let Some(bucket) = self.buckets.get(&sig).filter(|b| !b.is_empty()) else {
+        // Disjoint field borrows: `buckets` stays immutably borrowed for
+        // the whole probe while `keys` is written — no bucket copy needed.
+        let ClassIndex {
+            strategy,
+            rigid,
+            class_facts,
+            keys,
+            buckets,
+            ..
+        } = self;
+        let Some(bucket) = buckets.get(&sig).filter(|b| !b.is_empty()) else {
             counters.sig_filter_skips += 1;
-            if self.strategy == DedupStrategy::PairwiseIso {
-                counters.iso_checks_avoided += self.class_facts.len() as u64;
+            if *strategy == DedupStrategy::PairwiseIso {
+                counters.iso_checks_avoided += class_facts.len() as u64;
             }
             return None;
         };
-        let bucket = bucket.clone();
-        if self.strategy == DedupStrategy::PairwiseIso {
-            counters.iso_checks_avoided += (self.class_facts.len() - bucket.len()) as u64;
-            for ix in bucket {
+        if *strategy == DedupStrategy::PairwiseIso {
+            counters.iso_checks_avoided += (class_facts.len() - bucket.len()) as u64;
+            for &ix in bucket {
                 counters.iso_checks_performed += 1;
-                if self.class_facts[ix].isomorphic(facts, &self.rigid) {
+                if class_facts[ix].isomorphic(facts, rigid) {
                     return Some(ix);
                 }
             }
@@ -211,14 +220,14 @@ impl ClassIndex {
         }
         // CanonicalKey strategy: materialise the probe's key on first need.
         if probe_key.is_none() {
-            *probe_key = Some(facts.try_canonical_key(&self.rigid, PERM_BUDGET));
+            *probe_key = Some(facts.try_canonical_key(rigid, PERM_BUDGET));
             if probe_key.as_ref().unwrap().is_some() {
                 counters.canon_keys_computed += 1;
             }
         }
         let probe = probe_key.as_ref().unwrap();
-        for ix in bucket {
-            match (probe, &self.keys[ix]) {
+        for &ix in bucket {
+            match (probe, &keys[ix]) {
                 (Some(pk), Some(ck)) => {
                     counters.iso_checks_avoided += 1;
                     if pk == ck {
@@ -230,10 +239,9 @@ impl ClassIndex {
                     // resident class was admitted keyless and is now being
                     // keyed lazily): try to key the resident, else fall
                     // back to the backtracking matcher.
-                    if probe.is_some() && self.keys[ix].is_none() {
-                        self.keys[ix] =
-                            self.class_facts[ix].try_canonical_key(&self.rigid, PERM_BUDGET);
-                        if let Some(ck) = &self.keys[ix] {
+                    if probe.is_some() && keys[ix].is_none() {
+                        keys[ix] = class_facts[ix].try_canonical_key(rigid, PERM_BUDGET);
+                        if let Some(ck) = &keys[ix] {
                             counters.canon_keys_computed += 1;
                             counters.iso_checks_avoided += 1;
                             if probe.as_ref().unwrap() == ck {
@@ -243,7 +251,7 @@ impl ClassIndex {
                         }
                     }
                     counters.iso_checks_performed += 1;
-                    if self.class_facts[ix].isomorphic(facts, &self.rigid) {
+                    if class_facts[ix].isomorphic(facts, rigid) {
                         return Some(ix);
                     }
                 }
@@ -315,7 +323,7 @@ pub fn det_abstraction_traced(
     let rigid = dcds.rigid_constants();
     let num_rels = dcds.data.schema.len();
     let threads = opts.threads.max(1);
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let mut counters = EngineCounters::default();
 
     let s0 = DetState::initial(dcds);

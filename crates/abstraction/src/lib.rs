@@ -24,11 +24,16 @@
 //!   witnesses up to exploration limits).
 
 pub mod bounds;
+pub mod compact;
 pub mod det_abs;
 pub mod pruning;
 pub mod rcycl;
 
 pub use bounds::{observe_run_bound, observe_state_bound, BoundObservation};
+pub use compact::{
+    det_abstraction_compact, det_abstraction_compact_opts, det_abstraction_compact_traced,
+    rcycl_compact, rcycl_compact_opts, rcycl_compact_traced, CompactDetAbstraction, CompactRcycl,
+};
 pub use det_abs::{
     det_abstraction, det_abstraction_opts, det_abstraction_traced, det_abstraction_with,
     AbsOptions, AbsOutcome, DedupStrategy, DetAbstraction,

@@ -29,7 +29,7 @@ pub fn commitment_coverage_holds(dcds: &Dcds, ts: &Ts) -> bool {
 pub fn commitment_coverage_holds_traced(dcds: &Dcds, ts: &Ts, obs: &Obs) -> bool {
     let mut run = span!(obs, "commitment_coverage", states = ts.num_states());
     let rigid = dcds.rigid_constants();
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let mut reps_checked = 0u64;
     for s in ts.state_ids() {
         obs.heartbeat(|| {
@@ -97,11 +97,12 @@ mod tests {
     fn dropping_a_branch_breaks_coverage() {
         let dcds = example_5_1();
         let res = rcycl(&dcds, 100);
-        // Rebuild the system with one state's edges removed.
-        let mut broken = Ts::new(res.ts.db(res.ts.initial()).clone());
+        // Rebuild the system with one state's edges removed, reusing the
+        // original's shared state handles: O(states), no instance copies.
+        let mut broken = Ts::new_shared(res.ts.db_shared(res.ts.initial()));
         let mut map = vec![broken.initial(); res.ts.num_states()];
         for s in res.ts.state_ids().skip(1) {
-            map[s.index()] = broken.add_state(res.ts.db(s).clone());
+            map[s.index()] = broken.add_state_shared(res.ts.db_shared(s));
         }
         let mut first = true;
         for s in res.ts.state_ids() {

@@ -96,7 +96,7 @@ pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -
     let query_stats0 = query_stats_snapshot(dcds);
     let rigid = dcds.rigid_constants();
     let threads = threads.max(1);
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let mut counters = EngineCounters::default();
 
     let mut ts = Ts::new(dcds.data.initial.clone());

@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 /// how the paper uses it.
 pub fn positive_approximate(dcds: &Dcds) -> Dcds {
     let data = DataLayer {
-        pool: dcds.data.pool.clone(),
+        pool: dcds.working_pool(),
         schema: dcds.data.schema.clone(),
         constraints: Vec::new(),
         fo_constraints: Vec::new(),

@@ -22,24 +22,37 @@
 //! queries of the travel-request system, at 1 thread, with and without the
 //! per-state hash index — asserting bit-identical results.
 //!
-//! Writes `BENCH_abstraction.json`, `BENCH_mucalc.json` and
-//! `BENCH_query.json` into the current directory so the perf trajectory is
-//! tracked across commits without a benchmarking framework, and prints the
-//! same numbers as tables.
+//! Last, drives the **compact state store** (arena + delta states +
+//! copy-on-write indexes) to 500k/1M-state budgets — far beyond what the
+//! owned-`Instance` engines are run at — recording states/sec, the
+//! deterministic bytes-per-state high-water estimate, and the delta-share
+//! ratio, and asserting (a) bytes/state grows less than 2× from 100k to
+//! 500k states and (b) the compact engines are bit-identical to the
+//! legacy ones (states, edges, pool, every counter) on an overlapping
+//! budget at 1, 2, 4 and 8 threads.
+//!
+//! Writes `BENCH_abstraction.json`, `BENCH_mucalc.json`, `BENCH_query.json`
+//! and `BENCH_scale.json` into the current directory so the perf
+//! trajectory is tracked across commits without a benchmarking framework,
+//! and prints the same numbers as tables. Every artifact embeds a
+//! `metrics_snapshot` from an instrumented run of a representative
+//! workload (for `BENCH_scale` that includes the `store.*` gauges).
 //!
 //! Usage: `cargo run --release --bin perf_report [-- --reps N] [-- --scale K]`
 //!
 //! `--scale` multiplies the workload sizes (state budgets, tuple counts);
-//! the committed baselines use `--scale 1`.
+//! the committed baselines use `--scale 1`. The scale stage's budgets are
+//! fixed (they *are* the scale axis).
 
 use dcds_abstraction::{
-    det_abstraction_opts, det_abstraction_traced, rcycl_opts, AbsOptions, DedupStrategy,
+    det_abstraction_compact_opts, det_abstraction_compact_traced, det_abstraction_opts,
+    det_abstraction_traced, rcycl_compact_opts, rcycl_opts, AbsOptions, DedupStrategy,
 };
 use dcds_bench::{examples, queries, synthetic, travel};
 use dcds_core::{Dcds, EngineCounters, Ts};
 use dcds_folang::{eval_ucq, CompiledPlan, EvalCtx, Formula, QTerm, Ucq};
 use dcds_mucalc::mc::{eval, Valuation};
-use dcds_mucalc::{eval_with_opts, sugar, McCounters, McOptions, Mu};
+use dcds_mucalc::{check_traced, eval_with_opts, sugar, McCounters, McOptions, Mu};
 use dcds_obs::{Obs, ObsConfig};
 use dcds_reldata::{Instance, InstanceIndex};
 use std::collections::BTreeSet;
@@ -403,6 +416,185 @@ fn query_runs(reps: usize, scale: usize) -> Vec<QueryRun> {
     out
 }
 
+/// One compact-engine run at a fixed state budget.
+struct ScaleRun {
+    budget: usize,
+    secs: f64,
+    states: usize,
+    edges: usize,
+    /// Deterministic store heap estimate (arena + nodes + dedup) —
+    /// the bytes-per-state high-water mark is `bytes / states`.
+    bytes: usize,
+    facts_interned: usize,
+    delta_share: f64,
+    complete: bool,
+}
+
+impl ScaleRun {
+    fn states_per_sec(&self) -> f64 {
+        self.states as f64 / self.secs
+    }
+    fn bytes_per_state(&self) -> f64 {
+        self.bytes as f64 / self.states.max(1) as f64
+    }
+}
+
+struct ScaleWorkload {
+    name: String,
+    engine: &'static str,
+    runs: Vec<ScaleRun>,
+    /// bytes/state at the 500k budget over bytes/state at the 100k budget
+    /// — the flat-memory check (must stay below 2.0).
+    growth_100k_500k: f64,
+    /// Budget at which compact and legacy were asserted bit-identical at
+    /// every thread count.
+    overlap_budget: usize,
+}
+
+fn scale_run_det(dcds: &Dcds, budget: usize) -> ScaleRun {
+    let t0 = Instant::now();
+    let abs = det_abstraction_compact_opts(
+        dcds,
+        budget,
+        AbsOptions {
+            threads: 1,
+            ..AbsOptions::default()
+        },
+    );
+    let stats = abs.ts.store_stats();
+    ScaleRun {
+        budget,
+        secs: t0.elapsed().as_secs_f64(),
+        states: abs.ts.num_states(),
+        edges: abs.ts.num_edges(),
+        bytes: stats.bytes,
+        facts_interned: stats.facts_interned,
+        delta_share: stats.delta_share(),
+        complete: abs.outcome == dcds_abstraction::AbsOutcome::Complete,
+    }
+}
+
+fn scale_run_rcycl(dcds: &Dcds, budget: usize) -> ScaleRun {
+    let t0 = Instant::now();
+    let res = rcycl_compact_opts(dcds, budget, 1);
+    let stats = res.ts.store_stats();
+    ScaleRun {
+        budget,
+        secs: t0.elapsed().as_secs_f64(),
+        states: res.ts.num_states(),
+        edges: res.ts.num_edges(),
+        bytes: stats.bytes,
+        facts_interned: stats.facts_interned,
+        delta_share: stats.delta_share(),
+        complete: res.complete,
+    }
+}
+
+/// bytes/state growth ratio between the 100k and 500k budgets; the
+/// compact store's reason to exist is that this stays (well) below 2.
+fn growth_ratio(runs: &[ScaleRun]) -> f64 {
+    let at = |budget: usize| {
+        runs.iter()
+            .find(|r| r.budget == budget)
+            .map(ScaleRun::bytes_per_state)
+            .expect("scale stage must include 100k and 500k budgets")
+    };
+    at(500_000) / at(100_000)
+}
+
+/// Assert the det compact engine is bit-identical to the legacy engine —
+/// same states, edges, outcome, minted pool, and every counter (including
+/// canonical keys computed) — at every thread count.
+fn assert_det_overlap(dcds: &Dcds, budget: usize) {
+    for threads in THREAD_COUNTS {
+        let opts = AbsOptions {
+            threads,
+            ..AbsOptions::default()
+        };
+        let legacy = det_abstraction_opts(dcds, budget, opts);
+        let compact = det_abstraction_compact_opts(dcds, budget, opts);
+        assert_eq!(
+            compact.ts.to_ts(),
+            legacy.ts,
+            "det compact diverged from legacy at {threads} threads"
+        );
+        assert_eq!(compact.outcome, legacy.outcome);
+        assert_eq!(compact.pool.len(), legacy.pool.len());
+        assert_eq!(
+            compact.counters, legacy.counters,
+            "det compact counters diverged at {threads} threads"
+        );
+    }
+}
+
+/// The RCYCL analogue of [`assert_det_overlap`].
+fn assert_rcycl_overlap(dcds: &Dcds, budget: usize) {
+    for threads in THREAD_COUNTS {
+        let legacy = rcycl_opts(dcds, budget, threads);
+        let compact = rcycl_compact_opts(dcds, budget, threads);
+        assert_eq!(
+            compact.ts.to_ts(),
+            legacy.ts,
+            "rcycl compact diverged from legacy at {threads} threads"
+        );
+        assert_eq!(compact.complete, legacy.complete);
+        assert_eq!(compact.used_values, legacy.used_values);
+        assert_eq!(compact.triples_processed, legacy.triples_processed);
+        assert_eq!(compact.pool.len(), legacy.pool.len());
+        assert_eq!(
+            compact.counters, legacy.counters,
+            "rcycl compact counters diverged at {threads} threads"
+        );
+    }
+}
+
+fn scale_workloads() -> Vec<ScaleWorkload> {
+    // Both families hold the state *size* flat no matter how far
+    // exploration runs (bounded instances, bounded service-call maps), so
+    // bytes/state isolates the store's own per-state overhead.
+    let det_overlap = 10_000;
+    let chain = synthetic::service_chain(16);
+    assert_det_overlap(&chain, det_overlap);
+    let det = ScaleWorkload {
+        name: "service_chain(16)".into(),
+        engine: "det_abstraction_compact",
+        runs: vec![
+            scale_run_det(&chain, 100_000),
+            scale_run_det(&chain, 500_000),
+        ],
+        growth_100k_500k: 0.0,
+        overlap_budget: det_overlap,
+    };
+
+    let rcycl_overlap = 20_000;
+    let rings = synthetic::phased_rings(5);
+    assert_rcycl_overlap(&rings, rcycl_overlap);
+    let rcycl = ScaleWorkload {
+        name: "phased_rings(5)".into(),
+        engine: "rcycl_compact",
+        runs: vec![
+            scale_run_rcycl(&rings, 100_000),
+            scale_run_rcycl(&rings, 500_000),
+            // Stretch budget: one million states.
+            scale_run_rcycl(&rings, 1_000_000),
+        ],
+        growth_100k_500k: 0.0,
+        overlap_budget: rcycl_overlap,
+    };
+
+    let mut out = vec![det, rcycl];
+    for w in &mut out {
+        w.growth_100k_500k = growth_ratio(&w.runs);
+        assert!(
+            w.growth_100k_500k < 2.0,
+            "{}: bytes/state grew {:.2}x from 100k to 500k states — the store is no longer flat",
+            w.name,
+            w.growth_100k_500k
+        );
+    }
+    out
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -642,7 +834,27 @@ fn main() {
             if wi + 1 < mc_loads.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    // Instrumented run of the staged checker on the Example-5.1 property
+    // so the artifact carries the registry snapshot next to the timings.
+    let obs = Obs::enabled(ObsConfig::default());
+    {
+        let e51 = examples::example_5_1();
+        let pruning = rcycl_opts(&e51, 100, 1);
+        let r = e51.data.schema.rel_id("R").unwrap();
+        let q = e51.data.schema.rel_id("Q").unwrap();
+        let phi = sugar::ag(Mu::exists(
+            "X",
+            Mu::live("X").and(
+                Mu::Query(Formula::Atom(r, vec![QTerm::var("X")]))
+                    .or(Mu::Query(Formula::Atom(q, vec![QTerm::var("X")]))),
+            ),
+        ));
+        let _ = check_traced(&phi, &pruning.ts, McOptions { threads: 1 }, &obs)
+            .expect("mucalc snapshot run");
+    }
+    let snapshot = obs.finish().expect("obs enabled").metrics;
+    let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
     std::fs::write("BENCH_mucalc.json", &json).expect("write BENCH_mucalc.json");
     println!("\nwrote BENCH_mucalc.json");
@@ -714,8 +926,107 @@ fn main() {
             if ri + 1 < q_runs.len() { "," } else { "" }
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    // Instrumented abstraction of the travel-request system: the exact
+    // plan/index counters (`query.*`) the hot path produces on the
+    // workload benchmarked above.
+    let obs = Obs::enabled(ObsConfig::default());
+    let _ = dcds_abstraction::rcycl_traced(&travel::request_system_small(), 5000, 1, &obs);
+    let snapshot = obs.finish().expect("obs enabled").metrics;
+    let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
     std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
     println!("\nwrote BENCH_query.json");
+
+    // ---- compact state store at scale ----
+    let scale_loads = scale_workloads();
+    println!("\ncompact-store scale report  (1 thread; legacy parity asserted at 1/2/4/8)");
+    for w in &scale_loads {
+        println!("\n{} — {}", w.engine, w.name);
+        println!(
+            "  {:>9}  {:>9}  {:>10}  {:>9}  {:>9}  {:>11}  {:>8}",
+            "budget", "secs", "states/s", "B/state", "delta", "facts", "complete"
+        );
+        for r in &w.runs {
+            println!(
+                "  {:>9}  {:>9.1}  {:>10.0}  {:>9.1}  {:>8.1}%  {:>11}  {:>8}",
+                r.budget,
+                r.secs,
+                r.states_per_sec(),
+                r.bytes_per_state(),
+                r.delta_share * 100.0,
+                r.facts_interned,
+                r.complete
+            );
+        }
+        println!(
+            "  bytes/state growth 100k -> 500k: {:.2}x (must stay < 2x); \
+             bit-identical to legacy at {} states, threads 1/2/4/8",
+            w.growth_100k_500k, w.overlap_budget
+        );
+    }
+
+    // Instrumented small compact run so the artifact carries the store
+    // gauges (`store.bytes`, `store.facts_interned`, `store.delta_states`).
+    let obs = Obs::enabled(ObsConfig::default());
+    let _ = det_abstraction_compact_traced(
+        &synthetic::service_chain(16),
+        10_000,
+        AbsOptions {
+            threads: 1,
+            ..AbsOptions::default()
+        },
+        &obs,
+    );
+    let snapshot = obs.finish().expect("obs enabled").metrics;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"compact-store-scale\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware_threads},");
+    let _ = writeln!(json, "  \"threads\": 1,");
+    let _ = writeln!(json, "  \"legacy_parity_thread_counts\": [1, 2, 4, 8],");
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (wi, w) in scale_loads.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"engine\": \"{}\",", w.engine);
+        let _ = writeln!(json, "      \"overlap_budget\": {},", w.overlap_budget);
+        let _ = writeln!(json, "      \"legacy_bit_identical\": true,");
+        let _ = writeln!(json, "      \"runs\": [");
+        for (ri, r) in w.runs.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{\"budget\": {}, \"secs\": {}, \"states\": {}, \"edges\": {}, \
+                 \"states_per_sec\": {}, \"store_bytes\": {}, \"bytes_per_state\": {}, \
+                 \"delta_share\": {}, \"facts_interned\": {}, \"complete\": {}}}{}",
+                r.budget,
+                json_f64(r.secs),
+                r.states,
+                r.edges,
+                json_f64(r.states_per_sec()),
+                r.bytes,
+                json_f64(r.bytes_per_state()),
+                json_f64(r.delta_share),
+                r.facts_interned,
+                r.complete,
+                if ri + 1 < w.runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ],");
+        let _ = writeln!(
+            json,
+            "      \"bytes_per_state_growth_100k_500k\": {}",
+            json_f64(w.growth_100k_500k)
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if wi + 1 < scale_loads.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
+    json.push_str("}\n");
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("\nwrote BENCH_scale.json");
 }

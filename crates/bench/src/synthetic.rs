@@ -139,6 +139,47 @@ pub fn parallel_rings(width: usize) -> Dcds {
     b.rule("true", "step").build().expect("parallel rings")
 }
 
+/// `width` nondeterministic ping-pong rings (Example 5.1 style) advanced
+/// one at a time by a cycling phase token. Every state holds exactly
+/// `width + 2` facts (one slot per ring, `Tick`, `Phase`), so the state
+/// *size* is flat no matter how far exploration runs, while the reachable
+/// space is the product of the per-ring configurations × `width` phases —
+/// exponential in `width`. Branching per state is one service call over a
+/// bounded active domain, so the fanout is `O(width)` and RCYCL streams
+/// through millions of states without the per-state cost creeping up:
+/// the scale workload for the compact state store (each successor differs
+/// from its parent in one ring slot plus the phase token — tiny deltas).
+pub fn phased_rings(width: usize) -> Dcds {
+    let width = width.max(1);
+    let mut b = DcdsBuilder::new().relation("Tick", 0).relation("Phase", 1);
+    for i in 0..width {
+        b = b
+            .relation(&format!("R{i}"), 1)
+            .relation(&format!("Q{i}"), 1)
+            .service(&format!("f{i}"), 1, ServiceKind::Nondeterministic)
+            .init_fact(&format!("R{i}"), &["a"]);
+    }
+    b = b.init_fact("Tick", &[]).init_fact("Phase", &["p0"]);
+    for i in 0..width {
+        let next = (i + 1) % width;
+        b = b.action(&format!("step{i}"), &[], |a| {
+            // Advance ring `i`; the phase token is replaced, not
+            // sustained, so exactly one ring moves per transition.
+            a.effect("Tick()", &format!("Tick(), Phase('p{next}')"));
+            a.effect(&format!("R{i}(X)"), &format!("Q{i}(f{i}(X))"));
+            a.effect(&format!("Q{i}(X)"), &format!("R{i}(X)"));
+            for j in 0..width {
+                if j != i {
+                    a.effect(&format!("R{j}(X)"), &format!("R{j}(X)"));
+                    a.effect(&format!("Q{j}(X)"), &format!("Q{j}(X)"));
+                }
+            }
+        });
+        b = b.rule(&format!("Phase('p{i}')"), &format!("step{i}"));
+    }
+    b.build().expect("phased rings")
+}
+
 /// Parameters for random DCDS generation.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomParams {
@@ -252,6 +293,20 @@ mod tests {
     fn flush_ladder_is_state_bounded_in_practice() {
         let res = dcds_abstraction::rcycl(&flush_ladder(), 2000);
         assert!(res.complete);
+    }
+
+    #[test]
+    fn phased_rings_states_are_fixed_size() {
+        let dcds = phased_rings(3);
+        let res = dcds_abstraction::rcycl(&dcds, 3000);
+        // Every state: 3 ring slots + Tick + Phase — flat regardless of
+        // how deep exploration went.
+        for s in res.ts.state_ids() {
+            assert_eq!(res.ts.db(s).len(), 5);
+        }
+        // The product space dwarfs small budgets.
+        assert!(!res.complete);
+        assert_eq!(res.ts.num_states(), 3000);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Seeded engine-level differential: the compact-store engines against
+//! the legacy owned-`Instance` engines, over synthetic families and
+//! SplitMix64-seeded random systems, at 1, 2, 4 and 8 worker threads.
+//!
+//! The compact engines must replay the legacy ones **bit-identically**:
+//! same transition system (states in the same order, same edges), same
+//! outcome/completeness, same minted constant pool, and the same value of
+//! every engine counter — including canonical keys computed and iso
+//! checks performed, i.e. the same dedup decisions, not just the same
+//! final answer.
+
+use dcds_abstraction::{
+    det_abstraction_compact_opts, det_abstraction_opts, rcycl_compact_opts, rcycl_opts, AbsOptions,
+};
+use dcds_bench::synthetic::{self, RandomParams};
+use dcds_core::{Dcds, ServiceKind};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_det_identical(dcds: &Dcds, budget: usize) {
+    for threads in THREAD_COUNTS {
+        let opts = AbsOptions {
+            threads,
+            ..AbsOptions::default()
+        };
+        let legacy = det_abstraction_opts(dcds, budget, opts);
+        let compact = det_abstraction_compact_opts(dcds, budget, opts);
+        assert_eq!(
+            compact.ts.to_ts(),
+            legacy.ts,
+            "det ts diverged at {threads} threads"
+        );
+        assert_eq!(compact.outcome, legacy.outcome);
+        assert_eq!(compact.pool.len(), legacy.pool.len());
+        assert_eq!(
+            compact.counters, legacy.counters,
+            "det counters diverged at {threads} threads"
+        );
+    }
+}
+
+fn assert_rcycl_identical(dcds: &Dcds, budget: usize) {
+    for threads in THREAD_COUNTS {
+        let legacy = rcycl_opts(dcds, budget, threads);
+        let compact = rcycl_compact_opts(dcds, budget, threads);
+        assert_eq!(
+            compact.ts.to_ts(),
+            legacy.ts,
+            "rcycl ts diverged at {threads} threads"
+        );
+        assert_eq!(compact.complete, legacy.complete);
+        assert_eq!(compact.used_values, legacy.used_values);
+        assert_eq!(compact.triples_processed, legacy.triples_processed);
+        assert_eq!(compact.pool.len(), legacy.pool.len());
+        assert_eq!(
+            compact.counters, legacy.counters,
+            "rcycl counters diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn det_compact_matches_legacy_on_synthetic_families() {
+    assert_det_identical(&synthetic::service_chain(6), 400);
+    assert_det_identical(&synthetic::service_cycle(4), 400);
+    assert_det_identical(&synthetic::parallel_rings(2), 300);
+}
+
+#[test]
+fn rcycl_compact_matches_legacy_on_synthetic_families() {
+    assert_rcycl_identical(&synthetic::phased_rings(3), 500);
+    assert_rcycl_identical(&synthetic::flush_ladder(), 500);
+    assert_rcycl_identical(&synthetic::accumulator(2), 120);
+}
+
+#[test]
+fn det_compact_matches_legacy_on_seeded_random_systems() {
+    for seed in [7, 21, 1977] {
+        let dcds = synthetic::random_dcds(
+            seed,
+            RandomParams {
+                kind: ServiceKind::Deterministic,
+                ..RandomParams::default()
+            },
+        );
+        assert_det_identical(&dcds, 300);
+    }
+}
+
+#[test]
+fn rcycl_compact_matches_legacy_on_seeded_random_systems() {
+    for seed in [3, 1013] {
+        let dcds = synthetic::random_dcds(
+            seed,
+            RandomParams {
+                kind: ServiceKind::Nondeterministic,
+                call_probability: 0.6,
+                ..RandomParams::default()
+            },
+        );
+        assert_rcycl_identical(&dcds, 250);
+    }
+}

@@ -5,7 +5,7 @@ use crate::data_layer::DataLayer;
 use crate::do_op::PlanCache;
 use crate::process::ProcessLayer;
 use crate::term::ETerm;
-use dcds_reldata::Value;
+use dcds_reldata::{ConstantPool, Value};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
@@ -250,6 +250,13 @@ impl Dcds {
     /// Convenience: look up an action id by name.
     pub fn action_id(&self, name: &str) -> Option<ActionId> {
         self.process.action_id(name)
+    }
+
+    /// A working copy of the constant pool for an exploration run. Every
+    /// engine starts from the spec's pool and mints fresh values into its
+    /// own copy; this is the one place that copy is made.
+    pub fn working_pool(&self) -> ConstantPool {
+        self.data.pool.clone()
     }
 
     /// The *rigid* constants: `ADOM(I₀)` plus every constant mentioned in

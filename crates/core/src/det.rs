@@ -211,7 +211,7 @@ mod tests {
     fn step_records_calls_deterministically() {
         let dcds = example_4_1();
         let alpha = dcds.action_id("alpha").unwrap();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let b = pool.mint("v");
         let s0 = DetState::initial(&dcds);
         let pre = do_action(&dcds, &s0.instance, alpha, &Assignment::new());
@@ -242,7 +242,7 @@ mod tests {
     fn contradicting_choice_rejected() {
         let dcds = example_4_1();
         let alpha = dcds.action_id("alpha").unwrap();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let b = pool.mint("v");
         let c = pool.mint("v");
         let s0 = DetState::initial(&dcds);
@@ -271,7 +271,7 @@ mod tests {
         // From I0 the two new calls f(a), g(a) against known {a} give
         // (K,K), (K,F0), (F0,K), (F0,F0), (F0,F1): 5 successors.
         let dcds = example_4_1();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let s0 = DetState::initial(&dcds);
         let succs = det_successors_by_commitment(&dcds, &s0, &mut pool);
         assert_eq!(succs.len(), 5);
@@ -282,7 +282,7 @@ mod tests {
         // Example 4.2: the constraint forces f(a) = a, so only commitments
         // with f(a) ↦ Known(a) survive: g(a) ∈ {a, fresh} → 2 successors.
         let dcds = example_4_2();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let s0 = DetState::initial(&dcds);
         let succs = det_successors_by_commitment(&dcds, &s0, &mut pool);
         assert_eq!(succs.len(), 2);
@@ -300,7 +300,7 @@ mod tests {
     fn known_values_include_call_map() {
         let dcds = example_4_1();
         let alpha = dcds.action_id("alpha").unwrap();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let b = pool.mint("v");
         let s0 = DetState::initial(&dcds);
         let pre = do_action(&dcds, &s0.instance, alpha, &Assignment::new());

@@ -214,7 +214,7 @@ pub fn explore_det_traced(
     let _run = span!(obs, "explore_det", threads = threads);
     let query_stats0 = query_stats_snapshot(dcds);
     let threads = threads.max(1);
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let rigid = dcds.rigid_constants();
     let s0 = DetState::initial(dcds);
     let mut ts = Ts::new(s0.instance.clone());
@@ -351,7 +351,7 @@ pub fn explore_nondet_traced(
     let _run = span!(obs, "explore_nondet", threads = threads);
     let query_stats0 = query_stats_snapshot(dcds);
     let threads = threads.max(1);
-    let mut pool = dcds.data.pool.clone();
+    let mut pool = dcds.working_pool();
     let rigid = dcds.rigid_constants();
     let mut ts = Ts::new(dcds.data.initial.clone());
     let mut index: HashMap<Instance, StateId> = HashMap::new();

@@ -32,6 +32,7 @@
 pub mod action;
 pub mod builder;
 pub mod commitment;
+pub mod compact;
 pub mod data_layer;
 pub mod dcds;
 pub mod det;
@@ -51,6 +52,7 @@ pub mod ts;
 pub use action::{Action, ActionId, Effect};
 pub use builder::DcdsBuilder;
 pub use commitment::{enumerate_commitments, CommitTarget, Commitment};
+pub use compact::CompactTs;
 pub use data_layer::DataLayer;
 pub use dcds::{Dcds, ValidationError};
 pub use det::DetState;

@@ -196,7 +196,7 @@ mod tests {
         let calls = pre.calls();
         assert_eq!(calls.len(), 1);
         let a = dcds.data.pool.get("a").unwrap();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let b = pool.mint("v");
         let values: BTreeSet<Value> = [a, b].into_iter().collect();
         assert_eq!(evals_over(&calls, &values).len(), 2);
@@ -206,7 +206,7 @@ mod tests {
     fn commitment_successors_of_example_5_1() {
         // One call f(a) against known {a}: Known(a) or Fresh → 2 successors.
         let dcds = example_5_1();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let succs = nondet_successors_by_commitment(&dcds, &dcds.data.initial, &mut pool);
         assert_eq!(succs.len(), 2);
         // Every successor is a single Q-fact: state-bounded with bound 1.
@@ -220,7 +220,7 @@ mod tests {
         // Applying α twice with fresh results grows the state: R(a) →
         // {R(a), Q(v)} → {R(a), Q(v), Q(v')}.
         let dcds = example_5_2();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let succs1 = nondet_successors_by_commitment(&dcds, &dcds.data.initial, &mut pool);
         let grown = succs1
             .iter()

@@ -55,7 +55,7 @@ pub struct Runner {
 impl Runner {
     /// Start at `⟨I₀, ∅⟩`.
     pub fn new(dcds: Dcds, policy: AnswerPolicy) -> Self {
-        let pool = dcds.data.pool.clone();
+        let pool = dcds.working_pool();
         let det_state = DetState::initial(&dcds);
         Runner {
             dcds,

@@ -9,6 +9,7 @@
 
 use dcds_reldata::{ConstantPool, Instance, InstanceDisplay, Schema, Value};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Identifier of a state inside a [`Ts`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -33,10 +34,11 @@ impl StateId {
 ///
 /// Equality is structural — same states in the same order with the same
 /// edges — which is exactly the "bit-identical output" contract the
-/// parallel engine determinism tests check.
+/// parallel engine determinism tests check. (States sit behind [`Arc`]s,
+/// so equality compares the instances themselves, not the handles.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ts {
-    states: Vec<Instance>,
+    states: Vec<Arc<Instance>>,
     succ: Vec<Vec<StateId>>,
     initial: StateId,
 }
@@ -44,6 +46,11 @@ pub struct Ts {
 impl Ts {
     /// Create a transition system with the given initial state.
     pub fn new(initial: Instance) -> Self {
+        Ts::new_shared(Arc::new(initial))
+    }
+
+    /// [`Ts::new`] from an already-shared instance (no copy).
+    pub fn new_shared(initial: Arc<Instance>) -> Self {
         Ts {
             states: vec![initial],
             succ: vec![Vec::new()],
@@ -59,6 +66,14 @@ impl Ts {
     /// Add a state, returning its id. (No deduplication — callers decide
     /// their own notion of state identity.)
     pub fn add_state(&mut self, db: Instance) -> StateId {
+        self.add_state_shared(Arc::new(db))
+    }
+
+    /// [`Ts::add_state`] from an already-shared instance (no copy).
+    /// Derived systems — pruned variants, mutants for coverage tests —
+    /// reuse the original's state handles, so building them is O(states)
+    /// rather than O(states × instance size).
+    pub fn add_state_shared(&mut self, db: Arc<Instance>) -> StateId {
         let id = StateId::from_index(self.states.len());
         self.states.push(db);
         self.succ.push(Vec::new());
@@ -76,6 +91,11 @@ impl Ts {
     /// The database labeling a state.
     pub fn db(&self, s: StateId) -> &Instance {
         &self.states[s.index()]
+    }
+
+    /// The shared handle of a state's database (cheap clone).
+    pub fn db_shared(&self, s: StateId) -> Arc<Instance> {
+        Arc::clone(&self.states[s.index()])
     }
 
     /// Successors of a state.

@@ -166,7 +166,7 @@ mod tests {
         let dcds = orders().to_dcds().unwrap();
         // A state with two statuses for one order id violates the key.
         let order = dcds.data.schema.rel_id("Order").unwrap();
-        let mut pool = dcds.data.pool.clone();
+        let mut pool = dcds.working_pool();
         let id = pool.mint("id");
         let fresh = dcds.data.pool.get("fresh").unwrap();
         let approved = dcds.data.pool.get("approved").unwrap();

@@ -19,6 +19,7 @@
 use crate::{Instance, RelId, Tuple, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// An access path: the positions of a relation's columns that a plan step
 /// has bound at probe time. Positions are 0-based, strictly increasing, and
@@ -39,14 +40,63 @@ struct PathIndex {
 /// pass over each indexed relation per distinct access path. The index is
 /// `Sync` — parallel workers probe a shared index for the state they are
 /// expanding — and counts its probes for observability.
+///
+/// Per-relation path groups sit behind an [`Arc`], which makes the index
+/// **copy-on-write**: [`InstanceIndex::rebuild_delta`] derives a successor
+/// state's index from its parent's by sharing the groups of untouched
+/// relations and rebuilding only the touched ones — O(|touched relations|)
+/// instead of O(|instance|). A rebuilt group is constructed by the same
+/// sorted scan [`InstanceIndex::build`] uses, so bucket contents and bucket
+/// order are bit-identical to a from-scratch build of the child instance.
 #[derive(Debug, Default)]
 pub struct InstanceIndex {
     /// Paths grouped per relation; the per-relation list is tiny (one entry
     /// per distinct bound-position set any plan step uses), so lookup is a
     /// linear scan over it.
-    rels: HashMap<RelId, Vec<PathIndex>>,
+    rels: HashMap<RelId, Arc<Vec<PathIndex>>>,
     /// Hash probes answered (hits and empty buckets alike).
     probes: AtomicU64,
+}
+
+/// Build the path group of one relation from a sorted scan of `inst`.
+fn build_group(
+    inst: &Instance,
+    rel: RelId,
+    position_sets: impl IntoIterator<Item = Vec<usize>>,
+) -> Vec<PathIndex> {
+    let mut group: Vec<PathIndex> = Vec::new();
+    for positions in position_sets {
+        if positions.is_empty() {
+            continue;
+        }
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        if group.iter().any(|p| p.positions == positions) {
+            continue;
+        }
+        let mut buckets: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        let max_pos = *positions.last().expect("positions nonempty");
+        for tuple in inst.tuples(rel) {
+            if tuple.arity() <= max_pos {
+                continue;
+            }
+            let key: Vec<Value> = positions.iter().map(|&p| tuple[p]).collect();
+            buckets.entry(key).or_default().push(tuple.clone());
+        }
+        group.push(PathIndex { positions, buckets });
+    }
+    group
+}
+
+/// Group access paths by relation, preserving first-seen path order.
+fn paths_by_rel(paths: impl IntoIterator<Item = AccessPath>) -> HashMap<RelId, Vec<Vec<usize>>> {
+    let mut by_rel: HashMap<RelId, Vec<Vec<usize>>> = HashMap::new();
+    for (rel, positions) in paths {
+        if positions.is_empty() {
+            continue;
+        }
+        by_rel.entry(rel).or_default().push(positions);
+    }
+    by_rel
 }
 
 impl InstanceIndex {
@@ -55,25 +105,34 @@ impl InstanceIndex {
     /// a path's positions are skipped (they can never match a probe).
     pub fn build(inst: &Instance, paths: impl IntoIterator<Item = AccessPath>) -> Self {
         let mut out = InstanceIndex::default();
-        for (rel, positions) in paths {
-            if positions.is_empty() {
-                continue;
-            }
-            debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
-            let entries = out.rels.entry(rel).or_default();
-            if entries.iter().any(|p| p.positions == positions) {
-                continue;
-            }
-            let mut buckets: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-            let max_pos = *positions.last().expect("positions nonempty");
-            for tuple in inst.tuples(rel) {
-                if tuple.arity() <= max_pos {
-                    continue;
-                }
-                let key: Vec<Value> = positions.iter().map(|&p| tuple[p]).collect();
-                buckets.entry(key).or_default().push(tuple.clone());
-            }
-            entries.push(PathIndex { positions, buckets });
+        for (rel, position_sets) in paths_by_rel(paths) {
+            out.rels
+                .insert(rel, Arc::new(build_group(inst, rel, position_sets)));
+        }
+        out
+    }
+
+    /// Derive the index of a successor state from its parent's index:
+    /// relations not in `touched` share the parent's path group (an `Arc`
+    /// clone); touched relations are rebuilt from a sorted scan of
+    /// `child`. Probing the result is indistinguishable from probing
+    /// `InstanceIndex::build(child, paths)` — same buckets, same bucket
+    /// order — because a per-relation group depends only on that
+    /// relation's tuples, and untouched relations are identical in parent
+    /// and child.
+    pub fn rebuild_delta(
+        parent: &InstanceIndex,
+        child: &Instance,
+        touched: &[RelId],
+        paths: impl IntoIterator<Item = AccessPath>,
+    ) -> Self {
+        let mut out = InstanceIndex::default();
+        for (rel, position_sets) in paths_by_rel(paths) {
+            let group = match parent.rels.get(&rel) {
+                Some(shared) if !touched.contains(&rel) => Arc::clone(shared),
+                _ => Arc::new(build_group(child, rel, position_sets)),
+            };
+            out.rels.insert(rel, group);
         }
         out
     }
@@ -100,7 +159,16 @@ impl InstanceIndex {
 
     /// Number of materialised access paths.
     pub fn num_paths(&self) -> usize {
-        self.rels.values().map(Vec::len).sum()
+        self.rels.values().map(|g| g.len()).sum()
+    }
+
+    /// Whether this index shares relation `rel`'s path group with `other`
+    /// (i.e. the copy-on-write fast path was taken for it).
+    pub fn shares_group_with(&self, other: &InstanceIndex, rel: RelId) -> bool {
+        match (self.rels.get(&rel), other.rels.get(&rel)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
@@ -161,5 +229,38 @@ mod tests {
         let (_, q, inst) = setup();
         let idx = InstanceIndex::build(&inst, [(q, vec![])]);
         assert_eq!(idx.num_paths(), 0);
+    }
+
+    #[test]
+    fn rebuild_delta_shares_untouched_groups_and_matches_scratch() {
+        let mut pool = ConstantPool::new();
+        let mut schema = Schema::new();
+        let q = schema.add_relation("Q", 2).unwrap();
+        let r = schema.add_relation("R", 1).unwrap();
+        let a = pool.intern("a");
+        let b = pool.intern("b");
+        let c = pool.intern("c");
+        let parent_inst = Instance::from_facts([
+            (q, Tuple::from([a, b])),
+            (q, Tuple::from([a, c])),
+            (r, Tuple::from([a])),
+        ]);
+        let paths = [(q, vec![0]), (r, vec![0])];
+        let parent = InstanceIndex::build(&parent_inst, paths.clone());
+        // Child touches only R.
+        let mut child_inst = parent_inst.clone();
+        child_inst.insert(r, Tuple::from([b]));
+        let child = InstanceIndex::rebuild_delta(&parent, &child_inst, &[r], paths.clone());
+        assert!(child.shares_group_with(&parent, q));
+        assert!(!child.shares_group_with(&parent, r));
+        // Probing the COW index is indistinguishable from a scratch build.
+        let scratch = InstanceIndex::build(&child_inst, paths);
+        for (rel, key) in [(q, a), (q, b), (r, a), (r, b), (r, c)] {
+            assert_eq!(
+                child.probe(rel, &[0], &[key]).unwrap(),
+                scratch.probe(rel, &[0], &[key]).unwrap(),
+                "divergence on {rel:?}"
+            );
+        }
     }
 }

@@ -19,20 +19,24 @@
 //! Everything downstream (first-order queries, DCDS semantics, abstractions,
 //! bisimulations) is built on these types.
 
+pub mod arena;
 pub mod display;
 pub mod index;
 pub mod instance;
 pub mod iso;
 pub mod schema;
 pub mod sig;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
+pub use arena::{FactId, TupleArena};
 pub use display::{FactsDisplay, InstanceDisplay};
 pub use index::{AccessPath, InstanceIndex};
 pub use instance::Instance;
 pub use iso::{CanonKey, Facts, PERM_BUDGET};
 pub use schema::{RelId, RelSchema, Schema};
+pub use store::{FactsView, Inserted, StateRef, StateStore, StoreStats, MAX_DELTA_DEPTH};
 pub use tuple::Tuple;
 pub use value::{ConstantPool, Value};
 

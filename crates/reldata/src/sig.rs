@@ -29,9 +29,48 @@
 //! canonicalising it.
 
 use crate::iso::hash2;
-use crate::{Facts, Value};
+use crate::{Facts, Tuple, Value};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+
+/// The signature computation, generic over how the facts are iterated so
+/// both [`Facts`] and the compact store's `FactsView` share one
+/// implementation (and therefore produce bit-identical signatures).
+/// `facts()` must yield the same sequence on every call.
+pub(crate) fn signature_of<'a, I: Iterator<Item = (u32, &'a Tuple)>>(
+    facts: impl Fn() -> I,
+    len: usize,
+    rigid: &BTreeSet<Value>,
+) -> u64 {
+    // Global occurrence count of each value over all (fact, position)
+    // slots — invariant under any renaming bijection.
+    let mut occ: BTreeMap<Value, u64> = BTreeMap::new();
+    for (_, t) in facts() {
+        for v in t.iter() {
+            *occ.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut total: u64 = hash2(0x5157, len as u64);
+    total = total.wrapping_add(hash2(0x51c2, occ.len() as u64));
+    for (c, t) in facts() {
+        let mut h = hash2(c as u64 + 1, t.arity() as u64);
+        for (p, v) in t.iter().enumerate() {
+            let contrib = if rigid.contains(&v) {
+                hash2(1, v.index() as u64)
+            } else {
+                // First position of `v` inside this tuple: captures the
+                // equality pattern among the tuple's components without
+                // referencing the value's identity.
+                let first = t.iter().position(|w| w == v).unwrap_or(p);
+                hash2(2, hash2(occ[&v], first as u64))
+            };
+            h = hash2(h, hash2(p as u64, contrib));
+        }
+        // Commutative fold: the fact set is unordered.
+        total = total.wrapping_add(hash2(h, 0x57a7));
+    }
+    total
+}
 
 impl Facts {
     /// The order-invariant 64-bit signature of this fact set with respect
@@ -41,34 +80,7 @@ impl Facts {
     /// `a.signature(rigid) == b.signature(rigid)`. The converse does not
     /// hold in general; confirm equal signatures with an exact check.
     pub fn signature(&self, rigid: &BTreeSet<Value>) -> u64 {
-        // Global occurrence count of each value over all (fact, position)
-        // slots — invariant under any renaming bijection.
-        let mut occ: BTreeMap<Value, u64> = BTreeMap::new();
-        for (_, t) in self.iter() {
-            for v in t.iter() {
-                *occ.entry(v).or_insert(0) += 1;
-            }
-        }
-        let mut total: u64 = hash2(0x5157, self.len() as u64);
-        total = total.wrapping_add(hash2(0x51c2, occ.len() as u64));
-        for (c, t) in self.iter() {
-            let mut h = hash2(c as u64 + 1, t.arity() as u64);
-            for (p, v) in t.iter().enumerate() {
-                let contrib = if rigid.contains(&v) {
-                    hash2(1, v.index() as u64)
-                } else {
-                    // First position of `v` inside this tuple: captures the
-                    // equality pattern among the tuple's components without
-                    // referencing the value's identity.
-                    let first = t.iter().position(|w| w == v).unwrap_or(p);
-                    hash2(2, hash2(occ[&v], first as u64))
-                };
-                h = hash2(h, hash2(p as u64, contrib));
-            }
-            // Commutative fold: the fact set is unordered.
-            total = total.wrapping_add(hash2(h, 0x57a7));
-        }
-        total
+        signature_of(|| self.iter(), self.len(), rigid)
     }
 }
 

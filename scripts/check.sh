@@ -20,6 +20,17 @@ echo "== query-plan differential suite"
 cargo test -q -p dcds-folang --test plan_differential
 cargo test -q -p dcds-bench --test plan_paths
 
+echo "== compact-store differential suite"
+# Arena/delta store vs owned-Instance oracle: materialisation-level
+# (reldata) and engine-level (compact vs legacy at 1/2/4/8 threads).
+cargo test -q -p dcds-reldata --test store_differential
+cargo test -q -p dcds-bench --test compact_differential
+
+echo "== compact-store memory smoke"
+# Fixed 50k-state workloads through the compact engines; fails if the
+# deterministic bytes-per-state estimate exceeds the pinned ceilings.
+cargo run --release -q -p dcds-bench --bin memsmoke
+
 echo "== cargo bench --no-run (compile check)"
 # Criterion benches carry required-features = ["criterion"] (the registry
 # is unreachable offline), so this compiles every crate in the bench

@@ -52,7 +52,10 @@
 //! syntax error itself is reported as a `DCDS000` diagnostic in the
 //! selected format).
 
-use dcds_verify::abstraction::{det_abstraction_traced, rcycl_traced, AbsOptions, AbsOutcome};
+use dcds_verify::abstraction::{
+    det_abstraction_compact_traced, det_abstraction_traced, rcycl_compact_traced, rcycl_traced,
+    AbsOptions, AbsOutcome,
+};
 use dcds_verify::analysis::{
     dataflow_dot, dataflow_graph, dependency_graph, depgraph_dot, gr_acyclicity, is_weakly_acyclic,
     position_ranks, render_dep_cycle, run_bound_estimate, state_bound_estimate, weak_cycle_witness,
@@ -63,7 +66,7 @@ use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
 use dcds_verify::lint::{codes, lint_spec, render_json, render_text, Diagnostic};
 use dcds_verify::mucalc::{check_traced, classify, diagnostics, parse_mu, McOptions};
 use dcds_verify::obs::{export::json_escape, span, Obs};
-use dcds_verify::reldata::{ConstantPool, InstanceDisplay};
+use dcds_verify::reldata::{ConstantPool, InstanceDisplay, StoreStats};
 use std::process::ExitCode;
 
 /// `dcds check`: property holds (complete abstraction).
@@ -88,10 +91,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   dcds analyze  <spec.dcds> [--trace FILE] [--stats] [--metrics-json FILE|-]
-  dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot]
+  dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot] [--compact]
                 [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds check    <spec.dcds> <formula> [--max-states N] [--threads N]
-                [--witness] [--format text|json]
+                [--witness] [--format text|json] [--compact]
                 [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
@@ -101,6 +104,8 @@ const USAGE: &str = "usage:
 
 `dcds check` exits 0 when the property holds, 1 when it is violated, and
 2 when the verdict is inconclusive (state budget hit).
+`--compact` builds the abstraction through the arena/delta state store
+(flat per-state memory; bit-identical output) and reports store stats.
 `dcds lint` exits 0 when the spec is clean, 1 on errors (or warnings under
 --deny warnings), and 2 when the spec cannot be parsed.
 Set DCDS_PROGRESS=1s (or 500ms, ...) for live heartbeats on stderr.";
@@ -117,6 +122,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             flag_value(args, "--max-states")?.unwrap_or(10_000),
             threads_flag(args)?.unwrap_or_else(configured_threads),
             has_flag(args, "--dot"),
+            has_flag(args, "--compact"),
             &ObsCli::parse(args)?,
         ),
         "check" => {
@@ -127,6 +133,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 threads_flag(args)?.unwrap_or_else(configured_threads),
                 has_flag(args, "--witness"),
                 parse_format(args)?,
+                has_flag(args, "--compact"),
                 &ObsCli::parse(args)?,
             )
         }
@@ -282,8 +289,19 @@ fn build_abstraction(
     dcds: &Dcds,
     max_states: usize,
     threads: usize,
+    compact: bool,
     obs: &Obs,
-) -> (Ts, ConstantPool, bool, &'static str, EngineCounters) {
+) -> (
+    Ts,
+    ConstantPool,
+    bool,
+    &'static str,
+    EngineCounters,
+    Option<StoreStats>,
+) {
+    if compact {
+        return build_abstraction_compact(dcds, max_states, threads, obs);
+    }
     if dcds.is_deterministic() {
         let abs = det_abstraction_traced(
             dcds,
@@ -301,6 +319,7 @@ fn build_abstraction(
             complete,
             "deterministic abstraction (Thm 4.3)",
             abs.counters,
+            None,
         )
     } else {
         let res = rcycl_traced(dcds, max_states, threads, obs);
@@ -310,8 +329,73 @@ fn build_abstraction(
             res.complete,
             "RCYCL pruning (Thm 5.4)",
             res.counters,
+            None,
         )
     }
+}
+
+/// [`build_abstraction`] through the arena/delta state store. The compact
+/// engines are bit-identical to the legacy ones; the resulting `CompactTs`
+/// is materialised to an owned [`Ts`] once, here, because every downstream
+/// consumer (model checker, dot output) takes `&Ts`.
+fn build_abstraction_compact(
+    dcds: &Dcds,
+    max_states: usize,
+    threads: usize,
+    obs: &Obs,
+) -> (
+    Ts,
+    ConstantPool,
+    bool,
+    &'static str,
+    EngineCounters,
+    Option<StoreStats>,
+) {
+    if dcds.is_deterministic() {
+        let abs = det_abstraction_compact_traced(
+            dcds,
+            max_states,
+            AbsOptions {
+                threads,
+                ..AbsOptions::default()
+            },
+            obs,
+        );
+        let complete = abs.outcome == AbsOutcome::Complete;
+        let stats = abs.ts.store_stats();
+        (
+            abs.ts.to_ts(),
+            abs.pool,
+            complete,
+            "deterministic abstraction (Thm 4.3, compact store)",
+            abs.counters,
+            Some(stats),
+        )
+    } else {
+        let res = rcycl_compact_traced(dcds, max_states, threads, obs);
+        let stats = res.ts.store_stats();
+        (
+            res.ts.to_ts(),
+            res.pool,
+            res.complete,
+            "RCYCL pruning (Thm 5.4, compact store)",
+            res.counters,
+            Some(stats),
+        )
+    }
+}
+
+/// Human-readable store-stats line (stderr commentary, not a result).
+fn report_store_stats(stats: &StoreStats) {
+    eprintln!(
+        "compact store: {} bytes, {} facts interned, {} delta / {} root states, \
+         delta share {:.1}%",
+        stats.bytes,
+        stats.facts_interned,
+        stats.delta_states,
+        stats.root_states,
+        stats.delta_share() * 100.0
+    );
 }
 
 fn do_abstract(
@@ -319,11 +403,13 @@ fn do_abstract(
     max_states: usize,
     threads: usize,
     dot: bool,
+    compact: bool,
     obs_cli: &ObsCli,
 ) -> Result<(), String> {
     let obs = obs_cli.handle();
     let dcds = load(path)?;
-    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads, &obs);
+    let (ts, pool, complete, how, counters, store_stats) =
+        build_abstraction(&dcds, max_states, threads, compact, &obs);
     println!(
         "{how}: {} states, {} edges, max |adom(state)| = {}, complete = {complete}",
         ts.num_states(),
@@ -339,6 +425,9 @@ fn do_abstract(
             "signature fast path resolved {:.1}% of dedup probes",
             rate * 100.0
         );
+    }
+    if let Some(stats) = &store_stats {
+        report_store_stats(stats);
     }
     if !complete {
         eprintln!(
@@ -360,6 +449,7 @@ fn do_check(
     threads: usize,
     witness: bool,
     format: OutputFormat,
+    compact: bool,
     obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
     let obs = obs_cli.handle();
@@ -368,7 +458,11 @@ fn do_check(
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
     let fragment = classify(&phi).map_err(|e| e.to_string())?;
-    let (ts, pool, complete, how, counters) = build_abstraction(&dcds, max_states, threads, &obs);
+    let (ts, pool, complete, how, counters, store_stats) =
+        build_abstraction(&dcds, max_states, threads, compact, &obs);
+    if let Some(stats) = &store_stats {
+        report_store_stats(stats);
+    }
     let run = check_traced(&phi, &ts, McOptions { threads }, &obs).map_err(|e| e.to_string())?;
     let verdict = run.holds;
     match format {
