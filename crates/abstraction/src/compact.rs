@@ -29,7 +29,7 @@
 //! the test suite asserts `compact.to_ts() == legacy.ts` (plus outcome,
 //! pool, and counters) across workloads and thread counts.
 
-use crate::det_abs::{AbsOptions, AbsOutcome, DedupStrategy};
+use crate::det_abs::{AbsOptions, AbsOutcome, DedupStrategy, SigGroup};
 use dcds_core::det::{det_step_with_pre, DetState};
 use dcds_core::do_op::{
     do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
@@ -74,19 +74,24 @@ pub struct CompactDetAbstraction {
     pub counters: EngineCounters,
 }
 
-/// Signature-bucketed class index over store handles. The mirror of the
-/// legacy `ClassIndex` with `Facts` payloads replaced by [`StateRef`]s;
-/// every counter increment and every dedup decision replays the legacy
-/// logic exactly (the differential tests assert `counters` equality).
+/// Keyed class index over store handles. The mirror of the legacy
+/// `ClassIndex` with `Facts` payloads replaced by [`StateRef`]s: keyed
+/// classes resolve with one probe of the global `exact` map, only
+/// over-[`PERM_BUDGET`] classes stay on the per-signature backtracking
+/// path, and the facts of a resident class are materialised from the
+/// store only when that rare path runs (or when a lazy key is computed —
+/// at most once per class, ever). Every counter increment and every dedup
+/// decision replays the legacy logic exactly (the differential tests
+/// assert `counters` equality).
 struct StoreClassIndex {
     strategy: DedupStrategy,
     rigid: BTreeSet<Value>,
     /// Per class: the store handle of its representative state.
     refs: Vec<StateRef>,
-    /// Per class: canonical key, if computed and within budget.
-    keys: Vec<Option<CanonKey>>,
-    /// Signature → classes with that signature, in insertion order.
-    buckets: HashMap<u64, Vec<usize>>,
+    /// Canonical key → class, global across signatures.
+    exact: HashMap<CanonKey, usize>,
+    /// Signature → its classes, grouped by key status.
+    groups: HashMap<u64, SigGroup>,
 }
 
 impl StoreClassIndex {
@@ -95,13 +100,13 @@ impl StoreClassIndex {
             strategy,
             rigid,
             refs: Vec::new(),
-            keys: Vec::new(),
-            buckets: HashMap::new(),
+            exact: HashMap::new(),
+            groups: HashMap::new(),
         }
     }
 
     fn bucket_occupied(&self, sig: u64) -> bool {
-        self.buckets.get(&sig).is_some_and(|b| !b.is_empty())
+        self.groups.get(&sig).is_some_and(|g| !g.members.is_empty())
     }
 
     fn find(
@@ -116,19 +121,18 @@ impl StoreClassIndex {
             strategy,
             rigid,
             refs,
-            keys,
-            buckets,
+            exact,
+            groups,
         } = self;
-        let Some(bucket) = buckets.get(&sig).filter(|b| !b.is_empty()) else {
+        let total = refs.len() as u64;
+        let Some(group) = groups.get_mut(&sig).filter(|g| !g.members.is_empty()) else {
             counters.sig_filter_skips += 1;
-            if *strategy == DedupStrategy::PairwiseIso {
-                counters.iso_checks_avoided += refs.len() as u64;
-            }
+            counters.iso_checks_avoided += total;
             return None;
         };
+        counters.iso_checks_avoided += total - group.members.len() as u64;
         if *strategy == DedupStrategy::PairwiseIso {
-            counters.iso_checks_avoided += (refs.len() - bucket.len()) as u64;
-            for &ix in bucket {
+            for &ix in &group.members {
                 counters.iso_checks_performed += 1;
                 if store.facts(refs[ix]).isomorphic(facts, rigid) {
                     return Some(ix);
@@ -142,42 +146,55 @@ impl StoreClassIndex {
                 counters.canon_keys_computed += 1;
             }
         }
-        let probe = probe_key.as_ref().unwrap();
-        for &ix in bucket {
-            match (probe, &keys[ix]) {
-                (Some(pk), Some(ck)) => {
-                    counters.iso_checks_avoided += 1;
-                    if pk == ck {
-                        return Some(ix);
+        match probe_key.as_ref().unwrap() {
+            Some(pk) => {
+                for ix in std::mem::take(&mut group.unkeyed) {
+                    match store.facts(refs[ix]).try_canonical_key(rigid, PERM_BUDGET) {
+                        Some(ck) => {
+                            counters.canon_keys_computed += 1;
+                            exact.insert(ck, ix);
+                            group.keyed += 1;
+                        }
+                        None => group.hard.push(ix),
                     }
                 }
-                _ => {
-                    if probe.is_some() && keys[ix].is_none() {
-                        keys[ix] = store.facts(refs[ix]).try_canonical_key(rigid, PERM_BUDGET);
-                        if let Some(ck) = &keys[ix] {
-                            counters.canon_keys_computed += 1;
-                            counters.iso_checks_avoided += 1;
-                            if probe.as_ref().unwrap() == ck {
-                                return Some(ix);
-                            }
-                            continue;
-                        }
-                    }
+                counters.iso_checks_avoided += group.keyed;
+                if let Some(&ix) = exact.get(pk) {
+                    return Some(ix);
+                }
+                for &ix in &group.hard {
                     counters.iso_checks_performed += 1;
                     if store.facts(refs[ix]).isomorphic(facts, rigid) {
                         return Some(ix);
                     }
                 }
+                None
+            }
+            None => {
+                for &ix in &group.members {
+                    counters.iso_checks_performed += 1;
+                    if store.facts(refs[ix]).isomorphic(facts, rigid) {
+                        return Some(ix);
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     fn insert(&mut self, state: StateRef, sig: u64, probe_key: Option<Option<CanonKey>>) {
         let ix = self.refs.len();
         self.refs.push(state);
-        self.keys.push(probe_key.flatten());
-        self.buckets.entry(sig).or_default().push(ix);
+        let group = self.groups.entry(sig).or_default();
+        group.members.push(ix);
+        match probe_key {
+            Some(Some(k)) => {
+                self.exact.insert(k, ix);
+                group.keyed += 1;
+            }
+            Some(None) => group.hard.push(ix),
+            None => group.unkeyed.push(ix),
+        }
     }
 }
 
@@ -252,6 +269,7 @@ pub fn det_abstraction_compact_traced(
     let rigid = dcds.rigid_constants();
     let num_rels = dcds.data.schema.len();
     let threads = opts.threads.max(1);
+    let level_chunk = opts.level_chunk.max(1);
     let mut pool = dcds.working_pool();
     let mut counters = EngineCounters::default();
     let paths = dcds.plans().access_paths();
@@ -303,151 +321,160 @@ pub fn det_abstraction_compact_traced(
             )
         });
 
-        // Phase 1 (parallel): legal assignments, pre-instances, and
-        // commitments per frontier state — probing the state's COW index.
-        let enumerated: Vec<Vec<EnumeratedStep>> =
-            par_map_obs(&frontier, threads, obs, "enumerate", |entry| {
-                let state = &entry.state;
-                legal_assignments_indexed(dcds, &state.instance, Some(&entry.index))
-                    .into_iter()
-                    .map(|(action, sigma)| {
-                        let pre = do_action_indexed(
-                            dcds,
-                            &state.instance,
-                            action,
-                            &sigma,
-                            Some(&entry.index),
-                        );
-                        let new_calls: Vec<dcds_core::ServiceCall> = pre
-                            .calls()
-                            .into_iter()
-                            .filter(|c| !state.call_map.contains_key(c))
-                            .collect();
-                        let mut known: BTreeSet<Value> = state.known_values();
-                        known.extend(rigid.iter().copied());
-                        let known: Vec<Value> = known.into_iter().collect();
-                        let commitments = enumerate_commitments(&new_calls, &known);
-                        (action, sigma, pre, commitments)
-                    })
-                    .collect()
-            });
-
-        // Phase 2 (serial, frontier order): mint fresh cells.
-        let mut tasks: Vec<StepTask> = Vec::new();
-        for (frontier_ix, (entry, per_state)) in frontier.iter().zip(&enumerated).enumerate() {
-            for (_action, _sigma, pre, commitments) in per_state {
-                for commitment in commitments {
-                    let cells = dcds_core::commitment::fresh_cell_count(commitment);
-                    let fresh: Vec<Value> = (0..cells).map(|_| pool.mint("v")).collect();
-                    let choice = commitment
-                        .iter()
-                        .map(|(c, t)| {
-                            let v = match t {
-                                CommitTarget::Known(v) => *v,
-                                CommitTarget::Fresh(cell) => fresh[*cell],
-                            };
-                            (c.clone(), v)
+        // Wide levels are processed in fixed-size frontier chunks so the
+        // per-level scratch (pre-instances, stepped successors) stays
+        // bounded instead of materialising millions of instances at once
+        // — at large budgets that allocation churn, not dedup, is what
+        // collapses throughput. Chunking preserves global task order
+        // (mint order, dedup decisions, counters) exactly: every serial
+        // decision still happens in frontier/task order, so the output
+        // is bit-identical to the unchunked legacy engine.
+        let mut next_frontier: Vec<FrontierState> = Vec::new();
+        let mut new_classes = 0u64;
+        for chunk in frontier.chunks(level_chunk) {
+            // Phase 1 (parallel): legal assignments, pre-instances, and
+            // commitments per frontier state — probing the state's COW index.
+            let enumerated: Vec<Vec<EnumeratedStep>> =
+                par_map_obs(chunk, threads, obs, "enumerate", |entry| {
+                    let state = &entry.state;
+                    legal_assignments_indexed(dcds, &state.instance, Some(&entry.index))
+                        .into_iter()
+                        .map(|(action, sigma)| {
+                            let pre = do_action_indexed(
+                                dcds,
+                                &state.instance,
+                                action,
+                                &sigma,
+                                Some(&entry.index),
+                            );
+                            let new_calls: Vec<dcds_core::ServiceCall> = pre
+                                .calls()
+                                .into_iter()
+                                .filter(|c| !state.call_map.contains_key(c))
+                                .collect();
+                            let mut known: BTreeSet<Value> = state.known_values();
+                            known.extend(rigid.iter().copied());
+                            let known: Vec<Value> = known.into_iter().collect();
+                            let commitments = enumerate_commitments(&new_calls, &known);
+                            (action, sigma, pre, commitments)
                         })
-                        .collect();
-                    tasks.push(StepTask {
-                        frontier_ix,
-                        source: entry.id,
-                        pre,
-                        choice,
-                    });
+                        .collect()
+                });
+
+            // Phase 2 (serial, frontier order): mint fresh cells.
+            let mut tasks: Vec<StepTask> = Vec::new();
+            for (frontier_ix, (entry, per_state)) in chunk.iter().zip(&enumerated).enumerate() {
+                for (_action, _sigma, pre, commitments) in per_state {
+                    for commitment in commitments {
+                        let cells = dcds_core::commitment::fresh_cell_count(commitment);
+                        let fresh: Vec<Value> = (0..cells).map(|_| pool.mint("v")).collect();
+                        let choice = commitment
+                            .iter()
+                            .map(|(c, t)| {
+                                let v = match t {
+                                    CommitTarget::Known(v) => *v,
+                                    CommitTarget::Fresh(cell) => fresh[*cell],
+                                };
+                                (c.clone(), v)
+                            })
+                            .collect();
+                        tasks.push(StepTask {
+                            frontier_ix,
+                            source: entry.id,
+                            pre,
+                            choice,
+                        });
+                    }
                 }
             }
-        }
 
-        // Phase 3 (parallel): step, encode, sign, eager-key on bucket hit.
-        let step_timer = obs.timer();
-        let stepped: Vec<StepResult> = par_map_obs(&tasks, threads, obs, "step", |task| {
-            let state = &frontier[task.frontier_ix].state;
-            let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
-                let facts = next.to_facts(num_rels);
-                let sig = facts.signature(&rigid);
-                let key = if opts.strategy == DedupStrategy::CanonicalKey
-                    && (opts.eager_keys || index.bucket_occupied(sig))
-                {
-                    Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
-                } else {
-                    None
-                };
-                (next, facts, sig, key)
+            // Phase 3 (parallel): step, encode, sign, eager-key on bucket hit.
+            let step_timer = obs.timer();
+            let stepped: Vec<StepResult> = par_map_obs(&tasks, threads, obs, "step", |task| {
+                let state = &chunk[task.frontier_ix].state;
+                let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
+                    let facts = next.to_facts(num_rels);
+                    let sig = facts.signature(&rigid);
+                    let key = if opts.strategy == DedupStrategy::CanonicalKey
+                        && (opts.eager_keys || index.bucket_occupied(sig))
+                    {
+                        Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
+                    } else {
+                        None
+                    };
+                    (next, facts, sig, key)
+                });
+                StepResult {
+                    source: task.source,
+                    frontier_ix: task.frontier_ix,
+                    next,
+                }
             });
-            StepResult {
-                source: task.source,
-                frontier_ix: task.frontier_ix,
-                next,
-            }
-        });
-        drop(tasks);
-        obs.time_us("abs.step_phase_us", step_timer);
+            drop(tasks);
+            obs.time_us("abs.step_phase_us", step_timer);
 
-        // Phase 4 (serial, task order): dedup against the class index,
-        // insert survivors into the store as deltas over their parent.
-        let merge_timer = obs.timer();
-        let mut pending: Vec<PendingChild> = Vec::new();
-        // Children of one parent arrive consecutively: resolve the
-        // parent's fact ids once and reuse them for the whole group.
-        let mut resolved_parent: Option<(StateId, Vec<dcds_reldata::FactId>)> = None;
-        for result in stepped {
-            let Some((next, facts, sig, mut key)) = result.next else {
-                continue;
-            };
-            counters.successors_generated += 1;
-            if let Some(Some(_)) = &key {
-                counters.canon_keys_computed += 1;
-            }
-            let found = index.find(&store, &facts, sig, &mut key, &mut counters);
-            if matches!(key, Some(None)) {
-                obs.counter_add("abs.perm_budget_fallbacks", 1);
-            }
-            let next_id = match found {
-                Some(class_ix) => StateId::from_index(class_ix),
-                None => {
-                    if refs.len() >= max_states {
-                        outcome = AbsOutcome::Truncated;
-                        continue;
-                    }
-                    let parent_ref = refs[result.source.index()];
-                    if resolved_parent.as_ref().map(|(s, _)| *s) != Some(result.source) {
-                        resolved_parent = Some((result.source, store.resolve(parent_ref)));
-                    }
-                    let parent_ids = &resolved_parent.as_ref().unwrap().1;
-                    let ins = store.insert_child(parent_ref, parent_ids, &facts);
-                    debug_assert!(!ins.existing, "new iso class duplicates a stored state");
-                    let id = StateId::from_index(refs.len());
-                    debug_assert_eq!(ins.state.index(), id.index());
-                    refs.push(ins.state);
-                    succ.push(Vec::new());
-                    index.insert(ins.state, sig, key);
-                    let touched = store.delta_rels(ins.state, num_rels as u32);
-                    pending.push(PendingChild {
-                        id,
-                        state: next,
-                        parent_ix: result.frontier_ix,
-                        touched,
-                    });
-                    id
+            // Phase 4 (serial, task order): dedup against the class index,
+            // insert survivors into the store as deltas over their parent.
+            let merge_timer = obs.timer();
+            let mut pending: Vec<PendingChild> = Vec::new();
+            // Children of one parent arrive consecutively: resolve the
+            // parent's fact ids once and reuse them for the whole group.
+            let mut resolved_parent: Option<(StateId, Vec<dcds_reldata::FactId>)> = None;
+            for result in stepped {
+                let Some((next, facts, sig, mut key)) = result.next else {
+                    continue;
+                };
+                counters.successors_generated += 1;
+                if let Some(Some(_)) = &key {
+                    counters.canon_keys_computed += 1;
                 }
-            };
-            let out = &mut succ[result.source.index()];
-            if !out.contains(&next_id) {
-                out.push(next_id);
+                let found = index.find(&store, &facts, sig, &mut key, &mut counters);
+                if matches!(key, Some(None)) {
+                    obs.counter_add("abs.perm_budget_fallbacks", 1);
+                }
+                let next_id = match found {
+                    Some(class_ix) => StateId::from_index(class_ix),
+                    None => {
+                        if refs.len() >= max_states {
+                            outcome = AbsOutcome::Truncated;
+                            continue;
+                        }
+                        let parent_ref = refs[result.source.index()];
+                        if resolved_parent.as_ref().map(|(s, _)| *s) != Some(result.source) {
+                            resolved_parent = Some((result.source, store.resolve(parent_ref)));
+                        }
+                        let parent_ids = &resolved_parent.as_ref().unwrap().1;
+                        let ins = store.insert_child(parent_ref, parent_ids, &facts);
+                        debug_assert!(!ins.existing, "new iso class duplicates a stored state");
+                        let id = StateId::from_index(refs.len());
+                        debug_assert_eq!(ins.state.index(), id.index());
+                        refs.push(ins.state);
+                        succ.push(Vec::new());
+                        index.insert(ins.state, sig, key);
+                        let touched = store.delta_rels(ins.state, num_rels as u32);
+                        pending.push(PendingChild {
+                            id,
+                            state: next,
+                            parent_ix: result.frontier_ix,
+                            touched,
+                        });
+                        id
+                    }
+                };
+                let out = &mut succ[result.source.index()];
+                if !out.contains(&next_id) {
+                    out.push(next_id);
+                }
             }
-        }
-        obs.time_us("abs.merge_phase_us", merge_timer);
-        publish_store_gauges(obs, &store);
-        level_span.set("new_classes", pending.len() as u64);
+            obs.time_us("abs.merge_phase_us", merge_timer);
+            new_classes += pending.len() as u64;
 
-        // Phase 5 (parallel): derive the new frontier's COW indexes while
-        // the parent indexes are still alive.
-        let next_frontier: Vec<FrontierState> =
-            par_map_obs(&pending, threads, obs, "index", |child| {
+            // Phase 5 (parallel): derive the new frontier's COW indexes while
+            // the parent indexes are still alive.
+            next_frontier.extend(par_map_obs(&pending, threads, obs, "index", |child| {
                 let idx = match &child.touched {
                     Some(touched) => InstanceIndex::rebuild_delta(
-                        &frontier[child.parent_ix].index,
+                        &chunk[child.parent_ix].index,
                         &child.state.instance,
                         touched,
                         paths.iter().cloned(),
@@ -459,7 +486,10 @@ pub fn det_abstraction_compact_traced(
                     state: child.state.clone(),
                     index: Arc::new(idx),
                 }
-            });
+            }));
+        }
+        publish_store_gauges(obs, &store);
+        level_span.set("new_classes", new_classes);
         frontier = next_frontier;
         level += 1;
     }
@@ -736,7 +766,7 @@ mod tests {
                     let opts = AbsOptions {
                         strategy,
                         threads,
-                        eager_keys: false,
+                        ..AbsOptions::default()
                     };
                     let legacy = det_abstraction_opts(&dcds, 60, opts);
                     let compact = det_abstraction_compact_opts(&dcds, 60, opts);
@@ -763,6 +793,72 @@ mod tests {
                 assert_eq!(compact.counters, legacy.counters);
             }
         }
+    }
+
+    #[test]
+    fn store_index_resolves_same_signature_collisions_exactly() {
+        // Mirror of the legacy `ClassIndex` collision regression: perfect
+        // matchings of 10 rigid tags all share one signature; the
+        // store-backed index must resolve every probe through the exact
+        // map without materialising facts for a backtracking call.
+        fn matching_facts(pairs: &[(usize, usize)], fresh_base: usize) -> Facts {
+            let mut f = Facts::new();
+            for (p, &(i, j)) in pairs.iter().enumerate() {
+                let v = Value::from_index(fresh_base + p);
+                f.insert(0, dcds_reldata::Tuple::new([Value::from_index(i), v]));
+                f.insert(0, dcds_reldata::Tuple::new([Value::from_index(j), v]));
+            }
+            f
+        }
+        fn matchings(
+            rest: &[usize],
+            acc: &mut Vec<(usize, usize)>,
+            out: &mut Vec<Vec<(usize, usize)>>,
+        ) {
+            let Some((&first, rest)) = rest.split_first() else {
+                out.push(acc.clone());
+                return;
+            };
+            for k in 0..rest.len() {
+                let mut remaining: Vec<usize> = rest.to_vec();
+                let partner = remaining.remove(k);
+                acc.push((first, partner));
+                matchings(&remaining, acc, out);
+                acc.pop();
+            }
+        }
+        let tags: Vec<usize> = (0..10).collect();
+        let rigid: BTreeSet<Value> = tags.iter().map(|&t| Value::from_index(t)).collect();
+        let mut all = Vec::new();
+        matchings(&tags, &mut Vec::new(), &mut all);
+        assert_eq!(all.len(), 945); // (2·5 − 1)!! pairings of 10 tags
+
+        let mut store = StateStore::new();
+        let mut index = StoreClassIndex::new(DedupStrategy::CanonicalKey, rigid.clone());
+        let mut counters = EngineCounters::default();
+        let sig0 = matching_facts(&all[0], 100).signature(&rigid);
+        for m in &all {
+            let facts = matching_facts(m, 100);
+            let sig = facts.signature(&rigid);
+            assert_eq!(sig, sig0);
+            let mut key = None;
+            assert_eq!(
+                index.find(&store, &facts, sig, &mut key, &mut counters),
+                None
+            );
+            let r = store.insert(None, &facts).state;
+            index.insert(r, sig, key);
+        }
+        for (expect_ix, m) in all.iter().enumerate() {
+            let probe = matching_facts(m, 5000 + expect_ix);
+            let mut key = None;
+            assert_eq!(
+                index.find(&store, &probe, sig0, &mut key, &mut counters),
+                Some(expect_ix)
+            );
+        }
+        assert_eq!(counters.iso_checks_performed, 0);
+        assert_eq!(counters.canon_keys_computed, 2 * all.len() as u64);
     }
 
     #[test]

@@ -36,14 +36,18 @@
 //!
 //! # Deduplication
 //!
-//! The class index buckets isomorphism classes by their cheap
-//! [`Facts::signature`]. A successor whose signature bucket is empty is
+//! The class index groups isomorphism classes by their cheap
+//! [`Facts::signature`] and keeps an exact-match `HashMap<CanonKey, _>`
+//! in front of the groups. A successor whose signature group is empty is
 //! provably a new class — no canonicalisation happens at all (the common
-//! case; see the `sig_filter_skips` counter). Only on a bucket hit is the
-//! expensive canonical key computed (lazily, both for the probe and for
-//! the resident classes), and symmetric instances whose key search would
-//! exceed [`dcds_reldata::PERM_BUDGET`] fall back to the backtracking
-//! isomorphism matcher within the bucket.
+//! case; see the `sig_filter_skips` counter). Only on a signature hit is
+//! the expensive canonical key computed (lazily, both for the probe and —
+//! once, ever — for each resident class), after which a single hash probe
+//! of the exact map decides membership: the per-probe cost is independent
+//! of how many classes share the signature. Symmetric instances whose key
+//! search would exceed [`dcds_reldata::PERM_BUDGET`] stay keyless forever
+//! and fall back to the backtracking isomorphism matcher within their
+//! group.
 
 use dcds_core::det::{det_step_with_pre, DetState};
 use dcds_core::do_op::{
@@ -109,7 +113,19 @@ pub struct AbsOptions {
     /// hits — the pre-fast-path cost model, kept as an ablation baseline
     /// for the benchmark harness. Output is identical either way.
     pub eager_keys: bool,
+    /// Frontier states stepped per batch inside one BFS level of the
+    /// compact engine. Bounds the transient per-level scratch
+    /// (pre-instances, stepped successors) without altering any output:
+    /// all serial decisions still run in global frontier/task order.
+    /// Ignored by the legacy (owned-instance) engines. `0` is treated
+    /// as `1`.
+    pub level_chunk: usize,
 }
+
+/// Default [`AbsOptions::level_chunk`]: small enough that a 100k-wide
+/// frontier's scratch stays in the tens of megabytes, large enough that
+/// parallel phases keep every worker busy.
+pub const DEFAULT_LEVEL_CHUNK: usize = 4096;
 
 impl Default for AbsOptions {
     fn default() -> Self {
@@ -117,6 +133,7 @@ impl Default for AbsOptions {
             strategy: DedupStrategy::CanonicalKey,
             threads: configured_threads(),
             eager_keys: false,
+            level_chunk: DEFAULT_LEVEL_CHUNK,
         }
     }
 }
@@ -143,23 +160,52 @@ pub fn det_abstraction_with(
     )
 }
 
-/// Signature-bucketed index of the isomorphism classes seen so far.
+/// One signature's isomorphism classes, split by key status.
+#[derive(Debug, Default)]
+pub(crate) struct SigGroup {
+    /// Every member class, in insertion order — the backtracking scan
+    /// order for over-budget probes.
+    pub(crate) members: Vec<usize>,
+    /// Admitted without a key attempt; lazily keyed (once, ever) when a
+    /// keyed probe first collides with this signature.
+    pub(crate) unkeyed: Vec<usize>,
+    /// Key search exceeded [`PERM_BUDGET`]; compared by the backtracking
+    /// matcher forever and never re-attempted.
+    pub(crate) hard: Vec<usize>,
+    /// Number of members whose key lives in the exact-match map.
+    pub(crate) keyed: u64,
+}
+
+/// Index of the isomorphism classes seen so far: an exact-match map over
+/// canonical keys in front of signature groups.
 ///
 /// Canonical keys are computed lazily: a class admitted through an empty
-/// bucket never pays for canonicalisation unless a later probe collides
-/// with its signature. Classes whose key search exceeds [`PERM_BUDGET`]
-/// stay keyless forever and are compared by the backtracking matcher.
+/// signature group never pays for canonicalisation unless a later probe
+/// collides with its signature. Keyed classes are found with **one hash
+/// probe** of the global `exact` map — equal keys imply isomorphism,
+/// index classes are pairwise non-isomorphic, and isomorphic fact sets
+/// share a signature, so at most one class can match and a hit is always
+/// inside the probe's own signature group. Only classes whose key search
+/// exceeds [`PERM_BUDGET`] remain on the per-group backtracking path.
+///
+/// Counter semantics (uniform across both [`DedupStrategy`] variants):
+/// every probe credits `iso_checks_avoided` with the classes the
+/// signature filter excluded (`total − |group|`; all of them when the
+/// group is empty, which also counts one `sig_filter_skips`). Under
+/// `CanonicalKey` a keyed probe additionally credits one avoided check
+/// per keyed group member (the exact-map probe stands in for comparing
+/// against each of them), `canon_keys_computed` counts every successful
+/// key search exactly once, and `iso_checks_performed` counts each
+/// backtracking-matcher call.
 struct ClassIndex {
     strategy: DedupStrategy,
     rigid: BTreeSet<Value>,
     /// Per class: the fact encoding (probe target for the matchers).
     class_facts: Vec<Facts>,
-    /// Per class: invariant signature.
-    sigs: Vec<u64>,
-    /// Per class: canonical key, if computed and within budget.
-    keys: Vec<Option<CanonKey>>,
-    /// Signature → classes with that signature, in insertion order.
-    buckets: HashMap<u64, Vec<usize>>,
+    /// Canonical key → class, global across signatures.
+    exact: HashMap<CanonKey, usize>,
+    /// Signature → its classes, grouped by key status.
+    groups: HashMap<u64, SigGroup>,
 }
 
 impl ClassIndex {
@@ -168,16 +214,15 @@ impl ClassIndex {
             strategy,
             rigid,
             class_facts: Vec::new(),
-            sigs: Vec::new(),
-            keys: Vec::new(),
-            buckets: HashMap::new(),
+            exact: HashMap::new(),
+            groups: HashMap::new(),
         }
     }
 
-    /// Is this signature's bucket non-empty? (Workers consult the
+    /// Is this signature's group non-empty? (Workers consult the
     /// level-start snapshot to decide whether to canonicalise eagerly.)
     fn bucket_occupied(&self, sig: u64) -> bool {
-        self.buckets.get(&sig).is_some_and(|b| !b.is_empty())
+        self.groups.get(&sig).is_some_and(|g| !g.members.is_empty())
     }
 
     /// Find the class of `facts`, if already present. `probe_key` carries a
@@ -191,26 +236,25 @@ impl ClassIndex {
         probe_key: &mut Option<Option<CanonKey>>,
         counters: &mut EngineCounters,
     ) -> Option<usize> {
-        // Disjoint field borrows: `buckets` stays immutably borrowed for
-        // the whole probe while `keys` is written — no bucket copy needed.
         let ClassIndex {
             strategy,
             rigid,
             class_facts,
-            keys,
-            buckets,
-            ..
+            exact,
+            groups,
         } = self;
-        let Some(bucket) = buckets.get(&sig).filter(|b| !b.is_empty()) else {
+        let total = class_facts.len() as u64;
+        let Some(group) = groups.get_mut(&sig).filter(|g| !g.members.is_empty()) else {
+            // The signature proves the class is new: every resident
+            // class's pairwise check is avoided, under both strategies.
             counters.sig_filter_skips += 1;
-            if *strategy == DedupStrategy::PairwiseIso {
-                counters.iso_checks_avoided += class_facts.len() as u64;
-            }
+            counters.iso_checks_avoided += total;
             return None;
         };
+        // The signature filter rules out every class outside this group.
+        counters.iso_checks_avoided += total - group.members.len() as u64;
         if *strategy == DedupStrategy::PairwiseIso {
-            counters.iso_checks_avoided += (class_facts.len() - bucket.len()) as u64;
-            for &ix in bucket {
+            for &ix in &group.members {
                 counters.iso_checks_performed += 1;
                 if class_facts[ix].isomorphic(facts, rigid) {
                     return Some(ix);
@@ -225,39 +269,51 @@ impl ClassIndex {
                 counters.canon_keys_computed += 1;
             }
         }
-        let probe = probe_key.as_ref().unwrap();
-        for &ix in bucket {
-            match (probe, &keys[ix]) {
-                (Some(pk), Some(ck)) => {
-                    counters.iso_checks_avoided += 1;
-                    if pk == ck {
-                        return Some(ix);
+        match probe_key.as_ref().unwrap() {
+            Some(pk) => {
+                // Key every unkeyed resident of the group — each at most
+                // once over the whole construction — so the exact-map
+                // probe below replaces a scan of the group.
+                for ix in std::mem::take(&mut group.unkeyed) {
+                    match class_facts[ix].try_canonical_key(rigid, PERM_BUDGET) {
+                        Some(ck) => {
+                            counters.canon_keys_computed += 1;
+                            exact.insert(ck, ix);
+                            group.keyed += 1;
+                        }
+                        None => group.hard.push(ix),
                     }
                 }
-                _ => {
-                    // Either side over the permutation budget (or the
-                    // resident class was admitted keyless and is now being
-                    // keyed lazily): try to key the resident, else fall
-                    // back to the backtracking matcher.
-                    if probe.is_some() && keys[ix].is_none() {
-                        keys[ix] = class_facts[ix].try_canonical_key(rigid, PERM_BUDGET);
-                        if let Some(ck) = &keys[ix] {
-                            counters.canon_keys_computed += 1;
-                            counters.iso_checks_avoided += 1;
-                            if probe.as_ref().unwrap() == ck {
-                                return Some(ix);
-                            }
-                            continue;
-                        }
-                    }
+                // One hash probe stands in for a key comparison against
+                // every keyed member of the group.
+                counters.iso_checks_avoided += group.keyed;
+                if let Some(&ix) = exact.get(pk) {
+                    return Some(ix);
+                }
+                // The refinement-class structure (and hence the budget
+                // verdict) is an iso invariant, so a keyed probe should
+                // never match a hard resident — but the backtracking
+                // check is cheap and keeps dedup sound even if the
+                // budget rule ever changes.
+                for &ix in &group.hard {
                     counters.iso_checks_performed += 1;
                     if class_facts[ix].isomorphic(facts, rigid) {
                         return Some(ix);
                     }
                 }
+                None
+            }
+            None => {
+                // Over-budget probe: backtracking scan of the whole group.
+                for &ix in &group.members {
+                    counters.iso_checks_performed += 1;
+                    if class_facts[ix].isomorphic(facts, rigid) {
+                        return Some(ix);
+                    }
+                }
+                None
             }
         }
-        None
     }
 
     /// Admit a new class. `probe_key` is whatever [`ClassIndex::find`] (or
@@ -266,9 +322,16 @@ impl ClassIndex {
     fn insert(&mut self, facts: Facts, sig: u64, probe_key: Option<Option<CanonKey>>) {
         let ix = self.class_facts.len();
         self.class_facts.push(facts);
-        self.sigs.push(sig);
-        self.keys.push(probe_key.flatten());
-        self.buckets.entry(sig).or_default().push(ix);
+        let group = self.groups.entry(sig).or_default();
+        group.members.push(ix);
+        match probe_key {
+            Some(Some(k)) => {
+                self.exact.insert(k, ix);
+                group.keyed += 1;
+            }
+            Some(None) => group.hard.push(ix),
+            None => group.unkeyed.push(ix),
+        }
     }
 }
 
@@ -638,7 +701,7 @@ mod tests {
                         AbsOptions {
                             strategy: DedupStrategy::CanonicalKey,
                             threads,
-                            eager_keys: false,
+                            ..AbsOptions::default()
                         },
                     )
                 })
@@ -671,6 +734,165 @@ mod tests {
             // Eager canonicalises at least as often.
             assert!(eager.counters.canon_keys_computed >= lazy.counters.canon_keys_computed);
         }
+    }
+
+    /// Unary fact sets over explicit raw values, for driving the index
+    /// directly.
+    fn unary_facts(color: u32, values: &[usize]) -> Facts {
+        let mut f = Facts::new();
+        for &v in values {
+            f.insert(color, dcds_reldata::Tuple::new([Value::from_index(v)]));
+        }
+        f
+    }
+
+    /// A perfect matching on `2n` rigid tags, each pair sharing one fresh
+    /// value: facts `E(t_i, v_p)` and `E(t_j, v_p)` for every matched pair
+    /// `{i, j}`. Every matching of the same `2n` tags has the same
+    /// signature (the signature never relates non-rigid values across
+    /// facts), distinct matchings are non-isomorphic (tags are fixed
+    /// pointwise), and canonical keys are cheap (each fresh value's rigid
+    /// neighbours give it a singleton refinement class).
+    fn matching_facts(pairs: &[(usize, usize)], fresh_base: usize) -> Facts {
+        let mut f = Facts::new();
+        for (p, &(i, j)) in pairs.iter().enumerate() {
+            let v = Value::from_index(fresh_base + p);
+            f.insert(0, dcds_reldata::Tuple::new([Value::from_index(i), v]));
+            f.insert(0, dcds_reldata::Tuple::new([Value::from_index(j), v]));
+        }
+        f
+    }
+
+    /// All perfect matchings of `0..2n`, in a deterministic order, up to
+    /// `limit`.
+    fn perfect_matchings(tags: &[usize], limit: usize, out: &mut Vec<Vec<(usize, usize)>>) {
+        fn rec(
+            rest: &[usize],
+            acc: &mut Vec<(usize, usize)>,
+            limit: usize,
+            out: &mut Vec<Vec<(usize, usize)>>,
+        ) {
+            if out.len() >= limit {
+                return;
+            }
+            let Some((&first, rest)) = rest.split_first() else {
+                out.push(acc.clone());
+                return;
+            };
+            for k in 0..rest.len() {
+                let mut remaining: Vec<usize> = rest.to_vec();
+                let partner = remaining.remove(k);
+                acc.push((first, partner));
+                rec(&remaining, acc, limit, out);
+                acc.pop();
+            }
+        }
+        rec(tags, &mut Vec::new(), limit, out);
+    }
+
+    #[test]
+    fn empty_group_probe_counters_uniform_across_strategies() {
+        // Satellite fix: an empty-signature-group probe must credit the
+        // signature filter identically under both strategies — one
+        // `sig_filter_skips` and one avoided check per resident class —
+        // without computing any canonical key.
+        let rigid = BTreeSet::new();
+        let mut deltas = Vec::new();
+        for strategy in [DedupStrategy::CanonicalKey, DedupStrategy::PairwiseIso] {
+            let mut index = ClassIndex::new(strategy, rigid.clone());
+            let mut counters = EngineCounters::default();
+            for class in [unary_facts(0, &[0]), unary_facts(0, &[1, 2])] {
+                let sig = class.signature(&rigid);
+                let mut key = None;
+                assert_eq!(index.find(&class, sig, &mut key, &mut counters), None);
+                index.insert(class, sig, key);
+            }
+            let probe = unary_facts(1, &[3]);
+            let sig = probe.signature(&rigid);
+            let before = counters.clone();
+            let mut key = None;
+            assert_eq!(index.find(&probe, sig, &mut key, &mut counters), None);
+            assert!(key.is_none(), "empty-group probe must not compute a key");
+            deltas.push((
+                counters.sig_filter_skips - before.sig_filter_skips,
+                counters.iso_checks_avoided - before.iso_checks_avoided,
+                counters.iso_checks_performed - before.iso_checks_performed,
+                counters.canon_keys_computed - before.canon_keys_computed,
+            ));
+        }
+        assert_eq!(deltas[0], (1, 2, 0, 0));
+        assert_eq!(deltas[0], deltas[1], "strategies must account identically");
+    }
+
+    #[test]
+    fn keyed_index_resolves_thousands_of_same_signature_classes() {
+        // The collision-heavy regression: perfect matchings of 12 tags all
+        // share one signature, so the old per-group linear scan made the
+        // k-th admission pay O(k) key comparisons. The exact-match map
+        // must resolve every probe without a single backtracking call.
+        let tags: Vec<usize> = (0..12).collect();
+        let rigid: BTreeSet<Value> = tags.iter().map(|&t| Value::from_index(t)).collect();
+        let mut matchings = Vec::new();
+        perfect_matchings(&tags, 1500, &mut matchings);
+        assert_eq!(matchings.len(), 1500);
+
+        let mut index = ClassIndex::new(DedupStrategy::CanonicalKey, rigid.clone());
+        let mut counters = EngineCounters::default();
+        let sig0 = matching_facts(&matchings[0], 100).signature(&rigid);
+        for m in &matchings {
+            let facts = matching_facts(m, 100);
+            let sig = facts.signature(&rigid);
+            assert_eq!(sig, sig0, "matchings must collide on one signature");
+            let mut key = None;
+            assert_eq!(index.find(&facts, sig, &mut key, &mut counters), None);
+            index.insert(facts, sig, key);
+        }
+        // Re-probe every class under a fresh-value renaming: each must hit
+        // its own class, purely through the exact map.
+        for (expect_ix, m) in matchings.iter().enumerate() {
+            let probe = matching_facts(m, 5000 + expect_ix);
+            let mut key = None;
+            assert_eq!(
+                index.find(&probe, sig0, &mut key, &mut counters),
+                Some(expect_ix)
+            );
+        }
+        assert_eq!(
+            counters.iso_checks_performed, 0,
+            "keyed classes must never reach the backtracking matcher"
+        );
+        // One key per admission probe (the first class is keyed lazily
+        // when the second probe collides, the rest at their own probe) and
+        // one per re-probe — each class's resident key computed once, ever.
+        assert_eq!(
+            counters.canon_keys_computed,
+            2 * matchings.len() as u64,
+            "every key must be computed exactly once"
+        );
+    }
+
+    #[test]
+    fn over_budget_classes_fall_back_to_backtracking() {
+        // Nine interchangeable fresh values defeat colour refinement: the
+        // key search would need 9! > PERM_BUDGET orders, so the class is
+        // admitted keyless-forever and later probes match it through the
+        // backtracking matcher.
+        let rigid = BTreeSet::new();
+        let mut index = ClassIndex::new(DedupStrategy::CanonicalKey, rigid.clone());
+        let mut counters = EngineCounters::default();
+        let a = unary_facts(0, &(100..109).collect::<Vec<_>>());
+        let sig = a.signature(&rigid);
+        let mut key = None;
+        assert_eq!(index.find(&a, sig, &mut key, &mut counters), None);
+        index.insert(a, sig, key);
+
+        let b = unary_facts(0, &(200..209).collect::<Vec<_>>());
+        assert_eq!(b.signature(&rigid), sig);
+        let mut key = None;
+        assert_eq!(index.find(&b, sig, &mut key, &mut counters), Some(0));
+        assert_eq!(key, Some(None), "probe must exceed the permutation budget");
+        assert_eq!(counters.canon_keys_computed, 0);
+        assert!(counters.iso_checks_performed >= 1);
     }
 
     #[test]

@@ -29,14 +29,19 @@ pub mod det_abs;
 pub mod pruning;
 pub mod rcycl;
 
-pub use bounds::{observe_run_bound, observe_state_bound, BoundObservation};
+pub use bounds::{
+    observe_run_bound, observe_state_bound, observe_state_bound_compact, BoundObservation,
+};
 pub use compact::{
     det_abstraction_compact, det_abstraction_compact_opts, det_abstraction_compact_traced,
     rcycl_compact, rcycl_compact_opts, rcycl_compact_traced, CompactDetAbstraction, CompactRcycl,
 };
 pub use det_abs::{
     det_abstraction, det_abstraction_opts, det_abstraction_traced, det_abstraction_with,
-    AbsOptions, AbsOutcome, DedupStrategy, DetAbstraction,
+    AbsOptions, AbsOutcome, DedupStrategy, DetAbstraction, DEFAULT_LEVEL_CHUNK,
 };
-pub use pruning::{commitment_coverage_holds, commitment_coverage_holds_traced};
+pub use pruning::{
+    commitment_coverage_holds, commitment_coverage_holds_compact,
+    commitment_coverage_holds_compact_traced, commitment_coverage_holds_traced,
+};
 pub use rcycl::{rcycl, rcycl_opts, rcycl_traced, RcyclResult};

@@ -108,7 +108,7 @@ fn bench_det(name: String, dcds: &Dcds, max_states: usize, reps: usize) -> Workl
                 AbsOptions {
                     strategy: DedupStrategy::CanonicalKey,
                     threads,
-                    eager_keys: false,
+                    ..AbsOptions::default()
                 },
             )
         });
@@ -129,6 +129,7 @@ fn bench_det(name: String, dcds: &Dcds, max_states: usize, reps: usize) -> Workl
                 strategy: DedupStrategy::CanonicalKey,
                 threads: 1,
                 eager_keys: true,
+                ..AbsOptions::default()
             },
         )
     });
@@ -428,6 +429,14 @@ struct ScaleRun {
     facts_interned: usize,
     delta_share: f64,
     complete: bool,
+    /// Dedup probe work: exact canonical keys materialised.
+    canon_keys_computed: u64,
+    /// Dedup probe work: probes answered by an empty signature group.
+    sig_filter_skips: u64,
+    /// Dedup probe work: pairwise checks the index made unnecessary.
+    iso_checks_avoided: u64,
+    /// Dedup probe work: backtracking isomorphism checks actually run.
+    iso_checks_performed: u64,
 }
 
 impl ScaleRun {
@@ -443,9 +452,15 @@ struct ScaleWorkload {
     name: String,
     engine: &'static str,
     runs: Vec<ScaleRun>,
-    /// bytes/state at the 500k budget over bytes/state at the 100k budget
+    /// Budget pair `(lo, hi)` the regression gates compare.
+    gate_budgets: (usize, usize),
+    /// bytes/state at the `hi` budget over bytes/state at the `lo` budget
     /// — the flat-memory check (must stay below 2.0).
-    growth_100k_500k: f64,
+    bytes_growth: f64,
+    /// states/s at the `hi` budget over states/s at the `lo` budget — the
+    /// dedup-throughput check (det engines must stay at or above 0.5; a
+    /// linear class-index scan collapses this towards `lo / hi`).
+    throughput_ratio: f64,
     /// Budget at which compact and legacy were asserted bit-identical at
     /// every thread count.
     overlap_budget: usize,
@@ -471,6 +486,10 @@ fn scale_run_det(dcds: &Dcds, budget: usize) -> ScaleRun {
         facts_interned: stats.facts_interned,
         delta_share: stats.delta_share(),
         complete: abs.outcome == dcds_abstraction::AbsOutcome::Complete,
+        canon_keys_computed: abs.counters.canon_keys_computed,
+        sig_filter_skips: abs.counters.sig_filter_skips,
+        iso_checks_avoided: abs.counters.iso_checks_avoided,
+        iso_checks_performed: abs.counters.iso_checks_performed,
     }
 }
 
@@ -487,19 +506,23 @@ fn scale_run_rcycl(dcds: &Dcds, budget: usize) -> ScaleRun {
         facts_interned: stats.facts_interned,
         delta_share: stats.delta_share(),
         complete: res.complete,
+        canon_keys_computed: res.counters.canon_keys_computed,
+        sig_filter_skips: res.counters.sig_filter_skips,
+        iso_checks_avoided: res.counters.iso_checks_avoided,
+        iso_checks_performed: res.counters.iso_checks_performed,
     }
 }
 
-/// bytes/state growth ratio between the 100k and 500k budgets; the
-/// compact store's reason to exist is that this stays (well) below 2.
-fn growth_ratio(runs: &[ScaleRun]) -> f64 {
+/// Ratio of `measure` between the workload's two gate budgets
+/// (`hi` over `lo`); the regression gates compare against 1.
+fn gate_ratio(runs: &[ScaleRun], budgets: (usize, usize), measure: fn(&ScaleRun) -> f64) -> f64 {
     let at = |budget: usize| {
         runs.iter()
             .find(|r| r.budget == budget)
-            .map(ScaleRun::bytes_per_state)
-            .expect("scale stage must include 100k and 500k budgets")
+            .map(measure)
+            .expect("scale stage must include both gate budgets")
     };
-    at(500_000) / at(100_000)
+    at(budgets.1) / at(budgets.0)
 }
 
 /// Assert the det compact engine is bit-identical to the legacy engine —
@@ -561,9 +584,33 @@ fn scale_workloads() -> Vec<ScaleWorkload> {
         runs: vec![
             scale_run_det(&chain, 100_000),
             scale_run_det(&chain, 500_000),
+            // Stretch budget: one million det states.
+            scale_run_det(&chain, 1_000_000),
         ],
-        growth_100k_500k: 0.0,
+        gate_budgets: (100_000, 500_000),
+        bytes_growth: 0.0,
+        throughput_ratio: 0.0,
         overlap_budget: det_overlap,
+    };
+
+    // Collision-heavy det family: whole levels share one signature, so a
+    // linear signature-bucket scan is quadratic here; the keyed class
+    // index keeps it linear. Budgets stay small because the family's
+    // *successor generation* (27-way commitment branching against two
+    // quantified constraints) dominates wall time — the dedup behaviour
+    // this workload exists to track is already stressed at this size,
+    // and `compact_differential` pins its decisions bit-identically.
+    let coll_overlap = 2_000;
+    let coll = synthetic::collision_pairs(12);
+    assert_det_overlap(&coll, coll_overlap);
+    let collisions = ScaleWorkload {
+        name: "collision_pairs(12)".into(),
+        engine: "det_abstraction_compact",
+        runs: vec![scale_run_det(&coll, 6_000), scale_run_det(&coll, 12_000)],
+        gate_budgets: (6_000, 12_000),
+        bytes_growth: 0.0,
+        throughput_ratio: 0.0,
+        overlap_budget: coll_overlap,
     };
 
     let rcycl_overlap = 20_000;
@@ -578,19 +625,34 @@ fn scale_workloads() -> Vec<ScaleWorkload> {
             // Stretch budget: one million states.
             scale_run_rcycl(&rings, 1_000_000),
         ],
-        growth_100k_500k: 0.0,
+        gate_budgets: (100_000, 500_000),
+        bytes_growth: 0.0,
+        throughput_ratio: 0.0,
         overlap_budget: rcycl_overlap,
     };
 
-    let mut out = vec![det, rcycl];
+    let mut out = vec![det, collisions, rcycl];
     for w in &mut out {
-        w.growth_100k_500k = growth_ratio(&w.runs);
+        let (lo, hi) = w.gate_budgets;
+        w.bytes_growth = gate_ratio(&w.runs, w.gate_budgets, ScaleRun::bytes_per_state);
         assert!(
-            w.growth_100k_500k < 2.0,
-            "{}: bytes/state grew {:.2}x from 100k to 500k states — the store is no longer flat",
+            w.bytes_growth < 2.0,
+            "{}: bytes/state grew {:.2}x from {lo} to {hi} states — the store is no longer flat",
             w.name,
-            w.growth_100k_500k
+            w.bytes_growth
         );
+        w.throughput_ratio = gate_ratio(&w.runs, w.gate_budgets, ScaleRun::states_per_sec);
+        // Dedup-throughput regression gate: with the exact-match class
+        // index, det states/s must not collapse as the pool grows.
+        if w.engine.starts_with("det") {
+            assert!(
+                w.throughput_ratio >= 0.5,
+                "{}: det throughput fell to {:.2}x from {lo} to {hi} states — \
+                 dedup is super-linear again",
+                w.name,
+                w.throughput_ratio
+            );
+        }
     }
     out
 }
@@ -960,9 +1022,18 @@ fn main() {
             );
         }
         println!(
-            "  bytes/state growth 100k -> 500k: {:.2}x (must stay < 2x); \
+            "  {}k -> {}k: bytes/state x{:.2} (must stay < 2x), states/s x{:.2}{}; \
              bit-identical to legacy at {} states, threads 1/2/4/8",
-            w.growth_100k_500k, w.overlap_budget
+            w.gate_budgets.0 / 1000,
+            w.gate_budgets.1 / 1000,
+            w.bytes_growth,
+            w.throughput_ratio,
+            if w.engine.starts_with("det") {
+                " (must stay >= 0.5x)"
+            } else {
+                ""
+            },
+            w.overlap_budget
         );
     }
 
@@ -998,7 +1069,9 @@ fn main() {
                 json,
                 "        {{\"budget\": {}, \"secs\": {}, \"states\": {}, \"edges\": {}, \
                  \"states_per_sec\": {}, \"store_bytes\": {}, \"bytes_per_state\": {}, \
-                 \"delta_share\": {}, \"facts_interned\": {}, \"complete\": {}}}{}",
+                 \"delta_share\": {}, \"facts_interned\": {}, \"complete\": {}, \
+                 \"canon_keys_computed\": {}, \"sig_filter_skips\": {}, \
+                 \"iso_checks_avoided\": {}, \"iso_checks_performed\": {}}}{}",
                 r.budget,
                 json_f64(r.secs),
                 r.states,
@@ -1009,14 +1082,28 @@ fn main() {
                 json_f64(r.delta_share),
                 r.facts_interned,
                 r.complete,
+                r.canon_keys_computed,
+                r.sig_filter_skips,
+                r.iso_checks_avoided,
+                r.iso_checks_performed,
                 if ri + 1 < w.runs.len() { "," } else { "" }
             );
         }
         let _ = writeln!(json, "      ],");
         let _ = writeln!(
             json,
-            "      \"bytes_per_state_growth_100k_500k\": {}",
-            json_f64(w.growth_100k_500k)
+            "      \"gate_budgets\": [{}, {}],",
+            w.gate_budgets.0, w.gate_budgets.1
+        );
+        let _ = writeln!(
+            json,
+            "      \"bytes_per_state_growth\": {},",
+            json_f64(w.bytes_growth)
+        );
+        let _ = writeln!(
+            json,
+            "      \"throughput_ratio\": {}",
+            json_f64(w.throughput_ratio)
         );
         let _ = writeln!(
             json,

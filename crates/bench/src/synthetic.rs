@@ -180,6 +180,61 @@ pub fn phased_rings(width: usize) -> Dcds {
     b.build().expect("phased rings")
 }
 
+/// The dedup-collision stress family: `n` rigid seed tags, one
+/// deterministic call per phase, and constraints that force each call
+/// result to be either fresh or equal to one *unpaired* earlier result.
+/// The abstract states at level `k` are exactly the involutions of the
+/// first `k` tags, and two states whose paired tag-sets coincide are
+/// indistinguishable to [`dcds_reldata::Facts::signature`] (the signature
+/// never relates non-rigid values across facts) while being pairwise
+/// non-isomorphic — so all `(2m − 1)!!` matchings of a paired set land in
+/// ONE signature group (10 395 classes for 12 paired tags). A linear
+/// group scan makes admission quadratic in the group size; the exact-match
+/// key index keeps it O(1) per probe. Canonical keys stay cheap: every
+/// shared value's rigid neighbours give it a singleton refinement class.
+pub fn collision_pairs(n: usize) -> Dcds {
+    let n = n.max(2);
+    let mut b = DcdsBuilder::new()
+        .relation("Tick", 0)
+        .relation("Seed", 1)
+        .relation("Phase", 1)
+        .relation("E", 2)
+        .service("f", 1, ServiceKind::Deterministic)
+        .init_fact("Tick", &[])
+        .init_fact("Phase", &["p0"]);
+    for k in 0..n {
+        b = b.init_fact("Seed", &[&format!("a{k}")]);
+    }
+    // (i) A call result never collides with a rigid constant (tags or
+    // phase tokens) — those successors would be junk classes.
+    let mut fresh_only = String::from("forall X, V . E(X, V) -> ");
+    for k in 0..n {
+        fresh_only.push_str(&format!("V != 'a{k}' & "));
+    }
+    for k in 0..=n {
+        fresh_only.push_str(&format!("V != 'p{k}'"));
+        if k < n {
+            fresh_only.push_str(" & ");
+        }
+    }
+    b = b.fo_constraint(&fresh_only);
+    // (ii) At most two tags share a result: pairs, never triples.
+    b = b.fo_constraint("forall X, Y, Z, V . E(X, V) & E(Y, V) & E(Z, V) -> X = Y | X = Z | Y = Z");
+    for k in 0..n {
+        let next = k + 1;
+        b = b.action(&format!("step{k}"), &[], move |a| {
+            a.effect(
+                "Tick()",
+                &format!("Tick(), Phase('p{next}'), E('a{k}', f('a{k}'))"),
+            );
+            a.effect("Seed(X)", "Seed(X)");
+            a.effect("E(X, Y)", "E(X, Y)");
+        });
+        b = b.rule(&format!("Phase('p{k}')"), &format!("step{k}"));
+    }
+    b.build().expect("collision pairs")
+}
+
 /// Parameters for random DCDS generation.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomParams {
@@ -307,6 +362,22 @@ mod tests {
         // The product space dwarfs small budgets.
         assert!(!res.complete);
         assert_eq!(res.ts.num_states(), 3000);
+    }
+
+    #[test]
+    fn collision_pairs_states_are_involutions() {
+        // Level k of the abstraction holds exactly the involutions of the
+        // first k tags (telephone numbers T(k)): each call result is fresh
+        // or paired with one unpaired earlier result. For n = 5 the
+        // saturated system has T(0) + ... + T(5) = 1+1+2+4+10+26 states.
+        use dcds_abstraction::{det_abstraction_with, AbsOutcome, DedupStrategy};
+        let dcds = collision_pairs(5);
+        let keyed = det_abstraction_with(&dcds, 500, DedupStrategy::CanonicalKey);
+        assert_eq!(keyed.outcome, AbsOutcome::Complete);
+        assert_eq!(keyed.ts.num_states(), 44);
+        let pairwise = det_abstraction_with(&dcds, 500, DedupStrategy::PairwiseIso);
+        assert_eq!(pairwise.ts.num_states(), 44);
+        assert_eq!(keyed.ts.num_edges(), pairwise.ts.num_edges());
     }
 
     #[test]

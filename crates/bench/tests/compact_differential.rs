@@ -13,6 +13,10 @@ use dcds_abstraction::{
     det_abstraction_compact_opts, det_abstraction_opts, rcycl_compact_opts, rcycl_opts, AbsOptions,
 };
 use dcds_bench::synthetic::{self, RandomParams};
+use dcds_core::explore::{
+    explore_det_compact_opts, explore_det_opts, explore_nondet_compact_opts, explore_nondet_opts,
+    CommitmentOracle, Limits, SampledOracle,
+};
 use dcds_core::{Dcds, ServiceKind};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -59,11 +63,160 @@ fn assert_rcycl_identical(dcds: &Dcds, budget: usize) {
     }
 }
 
+/// Structural equality of the store-backed bounded explorers against the
+/// owned-`Instance` ones: states in the same order, same edges, same call
+/// maps (det), same outcome, same minted pool.
+fn assert_explore_identical(dcds: &Dcds, limits: Limits) {
+    for threads in THREAD_COUNTS {
+        let mut oracle = CommitmentOracle;
+        let owned = explore_det_opts(dcds, limits, &mut oracle, threads);
+        let mut oracle = CommitmentOracle;
+        let compact = explore_det_compact_opts(dcds, limits, &mut oracle, threads);
+        assert_eq!(
+            compact.ts.to_ts(),
+            owned.ts,
+            "explore_det ts diverged at {threads} threads"
+        );
+        assert_eq!(compact.call_maps, owned.call_maps);
+        assert_eq!(compact.outcome, owned.outcome);
+        assert_eq!(compact.pool.len(), owned.pool.len());
+    }
+}
+
+fn assert_explore_nondet_identical(dcds: &Dcds, limits: Limits, seed: u64) {
+    for threads in THREAD_COUNTS {
+        let mut oracle = SampledOracle {
+            seed,
+            samples: 5,
+            fresh_per_step: 2,
+        };
+        let owned = explore_nondet_opts(dcds, limits, &mut oracle, threads);
+        let mut oracle = SampledOracle {
+            seed,
+            samples: 5,
+            fresh_per_step: 2,
+        };
+        let compact = explore_nondet_compact_opts(dcds, limits, &mut oracle, threads);
+        assert_eq!(
+            compact.ts.to_ts(),
+            owned.ts,
+            "explore_nondet ts diverged at {threads} threads"
+        );
+        assert_eq!(compact.outcome, owned.outcome);
+        assert_eq!(compact.pool.len(), owned.pool.len());
+    }
+}
+
 #[test]
 fn det_compact_matches_legacy_on_synthetic_families() {
     assert_det_identical(&synthetic::service_chain(6), 400);
     assert_det_identical(&synthetic::service_cycle(4), 400);
     assert_det_identical(&synthetic::parallel_rings(2), 300);
+}
+
+#[test]
+fn det_compact_matches_legacy_on_collision_heavy_family() {
+    // Thousands of isomorphism classes behind a handful of signatures:
+    // the exact-match key index must replay the legacy dedup decisions
+    // (and counters) even when whole levels collide.
+    assert_det_identical(&synthetic::collision_pairs(7), 400);
+}
+
+#[test]
+fn det_compact_level_chunking_is_output_invariant() {
+    // The compact engine steps wide BFS levels in `level_chunk`-sized
+    // batches to bound transient allocation. Chunking must not change
+    // anything observable: force pathologically small chunks (so every
+    // level spans many chunk boundaries) and require bit-identity with
+    // both the unchunked compact run and the legacy engine — same Ts,
+    // same pool, same counters, at every thread count.
+    for dcds in [
+        synthetic::service_chain(6),
+        synthetic::collision_pairs(7),
+        synthetic::parallel_rings(2),
+    ] {
+        for threads in [1, 4] {
+            let baseline = det_abstraction_compact_opts(
+                &dcds,
+                400,
+                AbsOptions {
+                    threads,
+                    ..AbsOptions::default()
+                },
+            );
+            let legacy = det_abstraction_opts(
+                &dcds,
+                400,
+                AbsOptions {
+                    threads,
+                    ..AbsOptions::default()
+                },
+            );
+            for level_chunk in [1, 3, 64] {
+                let chunked = det_abstraction_compact_opts(
+                    &dcds,
+                    400,
+                    AbsOptions {
+                        threads,
+                        level_chunk,
+                        ..AbsOptions::default()
+                    },
+                );
+                assert_eq!(
+                    chunked.ts.to_ts(),
+                    baseline.ts.to_ts(),
+                    "ts diverged at chunk {level_chunk}, {threads} threads"
+                );
+                assert_eq!(chunked.ts.to_ts(), legacy.ts);
+                assert_eq!(chunked.outcome, baseline.outcome);
+                assert_eq!(chunked.pool.len(), baseline.pool.len());
+                assert_eq!(
+                    chunked.counters, legacy.counters,
+                    "counters diverged at chunk {level_chunk}, {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explore_compact_matches_owned_on_synthetic_families() {
+    let limits = Limits {
+        max_states: 400,
+        max_depth: 4,
+    };
+    assert_explore_identical(&synthetic::service_chain(5), limits);
+    assert_explore_identical(&synthetic::parallel_rings(2), limits);
+    assert_explore_identical(&synthetic::collision_pairs(5), limits);
+    assert_explore_nondet_identical(&synthetic::phased_rings(3), limits, 29);
+    assert_explore_nondet_identical(&synthetic::flush_ladder(), limits, 41);
+}
+
+#[test]
+fn explore_compact_matches_owned_on_seeded_random_systems() {
+    let limits = Limits {
+        max_states: 250,
+        max_depth: 3,
+    };
+    for seed in [5, 1311] {
+        let det = synthetic::random_dcds(
+            seed,
+            RandomParams {
+                kind: ServiceKind::Deterministic,
+                ..RandomParams::default()
+            },
+        );
+        assert_explore_identical(&det, limits);
+        let nondet = synthetic::random_dcds(
+            seed,
+            RandomParams {
+                kind: ServiceKind::Nondeterministic,
+                call_probability: 0.6,
+                ..RandomParams::default()
+            },
+        );
+        assert_explore_nondet_identical(&nondet, limits, seed);
+    }
 }
 
 #[test]

@@ -532,6 +532,45 @@ mod tests {
     }
 
     #[test]
+    fn reroot_fires_exactly_at_max_delta_depth() {
+        // Pin the boundary: a chain of k deltas under one root stays
+        // all-delta for every k ≤ MAX_DELTA_DEPTH; the first child whose
+        // parent sits at depth MAX_DELTA_DEPTH becomes a new root. So a
+        // 31-chain and a 32-chain hold one root, a 33-chain holds two.
+        let cap = MAX_DELTA_DEPTH as usize;
+        for (chain_len, want_roots) in [(cap - 1, 1usize), (cap, 1), (cap + 1, 2)] {
+            let mut pool = ConstantPool::new();
+            let names: Vec<String> = (0..chain_len + 101).map(|i| format!("c{i}")).collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            let v = vals(&mut pool, &refs);
+            let mut store = StateStore::new();
+            // Wide stable base keeps every 1-add delta profitable.
+            let base: Vec<(u32, &[Value])> = (chain_len + 1..chain_len + 101)
+                .map(|i| (1u32, &v[i..=i]))
+                .collect();
+            let mut cur = facts_of(&base);
+            cur.insert(0, Tuple::from([v[0]]));
+            let mut prev = store.insert(None, &cur).state;
+            let mut states = vec![(prev, cur.clone())];
+            for k in 1..=chain_len {
+                cur.insert(0, Tuple::from([v[k]]));
+                prev = store.insert(Some(prev), &cur).state;
+                states.push((prev, cur.clone()));
+            }
+            let stats = store.stats();
+            assert_eq!(
+                stats.root_states, want_roots,
+                "chain of {chain_len}: {stats:?}"
+            );
+            assert_eq!(stats.delta_states, chain_len + 1 - want_roots);
+            // Every state along the chain still resolves to its facts.
+            for (r, facts) in &states {
+                assert_eq!(&store.facts(*r), facts, "chain of {chain_len}");
+            }
+        }
+    }
+
+    #[test]
     fn view_matches_owned_entry_points() {
         let mut pool = ConstantPool::new();
         let v = vals(&mut pool, &["a", "b", "c", "d"]);

@@ -22,7 +22,9 @@ cargo test -q -p dcds-bench --test plan_paths
 
 echo "== compact-store differential suite"
 # Arena/delta store vs owned-Instance oracle: materialisation-level
-# (reldata) and engine-level (compact vs legacy at 1/2/4/8 threads).
+# (reldata) and engine-level (compact vs legacy at 1/2/4/8 threads) —
+# abstraction engines (counters included), the store-backed bounded
+# explorers, and the collision-heavy keyed-dedup family.
 cargo test -q -p dcds-reldata --test store_differential
 cargo test -q -p dcds-bench --test compact_differential
 

@@ -176,6 +176,32 @@ fn check_format_json_is_one_object_on_stdout() {
 }
 
 #[test]
+fn check_compact_format_json_keeps_stdout_clean() {
+    // `--compact` adds a human store-stats line; it must land on stderr so
+    // stdout stays exactly one machine-readable JSON object, byte-for-byte
+    // parseable by `jq`-style consumers.
+    let (code, stdout, stderr) = dcds_streams(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
+        "--format",
+        "json",
+        "--compact",
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    let line = stdout.trim();
+    assert_eq!(line.lines().count(), 1, "one JSON object: {stdout}");
+    assert!(line.starts_with("{\"fragment\":"), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+    assert!(line.contains("\"verdict\":true"), "{line}");
+    assert!(line.contains("compact store"), "{line}");
+    assert!(!stdout.contains("compact store: "), "{stdout}");
+    assert!(!stdout.contains("mc engine"), "{stdout}");
+    // The human commentary lives on stderr.
+    assert!(stderr.contains("compact store: "), "{stderr}");
+}
+
+#[test]
 fn check_obs_flags_write_trace_and_metrics() {
     let dir = std::env::temp_dir();
     let trace = dir.join(format!("dcds_cli_trace_{}.json", std::process::id()));

@@ -31,7 +31,7 @@ fn det_runs(dcds: &Dcds, max_states: usize, strategy: DedupStrategy) -> Vec<DetA
                 AbsOptions {
                     strategy,
                     threads,
-                    eager_keys: false,
+                    ..AbsOptions::default()
                 },
             )
         })
@@ -178,7 +178,7 @@ fn dedup_strategies_agree_on_travel_audit() {
         AbsOptions {
             strategy: DedupStrategy::CanonicalKey,
             threads: 4,
-            eager_keys: false,
+            ..AbsOptions::default()
         },
     );
     let b = det_abstraction_opts(
@@ -187,7 +187,7 @@ fn dedup_strategies_agree_on_travel_audit() {
         AbsOptions {
             strategy: DedupStrategy::PairwiseIso,
             threads: 4,
-            eager_keys: false,
+            ..AbsOptions::default()
         },
     );
     assert_eq!(a.ts.num_states(), b.ts.num_states());
