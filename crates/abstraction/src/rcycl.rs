@@ -81,7 +81,7 @@ pub fn rcycl(dcds: &Dcds, max_states: usize) -> RcyclResult {
 /// of a triple — the up-to-`|F|^n` evaluations θ are independent
 /// constraint-checked query evaluations against one shared `DO(I, ασ)`
 /// pre-instance — and the per-state `DO` precomputation. Both are farmed
-/// out with [`par_map`] and merged serially in enumeration order, so the
+/// out with [`par_map`](dcds_core::par::par_map) and merged serially in enumeration order, so the
 /// pruning, `UsedValues`, and the pool match the serial run exactly.
 pub fn rcycl_opts(dcds: &Dcds, max_states: usize, threads: usize) -> RcyclResult {
     rcycl_traced(dcds, max_states, threads, &Obs::disabled())

@@ -1,0 +1,415 @@
+//! A small congruence-closure engine shared by the lint pass `DCDS043`
+//! (trivially unsatisfiable rule conditions) and the symbolic safety
+//! engine (`dcds-symbolic`), which uses it for clause satisfiability,
+//! entailment, and deterministic-service reasoning.
+//!
+//! The engine reasons about three kinds of terms:
+//!
+//! * **constants** — leaves carrying a caller-chosen `u64` payload; two
+//!   constants with *different* payloads merged into one class is a
+//!   conflict (the unique-name assumption of the paper's countably
+//!   infinite domain `C`);
+//! * **variables** — uninterpreted leaves (callers intern them however
+//!   they like; [`Cc::variable`] dedups by key, [`Cc::fresh_var`] never
+//!   dedups);
+//! * **applications** `f(t₁, …, tₙ)` — uninterpreted function terms,
+//!   hash-consed, closed under congruence: whenever the arguments of two
+//!   applications of the same function are pairwise merged, the
+//!   applications are merged too. Deterministic service calls are exactly
+//!   such terms — congruence is the whole-run consistency of the service
+//!   call map `M` (Section 4.1).
+//!
+//! Term ids are dense and assigned in creation order, so callers that
+//! need a deterministic scan (the lint pass reports the *first* pair of
+//! distinct constants forced equal, in term-registration order) can
+//! iterate `0..num_terms()`.
+//!
+//! Complexity is deliberately simple: path-compressed union-find plus a
+//! quadratic congruence fixpoint per merge batch. Both clients work on
+//! conjunctions with at most a few dozen terms; asymptotics are not the
+//! bottleneck, determinism and auditability are.
+
+/// Dense id of a registered term, in creation order.
+pub type TermId = usize;
+
+/// What a registered term is (exposed for callers that map ids back to
+/// their own syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CcTerm {
+    /// A constant with a caller-chosen payload.
+    Const(u64),
+    /// An uninterpreted leaf.
+    Var,
+    /// An application `f(args…)` of an uninterpreted function.
+    App(u64, Vec<TermId>),
+}
+
+/// The kind of contradiction a closure can reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcConflict {
+    /// Two distinct constants were merged into one class.
+    DistinctConstants(TermId, TermId),
+    /// A registered disequality has both sides in one class.
+    Disequality(TermId, TermId),
+}
+
+/// A congruence closure over constants, variables, and applications.
+#[derive(Debug, Clone, Default)]
+pub struct Cc {
+    terms: Vec<CcTerm>,
+    parent: Vec<TermId>,
+    /// Disequalities, in registration order.
+    neqs: Vec<(TermId, TermId)>,
+    /// Interning table for constants (payload → id).
+    const_ids: Vec<(u64, TermId)>,
+    /// Interning table for keyed variables (key → id).
+    var_ids: Vec<(u64, TermId)>,
+}
+
+impl Cc {
+    /// An empty closure.
+    pub fn new() -> Self {
+        Cc::default()
+    }
+
+    /// Number of registered terms (ids are `0..num_terms()`).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The term behind an id.
+    pub fn term(&self, t: TermId) -> &CcTerm {
+        &self.terms[t]
+    }
+
+    fn push(&mut self, t: CcTerm) -> TermId {
+        let id = self.terms.len();
+        self.terms.push(t);
+        self.parent.push(id);
+        id
+    }
+
+    /// Register (or retrieve) the constant with the given payload.
+    pub fn constant(&mut self, payload: u64) -> TermId {
+        if let Some(&(_, id)) = self.const_ids.iter().find(|(p, _)| *p == payload) {
+            return id;
+        }
+        let id = self.push(CcTerm::Const(payload));
+        self.const_ids.push((payload, id));
+        id
+    }
+
+    /// Register (or retrieve) the variable with the given key.
+    pub fn variable(&mut self, key: u64) -> TermId {
+        if let Some(&(_, id)) = self.var_ids.iter().find(|(k, _)| *k == key) {
+            return id;
+        }
+        let id = self.push(CcTerm::Var);
+        self.var_ids.push((key, id));
+        id
+    }
+
+    /// Register a fresh, never-deduplicated variable.
+    pub fn fresh_var(&mut self) -> TermId {
+        self.push(CcTerm::Var)
+    }
+
+    /// Register (or retrieve) the application `f(args…)`. Hash-consed on
+    /// the *syntactic* argument ids; congruence merging of distinct nodes
+    /// happens in the closure, not here.
+    pub fn app(&mut self, func: u64, args: &[TermId]) -> TermId {
+        for (id, t) in self.terms.iter().enumerate() {
+            if let CcTerm::App(f, a) = t {
+                if *f == func && a.as_slice() == args {
+                    return id;
+                }
+            }
+        }
+        let id = self.push(CcTerm::App(func, args.to_vec()));
+        self.congruence_fixpoint();
+        id
+    }
+
+    /// Class representative (path-compressed).
+    pub fn find(&mut self, mut x: TermId) -> TermId {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// True when two terms are in the same class.
+    pub fn same_class(&mut self, a: TermId, b: TermId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Merge the classes of two terms and re-close under congruence.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Root choice: lower id wins, keeping representatives deterministic.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi] = lo;
+        self.congruence_fixpoint();
+    }
+
+    /// Close under congruence: merge applications of the same function
+    /// whose arguments are pairwise merged. Quadratic per round; term
+    /// counts are small for both clients.
+    fn congruence_fixpoint(&mut self) {
+        loop {
+            let mut to_merge: Option<(TermId, TermId)> = None;
+            'outer: for i in 0..self.terms.len() {
+                let CcTerm::App(fi, ai) = self.terms[i].clone() else {
+                    continue;
+                };
+                for j in i + 1..self.terms.len() {
+                    let CcTerm::App(fj, aj) = self.terms[j].clone() else {
+                        continue;
+                    };
+                    if fi != fj || ai.len() != aj.len() || self.same_class(i, j) {
+                        continue;
+                    }
+                    let congruent = ai
+                        .iter()
+                        .zip(aj.iter())
+                        .all(|(&x, &y)| self.find(x) == self.find(y));
+                    if congruent {
+                        to_merge = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            match to_merge {
+                Some((i, j)) => {
+                    let (ri, rj) = (self.find(i), self.find(j));
+                    let (lo, hi) = if ri < rj { (ri, rj) } else { (rj, ri) };
+                    self.parent[hi] = lo;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Record a disequality `a ≠ b` (checked lazily by [`Cc::conflict`]).
+    pub fn add_neq(&mut self, a: TermId, b: TermId) {
+        self.neqs.push((a, b));
+    }
+
+    /// The constant payload merged into `t`'s class, if any.
+    pub fn class_constant(&mut self, t: TermId) -> Option<u64> {
+        let r = self.find(t);
+        for i in 0..self.terms.len() {
+            if let CcTerm::Const(p) = self.terms[i] {
+                if self.find(i) == r {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// The first pair of *distinct* constants forced into one class, in
+    /// term-registration order (`i < j`), if any.
+    pub fn first_const_conflict(&mut self) -> Option<(TermId, TermId)> {
+        for i in 0..self.terms.len() {
+            let CcTerm::Const(pi) = self.terms[i] else {
+                continue;
+            };
+            for j in i + 1..self.terms.len() {
+                let CcTerm::Const(pj) = self.terms[j] else {
+                    continue;
+                };
+                if pi != pj && self.same_class(i, j) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// The first registered disequality whose sides the closure has
+    /// identified, if any (registration order).
+    pub fn first_neq_conflict(&mut self) -> Option<(TermId, TermId)> {
+        for k in 0..self.neqs.len() {
+            let (a, b) = self.neqs[k];
+            if self.same_class(a, b) {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    /// The first contradiction reachable from the current state: distinct
+    /// constants merged (scanned in registration order) take precedence
+    /// over violated disequalities, matching the lint pass's reporting
+    /// order.
+    pub fn conflict(&mut self) -> Option<CcConflict> {
+        if let Some((i, j)) = self.first_const_conflict() {
+            return Some(CcConflict::DistinctConstants(i, j));
+        }
+        if let Some((a, b)) = self.first_neq_conflict() {
+            return Some(CcConflict::Disequality(a, b));
+        }
+        None
+    }
+
+    /// True when `a ≠ b` is *entailed*: the classes contain distinct
+    /// constants, or some registered disequality connects the two classes.
+    pub fn entails_neq(&mut self, a: TermId, b: TermId) -> bool {
+        if self.same_class(a, b) {
+            return false;
+        }
+        if let (Some(ca), Some(cb)) = (self.class_constant(a), self.class_constant(b)) {
+            if ca != cb {
+                return true;
+            }
+        }
+        let ra = self.find(a);
+        let rb = self.find(b);
+        for k in 0..self.neqs.len() {
+            let (x, y) = self.neqs[k];
+            let (rx, ry) = (self.find(x), self.find(y));
+            if (rx == ra && ry == rb) || (rx == rb && ry == ra) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitivity_of_equalities() {
+        // x = y, y = z ⟹ x = z; and an unrelated w stays apart.
+        let mut cc = Cc::new();
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        let z = cc.variable(2);
+        let w = cc.variable(3);
+        cc.merge(x, y);
+        cc.merge(y, z);
+        assert!(cc.same_class(x, z));
+        assert!(!cc.same_class(x, w));
+        assert!(cc.conflict().is_none());
+    }
+
+    #[test]
+    fn disequality_conflict() {
+        // x ≠ y together with x = z, z = y is a contradiction.
+        let mut cc = Cc::new();
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        let z = cc.variable(2);
+        cc.add_neq(x, y);
+        assert!(cc.conflict().is_none());
+        cc.merge(x, z);
+        cc.merge(z, y);
+        assert_eq!(cc.conflict(), Some(CcConflict::Disequality(x, y)));
+    }
+
+    #[test]
+    fn distinct_constants_conflict_and_scan_order() {
+        // a = x, b = x forces a = b for distinct constants a, b; the first
+        // conflicting pair in registration order is reported.
+        let mut cc = Cc::new();
+        let a = cc.constant(10);
+        let b = cc.constant(20);
+        let x = cc.variable(0);
+        cc.merge(a, x);
+        assert!(cc.conflict().is_none());
+        cc.merge(b, x);
+        assert_eq!(cc.conflict(), Some(CcConflict::DistinctConstants(a, b)));
+        assert_eq!(cc.first_const_conflict(), Some((a, b)));
+    }
+
+    #[test]
+    fn function_free_atoms_intern_by_key() {
+        // Constants intern by payload, keyed variables by key, fresh vars
+        // never — the function-free fragment the lint pass lives in.
+        let mut cc = Cc::new();
+        assert_eq!(cc.constant(7), cc.constant(7));
+        assert_ne!(cc.constant(7), cc.constant(8));
+        assert_eq!(cc.variable(1), cc.variable(1));
+        assert_ne!(cc.variable(1), cc.variable(2));
+        assert_ne!(cc.fresh_var(), cc.fresh_var());
+        assert_eq!(cc.num_terms(), 6);
+    }
+
+    #[test]
+    fn congruence_propagates_through_applications() {
+        // x = y ⟹ f(x) = f(y); then f(x) = a, f(y) = b conflicts for
+        // distinct constants a, b.
+        let mut cc = Cc::new();
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        let fx = cc.app(0, &[x]);
+        let fy = cc.app(0, &[y]);
+        assert!(!cc.same_class(fx, fy));
+        cc.merge(x, y);
+        assert!(cc.same_class(fx, fy));
+        let a = cc.constant(1);
+        let b = cc.constant(2);
+        cc.merge(fx, a);
+        assert!(cc.conflict().is_none());
+        cc.merge(fy, b);
+        assert!(matches!(
+            cc.conflict(),
+            Some(CcConflict::DistinctConstants(_, _))
+        ));
+    }
+
+    #[test]
+    fn congruence_is_nested_and_lazy() {
+        // g(f(x)) = a and later x = y makes g(f(y)) = a too, even when
+        // g(f(y)) is registered before the merge.
+        let mut cc = Cc::new();
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        let fx = cc.app(0, &[x]);
+        let gfx = cc.app(1, &[fx]);
+        let fy = cc.app(0, &[y]);
+        let gfy = cc.app(1, &[fy]);
+        let a = cc.constant(9);
+        cc.merge(gfx, a);
+        assert!(!cc.same_class(gfy, a));
+        cc.merge(x, y);
+        assert!(cc.same_class(gfy, a));
+    }
+
+    #[test]
+    fn entailed_disequalities() {
+        let mut cc = Cc::new();
+        let a = cc.constant(1);
+        let b = cc.constant(2);
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        let z = cc.variable(2);
+        cc.merge(x, a);
+        cc.merge(y, b);
+        // Distinct constants in the classes.
+        assert!(cc.entails_neq(x, y));
+        // Registered disequality connecting the classes.
+        cc.add_neq(y, z);
+        assert!(cc.entails_neq(z, b));
+        // Nothing known between x and z.
+        assert!(!cc.entails_neq(x, z));
+    }
+
+    #[test]
+    fn class_constant_lookup() {
+        let mut cc = Cc::new();
+        let a = cc.constant(42);
+        let x = cc.variable(0);
+        let y = cc.variable(1);
+        cc.merge(x, a);
+        assert_eq!(cc.class_constant(x), Some(42));
+        assert_eq!(cc.class_constant(y), None);
+    }
+}

@@ -18,9 +18,13 @@
 //! * Graphviz export of both graphs, regenerating the shapes of Figures 5,
 //!   8, 9 and 10 ([`dot`]);
 //! * small digraph utilities (SCCs, reachability, cycle and path
-//!   enumeration) shared by the checks ([`graph`]).
+//!   enumeration) shared by the checks ([`graph`]);
+//! * a **congruence-closure engine** over constants, variables, and
+//!   uninterpreted applications ([`cc`]), shared by the `DCDS043` lint
+//!   pass and the symbolic safety engine (`dcds-symbolic`).
 
 pub mod approximate;
+pub mod cc;
 pub mod dataflow;
 pub mod depgraph;
 pub mod dot;
@@ -30,6 +34,7 @@ pub mod state_bound;
 pub mod weak_acyclicity;
 
 pub use approximate::positive_approximate;
+pub use cc::{Cc, CcConflict, CcTerm, TermId};
 pub use dataflow::{dataflow_graph, DataflowGraph, DfEdge};
 pub use depgraph::{dependency_graph, DepGraph, Position};
 pub use dot::{dataflow_dot, depgraph_dot};

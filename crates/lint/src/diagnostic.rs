@@ -138,8 +138,8 @@ impl Diagnostic {
 
 /// The stable code table. Codes are grouped by pass family:
 /// `DCDS000` parse, `DCDS00x` arity/consistency, `DCDS02x` binding,
-/// `DCDS04x` dead code, `DCDS06x` boundedness advisories, `DCDS099`
-/// lowering/validation catch-all.
+/// `DCDS04x` dead code, `DCDS06x` boundedness advisories, `DCDS08x`
+/// engine-routing advisories, `DCDS099` lowering/validation catch-all.
 pub mod codes {
     /// Syntax error — the spec could not be parsed at all.
     pub const PARSE_ERROR: &str = "DCDS000";
@@ -191,6 +191,9 @@ pub mod codes {
     /// GR(⁺)-acyclic — state-bounded, with the Theorem 5.6 estimate when
     /// GR-acyclicity gives one.
     pub const STATE_BOUND: &str = "DCDS063";
+    /// The boundedness certificate is missing, but AG/EF safety properties
+    /// remain checkable via `dcds check --engine symbolic`.
+    pub const SYMBOLIC_FALLBACK: &str = "DCDS080";
     /// The spec passed the per-construct passes but strict lowering /
     /// validation still rejected it.
     pub const LOWERING_ERROR: &str = "DCDS099";
@@ -301,6 +304,11 @@ pub const CODE_TABLE: &[(&str, Severity, &str)] = &[
         codes::STATE_BOUND,
         Severity::Note,
         "state-bounded, with Theorem 5.6 estimate",
+    ),
+    (
+        codes::SYMBOLIC_FALLBACK,
+        Severity::Note,
+        "unbounded spec: AG/EF safety still decidable via --engine symbolic",
     ),
     (
         codes::LOWERING_ERROR,

@@ -21,7 +21,10 @@
 //!   warn when the spec is neither weakly acyclic (deterministic
 //!   services, Theorem 4.7) nor GR⁺-acyclic (nondeterministic services,
 //!   Theorem 5.6), attaching the concrete cycle witness, and to report
-//!   the estimated run/state bound when one exists.
+//!   the estimated run/state bound when one exists;
+//! * **engine routing** ([`symbolic`]): when the boundedness certificate
+//!   is missing, a note points at `dcds check --engine symbolic`, which
+//!   decides AG/EF safety properties without boundedness.
 //!
 //! Rendering to rustc-style text or line-delimited JSON lives in
 //! [`render`]; the `dcds lint` subcommand drives everything.
@@ -32,6 +35,7 @@ pub mod consistency;
 pub mod dead;
 pub mod diagnostic;
 pub mod render;
+pub mod symbolic;
 pub mod unsat;
 
 pub use diagnostic::{codes, Diagnostic, Payload, Severity, CODE_TABLE};
@@ -94,6 +98,12 @@ pub fn registry() -> &'static [LintPass] {
             description: "weak/GR+ acyclicity advisories with witnesses and bounds",
             needs_dcds: true,
             run: bounded::run,
+        },
+        LintPass {
+            name: "symbolic-fallback",
+            description: "points unbounded specs at `dcds check --engine symbolic`",
+            needs_dcds: true,
+            run: symbolic::run,
         },
     ]
 }
@@ -325,6 +335,52 @@ mod tests {
             .payload
             .iter()
             .any(|(k, v)| *k == "witness" && matches!(v, Payload::Str(s) if s.contains("pi3"))));
+    }
+
+    #[test]
+    fn symbolic_fallback_note_accompanies_boundedness_warnings() {
+        // Deterministic, not weakly acyclic → DCDS060 + DCDS080.
+        let det = lint_source(
+            "schema { R 1; Flag 1; }\n\
+             services { f 1 det; }\n\
+             init { R(a); Flag(ok); }\n\
+             action step() { R(X) ~> R(f(X)); Flag(Y) ~> Flag(Y); }\n\
+             rule true => step;\n",
+        )
+        .unwrap();
+        let d = det
+            .diagnostics
+            .iter()
+            .find(|d| d.code == codes::SYMBOLIC_FALLBACK)
+            .expect("expected DCDS080");
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("--engine symbolic"), "{}", d.message);
+
+        // Nondeterministic accumulator, not GR+-acyclic → DCDS061 + DCDS080.
+        let nondet = lint_source(
+            "schema { R 1; Q 1; }\n\
+             services { f 1 nondet; }\n\
+             init { R(a); }\n\
+             action alpha() { R(X) ~> R(X); R(X) ~> Q(f(X)); Q(X) ~> Q(X); }\n\
+             rule true => alpha;\n",
+        )
+        .unwrap();
+        let found: Vec<_> = nondet.diagnostics.iter().map(|d| d.code).collect();
+        assert!(found.contains(&codes::SYMBOLIC_FALLBACK), "{found:?}");
+
+        // Bounded specs stay quiet.
+        let bounded = lint_source(
+            "schema { P 1; }\n\
+             services { f 1 det; }\n\
+             init { P(a); }\n\
+             action go() { P(X) ~> P(f(a)); }\n\
+             rule true => go;\n",
+        )
+        .unwrap();
+        assert!(bounded
+            .diagnostics
+            .iter()
+            .all(|d| d.code != codes::SYMBOLIC_FALLBACK));
     }
 
     #[test]

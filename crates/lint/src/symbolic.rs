@@ -1,0 +1,46 @@
+//! Symbolic-engine advisory.
+//!
+//! When a spec misses the boundedness certificate its service kind calls
+//! for — deterministic services without weak acyclicity (Theorem 4.7), or
+//! nondeterministic/mixed services without GR⁺-acyclicity (Theorem 5.6) —
+//! the explicit abstraction engines can only answer up to a state budget.
+//! The AG/EF safety fragment is still decidable-in-practice there via
+//! regression-based backward reachability, so this pass points the user at
+//! `dcds check --engine symbolic` whenever the boundedness pass has warned.
+//!
+//! A note, not a warning: the spec is fine, this is routing advice.
+
+use crate::diagnostic::{codes, Diagnostic, Payload};
+use crate::LintContext;
+use dcds_analysis::{dataflow_graph, dependency_graph, gr_plus_witness, weak_cycle_witness};
+
+/// Run the pass. Only reached with a lowered [`dcds_core::Dcds`] in the
+/// context (the registry marks it `needs_dcds`).
+pub fn run(ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(dcds) = ctx.dcds else { return };
+
+    let unbounded_reason = if dcds.is_deterministic() {
+        weak_cycle_witness(&dependency_graph(dcds)).map(|_| "not weakly acyclic")
+    } else {
+        gr_plus_witness(&dataflow_graph(dcds)).map(|_| "not GR+-acyclic")
+    };
+    let Some(reason) = unbounded_reason else {
+        return;
+    };
+
+    out.push(
+        Diagnostic::note(
+            codes::SYMBOLIC_FALLBACK,
+            format!(
+                "boundedness certificate missing ({reason}): explicit abstraction may be \
+                 truncated; AG/EF safety properties can still be decided by backward \
+                 reachability with `dcds check --engine symbolic`"
+            ),
+        )
+        .with("reason", Payload::Str(reason.to_owned()))
+        .with(
+            "engine",
+            Payload::Str("dcds check --engine symbolic".to_owned()),
+        ),
+    );
+}

@@ -3,9 +3,14 @@
 //! condition's top-level conjunction. No query evaluation is involved, so
 //! the check is linear-ish and sound-but-incomplete: anything flagged here
 //! really is unsatisfiable; plenty of unsatisfiable conditions pass.
+//!
+//! The closure itself lives in [`dcds_analysis::cc`] (it is shared with
+//! the symbolic safety engine); this pass is a thin client that maps
+//! `QTerm`s onto closure terms and renders the findings.
 
 use crate::diagnostic::{codes, Diagnostic, Payload};
 use crate::LintContext;
+use dcds_analysis::cc::Cc;
 use dcds_folang::{Formula, QTerm};
 use dcds_reldata::ConstantPool;
 
@@ -39,40 +44,41 @@ pub fn unsat_reason(f: &Formula, pool: &ConstantPool) -> Option<String> {
         return Some("it contains `false`".to_owned());
     }
 
-    // Union-find over the terms mentioned by (in)equalities.
-    fn index_of<'f>(terms: &mut Vec<&'f QTerm>, t: &'f QTerm) -> usize {
+    // Map `QTerm`s (deduplicated by equality, in first-occurrence order)
+    // onto closure terms. Constants intern by value; variables are fresh
+    // leaves deduplicated here, so closure ids coincide with positions in
+    // `terms` and the closure's registration-order scans reproduce the
+    // historical reporting order exactly.
+    let mut cc = Cc::new();
+    let mut terms: Vec<&QTerm> = Vec::new();
+    fn index_of<'f>(cc: &mut Cc, terms: &mut Vec<&'f QTerm>, t: &'f QTerm) -> usize {
         match terms.iter().position(|u| *u == t) {
             Some(ix) => ix,
             None => {
+                let id = match t {
+                    QTerm::Const(c) => cc.constant(c.index() as u64),
+                    QTerm::Var(_) => cc.fresh_var(),
+                };
+                debug_assert_eq!(id, terms.len());
                 terms.push(t);
-                terms.len() - 1
+                id
             }
         }
     }
-    let mut terms: Vec<&QTerm> = Vec::new();
     let mut pairs = Vec::new();
     for (t1, t2) in &eqs {
-        let a = index_of(&mut terms, t1);
-        let b = index_of(&mut terms, t2);
+        let a = index_of(&mut cc, &mut terms, t1);
+        let b = index_of(&mut cc, &mut terms, t2);
         pairs.push((a, b));
     }
     let mut neq_pairs = Vec::new();
     for (t1, t2) in &neqs {
-        let a = index_of(&mut terms, t1);
-        let b = index_of(&mut terms, t2);
+        let a = index_of(&mut cc, &mut terms, t1);
+        let b = index_of(&mut cc, &mut terms, t2);
         neq_pairs.push((a, b, *t1, *t2));
     }
-    let mut parent: Vec<usize> = (0..terms.len()).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        if parent[x] != x {
-            let root = find(parent, parent[x]);
-            parent[x] = root;
-        }
-        parent[x]
-    }
     for (a, b) in pairs {
-        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-        parent[ra] = rb;
+        cc.merge(a, b);
     }
 
     let render = |t: &QTerm| match t {
@@ -80,24 +86,19 @@ pub fn unsat_reason(f: &Formula, pool: &ConstantPool) -> Option<String> {
         QTerm::Const(c) => pool.name(*c).to_owned(),
     };
 
-    // Two distinct constants merged into one class.
-    for i in 0..terms.len() {
-        for j in i + 1..terms.len() {
-            if let (QTerm::Const(a), QTerm::Const(b)) = (terms[i], terms[j]) {
-                if a != b && find(&mut parent, i) == find(&mut parent, j) {
-                    return Some(format!(
-                        "the equalities force distinct constants {} = {}",
-                        render(terms[i]),
-                        render(terms[j])
-                    ));
-                }
-            }
-        }
+    // Two distinct constants merged into one class (first pair in term
+    // registration order, as scanned by the closure).
+    if let Some((i, j)) = cc.first_const_conflict() {
+        return Some(format!(
+            "the equalities force distinct constants {} = {}",
+            render(terms[i]),
+            render(terms[j])
+        ));
     }
 
-    // An inequality whose sides the equalities identify.
+    // An inequality whose sides the equalities identify (collection order).
     for (a, b, t1, t2) in neq_pairs {
-        if find(&mut parent, a) == find(&mut parent, b) {
+        if cc.same_class(a, b) {
             return Some(format!(
                 "{} != {} contradicts the equalities",
                 render(t1),

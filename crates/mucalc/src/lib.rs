@@ -27,7 +27,8 @@
 //! The three are cross-validated by property tests. [`sugar`] offers CTL-style
 //! combinators (`AG`, `EF`, `AF`, `EU`, ...) compiled into µ-calculus, and
 //! [`parser`] a surface syntax (`mu Z . ...`, `<> phi`, `[] phi`,
-//! `live(X)`).
+//! `live(X)`). [`safety`] recognises the AG/EF safety fragment and compiles
+//! it to the reachability question answered by the symbolic backward engine.
 
 pub mod ast;
 pub mod diagnostics;
@@ -38,6 +39,7 @@ pub mod parser;
 pub mod pretty;
 pub mod prop;
 pub mod prop_mc;
+pub mod safety;
 pub mod sugar;
 
 pub use ast::{Mu, PredVar};
@@ -52,3 +54,4 @@ pub use parser::parse_mu;
 pub use pretty::MuDisplay;
 pub use prop::{propositionalize, PropMu};
 pub use prop_mc::check_prop;
+pub use safety::{extract_safety, SafetyError, SafetyMode, SafetyProperty};

@@ -1,0 +1,236 @@
+//! Safety-fragment extraction: recognising µL formulas that are really
+//! reachability questions.
+//!
+//! The symbolic backward-reachability engine (`dcds-symbolic`) decides a
+//! single question: *can the system reach a state satisfying `Bad`?* Two
+//! µL shapes compile to it:
+//!
+//! ```text
+//! AG φ   =  νZ. φ ∧ [−]Z      holds  ⟺  ¬φ is NOT reachable
+//! EF φ   =  µZ. φ ∨ ⟨−⟩Z      holds  ⟺   φ is reachable
+//! ```
+//!
+//! exactly the shapes produced by [`crate::sugar::ag`] / [`crate::sugar::ef`]
+//! (and by writing the fixpoints out by hand). `φ` must be a *state
+//! property*: built from FO query leaves only — no nested fixpoints,
+//! modalities, predicate variables, or `LIVE` (the live-predicate fragment
+//! needs the persistence machinery of the explicit engines). Everything
+//! else is rejected with an error that names the obstruction, so `dcds
+//! check --engine symbolic` can explain itself.
+//!
+//! The extractor returns the *bad* condition — the FO formula whose
+//! reachability is being asked — together with the polarity mapping the
+//! reachability answer back to the original formula's verdict.
+
+use crate::ast::{Mu, PredVar};
+use dcds_folang::Formula;
+use std::fmt;
+
+/// How a reachability answer maps back to the original formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafetyMode {
+    /// The formula was `AG φ`: it holds iff `bad = ¬φ` is unreachable.
+    AlwaysGood,
+    /// The formula was `EF φ`: it holds iff `bad = φ` is reachable.
+    EventuallyBad,
+}
+
+/// A µL formula compiled to a reachability question.
+#[derive(Debug, Clone)]
+pub struct SafetyProperty {
+    /// Polarity of the answer.
+    pub mode: SafetyMode,
+    /// The condition whose reachability is asked. For `AG φ` this is the
+    /// *negation* of the invariant (not yet normalised — the symbolic
+    /// engine pushes the negation while building clauses).
+    pub bad: Formula,
+}
+
+impl SafetyProperty {
+    /// Map a (definitive) reachability answer to the formula's verdict.
+    pub fn verdict(&self, reachable: bool) -> bool {
+        match self.mode {
+            SafetyMode::AlwaysGood => !reachable,
+            SafetyMode::EventuallyBad => reachable,
+        }
+    }
+}
+
+/// Why a formula is not in the safety fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyError {
+    /// The top level is neither `νZ. φ ∧ [−]Z` nor `µZ. φ ∨ ⟨−⟩Z`.
+    NotSafetyShape,
+    /// The state property mentions the fixpoint variable outside the
+    /// single modal recursion slot.
+    RecursiveBody(String),
+    /// The state property contains a construct FO queries cannot express.
+    NonQueryBody(&'static str),
+}
+
+impl fmt::Display for SafetyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyError::NotSafetyShape => write!(
+                f,
+                "not in the safety fragment: expected `nu Z . phi & [] Z` (AG) or \
+                 `mu Z . phi | <> Z` (EF) with phi a first-order state property"
+            ),
+            SafetyError::RecursiveBody(z) => write!(
+                f,
+                "not in the safety fragment: the fixpoint variable {z} occurs inside \
+                 the state property"
+            ),
+            SafetyError::NonQueryBody(what) => write!(
+                f,
+                "not in the safety fragment: the state property contains {what}, \
+                 which is not a first-order query over the current state"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SafetyError {}
+
+/// Recognise a safety formula and extract the reachability question.
+pub fn extract_safety(f: &Mu) -> Result<SafetyProperty, SafetyError> {
+    match f {
+        // νZ. φ ∧ [−]Z (either conjunct order).
+        Mu::Gfp(z, body) => {
+            if let Mu::And(l, r) = body.as_ref() {
+                let phi = match (is_box_z(l, z), is_box_z(r, z)) {
+                    (true, _) => r,
+                    (_, true) => l,
+                    _ => return Err(SafetyError::NotSafetyShape),
+                };
+                let good = state_property(phi, z)?;
+                return Ok(SafetyProperty {
+                    mode: SafetyMode::AlwaysGood,
+                    bad: Formula::Not(Box::new(good)),
+                });
+            }
+            Err(SafetyError::NotSafetyShape)
+        }
+        // µZ. φ ∨ ⟨−⟩Z (either disjunct order).
+        Mu::Lfp(z, body) => {
+            if let Mu::Or(l, r) = body.as_ref() {
+                let phi = match (is_diamond_z(l, z), is_diamond_z(r, z)) {
+                    (true, _) => r,
+                    (_, true) => l,
+                    _ => return Err(SafetyError::NotSafetyShape),
+                };
+                let bad = state_property(phi, z)?;
+                return Ok(SafetyProperty {
+                    mode: SafetyMode::EventuallyBad,
+                    bad,
+                });
+            }
+            Err(SafetyError::NotSafetyShape)
+        }
+        _ => Err(SafetyError::NotSafetyShape),
+    }
+}
+
+fn is_box_z(f: &Mu, z: &PredVar) -> bool {
+    matches!(f, Mu::Box_(inner) if matches!(inner.as_ref(), Mu::Pvar(w) if w == z))
+}
+
+fn is_diamond_z(f: &Mu, z: &PredVar) -> bool {
+    matches!(f, Mu::Diamond(inner) if matches!(inner.as_ref(), Mu::Pvar(w) if w == z))
+}
+
+/// Flatten a modality-free µL state property into one FO formula.
+fn state_property(f: &Mu, z: &PredVar) -> Result<Formula, SafetyError> {
+    match f {
+        Mu::Query(q) => Ok(q.clone()),
+        Mu::Live(_) => Err(SafetyError::NonQueryBody("LIVE(·)")),
+        Mu::Not(g) => Ok(Formula::Not(Box::new(state_property(g, z)?))),
+        Mu::And(g, h) => Ok(state_property(g, z)?.and(state_property(h, z)?)),
+        Mu::Or(g, h) => Ok(state_property(g, z)?.or(state_property(h, z)?)),
+        Mu::Implies(g, h) => Ok(state_property(g, z)?.implies(state_property(h, z)?)),
+        Mu::Exists(v, g) => Ok(Formula::Exists(v.clone(), Box::new(state_property(g, z)?))),
+        Mu::Forall(v, g) => Ok(Formula::Forall(v.clone(), Box::new(state_property(g, z)?))),
+        Mu::Pvar(w) if w == z => Err(SafetyError::RecursiveBody(z.name().to_owned())),
+        Mu::Pvar(_) => Err(SafetyError::NonQueryBody("a free predicate variable")),
+        Mu::Diamond(_) | Mu::Box_(_) => Err(SafetyError::NonQueryBody("a nested modality")),
+        Mu::Lfp(_, _) | Mu::Gfp(_, _) => Err(SafetyError::NonQueryBody("a nested fixpoint")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sugar::{af, ag, ef};
+    use dcds_folang::QTerm;
+    use dcds_reldata::RelId;
+
+    fn atom() -> Mu {
+        Mu::Query(Formula::Atom(RelId::from_index(0), vec![QTerm::var("X")]))
+    }
+
+    #[test]
+    fn ag_extracts_negated_invariant() {
+        let phi = Mu::exists("X", atom());
+        let p = extract_safety(&ag(phi)).unwrap();
+        assert_eq!(p.mode, SafetyMode::AlwaysGood);
+        assert!(matches!(p.bad, Formula::Not(_)));
+        assert!(p.verdict(false));
+        assert!(!p.verdict(true));
+    }
+
+    #[test]
+    fn ef_extracts_goal() {
+        let phi = Mu::exists("X", atom());
+        let p = extract_safety(&ef(phi)).unwrap();
+        assert_eq!(p.mode, SafetyMode::EventuallyBad);
+        assert!(p.verdict(true));
+        assert!(!p.verdict(false));
+    }
+
+    #[test]
+    fn commuted_operands_accepted() {
+        // νZ. [−]Z ∧ φ and µZ. ⟨−⟩Z ∨ φ are the same formulas.
+        let z = PredVar::new("Z");
+        let phi = Mu::exists("X", atom());
+        let ag2 = Mu::Gfp(
+            z.clone(),
+            Box::new(Mu::Pvar(z.clone()).boxed().and(phi.clone())),
+        );
+        assert!(extract_safety(&ag2).is_ok());
+        let ef2 = Mu::Lfp(z.clone(), Box::new(Mu::Pvar(z).diamond().or(phi)));
+        assert!(extract_safety(&ef2).is_ok());
+    }
+
+    #[test]
+    fn liveness_and_live_rejected() {
+        let phi = Mu::exists("X", atom());
+        // AF is not a safety shape.
+        assert!(matches!(
+            extract_safety(&af(phi.clone())),
+            Err(SafetyError::NotSafetyShape)
+        ));
+        // LIVE in the state property is outside the fragment.
+        let with_live = ag(Mu::exists("X", Mu::live("X").and(atom())));
+        assert!(matches!(
+            extract_safety(&with_live),
+            Err(SafetyError::NonQueryBody(_))
+        ));
+        // A plain query is not a safety formula either.
+        assert!(matches!(
+            extract_safety(&phi),
+            Err(SafetyError::NotSafetyShape)
+        ));
+    }
+
+    #[test]
+    fn recursive_body_rejected() {
+        // νZ. (φ ∧ Z) ∧ [−]Z — Z occurs inside the state property.
+        let z = PredVar::new("Z");
+        let phi = Mu::exists("X", atom()).and(Mu::Pvar(z.clone()));
+        let f = Mu::Gfp(z.clone(), Box::new(phi.and(Mu::Pvar(z).boxed())));
+        assert!(matches!(
+            extract_safety(&f),
+            Err(SafetyError::RecursiveBody(_))
+        ));
+    }
+}

@@ -1,0 +1,629 @@
+//! Symbolic clauses: existentially quantified conjunctions over the schema.
+//!
+//! A [`Clause`] denotes the set of instances
+//!
+//! ```text
+//!     ∃ x̄ .  ⋀ atoms  ∧  ⋀ eqs  ∧  ⋀ neqs
+//! ```
+//!
+//! where every variable is implicitly existentially quantified over the
+//! (infinite) value domain and terms may contain *applications* of
+//! deterministic service functions ([`STerm::App`]): `f(t)` stands for the
+//! value the deterministic service `f` returned (or will return) for `t` —
+//! the persistent service-call map of the deterministic semantics makes
+//! that a single well-defined value per argument tuple, which is exactly
+//! the congruence the [`dcds_analysis::cc`] engine closes over.
+//!
+//! Quantifying over the full domain rather than the active domain makes a
+//! clause an *over-approximation* of the corresponding active-domain
+//! formula — the safe direction for the backward-reachability engine: a
+//! SAFE verdict (no clause covers the initial instance at the fixpoint) is
+//! sound, and purported hits are confirmed concretely before an UNSAFE
+//! verdict is reported.
+
+use dcds_analysis::cc::{Cc, TermId};
+use dcds_core::FuncId;
+use dcds_reldata::{Instance, RelId, Value};
+use std::collections::BTreeMap;
+
+/// A clause-local variable (dense indices, renamed canonically on
+/// normalisation).
+pub type SVar = u32;
+
+/// A symbolic term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum STerm {
+    /// A constant value.
+    Const(Value),
+    /// An existentially quantified variable.
+    Var(SVar),
+    /// The result of deterministic service `f` on the argument terms.
+    App(FuncId, Vec<STerm>),
+}
+
+impl STerm {
+    /// Does `v` occur anywhere in the term?
+    pub fn contains_var(&self, v: SVar) -> bool {
+        match self {
+            STerm::Const(_) => false,
+            STerm::Var(w) => *w == v,
+            STerm::App(_, args) => args.iter().any(|a| a.contains_var(v)),
+        }
+    }
+
+    /// Replace every occurrence of `v` by `t`.
+    pub fn substitute(&self, v: SVar, t: &STerm) -> STerm {
+        match self {
+            STerm::Const(_) => self.clone(),
+            STerm::Var(w) => {
+                if *w == v {
+                    t.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            STerm::App(f, args) => {
+                STerm::App(*f, args.iter().map(|a| a.substitute(v, t)).collect())
+            }
+        }
+    }
+
+    fn collect_vars(&self, out: &mut Vec<SVar>) {
+        match self {
+            STerm::Const(_) => {}
+            STerm::Var(v) => out.push(*v),
+            STerm::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    fn rename(&self, map: &BTreeMap<SVar, SVar>) -> STerm {
+        match self {
+            STerm::Const(_) => self.clone(),
+            STerm::Var(v) => STerm::Var(map[v]),
+            STerm::App(f, args) => STerm::App(*f, args.iter().map(|a| a.rename(map)).collect()),
+        }
+    }
+
+    /// Intern the term into a congruence closure. Variables key by their
+    /// clause-local index, constants by their pool index, applications by
+    /// the service function's index.
+    pub fn intern(&self, cc: &mut Cc) -> TermId {
+        match self {
+            STerm::Const(c) => cc.constant(c.index() as u64),
+            STerm::Var(v) => cc.variable(*v as u64),
+            STerm::App(f, args) => {
+                let ids: Vec<TermId> = args.iter().map(|a| a.intern(cc)).collect();
+                cc.app(f.index() as u64, &ids)
+            }
+        }
+    }
+}
+
+/// Structural content of a clause, used for exact-duplicate detection
+/// (levels are bookkeeping, not meaning).
+pub type ClauseKey = (
+    Vec<(RelId, Vec<STerm>)>,
+    Vec<(STerm, STerm)>,
+    Vec<(STerm, STerm)>,
+);
+
+/// An existentially quantified conjunction (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Relational atoms that must all hold.
+    pub atoms: Vec<(RelId, Vec<STerm>)>,
+    /// Residual equalities (normalisation eliminates solvable ones, so
+    /// these involve applications on at least one side).
+    pub eqs: Vec<(STerm, STerm)>,
+    /// Disequalities.
+    pub neqs: Vec<(STerm, STerm)>,
+    /// Number of regression steps from the bad condition (0 = Bad itself).
+    /// A state covered by this clause *may* reach Bad in `level` steps —
+    /// "may" because regression over-approximates; the engine confirms
+    /// concretely before claiming so.
+    pub level: u32,
+}
+
+impl Clause {
+    /// The smallest variable index not used by the clause.
+    pub fn next_var(&self) -> SVar {
+        let mut vars = Vec::new();
+        self.for_each_term(|t| t.collect_vars(&mut vars));
+        vars.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    fn for_each_term(&self, mut f: impl FnMut(&STerm)) {
+        for (_, ts) in &self.atoms {
+            for t in ts {
+                f(t);
+            }
+        }
+        for (a, b) in self.eqs.iter().chain(self.neqs.iter()) {
+            f(a);
+            f(b);
+        }
+    }
+
+    fn map_terms(&mut self, mut f: impl FnMut(&STerm) -> STerm) {
+        for (_, ts) in &mut self.atoms {
+            for t in ts.iter_mut() {
+                *t = f(t);
+            }
+        }
+        for (a, b) in self.eqs.iter_mut().chain(self.neqs.iter_mut()) {
+            *a = f(a);
+            *b = f(b);
+        }
+    }
+
+    /// Structural key ignoring the level.
+    pub fn key(&self) -> ClauseKey {
+        (self.atoms.clone(), self.eqs.clone(), self.neqs.clone())
+    }
+
+    /// Normalise the clause; `None` means it is unsatisfiable (dropping it
+    /// is sound — it covers no state).
+    ///
+    /// Steps: solve variable equalities by substitution (with occurs
+    /// check), drop tautological (dis)equalities, reject contradictory
+    /// ones, discharge disequalities on otherwise-unconstrained variables
+    /// (satisfiable over the infinite domain), run the congruence closure
+    /// over the residue, and rename variables canonically.
+    pub fn normalize(mut self) -> Option<Clause> {
+        // Solve var = term equalities.
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i < self.eqs.len() {
+                let (a, b) = self.eqs[i].clone();
+                if a == b {
+                    self.eqs.swap_remove(i);
+                    changed = true;
+                    continue;
+                }
+                match (&a, &b) {
+                    (STerm::Const(_), STerm::Const(_)) => return None, // distinct constants
+                    (STerm::Var(v), t) if !t.contains_var(*v) => {
+                        self.eqs.swap_remove(i);
+                        let (v, t) = (*v, t.clone());
+                        self.map_terms(|s| s.substitute(v, &t));
+                        changed = true;
+                    }
+                    (t, STerm::Var(v)) if !t.contains_var(*v) => {
+                        self.eqs.swap_remove(i);
+                        let (v, t) = (*v, t.clone());
+                        self.map_terms(|s| s.substitute(v, &t));
+                        changed = true;
+                    }
+                    _ => i += 1,
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Tautological / contradictory disequalities.
+        let mut i = 0;
+        while i < self.neqs.len() {
+            let (a, b) = &self.neqs[i];
+            if a == b {
+                return None; // t ≠ t
+            }
+            if let (STerm::Const(x), STerm::Const(y)) = (a, b) {
+                debug_assert_ne!(x, y);
+                self.neqs.swap_remove(i); // distinct constants: always true
+                continue;
+            }
+            i += 1;
+        }
+
+        // A variable occurring only in disequalities (and not inside the
+        // other side of its own disequality) can always pick a value off
+        // the finitely many forbidden ones — the disequality is vacuous.
+        let mut bound = Vec::new();
+        for (_, ts) in &self.atoms {
+            for t in ts {
+                t.collect_vars(&mut bound);
+            }
+        }
+        for (a, b) in &self.eqs {
+            a.collect_vars(&mut bound);
+            b.collect_vars(&mut bound);
+        }
+        self.neqs.retain(|(a, b)| {
+            let free = |t: &STerm, other: &STerm| match t {
+                STerm::Var(v) => !bound.contains(v) && !other.contains_var(*v),
+                _ => false,
+            };
+            !(free(a, b) || free(b, a))
+        });
+
+        // Order pairs canonically and deduplicate.
+        for (a, b) in self.eqs.iter_mut().chain(self.neqs.iter_mut()) {
+            if a > b {
+                std::mem::swap(a, b);
+            }
+        }
+        self.atoms.sort();
+        self.atoms.dedup();
+        self.eqs.sort();
+        self.eqs.dedup();
+        self.neqs.sort();
+        self.neqs.dedup();
+
+        // Congruence closure over the residue.
+        if self.build_cc().conflict().is_some() {
+            return None;
+        }
+
+        Some(self.canonical())
+    }
+
+    /// Build the congruence closure of the clause: intern every term,
+    /// merge the equalities, register the disequalities.
+    pub fn build_cc(&self) -> Cc {
+        let mut cc = Cc::new();
+        for (_, ts) in &self.atoms {
+            for t in ts {
+                t.intern(&mut cc);
+            }
+        }
+        let eq_ids: Vec<(TermId, TermId)> = self
+            .eqs
+            .iter()
+            .map(|(a, b)| (a.intern(&mut cc), b.intern(&mut cc)))
+            .collect();
+        let neq_ids: Vec<(TermId, TermId)> = self
+            .neqs
+            .iter()
+            .map(|(a, b)| (a.intern(&mut cc), b.intern(&mut cc)))
+            .collect();
+        for (a, b) in eq_ids {
+            cc.merge(a, b);
+        }
+        for (a, b) in neq_ids {
+            cc.add_neq(a, b);
+        }
+        cc
+    }
+
+    /// Rename variables to first-occurrence order over the sorted clause,
+    /// iterating until the renaming is stable (sorting can change the
+    /// occurrence order, so a couple of rounds are needed; imperfect
+    /// canonicalisation only weakens duplicate detection, never
+    /// soundness — subsumption catches what renaming misses).
+    fn canonical(mut self) -> Clause {
+        for _ in 0..4 {
+            let mut order = Vec::new();
+            self.for_each_term(|t| t.collect_vars(&mut order));
+            let mut map: BTreeMap<SVar, SVar> = BTreeMap::new();
+            for v in order {
+                let next = map.len() as SVar;
+                map.entry(v).or_insert(next);
+            }
+            let before = self.clone();
+            self.map_terms(|t| t.rename(&map));
+            for (a, b) in self.eqs.iter_mut().chain(self.neqs.iter_mut()) {
+                if a > b {
+                    std::mem::swap(a, b);
+                }
+            }
+            self.atoms.sort();
+            self.eqs.sort();
+            self.neqs.sort();
+            if self == before {
+                break;
+            }
+        }
+        self
+    }
+
+    /// Permissive satisfaction check against a concrete instance: could a
+    /// state with exactly these facts satisfy the clause for *some*
+    /// interpretation of the service functions?
+    ///
+    /// Applications are abstracted to per-syntax variables (two
+    /// syntactically equal applications stay equal; further congruence is
+    /// ignored, which only makes the check more permissive). The check is
+    /// **complete** — it never misses a real hit — and may report spurious
+    /// ones, which the engine confirms concretely before trusting.
+    pub fn may_hold_in(&self, inst: &Instance) -> bool {
+        // Abstract applications to fresh variables, hash-consed per syntax.
+        let mut next = self.next_var();
+        let mut app_vars: BTreeMap<STerm, SVar> = BTreeMap::new();
+        let mut flat = self.clone();
+        flat.map_terms(|t| flatten_apps(t, &mut app_vars, &mut next));
+
+        let atoms: Vec<(RelId, Vec<FlatTerm>)> = flat
+            .atoms
+            .iter()
+            .map(|(r, ts)| (*r, ts.iter().map(flat_term).collect()))
+            .collect();
+        let mut env: BTreeMap<SVar, Value> = BTreeMap::new();
+        match_atoms(&atoms, 0, inst, &mut env, &flat)
+    }
+}
+
+/// A term with applications already abstracted away.
+#[derive(Clone, Copy)]
+enum FlatTerm {
+    Const(Value),
+    Var(SVar),
+}
+
+fn flat_term(t: &STerm) -> FlatTerm {
+    match t {
+        STerm::Const(c) => FlatTerm::Const(*c),
+        STerm::Var(v) => FlatTerm::Var(*v),
+        STerm::App(_, _) => unreachable!("applications were flattened"),
+    }
+}
+
+fn flatten_apps(t: &STerm, app_vars: &mut BTreeMap<STerm, SVar>, next: &mut SVar) -> STerm {
+    match t {
+        STerm::Const(_) | STerm::Var(_) => t.clone(),
+        STerm::App(_, _) => {
+            let v = *app_vars.entry(t.clone()).or_insert_with(|| {
+                let v = *next;
+                *next += 1;
+                v
+            });
+            STerm::Var(v)
+        }
+    }
+}
+
+fn match_atoms(
+    atoms: &[(RelId, Vec<FlatTerm>)],
+    ix: usize,
+    inst: &Instance,
+    env: &mut BTreeMap<SVar, Value>,
+    flat: &Clause,
+) -> bool {
+    if ix == atoms.len() {
+        return eqs_consistent(flat, env);
+    }
+    let (rel, terms) = &atoms[ix];
+    for tuple in inst.tuples(*rel) {
+        let vals = tuple.values();
+        if vals.len() != terms.len() {
+            continue;
+        }
+        let mut bound_here = Vec::new();
+        let mut ok = true;
+        for (t, &v) in terms.iter().zip(vals.iter()) {
+            match t {
+                FlatTerm::Const(c) => {
+                    if *c != v {
+                        ok = false;
+                        break;
+                    }
+                }
+                FlatTerm::Var(x) => match env.get(x) {
+                    Some(&w) => {
+                        if w != v {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        env.insert(*x, v);
+                        bound_here.push(*x);
+                    }
+                },
+            }
+        }
+        if ok && match_atoms(atoms, ix + 1, inst, env, flat) {
+            return true;
+        }
+        for x in bound_here {
+            env.remove(&x);
+        }
+    }
+    false
+}
+
+/// After the atoms are matched, check the (application-free) equalities
+/// and disequalities: variables matched to instance values become
+/// constants, unmatched variables stay free (any value of the infinite
+/// domain), and a congruence closure decides consistency.
+fn eqs_consistent(flat: &Clause, env: &BTreeMap<SVar, Value>) -> bool {
+    let mut cc = Cc::new();
+    let id = |cc: &mut Cc, t: &STerm| match t {
+        STerm::Const(c) => cc.constant(c.index() as u64),
+        STerm::Var(v) => match env.get(v) {
+            Some(w) => cc.constant(w.index() as u64),
+            None => cc.variable(*v as u64),
+        },
+        STerm::App(_, _) => unreachable!("applications were flattened"),
+    };
+    let eq_ids: Vec<_> = flat
+        .eqs
+        .iter()
+        .map(|(a, b)| (id(&mut cc, a), id(&mut cc, b)))
+        .collect();
+    let neq_ids: Vec<_> = flat
+        .neqs
+        .iter()
+        .map(|(a, b)| (id(&mut cc, a), id(&mut cc, b)))
+        .collect();
+    for (a, b) in eq_ids {
+        cc.merge(a, b);
+    }
+    for (a, b) in neq_ids {
+        cc.add_neq(a, b);
+    }
+    cc.conflict().is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(ix: usize) -> RelId {
+        RelId::from_index(ix)
+    }
+
+    fn val(ix: usize) -> Value {
+        Value::from_index(ix)
+    }
+
+    fn func(ix: usize) -> FuncId {
+        FuncId::from_index(ix)
+    }
+
+    #[test]
+    fn normalize_solves_var_equalities() {
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0), STerm::Var(1)])],
+            eqs: vec![(STerm::Var(1), STerm::Const(val(3)))],
+            neqs: vec![],
+            level: 0,
+        };
+        let n = c.normalize().unwrap();
+        assert!(n.eqs.is_empty());
+        assert_eq!(n.atoms[0].1[1], STerm::Const(val(3)));
+    }
+
+    #[test]
+    fn normalize_rejects_contradictions() {
+        let distinct = Clause {
+            atoms: vec![],
+            eqs: vec![(STerm::Const(val(0)), STerm::Const(val(1)))],
+            neqs: vec![],
+            level: 0,
+        };
+        assert!(distinct.normalize().is_none());
+        let self_neq = Clause {
+            atoms: vec![],
+            eqs: vec![],
+            neqs: vec![(STerm::Var(0), STerm::Var(0))],
+            level: 0,
+        };
+        assert!(self_neq.normalize().is_none());
+        // x = a, x != a via closure.
+        let closed = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0)])],
+            eqs: vec![(STerm::Var(0), STerm::Const(val(0)))],
+            neqs: vec![(STerm::Var(0), STerm::Const(val(0)))],
+            level: 0,
+        };
+        assert!(closed.normalize().is_none());
+    }
+
+    #[test]
+    fn normalize_discharges_vacuous_disequalities() {
+        // y occurs only in the disequality: always satisfiable.
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0)])],
+            eqs: vec![],
+            neqs: vec![(STerm::Var(0), STerm::Var(1))],
+            level: 0,
+        };
+        let n = c.normalize().unwrap();
+        assert!(n.neqs.is_empty());
+        // But x != f(x) must stay: the interpretation of f is not ours to
+        // choose.
+        let c = Clause {
+            atoms: vec![],
+            eqs: vec![],
+            neqs: vec![(STerm::Var(0), STerm::App(func(0), vec![STerm::Var(0)]))],
+            level: 0,
+        };
+        let n = c.normalize().unwrap();
+        assert_eq!(n.neqs.len(), 1);
+    }
+
+    #[test]
+    fn canonical_renaming_is_order_insensitive() {
+        let a = Clause {
+            atoms: vec![
+                (rel(0), vec![STerm::Var(7)]),
+                (rel(1), vec![STerm::Var(7), STerm::Var(2)]),
+            ],
+            eqs: vec![],
+            neqs: vec![],
+            level: 0,
+        };
+        let b = Clause {
+            atoms: vec![
+                (rel(1), vec![STerm::Var(5), STerm::Var(9)]),
+                (rel(0), vec![STerm::Var(5)]),
+            ],
+            eqs: vec![],
+            neqs: vec![],
+            level: 1,
+        };
+        assert_eq!(a.normalize().unwrap().key(), b.normalize().unwrap().key());
+    }
+
+    #[test]
+    fn congruence_closes_over_applications() {
+        // f(x) = a, f(y) = b, x = y, a != b is unsatisfiable.
+        let f = func(0);
+        let c = Clause {
+            atoms: vec![],
+            eqs: vec![
+                (STerm::App(f, vec![STerm::Var(0)]), STerm::Const(val(0))),
+                (STerm::App(f, vec![STerm::Var(1)]), STerm::Const(val(1))),
+                (STerm::Var(0), STerm::Var(1)),
+            ],
+            neqs: vec![],
+            level: 0,
+        };
+        assert!(c.normalize().is_none());
+    }
+
+    #[test]
+    fn may_hold_in_matches_with_bindings() {
+        let mut inst = Instance::new();
+        inst.insert(rel(0), dcds_reldata::Tuple::from([val(0), val(1)]));
+        inst.insert(rel(0), dcds_reldata::Tuple::from([val(2), val(2)]));
+
+        // ∃x. R(x, x) — matched by (2,2).
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0), STerm::Var(0)])],
+            eqs: vec![],
+            neqs: vec![],
+            level: 0,
+        };
+        assert!(c.may_hold_in(&inst));
+
+        // ∃x y. R(x, y) ∧ x ≠ y — matched by (0,1).
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0), STerm::Var(1)])],
+            eqs: vec![],
+            neqs: vec![(STerm::Var(0), STerm::Var(1))],
+            level: 0,
+        };
+        assert!(c.may_hold_in(&inst));
+
+        // ∃x. R(x, x) ∧ x = v0 — no such fact.
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::Var(0), STerm::Var(0)])],
+            eqs: vec![(STerm::Var(0), STerm::Const(val(0)))],
+            neqs: vec![],
+            level: 0,
+        };
+        assert!(!c.may_hold_in(&inst));
+    }
+
+    #[test]
+    fn may_hold_in_abstracts_applications() {
+        let mut inst = Instance::new();
+        inst.insert(rel(0), dcds_reldata::Tuple::from([val(0)]));
+        // ∃x. R(f(x)) — the service could have returned v0.
+        let c = Clause {
+            atoms: vec![(rel(0), vec![STerm::App(func(0), vec![STerm::Var(0)])])],
+            eqs: vec![],
+            neqs: vec![],
+            level: 0,
+        };
+        assert!(c.may_hold_in(&inst));
+    }
+}

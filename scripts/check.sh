@@ -20,6 +20,14 @@ echo "== query-plan differential suite"
 cargo test -q -p dcds-folang --test plan_differential
 cargo test -q -p dcds-bench --test plan_paths
 
+echo "== symbolic-engine differential suite"
+# Regression-based backward reachability vs the naive Kleene evaluator
+# and the staged model checker on exact explicit abstractions: bounded
+# shipped specs plus seeded-random weakly acyclic layered systems. Part
+# of `cargo test` above; named rerun keeps the gate loud if the target
+# is ever renamed.
+cargo test -q --test symbolic_differential
+
 echo "== compact-store differential suite"
 # Arena/delta store vs owned-Instance oracle: materialisation-level
 # (reldata) and engine-level (compact vs legacy at 1/2/4/8 threads) —
@@ -32,6 +40,10 @@ echo "== compact-store memory smoke"
 # Fixed 50k-state workloads through the compact engines; fails if the
 # deterministic bytes-per-state estimate exceeds the pinned ceilings.
 cargo run --release -q -p dcds-bench --bin memsmoke
+
+echo "== cargo doc --no-deps (rustdoc warnings)"
+# Intra-doc link breakage and malformed doc fences surface only here.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "== cargo bench --no-run (compile check)"
 # Criterion benches carry required-features = ["criterion"] (the registry

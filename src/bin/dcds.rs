@@ -6,8 +6,10 @@
 //!                                                build the finite abstraction
 //!                                                (threads default to DCDS_THREADS
 //!                                                or the machine's parallelism)
-//! dcds check    <spec.dcds> <formula> [--max-states N] [--threads N]
-//!               [--witness] [--format text|json] [obs flags]
+//! dcds check    <spec.dcds> <formula> [--engine explicit|symbolic]
+//!               [--max-states N] [--threads N] [--witness]
+//!               [--max-iters N] [--max-clauses N]
+//!               [--format text|json] [obs flags]
 //!                                                model-check a µ-calculus property
 //! dcds run      <spec.dcds> [--steps N] [--seed S]
 //!                                                simulate the system
@@ -44,6 +46,15 @@
 //! errors keep the ordinary failure path (exit 1 with a message on stderr,
 //! distinguishable from a violation verdict by the `error:` prefix).
 //!
+//! `--engine symbolic` keeps the same contract but decides AG/EF safety
+//! properties by regression-based backward reachability, with no
+//! boundedness requirement on the system: **0** — the property holds
+//! definitively (fixpoint reached, initial instance not covered, or a
+//! confirmed witness for EF); **1** — violated with a concrete
+//! counterexample trace; **2** — inconclusive (`--max-iters` /
+//! `--max-clauses` budget hit, or an over-approximate hit that the bounded
+//! concrete search could not confirm).
+//!
 //! ## Exit codes (`dcds lint`)
 //!
 //! **0** — no error-severity findings (warnings/notes allowed, unless
@@ -64,9 +75,10 @@ use dcds_verify::cli::{flag_value, has_flag, threads_flag, ObsCli};
 use dcds_verify::core::{configured_threads, EngineCounters};
 use dcds_verify::core::{parse_dcds, to_spec, AnswerPolicy, Dcds, Runner, Ts};
 use dcds_verify::lint::{codes, lint_spec, render_json, render_text, Diagnostic};
-use dcds_verify::mucalc::{check_traced, classify, diagnostics, parse_mu, McOptions};
+use dcds_verify::mucalc::{check_traced, classify, diagnostics, parse_mu, McOptions, SafetyMode};
 use dcds_verify::obs::{export::json_escape, span, Obs};
 use dcds_verify::reldata::{ConstantPool, InstanceDisplay, StoreStats};
+use dcds_verify::symbolic::{check_safety_traced, render_trace, SymOptions, SymVerdict};
 use std::process::ExitCode;
 
 /// `dcds check`: property holds (complete abstraction).
@@ -93,8 +105,10 @@ const USAGE: &str = "usage:
   dcds analyze  <spec.dcds> [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot] [--compact]
                 [--trace FILE] [--stats] [--metrics-json FILE|-]
-  dcds check    <spec.dcds> <formula> [--max-states N] [--threads N]
-                [--witness] [--format text|json] [--compact]
+  dcds check    <spec.dcds> <formula> [--engine explicit|symbolic]
+                [--max-states N] [--threads N] [--witness]
+                [--max-iters N] [--max-clauses N]
+                [--format text|json] [--compact]
                 [--trace FILE] [--stats] [--metrics-json FILE|-]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
@@ -104,6 +118,9 @@ const USAGE: &str = "usage:
 
 `dcds check` exits 0 when the property holds, 1 when it is violated, and
 2 when the verdict is inconclusive (state budget hit).
+`--engine symbolic` decides AG/EF safety properties by backward
+reachability without requiring boundedness; budgets are `--max-iters`
+(regression depth) and `--max-clauses` (clause set size).
 `--compact` builds the abstraction through the arena/delta state store
 (flat per-state memory; bit-identical output) and reports store stats.
 `dcds lint` exits 0 when the spec is clean, 1 on errors (or warnings under
@@ -126,16 +143,38 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             &ObsCli::parse(args)?,
         ),
         "check" => {
-            return do_check(
-                args.get(1).ok_or("missing spec path")?,
-                args.get(2).ok_or("missing formula")?,
-                flag_value(args, "--max-states")?.unwrap_or(10_000),
-                threads_flag(args)?.unwrap_or_else(configured_threads),
-                has_flag(args, "--witness"),
-                parse_format(args)?,
-                has_flag(args, "--compact"),
-                &ObsCli::parse(args)?,
-            )
+            let path = args.get(1).ok_or("missing spec path")?;
+            let formula = args.get(2).ok_or("missing formula")?;
+            return match parse_engine(args)? {
+                Engine::Explicit => do_check(
+                    path,
+                    formula,
+                    flag_value(args, "--max-states")?.unwrap_or(10_000),
+                    threads_flag(args)?.unwrap_or_else(configured_threads),
+                    has_flag(args, "--witness"),
+                    parse_format(args)?,
+                    has_flag(args, "--compact"),
+                    &ObsCli::parse(args)?,
+                ),
+                Engine::Symbolic => {
+                    let defaults = SymOptions::default();
+                    do_check_symbolic(
+                        path,
+                        formula,
+                        SymOptions {
+                            max_iters: flag_value(args, "--max-iters")?
+                                .unwrap_or(defaults.max_iters),
+                            max_clauses: flag_value(args, "--max-clauses")?
+                                .unwrap_or(defaults.max_clauses),
+                            confirm_nodes: flag_value(args, "--confirm-nodes")?
+                                .unwrap_or(defaults.confirm_nodes),
+                        },
+                        has_flag(args, "--witness"),
+                        parse_format(args)?,
+                        &ObsCli::parse(args)?,
+                    )
+                }
+            };
         }
         "run" => do_run(
             args.get(1).ok_or("missing spec path")?,
@@ -181,6 +220,29 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 enum OutputFormat {
     Text,
     Json,
+}
+
+/// Verification engine of `dcds check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Build the explicit finite abstraction, then model-check on it.
+    Explicit,
+    /// Regression-based backward reachability (AG/EF safety fragment only,
+    /// no boundedness requirement).
+    Symbolic,
+}
+
+fn parse_engine(args: &[String]) -> Result<Engine, String> {
+    match args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("explicit") => Ok(Engine::Explicit),
+        Some("symbolic") => Ok(Engine::Symbolic),
+        Some(other) => Err(format!("unknown engine `{other}` (explicit|symbolic)")),
+    }
 }
 
 fn parse_format(args: &[String]) -> Result<OutputFormat, String> {
@@ -533,6 +595,81 @@ fn do_check(
     } else {
         EXIT_VIOLATED
     }))
+}
+
+/// `dcds check --engine symbolic`: decide an AG/EF safety property by
+/// regression-based backward reachability. Same exit-code and output-stream
+/// contract as the explicit engine; no boundedness requirement on the spec.
+fn do_check_symbolic(
+    path: &str,
+    formula: &str,
+    opts: SymOptions,
+    witness: bool,
+    format: OutputFormat,
+    obs_cli: &ObsCli,
+) -> Result<ExitCode, String> {
+    let obs = obs_cli.handle();
+    let dcds = load(path)?;
+    let mut schema = dcds.data.schema.clone();
+    let mut pool_for_parse = dcds.data.pool.clone();
+    let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
+    let fragment = classify(&phi).map_err(|e| e.to_string())?;
+    let run = check_safety_traced(&dcds, &phi, &opts, &obs).map_err(|e| e.to_string())?;
+    let mode = match run.mode {
+        SafetyMode::AlwaysGood => "AG",
+        SafetyMode::EventuallyBad => "EF",
+    };
+    // Counters are commentary, not a result: stderr.
+    let counters_line: Vec<String> = run
+        .counters
+        .entries()
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    eprintln!("symbolic engine: {}", counters_line.join(" "));
+    let (code, trace) = match &run.verdict {
+        SymVerdict::Holds(tr) => (EXIT_HOLDS, tr.as_ref()),
+        SymVerdict::Violated(tr) => (EXIT_VIOLATED, tr.as_ref()),
+        SymVerdict::Inconclusive(_) => (EXIT_INCONCLUSIVE, None),
+    };
+    match format {
+        OutputFormat::Json => {
+            let (verdict, reason) = match &run.verdict {
+                SymVerdict::Holds(_) => ("true".to_string(), String::new()),
+                SymVerdict::Violated(_) => ("false".to_string(), String::new()),
+                SymVerdict::Inconclusive(r) => (
+                    "null".to_string(),
+                    format!(",\"reason\":\"{}\"", json_escape(r)),
+                ),
+            };
+            println!(
+                "{{\"fragment\":\"{}\",\"engine\":\"symbolic\",\"mode\":\"{mode}\",\
+                 \"sym_counters\":{},\"verdict\":{verdict}{reason}}}",
+                json_escape(&format!("{fragment:?}")),
+                run.counters.to_json(),
+            );
+        }
+        OutputFormat::Text => {
+            println!("fragment: {fragment:?}");
+            println!("engine: symbolic backward reachability, mode = {mode}");
+            match &run.verdict {
+                SymVerdict::Holds(_) => println!("verdict: true"),
+                SymVerdict::Violated(_) => println!("verdict: false"),
+                SymVerdict::Inconclusive(r) => println!("verdict: inconclusive ({r})"),
+            }
+        }
+    }
+    if witness {
+        if let Some(tr) = trace {
+            let what = match run.mode {
+                SafetyMode::AlwaysGood => "counterexample trace",
+                SafetyMode::EventuallyBad => "witness trace",
+            };
+            eprint!("{what}:\n{}", render_trace(tr, &dcds));
+        }
+    }
+    obs_cli.finish(&obs)?;
+    Ok(ExitCode::from(code))
 }
 
 fn do_run(path: &str, steps: usize, seed: u64) -> Result<(), String> {

@@ -12,8 +12,9 @@
 //! | [`folang`] | `dcds-folang` | FO queries, UCQs, evaluators, constraints, parser |
 //! | [`core`] | `dcds-core` | the DCDS model, both service semantics, transition systems |
 //! | [`mucalc`] | `dcds-mucalc` | µL / µLA / µLP, fragment checks, model checkers |
-//! | [`analysis`] | `dcds-analysis` | weak acyclicity, GR(⁺)-acyclicity, graph exports |
+//! | [`analysis`] | `dcds-analysis` | weak acyclicity, GR(⁺)-acyclicity, congruence closure, graph exports |
 //! | [`abstraction`] | `dcds-abstraction` | deterministic abstraction, Algorithm RCYCL |
+//! | [`symbolic`] | `dcds-symbolic` | regression-based backward reachability for AG/EF safety |
 //! | [`lint`] | `dcds-lint` | multi-pass spec diagnostics with stable `DCDS0xx` codes |
 //! | [`obs`] | `dcds-obs` | spans, metrics registry, Chrome-trace/JSON exporters, heartbeats |
 //! | [`bisim`] | `dcds-bisim` | history-/persistence-preserving bisimulation checkers |
@@ -72,6 +73,7 @@ pub use dcds_mucalc as mucalc;
 pub use dcds_obs as obs;
 pub use dcds_reductions as reductions;
 pub use dcds_reldata as reldata;
+pub use dcds_symbolic as symbolic;
 
 pub mod cli;
 
@@ -88,4 +90,5 @@ pub mod prelude {
         check, check_prop, classify, parse_mu, propositionalize, sugar, Fragment, Mu,
     };
     pub use dcds_reldata::{ConstantPool, Instance, Schema, Tuple};
+    pub use dcds_symbolic::{check_safety, SymOptions, SymVerdict};
 }

@@ -316,6 +316,159 @@ fn abstract_and_run_and_dot_and_fmt() {
 }
 
 #[test]
+fn symbolic_engine_exit_codes() {
+    // Exit 0: AG property proved by fixpoint, no boundedness involved.
+    let (code, text) = dcds_code(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (! (exists X . exists Y . R(X) & Q(Y))) & [] Z",
+        "--engine",
+        "symbolic",
+    ]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("mode = AG"), "{text}");
+    assert!(text.contains("verdict: true"), "{text}");
+
+    // Exit 0: EF property confirmed with a concrete witness trace.
+    let (code2, stdout2, stderr2) = dcds_streams(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "mu Z . (exists X . Q(X)) | <> Z",
+        "--engine",
+        "symbolic",
+        "--witness",
+    ]);
+    assert_eq!(code2, 0, "{stdout2}{stderr2}");
+    assert!(stdout2.contains("verdict: true"), "{stdout2}");
+    assert!(stderr2.contains("witness trace"), "{stderr2}");
+    assert!(stderr2.contains("state 0 (initial)"), "{stderr2}");
+
+    // Exit 1: AG property refuted, with a counterexample trace.
+    let (code3, stdout3, stderr3) = dcds_streams(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (! (exists X . Q(X))) & [] Z",
+        "--engine",
+        "symbolic",
+        "--witness",
+    ]);
+    assert_eq!(code3, 1, "{stdout3}{stderr3}");
+    assert!(stdout3.contains("verdict: false"), "{stdout3}");
+    assert!(stderr3.contains("counterexample trace"), "{stderr3}");
+
+    // Exit 2: the iteration budget cuts the regression short.
+    let (code4, text4) = dcds_code(&[
+        "check",
+        &spec("accumulator.dcds"),
+        "mu Z . (exists X . exists Y . Q(X) & Q(Y) & ! X = Y) | <> Z",
+        "--engine",
+        "symbolic",
+        "--max-iters",
+        "1",
+    ]);
+    assert_eq!(code4, 2, "{text4}");
+    assert!(text4.contains("inconclusive"), "{text4}");
+}
+
+#[test]
+fn symbolic_format_json_is_one_object_on_stdout() {
+    let (code, stdout, stderr) = dcds_streams(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (! (exists X . exists Y . R(X) & Q(Y))) & [] Z",
+        "--engine",
+        "symbolic",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    let line = stdout.trim();
+    assert_eq!(line.lines().count(), 1, "one JSON object: {stdout}");
+    assert!(line.starts_with("{\"fragment\":"), "{line}");
+    assert!(line.ends_with('}'), "{line}");
+    assert!(line.contains("\"engine\":\"symbolic\""), "{line}");
+    assert!(line.contains("\"mode\":\"AG\""), "{line}");
+    assert!(line.contains("\"sym_counters\":{\"iterations\":"), "{line}");
+    assert!(line.contains("\"verdict\":true"), "{line}");
+    // Counters commentary stays off the machine stream.
+    assert!(!stdout.contains("symbolic engine:"), "{stdout}");
+    assert!(stderr.contains("symbolic engine:"), "{stderr}");
+
+    // Inconclusive verdicts surface as null with a reason.
+    let (code2, stdout2, _) = dcds_streams(&[
+        "check",
+        &spec("accumulator.dcds"),
+        "mu Z . (exists X . exists Y . Q(X) & Q(Y) & ! X = Y) | <> Z",
+        "--engine",
+        "symbolic",
+        "--max-iters",
+        "1",
+        "--format",
+        "json",
+    ]);
+    assert_eq!(code2, 2, "{stdout2}");
+    let line2 = stdout2.trim();
+    assert!(line2.contains("\"verdict\":null"), "{line2}");
+    assert!(line2.contains("\"reason\":"), "{line2}");
+}
+
+#[test]
+fn symbolic_engine_decides_what_the_explicit_engines_cannot() {
+    // `unbounded_safe.dcds` chases a deterministic service forever: the
+    // static analysis refuses the run-boundedness certificate and the
+    // explicit abstraction hits any budget (exit 2) — but the symbolic
+    // engine proves the AG property outright (exit 0).
+    let (ok, text) = dcds(&["analyze", &spec("unbounded_safe.dcds")]);
+    assert!(ok, "{text}");
+    assert!(text.contains("weakly acyclic: false"), "{text}");
+
+    let phi = "nu Z . (forall Y . Flag(Y) -> Y = 'ok') & [] Z";
+    let (explicit, etext) = dcds_code(&[
+        "check",
+        &spec("unbounded_safe.dcds"),
+        phi,
+        "--max-states",
+        "50",
+    ]);
+    assert_eq!(explicit, 2, "{etext}");
+    assert!(etext.contains("truncated"), "{etext}");
+
+    let (symbolic, stext) = dcds_code(&[
+        "check",
+        &spec("unbounded_safe.dcds"),
+        phi,
+        "--engine",
+        "symbolic",
+    ]);
+    assert_eq!(symbolic, 0, "{stext}");
+    assert!(stext.contains("verdict: true"), "{stext}");
+}
+
+#[test]
+fn symbolic_engine_rejects_non_safety_formulas() {
+    // Outside the AG/EF fragment: ordinary error path, not a verdict.
+    let (code, text) = dcds_code(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . (exists X . live(X) & (R(X) | Q(X))) & [] Z",
+        "--engine",
+        "symbolic",
+    ]);
+    assert_eq!(code, 1, "{text}");
+    assert!(text.contains("error:"), "{text}");
+
+    let (code2, text2) = dcds_code(&[
+        "check",
+        &spec("ping_pong.dcds"),
+        "nu Z . true & [] Z",
+        "--engine",
+        "bogus",
+    ]);
+    assert_eq!(code2, 1, "{text2}");
+    assert!(text2.contains("unknown engine"), "{text2}");
+}
+
+#[test]
 fn errors_are_reported() {
     let (ok, text) = dcds(&["analyze", "/nonexistent.dcds"]);
     assert!(!ok);

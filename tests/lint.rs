@@ -80,6 +80,18 @@ fn nonacyclic_fixture() {
     assert_eq!(code, 0, "{text}");
     assert!(text.contains("warning[DCDS061]"), "{text}");
     assert!(text.contains("recall cycle pi3"), "{text}");
+    // Every boundedness warning is accompanied by the engine-routing note.
+    assert!(text.contains("note[DCDS080]"), "{text}");
+    assert!(text.contains("--engine symbolic"), "{text}");
+}
+
+#[test]
+fn symbolic_fallback_note_on_unbounded_safe() {
+    let (code, text) = dcds_code(&["lint", &spec("unbounded_safe.dcds")]);
+    assert_eq!(code, 0, "{text}");
+    assert!(text.contains("warning[DCDS060]"), "{text}");
+    assert!(text.contains("note[DCDS080]"), "{text}");
+    assert!(text.contains("--engine symbolic"), "{text}");
 }
 
 // ---------------------------------------------------- remaining DCDS codes
@@ -261,7 +273,12 @@ fn json_format_is_one_object_per_line() {
 
 #[test]
 fn shipped_specs_lint_clean() {
-    for name in ["ping_pong.dcds", "accumulator.dcds", "travel_request.dcds"] {
+    for name in [
+        "ping_pong.dcds",
+        "accumulator.dcds",
+        "travel_request.dcds",
+        "unbounded_safe.dcds",
+    ] {
         let (code, text) = dcds_code(&["lint", &spec(name)]);
         assert_eq!(code, 0, "{name}: {text}");
         assert!(!text.contains("error["), "{name}: {text}");
