@@ -41,7 +41,7 @@ use dcds_core::{
     enumerate_commitments, ActionId, CommitTarget, Commitment, CompactTs, Dcds, StateId,
 };
 use dcds_folang::Assignment;
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{
     CanonKey, ConstantPool, Facts, InstanceIndex, RelId, StateRef, StateStore, Value, PERM_BUDGET,
 };
@@ -331,6 +331,8 @@ pub fn det_abstraction_compact_traced(
         // is bit-identical to the unchunked legacy engine.
         let mut next_frontier: Vec<FrontierState> = Vec::new();
         let mut new_classes = 0u64;
+        let mut dedup_hits = 0u64;
+        let mut edges_added = 0u64;
         for chunk in frontier.chunks(level_chunk) {
             // Phase 1 (parallel): legal assignments, pre-instances, and
             // commitments per frontier state — probing the state's COW index.
@@ -433,7 +435,10 @@ pub fn det_abstraction_compact_traced(
                     obs.counter_add("abs.perm_budget_fallbacks", 1);
                 }
                 let next_id = match found {
-                    Some(class_ix) => StateId::from_index(class_ix),
+                    Some(class_ix) => {
+                        dedup_hits += 1;
+                        StateId::from_index(class_ix)
+                    }
                     None => {
                         if refs.len() >= max_states {
                             outcome = AbsOutcome::Truncated;
@@ -464,6 +469,7 @@ pub fn det_abstraction_compact_traced(
                 let out = &mut succ[result.source.index()];
                 if !out.contains(&next_id) {
                     out.push(next_id);
+                    edges_added += 1;
                 }
             }
             obs.time_us("abs.merge_phase_us", merge_timer);
@@ -490,6 +496,18 @@ pub fn det_abstraction_compact_traced(
         }
         publish_store_gauges(obs, &store);
         level_span.set("new_classes", new_classes);
+        event!(
+            obs,
+            "level",
+            engine = "det_abstraction_compact",
+            level = level,
+            frontier = frontier.len(),
+            new_classes = new_classes,
+            states = refs.len(),
+            edges = edges_added,
+            dedup_hits = dedup_hits,
+            store_bytes = store.stats().bytes,
+        );
         frontier = next_frontier;
         level += 1;
     }
@@ -498,6 +516,13 @@ pub fn det_abstraction_compact_traced(
     counters.publish(obs, "abs");
     publish_store_gauges(obs, &store);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| {
+        format!(
+            "abstraction done: {} classes, {} levels ({outcome:?})",
+            refs.len(),
+            level
+        )
+    });
 
     CompactDetAbstraction {
         ts: CompactTs::from_parts(store, refs, succ, num_rels as u32),
@@ -581,6 +606,18 @@ pub fn rcycl_compact_traced(
             continue;
         }
         counters.states_expanded += 1;
+        if counters.states_expanded % 1024 == 0 {
+            event!(
+                obs,
+                "progress",
+                engine = "rcycl_compact",
+                expanded = counters.states_expanded,
+                states = refs.len(),
+                queued = queue.len(),
+                triples = triples,
+                store_bytes = store.stats().bytes,
+            );
+        }
         let mut state_span = span!(obs, "rcycl_state", queue = queue.len());
         obs.heartbeat(|| {
             format!(
@@ -676,6 +713,22 @@ pub fn rcycl_compact_traced(
     counters.publish(obs, "rcycl");
     publish_store_gauges(obs, &store);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    event!(
+        obs,
+        "progress",
+        engine = "rcycl_compact",
+        expanded = counters.states_expanded,
+        states = refs.len(),
+        queued = 0u64,
+        triples = triples,
+        store_bytes = store.stats().bytes,
+    );
+    obs.progress_flush(|| {
+        format!(
+            "rcycl done: {} states, {triples} triples (complete: {complete})",
+            refs.len()
+        )
+    });
 
     CompactRcycl {
         ts: CompactTs::from_parts(store, refs, succ, num_rels),

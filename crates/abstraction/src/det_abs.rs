@@ -57,7 +57,7 @@ use dcds_core::do_op::{
 use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{enumerate_commitments, ActionId, CommitTarget, Commitment, Dcds, StateId, Ts};
 use dcds_folang::Assignment;
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{CanonKey, ConstantPool, Facts, Value, PERM_BUDGET};
 use std::collections::{BTreeSet, HashMap};
 
@@ -512,6 +512,8 @@ pub fn det_abstraction_traced(
         // edges — byte-for-byte the serial engine's merge order.
         let merge_timer = obs.timer();
         let mut next_frontier: Vec<StateId> = Vec::new();
+        let mut dedup_hits = 0u64;
+        let mut edges_added = 0u64;
         for result in stepped {
             let Some((next, facts, sig, mut key)) = result.next else {
                 continue;
@@ -528,7 +530,10 @@ pub fn det_abstraction_traced(
                 obs.counter_add("abs.perm_budget_fallbacks", 1);
             }
             let next_id = match found {
-                Some(class_ix) => StateId::from_index(class_ix),
+                Some(class_ix) => {
+                    dedup_hits += 1;
+                    StateId::from_index(class_ix)
+                }
                 None => {
                     if ts.num_states() >= max_states {
                         outcome = AbsOutcome::Truncated;
@@ -542,9 +547,21 @@ pub fn det_abstraction_traced(
                 }
             };
             ts.add_edge(result.source, next_id);
+            edges_added += 1;
         }
         obs.time_us("abs.merge_phase_us", merge_timer);
         level_span.set("new_classes", next_frontier.len() as u64);
+        event!(
+            obs,
+            "level",
+            engine = "det_abstraction",
+            level = level,
+            frontier = frontier.len(),
+            new_classes = next_frontier.len(),
+            states = ts.num_states(),
+            edges = edges_added,
+            dedup_hits = dedup_hits,
+        );
         frontier = next_frontier;
         level += 1;
     }
@@ -552,6 +569,13 @@ pub fn det_abstraction_traced(
     obs.counter_add("abs.levels", level as u64);
     counters.publish(obs, "abs");
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| {
+        format!(
+            "abstraction done: {} classes, {} levels ({outcome:?})",
+            ts.num_states(),
+            level
+        )
+    });
 
     DetAbstraction {
         ts,
@@ -809,7 +833,7 @@ mod tests {
             }
             let probe = unary_facts(1, &[3]);
             let sig = probe.signature(&rigid);
-            let before = counters.clone();
+            let before = counters;
             let mut key = None;
             assert_eq!(index.find(&probe, sig, &mut key, &mut counters), None);
             assert!(key.is_none(), "empty-group probe must not compute a key");

@@ -33,7 +33,7 @@ use dcds_core::do_op::{
 use dcds_core::nondet::{evals_over, nondet_step_with_pre};
 use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{Dcds, StateId, Ts};
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{ConstantPool, Instance, Value};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -120,6 +120,18 @@ pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -
             continue;
         }
         counters.states_expanded += 1;
+        // No levels to hang events on: report every 1024 dequeued states.
+        if counters.states_expanded % 1024 == 0 {
+            event!(
+                obs,
+                "progress",
+                engine = "rcycl",
+                expanded = counters.states_expanded,
+                states = ts.num_states(),
+                queued = queue.len(),
+                triples = triples,
+            );
+        }
         let mut state_span = span!(obs, "rcycl_state", queue = queue.len());
         obs.heartbeat(|| {
             format!(
@@ -199,6 +211,21 @@ pub fn rcycl_traced(dcds: &Dcds, max_states: usize, threads: usize, obs: &Obs) -
     obs.gauge_max("rcycl.used_values", used_values.len() as i64);
     counters.publish(obs, "rcycl");
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    event!(
+        obs,
+        "progress",
+        engine = "rcycl",
+        expanded = counters.states_expanded,
+        states = ts.num_states(),
+        queued = 0u64,
+        triples = triples,
+    );
+    obs.progress_flush(|| {
+        format!(
+            "rcycl done: {} states, {triples} triples (complete: {complete})",
+            ts.num_states()
+        )
+    });
 
     RcyclResult {
         ts,

@@ -37,24 +37,44 @@
 //! and prints the same numbers as tables. Every artifact embeds a
 //! `metrics_snapshot` from an instrumented run of a representative
 //! workload (for `BENCH_scale` that includes the `store.*` gauges).
+//! `BENCH_mucalc.json` also carries a `symbolic` stanza: the backward
+//! regression engine proving the `unbounded_safe` AG property, with the
+//! full `SymCounters` (iterations, kept clauses, subsumption, peak
+//! frontier) next to its wall time.
 //!
-//! Usage: `cargo run --release --bin perf_report [-- --reps N] [-- --scale K]`
+//! Usage: `cargo run --release --bin perf_report [-- --reps N] [-- --scale K]
+//! [-- --baseline DIR] [-- --smoke]`
 //!
 //! `--scale` multiplies the workload sizes (state budgets, tuple counts);
 //! the committed baselines use `--scale 1`. The scale stage's budgets are
 //! fixed (they *are* the scale axis).
+//!
+//! `--baseline DIR` turns the run into a **regression gate**: after
+//! benchmarking, the current numbers are compared against the committed
+//! `BENCH_*.json` in `DIR`, the per-metric deltas are written to
+//! `BENCH_diff.json`, and the process exits nonzero when any timing or
+//! throughput degrades past `--max-slowdown` (default 1.75x) or any size
+//! metric grows past `--max-growth` (default 1.5x). Only keys present on
+//! both sides are compared, and sub-10ms timings never gate (scheduler
+//! noise). `--inject-slowdown F` is a self-test hook that degrades every
+//! current timing/throughput by `F` before the comparison — CI uses it to
+//! prove the gate actually trips. `--smoke` shrinks the run for CI: one
+//! rep, the heavyweight scale stage skipped, and no `BENCH_*.json`
+//! rewritten (only `BENCH_diff.json` is produced).
 
 use dcds_abstraction::{
     det_abstraction_compact_opts, det_abstraction_compact_traced, det_abstraction_opts,
     det_abstraction_traced, rcycl_compact_opts, rcycl_opts, AbsOptions, DedupStrategy,
 };
+use dcds_bench::report::{self, Kind, Thresholds};
 use dcds_bench::{examples, queries, synthetic, travel};
-use dcds_core::{Dcds, EngineCounters, Ts};
+use dcds_core::{parse_dcds, Dcds, EngineCounters, Ts};
 use dcds_folang::{eval_ucq, CompiledPlan, EvalCtx, Formula, QTerm, Ucq};
 use dcds_mucalc::mc::{eval, Valuation};
-use dcds_mucalc::{check_traced, eval_with_opts, sugar, McCounters, McOptions, Mu};
+use dcds_mucalc::{check_traced, eval_with_opts, parse_mu, sugar, McCounters, McOptions, Mu};
 use dcds_obs::{Obs, ObsConfig};
 use dcds_reldata::{Instance, InstanceIndex};
+use dcds_symbolic::{check_safety, SymOptions, SymVerdict};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -673,9 +693,132 @@ fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn arg_str(name: &str) -> Option<String> {
+    std::env::args().skip_while(|a| a != name).nth(1)
+}
+
+fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_str(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn has_arg(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The symbolic-engine stanza of `BENCH_mucalc.json`: prove the
+/// `unbounded_safe` AG property (undecidable for the explicit engines —
+/// the spec is run-unbounded) by backward regression, and report the wall
+/// time next to the full `SymCounters`.
+fn bench_symbolic(reps: usize) -> (f64, dcds_symbolic::SymCounters) {
+    let src = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../specs/unbounded_safe.dcds"
+    ));
+    let dcds = parse_dcds(src).expect("unbounded_safe.dcds parses");
+    let mut schema = dcds.data.schema.clone();
+    let mut pool = dcds.data.pool.clone();
+    let phi = parse_mu(
+        "nu Z . (forall Y . Flag(Y) -> Y = 'ok') & [] Z",
+        &mut schema,
+        &mut pool,
+    )
+    .expect("safety property parses");
+    let (secs, run) = time_best(reps, || {
+        check_safety(&dcds, &phi, &SymOptions::default()).expect("symbolic run succeeds")
+    });
+    assert!(
+        matches!(run.verdict, SymVerdict::Holds(_)),
+        "unbounded_safe must verify symbolically"
+    );
+    (secs, run.counters)
+}
+
+/// Compare the current artifacts against the baselines in `dir`, write
+/// `BENCH_diff.json`, and exit nonzero on a gated regression.
+fn gate_against_baseline(
+    dir: &str,
+    artifacts: &[(&str, String)],
+    thresholds: Thresholds,
+    inject: Option<f64>,
+) {
+    let mut base_metrics = std::collections::BTreeMap::new();
+    let mut cur_metrics = std::collections::BTreeMap::new();
+    for (name, current_json) in artifacts {
+        let path = format!("{dir}/{name}");
+        let src = match std::fs::read_to_string(&path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("perf gate: baseline {path} unreadable ({e}) — skipped");
+                continue;
+            }
+        };
+        match report::parse(&src) {
+            Ok(doc) => base_metrics.extend(report::extract(&doc)),
+            Err(e) => {
+                eprintln!("perf gate: baseline {path} is not valid JSON: {e}");
+                std::process::exit(2);
+            }
+        }
+        let doc = report::parse(current_json).expect("generated artifact is valid JSON");
+        cur_metrics.extend(report::extract(&doc));
+    }
+    if let Some(f) = inject {
+        for m in cur_metrics.values_mut() {
+            match m.kind {
+                Kind::Time => m.value *= f,
+                Kind::Throughput => m.value /= f,
+                Kind::Size => {}
+            }
+        }
+        eprintln!("perf gate: injected a {f:.2}x slowdown into every current timing/throughput");
+    }
+    let deltas = report::diff(&base_metrics, &cur_metrics, thresholds);
+    let diff_json = report::diff_json(&deltas, thresholds, inject);
+    std::fs::write("BENCH_diff.json", &diff_json).expect("write BENCH_diff.json");
+
+    println!(
+        "\nperf gate vs {dir}  (slowdown <= {:.2}x, growth <= {:.2}x; sub-10ms timings ungated)",
+        thresholds.max_slowdown, thresholds.max_growth
+    );
+    let mut regressions = 0usize;
+    for d in &deltas {
+        let verdict = if d.regressed {
+            regressions += 1;
+            "REGRESSED"
+        } else if !d.gated {
+            "noise"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<60}  base {:>12.4}  now {:>12.4}  x{:<6.2} {}",
+            d.key, d.baseline, d.current, d.factor, verdict
+        );
+    }
+    println!(
+        "  {} metrics compared, {} regression(s); wrote BENCH_diff.json",
+        deltas.len(),
+        regressions
+    );
+    if regressions > 0 {
+        eprintln!("perf gate: FAILED with {regressions} regression(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let reps = arg_usize("--reps", 3);
+    let smoke = has_arg("--smoke");
+    let reps = if smoke { 1 } else { arg_usize("--reps", 3) };
     let scale = arg_usize("--scale", 1).max(1);
+    let baseline_dir = arg_str("--baseline");
+    let thresholds = Thresholds {
+        max_slowdown: arg_f64("--max-slowdown", 1.75),
+        max_growth: arg_f64("--max-growth", 1.5),
+    };
+    let inject = arg_str("--inject-slowdown").and_then(|v| v.parse::<f64>().ok());
+    let mut artifacts: Vec<(&str, String)> = Vec::new();
     let hardware_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -820,8 +963,11 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
-    std::fs::write("BENCH_abstraction.json", &json).expect("write BENCH_abstraction.json");
-    println!("\nwrote BENCH_abstraction.json");
+    if !smoke {
+        std::fs::write("BENCH_abstraction.json", &json).expect("write BENCH_abstraction.json");
+        println!("\nwrote BENCH_abstraction.json");
+    }
+    artifacts.push(("BENCH_abstraction.json", json));
 
     // ---- µ-calculus model-checking engine ----
     let mc_loads = mc_workloads(reps);
@@ -916,10 +1062,34 @@ fn main() {
             .expect("mucalc snapshot run");
     }
     let snapshot = obs.finish().expect("obs enabled").metrics;
+
+    // Symbolic backward-reachability stanza: the engine the explicit
+    // benchmarks cannot cover (the spec is run-unbounded).
+    let (sym_secs, sym_counters) = bench_symbolic(reps);
+    println!(
+        "\nsymbolic engine — unbounded_safe, AG flag stays 'ok' (best of {reps})\n  \
+         {sym_secs:.4}s, {} iterations, {} kept clauses, {} subsumed, peak frontier {}",
+        sym_counters.iterations,
+        sym_counters.kept,
+        sym_counters.subsumed,
+        sym_counters.peak_frontier
+    );
+    let _ = writeln!(
+        json,
+        "  \"symbolic\": {{\"spec\": \"unbounded_safe\", \
+         \"property\": \"AG forall Y . Flag(Y) -> Y = 'ok'\", \"holds\": true, \
+         \"secs\": {}, \"counters\": {}}},",
+        json_f64(sym_secs),
+        sym_counters.to_json()
+    );
+
     let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
-    std::fs::write("BENCH_mucalc.json", &json).expect("write BENCH_mucalc.json");
-    println!("\nwrote BENCH_mucalc.json");
+    if !smoke {
+        std::fs::write("BENCH_mucalc.json", &json).expect("write BENCH_mucalc.json");
+        println!("\nwrote BENCH_mucalc.json");
+    }
+    artifacts.push(("BENCH_mucalc.json", json));
 
     // ---- compiled query plans + per-state indexes ----
     let q_runs = query_runs(reps, scale);
@@ -997,10 +1167,22 @@ fn main() {
     let snapshot = obs.finish().expect("obs enabled").metrics;
     let _ = writeln!(json, "  \"metrics_snapshot\": {}", snapshot.to_json());
     json.push_str("}\n");
-    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
-    println!("\nwrote BENCH_query.json");
+    if !smoke {
+        std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+        println!("\nwrote BENCH_query.json");
+    }
+    artifacts.push(("BENCH_query.json", json));
 
     // ---- compact state store at scale ----
+    // The scale stage drives half-million-state budgets; in smoke mode it
+    // is skipped outright (its keys simply drop out of the comparison).
+    if smoke {
+        println!("\nsmoke mode: scale stage skipped");
+        if let Some(dir) = &baseline_dir {
+            gate_against_baseline(dir, &artifacts, thresholds, inject);
+        }
+        return;
+    }
     let scale_loads = scale_workloads();
     println!("\ncompact-store scale report  (1 thread; legacy parity asserted at 1/2/4/8)");
     for w in &scale_loads {
@@ -1116,4 +1298,9 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("\nwrote BENCH_scale.json");
+    artifacts.push(("BENCH_scale.json", json));
+
+    if let Some(dir) = &baseline_dir {
+        gate_against_baseline(dir, &artifacts, thresholds, inject);
+    }
 }

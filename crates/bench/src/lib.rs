@@ -13,11 +13,15 @@
 //!   the Criterion benchmarks to measure scaling;
 //! * [`figures`] — regeneration of every figure and table of the paper's
 //!   narrative (Figures 2–10, Table 1), each returning a plain-text report
-//!   printed by the corresponding `fig*`/`table1` binary.
+//!   printed by the corresponding `fig*`/`table1` binary;
+//! * [`report`] — the perf-regression side of `perf_report`: a std-only
+//!   JSON reader for the committed `BENCH_*.json` baselines, metric
+//!   extraction, and threshold gating (`--baseline`).
 
 pub mod examples;
 pub mod figures;
 pub mod queries;
+pub mod report;
 pub mod rng;
 pub mod synthetic;
 pub mod travel;

@@ -24,7 +24,7 @@ use crate::nondet::nondet_step_with_pre;
 use crate::par::{configured_threads, par_map_obs};
 use crate::term::ServiceCall;
 use crate::ts::{StateId, Ts};
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{
     ConstantPool, Facts, Instance, InstanceIndex, RelId, StateRef, StateStore, Value,
 };
@@ -309,11 +309,22 @@ pub fn explore_det_traced(
         obs.counter_add("explore.states_expanded", level.len() as u64);
         obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
         level_span.set("new_states", next_level.len() as u64);
+        event!(
+            obs,
+            "level",
+            engine = "explore_det",
+            level = depth,
+            frontier = level.len(),
+            tasks = tasks.len(),
+            new_states = next_level.len(),
+            states = ts.num_states(),
+        );
         level = next_level;
         depth += 1;
     }
     obs.counter_add("explore.levels", depth as u64);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| format!("explore done: {} states, {depth} levels", ts.num_states()));
     DetExploration {
         ts,
         call_maps,
@@ -428,11 +439,22 @@ pub fn explore_nondet_traced(
         obs.counter_add("explore.states_expanded", level.len() as u64);
         obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
         level_span.set("new_states", next_level.len() as u64);
+        event!(
+            obs,
+            "level",
+            engine = "explore_nondet",
+            level = depth,
+            frontier = level.len(),
+            tasks = tasks.len(),
+            new_states = next_level.len(),
+            states = ts.num_states(),
+        );
         level = next_level;
         depth += 1;
     }
     obs.counter_add("explore.levels", depth as u64);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| format!("explore done: {} states, {depth} levels", ts.num_states()));
     NondetExploration { ts, outcome, pool }
 }
 
@@ -650,6 +672,17 @@ pub fn explore_det_compact_traced(
         obs.counter_add("explore.states_expanded", level.len() as u64);
         obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
         level_span.set("new_states", pending.len() as u64);
+        event!(
+            obs,
+            "level",
+            engine = "explore_det_compact",
+            level = depth,
+            frontier = level.len(),
+            tasks = tasks.len(),
+            new_states = pending.len(),
+            states = refs.len(),
+            store_bytes = store.stats().bytes,
+        );
         // Phase 5 (parallel): derive the new frontier's COW indexes while
         // the parent indexes are still alive.
         level = par_map_obs(&pending, threads, obs, "index", |child| {
@@ -672,6 +705,7 @@ pub fn explore_det_compact_traced(
     }
     obs.counter_add("explore.levels", depth as u64);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| format!("explore done: {} states, {depth} levels", refs.len()));
     CompactDetExploration {
         ts: CompactTs::from_parts(store, refs, succ, num_rels as u32),
         call_maps,
@@ -819,6 +853,17 @@ pub fn explore_nondet_compact_traced(
         obs.counter_add("explore.states_expanded", level.len() as u64);
         obs.counter_add("explore.tasks_stepped", tasks.len() as u64);
         level_span.set("new_states", pending.len() as u64);
+        event!(
+            obs,
+            "level",
+            engine = "explore_nondet_compact",
+            level = depth,
+            frontier = level.len(),
+            tasks = tasks.len(),
+            new_states = pending.len(),
+            states = refs.len(),
+            store_bytes = store.stats().bytes,
+        );
         level = par_map_obs(&pending, threads, obs, "index", |child| {
             let idx = match &child.touched {
                 Some(touched) => InstanceIndex::rebuild_delta(
@@ -839,6 +884,7 @@ pub fn explore_nondet_compact_traced(
     }
     obs.counter_add("explore.levels", depth as u64);
     publish_query_stats_delta(dcds, obs, &query_stats0);
+    obs.progress_flush(|| format!("explore done: {} states, {depth} levels", refs.len()));
     CompactNondetExploration {
         ts: CompactTs::from_parts(store, refs, succ, num_rels as u32),
         outcome,

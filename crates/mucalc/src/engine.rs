@@ -32,7 +32,7 @@ use crate::mc::Valuation;
 use dcds_core::par::par_map;
 use dcds_core::{StateId, Ts};
 use dcds_folang::{holds, Assignment, CompiledPlan, EvalCtx, PlanStats, QTerm, Ucq, Var};
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{AccessPath, InstanceIndex, Value};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -284,7 +284,15 @@ pub fn eval_traced(
     };
     let ext = engine.eval_node(f, 0, val);
     run_span.set("extension", ext.len() as u64);
+    let fixpoint_iterations = engine.counters.fixpoint_iterations;
     engine.counters.publish(obs, "mc");
+    obs.progress_flush(|| {
+        format!(
+            "mc done: |ext| = {} over {} states, {fixpoint_iterations} fixpoint iterations",
+            ext.len(),
+            engine.ts.num_states()
+        )
+    });
     // Plan-cache counters are totals of the work performed — independent of
     // the thread count — published here from serial code.
     if obs.is_enabled() {
@@ -550,6 +558,14 @@ impl Engine<'_> {
                     val.predicates.insert(z.clone(), current.clone());
                     self.counters.fixpoint_iterations += 1;
                     iters += 1;
+                    event!(
+                        self.obs,
+                        "fixpoint",
+                        op = "lfp",
+                        node = id,
+                        iter = iters,
+                        extension = current.len(),
+                    );
                     self.obs.heartbeat(|| {
                         format!(
                             "mc lfp node {id}: iteration {iters}, |ext| = {}",
@@ -577,6 +593,14 @@ impl Engine<'_> {
                     val.predicates.insert(z.clone(), current.clone());
                     self.counters.fixpoint_iterations += 1;
                     iters += 1;
+                    event!(
+                        self.obs,
+                        "fixpoint",
+                        op = "gfp",
+                        node = id,
+                        iter = iters,
+                        extension = current.len(),
+                    );
                     self.obs.heartbeat(|| {
                         format!(
                             "mc gfp node {id}: iteration {iters}, |ext| = {}",

@@ -1,0 +1,232 @@
+//! Allocation attribution: a std-only `GlobalAlloc` wrapper with
+//! thread-local counters, snapshotted at span enter/exit.
+//!
+//! # How it works
+//!
+//! Binaries that want allocation profiling install [`CountingAlloc`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: dcds_obs::alloc::CountingAlloc = dcds_obs::alloc::CountingAlloc;
+//! ```
+//!
+//! The wrapper delegates straight to [`std::alloc::System`]. When counting
+//! is off (the default) the only overhead per allocation is one relaxed
+//! atomic load of a process-global flag. When an `Obs` session is created
+//! with `track_alloc` (CLI: `--profile-alloc`), every allocation also bumps
+//! three thread-local `Cell` counters: cumulative bytes, cumulative count,
+//! and live bytes (with a per-thread peak watermark).
+//!
+//! Spans snapshot the counters at open and attach the deltas as fields at
+//! close (`alloc_bytes`, `allocs`, `peak_live_delta`), so the folded-stack
+//! export can weight span paths by bytes allocated instead of self time.
+//!
+//! # Why `Cell`, not a lock or atomic per thread
+//!
+//! The allocator path must never allocate (recursion) and never block (the
+//! allocator is called with arbitrary locks held by the caller). Const-
+//! initialised `thread_local!` `Cell`s compile to plain TLS loads/stores —
+//! no lazy-init allocation, no synchronisation. The cost is that counters
+//! are per-thread: a span only observes allocations made *on its own
+//! thread*, which is exactly the attribution we want (worker allocations
+//! land on the worker's spans, merged at the join point like events).
+//!
+//! Live bytes are signed per thread: a thread that frees buffers it did not
+//! allocate (e.g. the driver dropping worker results) can legitimately go
+//! negative. Peak tracking clamps at span granularity instead.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global gate. Off by default; [`set_counting`] flips it when an
+/// `Obs` session with `track_alloc` starts/finishes.
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+    static LIVE: Cell<i64> = const { Cell::new(0) };
+    static PEAK: Cell<i64> = const { Cell::new(0) };
+}
+
+/// Enable or disable allocation counting process-wide. Counting is cheap
+/// but not free; the CLI enables it only under `--profile-alloc`.
+pub fn set_counting(on: bool) {
+    COUNTING.store(on, Ordering::Relaxed);
+}
+
+/// Is allocation counting currently enabled?
+pub fn counting() -> bool {
+    COUNTING.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn record(bytes_delta: u64, count_delta: u64, live_delta: i64) {
+    BYTES.with(|c| c.set(c.get().wrapping_add(bytes_delta)));
+    COUNT.with(|c| c.set(c.get().wrapping_add(count_delta)));
+    LIVE.with(|c| {
+        let live = c.get().wrapping_add(live_delta);
+        c.set(live);
+        PEAK.with(|p| {
+            if live > p.get() {
+                p.set(live);
+            }
+        });
+    });
+}
+
+/// A snapshot of this thread's allocation counters, taken at span open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnap {
+    /// Cumulative bytes allocated on this thread at snapshot time.
+    pub bytes: u64,
+    /// Cumulative allocation count on this thread at snapshot time.
+    pub count: u64,
+    /// Live bytes on this thread at snapshot time (signed; see module docs).
+    pub live: i64,
+    /// The thread peak watermark saved at open; restored (maxed) at close so
+    /// nested spans each see their own peak-above-open.
+    pub saved_peak: i64,
+}
+
+/// Allocation deltas over a span's lifetime, attached as span fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Bytes allocated on this thread while the span was open.
+    pub bytes: u64,
+    /// Allocations on this thread while the span was open.
+    pub count: u64,
+    /// Peak live bytes above the level at span open (never negative).
+    pub peak_live_delta: u64,
+}
+
+/// Snapshot this thread's counters at span open. Resets the thread peak to
+/// the current live level so the span measures its *own* high-water mark;
+/// the previous watermark is saved and restored at [`span_close`].
+pub fn span_open() -> AllocSnap {
+    let live = LIVE.with(Cell::get);
+    let saved_peak = PEAK.with(|p| {
+        let saved = p.get();
+        p.set(live);
+        saved
+    });
+    AllocSnap {
+        bytes: BYTES.with(Cell::get),
+        count: COUNT.with(Cell::get),
+        live,
+        saved_peak,
+    }
+}
+
+/// Compute the span's allocation deltas and restore the thread peak
+/// watermark (the outer span's peak is at least the inner span's).
+pub fn span_close(open: AllocSnap) -> AllocDelta {
+    let span_peak = PEAK.with(Cell::get);
+    PEAK.with(|p| p.set(open.saved_peak.max(span_peak)));
+    AllocDelta {
+        bytes: BYTES.with(Cell::get).wrapping_sub(open.bytes),
+        count: COUNT.with(Cell::get).wrapping_sub(open.count),
+        peak_live_delta: span_peak.saturating_sub(open.live).max(0) as u64,
+    }
+}
+
+/// The counting allocator. Install with `#[global_allocator]` in each
+/// binary/test crate that wants `--profile-alloc` to attribute bytes; with
+/// counting disabled it is a transparent passthrough to [`System`].
+pub struct CountingAlloc;
+
+// SAFETY: delegates allocation to `System`; the counter updates touch only
+// const-initialised thread-local `Cell`s and one relaxed atomic, so they
+// never allocate, never unwind, and never re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() && counting() {
+            record(layout.size() as u64, 1, layout.size() as i64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if counting() {
+            record(0, 0, -(layout.size() as i64));
+        }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() && counting() {
+            record(layout.size() as u64, 1, layout.size() as i64);
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() && counting() {
+            record(new_size as u64, 1, new_size as i64 - layout.size() as i64);
+        }
+        p
+    }
+}
+
+/// Serialises tests (across this crate's modules) that flip the process-
+/// global counting gate, so they don't observe each other's state.
+#[cfg(test)]
+pub(crate) static TEST_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        TEST_GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = gate();
+        set_counting(false);
+        let open = span_open();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        drop(v);
+        let d = span_close(open);
+        assert_eq!(
+            d,
+            AllocDelta {
+                bytes: 0,
+                count: 0,
+                peak_live_delta: 0
+            }
+        );
+    }
+
+    #[test]
+    fn counting_attributes_bytes_and_peak() {
+        let _g = gate();
+        set_counting(true);
+        let open = span_open();
+        let v: Vec<u8> = Vec::with_capacity(10_000);
+        let d_mid = {
+            // Nested span while `v` is live: its peak baseline is current
+            // live, so a small allocation reports a small peak delta.
+            let inner = span_open();
+            let w: Vec<u8> = Vec::with_capacity(100);
+            drop(w);
+            span_close(inner)
+        };
+        drop(v);
+        let d = span_close(open);
+        set_counting(false);
+        assert!(d.bytes >= 10_100, "bytes {}", d.bytes);
+        assert!(d.count >= 2, "count {}", d.count);
+        assert!(d.peak_live_delta >= 10_000, "peak {}", d.peak_live_delta);
+        assert!(
+            d_mid.peak_live_delta >= 100 && d_mid.peak_live_delta < 10_000,
+            "inner peak measures above its own open level: {}",
+            d_mid.peak_live_delta
+        );
+    }
+}

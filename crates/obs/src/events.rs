@@ -1,0 +1,167 @@
+//! Streaming structured event log: line-delimited JSON with monotonic
+//! sequence numbers.
+//!
+//! Where the Chrome trace and the metrics snapshot are *post-mortem*
+//! artifacts (collected in memory, exported at `Obs::finish`), the event
+//! log is a **live wire format**: every event is rendered and written the
+//! moment it happens, so a consumer tailing the stream sees run lifecycle,
+//! per-level BFS progress, fixpoint iterations, and heartbeats as they
+//! occur. This is the per-session protocol a future `dcds serve` daemon
+//! streams back to clients; the CLI exposes it as `--events FILE|-`.
+//!
+//! # Wire format
+//!
+//! One JSON object per line:
+//!
+//! ```json
+//! {"type":"level","seq":3,"ts_us":15210,"engine":"det_abstraction","level":2,"frontier":14,...}
+//! ```
+//!
+//! Every event carries:
+//!
+//! * `type` — the event kind (`run_start`, `level`, `progress`,
+//!   `fixpoint`, `sym_iter`, `heartbeat`, `run_end`);
+//! * `seq` — a process-monotonic sequence number (gap-free per sink), so
+//!   consumers can detect loss and order events without trusting clocks;
+//! * `ts_us` — microseconds since the `Obs` epoch (monotonic clock);
+//! * kind-specific fields, flattened into the same object.
+//!
+//! Engines emit events only from their serial phases, so for a fixed
+//! workload the sequence of `(type, fields)` pairs is deterministic at
+//! every thread count — only `ts_us` varies run to run.
+
+use crate::export::{json_escape, json_field_value};
+use crate::FieldValue;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A live event-stream sink: a shared writer plus the monotonic sequence
+/// counter. Cheap to probe (`Obs` checks an `Option` before building any
+/// fields); each emit takes the writer lock once and flushes, so the
+/// stream is tail-able while the run is in flight.
+pub struct EventSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl EventSink {
+    /// A sink over any writer (a file, stdout, an in-memory buffer).
+    pub fn new(out: Box<dyn Write + Send>) -> EventSink {
+        EventSink {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Render and write one event line. `ts_us` is the caller's elapsed
+    /// time since its epoch; the sequence number is taken here, under the
+    /// writer lock, so lines in the file are in `seq` order even when two
+    /// threads race.
+    pub(crate) fn emit(&self, typ: &str, ts_us: u64, fields: &[(&'static str, FieldValue)]) {
+        let mut out = self.out.lock().expect("event sink poisoned");
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut line = String::with_capacity(64);
+        let _ = write!(
+            line,
+            "{{\"type\":\"{}\",\"seq\":{seq},\"ts_us\":{ts_us}",
+            json_escape(typ)
+        );
+        for (k, v) in fields {
+            let _ = write!(line, ",\"{}\":{}", json_escape(k), json_field_value(v));
+        }
+        line.push('}');
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.out.lock().expect("event sink poisoned").flush();
+    }
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("emitted", &self.emitted())
+            .finish()
+    }
+}
+
+/// An in-memory writer for tests and embedding: clones share the buffer.
+#[derive(Clone, Default)]
+pub struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// A fresh, empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// The buffered bytes as a string (lossy).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buf poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("shared buf poisoned").write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_line_json_with_monotonic_seq() {
+        let buf = SharedBuf::new();
+        let sink = EventSink::new(Box::new(buf.clone()));
+        sink.emit("run_start", 0, &[("command", FieldValue::from("abstract"))]);
+        sink.emit(
+            "level",
+            10,
+            &[
+                ("level", FieldValue::from(0u64)),
+                ("frontier", FieldValue::from(1u64)),
+            ],
+        );
+        sink.emit("run_end", 99, &[]);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"seq\":{i}")), "{line}");
+        }
+        assert!(lines[0].contains("\"type\":\"run_start\""));
+        assert!(lines[0].contains("\"command\":\"abstract\""));
+        assert!(lines[1].contains("\"level\":0"));
+        assert!(lines[1].contains("\"ts_us\":10"));
+        assert_eq!(sink.emitted(), 3);
+    }
+
+    #[test]
+    fn field_strings_are_escaped() {
+        let buf = SharedBuf::new();
+        let sink = EventSink::new(Box::new(buf.clone()));
+        sink.emit(
+            "heartbeat",
+            5,
+            &[("message", FieldValue::from(String::from("a\"b\nc")))],
+        );
+        let text = buf.contents();
+        assert!(text.contains("a\\\"b\\nc"), "{text}");
+    }
+}

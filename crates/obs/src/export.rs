@@ -30,7 +30,7 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_field_value(v: &FieldValue) -> String {
+pub(crate) fn json_field_value(v: &FieldValue) -> String {
     match v {
         FieldValue::U64(n) => n.to_string(),
         FieldValue::I64(n) => n.to_string(),
@@ -150,7 +150,7 @@ pub fn json_lines(report: &ObsReport) -> String {
     out
 }
 
-fn fmt_us(us: u64) -> String {
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{:.2}s", us as f64 / 1e6)
     } else if us >= 1_000 {

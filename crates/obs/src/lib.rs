@@ -52,13 +52,24 @@
 //! assert_eq!(report.metrics.counter("abs.states_expanded"), Some(17));
 //! ```
 
+pub mod alloc;
+pub mod events;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod progress;
 
+pub use events::{EventSink, SharedBuf};
 pub use export::{chrome_trace, json_lines, text_summary};
 pub use metrics::{Histogram, MetricsSnapshot};
+pub use profile::{aggregate, folded, top_spans, PathStats, Weight};
 pub use progress::{parse_interval, RateLimiter};
+
+// The obs crate's own unit tests exercise the counting allocator, so the
+// test binary installs it; downstream binaries opt in individually.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 use metrics::Registry;
 use std::borrow::Cow;
@@ -157,10 +168,18 @@ pub struct Event {
 }
 
 /// Configuration for an enabled [`Obs`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ObsConfig {
     /// Heartbeat interval; `None` disables heartbeats.
     pub progress: Option<Duration>,
+    /// Snapshot per-thread allocation counters at span enter/exit and
+    /// attach `alloc_bytes`/`allocs`/`peak_live_delta` fields to every
+    /// span. Requires the binary to install
+    /// [`alloc::CountingAlloc`]; enabling it flips the process-global
+    /// counting gate for the session's lifetime.
+    pub track_alloc: bool,
+    /// Live structured event stream; `None` disables event emission.
+    pub events: Option<EventSink>,
 }
 
 impl ObsConfig {
@@ -171,6 +190,7 @@ impl ObsConfig {
                 .ok()
                 .as_deref()
                 .and_then(parse_interval),
+            ..ObsConfig::default()
         }
     }
 }
@@ -193,6 +213,8 @@ struct Shared {
     next_tid: AtomicU32,
     registry: Mutex<Registry>,
     heartbeat: Option<Mutex<RateLimiter>>,
+    events: Option<EventSink>,
+    track_alloc: bool,
 }
 
 /// Handle to one observability session. Cheap to clone; `disabled()` is the
@@ -279,6 +301,9 @@ impl Obs {
 
     /// A recording handle.
     pub fn enabled(config: ObsConfig) -> Obs {
+        if config.track_alloc {
+            alloc::set_counting(true);
+        }
         Obs {
             shared: Some(Arc::new(Shared {
                 id: NEXT_OBS_ID.fetch_add(1, Ordering::Relaxed),
@@ -289,6 +314,8 @@ impl Obs {
                 heartbeat: config
                     .progress
                     .map(|interval| Mutex::new(RateLimiter::new(interval))),
+                events: config.events,
+                track_alloc: config.track_alloc,
             })),
         }
     }
@@ -315,6 +342,11 @@ impl Obs {
             b.depth += 1;
             d
         });
+        let alloc_open = if shared.track_alloc && alloc::counting() {
+            Some(alloc::span_open())
+        } else {
+            None
+        };
         SpanGuard {
             active: Some(ActiveSpan {
                 shared: Arc::clone(shared),
@@ -323,7 +355,33 @@ impl Obs {
                 start_us: shared.epoch.elapsed().as_micros() as u64,
                 depth,
                 fields,
+                alloc_open,
             }),
+        }
+    }
+
+    /// Microseconds since this session's epoch; 0 when disabled.
+    pub fn elapsed_us(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map(|s| s.epoch.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Is a live event sink attached? Engines consult this (or use the
+    /// [`event!`] macro) so the no-sink path never builds field vectors.
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        self.shared.as_ref().is_some_and(|s| s.events.is_some())
+    }
+
+    /// Emit one typed event onto the live stream, stamped with the elapsed
+    /// time and the next monotonic sequence number. No-op without a sink.
+    pub fn event(&self, typ: &str, fields: &[(&'static str, FieldValue)]) {
+        if let Some(shared) = &self.shared {
+            if let Some(sink) = &shared.events {
+                sink.emit(typ, shared.epoch.elapsed().as_micros() as u64, fields);
+            }
         }
     }
 
@@ -378,7 +436,9 @@ impl Obs {
     }
 
     /// Emit a rate-limited progress line on stderr. The message closure is
-    /// only evaluated when a heartbeat is actually due.
+    /// only evaluated when a heartbeat is actually due. One monotonic
+    /// reading drives both the limiter and the displayed elapsed time, so
+    /// the printed timestamps can never run ahead of the rate-limit window.
     pub fn heartbeat(&self, message: impl FnOnce() -> String) {
         let Some(shared) = &self.shared else { return };
         let Some(limiter) = &shared.heartbeat else {
@@ -387,8 +447,41 @@ impl Obs {
         let now = Instant::now();
         let due = limiter.lock().expect("obs heartbeat poisoned").ready(now);
         if due {
-            let elapsed = shared.epoch.elapsed().as_secs_f64();
-            eprintln!("[dcds +{elapsed:.1}s] {}", message());
+            let elapsed = now.duration_since(shared.epoch);
+            let msg = message();
+            eprintln!("[dcds +{:.1}s] {msg}", elapsed.as_secs_f64());
+            if let Some(sink) = &shared.events {
+                sink.emit(
+                    "heartbeat",
+                    elapsed.as_micros() as u64,
+                    &[("message", FieldValue::Str(Cow::Owned(msg)))],
+                );
+            }
+        }
+    }
+
+    /// Unconditional final progress line (plus a `heartbeat` event with
+    /// `"final":true` when a sink is attached), emitted at run end when
+    /// heartbeats are configured. Short runs that never tripped the rate
+    /// limiter still report how they ended instead of staying silent.
+    pub fn progress_flush(&self, message: impl FnOnce() -> String) {
+        let Some(shared) = &self.shared else { return };
+        if shared.heartbeat.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let elapsed = now.duration_since(shared.epoch);
+        let msg = message();
+        eprintln!("[dcds +{:.1}s] {msg}", elapsed.as_secs_f64());
+        if let Some(sink) = &shared.events {
+            sink.emit(
+                "heartbeat",
+                elapsed.as_micros() as u64,
+                &[
+                    ("final", FieldValue::Str(Cow::Borrowed("true"))),
+                    ("message", FieldValue::Str(Cow::Owned(msg))),
+                ],
+            );
         }
     }
 
@@ -410,6 +503,12 @@ impl Obs {
             .lock()
             .expect("obs registry poisoned")
             .snapshot();
+        if let Some(sink) = &shared.events {
+            sink.flush();
+        }
+        if shared.track_alloc {
+            alloc::set_counting(false);
+        }
         Some(ObsReport { events, metrics })
     }
 }
@@ -429,6 +528,7 @@ struct ActiveSpan {
     start_us: u64,
     depth: u32,
     fields: Vec<(&'static str, FieldValue)>,
+    alloc_open: Option<alloc::AllocSnap>,
 }
 
 /// RAII guard for an open span; records one [`Event`] on drop. The no-op
@@ -454,8 +554,17 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(a) = self.active.take() else { return };
+        let Some(mut a) = self.active.take() else {
+            return;
+        };
         let dur_us = a.start.elapsed().as_micros() as u64;
+        if let Some(open) = a.alloc_open.take() {
+            let d = alloc::span_close(open);
+            a.fields.push(("alloc_bytes", FieldValue::U64(d.bytes)));
+            a.fields.push(("allocs", FieldValue::U64(d.count)));
+            a.fields
+                .push(("peak_live_delta", FieldValue::U64(d.peak_live_delta)));
+        }
         with_buf(&a.shared, |b| {
             b.depth = b.depth.saturating_sub(1);
             let seq = b.seq;
@@ -493,6 +602,24 @@ macro_rules! span {
             )
         } else {
             $crate::SpanGuard::noop()
+        }
+    }};
+}
+
+/// Emit a typed event onto the live stream:
+/// `event!(obs, "level", level = 3u64, frontier = n)`.
+///
+/// Field values are evaluated only when a sink is attached, so engines can
+/// call this unconditionally on hot paths.
+#[macro_export]
+macro_rules! event {
+    ($obs:expr, $typ:expr $(, $key:ident = $val:expr)* $(,)?) => {{
+        let __obs: &$crate::Obs = &$obs;
+        if __obs.events_enabled() {
+            __obs.event(
+                $typ,
+                &[$((stringify!($key), $crate::FieldValue::from($val))),*],
+            );
         }
     }};
 }
@@ -540,9 +667,12 @@ mod tests {
             outer.fields[1],
             ("done", FieldValue::Str(Cow::Borrowed("true")))
         );
-        // Containment: outer starts no later and ends no earlier.
+        // Containment: outer starts no later and ends no earlier. Both
+        // ends are `floor(start) + floor(dur)` in µs, so each may
+        // undercount its true end by up to 2µs — allow that slack (the
+        // close-to-close gap can be sub-µs under load).
         assert!(outer.start_us <= inner.start_us);
-        assert!(outer.start_us + outer.dur_us >= inner.start_us + inner.dur_us);
+        assert!(outer.start_us + outer.dur_us + 2 >= inner.start_us + inner.dur_us);
     }
 
     #[test]
@@ -600,6 +730,91 @@ mod tests {
         assert_eq!(r1.events[0].name, "one");
         assert_eq!(r2.events.len(), 1);
         assert_eq!(r2.events[0].name, "two");
+    }
+
+    #[test]
+    fn event_stream_records_typed_events_in_order() {
+        let buf = SharedBuf::new();
+        let obs = Obs::enabled(ObsConfig {
+            events: Some(EventSink::new(Box::new(buf.clone()))),
+            ..ObsConfig::default()
+        });
+        assert!(obs.events_enabled());
+        event!(obs, "run_start", command = "abstract");
+        event!(obs, "level", level = 0u64, frontier = 1u64);
+        event!(obs, "run_end");
+        obs.finish().unwrap();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"type\":\"run_start\"") && lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"frontier\":1") && lines[1].contains("\"seq\":1"));
+        assert!(lines[2].contains("\"type\":\"run_end\"") && lines[2].contains("\"seq\":2"));
+    }
+
+    #[test]
+    fn event_macro_is_inert_without_sink() {
+        let obs = Obs::enabled(ObsConfig::default());
+        assert!(!obs.events_enabled());
+        event!(obs, "level", level = 1u64);
+        let disabled = Obs::disabled();
+        event!(disabled, "level", level = 1u64);
+        assert_eq!(obs.finish().unwrap().events.len(), 0);
+    }
+
+    #[test]
+    fn track_alloc_attaches_alloc_fields_to_spans() {
+        let _gate = alloc::TEST_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        let obs = Obs::enabled(ObsConfig {
+            track_alloc: true,
+            ..ObsConfig::default()
+        });
+        {
+            let _g = span!(obs, "work");
+            let v: Vec<u8> = Vec::with_capacity(50_000);
+            drop(v);
+        }
+        let report = obs.finish().unwrap();
+        let e = &report.events[0];
+        let bytes = e
+            .fields
+            .iter()
+            .find(|(k, _)| *k == "alloc_bytes")
+            .map(|(_, v)| match v {
+                FieldValue::U64(n) => *n,
+                _ => 0,
+            })
+            .unwrap();
+        assert!(bytes >= 50_000, "span attributed {bytes} bytes");
+        assert!(e.fields.iter().any(|(k, _)| *k == "allocs"));
+        assert!(e.fields.iter().any(|(k, _)| *k == "peak_live_delta"));
+        assert!(!alloc::counting(), "finish turns the gate back off");
+    }
+
+    #[test]
+    fn progress_flush_always_prints_when_progress_configured() {
+        // With no heartbeat configured, flush is silent and inert.
+        let obs = Obs::enabled(ObsConfig::default());
+        obs.progress_flush(|| unreachable!("no progress configured"));
+        // With a huge interval the limiter never fires, but the flush event
+        // still lands on the stream.
+        let buf = SharedBuf::new();
+        let obs = Obs::enabled(ObsConfig {
+            progress: Some(Duration::from_secs(3600)),
+            events: Some(EventSink::new(Box::new(buf.clone()))),
+            ..ObsConfig::default()
+        });
+        obs.heartbeat(|| "mid".into());
+        obs.progress_flush(|| "done: 42 states".into());
+        obs.finish().unwrap();
+        let text = buf.contents();
+        assert!(
+            !text.contains("\"message\":\"mid\""),
+            "rate-limited heartbeat must not fire early: {text}"
+        );
+        assert!(text.contains("\"type\":\"heartbeat\""), "{text}");
+        assert!(text.contains("\"final\":\"true\""), "{text}");
+        assert!(text.contains("done: 42 states"), "{text}");
     }
 
     #[test]

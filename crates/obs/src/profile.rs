@@ -1,0 +1,353 @@
+//! Span-path profiling: self/inclusive time per span *path*, folded-stack
+//! (flamegraph) export, and the "top spans" table.
+//!
+//! The recorder stores completed spans flat (one [`Event`] per span, in
+//! per-thread completion order). This module reconstructs the span tree and
+//! aggregates by **path** — the `;`-joined chain of span names from the
+//! root, e.g. `run;det_abstraction;frontier_level;step_phase`. Per path it
+//! tracks:
+//!
+//! * **inclusive** time — the span's full duration;
+//! * **self** (exclusive) time — duration minus time spent in same-thread
+//!   child spans, clamped at zero (the standard flamegraph weight);
+//! * allocation deltas (`alloc_bytes`, `allocs`, `peak_live_delta`) when
+//!   the run recorded them (`--profile-alloc`), with a self/exclusive bytes
+//!   figure computed the same way as self time.
+//!
+//! # Tree reconstruction
+//!
+//! Within one thread, spans close strictly child-before-parent (RAII), so
+//! the per-thread event stream is a post-order traversal and `depth` tells
+//! us where each span sits: when a span at depth `d` completes, every
+//! not-yet-adopted completed span at depth `d+1` is one of its children.
+//! A pending-stack pass rebuilds the forest in O(n).
+//!
+//! Worker threads (tid ≠ 0) record their own stacks. These are kept as
+//! separate roots under a synthetic `workers` segment rather than spliced
+//! into the driver tree: worker spans run *in parallel* with the driver
+//! span that spawned them, so folding them under it would inflate the
+//! driver root's inclusive time past wall clock. Keeping them separate
+//! preserves the invariant that the driver root's folded total ≈ run wall
+//! time, which the CLI acceptance check relies on.
+//!
+//! # Folded-stack output
+//!
+//! [`folded`] emits Brendan-Gregg collapsed-stack lines — `path weight`,
+//! one per path — directly consumable by `inferno-flamegraph`, speedscope,
+//! or `flamegraph.pl`. Weight is self time in microseconds
+//! ([`Weight::SelfTimeUs`]) or self allocated bytes
+//! ([`Weight::SelfAllocBytes`]).
+
+use crate::export::fmt_us;
+use crate::{Event, FieldValue};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Synthetic root segment for worker-thread (tid ≠ 0) stacks.
+pub const WORKERS_ROOT: &str = "workers";
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Number of spans recorded at this path.
+    pub count: u64,
+    /// Total inclusive (wall) time, microseconds.
+    pub incl_us: u64,
+    /// Total self time: inclusive minus same-thread children, clamped ≥ 0.
+    pub self_us: u64,
+    /// Total bytes allocated while spans at this path were open (inclusive).
+    pub alloc_bytes: u64,
+    /// Self bytes: inclusive bytes minus same-thread children, clamped ≥ 0.
+    pub self_alloc_bytes: u64,
+    /// Total allocation count (inclusive).
+    pub allocs: u64,
+    /// Largest peak-live-above-open seen by any span at this path.
+    pub peak_live_delta: u64,
+}
+
+/// What a folded-stack line is weighted by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Self time in microseconds (the classic CPU flamegraph).
+    SelfTimeUs,
+    /// Self allocated bytes (an allocation flamegraph; needs
+    /// `--profile-alloc`).
+    SelfAllocBytes,
+}
+
+struct Node {
+    event: usize,
+    children: Vec<Node>,
+}
+
+fn field_u64(e: &Event, key: &str) -> u64 {
+    e.fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| match v {
+            FieldValue::U64(n) => Some(*n),
+            FieldValue::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Rebuild one thread's span forest from its completion-ordered events.
+/// `idxs` are indices into `events`, already in `seq` order.
+fn build_forest(events: &[Event], idxs: &[usize]) -> Vec<Node> {
+    // pending[d] holds completed-but-unadopted subtrees rooted at depth d.
+    let mut pending: Vec<Vec<Node>> = Vec::new();
+    for &i in idxs {
+        let d = events[i].depth as usize;
+        if pending.len() <= d + 1 {
+            pending.resize_with(d + 2, Vec::new);
+        }
+        // Everything deeper than d that is still pending belongs under this
+        // span (normally exactly depth d+1; deeper levels are defensive).
+        let mut children = Vec::new();
+        for level in pending.iter_mut().skip(d + 1) {
+            children.append(level);
+        }
+        pending[d].push(Node { event: i, children });
+    }
+    // Anything left pending has no parent: treat as roots, outermost first.
+    let mut roots = Vec::new();
+    for level in &mut pending {
+        roots.append(level);
+    }
+    roots
+}
+
+fn accumulate(events: &[Event], node: &Node, prefix: &str, out: &mut BTreeMap<String, PathStats>) {
+    let e = &events[node.event];
+    let path = if prefix.is_empty() {
+        e.name.to_string()
+    } else {
+        format!("{prefix};{}", e.name)
+    };
+    let child_dur: u64 = node.children.iter().map(|c| events[c.event].dur_us).sum();
+    let bytes = field_u64(e, "alloc_bytes");
+    let child_bytes: u64 = node
+        .children
+        .iter()
+        .map(|c| field_u64(&events[c.event], "alloc_bytes"))
+        .sum();
+    let s = out.entry(path.clone()).or_default();
+    s.count += 1;
+    s.incl_us += e.dur_us;
+    s.self_us += e.dur_us.saturating_sub(child_dur);
+    s.alloc_bytes += bytes;
+    s.self_alloc_bytes += bytes.saturating_sub(child_bytes);
+    s.allocs += field_u64(e, "allocs");
+    s.peak_live_delta = s.peak_live_delta.max(field_u64(e, "peak_live_delta"));
+    for c in &node.children {
+        accumulate(events, c, &path, out);
+    }
+}
+
+/// Aggregate a run's spans into per-path statistics. Driver (tid 0) spans
+/// keep their natural paths; worker stacks go under [`WORKERS_ROOT`].
+pub fn aggregate(events: &[Event]) -> BTreeMap<String, PathStats> {
+    let mut by_tid: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        by_tid.entry(e.tid).or_default().push(i);
+    }
+    for idxs in by_tid.values_mut() {
+        idxs.sort_by_key(|&i| events[i].seq);
+    }
+    let mut out = BTreeMap::new();
+    for (&tid, idxs) in &by_tid {
+        let prefix = if tid == 0 { "" } else { WORKERS_ROOT };
+        for root in build_forest(events, idxs) {
+            accumulate(events, &root, prefix, &mut out);
+        }
+    }
+    out
+}
+
+/// Render collapsed-stack lines (`path weight`), skipping zero-weight
+/// paths. Lines are in path order, which folded-stack consumers accept
+/// (they aggregate by path themselves).
+pub fn folded(stats: &BTreeMap<String, PathStats>, weight: Weight) -> String {
+    let mut out = String::new();
+    for (path, s) in stats {
+        let w = match weight {
+            Weight::SelfTimeUs => s.self_us,
+            Weight::SelfAllocBytes => s.self_alloc_bytes,
+        };
+        if w > 0 {
+            let _ = writeln!(out, "{path} {w}");
+        }
+    }
+    out
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// The human "top spans" table printed under `--stats`: paths ranked by
+/// self time, with allocation columns when the run recorded any.
+pub fn top_spans(stats: &BTreeMap<String, PathStats>, limit: usize) -> String {
+    let mut rows: Vec<(&String, &PathStats)> = stats.iter().collect();
+    rows.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+    rows.truncate(limit);
+    let has_alloc = rows.iter().any(|(_, s)| s.alloc_bytes > 0);
+    let mut out = String::new();
+    let _ = writeln!(out, "== top spans (self time) ==");
+    if has_alloc {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>7} {:>10} {:>10} {:>10} {:>10}",
+            "path", "count", "self", "incl", "alloc", "peak\u{0394}"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  {:<44} {:>7} {:>10} {:>10}",
+            "path", "count", "self", "incl"
+        );
+    }
+    for (path, s) in rows {
+        let shown = if path.len() > 44 {
+            format!("…{}", &path[path.len() - 43..])
+        } else {
+            path.to_string()
+        };
+        if has_alloc {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                shown,
+                s.count,
+                fmt_us(s.self_us),
+                fmt_us(s.incl_us),
+                fmt_bytes(s.alloc_bytes),
+                fmt_bytes(s.peak_live_delta)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>7} {:>10} {:>10}",
+                shown,
+                s.count,
+                fmt_us(s.self_us),
+                fmt_us(s.incl_us)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, tid: u32, seq: u64, depth: u32, start_us: u64, dur_us: u64) -> Event {
+        Event {
+            name,
+            start_us,
+            dur_us,
+            tid,
+            seq,
+            depth,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rebuilds_nesting_and_self_time() {
+        // Driver: root(0..100) > level(10..40) > step(12..30); then a second
+        // level(50..90). Completion order: step, level, level2, root.
+        let events = vec![
+            ev("step", 0, 0, 2, 12, 18),
+            ev("level", 0, 1, 1, 10, 30),
+            ev("level", 0, 2, 1, 50, 40),
+            ev("root", 0, 3, 0, 0, 100),
+        ];
+        let stats = aggregate(&events);
+        assert_eq!(stats["root"].incl_us, 100);
+        assert_eq!(stats["root"].self_us, 100 - 30 - 40);
+        assert_eq!(stats["root;level"].count, 2);
+        assert_eq!(stats["root;level"].incl_us, 70);
+        assert_eq!(stats["root;level"].self_us, 70 - 18);
+        assert_eq!(stats["root;level;step"].self_us, 18);
+        // Total self time equals the root's inclusive time.
+        let total_self: u64 = stats.values().map(|s| s.self_us).sum();
+        assert_eq!(total_self, 100);
+    }
+
+    #[test]
+    fn worker_stacks_get_their_own_root() {
+        let events = vec![
+            ev("root", 0, 0, 0, 0, 100),
+            ev("unit", 1, 0, 0, 20, 30),
+            ev("unit", 2, 0, 0, 20, 35),
+        ];
+        let stats = aggregate(&events);
+        assert_eq!(stats["root"].self_us, 100, "workers don't deflate driver");
+        let w = &stats[&format!("{WORKERS_ROOT};unit")];
+        assert_eq!(w.count, 2);
+        assert_eq!(w.incl_us, 65);
+    }
+
+    #[test]
+    fn folded_lines_are_path_space_weight() {
+        let events = vec![ev("inner", 0, 0, 1, 5, 20), ev("outer", 0, 1, 0, 0, 50)];
+        let stats = aggregate(&events);
+        let text = folded(&stats, Weight::SelfTimeUs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["outer 30", "outer;inner 20"]);
+        // Alloc-weighted output is empty without alloc fields.
+        assert_eq!(folded(&stats, Weight::SelfAllocBytes), "");
+    }
+
+    #[test]
+    fn alloc_fields_aggregate_with_self_attribution() {
+        let mut inner = ev("inner", 0, 0, 1, 5, 20);
+        inner.fields = vec![
+            ("alloc_bytes", FieldValue::U64(1000)),
+            ("allocs", FieldValue::U64(10)),
+            ("peak_live_delta", FieldValue::U64(800)),
+        ];
+        let mut outer = ev("outer", 0, 1, 0, 0, 50);
+        outer.fields = vec![
+            ("alloc_bytes", FieldValue::U64(1500)),
+            ("allocs", FieldValue::U64(15)),
+            ("peak_live_delta", FieldValue::U64(900)),
+        ];
+        let stats = aggregate(&[inner, outer]);
+        assert_eq!(stats["outer"].alloc_bytes, 1500);
+        assert_eq!(stats["outer"].self_alloc_bytes, 500);
+        assert_eq!(stats["outer;inner"].self_alloc_bytes, 1000);
+        let text = folded(&stats, Weight::SelfAllocBytes);
+        assert!(text.contains("outer 500"), "{text}");
+        assert!(text.contains("outer;inner 1000"), "{text}");
+        let table = top_spans(&stats, 10);
+        assert!(table.contains("alloc"), "{table}");
+        assert!(table.contains("1.5KiB"), "{table}");
+    }
+
+    #[test]
+    fn top_spans_ranks_by_self_time() {
+        let events = vec![
+            ev("cheap", 0, 0, 1, 0, 5),
+            ev("hot", 0, 1, 1, 10, 80),
+            ev("root", 0, 2, 0, 0, 100),
+        ];
+        let stats = aggregate(&events);
+        let table = top_spans(&stats, 2);
+        let hot_pos = table.find("root;hot").unwrap();
+        assert!(!table.contains("root;cheap"), "limit applies: {table}");
+        let root_pos = table.find("root ").unwrap_or(usize::MAX);
+        assert!(hot_pos < root_pos, "hot span first: {table}");
+    }
+}

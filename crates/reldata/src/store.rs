@@ -517,8 +517,8 @@ mod tests {
         let mut cur = facts_of(&base);
         cur.insert(0, Tuple::from([v[0]]));
         let mut prev = store.insert(None, &cur).state;
-        for k in 1..80 {
-            cur.insert(0, Tuple::from([v[k]]));
+        for value in v.iter().take(80).skip(1) {
+            cur.insert(0, Tuple::from([*value]));
             let ins = store.insert(Some(prev), &cur);
             assert!(!ins.existing);
             assert_eq!(store.facts(ins.state), cur);
@@ -552,8 +552,8 @@ mod tests {
             cur.insert(0, Tuple::from([v[0]]));
             let mut prev = store.insert(None, &cur).state;
             let mut states = vec![(prev, cur.clone())];
-            for k in 1..=chain_len {
-                cur.insert(0, Tuple::from([v[k]]));
+            for value in v.iter().take(chain_len + 1).skip(1) {
+                cur.insert(0, Tuple::from([*value]));
                 prev = store.insert(Some(prev), &cur).state;
                 states.push((prev, cur.clone()));
             }

@@ -363,7 +363,7 @@ mod tests {
             neqs: vec![(STerm::Var(0), STerm::Const(val(0)))],
             level: 0,
         };
-        assert!(clause_violates(&c, &[g.clone()]));
+        assert!(clause_violates(&c, std::slice::from_ref(&g)));
 
         // Clause Status(a) is fine.
         let ok = Clause {

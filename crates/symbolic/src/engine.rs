@@ -29,7 +29,7 @@ use dcds_core::{ActionId, Dcds, DetState};
 use dcds_folang::{holds_closed, Assignment, Formula};
 use dcds_mucalc::safety::{extract_safety, SafetyError, SafetyMode};
 use dcds_mucalc::Mu;
-use dcds_obs::{span, Obs};
+use dcds_obs::{event, span, Obs};
 use dcds_reldata::{ConstantPool, Instance};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -85,6 +85,8 @@ pub struct SymCounters {
     pub confirm_runs: u64,
     /// States expanded across all confirmation searches.
     pub confirm_nodes: u64,
+    /// Largest frontier (clauses regressed in one level) across the run.
+    pub peak_frontier: u64,
 }
 
 impl SymCounters {
@@ -104,6 +106,7 @@ impl SymCounters {
             ("init_hits", self.init_hits),
             ("confirm_runs", self.confirm_runs),
             ("confirm_nodes", self.confirm_nodes),
+            ("peak_frontier", self.peak_frontier),
         ]
     }
 
@@ -208,6 +211,12 @@ pub fn check_safety_traced(
     counters.publish(obs);
     run_span.set("iterations", counters.iterations);
     run_span.set("kept", counters.kept);
+    obs.progress_flush(|| {
+        format!(
+            "symbolic done: {} iterations, {} clauses kept, peak frontier {}",
+            counters.iterations, counters.kept, counters.peak_frontier
+        )
+    });
     let verdict = match reach {
         Reach::Unreachable => match prop.mode {
             SafetyMode::AlwaysGood => SymVerdict::Holds(None),
@@ -253,6 +262,7 @@ fn backward_reach(
     for c in bad_clauses {
         admit(c, &guards, &mut kept, &mut keys, &mut frontier, counters);
     }
+    counters.peak_frontier = counters.peak_frontier.max(frontier.len() as u64);
     let seed_hits = frontier.iter().filter(|c| c.may_hold_in(init)).count() as u64;
     counters.init_hits += seed_hits;
     if seed_hits > 0 {
@@ -336,6 +346,17 @@ fn backward_reach(
             }
         }
 
+        counters.peak_frontier = counters.peak_frontier.max(new_frontier.len() as u64);
+        event!(
+            obs,
+            "sym_iter",
+            level = level,
+            frontier = frontier.len(),
+            new_clauses = new_frontier.len(),
+            kept = counters.kept,
+            candidates = counters.candidates,
+            subsumed = counters.subsumed,
+        );
         // Any new clause covering the initial instance?
         let hits = new_frontier.iter().filter(|c| c.may_hold_in(init)).count() as u64;
         counters.init_hits += hits;

@@ -41,6 +41,16 @@ echo "== compact-store memory smoke"
 # deterministic bytes-per-state estimate exceeds the pinned ceilings.
 cargo run --release -q -p dcds-bench --bin memsmoke
 
+echo "== perf regression smoke gate"
+# One-rep run of the abstraction/mucalc/query stages (the heavyweight
+# scale stage is skipped) compared against the committed BENCH_*.json
+# baselines; writes BENCH_diff.json and fails on a gross regression.
+# Thresholds are deliberately loose — smoke is best-of-1 on a shared
+# machine — so only order-of-magnitude collapses trip here; the tight
+# gates run with the full `perf_report --baseline` on dedicated hardware.
+cargo run --release -q -p dcds-bench --bin perf_report -- \
+    --smoke --baseline . --max-slowdown 6 --max-growth 2
+
 echo "== cargo doc --no-deps (rustdoc warnings)"
 # Intra-doc link breakage and malformed doc fences surface only here.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

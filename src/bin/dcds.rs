@@ -22,10 +22,17 @@
 //!
 //! The observability flags (`abstract`, `check`, `analyze`, `lint`):
 //! `--trace <file>` writes a Chrome `trace_event` JSON openable in Perfetto
-//! or `chrome://tracing`; `--stats` prints a span/metric summary to stderr;
-//! `--metrics-json <file|->` writes the metrics snapshot as JSON (`-` =
-//! stdout). `DCDS_PROGRESS=<interval>` (e.g. `1s`, `500ms`) additionally
-//! enables rate-limited live heartbeats on stderr.
+//! or `chrome://tracing`; `--stats` prints a span/metric summary plus a
+//! top-spans (self-time) table to stderr; `--metrics-json <file|->` writes
+//! the metrics snapshot as JSON (`-` = stdout); `--profile <file>` writes a
+//! collapsed-stack profile (self-time weights, `inferno`/speedscope
+//! format); `--profile-alloc` additionally attributes allocated bytes per
+//! span path (and writes `<file>.alloc` next to the `--profile` output);
+//! `--events <file|->` streams typed line-JSON run events (`run_start`,
+//! per-level `level`/`progress`, `fixpoint`, `sym_iter`, `heartbeat`,
+//! `run_end`) with monotonic sequence numbers. `DCDS_PROGRESS=<interval>`
+//! (e.g. `1s`, `500ms`) additionally enables rate-limited live heartbeats
+//! on stderr, with a final flush line at run end.
 //!
 //! Specs are in the textual format of `dcds_core::parser`; formulas in the
 //! µ-calculus surface syntax of `dcds_mucalc::parser`.
@@ -81,6 +88,12 @@ use dcds_verify::reldata::{ConstantPool, InstanceDisplay, StoreStats};
 use dcds_verify::symbolic::{check_safety_traced, render_trace, SymOptions, SymVerdict};
 use std::process::ExitCode;
 
+/// Counting allocator so `--profile-alloc` can attribute bytes per span
+/// path; a transparent passthrough to the system allocator (one relaxed
+/// atomic load per call) unless that flag enables counting.
+#[global_allocator]
+static ALLOC: dcds_verify::obs::alloc::CountingAlloc = dcds_verify::obs::alloc::CountingAlloc;
+
 /// `dcds check`: property holds (complete abstraction).
 const EXIT_HOLDS: u8 = 0;
 /// `dcds check`: property violated (complete abstraction).
@@ -102,19 +115,27 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dcds analyze  <spec.dcds> [--trace FILE] [--stats] [--metrics-json FILE|-]
+  dcds analyze  <spec.dcds> [obs flags]
   dcds abstract <spec.dcds> [--max-states N] [--threads N] [--dot] [--compact]
-                [--trace FILE] [--stats] [--metrics-json FILE|-]
+                [obs flags]
   dcds check    <spec.dcds> <formula> [--engine explicit|symbolic]
                 [--max-states N] [--threads N] [--witness]
                 [--max-iters N] [--max-clauses N]
-                [--format text|json] [--compact]
-                [--trace FILE] [--stats] [--metrics-json FILE|-]
+                [--format text|json] [--compact] [obs flags]
   dcds run      <spec.dcds> [--steps N] [--seed S]
   dcds dot      <spec.dcds> [--graph dataflow|depgraph]
   dcds fmt      <spec.dcds>
-  dcds lint     <spec.dcds> [--deny warnings] [--format text|json]
-                [--trace FILE] [--stats] [--metrics-json FILE|-]
+  dcds lint     <spec.dcds> [--deny warnings] [--format text|json] [obs flags]
+
+obs flags (analyze, abstract, check, lint):
+  --trace FILE          Chrome trace_event JSON (Perfetto, chrome://tracing)
+  --stats               span/metric summary + top-spans table on stderr
+  --metrics-json FILE|- metrics snapshot as JSON (- = stdout)
+  --profile FILE        collapsed-stack profile, self-time-weighted
+                        (inferno / speedscope / flamegraph.pl)
+  --profile-alloc       also attribute allocated bytes per span path
+                        (writes FILE.alloc next to --profile output)
+  --events FILE|-       live line-JSON event stream (- = stdout)
 
 `dcds check` exits 0 when the property holds, 1 when it is violated, and
 2 when the verdict is inconclusive (state budget hit).
@@ -264,7 +285,8 @@ fn load(path: &str) -> Result<Dcds, String> {
 }
 
 fn analyze(path: &str, obs_cli: &ObsCli) -> Result<(), String> {
-    let obs = obs_cli.handle();
+    let obs = obs_cli.session("analyze", path)?;
+    let run_span = span!(obs, "run", command = "analyze");
     let dcds = {
         let _s = span!(obs, "parse_spec");
         load(path)?
@@ -344,6 +366,7 @@ fn analyze(path: &str, obs_cli: &ObsCli) -> Result<(), String> {
     }
     obs.counter_add("analyze.relations", dcds.data.schema.len() as u64);
     obs.counter_add("analyze.actions", dcds.process.actions.len() as u64);
+    drop(run_span);
     obs_cli.finish(&obs)
 }
 
@@ -468,8 +491,12 @@ fn do_abstract(
     compact: bool,
     obs_cli: &ObsCli,
 ) -> Result<(), String> {
-    let obs = obs_cli.handle();
-    let dcds = load(path)?;
+    let obs = obs_cli.session("abstract", path)?;
+    let run_span = span!(obs, "run", command = "abstract");
+    let dcds = {
+        let _s = span!(obs, "parse_spec");
+        load(path)?
+    };
     let (ts, pool, complete, how, counters, store_stats) =
         build_abstraction(&dcds, max_states, threads, compact, &obs);
     println!(
@@ -500,6 +527,7 @@ fn do_abstract(
     if dot {
         println!("{}", ts.to_dot(&dcds.data.schema, &pool));
     }
+    drop(run_span);
     obs_cli.finish(&obs)
 }
 
@@ -514,8 +542,12 @@ fn do_check(
     compact: bool,
     obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
-    let obs = obs_cli.handle();
-    let dcds = load(path)?;
+    let obs = obs_cli.session("check", path)?;
+    let run_span = span!(obs, "run", command = "check");
+    let dcds = {
+        let _s = span!(obs, "parse_spec");
+        load(path)?
+    };
     let mut schema = dcds.data.schema.clone();
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
@@ -587,6 +619,7 @@ fn do_check(
             );
         }
     }
+    drop(run_span);
     obs_cli.finish(&obs)?;
     Ok(ExitCode::from(if !complete {
         EXIT_INCONCLUSIVE
@@ -608,8 +641,12 @@ fn do_check_symbolic(
     format: OutputFormat,
     obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
-    let obs = obs_cli.handle();
-    let dcds = load(path)?;
+    let obs = obs_cli.session("check", path)?;
+    let run_span = span!(obs, "run", command = "check");
+    let dcds = {
+        let _s = span!(obs, "parse_spec");
+        load(path)?
+    };
     let mut schema = dcds.data.schema.clone();
     let mut pool_for_parse = dcds.data.pool.clone();
     let phi = parse_mu(formula, &mut schema, &mut pool_for_parse).map_err(|e| e.to_string())?;
@@ -668,6 +705,7 @@ fn do_check_symbolic(
             eprint!("{what}:\n{}", render_trace(tr, &dcds));
         }
     }
+    drop(run_span);
     obs_cli.finish(&obs)?;
     Ok(ExitCode::from(code))
 }
@@ -732,7 +770,8 @@ fn do_lint(
     format: LintFormat,
     obs_cli: &ObsCli,
 ) -> Result<ExitCode, String> {
-    let obs = obs_cli.handle();
+    let obs = obs_cli.session("lint", path)?;
+    let run_span = span!(obs, "run", command = "lint");
     let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let emit = |d: &Diagnostic| match format {
         LintFormat::Text => print!("{}", render_text(d, path, &src)),
@@ -762,6 +801,7 @@ fn do_lint(
         println!("{path}: {e} error(s), {w} warning(s), {n} note(s)");
     }
     let failed = report.has_errors() || (deny_warnings && report.warnings() > 0);
+    drop(run_span);
     obs_cli.finish(&obs)?;
     Ok(ExitCode::from(if failed { 1 } else { 0 }))
 }

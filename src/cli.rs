@@ -4,7 +4,7 @@
 //! scan, `--flag value` pairs, and the observability flag bundle
 //! ([`ObsCli`]) shared by `abstract`, `check`, `analyze`, and `lint`.
 
-use dcds_obs::{export, Obs, ObsConfig};
+use dcds_obs::{alloc, event, export, profile, EventSink, Obs, ObsConfig};
 use std::str::FromStr;
 
 /// Parse `--flag <value>` anywhere in `args`. `Ok(None)` when absent.
@@ -50,9 +50,17 @@ pub fn threads_flag(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
-/// The observability flag bundle: `--trace <file>` (Chrome `trace_event`
-/// JSON), `--stats` (human span/metric summary on stderr), and
-/// `--metrics-json <file|->` (metrics snapshot as JSON; `-` = stdout).
+/// The observability flag bundle shared by the recording commands:
+///
+/// * `--trace <file>` — Chrome `trace_event` JSON;
+/// * `--stats` — human span/metric summary (plus the top-spans table) on
+///   stderr;
+/// * `--metrics-json <file|->` — metrics snapshot as JSON (`-` = stdout);
+/// * `--profile <file>` — collapsed-stack (folded) profile weighted by
+///   span self time, consumable by `inferno`/speedscope/`flamegraph.pl`;
+/// * `--profile-alloc` — additionally attribute allocated bytes per span
+///   path (writes `<file>.alloc` next to the `--profile` output);
+/// * `--events <file|->` — live line-JSON event stream (`-` = stdout).
 #[derive(Debug, Default)]
 pub struct ObsCli {
     /// Chrome-trace output path, if requested.
@@ -61,6 +69,12 @@ pub struct ObsCli {
     pub stats: bool,
     /// Metrics-snapshot JSON output path (`-` = stdout), if requested.
     pub metrics_json: Option<String>,
+    /// Folded-stack profile output path, if requested.
+    pub profile: Option<String>,
+    /// Attribute allocation bytes/counts per span.
+    pub profile_alloc: bool,
+    /// Live event-stream output path (`-` = stdout), if requested.
+    pub events: Option<String>,
 }
 
 impl ObsCli {
@@ -70,30 +84,68 @@ impl ObsCli {
             trace: string_flag(args, "--trace")?,
             stats: has_flag(args, "--stats"),
             metrics_json: string_flag(args, "--metrics-json")?,
+            profile: string_flag(args, "--profile")?,
+            profile_alloc: has_flag(args, "--profile-alloc"),
+            events: string_flag(args, "--events")?,
         })
     }
 
     /// Does any flag ask for recording?
     pub fn wants_recording(&self) -> bool {
-        self.trace.is_some() || self.stats || self.metrics_json.is_some()
+        self.trace.is_some()
+            || self.stats
+            || self.metrics_json.is_some()
+            || self.profile.is_some()
+            || self.profile_alloc
+            || self.events.is_some()
     }
 
     /// Build the handle: enabled when any output was requested or when
     /// `DCDS_PROGRESS` asks for heartbeats; the zero-cost disabled handle
-    /// otherwise.
-    pub fn handle(&self) -> Obs {
-        let config = ObsConfig::from_env();
-        if self.wants_recording() || config.progress.is_some() {
-            Obs::enabled(config)
-        } else {
-            Obs::disabled()
+    /// otherwise. When an event stream is attached, a `run_start` event
+    /// with the command and spec carries the session metadata.
+    pub fn session(&self, command: &str, spec: &str) -> Result<Obs, String> {
+        let mut config = ObsConfig::from_env();
+        if !self.wants_recording() && config.progress.is_none() {
+            return Ok(Obs::disabled());
         }
+        config.track_alloc = self.profile_alloc;
+        if let Some(path) = &self.events {
+            let out: Box<dyn std::io::Write + Send> = if path == "-" {
+                Box::new(std::io::stdout())
+            } else {
+                Box::new(
+                    std::fs::File::create(path)
+                        .map_err(|e| format!("cannot create {path}: {e}"))?,
+                )
+            };
+            config.events = Some(EventSink::new(out));
+        }
+        let obs = Obs::enabled(config);
+        event!(
+            obs,
+            "run_start",
+            command = command.to_string(),
+            spec = spec.to_string(),
+        );
+        Ok(obs)
     }
 
-    /// Drain the handle and write whatever was requested: the Chrome trace
-    /// and metrics JSON to their files (metrics `-` = stdout), the text
-    /// summary to stderr.
+    /// Backwards-compatible handle without run metadata.
+    pub fn handle(&self) -> Obs {
+        self.session("", "").unwrap_or_else(|e| {
+            eprintln!("warning: {e}");
+            Obs::disabled()
+        })
+    }
+
+    /// Drain the handle and write whatever was requested: a `run_end`
+    /// event and final progress flush first, then the Chrome trace,
+    /// folded-stack profile(s), metrics JSON, and the text summary (with
+    /// the top-spans table) to their sinks.
     pub fn finish(&self, obs: &Obs) -> Result<(), String> {
+        event!(obs, "run_end", wall_us = obs.elapsed_us());
+        obs.progress_flush(|| format!("run finished in {:.1}s", obs.elapsed_us() as f64 / 1e6));
         let Some(report) = obs.finish() else {
             return Ok(());
         };
@@ -105,6 +157,27 @@ impl ObsCli {
                 report.events.len()
             );
         }
+        if self.profile.is_some() || self.stats {
+            let stats = profile::aggregate(&report.events);
+            if let Some(path) = &self.profile {
+                let folded = profile::folded(&stats, profile::Weight::SelfTimeUs);
+                std::fs::write(path, folded).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "profile: folded stacks ({} span paths, µs weights) written to {path}",
+                    stats.len()
+                );
+                if self.profile_alloc {
+                    let alloc_path = format!("{path}.alloc");
+                    let folded = profile::folded(&stats, profile::Weight::SelfAllocBytes);
+                    std::fs::write(&alloc_path, folded)
+                        .map_err(|e| format!("cannot write {alloc_path}: {e}"))?;
+                    eprintln!("profile: allocation-weighted stacks written to {alloc_path}");
+                }
+            }
+            if self.stats {
+                eprint!("{}", profile::top_spans(&stats, 15));
+            }
+        }
         if let Some(path) = &self.metrics_json {
             let json = report.metrics.to_json();
             if path == "-" {
@@ -115,6 +188,12 @@ impl ObsCli {
         }
         if self.stats {
             eprint!("{}", export::text_summary(&report));
+        }
+        // Belt and braces: `Obs::finish` already clears the gate when the
+        // session tracked allocations, but a failed session setup must not
+        // leave counting on either.
+        if self.profile_alloc {
+            alloc::set_counting(false);
         }
         Ok(())
     }
@@ -154,5 +233,28 @@ mod tests {
         // `--trace` directly followed by another flag is a missing value,
         // not a file named like a flag.
         assert!(ObsCli::parse(&argv(&["--trace", "--stats"])).is_err());
+    }
+
+    #[test]
+    fn obs_cli_parses_profiling_flags() {
+        let cli = ObsCli::parse(&argv(&[
+            "--profile",
+            "p.folded",
+            "--profile-alloc",
+            "--events",
+            "-",
+        ]))
+        .unwrap();
+        assert_eq!(cli.profile.as_deref(), Some("p.folded"));
+        assert!(cli.profile_alloc);
+        assert_eq!(cli.events.as_deref(), Some("-"));
+        assert!(cli.wants_recording());
+
+        // `--profile-alloc` alone still turns recording on (the spans are
+        // where the attribution lands).
+        let alloc_only = ObsCli::parse(&argv(&["--profile-alloc"])).unwrap();
+        assert!(alloc_only.wants_recording());
+        assert!(ObsCli::parse(&argv(&["--profile", "--stats"])).is_err());
+        assert!(ObsCli::parse(&argv(&["--events", "--stats"])).is_err());
     }
 }

@@ -239,6 +239,157 @@ fn check_obs_flags_write_trace_and_metrics() {
     let _ = std::fs::remove_file(&metrics);
 }
 
+/// Run the binary with extra environment variables set.
+fn dcds_streams_env(args: &[&str], envs: &[(&str, &str)]) -> (i32, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dcds"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        out.status.code().expect("not killed by signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn abstract_profile_writes_folded_stacks_covering_the_run() {
+    let dir = std::env::temp_dir();
+    let profile = dir.join(format!("dcds_cli_profile_{}.folded", std::process::id()));
+    let events = dir.join(format!("dcds_cli_profile_ev_{}.jsonl", std::process::id()));
+    let (code, _stdout, stderr) = dcds_streams(&[
+        "abstract",
+        &spec("travel_request.dcds"),
+        "--max-states",
+        "200",
+        "--profile",
+        profile.to_str().unwrap(),
+        "--profile-alloc",
+        "--events",
+        events.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    // The --stats table gains allocation columns under --profile-alloc.
+    assert!(stderr.contains("== top spans (self time) =="), "{stderr}");
+    assert!(stderr.contains("alloc"), "{stderr}");
+
+    // Every folded line is `path;seg;... weight`; the driver paths (the
+    // non-`workers` trees) partition the root's inclusive time, so their
+    // self-time sum is the root's folded total.
+    let folded = std::fs::read_to_string(&profile).unwrap();
+    let mut driver_self_us = 0u64;
+    for line in folded.lines() {
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("folded line without weight: {line}"));
+        let w: u64 = weight
+            .parse()
+            .unwrap_or_else(|_| panic!("bad weight: {line}"));
+        assert!(!path.is_empty());
+        if !path.starts_with("workers") {
+            driver_self_us += w;
+        }
+    }
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("run ") || l.starts_with("run;")),
+        "root `run` span missing: {folded}"
+    );
+
+    // The allocation-weighted companion exists and attributes real bytes.
+    let alloc = std::fs::read_to_string(format!("{}.alloc", profile.display())).unwrap();
+    let alloc_total: u64 = alloc
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert!(alloc_total > 0, "no bytes attributed: {alloc}");
+
+    // The folded root total accounts for the run's wall clock (within 5%,
+    // plus a small absolute slack for sub-millisecond runs).
+    let ev = std::fs::read_to_string(&events).unwrap();
+    let last = ev.lines().last().unwrap();
+    assert!(last.contains("\"type\":\"run_end\""), "{ev}");
+    let wall_us: u64 = last
+        .split("\"wall_us\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("run_end without wall_us: {last}"));
+    let slack = (wall_us / 20).max(2_000);
+    assert!(
+        driver_self_us + slack >= wall_us && driver_self_us <= wall_us + slack,
+        "folded root {driver_self_us}µs vs wall {wall_us}µs"
+    );
+    let _ = std::fs::remove_file(&profile);
+    let _ = std::fs::remove_file(format!("{}.alloc", profile.display()));
+    let _ = std::fs::remove_file(&events);
+}
+
+#[test]
+fn check_events_stream_has_lifecycle_and_monotonic_seq() {
+    let dir = std::env::temp_dir();
+    let events = dir.join(format!("dcds_cli_events_{}.jsonl", std::process::id()));
+    let (code, _stdout, stderr) = dcds_streams(&[
+        "check",
+        &spec("travel_request.dcds"),
+        "nu Z . true & [] Z",
+        "--max-states",
+        "200",
+        "--events",
+        events.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    let text = std::fs::read_to_string(&events).unwrap();
+    let first = text.lines().next().unwrap();
+    assert!(first.contains("\"type\":\"run_start\""), "{first}");
+    assert!(first.contains("\"command\":\"check\""), "{first}");
+    assert!(first.contains("travel_request.dcds"), "{first}");
+    let last = text.lines().last().unwrap();
+    assert!(last.contains("\"type\":\"run_end\""), "{last}");
+    // Engine progress and model-checker fixpoint iterations are on the
+    // stream, with strictly increasing sequence numbers.
+    assert!(text.contains("\"type\":\"progress\""), "{text}");
+    assert!(text.contains("\"type\":\"fixpoint\""), "{text}");
+    let mut last_seq = None;
+    for line in text.lines() {
+        let seq: u64 = line
+            .split("\"seq\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("event line without seq: {line}"));
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq went {prev} -> {seq}");
+        }
+        last_seq = Some(seq);
+    }
+    let _ = std::fs::remove_file(&events);
+}
+
+#[test]
+fn progress_always_flushes_a_final_line_on_short_runs() {
+    // The interval is an hour, so the rate limiter never fires mid-run —
+    // but the final flush still reports the outcome, so a short run under
+    // DCDS_PROGRESS is never silent.
+    let (code, _stdout, stderr) = dcds_streams_env(
+        &[
+            "abstract",
+            &spec("travel_request.dcds"),
+            "--max-states",
+            "200",
+        ],
+        &[("DCDS_PROGRESS", "3600s")],
+    );
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stderr.contains("[dcds +"), "{stderr}");
+    assert!(stderr.contains("rcycl done:"), "{stderr}");
+    assert!(stderr.contains("run finished in"), "{stderr}");
+}
+
 #[test]
 fn abstract_metrics_json_dash_goes_to_stdout() {
     let (code, stdout, stderr) =

@@ -10,9 +10,14 @@
 //!    convention);
 //! 3. **Exporters are well-formed** — the Chrome trace contains only
 //!    complete (`X`) and metadata (`M`) events, and worker spans land on
-//!    distinct tids.
+//!    distinct tids;
+//! 4. **Profiling flags change nothing** — `--profile`, `--profile-alloc`,
+//!    and `--events` leave every deterministic metric bit-identical, and
+//!    the folded-stack export is well-formed (every line `path weight`,
+//!    driver self-time summing to the root's inclusive time).
 
 use std::collections::BTreeSet;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use dcds_verify::abstraction::{
@@ -24,7 +29,21 @@ use dcds_verify::folang::Formula;
 use dcds_verify::mucalc::{check_traced, sugar, McOptions, Mu};
 use dcds_verify::obs::export::chrome_trace;
 use dcds_verify::obs::metrics::MetricsSnapshot;
-use dcds_verify::obs::{span, Obs, ObsConfig};
+use dcds_verify::obs::{aggregate, folded, span, EventSink, Obs, ObsConfig, SharedBuf, Weight};
+
+/// Allocation attribution needs the counting allocator installed as the
+/// process-global one; it delegates straight to `System` until a session
+/// with `track_alloc` opens the gate.
+#[global_allocator]
+static ALLOC: dcds_verify::obs::alloc::CountingAlloc = dcds_verify::obs::alloc::CountingAlloc;
+
+/// Tests that toggle the process-global allocation gate (`track_alloc`)
+/// serialise on this lock so a parallel test cannot flip it mid-span.
+static ALLOC_GATE: Mutex<()> = Mutex::new(());
+
+fn alloc_gate() -> std::sync::MutexGuard<'static, ()> {
+    ALLOC_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -208,6 +227,7 @@ fn heartbeats_are_rate_limited() {
     // firing, so a tight burst evaluates no messages at all.
     let obs = Obs::enabled(ObsConfig {
         progress: Some(Duration::from_secs(3600)),
+        ..ObsConfig::default()
     });
     let mut evaluated = 0u32;
     for _ in 0..100 {
@@ -221,6 +241,7 @@ fn heartbeats_are_rate_limited() {
     // A zero interval fires on every call after arming.
     let obs = Obs::enabled(ObsConfig {
         progress: Some(Duration::ZERO),
+        ..ObsConfig::default()
     });
     let mut evaluated = 0u32;
     for _ in 0..5 {
@@ -239,6 +260,148 @@ fn heartbeats_are_rate_limited() {
         String::new()
     });
     assert_eq!(evaluated, 0);
+}
+
+#[test]
+fn profiling_flags_leave_metrics_bit_identical() {
+    let _g = alloc_gate();
+    let dcds = travel::audit_system_small();
+    let mut plain = Vec::new();
+    let mut flagged = Vec::new();
+    for threads in THREADS {
+        let opts = AbsOptions {
+            threads,
+            ..AbsOptions::default()
+        };
+        // Flags off.
+        let obs = Obs::enabled(ObsConfig::default());
+        let _ = det_abstraction_traced(&dcds, 80, opts, &obs);
+        plain.push(obs.finish().unwrap().metrics);
+
+        // Every new flag on: allocation attribution plus an event stream.
+        let buf = SharedBuf::new();
+        let obs = Obs::enabled(ObsConfig {
+            track_alloc: true,
+            events: Some(EventSink::new(Box::new(buf.clone()))),
+            ..ObsConfig::default()
+        });
+        let _ = det_abstraction_traced(&dcds, 80, opts, &obs);
+        flagged.push(obs.finish().unwrap().metrics);
+        assert!(
+            buf.contents().contains("\"type\":\"level\""),
+            "the engine streamed per-level events"
+        );
+    }
+    assert_snapshots_identical("flags-off", &plain);
+    assert_snapshots_identical("flags-on", &flagged);
+    // The flags did not leak into the registry either: off vs on agree.
+    for (threads, (off, on)) in THREADS.iter().zip(plain.iter().zip(&flagged)) {
+        assert_eq!(
+            off.counters, on.counters,
+            "profiling flags changed the counters at {threads} threads"
+        );
+        assert_eq!(off.gauges, on.gauges);
+        assert_eq!(
+            off.deterministic_histograms(),
+            on.deterministic_histograms()
+        );
+    }
+}
+
+#[test]
+fn engine_event_stream_is_typed_and_seq_ordered() {
+    let buf = SharedBuf::new();
+    let obs = Obs::enabled(ObsConfig {
+        events: Some(EventSink::new(Box::new(buf.clone()))),
+        ..ObsConfig::default()
+    });
+    let _ = det_abstraction_traced(
+        &travel::audit_system_small(),
+        80,
+        AbsOptions {
+            threads: 2,
+            ..AbsOptions::default()
+        },
+        &obs,
+    );
+    obs.finish();
+    let text = buf.contents();
+    let mut last_seq = None;
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "malformed event line: {line}"
+        );
+        let seq_field = line
+            .split("\"seq\":")
+            .nth(1)
+            .and_then(|rest| rest.split(&[',', '}'][..]).next())
+            .unwrap_or_else(|| panic!("event line without seq: {line}"));
+        let seq: u64 = seq_field.parse().expect("seq is an integer");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "seq not strictly increasing: {prev} then {seq}");
+        }
+        last_seq = Some(seq);
+    }
+    assert!(text.contains("\"type\":\"level\""));
+    assert!(text.contains("\"dedup_hits\":"));
+}
+
+#[test]
+fn folded_profile_is_well_formed_and_root_covers_the_run() {
+    let _g = alloc_gate();
+    let obs = Obs::enabled(ObsConfig {
+        track_alloc: true,
+        ..ObsConfig::default()
+    });
+    {
+        let _run = span!(obs, "run", command = "test");
+        let _ = det_abstraction_traced(
+            &travel::audit_system_small(),
+            80,
+            AbsOptions {
+                threads: 2,
+                ..AbsOptions::default()
+            },
+            &obs,
+        );
+    }
+    let report = obs.finish().unwrap();
+    let stats = aggregate(&report.events);
+
+    // Every folded line is `path;seg;... weight` with a parseable weight.
+    let folded_time = folded(&stats, Weight::SelfTimeUs);
+    for line in folded_time.lines() {
+        let (path, weight) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("folded line without a weight column: {line}"));
+        assert!(!path.is_empty());
+        assert!(
+            weight.parse::<u64>().is_ok(),
+            "non-numeric weight in: {line}"
+        );
+    }
+
+    // Driver self time is a partition of the root's inclusive time: the
+    // root's folded total accounts for the whole run (the flamegraph sums
+    // to the wall clock of the driver thread).
+    let root = stats.get("run").expect("root span path present");
+    assert_eq!(root.count, 1);
+    let driver_self: u64 = stats
+        .iter()
+        .filter(|(path, _)| !path.starts_with("workers"))
+        .map(|(_, s)| s.self_us)
+        .sum();
+    assert_eq!(
+        driver_self, root.incl_us,
+        "driver self-time must sum to the root's inclusive time"
+    );
+
+    // Allocation attribution landed: the run allocated, and the root's
+    // inclusive bytes cover its children.
+    assert!(root.alloc_bytes > 0, "the abstraction allocates");
+    let folded_alloc = folded(&stats, Weight::SelfAllocBytes);
+    assert!(!folded_alloc.is_empty());
 }
 
 #[test]
