@@ -29,7 +29,9 @@
 //! the test suite asserts `compact.to_ts() == legacy.ts` (plus outcome,
 //! pool, and counters) across workloads and thread counts.
 
-use crate::det_abs::{AbsOptions, AbsOutcome, DedupStrategy, SigGroup};
+use crate::det_abs::{
+    credit_canon, publish_canon, AbsOptions, AbsOutcome, DedupStrategy, SigGroup, SteppedChild,
+};
 use dcds_core::det::{det_step_with_pre, DetState};
 use dcds_core::do_op::{
     do_action_indexed, legal_assignments_indexed, publish_query_stats_delta, query_stats_snapshot,
@@ -43,7 +45,7 @@ use dcds_core::{
 use dcds_folang::Assignment;
 use dcds_obs::{event, span, Obs};
 use dcds_reldata::{
-    CanonKey, ConstantPool, Facts, InstanceIndex, RelId, StateRef, StateStore, Value, PERM_BUDGET,
+    CanonKey, ConstantPool, Facts, InstanceIndex, RelId, SigCensus, StateRef, StateStore, Value,
 };
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
@@ -76,11 +78,11 @@ pub struct CompactDetAbstraction {
 
 /// Keyed class index over store handles. The mirror of the legacy
 /// `ClassIndex` with `Facts` payloads replaced by [`StateRef`]s: keyed
-/// classes resolve with one probe of the global `exact` map, only
-/// over-[`PERM_BUDGET`] classes stay on the per-signature backtracking
-/// path, and the facts of a resident class are materialised from the
-/// store only when that rare path runs (or when a lazy key is computed —
-/// at most once per class, ever). Every counter increment and every dedup
+/// classes resolve with one probe of the global `exact` map — the pruned
+/// key search succeeds on every input, so no probe ever reaches a
+/// backtracking matcher — and the facts of a resident class are
+/// materialised from the store only when a lazy key is computed (at most
+/// once per class, ever). Every counter increment and every dedup
 /// decision replays the legacy logic exactly (the differential tests
 /// assert `counters` equality).
 struct StoreClassIndex {
@@ -114,7 +116,7 @@ impl StoreClassIndex {
         store: &StateStore,
         facts: &Facts,
         sig: u64,
-        probe_key: &mut Option<Option<CanonKey>>,
+        probe_key: &mut Option<CanonKey>,
         counters: &mut EngineCounters,
     ) -> Option<usize> {
         let StoreClassIndex {
@@ -140,59 +142,35 @@ impl StoreClassIndex {
             }
             return None;
         }
+        // CanonicalKey strategy: materialise the probe's key on first need.
         if probe_key.is_none() {
-            *probe_key = Some(facts.try_canonical_key(rigid, PERM_BUDGET));
-            if probe_key.as_ref().unwrap().is_some() {
-                counters.canon_keys_computed += 1;
-            }
+            let (k, stats) = facts.canonical_key_stats(rigid);
+            credit_canon(counters, stats);
+            *probe_key = Some(k);
         }
-        match probe_key.as_ref().unwrap() {
-            Some(pk) => {
-                for ix in std::mem::take(&mut group.unkeyed) {
-                    match store.facts(refs[ix]).try_canonical_key(rigid, PERM_BUDGET) {
-                        Some(ck) => {
-                            counters.canon_keys_computed += 1;
-                            exact.insert(ck, ix);
-                            group.keyed += 1;
-                        }
-                        None => group.hard.push(ix),
-                    }
-                }
-                counters.iso_checks_avoided += group.keyed;
-                if let Some(&ix) = exact.get(pk) {
-                    return Some(ix);
-                }
-                for &ix in &group.hard {
-                    counters.iso_checks_performed += 1;
-                    if store.facts(refs[ix]).isomorphic(facts, rigid) {
-                        return Some(ix);
-                    }
-                }
-                None
-            }
-            None => {
-                for &ix in &group.members {
-                    counters.iso_checks_performed += 1;
-                    if store.facts(refs[ix]).isomorphic(facts, rigid) {
-                        return Some(ix);
-                    }
-                }
-                None
-            }
+        let pk = probe_key.as_ref().unwrap();
+        // Key every unkeyed resident — materialising its facts from the
+        // store exactly once over the whole construction.
+        for ix in std::mem::take(&mut group.unkeyed) {
+            let (ck, stats) = store.facts(refs[ix]).canonical_key_stats(rigid);
+            credit_canon(counters, stats);
+            exact.insert(ck, ix);
+            group.keyed += 1;
         }
+        counters.iso_checks_avoided += group.keyed;
+        exact.get(pk).copied()
     }
 
-    fn insert(&mut self, state: StateRef, sig: u64, probe_key: Option<Option<CanonKey>>) {
+    fn insert(&mut self, state: StateRef, sig: u64, probe_key: Option<CanonKey>) {
         let ix = self.refs.len();
         self.refs.push(state);
         let group = self.groups.entry(sig).or_default();
         group.members.push(ix);
         match probe_key {
-            Some(Some(k)) => {
+            Some(k) => {
                 self.exact.insert(k, ix);
                 group.keyed += 1;
             }
-            Some(None) => group.hard.push(ix),
             None => group.unkeyed.push(ix),
         }
     }
@@ -219,7 +197,10 @@ struct StepTask<'a> {
 struct StepResult {
     source: StateId,
     frontier_ix: usize,
-    next: Option<(DetState, Facts, u64, Option<Option<CanonKey>>)>,
+    /// `None` when the commitment representative violates the constraints.
+    /// An eagerly-computed key carries its search stats so the serial merge
+    /// can account for the worker's effort deterministically.
+    next: Option<SteppedChild>,
 }
 
 /// A state admitted during the merge phase, awaiting its COW index.
@@ -284,10 +265,8 @@ pub fn det_abstraction_compact_traced(
     let mut index = StoreClassIndex::new(opts.strategy, rigid.clone());
     let sig0 = f0.signature(&rigid);
     let key0 = if opts.strategy == DedupStrategy::CanonicalKey {
-        let k = f0.try_canonical_key(&rigid, PERM_BUDGET);
-        if k.is_some() {
-            counters.canon_keys_computed += 1;
-        }
+        let (k, stats) = f0.canonical_key_stats(&rigid);
+        credit_canon(&mut counters, stats);
         Some(k)
     } else {
         None
@@ -363,6 +342,14 @@ pub fn det_abstraction_compact_traced(
                         .collect()
                 });
 
+            // Census (parallel): each chunk state's value-occurrence
+            // census, so every successor's signature derives from a fact
+            // diff instead of a from-scratch pass.
+            let censuses: Vec<SigCensus> = par_map_obs(chunk, threads, obs, "census", |entry| {
+                let f = entry.state.to_facts(num_rels);
+                SigCensus::new(f.iter(), &rigid)
+            });
+
             // Phase 2 (serial, frontier order): mint fresh cells.
             let mut tasks: Vec<StepTask> = Vec::new();
             for (frontier_ix, (entry, per_state)) in chunk.iter().zip(&enumerated).enumerate() {
@@ -396,11 +383,12 @@ pub fn det_abstraction_compact_traced(
                 let state = &chunk[task.frontier_ix].state;
                 let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
                     let facts = next.to_facts(num_rels);
-                    let sig = facts.signature(&rigid);
+                    let sig =
+                        censuses[task.frontier_ix].child_signature(|| facts.iter(), facts.len());
                     let key = if opts.strategy == DedupStrategy::CanonicalKey
                         && (opts.eager_keys || index.bucket_occupied(sig))
                     {
-                        Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
+                        Some(facts.canonical_key_stats(&rigid))
                     } else {
                         None
                     };
@@ -423,17 +411,16 @@ pub fn det_abstraction_compact_traced(
             // parent's fact ids once and reuse them for the whole group.
             let mut resolved_parent: Option<(StateId, Vec<dcds_reldata::FactId>)> = None;
             for result in stepped {
-                let Some((next, facts, sig, mut key)) = result.next else {
+                let Some((next, facts, sig, key)) = result.next else {
                     continue;
                 };
                 counters.successors_generated += 1;
-                if let Some(Some(_)) = &key {
-                    counters.canon_keys_computed += 1;
+                // Worker canonicalised eagerly; account for it exactly once.
+                if let Some((_, stats)) = &key {
+                    credit_canon(&mut counters, *stats);
                 }
+                let mut key: Option<CanonKey> = key.map(|(k, _)| k);
                 let found = index.find(&store, &facts, sig, &mut key, &mut counters);
-                if matches!(key, Some(None)) {
-                    obs.counter_add("abs.perm_budget_fallbacks", 1);
-                }
                 let next_id = match found {
                     Some(class_ix) => {
                         dedup_hits += 1;
@@ -514,6 +501,7 @@ pub fn det_abstraction_compact_traced(
 
     obs.counter_add("abs.levels", level as u64);
     counters.publish(obs, "abs");
+    publish_canon(obs, &counters);
     publish_store_gauges(obs, &store);
     publish_query_stats_delta(dcds, obs, &query_stats0);
     obs.progress_flush(|| {

@@ -18,14 +18,18 @@
 //!
 //! 1. *enumerate* (parallel): per frontier state, legal assignments,
 //!    `DO(I, ασ)` pre-instances, and the equality commitments of the new
-//!    calls — none of which touch the constant pool;
+//!    calls — none of which touch the constant pool; a parallel *census*
+//!    pass also builds each frontier state's value-occurrence census
+//!    ([`dcds_reldata::SigCensus`]) so successor signatures can be derived
+//!    incrementally instead of from scratch;
 //! 2. *mint* (serial, frontier order): instantiate each commitment's fresh
 //!    cells from the shared [`ConstantPool`] — the exact mint sequence a
 //!    serial loop would produce;
 //! 3. *step* (parallel, over all `(state, ασ, commitment)` tasks):
 //!    [`det_step_with_pre`], the successor's [`Facts`] encoding, its
-//!    invariant signature, and — when the level-start index already has a
-//!    matching signature bucket — its canonical key;
+//!    invariant signature — derived from the source state's census by the
+//!    fact diff — and, when the level-start index already has a matching
+//!    signature bucket, its canonical key;
 //! 4. *merge* (serial, task order): deduplicate against the class index,
 //!    allocate state ids, record edges, apply the state budget.
 //!
@@ -41,13 +45,13 @@
 //! in front of the groups. A successor whose signature group is empty is
 //! provably a new class — no canonicalisation happens at all (the common
 //! case; see the `sig_filter_skips` counter). Only on a signature hit is
-//! the expensive canonical key computed (lazily, both for the probe and —
-//! once, ever — for each resident class), after which a single hash probe
-//! of the exact map decides membership: the per-probe cost is independent
-//! of how many classes share the signature. Symmetric instances whose key
-//! search would exceed [`dcds_reldata::PERM_BUDGET`] stay keyless forever
-//! and fall back to the backtracking isomorphism matcher within their
-//! group.
+//! the canonical key computed (lazily, both for the probe and — once,
+//! ever — for each resident class), after which a single hash probe of
+//! the exact map decides membership: the per-probe cost is independent of
+//! how many classes share the signature. The branch-and-bound key search
+//! handles symmetric instances in a single descent, so *every* class is
+//! keyed — the former permutation-budget bail-out and its
+//! backtracking-matcher fallback are gone.
 
 use dcds_core::det::{det_step_with_pre, DetState};
 use dcds_core::do_op::{
@@ -58,7 +62,7 @@ use dcds_core::par::{configured_threads, par_map_obs, EngineCounters};
 use dcds_core::{enumerate_commitments, ActionId, CommitTarget, Commitment, Dcds, StateId, Ts};
 use dcds_folang::Assignment;
 use dcds_obs::{event, span, Obs};
-use dcds_reldata::{CanonKey, ConstantPool, Facts, Value, PERM_BUDGET};
+use dcds_reldata::{CanonKey, CanonStats, ConstantPool, Facts, SigCensus, Value};
 use std::collections::{BTreeSet, HashMap};
 
 /// Whether an abstraction construction saturated.
@@ -163,17 +167,29 @@ pub fn det_abstraction_with(
 /// One signature's isomorphism classes, split by key status.
 #[derive(Debug, Default)]
 pub(crate) struct SigGroup {
-    /// Every member class, in insertion order — the backtracking scan
-    /// order for over-budget probes.
+    /// Every member class, in insertion order — the scan order of the
+    /// [`DedupStrategy::PairwiseIso`] ablation.
     pub(crate) members: Vec<usize>,
     /// Admitted without a key attempt; lazily keyed (once, ever) when a
     /// keyed probe first collides with this signature.
     pub(crate) unkeyed: Vec<usize>,
-    /// Key search exceeded [`PERM_BUDGET`]; compared by the backtracking
-    /// matcher forever and never re-attempted.
-    pub(crate) hard: Vec<usize>,
     /// Number of members whose key lives in the exact-match map.
     pub(crate) keyed: u64,
+}
+
+/// Fold one canonical-key computation into the engine counters.
+pub(crate) fn credit_canon(counters: &mut EngineCounters, stats: CanonStats) {
+    counters.canon_keys_computed += 1;
+    counters.canon_orders_enumerated += stats.orders_enumerated;
+    counters.canon_prune_cutoffs += stats.prune_cutoffs;
+}
+
+/// Publish the `canon.*` metrics stanza — pruning effectiveness per run,
+/// alongside the `abs.*` counters [`EngineCounters::publish`] emits.
+pub(crate) fn publish_canon(obs: &Obs, counters: &EngineCounters) {
+    obs.counter_add("canon.keys_computed", counters.canon_keys_computed);
+    obs.counter_add("canon.orders_enumerated", counters.canon_orders_enumerated);
+    obs.counter_add("canon.prune_cutoffs", counters.canon_prune_cutoffs);
 }
 
 /// Index of the isomorphism classes seen so far: an exact-match map over
@@ -185,8 +201,9 @@ pub(crate) struct SigGroup {
 /// probe** of the global `exact` map — equal keys imply isomorphism,
 /// index classes are pairwise non-isomorphic, and isomorphic fact sets
 /// share a signature, so at most one class can match and a hit is always
-/// inside the probe's own signature group. Only classes whose key search
-/// exceeds [`PERM_BUDGET`] remain on the per-group backtracking path.
+/// inside the probe's own signature group. The pruned key search succeeds
+/// on every input, so under `CanonicalKey` each class is keyed at most
+/// once, ever, and no probe falls back to the backtracking matcher.
 ///
 /// Counter semantics (uniform across both [`DedupStrategy`] variants):
 /// every probe credits `iso_checks_avoided` with the classes the
@@ -194,9 +211,10 @@ pub(crate) struct SigGroup {
 /// group is empty, which also counts one `sig_filter_skips`). Under
 /// `CanonicalKey` a keyed probe additionally credits one avoided check
 /// per keyed group member (the exact-map probe stands in for comparing
-/// against each of them), `canon_keys_computed` counts every successful
-/// key search exactly once, and `iso_checks_performed` counts each
-/// backtracking-matcher call.
+/// against each of them), `canon_keys_computed` counts every key search
+/// exactly once (with `canon_orders_enumerated` / `canon_prune_cutoffs`
+/// summing the search effort), and `iso_checks_performed` counts each
+/// backtracking-matcher call of the `PairwiseIso` ablation.
 struct ClassIndex {
     strategy: DedupStrategy,
     rigid: BTreeSet<Value>,
@@ -233,7 +251,7 @@ impl ClassIndex {
         &mut self,
         facts: &Facts,
         sig: u64,
-        probe_key: &mut Option<Option<CanonKey>>,
+        probe_key: &mut Option<CanonKey>,
         counters: &mut EngineCounters,
     ) -> Option<usize> {
         let ClassIndex {
@@ -264,72 +282,39 @@ impl ClassIndex {
         }
         // CanonicalKey strategy: materialise the probe's key on first need.
         if probe_key.is_none() {
-            *probe_key = Some(facts.try_canonical_key(rigid, PERM_BUDGET));
-            if probe_key.as_ref().unwrap().is_some() {
-                counters.canon_keys_computed += 1;
-            }
+            let (k, stats) = facts.canonical_key_stats(rigid);
+            credit_canon(counters, stats);
+            *probe_key = Some(k);
         }
-        match probe_key.as_ref().unwrap() {
-            Some(pk) => {
-                // Key every unkeyed resident of the group — each at most
-                // once over the whole construction — so the exact-map
-                // probe below replaces a scan of the group.
-                for ix in std::mem::take(&mut group.unkeyed) {
-                    match class_facts[ix].try_canonical_key(rigid, PERM_BUDGET) {
-                        Some(ck) => {
-                            counters.canon_keys_computed += 1;
-                            exact.insert(ck, ix);
-                            group.keyed += 1;
-                        }
-                        None => group.hard.push(ix),
-                    }
-                }
-                // One hash probe stands in for a key comparison against
-                // every keyed member of the group.
-                counters.iso_checks_avoided += group.keyed;
-                if let Some(&ix) = exact.get(pk) {
-                    return Some(ix);
-                }
-                // The refinement-class structure (and hence the budget
-                // verdict) is an iso invariant, so a keyed probe should
-                // never match a hard resident — but the backtracking
-                // check is cheap and keeps dedup sound even if the
-                // budget rule ever changes.
-                for &ix in &group.hard {
-                    counters.iso_checks_performed += 1;
-                    if class_facts[ix].isomorphic(facts, rigid) {
-                        return Some(ix);
-                    }
-                }
-                None
-            }
-            None => {
-                // Over-budget probe: backtracking scan of the whole group.
-                for &ix in &group.members {
-                    counters.iso_checks_performed += 1;
-                    if class_facts[ix].isomorphic(facts, rigid) {
-                        return Some(ix);
-                    }
-                }
-                None
-            }
+        let pk = probe_key.as_ref().unwrap();
+        // Key every unkeyed resident of the group — each at most once over
+        // the whole construction — so the exact-map probe below replaces a
+        // scan of the group.
+        for ix in std::mem::take(&mut group.unkeyed) {
+            let (ck, stats) = class_facts[ix].canonical_key_stats(rigid);
+            credit_canon(counters, stats);
+            exact.insert(ck, ix);
+            group.keyed += 1;
         }
+        // One hash probe stands in for a key comparison against every
+        // keyed member of the group.
+        counters.iso_checks_avoided += group.keyed;
+        exact.get(pk).copied()
     }
 
     /// Admit a new class. `probe_key` is whatever [`ClassIndex::find`] (or
     /// a worker) computed — possibly nothing, which is the signature fast
     /// path's whole point.
-    fn insert(&mut self, facts: Facts, sig: u64, probe_key: Option<Option<CanonKey>>) {
+    fn insert(&mut self, facts: Facts, sig: u64, probe_key: Option<CanonKey>) {
         let ix = self.class_facts.len();
         self.class_facts.push(facts);
         let group = self.groups.entry(sig).or_default();
         group.members.push(ix);
         match probe_key {
-            Some(Some(k)) => {
+            Some(k) => {
                 self.exact.insert(k, ix);
                 group.keyed += 1;
             }
-            Some(None) => group.hard.push(ix),
             None => group.unkeyed.push(ix),
         }
     }
@@ -349,11 +334,16 @@ struct StepTask<'a> {
     choice: std::collections::BTreeMap<dcds_core::ServiceCall, Value>,
 }
 
+/// A stepped successor awaiting the serial merge: the state, its facts,
+/// its signature, and the eagerly-computed canonical key with the search
+/// stats the merge will account for in task order.
+pub(crate) type SteppedChild = (DetState, Facts, u64, Option<(CanonKey, CanonStats)>);
+
 /// The outcome of one phase-3 task.
 struct StepResult {
     source: StateId,
     /// `None` when the commitment representative violates the constraints.
-    next: Option<(DetState, Facts, u64, Option<Option<CanonKey>>)>,
+    next: Option<SteppedChild>,
 }
 
 /// [`det_abstraction`] with explicit options. Output is identical for
@@ -396,10 +386,8 @@ pub fn det_abstraction_traced(
     let f0 = s0.to_facts(num_rels);
     let sig0 = f0.signature(&rigid);
     let key0 = if opts.strategy == DedupStrategy::CanonicalKey {
-        let k = f0.try_canonical_key(&rigid, PERM_BUDGET);
-        if k.is_some() {
-            counters.canon_keys_computed += 1;
-        }
+        let (k, stats) = f0.canonical_key_stats(&rigid);
+        credit_canon(&mut counters, stats);
         Some(k)
     } else {
         None
@@ -453,6 +441,14 @@ pub fn det_abstraction_traced(
                     .collect()
             });
 
+        // Census (parallel): each frontier state's value-occurrence
+        // census, so every successor's signature derives from a fact diff
+        // instead of a from-scratch pass.
+        let censuses: Vec<SigCensus> = par_map_obs(&frontier, threads, obs, "census", |&sid| {
+            let f = states[sid.index()].to_facts(num_rels);
+            SigCensus::new(f.iter(), &rigid)
+        });
+
         // Phase 2 (serial, frontier order): mint the fresh cells of every
         // commitment — the exact mint sequence of the serial engine.
         let mut tasks: Vec<StepTask> = Vec::new();
@@ -490,11 +486,11 @@ pub fn det_abstraction_traced(
             let state = &states[frontier[task.frontier_ix].index()];
             let next = det_step_with_pre(dcds, state, task.pre, &task.choice).map(|next| {
                 let facts = next.to_facts(num_rels);
-                let sig = facts.signature(&rigid);
+                let sig = censuses[task.frontier_ix].child_signature(|| facts.iter(), facts.len());
                 let key = if opts.strategy == DedupStrategy::CanonicalKey
                     && (opts.eager_keys || index.bucket_occupied(sig))
                 {
-                    Some(facts.try_canonical_key(&rigid, PERM_BUDGET))
+                    Some(facts.canonical_key_stats(&rigid))
                 } else {
                     None
                 };
@@ -515,20 +511,16 @@ pub fn det_abstraction_traced(
         let mut dedup_hits = 0u64;
         let mut edges_added = 0u64;
         for result in stepped {
-            let Some((next, facts, sig, mut key)) = result.next else {
+            let Some((next, facts, sig, key)) = result.next else {
                 continue;
             };
             counters.successors_generated += 1;
             // Worker canonicalised eagerly; account for it exactly once.
-            if let Some(Some(_)) = &key {
-                counters.canon_keys_computed += 1;
+            if let Some((_, stats)) = &key {
+                credit_canon(&mut counters, *stats);
             }
+            let mut key: Option<CanonKey> = key.map(|(k, _)| k);
             let found = index.find(&facts, sig, &mut key, &mut counters);
-            // A probe whose canonical-key search blew the permutation
-            // budget fell back to the backtracking matcher.
-            if matches!(key, Some(None)) {
-                obs.counter_add("abs.perm_budget_fallbacks", 1);
-            }
             let next_id = match found {
                 Some(class_ix) => {
                     dedup_hits += 1;
@@ -568,6 +560,7 @@ pub fn det_abstraction_traced(
 
     obs.counter_add("abs.levels", level as u64);
     counters.publish(obs, "abs");
+    publish_canon(obs, &counters);
     publish_query_stats_delta(dcds, obs, &query_stats0);
     obs.progress_flush(|| {
         format!(
@@ -896,11 +889,12 @@ mod tests {
     }
 
     #[test]
-    fn over_budget_classes_fall_back_to_backtracking() {
-        // Nine interchangeable fresh values defeat colour refinement: the
-        // key search would need 9! > PERM_BUDGET orders, so the class is
-        // admitted keyless-forever and later probes match it through the
-        // backtracking matcher.
+    fn symmetric_classes_resolve_through_the_exact_map() {
+        // Nine interchangeable fresh values defeat colour refinement — the
+        // case that used to exceed the permutation budget and fall back to
+        // the backtracking matcher. The branch-and-bound search collapses
+        // the whole 9! orbit into a single descent, so the probe resolves
+        // through the exact-match map with zero isomorphism checks.
         let rigid = BTreeSet::new();
         let mut index = ClassIndex::new(DedupStrategy::CanonicalKey, rigid.clone());
         let mut counters = EngineCounters::default();
@@ -914,9 +908,14 @@ mod tests {
         assert_eq!(b.signature(&rigid), sig);
         let mut key = None;
         assert_eq!(index.find(&b, sig, &mut key, &mut counters), Some(0));
-        assert_eq!(key, Some(None), "probe must exceed the permutation budget");
-        assert_eq!(counters.canon_keys_computed, 0);
-        assert!(counters.iso_checks_performed >= 1);
+        assert!(key.is_some(), "symmetric class must key successfully");
+        // Probe key + lazily keying the resident class.
+        assert_eq!(counters.canon_keys_computed, 2);
+        assert_eq!(counters.iso_checks_performed, 0);
+        // One descent each; transposition pruning cuts the other 9!-1
+        // orders with 9*8/2 = 36 cutoffs per key search.
+        assert_eq!(counters.canon_orders_enumerated, 2);
+        assert_eq!(counters.canon_prune_cutoffs, 72);
     }
 
     #[test]

@@ -176,12 +176,18 @@ pub struct EngineCounters {
     pub iso_checks_avoided: u64,
     /// Pairwise isomorphism checks actually performed.
     pub iso_checks_performed: u64,
+    /// Complete value orders whose encoding the canonical-key search
+    /// materialised (branch-and-bound leaves).
+    pub canon_orders_enumerated: u64,
+    /// Permutation subtrees the canonical-key search cut before reaching a
+    /// leaf (certificate-prefix and transposition-orbit pruning).
+    pub canon_prune_cutoffs: u64,
 }
 
 impl EngineCounters {
     /// The counters as `(name, value)` pairs — single source of truth for
     /// [`EngineCounters::to_json`] and [`EngineCounters::publish`].
-    pub fn entries(&self) -> [(&'static str, u64); 6] {
+    pub fn entries(&self) -> [(&'static str, u64); 8] {
         [
             ("states_expanded", self.states_expanded),
             ("successors_generated", self.successors_generated),
@@ -189,6 +195,8 @@ impl EngineCounters {
             ("sig_filter_skips", self.sig_filter_skips),
             ("iso_checks_avoided", self.iso_checks_avoided),
             ("iso_checks_performed", self.iso_checks_performed),
+            ("canon_orders_enumerated", self.canon_orders_enumerated),
+            ("canon_prune_cutoffs", self.canon_prune_cutoffs),
         ]
     }
 
@@ -233,11 +241,13 @@ impl std::fmt::Display for EngineCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "expanded {} states, {} successors; {} canonical keys, {} sig-bucket skips, \
-             {} iso checks ({} avoided)",
+            "expanded {} states, {} successors; {} canonical keys ({} orders, {} cutoffs), \
+             {} sig-bucket skips, {} iso checks ({} avoided)",
             self.states_expanded,
             self.successors_generated,
             self.canon_keys_computed,
+            self.canon_orders_enumerated,
+            self.canon_prune_cutoffs,
             self.sig_filter_skips,
             self.iso_checks_performed,
             self.iso_checks_avoided,

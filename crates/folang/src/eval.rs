@@ -131,11 +131,15 @@ fn eval(
 }
 
 /// Evaluate a maximal `∃x₁...∃xₖ. body` block. When the body is a
-/// conjunction containing an atom whose variables cover the whole block, a
-/// witnessing assignment must make the atom true, so it suffices to iterate
-/// over the atom's *tuples* instead of `|adom|^k` assignments — the guided
+/// conjunction of atoms (and other conjuncts), a witnessing assignment
+/// must make every conjunct atom true, so it suffices to join the atoms'
+/// *tuples* — binding block variables guard by guard — instead of
+/// enumerating `|adom|^k` assignments. Block variables no guard atom
+/// mentions still range over the active domain. This is the guided
 /// evaluation that makes the paper's guard-shaped constraints
-/// (`∀~x. R(~x) → ...`, `∃~x. R(~x) ∧ ...`) tractable.
+/// (`∀~x. R(~x) → ...`, `∃~x. R(~x) ∧ ...`) tractable; it subsumes the
+/// earlier single-covering-atom special case, which could not handle
+/// multi-atom guards like `E(X,V) ∧ E(Y,V) ∧ E(Z,V)`.
 fn eval_exists_block(
     f: &Formula,
     inst: &Instance,
@@ -149,16 +153,18 @@ fn eval_exists_block(
         body = g;
     }
     if !guidance_disabled() {
-        if let Some(guard) = covering_atom(body, &block, collect_conjunct_atoms) {
-            return guided(inst, adom, env, &block, guard, body, true);
+        let guards = guard_chain(body, &block, collect_conjunct_atoms);
+        if !guards.is_empty() {
+            return guided(inst, adom, env, &block, &guards, body, true);
         }
     }
     enumerate_block(inst, adom, env, &block, body, true)
 }
 
 /// Evaluate a maximal `∀x₁...∀xₖ. body` block; when the body is
-/// `guard → ψ` with a conjunct atom of the guard covering the block, only
-/// guard-satisfying assignments can falsify it.
+/// `guard → ψ`, only assignments satisfying every conjunct atom of the
+/// guard can falsify it, so the same atom join drives the search for a
+/// counterexample.
 fn eval_forall_block(
     f: &Formula,
     inst: &Instance,
@@ -173,30 +179,69 @@ fn eval_forall_block(
     }
     if !guidance_disabled() {
         if let Formula::Implies(lhs, _) = body {
-            if let Some(guard) = covering_atom(lhs, &block, collect_conjunct_atoms) {
-                return guided(inst, adom, env, &block, guard, body, false);
+            let guards = guard_chain(lhs, &block, collect_conjunct_atoms);
+            if !guards.is_empty() {
+                return guided(inst, adom, env, &block, &guards, body, false);
             }
         }
     }
     enumerate_block(inst, adom, env, &block, body, false)
 }
 
-/// Among the conjunct atoms produced by `atoms_of`, find one whose variable
-/// set covers every block variable not already bound by the environment.
-fn covering_atom<'a>(
+/// Greedily select a join sequence from the conjunct atoms produced by
+/// `atoms_of`: each picked atom must bind at least one block variable no
+/// earlier pick binds (most new variables first, ties broken by conjunct
+/// order). Selection stops when no atom adds coverage; variables left
+/// uncovered fall back to active-domain enumeration inside [`guided`].
+/// Returns an empty vector when no atom binds any block variable.
+fn guard_chain<'a>(
     body: &'a Formula,
     block: &[&Var],
     atoms_of: impl Fn(&'a Formula) -> Vec<&'a Formula>,
-) -> Option<&'a Formula> {
-    atoms_of(body).into_iter().find(|a| {
-        if let Formula::Atom(_, terms) = a {
-            block
-                .iter()
-                .all(|v| terms.iter().any(|t| matches!(t, QTerm::Var(w) if w == *v)))
-        } else {
-            false
+) -> Vec<&'a Formula> {
+    let atoms = atoms_of(body);
+    fn block_vars_of<'a>(a: &'a Formula, block: &[&Var]) -> Vec<&'a Var> {
+        let Formula::Atom(_, terms) = a else {
+            return Vec::new();
+        };
+        let mut vs: Vec<&Var> = Vec::new();
+        for t in terms {
+            if let QTerm::Var(v) = t {
+                if block.contains(&v) && !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
         }
-    })
+        vs
+    }
+    let mut chain: Vec<&Formula> = Vec::new();
+    let mut covered: Vec<&Var> = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (new vars, atom index)
+        for (i, a) in atoms.iter().enumerate() {
+            if chain.iter().any(|c| std::ptr::eq(*c, *a)) {
+                continue;
+            }
+            let fresh = block_vars_of(a, block)
+                .iter()
+                .filter(|v| !covered.contains(*v))
+                .count();
+            if fresh > 0 && best.is_none_or(|(n, _)| fresh > n) {
+                best = Some((fresh, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        for v in block_vars_of(atoms[i], block) {
+            if !covered.contains(&v) {
+                covered.push(v);
+            }
+        }
+        chain.push(atoms[i]);
+        if covered.len() == block.len() {
+            break;
+        }
+    }
+    chain
 }
 
 /// Top-level conjunct atoms of a formula.
@@ -212,29 +257,63 @@ fn collect_conjunct_atoms(f: &Formula) -> Vec<&Formula> {
     }
 }
 
-/// Guided evaluation: iterate the guard atom's tuples to bind the block.
-/// `existential`: true for ∃-blocks (return true on a witnessing tuple),
-/// false for ∀-blocks (return false on a falsifying tuple).
+/// Guided evaluation: join the guard atoms' tuples to bind the block,
+/// enumerating any block variables the guards leave uncovered over the
+/// active domain. `existential`: true for ∃-blocks (return true on a
+/// witnessing assignment), false for ∀-blocks (return false on a
+/// falsifying one). The verdict is a pure boolean, so join order cannot
+/// change the result — only how fast it is reached.
 fn guided(
     inst: &Instance,
     adom: &BTreeSet<Value>,
     env: &mut BTreeMap<Var, Value>,
     block: &[&Var],
-    guard: &Formula,
+    guards: &[&Formula],
     body: &Formula,
     existential: bool,
 ) -> Result<bool, QueryError> {
-    let Formula::Atom(rel, terms) = guard else {
-        unreachable!("covering_atom returns atoms");
-    };
+    // The block's quantifiers shadow any outer bindings of the same
+    // names: strip them for the duration of the join, so an env entry for
+    // a block variable always means "bound by an earlier guard".
     let saved: Vec<(Var, Option<Value>)> = block
         .iter()
-        .map(|v| ((*v).clone(), env.get(*v).copied()))
+        .map(|v| ((*v).clone(), env.remove(*v)))
         .collect();
+    let out = guided_join(inst, adom, env, block, guards, body, existential);
+    for (v, old) in saved {
+        restore(env, &v, old);
+    }
+    out
+}
+
+/// The recursive join behind [`guided`]; see there. Expects block
+/// variables in `env` to be exactly those bound by earlier guards.
+fn guided_join(
+    inst: &Instance,
+    adom: &BTreeSet<Value>,
+    env: &mut BTreeMap<Var, Value>,
+    block: &[&Var],
+    guards: &[&Formula],
+    body: &Formula,
+    existential: bool,
+) -> Result<bool, QueryError> {
+    let Some((guard, rest_guards)) = guards.split_first() else {
+        // Every guard consumed: enumerate whatever block variables the
+        // chain left unbound, then evaluate the body.
+        let uncovered: Vec<&Var> = block
+            .iter()
+            .copied()
+            .filter(|v| !env.contains_key(*v))
+            .collect();
+        return enumerate_block(inst, adom, env, &uncovered, body, existential);
+    };
+    let Formula::Atom(rel, terms) = guard else {
+        unreachable!("guard_chain returns atoms");
+    };
     let mut decided = None;
     'tuples: for tuple in inst.tuples(*rel) {
         // Unify the atom against the tuple (respecting already-bound vars
-        // from outer scopes and earlier positions).
+        // from outer scopes, earlier guards, and earlier positions).
         let mut local: BTreeMap<Var, Value> = BTreeMap::new();
         for (t, &val) in terms.iter().zip(tuple.values()) {
             match t {
@@ -244,12 +323,7 @@ fn guided(
                     }
                 }
                 QTerm::Var(v) => {
-                    let bound = if block.contains(&v) {
-                        local.get(v).copied()
-                    } else {
-                        env.get(v).copied()
-                    };
-                    match bound {
+                    match local.get(v).copied().or_else(|| env.get(v).copied()) {
                         Some(b) if b != val => continue 'tuples,
                         Some(_) => {}
                         None => {
@@ -269,14 +343,15 @@ fn guided(
         for (v, val) in &local {
             env.insert(v.clone(), *val);
         }
-        let verdict = eval(body, inst, adom, env)?;
+        let verdict = guided_join(inst, adom, env, block, rest_guards, body, existential)?;
+        // Undo this tuple's bindings so the next tuple unifies freshly.
+        for v in local.keys() {
+            env.remove(v);
+        }
         if verdict == existential {
             decided = Some(existential);
             break;
         }
-    }
-    for (v, old) in saved {
-        restore(env, &v, old);
     }
     Ok(decided.unwrap_or(!existential))
 }

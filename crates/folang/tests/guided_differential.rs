@@ -1,0 +1,229 @@
+//! Seeded differential test: atom-guided quantifier-block evaluation
+//! against plain active-domain enumeration.
+//!
+//! The guided path joins the tuples of guard atoms to bind quantifier
+//! blocks (including multi-atom guards where no single atom covers the
+//! block — the shape of triple-collision constraints like
+//! `∀X,Y,Z,V . E(X,V) ∧ E(Y,V) ∧ E(Z,V) → ...`). Semantics must be
+//! identical to the unguided `|adom|^k` enumeration on every formula, so
+//! random guard-shaped sentences are evaluated both ways and compared.
+//!
+//! Runs offline: pseudo-randomness is a local SplitMix64, not the `rand`
+//! crate, so the exact same formulas replay on every run and platform.
+
+use dcds_folang::{holds_closed, holds_unguided, Assignment, Formula, QTerm};
+use dcds_reldata::{ConstantPool, Instance, RelId, Schema, Tuple, Value};
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+const NUM_CONSTS: usize = 5;
+const VAR_NAMES: [&str; 4] = ["X", "Y", "Z", "V"];
+
+fn setup(rng: &mut SplitMix64) -> (Schema, Vec<Value>, Vec<RelId>, Instance) {
+    let mut schema = Schema::new();
+    let rels = vec![
+        schema.add_relation("P", 1).unwrap(),
+        schema.add_relation("Q", 2).unwrap(),
+        schema.add_relation("E", 2).unwrap(),
+    ];
+    let mut pool = ConstantPool::new();
+    let consts: Vec<Value> = (0..NUM_CONSTS)
+        .map(|i| pool.intern(&format!("c{i}")))
+        .collect();
+    let mut inst = Instance::new();
+    for _ in 0..2 + rng.gen_range(9) {
+        let r = rng.gen_range(rels.len());
+        let arity = schema.arity(rels[r]);
+        let t: Vec<Value> = (0..arity)
+            .map(|_| consts[rng.gen_range(consts.len())])
+            .collect();
+        inst.insert(rels[r], Tuple::new(t));
+    }
+    (schema, consts, rels, inst)
+}
+
+/// A random atom over the given variables (terms are block variables or
+/// constants, constants rare so joins stay non-trivial).
+fn random_atom(
+    rng: &mut SplitMix64,
+    schema: &Schema,
+    rels: &[RelId],
+    consts: &[Value],
+    vars: &[&str],
+) -> Formula {
+    let rel = rels[rng.gen_range(rels.len())];
+    let terms: Vec<QTerm> = (0..schema.arity(rel))
+        .map(|_| {
+            if rng.gen_range(5) == 0 {
+                QTerm::Const(consts[rng.gen_range(consts.len())])
+            } else {
+                QTerm::var(vars[rng.gen_range(vars.len())])
+            }
+        })
+        .collect();
+    Formula::Atom(rel, terms)
+}
+
+/// A random conclusion / extra conjunct: an equality or an atom.
+fn random_leaf(
+    rng: &mut SplitMix64,
+    schema: &Schema,
+    rels: &[RelId],
+    consts: &[Value],
+    vars: &[&str],
+) -> Formula {
+    if rng.gen_range(2) == 0 {
+        Formula::eq(
+            QTerm::var(vars[rng.gen_range(vars.len())]),
+            if rng.gen_range(2) == 0 {
+                QTerm::var(vars[rng.gen_range(vars.len())])
+            } else {
+                QTerm::Const(consts[rng.gen_range(consts.len())])
+            },
+        )
+    } else {
+        random_atom(rng, schema, rels, consts, vars)
+    }
+}
+
+#[test]
+fn guided_joins_agree_with_enumeration_on_forall_guards() {
+    // ∀-blocks with 1–3-atom guards: no single atom need cover the block,
+    // which is exactly the case the multi-atom join handles.
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64(0x9a1_ded ^ seed.wrapping_mul(0x9e37_79b9));
+        for _ in 0..60 {
+            let (schema, consts, rels, inst) = setup(&mut rng);
+            let nvars = 2 + rng.gen_range(3);
+            let vars = &VAR_NAMES[..nvars];
+            let mut lhs = random_atom(&mut rng, &schema, &rels, &consts, vars);
+            for _ in 0..rng.gen_range(3) {
+                lhs = lhs.and(random_atom(&mut rng, &schema, &rels, &consts, vars));
+            }
+            let mut rhs = random_leaf(&mut rng, &schema, &rels, &consts, vars);
+            if rng.gen_range(2) == 0 {
+                rhs = rhs.or(random_leaf(&mut rng, &schema, &rels, &consts, vars));
+            }
+            let mut f = lhs.implies(rhs);
+            for v in vars.iter().rev() {
+                f = Formula::forall(*v, f);
+            }
+            let guided = holds_closed(&f, &inst).unwrap();
+            let unguided = holds_unguided(&f, &inst, &Assignment::new()).unwrap();
+            assert_eq!(
+                guided, unguided,
+                "diverged on {f:?} over {inst:?} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn guided_joins_agree_with_enumeration_on_exists_conjunctions() {
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64(0x00e7_1575 ^ seed.wrapping_mul(0x9e37_79b9));
+        for _ in 0..60 {
+            let (schema, consts, rels, inst) = setup(&mut rng);
+            let nvars = 2 + rng.gen_range(3);
+            let vars = &VAR_NAMES[..nvars];
+            let mut body = random_atom(&mut rng, &schema, &rels, &consts, vars);
+            for _ in 0..rng.gen_range(3) {
+                body = body.and(random_atom(&mut rng, &schema, &rels, &consts, vars));
+            }
+            if rng.gen_range(2) == 0 {
+                body = body.and(random_leaf(&mut rng, &schema, &rels, &consts, vars));
+            }
+            let mut f = body;
+            for v in vars.iter().rev() {
+                f = Formula::exists(*v, f);
+            }
+            let guided = holds_closed(&f, &inst).unwrap();
+            let unguided = holds_unguided(&f, &inst, &Assignment::new()).unwrap();
+            assert_eq!(
+                guided, unguided,
+                "diverged on {f:?} over {inst:?} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn triple_collision_constraint_shape() {
+    // The collision_pairs invariant verbatim: at most two X share a V.
+    let mut schema = Schema::new();
+    let e = schema.add_relation("E", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let a = pool.intern("a");
+    let b = pool.intern("b");
+    let c = pool.intern("c");
+    let v = pool.intern("v");
+    let f = Formula::forall(
+        "X",
+        Formula::forall(
+            "Y",
+            Formula::forall(
+                "Z",
+                Formula::forall(
+                    "V",
+                    Formula::Atom(e, vec![QTerm::var("X"), QTerm::var("V")])
+                        .and(Formula::Atom(e, vec![QTerm::var("Y"), QTerm::var("V")]))
+                        .and(Formula::Atom(e, vec![QTerm::var("Z"), QTerm::var("V")]))
+                        .implies(
+                            Formula::eq(QTerm::var("X"), QTerm::var("Y"))
+                                .or(Formula::eq(QTerm::var("X"), QTerm::var("Z")))
+                                .or(Formula::eq(QTerm::var("Y"), QTerm::var("Z"))),
+                        ),
+                ),
+            ),
+        ),
+    );
+    let pairs = Instance::from_facts([(e, Tuple::from([a, v])), (e, Tuple::from([b, v]))]);
+    assert!(holds_closed(&f, &pairs).unwrap());
+    assert!(holds_unguided(&f, &pairs, &Assignment::new()).unwrap());
+    let triple = Instance::from_facts([
+        (e, Tuple::from([a, v])),
+        (e, Tuple::from([b, v])),
+        (e, Tuple::from([c, v])),
+    ]);
+    assert!(!holds_closed(&f, &triple).unwrap());
+    assert!(!holds_unguided(&f, &triple, &Assignment::new()).unwrap());
+}
+
+#[test]
+fn inner_block_shadows_outer_binding() {
+    // ∃X. P(X) ∧ (∃X,Y. Q(X,Y) ∧ X = 'c1'): the inner block's X must
+    // rebind freely — the guard join may not pin it to the outer witness.
+    let mut schema = Schema::new();
+    let p = schema.add_relation("P", 1).unwrap();
+    let q = schema.add_relation("Q", 2).unwrap();
+    let mut pool = ConstantPool::new();
+    let c0 = pool.intern("c0");
+    let c1 = pool.intern("c1");
+    let inst = Instance::from_facts([(p, Tuple::from([c0])), (q, Tuple::from([c1, c0]))]);
+    let inner = Formula::exists(
+        "X",
+        Formula::exists(
+            "Y",
+            Formula::Atom(q, vec![QTerm::var("X"), QTerm::var("Y")])
+                .and(Formula::eq(QTerm::var("X"), QTerm::Const(c1))),
+        ),
+    );
+    let f = Formula::exists("X", Formula::Atom(p, vec![QTerm::var("X")]).and(inner));
+    // Outer X = c0 (the only P witness); inner X must still find Q(c1, _).
+    assert!(holds_closed(&f, &inst).unwrap());
+    assert!(holds_unguided(&f, &inst, &Assignment::new()).unwrap());
+}

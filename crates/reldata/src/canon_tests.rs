@@ -1,0 +1,220 @@
+//! Seeded property suite for the pruned canonical-key search (`iso`).
+//!
+//! Three invariants, checked against replayable SplitMix64 randomness
+//! (Steele, Lea & Flood, OOPSLA 2014 — local copy, no `rand` dependency):
+//!
+//! 1. the branch-and-bound search returns byte-identical [`CanonKey`]s to
+//!    the retired exhaustive enumerator, kept as a test-only oracle;
+//! 2. fully symmetric classes far past the old permutation budget
+//!    (`k ≥ 10`, i.e. well over `8!` class-respecting orders) canonicalise
+//!    in a single descent and key renamed copies identically;
+//! 3. key equality coincides exactly with the backtracking matcher's
+//!    [`Facts::isomorphic`] verdict.
+
+use crate::{CanonKey, ConstantPool, Facts, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, bound: usize) -> usize {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+const NUM_COLORS: u32 = 3;
+
+fn universe(pool: &mut ConstantPool, n: usize) -> Vec<Value> {
+    (0..n).map(|i| pool.intern(&format!("v{i}"))).collect()
+}
+
+fn random_facts(rng: &mut SplitMix64, vals: &[Value]) -> Facts {
+    let mut f = Facts::new();
+    for _ in 0..1 + rng.gen_range(6) {
+        let color = rng.gen_range(NUM_COLORS as usize) as u32;
+        let arity = 1 + rng.gen_range(2);
+        let tuple = Tuple::new(
+            (0..arity)
+                .map(|_| vals[rng.gen_range(vals.len())])
+                .collect::<Vec<_>>(),
+        );
+        f.insert(color, tuple);
+    }
+    f
+}
+
+fn random_rigid(rng: &mut SplitMix64, vals: &[Value]) -> BTreeSet<Value> {
+    vals.iter()
+        .copied()
+        .filter(|_| rng.gen_range(3) == 0)
+        .collect()
+}
+
+/// A random bijection on `vals` that fixes `rigid` pointwise.
+fn random_renaming(
+    rng: &mut SplitMix64,
+    vals: &[Value],
+    rigid: &BTreeSet<Value>,
+) -> BTreeMap<Value, Value> {
+    let free: Vec<Value> = vals
+        .iter()
+        .copied()
+        .filter(|v| !rigid.contains(v))
+        .collect();
+    let mut img = free.clone();
+    for i in (1..img.len()).rev() {
+        let j = rng.gen_range(i + 1);
+        img.swap(i, j);
+    }
+    let mut map: BTreeMap<Value, Value> = rigid.iter().map(|&v| (v, v)).collect();
+    map.extend(free.into_iter().zip(img));
+    map
+}
+
+/// Invariant 1: pruned search ≡ exhaustive enumeration, byte for byte, on
+/// random fact sets under random rigid subsets. The 6-value universe keeps
+/// the oracle's worst case at 6! = 720 orders.
+#[test]
+fn pruned_key_matches_exhaustive_oracle() {
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64(0xcaf_e001 ^ seed.wrapping_mul(0x9e37_79b9));
+        let mut pool = ConstantPool::new();
+        let vals = universe(&mut pool, 6);
+        for _ in 0..150 {
+            let f = random_facts(&mut rng, &vals);
+            let rigid = random_rigid(&mut rng, &vals);
+            let (key, stats) = f.canonical_key_stats(&rigid);
+            assert_eq!(
+                key,
+                f.exhaustive_canonical_key(&rigid),
+                "pruned key diverged from oracle (seed {seed}, facts {f:?}, rigid {rigid:?})"
+            );
+            assert!(stats.orders_enumerated >= 1);
+        }
+    }
+}
+
+/// Invariant 2a: a `k`-element fully symmetric class (`k!` class-respecting
+/// orders — astronomically past the old `8!` budget) costs exactly one
+/// descent: every sibling subtree is cut by a transposition automorphism.
+#[test]
+fn symmetric_classes_past_the_old_budget_key_identically() {
+    for k in [10usize, 12, 16] {
+        let mut pool = ConstantPool::new();
+        let mut f1 = Facts::new();
+        let mut f2 = Facts::new();
+        for i in 0..k {
+            f1.insert(0, Tuple::from([pool.intern(&format!("x{i}"))]));
+            f2.insert(0, Tuple::from([pool.intern(&format!("y{i}"))]));
+        }
+        let empty = BTreeSet::new();
+        let (k1, s1) = f1.canonical_key_stats(&empty);
+        let (k2, _) = f2.canonical_key_stats(&empty);
+        assert_eq!(
+            k1, k2,
+            "renamed symmetric copies must key identically (k={k})"
+        );
+        assert_eq!(k1.var_count(), k);
+        assert_eq!(
+            s1.orders_enumerated, 1,
+            "fully symmetric class must cost one descent (k={k})"
+        );
+        assert_eq!(s1.prune_cutoffs, (k * (k - 1) / 2) as u64);
+    }
+}
+
+/// Invariant 2b: the same holds for dense structure — the complete digraph
+/// on 12 values, where every value occurs in 22 binary facts and every
+/// transposition is an automorphism.
+#[test]
+fn complete_digraph_keys_in_one_descent() {
+    let n = 12usize;
+    let mut pool = ConstantPool::new();
+    let xs: Vec<Value> = (0..n).map(|i| pool.intern(&format!("x{i}"))).collect();
+    let ys: Vec<Value> = (0..n).map(|i| pool.intern(&format!("y{i}"))).collect();
+    let mut f1 = Facts::new();
+    let mut f2 = Facts::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                f1.insert(0, Tuple::from([xs[i], xs[j]]));
+                f2.insert(0, Tuple::from([ys[i], ys[j]]));
+            }
+        }
+    }
+    let empty = BTreeSet::new();
+    let (k1, s1) = f1.canonical_key_stats(&empty);
+    let (k2, _) = f2.canonical_key_stats(&empty);
+    assert_eq!(k1, k2);
+    assert_eq!(k1.var_count(), n);
+    assert_eq!(s1.orders_enumerated, 1);
+    assert_eq!(s1.prune_cutoffs, (n * (n - 1) / 2) as u64);
+}
+
+/// Invariant 2c: random unary multisets over a 14-value universe produce
+/// fully symmetric refinement classes of arbitrary sizes; renamed copies
+/// must key identically and the search must stay at one descent.
+#[test]
+fn random_unary_multisets_are_renaming_invariant() {
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64(0xbead_5eed ^ seed.wrapping_mul(0x9e37_79b9));
+        let mut pool = ConstantPool::new();
+        let vals = universe(&mut pool, 14);
+        let empty = BTreeSet::new();
+        for _ in 0..40 {
+            let mut f = Facts::new();
+            for _ in 0..1 + rng.gen_range(16) {
+                let color = rng.gen_range(2) as u32;
+                f.insert(color, Tuple::from([vals[rng.gen_range(vals.len())]]));
+            }
+            let map = random_renaming(&mut rng, &vals, &empty);
+            let g = f.rename(&map);
+            let (kf, sf) = f.canonical_key_stats(&empty);
+            let (kg, _) = g.canonical_key_stats(&empty);
+            assert_eq!(kf, kg, "renamed copy diverged (seed {seed}, facts {f:?})");
+            assert_eq!(
+                sf.orders_enumerated, 1,
+                "unary classes are fully symmetric; search must not branch (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Invariant 3: key equality ⇔ `isomorphic()`, on renamed copies (always
+/// equal) and on independent random pairs (either verdict, but consistent).
+#[test]
+fn key_equality_coincides_with_isomorphism() {
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64(0x150_a0ab ^ seed.wrapping_mul(0x9e37_79b9));
+        let mut pool = ConstantPool::new();
+        let vals = universe(&mut pool, 6);
+        for _ in 0..100 {
+            let f1 = random_facts(&mut rng, &vals);
+            let rigid = random_rigid(&mut rng, &vals);
+            let map = random_renaming(&mut rng, &vals, &rigid);
+            let f2 = f1.rename(&map);
+            let k1: CanonKey = f1.canonical_key(&rigid);
+            assert_eq!(
+                k1,
+                f2.canonical_key(&rigid),
+                "rigid-fixing renaming changed the key (seed {seed})"
+            );
+            assert!(f1.isomorphic(&f2, &rigid));
+            let f3 = random_facts(&mut rng, &vals);
+            let keys_equal = k1 == f3.canonical_key(&rigid);
+            assert_eq!(
+                keys_equal,
+                f1.isomorphic(&f3, &rigid),
+                "key equality disagreed with the matcher (seed {seed}, {f1:?} vs {f3:?})"
+            );
+        }
+    }
+}

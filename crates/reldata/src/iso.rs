@@ -16,9 +16,22 @@
 //! * [`Facts::canonical_key`] — a canonical form such that two fact sets have
 //!   equal keys iff they are isomorphic. Used to deduplicate states in
 //!   `O(1)` during abstract-transition-system construction.
+//!
+//! The canonical key is the lexicographically-least encoding of the fact set
+//! over all class-respecting orders of the non-rigid values. It is computed
+//! by a branch-and-bound search over partial value orders: the active domain
+//! is mapped to dense slots once, values are partitioned by iterated color
+//! refinement, and the search extends one canonical index at a time, cutting
+//! whole permutation subtrees when (a) the determined prefix of the partial
+//! encoding already exceeds the best complete encoding found so far
+//! (nauty-style certificate pruning), or (b) a sibling candidate is related
+//! to an already-explored one by a transposition automorphism of the fact
+//! set, which makes the sibling subtree a guaranteed duplicate. Fully
+//! symmetric classes — `k!` class-respecting orders — therefore cost a
+//! single descent, so no permutation budget or fallback path is needed.
 
 use crate::{Instance, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// A set of colored tuples ("facts") over values.
 ///
@@ -45,6 +58,17 @@ pub enum CanonVal {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CanonKey {
     facts: Vec<(u32, Vec<CanonVal>)>,
+}
+
+/// Search effort counters reported by [`Facts::canonical_key_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanonStats {
+    /// Complete class-respecting orders whose encoding was materialised
+    /// (leaves reached by the branch-and-bound search).
+    pub orders_enumerated: u64,
+    /// Permutation subtrees cut before reaching a leaf, by certificate
+    /// prefix comparison or by transposition-orbit deduplication.
+    pub prune_cutoffs: u64,
 }
 
 impl CanonKey {
@@ -194,30 +218,68 @@ impl Facts {
     /// Canonical key modulo renaming of non-rigid values.
     ///
     /// Two fact sets yield the same key (w.r.t. the same rigid set) iff they
-    /// are isomorphic. The computation refines value colors and then searches
-    /// for the lexicographically-least encoding over all class-respecting
-    /// orders of the non-rigid values; the search is exponential only in the
-    /// sizes of the refinement classes, which are tiny for the databases a
-    /// DCDS state holds.
+    /// are isomorphic. See [`Facts::canonical_key_stats`] for the search and
+    /// its effort counters; this is a convenience wrapper that drops them.
     pub fn canonical_key(&self, rigid: &BTreeSet<Value>) -> CanonKey {
-        self.try_canonical_key(rigid, u64::MAX)
-            .expect("unbounded canonicalisation cannot exceed the budget")
+        self.canonical_key_stats(rigid).0
     }
 
-    /// [`Facts::canonical_key`] with an explicit budget on the number of
-    /// class-respecting orders the search may enumerate.
+    /// [`Facts::canonical_key`] plus [`CanonStats`] describing how much work
+    /// the branch-and-bound search did.
     ///
-    /// The search is factorial in the refinement class sizes: a fact set
-    /// with a `k`-element symmetric class costs `k!` encodings, which for
-    /// `k ⪆ 10` is prohibitive (and for the fully symmetric instances some
-    /// workloads produce, astronomically so). When the product of class
-    /// factorials exceeds `max_orders` this returns `None` *before* doing
-    /// any exponential work; callers (the abstraction dedup indices) then
-    /// fall back to the backtracking matcher of [`Facts::isomorphism`],
-    /// which handles symmetric classes in near-linear time because every
-    /// candidate extension succeeds. [`PERM_BUDGET`] is the documented
-    /// default budget.
-    pub fn try_canonical_key(&self, rigid: &BTreeSet<Value>, max_orders: u64) -> Option<CanonKey> {
+    /// The key is the lexicographically-least encoding over all
+    /// class-respecting orders of the non-rigid values. Rather than
+    /// enumerating every order, the search assigns canonical indices one at
+    /// a time and prunes a subtree as soon as the already-determined prefix
+    /// of its encoding is provably no better than the best complete encoding
+    /// found so far, or when a transposition automorphism shows the subtree
+    /// duplicates an explored sibling. Fully symmetric classes — the
+    /// factorial worst case of naive enumeration — collapse to a single
+    /// descent, so the search terminates quickly on every input and no
+    /// permutation budget is needed.
+    pub fn canonical_key_stats(&self, rigid: &BTreeSet<Value>) -> (CanonKey, CanonStats) {
+        let ctx = DenseCtx::build(self, rigid);
+        let mut stats = CanonStats {
+            orders_enumerated: 1,
+            prune_cutoffs: 0,
+        };
+        if ctx.free_slots.is_empty() {
+            // Every value is rigid: the encoding is forced.
+            let mut enc: Vec<(u32, Vec<u64>)> = ctx
+                .facts
+                .iter()
+                .map(|(c, slots)| {
+                    let vals = slots
+                        .iter()
+                        .map(|&s| ctx.rigid_code[s as usize].expect("all slots rigid"))
+                        .collect();
+                    (*c, vals)
+                })
+                .collect();
+            enc.sort();
+            return (decode_key(enc), stats);
+        }
+        let colors = ctx.refine();
+        // Group the free slots by refined color; class *order* is canonical
+        // because refined colors are computed from iso-invariant signatures.
+        let mut classes: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        for &s in &ctx.free_slots {
+            classes.entry(colors[s as usize]).or_default().push(s);
+        }
+        let class_list: Vec<Vec<u32>> = classes.into_values().collect();
+        let mut search = Search::new(&ctx, &class_list);
+        search.dfs(0);
+        stats.orders_enumerated = search.orders;
+        stats.prune_cutoffs = search.cutoffs;
+        let best = search.best.expect("at least one ordering exists");
+        (decode_key(best), stats)
+    }
+
+    /// Reference implementation of the canonical key: enumerate *every*
+    /// class-respecting order and keep the lexicographically-least encoding.
+    /// Factorial in class sizes — test oracle only.
+    #[cfg(test)]
+    pub(crate) fn exhaustive_canonical_key(&self, rigid: &BTreeSet<Value>) -> CanonKey {
         let adom = self.active_domain();
         let free: Vec<Value> = adom
             .iter()
@@ -225,29 +287,16 @@ impl Facts {
             .filter(|v| !rigid.contains(v))
             .collect();
         if free.is_empty() {
-            return Some(CanonKey {
-                facts: encode(self, rigid, &BTreeMap::new()),
-            });
+            return CanonKey {
+                facts: encode_with(self, rigid, &BTreeMap::new()),
+            };
         }
-        // Iterative color refinement first: it usually shatters the domain
-        // into singleton classes, making the order search trivial.
         let colors = refine_colors(self, rigid);
-        // Group the free values by refined color; class *order* is canonical
-        // because refined colors are computed from iso-invariant signatures.
         let mut classes: BTreeMap<u64, Vec<Value>> = BTreeMap::new();
         for &v in &free {
             classes.entry(colors[&v]).or_default().push(v);
         }
         let class_list: Vec<Vec<Value>> = classes.into_values().collect();
-        let mut orders: u64 = 1;
-        for class in &class_list {
-            for k in 1..=class.len() as u64 {
-                orders = orders.saturating_mul(k);
-            }
-            if orders > max_orders {
-                return None;
-            }
-        }
         let mut best: Option<Vec<(u32, Vec<CanonVal>)>> = None;
         let mut assignment: Vec<Value> = Vec::with_capacity(free.len());
         permute_classes(&class_list, 0, &mut assignment, &mut |order| {
@@ -261,23 +310,418 @@ impl Facts {
                 _ => best = Some(enc),
             }
         });
-        Some(CanonKey {
+        CanonKey {
             facts: best.expect("at least one ordering exists"),
-        })
+        }
     }
 }
 
-/// Default budget for [`Facts::try_canonical_key`]: `8! = 40320` encodings.
-///
-/// DCDS states canonicalise with singleton or tiny refinement classes (the
-/// call map and constraints break symmetries), so real workloads sit orders
-/// of magnitude below this; only adversarially symmetric instances hit it,
-/// and those are exactly the ones the backtracking matcher handles cheaply.
-pub const PERM_BUDGET: u64 = 40_320;
+/// Canonical-index codes are `u64`s chosen to be order-isomorphic to
+/// [`CanonVal`]: a rigid value encodes as its pool index (`< 2^32`), the
+/// `i`-th free value as `FREE_BASE + i`. Comparing code vectors therefore
+/// ranks encodings exactly as comparing the decoded `CanonVal` vectors.
+const FREE_BASE: u64 = 1 << 32;
+
+fn decode_key(enc: Vec<(u32, Vec<u64>)>) -> CanonKey {
+    let facts = enc
+        .into_iter()
+        .map(|(c, vals)| {
+            let vals = vals
+                .into_iter()
+                .map(|code| {
+                    if code < FREE_BASE {
+                        CanonVal::Rigid(Value::from_index(code as usize))
+                    } else {
+                        CanonVal::Var((code - FREE_BASE) as u32)
+                    }
+                })
+                .collect();
+            (c, vals)
+        })
+        .collect();
+    CanonKey { facts }
+}
+
+/// Dense working form of a fact set: the active domain is mapped to slot
+/// indices `0..n` (in value order) once, so refinement and the order search
+/// run on flat vectors instead of `BTreeMap` lookups.
+struct DenseCtx {
+    /// Active domain, sorted; slot `s` is `adom[s]`.
+    adom: Vec<Value>,
+    /// Per slot: `Some(value code)` when the value is rigid.
+    rigid_code: Vec<Option<u64>>,
+    /// Facts with tuple positions rewritten to slots.
+    facts: Vec<(u32, Vec<u32>)>,
+    /// Per slot: every `(fact, position)` occurrence.
+    occurrences: Vec<Vec<(u32, u32)>>,
+    /// Per slot: deduplicated fact indices the slot occurs in.
+    slot_facts: Vec<Vec<u32>>,
+    /// Slots of non-rigid values, ascending.
+    free_slots: Vec<u32>,
+}
+
+impl DenseCtx {
+    fn build(facts: &Facts, rigid: &BTreeSet<Value>) -> Self {
+        let adom: Vec<Value> = facts.active_domain().into_iter().collect();
+        let nslots = adom.len();
+        let mut dense: Vec<(u32, Vec<u32>)> = Vec::with_capacity(facts.len());
+        let mut occurrences: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nslots];
+        let mut slot_facts: Vec<Vec<u32>> = vec![Vec::new(); nslots];
+        for (fi, (c, t)) in facts.iter().enumerate() {
+            let slots: Vec<u32> = t
+                .iter()
+                .map(|v| adom.binary_search(&v).expect("adom value") as u32)
+                .collect();
+            for (pos, &s) in slots.iter().enumerate() {
+                occurrences[s as usize].push((fi as u32, pos as u32));
+                let sf = &mut slot_facts[s as usize];
+                if sf.last() != Some(&(fi as u32)) {
+                    sf.push(fi as u32);
+                }
+            }
+            dense.push((c, slots));
+        }
+        let rigid_code: Vec<Option<u64>> = adom
+            .iter()
+            .map(|v| rigid.contains(v).then_some(v.index() as u64))
+            .collect();
+        let free_slots: Vec<u32> = (0..nslots as u32)
+            .filter(|&s| rigid_code[s as usize].is_none())
+            .collect();
+        DenseCtx {
+            adom,
+            rigid_code,
+            facts: dense,
+            occurrences,
+            slot_facts,
+            free_slots,
+        }
+    }
+
+    /// Iterated color refinement on dense slots. Bit-identical to the
+    /// historical `BTreeMap` formulation: same initial colors, same per-round
+    /// signature folding, same partition-stability stopping rule — the final
+    /// `u64` colors (and hence canonical class *order*) are unchanged.
+    fn refine(&self) -> Vec<u64> {
+        let n = self.adom.len();
+        let mut colors: Vec<u64> = (0..n)
+            .map(|s| match self.rigid_code[s] {
+                // Rigid values are distinguishable by identity.
+                Some(code) => hash2(1, code),
+                None => hash2(2, 0),
+            })
+            .collect();
+        let mut next = vec![0u64; n];
+        let mut sig: Vec<u64> = Vec::new();
+        // Refine until stable (bounded by |adom| rounds).
+        for _ in 0..n.max(1) {
+            for s in 0..n {
+                // Signature: multiset of (color, position, colors of
+                // co-occurring values) over the facts containing the slot.
+                sig.clear();
+                for &(f, pos) in &self.occurrences[s] {
+                    let (c, slots) = &self.facts[f as usize];
+                    let mut h = hash2(*c as u64, pos as u64);
+                    for &x in slots {
+                        h = hash2(h, colors[x as usize]);
+                    }
+                    sig.push(h);
+                }
+                sig.sort_unstable();
+                let mut h = colors[s];
+                for &sv in &sig {
+                    h = hash2(h, sv);
+                }
+                next[s] = h;
+            }
+            let stable = partition_blocks(&next) == partition_blocks(&colors);
+            std::mem::swap(&mut colors, &mut next);
+            if stable {
+                break;
+            }
+        }
+        colors
+    }
+
+    /// Identity labeling of a slot: rigid values by their code, free slots by
+    /// `FREE_BASE + slot`. Used for automorphism membership tests.
+    fn identity_code(&self, s: u32) -> u64 {
+        self.rigid_code[s as usize].unwrap_or(FREE_BASE + s as u64)
+    }
+}
+
+/// The partition induced by a slot coloring, blocks ordered by color value
+/// and members ascending (mirrors the historical `partition_of` on values).
+fn partition_blocks(colors: &[u64]) -> Vec<Vec<u32>> {
+    let mut groups: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    for (s, &c) in colors.iter().enumerate() {
+        groups.entry(c).or_default().push(s as u32);
+    }
+    groups.into_values().collect()
+}
+
+/// Branch-and-bound search for the lex-min encoding over class-respecting
+/// orders of the free slots.
+struct Search<'a> {
+    ctx: &'a DenseCtx,
+    class_slots: &'a [Vec<u32>],
+    /// Position `k` of the order draws its slot from class `class_of_pos[k]`.
+    class_of_pos: Vec<u32>,
+    nfree: usize,
+    /// Per slot: assigned canonical index, `u32::MAX` when unassigned.
+    assigned: Vec<u32>,
+    best: Option<Vec<(u32, Vec<u64>)>>,
+    orders: u64,
+    cutoffs: u64,
+    /// Identity-labeled fact set for transposition-automorphism tests.
+    identity: HashSet<(u32, Vec<u64>)>,
+    /// Scratch: per-fact encoding buffers for the prefix-prune check.
+    enc_buf: Vec<Vec<u64>>,
+    /// Scratch: per-fact "all slots determined" flags.
+    det_flag: Vec<bool>,
+    /// Scratch: indices of determined facts below the undetermined floor.
+    det: Vec<u32>,
+}
+
+impl<'a> Search<'a> {
+    fn new(ctx: &'a DenseCtx, class_slots: &'a [Vec<u32>]) -> Self {
+        let nfree: usize = class_slots.iter().map(Vec::len).sum();
+        let mut class_of_pos = Vec::with_capacity(nfree);
+        for (ci, class) in class_slots.iter().enumerate() {
+            for _ in 0..class.len() {
+                class_of_pos.push(ci as u32);
+            }
+        }
+        let identity: HashSet<(u32, Vec<u64>)> = ctx
+            .facts
+            .iter()
+            .map(|(c, slots)| {
+                let key = slots.iter().map(|&s| ctx.identity_code(s)).collect();
+                (*c, key)
+            })
+            .collect();
+        let nfacts = ctx.facts.len();
+        Search {
+            ctx,
+            class_slots,
+            class_of_pos,
+            nfree,
+            assigned: vec![u32::MAX; ctx.adom.len()],
+            best: None,
+            orders: 0,
+            cutoffs: 0,
+            identity,
+            enc_buf: vec![Vec::new(); nfacts],
+            det_flag: vec![false; nfacts],
+            det: Vec::with_capacity(nfacts),
+        }
+    }
+
+    fn dfs(&mut self, k: usize) {
+        if k == self.nfree {
+            self.leaf();
+            return;
+        }
+        let class: &'a Vec<u32> = &self.class_slots[self.class_of_pos[k] as usize];
+        // Forced move: with a single unassigned candidate there is nothing
+        // to branch on, so skip all pruning machinery. This keeps the common
+        // all-singleton-classes case at one straight-line descent.
+        let mut only = u32::MAX;
+        let mut count = 0usize;
+        for &s in class {
+            if self.assigned[s as usize] == u32::MAX {
+                count += 1;
+                only = s;
+            }
+        }
+        if count == 1 {
+            self.assigned[only as usize] = k as u32;
+            self.dfs(k + 1);
+            self.assigned[only as usize] = u32::MAX;
+            return;
+        }
+        if self.should_prune(k) {
+            self.cutoffs += 1;
+            return;
+        }
+        let mut tried: Vec<u32> = Vec::with_capacity(count);
+        for &w in class {
+            if self.assigned[w as usize] != u32::MAX {
+                continue;
+            }
+            // Orbit pruning: if swapping `w` with an already-explored sibling
+            // is an automorphism of the fact set, the `w` subtree encodes the
+            // same completions and can only tie — skip it.
+            if tried.iter().any(|&v| self.transposition_fixes(v, w)) {
+                self.cutoffs += 1;
+                continue;
+            }
+            self.assigned[w as usize] = k as u32;
+            self.dfs(k + 1);
+            self.assigned[w as usize] = u32::MAX;
+            tried.push(w);
+        }
+    }
+
+    /// Materialise the encoding of a complete order and keep it when it is
+    /// strictly better than the incumbent (first-found wins ties, matching
+    /// the historical enumerator).
+    fn leaf(&mut self) {
+        self.orders += 1;
+        let ctx = self.ctx;
+        let mut enc: Vec<(u32, Vec<u64>)> = Vec::with_capacity(ctx.facts.len());
+        for (c, slots) in &ctx.facts {
+            let vals = slots
+                .iter()
+                .map(|&s| match ctx.rigid_code[s as usize] {
+                    Some(rc) => rc,
+                    None => FREE_BASE + self.assigned[s as usize] as u64,
+                })
+                .collect();
+            enc.push((*c, vals));
+        }
+        enc.sort();
+        match &self.best {
+            Some(b) if *b <= enc => {}
+            _ => self.best = Some(enc),
+        }
+    }
+
+    /// Certificate prefix pruning. With `k` indices assigned, every
+    /// still-unassigned free slot encodes as at least `FREE_BASE + k`, so a
+    /// fact with an unassigned slot has a pointwise — hence lexicographic —
+    /// lower bound. Let `L` be the least lower bound over undetermined facts:
+    /// the determined facts strictly below `L` form an *exact* sorted prefix
+    /// of every completion's encoding. If that prefix already compares
+    /// greater than the incumbent best (or ties it while the incumbent's next
+    /// element is below `L`), no completion in this subtree can win.
+    fn should_prune(&mut self, k: usize) -> bool {
+        let Search {
+            ctx,
+            assigned,
+            best,
+            enc_buf,
+            det_flag,
+            det,
+            ..
+        } = self;
+        let ctx: &DenseCtx = ctx;
+        let best = match best.as_ref() {
+            Some(b) => b,
+            None => return false,
+        };
+        let bound = FREE_BASE + k as u64;
+        let nfacts = ctx.facts.len();
+        for i in 0..nfacts {
+            let (_, slots) = &ctx.facts[i];
+            let buf = &mut enc_buf[i];
+            buf.clear();
+            let mut determined = true;
+            for &s in slots {
+                let code = match ctx.rigid_code[s as usize] {
+                    Some(rc) => rc,
+                    None => {
+                        let a = assigned[s as usize];
+                        if a == u32::MAX {
+                            determined = false;
+                            bound
+                        } else {
+                            FREE_BASE + a as u64
+                        }
+                    }
+                };
+                buf.push(code);
+            }
+            det_flag[i] = determined;
+        }
+        // L: least (color, lower-bound encoding) among undetermined facts.
+        let mut l: Option<usize> = None;
+        for (i, &determined) in det_flag.iter().enumerate().take(nfacts) {
+            if !determined {
+                let less = match l {
+                    None => true,
+                    Some(j) => fact_lt(ctx, enc_buf, i, j),
+                };
+                if less {
+                    l = Some(i);
+                }
+            }
+        }
+        let l = match l {
+            Some(l) => l,
+            // No undetermined fact: cannot happen below a branch node, but
+            // declining to prune is always sound.
+            None => return false,
+        };
+        det.clear();
+        for (i, &determined) in det_flag.iter().enumerate().take(nfacts) {
+            if determined && fact_lt(ctx, enc_buf, i, l) {
+                det.push(i as u32);
+            }
+        }
+        det.sort_unstable_by(|&a, &b| {
+            (ctx.facts[a as usize].0, &enc_buf[a as usize])
+                .cmp(&(ctx.facts[b as usize].0, &enc_buf[b as usize]))
+        });
+        for (ix, &fi) in det.iter().enumerate() {
+            let p = (ctx.facts[fi as usize].0, &enc_buf[fi as usize]);
+            let b = (best[ix].0, &best[ix].1);
+            match p.cmp(&b) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => return true,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        // Prefix equals the incumbent so far; the subtree's next element is
+        // ≥ L, so if the incumbent's next element is strictly below L every
+        // completion here compares greater.
+        let p_len = det.len();
+        if p_len >= best.len() {
+            return false;
+        }
+        let b_next = (best[p_len].0, &best[p_len].1);
+        let l_item = (ctx.facts[l].0, &enc_buf[l]);
+        b_next < l_item
+    }
+
+    /// True iff the transposition of free slots `v` and `w` (identity on
+    /// everything else) maps the fact set onto itself.
+    fn transposition_fixes(&self, v: u32, w: u32) -> bool {
+        let ctx = self.ctx;
+        for list in [&ctx.slot_facts[v as usize], &ctx.slot_facts[w as usize]] {
+            for &fi in list.iter() {
+                let (c, slots) = &ctx.facts[fi as usize];
+                let key: Vec<u64> = slots
+                    .iter()
+                    .map(|&s| {
+                        let s2 = if s == v {
+                            w
+                        } else if s == w {
+                            v
+                        } else {
+                            s
+                        };
+                        ctx.identity_code(s2)
+                    })
+                    .collect();
+                if !self.identity.contains(&(*c, key)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[inline]
+fn fact_lt(ctx: &DenseCtx, enc_buf: &[Vec<u64>], i: usize, j: usize) -> bool {
+    (ctx.facts[i].0, &enc_buf[i]) < (ctx.facts[j].0, &enc_buf[j])
+}
 
 /// Enumerate all orderings of the free values that respect the class
 /// partition (classes in canonical order; arbitrary permutations within each
-/// class), invoking `f` on each complete ordering.
+/// class), invoking `f` on each complete ordering. Oracle helper.
+#[cfg(test)]
 fn permute_classes(
     classes: &[Vec<Value>],
     class_ix: usize,
@@ -293,6 +737,7 @@ fn permute_classes(
     permute_within(&mut perm, 0, classes, class_ix, acc, f);
 }
 
+#[cfg(test)]
 fn permute_within(
     perm: &mut Vec<Value>,
     k: usize,
@@ -315,14 +760,7 @@ fn permute_within(
     }
 }
 
-fn encode(
-    facts: &Facts,
-    rigid: &BTreeSet<Value>,
-    _unused: &BTreeMap<Value, Value>,
-) -> Vec<(u32, Vec<CanonVal>)> {
-    encode_with(facts, rigid, &BTreeMap::new())
-}
-
+#[cfg(test)]
 fn encode_with(
     facts: &Facts,
     rigid: &BTreeSet<Value>,
@@ -350,62 +788,16 @@ fn encode_with(
 
 /// Iterated color refinement: assigns each value of the active domain a hash
 /// color that is invariant under isomorphisms fixing `rigid`. Rigid values
-/// get a color derived from their identity.
+/// get a color derived from their identity. Thin map-building wrapper over
+/// the dense [`DenseCtx::refine`] kernel.
 fn refine_colors(facts: &Facts, rigid: &BTreeSet<Value>) -> BTreeMap<Value, u64> {
-    let adom = facts.active_domain();
-    let mut colors: BTreeMap<Value, u64> = adom
+    let ctx = DenseCtx::build(facts, rigid);
+    let colors = ctx.refine();
+    ctx.adom
         .iter()
-        .map(|&v| {
-            let init = if rigid.contains(&v) {
-                // Rigid values are distinguishable by identity.
-                hash2(1, v.index() as u64)
-            } else {
-                hash2(2, 0)
-            };
-            (v, init)
-        })
-        .collect();
-    // Refine until stable (bounded by |adom| rounds).
-    for _ in 0..adom.len().max(1) {
-        let mut next: BTreeMap<Value, u64> = BTreeMap::new();
-        for &v in &adom {
-            // Signature: multiset of (color, position, colors of co-occurring
-            // values) over the facts containing v.
-            let mut sig: Vec<u64> = Vec::new();
-            for (c, t) in facts.iter() {
-                for (pos, w) in t.iter().enumerate() {
-                    if w == v {
-                        let mut h = hash2(c as u64, pos as u64);
-                        for x in t.iter() {
-                            h = hash2(h, colors[&x]);
-                        }
-                        sig.push(h);
-                    }
-                }
-            }
-            sig.sort_unstable();
-            let mut h = colors[&v];
-            for s in sig {
-                h = hash2(h, s);
-            }
-            next.insert(v, h);
-        }
-        if partition_of(&next) == partition_of(&colors) {
-            colors = next;
-            break;
-        }
-        colors = next;
-    }
-    colors
-}
-
-/// The partition induced by a coloring (used to detect refinement stability).
-fn partition_of(colors: &BTreeMap<Value, u64>) -> Vec<Vec<Value>> {
-    let mut groups: BTreeMap<u64, Vec<Value>> = BTreeMap::new();
-    for (&v, &c) in colors {
-        groups.entry(c).or_default().push(v);
-    }
-    groups.into_values().collect()
+        .enumerate()
+        .map(|(s, &v)| (v, colors[s]))
+        .collect()
 }
 
 /// Multiset of (color, class size); must agree for isomorphic fact sets.
@@ -596,10 +988,11 @@ mod tests {
     }
 
     #[test]
-    fn permutation_budget_guards_symmetric_classes() {
+    fn symmetric_classes_key_in_one_descent() {
         // 12 fully interchangeable values form a single refinement class:
-        // 12! ≈ 4.8·10^8 orders. The budgeted canonicalisation must refuse
-        // instantly instead of enumerating them...
+        // 12! ≈ 4.8·10^8 class-respecting orders. Transposition-orbit
+        // pruning proves every sibling subtree is a duplicate, so the search
+        // materialises exactly one order and cuts 11+10+...+1 = 66 siblings.
         let mut pool = ConstantPool::new();
         let mut f1 = Facts::new();
         let mut f2 = Facts::new();
@@ -608,17 +1001,22 @@ mod tests {
             f2.insert(0, Tuple::from([pool.intern(&format!("y{i}"))]));
         }
         let empty = BTreeSet::new();
-        assert_eq!(f1.try_canonical_key(&empty, crate::PERM_BUDGET), None);
-        // ... while the backtracking matcher (the documented fallback)
-        // handles the same symmetric instance in near-linear time, because
-        // every candidate extension is consistent.
+        let (k1, s1) = f1.canonical_key_stats(&empty);
+        let (k2, s2) = f2.canonical_key_stats(&empty);
+        assert_eq!(k1, k2);
+        assert_eq!(k1.var_count(), 12);
+        assert_eq!(s1.orders_enumerated, 1);
+        assert_eq!(s1.prune_cutoffs, 66);
+        assert_eq!(s1, s2);
+        // The backtracking matcher still agrees with key equality.
         assert!(f1.isomorphic(&f2, &empty));
         f2.insert(1, Tuple::from([pool.intern("y0")]));
+        assert_ne!(k1, f2.canonical_key(&empty));
         assert!(!f1.isomorphic(&f2, &empty));
     }
 
     #[test]
-    fn budgeted_key_agrees_with_unbounded_when_within_budget() {
+    fn pruned_search_agrees_with_exhaustive_enumeration() {
         let mut pool = ConstantPool::new();
         let v = vals(&mut pool, &["a", "b", "c", "d"]);
         let rigid: BTreeSet<Value> = [v[0]].into_iter().collect();
@@ -626,10 +1024,17 @@ mod tests {
         f.insert(0, Tuple::from([v[0], v[1]]));
         f.insert(0, Tuple::from([v[1], v[2]]));
         f.insert(1, Tuple::from([v[3]]));
-        assert_eq!(
-            f.try_canonical_key(&rigid, crate::PERM_BUDGET),
-            Some(f.canonical_key(&rigid))
-        );
+        assert_eq!(f.canonical_key(&rigid), f.exhaustive_canonical_key(&rigid));
+        // And on a symmetric class at the edge of what enumeration affords:
+        // 6 interchangeable values, 6! = 720 orders.
+        let mut g = Facts::new();
+        for i in 0..6 {
+            g.insert(0, Tuple::from([pool.intern(&format!("s{i}"))]));
+        }
+        let empty = BTreeSet::new();
+        let (key, stats) = g.canonical_key_stats(&empty);
+        assert_eq!(key, g.exhaustive_canonical_key(&empty));
+        assert_eq!(stats.orders_enumerated, 1);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! bisimulations) is built on these types.
 
 pub mod arena;
+#[cfg(test)]
+mod canon_tests;
 pub mod display;
 pub mod index;
 pub mod instance;
@@ -34,8 +36,9 @@ pub use arena::{FactId, TupleArena};
 pub use display::{FactsDisplay, InstanceDisplay};
 pub use index::{AccessPath, InstanceIndex};
 pub use instance::Instance;
-pub use iso::{CanonKey, Facts, PERM_BUDGET};
+pub use iso::{CanonKey, CanonStats, Facts};
 pub use schema::{RelId, RelSchema, Schema};
+pub use sig::SigCensus;
 pub use store::{FactsView, Inserted, StateRef, StateStore, StoreStats, MAX_DELTA_DEPTH};
 pub use tuple::Tuple;
 pub use value::{ConstantPool, Value};

@@ -447,6 +447,13 @@ impl<'a> FactsView<'a> {
     pub fn canonical_key(&self, rigid: &BTreeSet<Value>) -> CanonKey {
         self.to_facts().canonical_key(rigid)
     }
+
+    /// Occurrence census for incrementally deriving child-state signatures
+    /// (see [`crate::SigCensus`]) — equivalent to materialising the facts
+    /// and calling [`Facts::sig_census`].
+    pub fn sig_census<'r>(&self, rigid: &'r BTreeSet<Value>) -> crate::SigCensus<'r> {
+        crate::SigCensus::new(self.iter(), rigid)
+    }
 }
 
 #[cfg(test)]

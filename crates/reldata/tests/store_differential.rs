@@ -184,6 +184,24 @@ fn random_mutation_chains_materialise_identically() {
                     view.canonical_key(&rigid),
                     "canonical key diverged (seed {seed})"
                 );
+                // Incrementally-derived signature (parent census + diff)
+                // must equal the from-scratch one, through both the owned
+                // and the store-backed census entry points.
+                let parent_view = store.view(refs[parents[i]]);
+                assert_eq!(
+                    owned[parents[i]]
+                        .sig_census(&rigid)
+                        .child_signature(|| facts.iter(), facts.len()),
+                    facts.signature(&rigid),
+                    "incremental signature diverged (seed {seed})"
+                );
+                assert_eq!(
+                    parent_view
+                        .sig_census(&rigid)
+                        .child_signature(|| view.iter(), view.len()),
+                    facts.signature(&rigid),
+                    "store-backed incremental signature diverged (seed {seed})"
+                );
             }
 
             // Dedup lookup finds exactly this state.
@@ -206,6 +224,64 @@ fn random_mutation_chains_materialise_identically() {
             };
             assert_index_matches(&scratch, &cow, &inst, &vals);
             indexes.push(cow);
+        }
+    }
+}
+
+/// Incremental signatures across delta re-root boundaries: a linear chain
+/// long enough to cross `MAX_DELTA_DEPTH` (children at depths 31, 32, 33
+/// sit just before, on, and just after the store's re-root point) must
+/// derive every child signature from its parent's census bit-identically to
+/// the from-scratch computation, no matter how the store represents the
+/// parent internally.
+#[test]
+fn incremental_signatures_survive_reroot_boundaries() {
+    use dcds_reldata::MAX_DELTA_DEPTH;
+    let chain_len = MAX_DELTA_DEPTH + 8;
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64(0x5ec_0ded ^ seed.wrapping_mul(0x9e37_79b9));
+        let mut pool = ConstantPool::new();
+        let vals: Vec<Value> = (0..NUM_VALUES)
+            .map(|i| pool.intern(&format!("v{i}")))
+            .collect();
+        let rigid = random_rigid(&mut rng, &vals);
+
+        let mut root = Facts::new();
+        for _ in 0..2 + rng.gen_range(4) {
+            let (c, t) = random_fact(&mut rng, &vals);
+            root.insert(c, t);
+        }
+        let mut store = StateStore::new();
+        let mut prev_facts = root.clone();
+        let mut prev_ref = store.insert(None, &root).state;
+        for depth in 1..=chain_len {
+            // Force novel children so the chain actually deepens.
+            let child = loop {
+                let cand = mutate(&mut rng, &prev_facts, &vals);
+                if cand != prev_facts {
+                    break cand;
+                }
+            };
+            let ins = store.insert(Some(prev_ref), &child);
+            let child_view = store.view(ins.state);
+            let expected = child.signature(&rigid);
+            assert_eq!(
+                prev_facts
+                    .sig_census(&rigid)
+                    .child_signature(|| child_view.iter(), child_view.len()),
+                expected,
+                "owned census diverged at depth {depth} (seed {seed})"
+            );
+            assert_eq!(
+                store
+                    .view(prev_ref)
+                    .sig_census(&rigid)
+                    .child_signature(|| child.iter(), child.len()),
+                expected,
+                "store census diverged at depth {depth} (seed {seed})"
+            );
+            prev_facts = child;
+            prev_ref = ins.state;
         }
     }
 }
